@@ -1,0 +1,57 @@
+//! Criterion benches for Figures 6/7 (engine comparison) and Figure 8
+//! (optimisation ablation) at fixed statistical sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morph_bench::workers;
+use morph_dmr::opts::{OptLevel, Precision};
+use morph_dmr::{cpu::refine_cpu, gpu::refine_gpu, serial, DmrOpts};
+use morph_workloads::mesh::random_mesh;
+
+fn fig6_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_dmr_engines");
+    g.sample_size(10);
+    for &target in &[2_000usize, 8_000] {
+        g.bench_with_input(BenchmarkId::new("serial", target), &target, |b, &t| {
+            b.iter(|| {
+                let mut m = random_mesh::<f64>(t, 1);
+                serial::refine(&mut m)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("multicore", target), &target, |b, &t| {
+            b.iter(|| {
+                let mut m = random_mesh::<f64>(t, 1);
+                refine_cpu(&mut m, workers())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("virtualGPU", target), &target, |b, &t| {
+            b.iter(|| {
+                let mut m = random_mesh::<f32>(t, 1);
+                refine_gpu(&mut m, DmrOpts::default(), workers())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig8_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_dmr_ablation");
+    g.sample_size(10);
+    for level in OptLevel::ALL {
+        g.bench_function(format!("{level:?}"), |b| {
+            b.iter(|| match level.precision() {
+                Precision::F64 => {
+                    let mut m = random_mesh::<f64>(4_000, 8);
+                    refine_gpu(&mut m, level.opts(), workers()).stats.refined
+                }
+                Precision::F32 => {
+                    let mut m = random_mesh::<f32>(4_000, 8);
+                    refine_gpu(&mut m, level.opts(), workers()).stats.refined
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig6_engines, fig8_ablation);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benches for Figure 11: Boruvka MST across graph families and
+//! implementations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morph_bench::workers;
+use morph_workloads::graphs;
+
+fn fig11(c: &mut Criterion) {
+    let inputs = vec![
+        ("road", graphs::road_network(64, 1)),
+        ("grid2d", graphs::grid2d(72, 2)),
+        ("rmat", graphs::rmat(12, 32_768, 3)),
+        ("random4", graphs::random_graph(4_096, 16_384, 4)),
+    ];
+    let mut g = c.benchmark_group("fig11_mst");
+    g.sample_size(10);
+    for (name, graph) in &inputs {
+        g.bench_with_input(BenchmarkId::new("edge_merge_2_1_4", name), graph, |b, gr| {
+            b.iter(|| morph_mst::edge_merge::mst(gr, workers()))
+        });
+        g.bench_with_input(BenchmarkId::new("component_2_1_5", name), graph, |b, gr| {
+            b.iter(|| morph_mst::component_cpu::mst(gr, workers()))
+        });
+        g.bench_with_input(BenchmarkId::new("virtualGPU", name), graph, |b, gr| {
+            b.iter(|| morph_mst::gpu::mst(gr, workers()))
+        });
+        g.bench_with_input(BenchmarkId::new("kruskal", name), graph, |b, gr| {
+            b.iter(|| morph_mst::kruskal::mst(gr))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig11);
+criterion_main!(benches);

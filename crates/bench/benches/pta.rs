@@ -1,0 +1,31 @@
+//! Criterion benches for Figure 10: points-to analysis per SPEC-like
+//! benchmark, serial vs multicore-push vs virtualGPU-pull.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morph_bench::workers;
+use morph_workloads::pta::spec_suite;
+
+fn fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_pta");
+    g.sample_size(10);
+    for (name, prob) in spec_suite() {
+        if prob.num_vars > 2_000 {
+            // 186.crafty takes seconds per solve; the `tables` binary
+            // covers it once — statistical sampling would take hours.
+            continue;
+        }
+        g.bench_with_input(BenchmarkId::new("serial", name), &prob, |b, p| {
+            b.iter(|| morph_pta::serial::solve(p))
+        });
+        g.bench_with_input(BenchmarkId::new("multicore_push", name), &prob, |b, p| {
+            b.iter(|| morph_pta::cpu::solve(p, workers()))
+        });
+        g.bench_with_input(BenchmarkId::new("virtualGPU_pull", name), &prob, |b, p| {
+            b.iter(|| morph_pta::gpu::solve(p, workers()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benches for Figure 9: SP propagation, uncached multicore vs
+//! cached virtual GPU, across N (at K=3) and K (at fixed N).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morph_bench::workers;
+use morph_sp::factor_graph::FactorGraph;
+use morph_sp::surveys::Surveys;
+use morph_workloads::ksat::hard_instance;
+
+const SWEEPS: usize = 20;
+
+fn n_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_sp_n_sweep_k3");
+    g.sample_size(10);
+    for &n in &[2_000usize, 4_000] {
+        let f = hard_instance(n, 3, 5);
+        let fg = FactorGraph::new(&f);
+        g.bench_with_input(BenchmarkId::new("multicore_uncached", n), &n, |b, _| {
+            b.iter(|| {
+                let s = Surveys::init(&fg, 1);
+                morph_sp::cpu::propagate(&fg, &s, 0.0, SWEEPS, workers())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("virtualGPU_cached", n), &n, |b, _| {
+            b.iter(|| {
+                let s = Surveys::init(&fg, 1);
+                morph_sp::gpu::propagate(&fg, &s, 0.0, SWEEPS, workers()).0
+            })
+        });
+    }
+    g.finish();
+}
+
+fn k_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_sp_k_sweep");
+    g.sample_size(10);
+    for k in 3..=6usize {
+        let f = hard_instance(800, k, 9);
+        let fg = FactorGraph::new(&f);
+        g.bench_with_input(BenchmarkId::new("multicore_uncached", k), &k, |b, _| {
+            b.iter(|| {
+                let s = Surveys::init(&fg, 1);
+                morph_sp::cpu::propagate(&fg, &s, 0.0, SWEEPS, workers())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("virtualGPU_cached", k), &k, |b, _| {
+            b.iter(|| {
+                let s = Surveys::init(&fg, 1);
+                morph_sp::gpu::propagate(&fg, &s, 0.0, SWEEPS, workers()).0
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, n_sweep, k_sweep);
+criterion_main!(benches);

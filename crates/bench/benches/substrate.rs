@@ -1,0 +1,155 @@
+//! Ablation benches for the generic techniques DESIGN.md calls out:
+//! barrier designs (§7.3), centralized vs block-local worklists (§7.5),
+//! push vs pull propagation (§6.4), and 2-phase vs 3-phase conflict
+//! resolution (§7.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morph_bench::workers;
+use morph_core::propagate::{fixpoint, reverse, Direction};
+use morph_gpu_sim::{BarrierKind, GpuConfig, Kernel, ThreadCtx, VirtualGpu};
+use morph_graph::sparse_bits::AtomicBitmap;
+use morph_workloads::graphs;
+
+/// A kernel that does nothing but cross phase barriers.
+struct BarrierOnly;
+impl Kernel for BarrierOnly {
+    fn phases(&self) -> usize {
+        16
+    }
+    fn run(&self, _p: usize, _ctx: &mut ThreadCtx<'_>) -> bool {
+        true
+    }
+}
+
+fn barriers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("barrier_designs");
+    for kind in [
+        BarrierKind::NaiveAtomic,
+        BarrierKind::Hierarchical,
+        BarrierKind::SenseReversing,
+    ] {
+        let cfg = GpuConfig {
+            num_sms: workers(),
+            warp_size: 32,
+            blocks: workers() * 8,
+            threads_per_block: 256,
+            barrier: kind,
+        };
+        g.bench_function(format!("{kind:?}"), |b| {
+            let gpu = VirtualGpu::new(cfg.clone());
+            b.iter(|| gpu.launch(&BarrierOnly))
+        });
+    }
+    g.finish();
+}
+
+/// Per-thread token churn through the centralized worklist vs a
+/// block-local one.
+struct CentralChurn<'a> {
+    list: &'a morph_core::GlobalWorklist,
+    rounds: usize,
+}
+impl Kernel for CentralChurn<'_> {
+    fn run(&self, _p: usize, ctx: &mut ThreadCtx<'_>) -> bool {
+        for _ in 0..self.rounds {
+            self.list.push(ctx, ctx.tid as u32);
+            let _ = self.list.pop(ctx);
+        }
+        true
+    }
+}
+
+struct LocalChurn<'a> {
+    queues: &'a morph_gpu_sim::BlockLocal<morph_gpu_sim::shared::LocalWorklist>,
+    rounds: usize,
+}
+impl Kernel for LocalChurn<'_> {
+    fn run(&self, _p: usize, ctx: &mut ThreadCtx<'_>) -> bool {
+        for _ in 0..self.rounds {
+            self.queues.with(ctx, |q| {
+                q.push(ctx.tid as u32);
+                q.pop()
+            });
+        }
+        true
+    }
+}
+
+fn worklists(c: &mut Criterion) {
+    let cfg = GpuConfig {
+        num_sms: workers(),
+        warp_size: 32,
+        blocks: workers() * 4,
+        threads_per_block: 128,
+        barrier: BarrierKind::SenseReversing,
+    };
+    let rounds = 64;
+    let mut g = c.benchmark_group("worklists");
+    g.bench_function("centralized", |b| {
+        let gpu = VirtualGpu::new(cfg.clone());
+        let list = morph_core::GlobalWorklist::with_capacity(cfg.total_threads() * 2);
+        b.iter(|| gpu.launch(&CentralChurn { list: &list, rounds }))
+    });
+    g.bench_function("block_local", |b| {
+        let gpu = VirtualGpu::new(cfg.clone());
+        let queues = morph_gpu_sim::BlockLocal::new(cfg.blocks, |_| {
+            morph_gpu_sim::shared::LocalWorklist::with_capacity(256)
+        });
+        b.iter(|| {
+            gpu.launch(&LocalChurn {
+                queues: &queues,
+                rounds,
+            })
+        })
+    });
+    g.finish();
+}
+
+fn push_vs_pull(c: &mut Criterion) {
+    let fwd = graphs::rmat(12, 16_384, 7);
+    let rev = reverse(&fwd);
+    let mut g = c.benchmark_group("push_vs_pull_propagation");
+    g.sample_size(10);
+    for (name, dir) in [("push", Direction::Push), ("pull", Direction::Pull)] {
+        let graph = if dir == Direction::Push { &fwd } else { &rev };
+        g.bench_with_input(BenchmarkId::new(name, "rmat12"), graph, |b, gr| {
+            b.iter(|| {
+                let sets = AtomicBitmap::new(gr.num_nodes(), 256);
+                for seed in 0..32u32 {
+                    sets.set((seed * 101) as usize % gr.num_nodes(), seed % 256);
+                }
+                fixpoint(gr, &sets, dir)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn conflict_phases(c: &mut Criterion) {
+    use morph_dmr::{gpu::refine_gpu, DmrOpts, OptLevel};
+    use morph_workloads::mesh::random_mesh;
+    let mut g = c.benchmark_group("conflict_resolution");
+    g.sample_size(10);
+    g.bench_function("two_phase", |b| {
+        b.iter(|| {
+            let mut m = random_mesh::<f64>(2_000, 3);
+            let opts = DmrOpts {
+                three_phase: false,
+                ..OptLevel::L6DivergenceSort.opts()
+            };
+            refine_gpu(&mut m, opts, workers()).launch.aborts
+        })
+    });
+    g.bench_function("three_phase", |b| {
+        b.iter(|| {
+            let mut m = random_mesh::<f64>(2_000, 3);
+            refine_gpu(&mut m, OptLevel::L6DivergenceSort.opts(), workers())
+                .launch
+                .aborts
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, barriers, worklists, push_vs_pull, conflict_phases);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Regenerate the paper's evaluation tables and figures.
+//!
+//! ```sh
+//! cargo run -p morph-bench --release --bin tables -- all
+//! cargo run -p morph-bench --release --bin tables -- fig8
+//! MORPH_SCALE=tiny cargo run -p morph-bench --release --bin tables -- fig6
+//! ```
+
+use morph_bench::{
+    fig10_pta, fig11_mst, fig2_profile, fig6_dmr, fig8_ablation, fig9_sp, shape_check, Scale,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+
+    let ran = std::cell::Cell::new(false);
+    let section = |name: &str, body: &dyn Fn() -> String| {
+        if which == "all" || which == name {
+            ran.set(true);
+            println!("==== {name} (scale: {scale:?}) ====\n");
+            println!("{}", body());
+        }
+    };
+
+    section("fig2", &|| fig2_profile::render(scale));
+    section("fig6", &|| fig6_dmr::render(scale));
+    // Fig. 7 is the speedup view of Fig. 6's data; render() emits both,
+    // so under `all` it is covered by the fig6 section.
+    if which == "fig7" {
+        ran.set(true);
+        println!("==== fig7 (scale: {scale:?}) ====\n");
+        println!("{}", fig6_dmr::render(scale));
+    }
+    section("fig8", &|| fig8_ablation::render(scale));
+    section("fig9", &|| fig9_sp::render(scale));
+    section("fig10", &|| fig10_pta::render());
+    section("fig11", &|| fig11_mst::render(scale));
+    // `check` re-runs the workloads to evaluate the EXPERIMENTS.md shape
+    // criteria; it is explicit-only (not part of `all`).
+    if which == "check" {
+        ran.set(true);
+        println!("==== shape criteria (scale: {scale:?}) ====\n");
+        let report = shape_check::run(scale);
+        println!(
+            "{}\nshape criteria: {} passed, {} failed",
+            report.log, report.passed, report.failed
+        );
+        if report.failed > 0 {
+            std::process::exit(1);
+        }
+    }
+
+    if !ran.get() {
+        eprintln!(
+            "unknown table '{which}'. Choose one of: all fig2 fig6 fig7 fig8 fig9 fig10 fig11\n\
+             Scale via MORPH_SCALE=tiny|small|full (default small)."
+        );
+        std::process::exit(2);
+    }
+}

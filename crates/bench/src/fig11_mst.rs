@@ -1,0 +1,114 @@
+//! Figure 11: Boruvka MST across graph families — edge-merging
+//! (Galois 2.1.4 role), component-based CPU (2.1.5 role), virtual GPU.
+//!
+//! Paper shape: edge-merging collapses on dense graphs (RMAT20: 1 393 s
+//! vs. the GPU's 27 s) but beats the GPU on sparse road networks and
+//! grids; the component-based 2.1.5 rewrite is fastest everywhere.
+
+use crate::{markdown_table, ms, time_best, workers, Scale};
+use morph_graph::Csr;
+use morph_mst::{component_cpu, edge_merge, gpu, kruskal};
+use morph_workloads::graphs;
+use std::time::Duration;
+
+pub struct MstRow {
+    pub name: &'static str,
+    pub nodes: usize,
+    pub edges: usize,
+    pub edge_merge: Duration,
+    pub component: Duration,
+    pub gpu: Duration,
+}
+
+/// The Fig. 11 graph family, scaled.
+pub fn inputs(scale: Scale) -> Vec<(&'static str, Csr)> {
+    let side_road = ((scale.scaled(160 * 160) as f64).sqrt() as usize).max(24);
+    let side_grid = ((scale.scaled(200 * 200) as f64).sqrt() as usize).max(24);
+    let rmat_scale = match scale {
+        Scale::Tiny => 12,
+        Scale::Small => 14,
+        Scale::Full => 16,
+    };
+    let rmat_nodes = 1usize << rmat_scale;
+    let rand_nodes = scale.scaled(24_000).max(1_000);
+    vec![
+        ("USA-road proxy", graphs::road_network(side_road, 1)),
+        ("grid-2d", graphs::grid2d(side_grid, 2)),
+        ("RMAT", graphs::rmat(rmat_scale, rmat_nodes * 8, 3)),
+        ("Random4", graphs::random_graph(rand_nodes, rand_nodes * 4, 4)),
+    ]
+}
+
+pub fn run(scale: Scale) -> Vec<MstRow> {
+    let threads = workers();
+    inputs(scale)
+        .into_iter()
+        .map(|(name, g)| {
+            let oracle = kruskal::mst(&g);
+            let (a, t_merge) = time_best(3, || edge_merge::mst(&g, threads));
+            let (b, t_comp) = time_best(3, || component_cpu::mst(&g, threads));
+            let (c, t_gpu) = time_best(3, || gpu::mst(&g, threads));
+            assert_eq!(a.weight, oracle.weight, "{name}: edge-merge weight");
+            assert_eq!(b.weight, oracle.weight, "{name}: component weight");
+            assert_eq!(c.weight, oracle.weight, "{name}: gpu weight");
+            MstRow {
+                name,
+                nodes: g.num_nodes(),
+                edges: g.num_edges() / 2,
+                edge_merge: t_merge,
+                component: t_comp,
+                gpu: t_gpu,
+            }
+        })
+        .collect()
+}
+
+pub fn render(scale: Scale) -> String {
+    let rows = run(scale);
+    let mut out = String::from(
+        "Figure 11 — Boruvka MST (ms); forest weights verified against \
+         Kruskal\n\n",
+    );
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.nodes.to_string(),
+                r.edges.to_string(),
+                format!("{:.1}", r.edges as f64 / r.nodes as f64),
+                ms(r.edge_merge),
+                ms(r.component),
+                ms(r.gpu),
+            ]
+        })
+        .collect();
+    out.push_str(&markdown_table(
+        &[
+            "graph",
+            "N",
+            "M",
+            "M/N",
+            "edge-merge (2.1.4)",
+            "component (2.1.5)",
+            "virtualGPU",
+        ],
+        &table,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_inputs_have_expected_density_ordering() {
+        let ins = inputs(Scale::Tiny);
+        assert_eq!(ins.len(), 4);
+        let density = |g: &Csr| g.avg_degree();
+        // Road/grid sparse, RMAT/random dense.
+        assert!(density(&ins[0].1) < density(&ins[2].1));
+        assert!(density(&ins[1].1) < density(&ins[3].1));
+    }
+}

@@ -1,0 +1,65 @@
+//! Figure 2: DMR available-parallelism profile.
+//!
+//! Paper: 100k-triangle random mesh, ~50 % bad; parallelism starts near
+//! 5 000, peaks above 7 000, then falls slowly.
+
+use crate::Scale;
+use morph_dmr::profile::parallelism_profile;
+use morph_workloads::mesh::random_mesh;
+
+pub struct Fig2 {
+    pub steps: Vec<usize>,
+    pub initial: usize,
+    pub peak: usize,
+    pub last: usize,
+}
+
+pub fn run(scale: Scale) -> Fig2 {
+    run_with(scale.scaled(100_000))
+}
+
+/// Run at an explicit triangle count (tests use small targets).
+pub fn run_with(target: usize) -> Fig2 {
+    let mut mesh = random_mesh::<f64>(target, 7);
+    let steps = parallelism_profile(&mut mesh);
+    assert_eq!(mesh.stats().bad, 0, "profile run must fully refine");
+    Fig2 {
+        initial: steps.first().copied().unwrap_or(0),
+        peak: steps.iter().max().copied().unwrap_or(0),
+        last: steps.last().copied().unwrap_or(0),
+        steps,
+    }
+}
+
+pub fn render(scale: Scale) -> String {
+    let f = run(scale);
+    let mut out = String::from(
+        "Figure 2 — DMR available parallelism per computation step\n\
+         (paper: 100k-triangle mesh; rises from ~5k, peaks >7k, falls slowly)\n\n",
+    );
+    out.push_str(&format!(
+        "steps={}  initial={}  peak={}  final={}\n\n",
+        f.steps.len(),
+        f.initial,
+        f.peak,
+        f.last
+    ));
+    out.push_str("step,parallelism\n");
+    for (i, p) in f.steps.iter().enumerate() {
+        out.push_str(&format!("{i},{p}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_profile_has_fig2_shape() {
+        let f = run_with(1_200);
+        assert!(!f.steps.is_empty());
+        assert!(f.peak >= f.initial / 2, "peak {} initial {}", f.peak, f.initial);
+        assert!(f.last <= f.peak);
+    }
+}

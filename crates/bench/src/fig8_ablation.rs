@@ -1,0 +1,118 @@
+//! Figure 8: the DMR optimisation ladder (8 cumulative rows; paper runs
+//! a 10 M-triangle mesh from 68 000 ms down to ~1 100 ms, with the final
+//! on-demand-allocation row trading a little time back for memory).
+
+use crate::{markdown_table, ms, time, workers, Scale};
+use morph_dmr::gpu::refine_gpu;
+use morph_dmr::opts::{OptLevel, Precision};
+use morph_workloads::mesh::random_mesh;
+use std::time::Duration;
+
+pub struct AblationRow {
+    pub level: OptLevel,
+    pub wall: Duration,
+    pub abort_ratio: f64,
+    pub divergence: f64,
+    /// Atomic RMW traffic of the global barrier (row 3's target metric).
+    pub barrier_rmws: u64,
+    pub peak_tri_capacity: usize,
+}
+
+pub fn run(scale: Scale) -> Vec<AblationRow> {
+    run_with(scale.scaled(40_000).max(1_000), workers())
+}
+
+/// Run at an explicit triangle count (tests use small targets).
+pub fn run_with(target: usize, sms: usize) -> Vec<AblationRow> {
+    OptLevel::ALL
+        .iter()
+        .map(|&level| {
+            let opts = level.opts();
+            let (outcome, wall) = time(|| match level.precision() {
+                Precision::F64 => {
+                    let mut m = random_mesh::<f64>(target, 8);
+                    let o = refine_gpu(&mut m, opts, sms);
+                    assert_eq!(m.stats().bad, 0, "{}", level.label());
+                    o
+                }
+                Precision::F32 => {
+                    let mut m = random_mesh::<f32>(target, 8);
+                    let o = refine_gpu(&mut m, opts, sms);
+                    assert_eq!(m.stats().bad, 0, "{}", level.label());
+                    o
+                }
+            });
+            AblationRow {
+                level,
+                wall,
+                abort_ratio: outcome.launch.abort_ratio(),
+                divergence: outcome.launch.divergence_ratio(),
+                barrier_rmws: outcome.launch.barrier_rmws,
+                peak_tri_capacity: outcome.peak_tri_capacity,
+            }
+        })
+        .collect()
+}
+
+pub fn render(scale: Scale) -> String {
+    let rows = run(scale);
+    let mut out = String::from(
+        "Figure 8 — effect of cumulative optimisations on DMR\n\
+         (paper: 68 000 → 1 020 ms over rows 1–7; row 8 trades time for memory).\n\
+         On the CPU-hosted simulator each row is verified by its *mechanism\n\
+         counter*: row 3 zeroes the barrier's RMW traffic, row 6 cuts warp\n\
+         divergence, row 8 cuts the provisioned capacity; wall-clock on a\n\
+         simulator does not reproduce hardware memory/SIMT effects.\n\n",
+    );
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            vec![
+                (i + 1).to_string(),
+                r.level.label().to_string(),
+                ms(r.wall),
+                format!("{:.1}%", 100.0 * r.abort_ratio),
+                format!("{:.1}%", 100.0 * r.divergence),
+                r.barrier_rmws.to_string(),
+                r.peak_tri_capacity.to_string(),
+            ]
+        })
+        .collect();
+    out.push_str(&markdown_table(
+        &[
+            "row",
+            "optimisation",
+            "time (ms)",
+            "aborts",
+            "divergence",
+            "barrier RMWs",
+            "tri capacity",
+        ],
+        &table,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_rows_complete_at_tiny_scale() {
+        let rows = run_with(1_000, 2);
+        assert_eq!(rows.len(), 8);
+        // Row 8 (on-demand) must provision less memory than row 7.
+        assert!(rows[7].peak_tri_capacity < rows[6].peak_tri_capacity);
+        // Row 3's mechanism: the atomic-free barrier issues zero RMWs.
+        assert!(rows[1].barrier_rmws > 0, "naive barrier must issue RMWs");
+        assert_eq!(rows[2].barrier_rmws, 0, "sense-reversing barrier is RMW-free");
+        // Row 6's mechanism: compaction reduces divergence.
+        assert!(
+            rows[5].divergence <= rows[4].divergence + 0.05,
+            "row6 {} vs row5 {}",
+            rows[5].divergence,
+            rows[4].divergence
+        );
+    }
+}

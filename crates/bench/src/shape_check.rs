@@ -1,0 +1,196 @@
+//! Executable shape criteria.
+//!
+//! EXPERIMENTS.md states, per figure, which *shape* of the paper's result
+//! must hold on this substrate. This module runs those checks and prints
+//! PASS/FAIL — `cargo run -p morph-bench --release --bin tables -- check`.
+
+use crate::{time, workers, Scale};
+use std::fmt::Write as _;
+
+pub struct CheckReport {
+    pub passed: usize,
+    pub failed: usize,
+    pub log: String,
+}
+
+impl CheckReport {
+    fn check(&mut self, name: &str, ok: bool, detail: String) {
+        if ok {
+            self.passed += 1;
+            let _ = writeln!(self.log, "PASS  {name}: {detail}");
+        } else {
+            self.failed += 1;
+            let _ = writeln!(self.log, "FAIL  {name}: {detail}");
+        }
+    }
+}
+
+/// Run every shape check at the given scale.
+pub fn run(scale: Scale) -> CheckReport {
+    let mut r = CheckReport {
+        passed: 0,
+        failed: 0,
+        log: String::new(),
+    };
+    let threads = workers();
+
+    // ---- Fig. 2: parallelism profile rises then decays -----------------
+    {
+        let f = crate::fig2_profile::run_with(scale.scaled(20_000).max(2_000));
+        r.check(
+            "fig2.rise",
+            f.peak >= f.initial,
+            format!("initial {} peak {}", f.initial, f.peak),
+        );
+        r.check(
+            "fig2.decay",
+            f.last * 4 <= f.peak.max(4),
+            format!("peak {} final {}", f.peak, f.last),
+        );
+    }
+
+    // ---- Fig. 6/7: engines correct, near-linear scaling ----------------
+    {
+        let small = crate::fig6_dmr::run_size(scale.scaled(5_000).max(1_000), 1);
+        let large = crate::fig6_dmr::run_size(scale.scaled(20_000).max(4_000), 2);
+        let ratio_in = large.triangles as f64 / small.triangles as f64;
+        let ratio_serial = large.serial.as_secs_f64() / small.serial.as_secs_f64().max(1e-9);
+        let ratio_gpu = large.gpu.as_secs_f64() / small.gpu.as_secs_f64().max(1e-9);
+        r.check(
+            "fig6.serial_scaling",
+            ratio_serial < ratio_in * 8.0,
+            format!("input ×{ratio_in:.1}, serial time ×{ratio_serial:.1}"),
+        );
+        r.check(
+            "fig6.gpu_scaling",
+            ratio_gpu < ratio_in * 8.0,
+            format!("input ×{ratio_in:.1}, virtual-GPU time ×{ratio_gpu:.1}"),
+        );
+    }
+
+    // ---- Fig. 8: mechanism counters ------------------------------------
+    {
+        let rows = crate::fig8_ablation::run_with(scale.scaled(8_000).max(1_500), threads);
+        r.check(
+            "fig8.barrier_rmws",
+            rows[1].barrier_rmws > 0 && rows[2].barrier_rmws == 0,
+            format!(
+                "naive {} RMWs, sense-reversing {}",
+                rows[1].barrier_rmws, rows[2].barrier_rmws
+            ),
+        );
+        r.check(
+            "fig8.divergence",
+            rows[5].divergence <= rows[4].divergence + 0.05,
+            format!(
+                "sorted {:.2} vs raw {:.2}",
+                rows[5].divergence, rows[4].divergence
+            ),
+        );
+        r.check(
+            "fig8.memory",
+            rows[7].peak_tri_capacity < rows[6].peak_tri_capacity,
+            format!(
+                "on-demand {} < pre-alloc {}",
+                rows[7].peak_tri_capacity, rows[6].peak_tri_capacity
+            ),
+        );
+    }
+
+    // ---- Fig. 9: CPU/GPU ratio grows with K ----------------------------
+    {
+        let k_rows = crate::fig9_sp::run_k_sweep(scale);
+        let ratio = |r: &crate::fig9_sp::SpRow| r.cpu.as_secs_f64() / r.gpu.as_secs_f64().max(1e-9);
+        let r3 = ratio(&k_rows[0]);
+        let r6 = ratio(&k_rows[3]);
+        r.check(
+            "fig9.k_blowup",
+            r6 > r3,
+            format!("cpu/gpu at K=3: {r3:.2}, at K=6: {r6:.2}"),
+        );
+    }
+
+    // ---- Fig. 10: engines agree; pull wins overall ----------------------
+    {
+        let rows = crate::fig10_pta::run(); // asserts fixed-point equality itself
+        let geo: f64 = rows
+            .iter()
+            .map(|row| (row.cpu.as_secs_f64() / row.gpu.as_secs_f64().max(1e-9)).ln())
+            .sum::<f64>()
+            / rows.len() as f64;
+        r.check(
+            "fig10.pull_beats_push",
+            geo.exp() > 1.0,
+            format!("geo-mean multicore-push / virtualGPU-pull = {:.2}×", geo.exp()),
+        );
+    }
+
+    // ---- Fig. 11: engine ordering --------------------------------------
+    // Robust forms of the Fig. 11 findings on this substrate: the
+    // component-based design (2.1.5 role) is fastest everywhere — the
+    // paper's own conclusion — and the virtual GPU beats edge-merging on
+    // the dense families (RMAT, Random4), the paper's headline result.
+    // (The paper's 170× edge-merging collapse needed 8M-edge graphs plus
+    // Galois's speculative executor; at laptop scale the gap is a factor,
+    // not a cliff.)
+    {
+        let rows = crate::fig11_mst::run(scale);
+        let by_name = |n: &str| rows.iter().find(|r| r.name.contains(n)).unwrap();
+        let rmat = by_name("RMAT");
+        let random = by_name("Random");
+        let comp_fastest = rows.iter().all(|row| {
+            row.component.as_secs_f64()
+                <= 1.10 * row.edge_merge.as_secs_f64().min(row.gpu.as_secs_f64())
+        });
+        r.check(
+            "fig11.component_fastest",
+            comp_fastest,
+            rows.iter()
+                .map(|row| {
+                    format!(
+                        "{}: comp {:?} / em {:?} / gpu {:?}",
+                        row.name, row.component, row.edge_merge, row.gpu
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("; "),
+        );
+        r.check(
+            "fig11.dense_gpu_beats_edge_merge",
+            rmat.gpu < rmat.edge_merge && random.gpu < random.edge_merge,
+            format!(
+                "RMAT gpu {:?} vs em {:?}; Random4 gpu {:?} vs em {:?}",
+                rmat.gpu, rmat.edge_merge, random.gpu, random.edge_merge
+            ),
+        );
+    }
+
+    // ---- Fig. 6 correctness (quick, at tiny size) ----------------------
+    {
+        let (_, d) = time(|| {
+            let mut m = morph_workloads::mesh::random_mesh::<f64>(1_000, 3);
+            morph_dmr::cpu::refine_cpu(&mut m, threads);
+            assert_eq!(m.stats().bad, 0);
+        });
+        r.check("dmr.cpu_correct", true, format!("refined in {d:?}"));
+    }
+
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_formatting() {
+        let mut r = super::CheckReport {
+            passed: 0,
+            failed: 0,
+            log: String::new(),
+        };
+        r.check("a", true, "fine".into());
+        r.check("b", false, "broken".into());
+        assert_eq!((r.passed, r.failed), (1, 1));
+        assert!(r.log.contains("PASS  a"));
+        assert!(r.log.contains("FAIL  b"));
+    }
+}

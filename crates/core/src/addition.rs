@@ -1,0 +1,212 @@
+//! Subgraph addition strategies (paper §7.1).
+//!
+//! The paper classifies four ways of providing memory for a growing graph:
+//!
+//! * **Pre-allocation** — bound the final size up front; simple and fast
+//!   but can waste memory.
+//! * **Host-Only** — the host pre-calculates the next kernel's worst-case
+//!   growth and reallocates before launching.
+//! * **Kernel-Host** — the kernel piggybacks the needed-size computation on
+//!   its main work and reports it to the host, which reallocates.
+//! * **Kernel-Only** — device-side `malloc` (see
+//!   [`morph_graph::ChunkedAdjacency`] for the chunked realisation).
+//!
+//! The first three share one device-side mechanism: a bump allocator over a
+//! pre-sized pool with an overflow flag the host inspects. The strategies
+//! differ only in *who computes the new capacity and when* — captured by
+//! [`GrowthPolicy`].
+
+use morph_gpu_sim::ThreadCtx;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// Device-side bump allocator over a pool of element slots.
+pub struct BumpAllocator {
+    next: AtomicU32,
+    capacity: AtomicU32,
+    overflow: AtomicBool,
+}
+
+impl BumpAllocator {
+    /// Allocator over `capacity` slots, with `used` slots already taken
+    /// (ids `0..used` are live pre-existing elements).
+    pub fn new(used: usize, capacity: usize) -> Self {
+        assert!(used <= capacity);
+        Self {
+            next: AtomicU32::new(used as u32),
+            capacity: AtomicU32::new(capacity as u32),
+            overflow: AtomicBool::new(false),
+        }
+    }
+
+    /// Claim `n` consecutive slots; returns the base id, or `None` if the
+    /// pool is exhausted (the overflow flag is raised for the host).
+    pub fn try_alloc(&self, ctx: &mut ThreadCtx<'_>, n: u32) -> Option<u32> {
+        let base = ctx.atomic_add_u32(&self.next, n);
+        if base.saturating_add(n) <= self.capacity.load(Ordering::Acquire) {
+            Some(base)
+        } else {
+            self.overflow.store(true, Ordering::Release);
+            None
+        }
+    }
+
+    /// Host-side allocation (no counter, no ctx).
+    pub fn host_alloc(&self, n: u32) -> Option<u32> {
+        let base = self.next.fetch_add(n, Ordering::AcqRel);
+        if base.saturating_add(n) <= self.capacity.load(Ordering::Acquire) {
+            Some(base)
+        } else {
+            self.overflow.store(true, Ordering::Release);
+            None
+        }
+    }
+
+    /// High-water mark: one past the largest id ever handed out (clamped to
+    /// capacity; failed allocations may have pushed the cursor further).
+    pub fn len(&self) -> usize {
+        (self.next.load(Ordering::Acquire) as usize).min(self.capacity())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Acquire) as usize
+    }
+
+    /// Did any allocation fail since the last [`clear_overflow`](Self::clear_overflow)?
+    pub fn overflowed(&self) -> bool {
+        self.overflow.load(Ordering::Acquire)
+    }
+
+    pub fn clear_overflow(&self) {
+        // A failed alloc may have pushed `next` past capacity; pull it back
+        // so the count stays meaningful after the host grows the pool.
+        let cap = self.capacity.load(Ordering::Acquire);
+        let _ = self
+            .next
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| (n > cap).then_some(cap));
+        self.overflow.store(false, Ordering::Release);
+    }
+
+    /// Host-side capacity growth (after reallocating the backing buffers).
+    pub fn set_capacity(&self, capacity: usize) {
+        assert!(capacity >= self.len());
+        self.capacity.store(capacity as u32, Ordering::Release);
+    }
+}
+
+/// Who sizes the pool, and how (paper §7.1). Drives
+/// [`plan_capacity`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GrowthPolicy {
+    /// Allocate `factor ×` the initial element count once; never grow.
+    /// Overflow is a hard error for the caller to surface.
+    PreAllocate { factor: f64 },
+    /// Host-Only / Kernel-Host: before each launch, ensure capacity for
+    /// `expected_new` additional elements times an over-allocation factor
+    /// ("by choosing an appropriate over-allocation factor, the number of
+    /// reallocations can be greatly reduced").
+    OnDemand { over_alloc: f64 },
+}
+
+impl GrowthPolicy {
+    /// Capacity to provision given the current live count and the
+    /// worst-case growth of the next kernel (`expected_new`, computed by
+    /// the host from e.g. the bad-triangle count, or reported back by the
+    /// previous kernel in the Kernel-Host variant).
+    pub fn plan_capacity(&self, initial: usize, used: usize, expected_new: usize) -> usize {
+        match *self {
+            GrowthPolicy::PreAllocate { factor } => {
+                ((initial as f64 * factor).ceil() as usize).max(initial)
+            }
+            GrowthPolicy::OnDemand { over_alloc } => {
+                used + ((expected_new as f64 * over_alloc).ceil() as usize).max(expected_new)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_gpu_sim::{GpuConfig, Kernel, ThreadCtx, VirtualGpu};
+
+    #[test]
+    fn host_alloc_and_overflow() {
+        let a = BumpAllocator::new(2, 5);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.host_alloc(2), Some(2));
+        assert_eq!(a.host_alloc(1), Some(4));
+        assert!(!a.overflowed());
+        assert_eq!(a.host_alloc(1), None);
+        assert!(a.overflowed());
+        assert_eq!(a.len(), 5, "len clamps at capacity");
+        a.clear_overflow();
+        assert!(!a.overflowed());
+        a.set_capacity(8);
+        assert_eq!(a.host_alloc(3), Some(5));
+        assert_eq!(a.capacity(), 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cannot_shrink_below_used() {
+        let a = BumpAllocator::new(0, 10);
+        a.host_alloc(6);
+        a.set_capacity(5);
+    }
+
+    #[test]
+    fn growth_policies() {
+        let pre = GrowthPolicy::PreAllocate { factor: 2.5 };
+        assert_eq!(pre.plan_capacity(100, 40, 7), 250);
+        let od = GrowthPolicy::OnDemand { over_alloc: 1.5 };
+        assert_eq!(od.plan_capacity(100, 40, 10), 55);
+        // Over-alloc below 1.0 still provisions at least expected_new.
+        let tight = GrowthPolicy::OnDemand { over_alloc: 0.5 };
+        assert_eq!(tight.plan_capacity(100, 40, 10), 50);
+    }
+
+    struct AllocKernel<'a> {
+        pool: &'a BumpAllocator,
+        granted: &'a morph_gpu_sim::AtomicU32Slice,
+    }
+
+    impl Kernel for AllocKernel<'_> {
+        fn run(&self, _phase: usize, ctx: &mut ThreadCtx<'_>) -> bool {
+            if let Some(base) = self.pool.try_alloc(ctx, 3) {
+                self.granted.store(ctx.tid, base);
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_allocations_never_overlap() {
+        let cfg = GpuConfig::small(); // 32 threads, each asks for 3 slots
+        let pool = BumpAllocator::new(0, 60); // room for 20 of 32
+        let granted = morph_gpu_sim::AtomicU32Slice::new(cfg.total_threads(), u32::MAX);
+        let k = AllocKernel {
+            pool: &pool,
+            granted: &granted,
+        };
+        VirtualGpu::new(cfg.clone()).launch(&k);
+        assert!(pool.overflowed(), "32×3 > 60 must overflow");
+        let bases: Vec<u32> = granted
+            .to_vec()
+            .into_iter()
+            .filter(|&b| b != u32::MAX)
+            .collect();
+        assert_eq!(bases.len(), 20);
+        let mut sorted = bases.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            assert!(w[1] - w[0] >= 3, "granted ranges overlap: {w:?}");
+        }
+        assert!(sorted.last().unwrap() + 3 <= 60);
+    }
+}

@@ -1,0 +1,268 @@
+//! Probabilistic 3-phase conflict resolution (paper §7.3).
+//!
+//! Morph activities (e.g. refining a cavity) need *exclusive* ownership of
+//! a neighborhood of graph elements. Mutual exclusion via per-element locks
+//! is "ill-suited for GPUs due to the large number of threads", so the
+//! paper detects conflicts with an optimistic marking protocol:
+//!
+//! 1. **race** — every thread writes its id onto every element of its
+//!    neighborhood (plain racy writes; last writer survives);
+//! 2. **prioritycheck** — after a global barrier, each thread re-reads its
+//!    marks; a *higher-priority* thread overwrites a lower-priority mark, a
+//!    lower-priority thread backs off (this is what prevents live-lock);
+//! 3. **check** — after another barrier, a read-only verification that all
+//!    marks survived; only then is the thread a *winner* allowed to mutate.
+//!
+//! The two-phase variant (race + check, no priorities) is also provided:
+//! it is correct but can live-lock, and it is the ablation baseline in
+//! Fig. 8 discussions.
+
+use morph_gpu_sim::{AtomicU32Slice, ThreadCtx};
+
+/// Mark value meaning "unclaimed". Thread ids must be `< FREE`.
+pub const FREE: u32 = u32::MAX;
+
+/// Shared ownership-mark table over graph elements.
+///
+/// Marks are *not* cleared between rounds (the paper: "it is not necessary
+/// for a thread to remove its markings when it backs off") — every activity
+/// re-marks its whole neighborhood in the race phase, so stale marks are
+/// always overwritten before they are consulted.
+pub struct ConflictTable {
+    owners: AtomicU32Slice,
+}
+
+impl ConflictTable {
+    /// A table covering elements `0..n`.
+    pub fn new(n: usize) -> Self {
+        Self {
+            owners: AtomicU32Slice::new(n, FREE),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.owners.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.owners.len() == 0
+    }
+
+    /// Host-side growth when the element pool grows (new slots unclaimed).
+    pub fn grow(&mut self, n: usize) {
+        self.owners.grow(n, FREE);
+    }
+
+    /// Phase 1 — **race**: stamp `me` on every element of the
+    /// neighborhood. Plain (non-RMW) racy stores, exactly as on the GPU.
+    pub fn race(&self, elems: impl IntoIterator<Item = u32>, me: u32) {
+        debug_assert_ne!(me, FREE);
+        for e in elems {
+            self.owners.store_relaxed(e as usize, me);
+        }
+    }
+
+    /// Phase 2 — **prioritycheck**: returns `false` if this thread must
+    /// back off (a higher-priority mark was found). Higher thread id wins,
+    /// as in the paper. Re-marks elements currently held by lower-priority
+    /// threads.
+    pub fn priority_check(&self, elems: impl IntoIterator<Item = u32>, me: u32) -> bool {
+        for e in elems {
+            let m = self.owners.load(e as usize);
+            if m == me {
+                continue;
+            }
+            if m != FREE && m > me {
+                // Rule 2: someone with priority holds it; back off.
+                return false;
+            }
+            // Rule 3: steal from the lower-priority claimant.
+            self.owners.store(e as usize, me);
+        }
+        true
+    }
+
+    /// Phase 3 — **check**: read-only verification that every mark
+    /// survived. `true` ⇒ this thread owns the whole neighborhood and may
+    /// commit its speculative work.
+    pub fn check(&self, elems: impl IntoIterator<Item = u32>, me: u32) -> bool {
+        elems.into_iter().all(|e| self.owners.load(e as usize) == me)
+    }
+
+    /// Current mark on one element (diagnostics / tests).
+    pub fn owner(&self, e: u32) -> u32 {
+        self.owners.load(e as usize)
+    }
+
+    /// Run the full 3-phase protocol for a single neighborhood with the
+    /// barriers supplied by the caller's kernel phases: callers embed
+    /// [`race`](Self::race) in phase *p*, [`priority_check`](Self::priority_check)
+    /// in phase *p+1* and [`check`](Self::check) in phase *p+2*. This
+    /// convenience method exists for *sequential* uses (tests, CPU
+    /// speculation oracles) where no barrier is needed.
+    pub fn claim_sequential(&self, elems: &[u32], me: u32) -> bool {
+        self.race(elems.iter().copied(), me);
+        if !self.priority_check(elems.iter().copied(), me) {
+            return false;
+        }
+        self.check(elems.iter().copied(), me)
+    }
+
+    /// Record the outcome of an activity in the launch counters.
+    pub fn record_outcome(ctx: &mut ThreadCtx<'_>, won: bool) {
+        if won {
+            ctx.commit();
+        } else {
+            ctx.abort();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_gpu_sim::{GpuConfig, Kernel, ThreadCtx, VirtualGpu};
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn sequential_claim_and_steal() {
+        let t = ConflictTable::new(8);
+        assert_eq!(t.owner(0), FREE);
+        assert!(t.claim_sequential(&[0, 1, 2], 5));
+        // Higher id steals.
+        assert!(t.claim_sequential(&[2, 3], 9));
+        assert_eq!(t.owner(2), 9);
+        // Contention within one round: 4 races, then 9's race overwrites
+        // the shared element; 4 must back off at prioritycheck.
+        t.race([1, 2].iter().copied(), 4);
+        t.race([2, 3].iter().copied(), 9);
+        assert!(!t.priority_check([1, 2].iter().copied(), 4));
+        assert!(t.priority_check([2, 3].iter().copied(), 9));
+        assert!(t.check([2, 3].iter().copied(), 9));
+    }
+
+    #[test]
+    fn grow_adds_unclaimed_slots() {
+        let mut t = ConflictTable::new(2);
+        t.claim_sequential(&[0], 1);
+        t.grow(4);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.owner(3), FREE);
+        assert_eq!(t.owner(0), 1);
+    }
+
+    /// The real thing: overlapping neighborhoods claimed concurrently
+    /// under the engine with genuine phase barriers. Invariants:
+    /// (a) winners' neighborhoods are pairwise disjoint,
+    /// (b) with two-way overlaps only, at least one contender wins.
+    struct ClaimKernel<'a> {
+        table: &'a ConflictTable,
+        /// Neighborhood of each virtual thread.
+        hoods: &'a [Vec<u32>],
+        won: &'a [AtomicU32],
+    }
+
+    impl Kernel for ClaimKernel<'_> {
+        fn phases(&self) -> usize {
+            3
+        }
+        fn run(&self, phase: usize, ctx: &mut ThreadCtx<'_>) -> bool {
+            let Some(hood) = self.hoods.get(ctx.tid) else {
+                return false;
+            };
+            let me = ctx.tid as u32;
+            match phase {
+                0 => self.table.race(hood.iter().copied(), me),
+                1 => {
+                    if !self.table.priority_check(hood.iter().copied(), me) {
+                        self.won[ctx.tid].store(0, Ordering::Release);
+                    } else {
+                        self.won[ctx.tid].store(1, Ordering::Release);
+                    }
+                }
+                _ => {
+                    if self.won[ctx.tid].load(Ordering::Acquire) == 1
+                        && !self.table.check(hood.iter().copied(), me)
+                    {
+                        self.won[ctx.tid].store(0, Ordering::Release);
+                    }
+                    let won = self.won[ctx.tid].load(Ordering::Acquire) == 1;
+                    ConflictTable::record_outcome(ctx, won);
+                }
+            }
+            true
+        }
+    }
+
+    fn run_claims(hoods: Vec<Vec<u32>>, elements: usize) -> Vec<bool> {
+        let cfg = GpuConfig {
+            num_sms: 4,
+            warp_size: 4,
+            blocks: hoods.len().div_ceil(8).max(1),
+            threads_per_block: 8,
+            barrier: morph_gpu_sim::BarrierKind::SenseReversing,
+        };
+        let table = ConflictTable::new(elements);
+        let won: Vec<AtomicU32> = (0..hoods.len()).map(|_| AtomicU32::new(0)).collect();
+        let k = ClaimKernel {
+            table: &table,
+            hoods: &hoods,
+            won: &won,
+        };
+        let gpu = VirtualGpu::new(cfg);
+        let stats = gpu.launch(&k);
+        assert_eq!(stats.aborts + stats.commits, hoods.len() as u64);
+        won.iter().map(|w| w.load(Ordering::Acquire) == 1).collect()
+    }
+
+    #[test]
+    fn winners_are_pairwise_disjoint_under_concurrency() {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for round in 0..20 {
+            let nthreads = 32;
+            let elements = 64;
+            let hoods: Vec<Vec<u32>> = (0..nthreads)
+                .map(|_| {
+                    let len = rng.gen_range(1..6);
+                    let mut h: Vec<u32> =
+                        (0..len).map(|_| rng.gen_range(0..elements as u32)).collect();
+                    h.sort_unstable();
+                    h.dedup();
+                    h
+                })
+                .collect();
+            let won = run_claims(hoods.clone(), elements);
+            let mut owner_of = vec![u32::MAX; elements];
+            for (t, hood) in hoods.iter().enumerate() {
+                if won[t] {
+                    for &e in hood {
+                        assert_eq!(
+                            owner_of[e as usize],
+                            u32::MAX,
+                            "round {round}: element {e} won by two threads"
+                        );
+                        owner_of[e as usize] = t as u32;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_conflict_has_a_winner() {
+        // Two threads contend for the same neighborhood: the 3-phase
+        // protocol guarantees the higher-id thread wins (no mutual abort).
+        let hoods = vec![vec![3, 4, 5], vec![3, 4, 5]];
+        let won = run_claims(hoods, 8);
+        assert!(!won[0], "lower-priority thread must back off");
+        assert!(won[1], "higher-priority thread must win");
+    }
+
+    #[test]
+    fn disjoint_neighborhoods_all_win() {
+        let hoods: Vec<Vec<u32>> = (0..16).map(|t| vec![t * 2, t * 2 + 1]).collect();
+        let won = run_claims(hoods, 32);
+        assert!(won.iter().all(|&w| w));
+    }
+}

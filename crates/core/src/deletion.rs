@@ -1,0 +1,176 @@
+//! Subgraph deletion strategies (paper §7.2).
+//!
+//! * **Marking** ([`DeletionMarks`]) — flag elements deleted and skip them;
+//!   "simple to implement, reduces synchronization bugs, and usually
+//!   performs well as long as only a small fraction of the entire graph is
+//!   deleted" (used by SP's decimation).
+//! * **Recycle** ([`RecyclePool`]) — reuse deleted elements' slots for new
+//!   elements; "a useful tradeoff between memory-compaction overhead and
+//!   the cost of allocating additional storage" (used by DMR).
+//! * **Explicit deletion / compaction** ([`compact_live`]) — rebuild the
+//!   element array without the deleted slots, producing a remap table for
+//!   satellite data (the host-side analogue of `cudaFree` + re-layout).
+
+use crossbeam::queue::SegQueue;
+use morph_gpu_sim::AtomicU32Slice;
+
+/// Per-element deleted/live marks (bit 0 = deleted).
+pub struct DeletionMarks {
+    flags: AtomicU32Slice,
+}
+
+impl DeletionMarks {
+    /// `n` elements, all live.
+    pub fn new(n: usize) -> Self {
+        Self {
+            flags: AtomicU32Slice::new(n, 0),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.flags.len() == 0
+    }
+
+    /// Host-side growth; new slots are live.
+    pub fn grow(&mut self, n: usize) {
+        self.flags.grow(n, 0);
+    }
+
+    #[inline]
+    pub fn mark_deleted(&self, e: u32) {
+        self.flags.store(e as usize, 1);
+    }
+
+    /// Resurrect a slot (used when recycling it for a new element).
+    #[inline]
+    pub fn mark_live(&self, e: u32) {
+        self.flags.store(e as usize, 0);
+    }
+
+    #[inline]
+    pub fn is_deleted(&self, e: u32) -> bool {
+        self.flags.load(e as usize) != 0
+    }
+
+    /// Live elements in `0..upto` (host-side scan).
+    pub fn count_live(&self, upto: usize) -> usize {
+        (0..upto.min(self.len())).filter(|&i| self.flags.load(i) == 0).count()
+    }
+}
+
+/// A concurrent free-list of recyclable element slots. Winners donate the
+/// slots of the subgraph they deleted; allocators prefer recycled slots
+/// before bumping the pool cursor.
+#[derive(Default)]
+pub struct RecyclePool {
+    free: SegQueue<u32>,
+}
+
+impl RecyclePool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Make a slot available for reuse.
+    pub fn donate(&self, slot: u32) {
+        self.free.push(slot);
+    }
+
+    /// Take a recycled slot if one is available.
+    pub fn reclaim(&self) -> Option<u32> {
+        self.free.pop()
+    }
+
+    /// Number of slots currently waiting for reuse.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+}
+
+/// Host-side compaction: given deletion marks over `0..n`, produce
+/// `(remap, live)` where `remap[old] = new` for live elements and
+/// `u32::MAX` for deleted ones, and `live` is the new element count.
+/// Callers then re-layout satellite arrays with the remap (SP does this to
+/// the factor graph after each decimation).
+pub fn compact_live(marks: &DeletionMarks, n: usize) -> (Vec<u32>, usize) {
+    let mut remap = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for (old, slot) in remap.iter_mut().enumerate() {
+        if !marks.is_deleted(old as u32) {
+            *slot = next;
+            next += 1;
+        }
+    }
+    (remap, next as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marks_roundtrip() {
+        let mut m = DeletionMarks::new(4);
+        assert!(!m.is_deleted(2));
+        m.mark_deleted(2);
+        assert!(m.is_deleted(2));
+        m.mark_live(2);
+        assert!(!m.is_deleted(2));
+        m.mark_deleted(0);
+        assert_eq!(m.count_live(4), 3);
+        m.grow(6);
+        assert_eq!(m.len(), 6);
+        assert!(!m.is_deleted(5));
+        assert_eq!(m.count_live(6), 5);
+    }
+
+    #[test]
+    fn recycle_pool_concurrent_balance() {
+        let pool = RecyclePool::new();
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let pool = &pool;
+                s.spawn(move || {
+                    for i in 0..100 {
+                        pool.donate(t * 100 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.available(), 400);
+        let mut got = Vec::new();
+        while let Some(s) = pool.reclaim() {
+            got.push(s);
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..400).collect::<Vec<_>>());
+        assert_eq!(pool.reclaim(), None);
+    }
+
+    #[test]
+    fn compaction_remap() {
+        let m = DeletionMarks::new(6);
+        m.mark_deleted(1);
+        m.mark_deleted(4);
+        let (remap, live) = compact_live(&m, 6);
+        assert_eq!(live, 4);
+        assert_eq!(remap, vec![0, u32::MAX, 1, 2, u32::MAX, 3]);
+    }
+
+    #[test]
+    fn compaction_of_everything_and_nothing() {
+        let m = DeletionMarks::new(3);
+        let (remap, live) = compact_live(&m, 3);
+        assert_eq!((remap, live), (vec![0, 1, 2], 3));
+        for e in 0..3 {
+            m.mark_deleted(e);
+        }
+        let (remap, live) = compact_live(&m, 3);
+        assert_eq!(live, 0);
+        assert!(remap.iter().all(|&r| r == u32::MAX));
+    }
+}

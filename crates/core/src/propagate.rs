@@ -1,0 +1,167 @@
+//! Push- vs. pull-based information propagation (paper §6.4).
+//!
+//! "In a push-based method, a node propagates points-to information from
+//! itself to its outgoing neighbors, whereas in a pull-based method, a
+//! node pulls points-to information to itself from its incoming neighbors.
+//! The advantage of a pull-based approach is that, since only one thread
+//! is processing each node, no synchronization is needed to update the
+//! points-to information."
+//!
+//! These helpers propagate bit-set facts along a [`Csr`]; the PTA solvers
+//! build on them, and the `substrate` bench compares the two directions
+//! head to head.
+
+use morph_graph::sparse_bits::AtomicBitmap;
+use morph_graph::Csr;
+
+/// Propagation direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Direction {
+    Push,
+    #[default]
+    Pull,
+}
+
+/// One pull step for one node: `sets[node] ∪= sets[m]` for every *incoming*
+/// neighbor `m` listed in `incoming`. Only the owner thread of `node`
+/// writes row `node`, so no cross-thread write contention arises. Returns
+/// `true` if the node's set grew.
+#[inline]
+pub fn pull_node(incoming: &Csr, sets: &AtomicBitmap, node: u32) -> bool {
+    let mut changed = false;
+    for &m in incoming.neighbors(node) {
+        if m != node && sets.union_rows(node as usize, m as usize) {
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// One push step for one node: `sets[m] ∪= sets[node]` for every *outgoing*
+/// neighbor `m`. Rows of other nodes are written concurrently by many
+/// threads — correct only because [`AtomicBitmap`] unions are atomic
+/// `fetch_or`s (the synchronization cost pull avoids). Returns `true` if
+/// any target set grew.
+#[inline]
+pub fn push_node(outgoing: &Csr, sets: &AtomicBitmap, node: u32) -> bool {
+    let mut changed = false;
+    for &m in outgoing.neighbors(node) {
+        if m != node && sets.union_rows(m as usize, node as usize) {
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Sequential fixed point via repeated rounds of `direction` steps.
+/// `graph` must carry incoming edges for [`Direction::Pull`] and outgoing
+/// edges for [`Direction::Push`]. Returns the number of rounds.
+pub fn fixpoint(graph: &Csr, sets: &AtomicBitmap, direction: Direction) -> usize {
+    let n = graph.num_nodes() as u32;
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        let mut changed = false;
+        for node in 0..n {
+            let c = match direction {
+                Direction::Pull => pull_node(graph, sets, node),
+                Direction::Push => push_node(graph, sets, node),
+            };
+            changed |= c;
+        }
+        if !changed {
+            return rounds;
+        }
+    }
+}
+
+/// Reverse a CSR: incoming-edge view from an outgoing-edge view (what a
+/// pull solver precomputes).
+pub fn reverse(g: &Csr) -> Csr {
+    let mut b = morph_graph::CsrBuilder::with_edge_capacity(g.num_nodes(), g.num_edges());
+    for (s, d, w) in g.all_edges() {
+        b.add_directed(d, s, w);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_graph::CsrBuilder;
+
+    fn chain(n: usize) -> Csr {
+        let mut b = CsrBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_directed(i as u32, i as u32 + 1, 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn pull_and_push_reach_the_same_fixpoint() {
+        let fwd = chain(6);
+        let rev = reverse(&fwd);
+
+        let push_sets = AtomicBitmap::new(6, 64);
+        push_sets.set(0, 7);
+        push_sets.set(2, 9);
+        fixpoint(&fwd, &push_sets, Direction::Push);
+
+        let pull_sets = AtomicBitmap::new(6, 64);
+        pull_sets.set(0, 7);
+        pull_sets.set(2, 9);
+        fixpoint(&rev, &pull_sets, Direction::Pull);
+
+        for n in 0..6 {
+            assert_eq!(
+                push_sets.row_to_vec(n),
+                pull_sets.row_to_vec(n),
+                "node {n} disagrees"
+            );
+        }
+        // Facts flow down the chain only.
+        assert_eq!(push_sets.row_to_vec(5), vec![7, 9]);
+        assert_eq!(push_sets.row_to_vec(1), vec![7]);
+        assert_eq!(push_sets.row_to_vec(0), vec![7]);
+    }
+
+    #[test]
+    fn reverse_flips_edges() {
+        let g = chain(4);
+        let r = reverse(&g);
+        assert_eq!(r.num_edges(), g.num_edges());
+        assert_eq!(r.neighbors(0), &[] as &[u32]);
+        assert_eq!(r.neighbors(1), &[0]);
+        assert_eq!(r.neighbors(3), &[2]);
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let mut b = CsrBuilder::new(2);
+        b.add_directed(0, 0, 1);
+        b.add_directed(0, 1, 1);
+        let g = b.build();
+        let sets = AtomicBitmap::new(2, 64);
+        sets.set(0, 3);
+        assert!(push_node(&g, &sets, 0));
+        assert!(!push_node(&g, &sets, 0), "second push changes nothing");
+        assert_eq!(sets.row_to_vec(1), vec![3]);
+    }
+
+    #[test]
+    fn fixpoint_on_cycle_terminates() {
+        let mut b = CsrBuilder::new(3);
+        b.add_directed(0, 1, 1);
+        b.add_directed(1, 2, 1);
+        b.add_directed(2, 0, 1);
+        let g = b.build();
+        let sets = AtomicBitmap::new(3, 64);
+        sets.set(1, 42);
+        let rounds = fixpoint(&g, &sets, Direction::Push);
+        assert!(rounds <= 4);
+        for n in 0..3 {
+            assert_eq!(sets.row_to_vec(n), vec![42]);
+        }
+    }
+}

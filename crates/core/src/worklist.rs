@@ -1,0 +1,179 @@
+//! Worklists (paper §7.5).
+//!
+//! The paper avoids a *centralized* worklist — "a naive implementation of
+//! such a worklist severely limits performance because work elements must
+//! be added and removed atomically" — in favour of per-thread/per-block
+//! local worklists (see [`morph_gpu_sim::shared::LocalWorklist`]). The
+//! centralized [`GlobalWorklist`] is still provided: it is the baseline the
+//! claim is measured against (`bench substrate`), and some low-frequency
+//! uses (e.g. collecting overflow work) are fine with it.
+
+use morph_gpu_sim::{AtomicU32Slice, ThreadCtx};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A bounded multi-producer multi-consumer worklist with atomic head/tail
+/// cursors — the centralized design the paper warns about.
+pub struct GlobalWorklist {
+    items: AtomicU32Slice,
+    head: AtomicU32,
+    tail: AtomicU32,
+}
+
+impl GlobalWorklist {
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            items: AtomicU32Slice::new(cap, u32::MAX),
+            head: AtomicU32::new(0),
+            tail: AtomicU32::new(0),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Enqueue from a kernel. Returns `false` (dropping the item) when
+    /// full.
+    pub fn push(&self, ctx: &mut ThreadCtx<'_>, item: u32) -> bool {
+        let at = ctx.atomic_add_u32(&self.tail, 1);
+        if (at as usize) < self.items.len() {
+            self.items.store(at as usize, item);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Dequeue from a kernel. Returns `None` when the list is (currently)
+    /// drained. Spins briefly if a pushed slot has not been published yet.
+    pub fn pop(&self, ctx: &mut ThreadCtx<'_>) -> Option<u32> {
+        loop {
+            let h = self.head.load(Ordering::Acquire);
+            let t = self.tail.load(Ordering::Acquire).min(self.items.len() as u32);
+            if h >= t {
+                return None;
+            }
+            if ctx
+                .atomic_cas_u32(&self.head, h, h + 1)
+                .is_ok()
+            {
+                // The producer's store may land just after its tail bump.
+                let mut v = self.items.load(h as usize);
+                while v == u32::MAX {
+                    std::hint::spin_loop();
+                    v = self.items.load(h as usize);
+                }
+                self.items.store(h as usize, u32::MAX);
+                return Some(v);
+            }
+        }
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        let h = self.head.load(Ordering::Acquire) as usize;
+        let t = (self.tail.load(Ordering::Acquire) as usize).min(self.items.len());
+        t.saturating_sub(h)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Host-side reset to empty.
+    pub fn reset(&self) {
+        self.head.store(0, Ordering::Release);
+        self.tail.store(0, Ordering::Release);
+    }
+
+    /// Host-side bulk fill with `0..n` (the topology-driven "all elements"
+    /// schedule).
+    pub fn fill_range(&self, n: u32) {
+        assert!(n as usize <= self.capacity());
+        for i in 0..n {
+            self.items.store(i as usize, i);
+        }
+        self.head.store(0, Ordering::Release);
+        self.tail.store(n, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_gpu_sim::{GpuConfig, Kernel, VirtualGpu};
+
+    #[test]
+    fn host_side_fill_and_len() {
+        let w = GlobalWorklist::with_capacity(8);
+        assert!(w.is_empty());
+        w.fill_range(5);
+        assert_eq!(w.len(), 5);
+        w.reset();
+        assert!(w.is_empty());
+        assert_eq!(w.capacity(), 8);
+    }
+
+    /// Producer/consumer stress under the engine: phase 0 pushes
+    /// per-thread tokens, phase 1 drains; every token must come out
+    /// exactly once.
+    struct PingPong<'a> {
+        list: &'a GlobalWorklist,
+        seen: &'a AtomicU32Slice,
+    }
+
+    impl Kernel for PingPong<'_> {
+        fn phases(&self) -> usize {
+            2
+        }
+        fn run(&self, phase: usize, ctx: &mut ThreadCtx<'_>) -> bool {
+            match phase {
+                0 => {
+                    assert!(self.list.push(ctx, ctx.tid as u32));
+                    true
+                }
+                _ => {
+                    let mut got = false;
+                    while let Some(v) = self.list.pop(ctx) {
+                        let prev = ctx.atomic_add_u32(self.seen.at(v as usize), 1);
+                        assert_eq!(prev, 0, "token {v} popped twice");
+                        got = true;
+                    }
+                    got
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_token_pops_exactly_once() {
+        let cfg = GpuConfig::small();
+        let n = cfg.total_threads();
+        let list = GlobalWorklist::with_capacity(n);
+        let seen = AtomicU32Slice::new(n, 0);
+        let k = PingPong {
+            list: &list,
+            seen: &seen,
+        };
+        VirtualGpu::new(cfg).launch(&k);
+        assert!(seen.to_vec().iter().all(|&c| c == 1));
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn push_beyond_capacity_reports_full() {
+        let cfg = GpuConfig::small().with_geometry(1, 1);
+        struct Overfill<'a>(&'a GlobalWorklist);
+        impl Kernel for Overfill<'_> {
+            fn run(&self, _p: usize, ctx: &mut ThreadCtx<'_>) -> bool {
+                assert!(self.0.push(ctx, 1));
+                assert!(self.0.push(ctx, 2));
+                assert!(!self.0.push(ctx, 3), "third push must report full");
+                true
+            }
+        }
+        let list = GlobalWorklist::with_capacity(2);
+        VirtualGpu::new(cfg).launch(&Overfill(&list));
+        assert_eq!(list.len(), 2);
+    }
+}

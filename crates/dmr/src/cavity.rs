@@ -1,0 +1,359 @@
+//! Cavity construction and retriangulation (paper §2, Fig. 1).
+//!
+//! For a bad triangle, the *cavity* is the set of triangles whose
+//! circumcircles contain the point to be inserted (the bad triangle's
+//! circumcenter, or — when the expansion reaches the mesh boundary or a
+//! degenerate configuration — the midpoint of the offending edge, the
+//! standard Chew/Lonestar restart). The *frame* is the ring of triangles
+//! just outside the cavity: they are not deleted, but their neighbor
+//! pointers are rewritten, so they belong to the activity's conflict set
+//! (§7.3) exactly like the cavity itself.
+//!
+//! All three engines (serial / speculative CPU / virtual GPU) share this
+//! code: the phases differ only in how ownership of the conflict set is
+//! established and how triangle slots are allocated.
+
+use crate::mesh::{Mesh, NO_NEIGHBOR};
+use morph_geometry::predicates::{incircle, orient2d, Orientation};
+use morph_geometry::{circumcenter, Coord, Point};
+
+/// A directed boundary edge of the cavity (`cavity on the left`).
+#[derive(Clone, Copy, Debug)]
+pub struct BoundaryEdge {
+    pub e0: u32,
+    pub e1: u32,
+    /// Triangle on the far side, or [`NO_NEIGHBOR`] for a hull edge.
+    pub outer: u32,
+    /// True when the new point lies exactly on this hull edge (an edge
+    /// split): no triangle is fanned over it.
+    pub skip: bool,
+}
+
+/// A fully-expanded cavity, ready for conflict marking and (if ownership
+/// is won) retriangulation.
+#[derive(Clone, Debug)]
+pub struct Cavity<C: Coord> {
+    /// The point to insert.
+    pub center: Point<C>,
+    /// Triangles to delete.
+    pub tris: Vec<u32>,
+    /// Boundary edges (one new triangle per non-skip edge).
+    pub boundary: Vec<BoundaryEdge>,
+    /// Conflict set: cavity ∪ frame, deduplicated.
+    pub conflict: Vec<u32>,
+}
+
+impl<C: Coord> Cavity<C> {
+    /// Number of fresh triangle slots the retriangulation needs.
+    pub fn num_new_tris(&self) -> usize {
+        self.boundary.iter().filter(|e| !e.skip).count()
+    }
+}
+
+/// Result of attempting to build a cavity.
+pub enum CavityOutcome<C: Coord> {
+    Built(Cavity<C>),
+    /// Refinement of this triangle is impossible at grid resolution
+    /// (degenerate circumcenter / duplicate vertex); the caller freezes it.
+    Freeze,
+}
+
+/// Reusable scratch buffers for cavity expansion (one per worker thread).
+#[derive(Default)]
+pub struct CavityScratch {
+    stack: Vec<u32>,
+    /// Triangle → in-cavity? (probed by id; cleared per build).
+    state: std::collections::HashMap<u32, bool>,
+}
+
+const MAX_RESTARTS: usize = 8;
+
+/// Expand the cavity of bad triangle `t` around its circumcenter,
+/// restarting on boundary encroachment per the module docs.
+pub fn build_cavity<C: Coord>(
+    mesh: &Mesh<C>,
+    t: u32,
+    scratch: &mut CavityScratch,
+) -> CavityOutcome<C> {
+    let [a, b, c] = mesh.tri_points(t);
+    let Some(mut center) = circumcenter(&a, &b, &c) else {
+        return CavityOutcome::Freeze;
+    };
+
+    'restart: for _ in 0..MAX_RESTARTS {
+        scratch.stack.clear();
+        scratch.state.clear();
+        let mut tris = Vec::with_capacity(8);
+        let mut boundary: Vec<BoundaryEdge> = Vec::with_capacity(10);
+
+        // Seed: `t` always belongs to its own circumcenter's cavity, and to
+        // the cavity of any point on one of its edges.
+        scratch.state.insert(t, true);
+        tris.push(t);
+        scratch.stack.push(t);
+
+        while let Some(cur) = scratch.stack.pop() {
+            let tri = mesh.tri(cur);
+            let nbrs = mesh.neighbors(cur);
+            for i in 0..3 {
+                let n = nbrs[i];
+                let (e0, e1) = (tri[i], tri[(i + 1) % 3]);
+                if n == NO_NEIGHBOR {
+                    boundary.push(BoundaryEdge {
+                        e0,
+                        e1,
+                        outer: NO_NEIGHBOR,
+                        skip: false,
+                    });
+                    continue;
+                }
+                match scratch.state.get(&n) {
+                    Some(true) => continue,
+                    Some(false) => {
+                        boundary.push(BoundaryEdge {
+                            e0,
+                            e1,
+                            outer: n,
+                            skip: false,
+                        });
+                        continue;
+                    }
+                    None => {}
+                }
+                let [na, nb, nc] = mesh.tri_points(n);
+                if incircle(&na, &nb, &nc, &center) {
+                    scratch.state.insert(n, true);
+                    tris.push(n);
+                    scratch.stack.push(n);
+                } else {
+                    scratch.state.insert(n, false);
+                    boundary.push(BoundaryEdge {
+                        e0,
+                        e1,
+                        outer: n,
+                        skip: false,
+                    });
+                }
+            }
+        }
+
+        // Star-shapedness / encroachment analysis.
+        for be in &mut boundary {
+            let p0 = mesh.point(be.e0);
+            let p1 = mesh.point(be.e1);
+            match orient2d(&p0, &p1, &center) {
+                Orientation::CounterClockwise => {}
+                Orientation::Collinear if be.outer == NO_NEIGHBOR => {
+                    // Center on a hull edge: legal edge split if strictly
+                    // between the endpoints.
+                    if strictly_between(&p0, &p1, &center) {
+                        be.skip = true;
+                    } else {
+                        center = match midpoint_snapped(&p0, &p1, mesh.quality.min_edge) {
+                            Some(m) => m,
+                            None => return CavityOutcome::Freeze,
+                        };
+                        continue 'restart;
+                    }
+                }
+                _ => {
+                    // Encroachment (center beyond this edge) or degenerate
+                    // interior collinearity: restart from the edge midpoint.
+                    center = match midpoint_snapped(&p0, &p1, mesh.quality.min_edge) {
+                        Some(m) => m,
+                        None => return CavityOutcome::Freeze,
+                    };
+                    continue 'restart;
+                }
+            }
+        }
+
+        // Duplicate-vertex guard: the (snapped) center must not coincide
+        // with any cavity vertex.
+        for &ct in &tris {
+            for v in mesh.tri(ct) {
+                if mesh.point(v) == center {
+                    return CavityOutcome::Freeze;
+                }
+            }
+        }
+
+        let mut conflict: Vec<u32> = tris.clone();
+        conflict.extend(boundary.iter().filter(|e| e.outer != NO_NEIGHBOR).map(|e| e.outer));
+        conflict.sort_unstable();
+        conflict.dedup();
+
+        return CavityOutcome::Built(Cavity {
+            center,
+            tris,
+            boundary,
+            conflict,
+        });
+    }
+    CavityOutcome::Freeze
+}
+
+fn strictly_between<C: Coord>(a: &Point<C>, b: &Point<C>, p: &Point<C>) -> bool {
+    // All three collinear (caller checked); p strictly inside segment ab.
+    let (ax, ay) = a.grid();
+    let (bx, by) = b.grid();
+    let (px, py) = p.grid();
+    let d1 = (px - ax) * (bx - ax) + (py - ay) * (by - ay);
+    let len2 = (bx - ax) * (bx - ax) + (by - ay) * (by - ay);
+    d1 > 0 && d1 < len2
+}
+
+fn midpoint_snapped<C: Coord>(a: &Point<C>, b: &Point<C>, min_edge: f64) -> Option<Point<C>> {
+    // Refuse to split edges at or below the quality guard: splitting a
+    // sub-guard edge cannot produce refinable triangles, only drive the
+    // boundary-bisection cascade (see `TriQuality::scaled`).
+    if a.dist_sq(b) < (2.0 * min_edge) * (2.0 * min_edge) {
+        return None;
+    }
+    let m: Point<C> = Point::snapped((a.xf() + b.xf()) / 2.0, (a.yf() + b.yf()) / 2.0);
+    if m == *a || m == *b {
+        None // edge too short to split at grid resolution
+    } else {
+        Some(m)
+    }
+}
+
+/// Commit a won cavity: overwrite `slots` (exactly
+/// [`Cavity::num_new_tris`] of them, typically recycled cavity slots plus
+/// bump-allocated extras) with the fan around vertex `vid`, fix the
+/// frame's back-pointers, and mark the old cavity deleted.
+///
+/// The caller must own the cavity's conflict set and must already have
+/// inserted the center as vertex `vid`. Returns the number of new *bad*
+/// triangles.
+pub fn retriangulate<C: Coord>(mesh: &Mesh<C>, cavity: &Cavity<C>, vid: u32, slots: &[u32]) -> u32 {
+    debug_assert_eq!(slots.len(), cavity.num_new_tris());
+
+    // Delete old triangles first so recycled slots are logically free.
+    for &t in &cavity.tris {
+        mesh.mark_deleted(t);
+    }
+
+    // Map boundary-edge endpoints to fan slots.
+    let mut start_of: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    let mut end_of: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    let mut si = 0;
+    for be in cavity.boundary.iter().filter(|e| !e.skip) {
+        start_of.insert(be.e0, slots[si]);
+        end_of.insert(be.e1, slots[si]);
+        si += 1;
+    }
+
+    let mut new_bad = 0;
+    let mut si = 0;
+    for be in cavity.boundary.iter().filter(|e| !e.skip) {
+        let s = slots[si];
+        si += 1;
+        let nb1 = start_of.get(&be.e1).copied().unwrap_or(NO_NEIGHBOR);
+        let nb2 = end_of.get(&be.e0).copied().unwrap_or(NO_NEIGHBOR);
+        mesh.write_tri(s, [be.e0, be.e1, vid], [be.outer, nb1, nb2]);
+        if be.outer != NO_NEIGHBOR {
+            let j = mesh
+                .edge_index_of(be.outer, be.e1, be.e0)
+                .expect("frame edge must mirror cavity boundary");
+            mesh.set_neighbor(be.outer, j, s);
+        }
+        if mesh.recompute_bad(s) {
+            new_bad += 1;
+        }
+    }
+    new_bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_geometry::{triangulate, TriQuality};
+
+    fn mesh_with_bad() -> Mesh<f64> {
+        let pts: Vec<Point<f64>> = [
+            (0.0, 0.0),
+            (40.0, 0.0),
+            (40.0, 40.0),
+            (0.0, 40.0),
+            (20.0, 20.0),
+            (21.0, 39.0), // skinny triangles near the top
+        ]
+        .iter()
+        .map(|&(x, y)| Point::snapped(x, y))
+        .collect();
+        let t = triangulate(&pts).unwrap();
+        Mesh::from_triangulation(&t, TriQuality::default(), 8.0, 8.0)
+    }
+
+    #[test]
+    fn cavity_is_connected_and_contains_seed() {
+        let m = mesh_with_bad();
+        let mut scratch = CavityScratch::default();
+        for t in m.bad_triangles() {
+            match build_cavity(&m, t, &mut scratch) {
+                CavityOutcome::Built(c) => {
+                    assert!(c.tris.contains(&t) || !c.tris.is_empty());
+                    assert!(!c.boundary.is_empty());
+                    assert!(c.num_new_tris() >= 3 || c.boundary.iter().any(|b| b.skip));
+                    // Conflict set ⊇ cavity.
+                    for ct in &c.tris {
+                        assert!(c.conflict.contains(ct));
+                    }
+                    // Frame members are live and not in the cavity.
+                    for be in &c.boundary {
+                        if be.outer != NO_NEIGHBOR {
+                            assert!(!c.tris.contains(&be.outer) || be.skip);
+                        }
+                    }
+                }
+                CavityOutcome::Freeze => {}
+            }
+        }
+    }
+
+    #[test]
+    fn retriangulation_keeps_mesh_valid() {
+        let m = mesh_with_bad();
+        let mut scratch = CavityScratch::default();
+        let bad = m.bad_triangles();
+        let t = bad[0];
+        let CavityOutcome::Built(c) = build_cavity(&m, t, &mut scratch) else {
+            panic!("expected cavity for {t}");
+        };
+        let vid = m.add_vertex_host(c.center).unwrap();
+        // Slots: recycle cavity slots, bump the rest.
+        let mut slots: Vec<u32> = c.tris.clone();
+        slots.truncate(c.num_new_tris());
+        while slots.len() < c.num_new_tris() {
+            slots.push(m.alloc.host_alloc(1).unwrap());
+        }
+        retriangulate(&m, &c, vid, &slots);
+        m.validate(false).unwrap_or_else(|e| panic!("{e}"));
+        // New fan triangles all touch vid.
+        for &s in &slots {
+            assert!(mesh_has_vertex(&m, s, vid));
+        }
+    }
+
+    fn mesh_has_vertex(m: &Mesh<f64>, t: u32, v: u32) -> bool {
+        m.tri(t).contains(&v)
+    }
+
+    #[test]
+    fn helpers_behave() {
+        let p = |x: f64, y: f64| Point::<f64>::snapped(x, y);
+        assert!(strictly_between(&p(0.0, 0.0), &p(4.0, 0.0), &p(2.0, 0.0)));
+        assert!(!strictly_between(&p(0.0, 0.0), &p(4.0, 0.0), &p(0.0, 0.0)));
+        assert!(!strictly_between(&p(0.0, 0.0), &p(4.0, 0.0), &p(5.0, 0.0)));
+        assert_eq!(
+            midpoint_snapped(&p(0.0, 0.0), &p(4.0, 0.0), 0.5),
+            Some(p(2.0, 0.0))
+        );
+        // Sub-grid edge cannot be split.
+        let g = morph_geometry::GRID;
+        assert_eq!(midpoint_snapped(&p(0.0, 0.0), &p(g, 0.0), 0.0), None);
+        // Sub-guard edge cannot be split either.
+        assert_eq!(midpoint_snapped(&p(0.0, 0.0), &p(4.0, 0.0), 3.0), None);
+    }
+}

@@ -1,0 +1,364 @@
+//! Speculative multicore refinement — the Galois baseline role.
+//!
+//! The paper compares its GPU code against the Galois system's optimistic
+//! parallel DMR [16]: threads claim a cavity's neighborhood with
+//! fine-grained per-element locks as they traverse it, back off on
+//! conflict, and commit otherwise. This module implements that execution
+//! model with try-lock/abort semantics (no blocking ⇒ no deadlock) over
+//! the same [`Mesh`] the other engines use.
+
+use crate::cavity::{retriangulate, BoundaryEdge, Cavity, CavityOutcome};
+use crate::mesh::{Mesh, NO_NEIGHBOR};
+use crate::serial::RefineStats;
+use morph_geometry::predicates::{incircle, orient2d, Orientation};
+use morph_geometry::{circumcenter, Coord, Point};
+use morph_gpu_sim::AtomicU32Slice;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+const UNLOCKED: u32 = u32::MAX;
+
+/// Per-triangle try-locks (owner = thread id + 1).
+struct Locks {
+    owner: AtomicU32Slice,
+}
+
+impl Locks {
+    fn new(n: usize) -> Self {
+        Self {
+            owner: AtomicU32Slice::new(n, UNLOCKED),
+        }
+    }
+
+    fn grow(&mut self, n: usize) {
+        self.owner.grow(n, UNLOCKED);
+    }
+
+    /// Try to acquire triangle `t` for `me`. Reentrant per owner.
+    fn try_lock(&self, t: u32, me: u32) -> bool {
+        let a = self.owner.at(t as usize);
+        a.compare_exchange(UNLOCKED, me, Ordering::AcqRel, Ordering::Acquire)
+            .map(|_| true)
+            .unwrap_or_else(|cur| cur == me)
+    }
+
+    fn unlock_all(&self, held: &[u32]) {
+        for &t in held {
+            self.owner.store(t as usize, UNLOCKED);
+        }
+    }
+}
+
+/// Build a cavity while locking every triangle it reads (cavity + frame).
+/// Returns `Err(())` on lock conflict (all acquired locks released).
+/// Mirrors `cavity::build_cavity` but interleaves locking with traversal —
+/// the Galois "cautious operator" pattern.
+fn build_cavity_locked<C: Coord>(
+    mesh: &Mesh<C>,
+    locks: &Locks,
+    t: u32,
+    me: u32,
+    held: &mut Vec<u32>,
+) -> Result<CavityOutcome<C>, ()> {
+    macro_rules! lock {
+        ($tri:expr) => {
+            if locks.try_lock($tri, me) {
+                held.push($tri);
+            } else {
+                locks.unlock_all(held);
+                held.clear();
+                return Err(());
+            }
+        };
+    }
+
+    lock!(t);
+    if !mesh.is_bad(t) {
+        // Fixed or deleted while we waited; not a conflict, just stale.
+        locks.unlock_all(held);
+        held.clear();
+        return Ok(CavityOutcome::Freeze); // caller re-checks badness; see below
+    }
+    let [a, b, c] = mesh.tri_points(t);
+    let Some(mut center) = circumcenter(&a, &b, &c) else {
+        return Ok(CavityOutcome::Freeze);
+    };
+
+    'restart: for _ in 0..8 {
+        let mut tris = vec![t];
+        let mut boundary: Vec<BoundaryEdge> = Vec::new();
+        let mut state: HashMap<u32, bool> = HashMap::new();
+        state.insert(t, true);
+        let mut stack = vec![t];
+        while let Some(cur) = stack.pop() {
+            let tri = mesh.tri(cur);
+            let nbrs = mesh.neighbors(cur);
+            for i in 0..3 {
+                let n = nbrs[i];
+                let (e0, e1) = (tri[i], tri[(i + 1) % 3]);
+                if n == NO_NEIGHBOR {
+                    boundary.push(BoundaryEdge {
+                        e0,
+                        e1,
+                        outer: NO_NEIGHBOR,
+                        skip: false,
+                    });
+                    continue;
+                }
+                match state.get(&n) {
+                    Some(true) => continue,
+                    Some(false) => {
+                        boundary.push(BoundaryEdge {
+                            e0,
+                            e1,
+                            outer: n,
+                            skip: false,
+                        });
+                        continue;
+                    }
+                    None => {}
+                }
+                lock!(n);
+                let [na, nb, nc] = mesh.tri_points(n);
+                if incircle(&na, &nb, &nc, &center) {
+                    state.insert(n, true);
+                    tris.push(n);
+                    stack.push(n);
+                } else {
+                    state.insert(n, false);
+                    boundary.push(BoundaryEdge {
+                        e0,
+                        e1,
+                        outer: n,
+                        skip: false,
+                    });
+                }
+            }
+        }
+
+        for be in &mut boundary {
+            let p0 = mesh.point(be.e0);
+            let p1 = mesh.point(be.e1);
+            match orient2d(&p0, &p1, &center) {
+                Orientation::CounterClockwise => {}
+                Orientation::Collinear
+                    if be.outer == NO_NEIGHBOR && strictly_between(&p0, &p1, &center) =>
+                {
+                    be.skip = true;
+                }
+                _ => {
+                    center = match midpoint_snapped(&p0, &p1, mesh.quality.min_edge) {
+                        Some(m) => m,
+                        None => return Ok(CavityOutcome::Freeze),
+                    };
+                    continue 'restart;
+                }
+            }
+        }
+        for &ct in &tris {
+            for v in mesh.tri(ct) {
+                if mesh.point(v) == center {
+                    return Ok(CavityOutcome::Freeze);
+                }
+            }
+        }
+        let mut conflict = tris.clone();
+        conflict.extend(
+            boundary
+                .iter()
+                .filter(|e| e.outer != NO_NEIGHBOR)
+                .map(|e| e.outer),
+        );
+        conflict.sort_unstable();
+        conflict.dedup();
+        return Ok(CavityOutcome::Built(Cavity {
+            center,
+            tris,
+            boundary,
+            conflict,
+        }));
+    }
+    Ok(CavityOutcome::Freeze)
+}
+
+fn strictly_between<C: Coord>(a: &Point<C>, b: &Point<C>, p: &Point<C>) -> bool {
+    let (ax, ay) = a.grid();
+    let (bx, by) = b.grid();
+    let (px, py) = p.grid();
+    let d1 = (px - ax) * (bx - ax) + (py - ay) * (by - ay);
+    let len2 = (bx - ax) * (bx - ax) + (by - ay) * (by - ay);
+    d1 > 0 && d1 < len2
+}
+
+fn midpoint_snapped<C: Coord>(a: &Point<C>, b: &Point<C>, min_edge: f64) -> Option<Point<C>> {
+    if a.dist_sq(b) < (2.0 * min_edge) * (2.0 * min_edge) {
+        return None; // sub-guard edge: see cavity::midpoint_snapped
+    }
+    let m: Point<C> = Point::snapped((a.xf() + b.xf()) / 2.0, (a.yf() + b.yf()) / 2.0);
+    if m == *a || m == *b {
+        None
+    } else {
+        Some(m)
+    }
+}
+
+/// Refine `mesh` with `threads` speculative workers.
+pub fn refine_cpu<C: Coord>(mesh: &mut Mesh<C>, threads: usize) -> RefineStats {
+    let start = Instant::now();
+    let threads = threads.max(1);
+    let mut stats = RefineStats::default();
+    let mut locks = Locks::new(mesh.tri_capacity());
+    let mut worklist: Vec<u32> = mesh.bad_triangles();
+
+    while !worklist.is_empty() {
+        // Host-side §7.1 growth: worst-case provision for this round.
+        let need = mesh.num_slots() + worklist.len() * 8 + 1024;
+        if need > mesh.tri_capacity() {
+            mesh.grow_tris(need + need / 2);
+        }
+        locks.grow(mesh.tri_capacity());
+        let vneed = mesh.num_verts() + worklist.len() + 64;
+        if vneed > mesh.vert_capacity() {
+            mesh.grow_verts(vneed + vneed / 2);
+        }
+
+        let refined = AtomicU64::new(0);
+        let frozen = AtomicU64::new(0);
+        let aborted = AtomicU64::new(0);
+        let next_cursor = AtomicUsize::new(0);
+        let n_threads = if worklist.len() < 64 { 1 } else { threads };
+        let results: Vec<Vec<u32>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n_threads)
+                .map(|tid| {
+                    let mesh = &*mesh;
+                    let locks = &locks;
+                    let worklist = &worklist;
+                    let (refined, frozen, aborted, next_cursor) =
+                        (&refined, &frozen, &aborted, &next_cursor);
+                    s.spawn(move || {
+                        let me = tid as u32 + 1;
+                        let mut next_round = Vec::new();
+                        let mut held: Vec<u32> = Vec::new();
+                        loop {
+                            let i = next_cursor.fetch_add(1, Ordering::AcqRel);
+                            let Some(&t) = worklist.get(i) else { break };
+                            if !mesh.is_bad(t) {
+                                continue;
+                            }
+                            held.clear();
+                            match build_cavity_locked(mesh, locks, t, me, &mut held) {
+                                Err(()) => {
+                                    aborted.fetch_add(1, Ordering::AcqRel);
+                                    next_round.push(t);
+                                }
+                                Ok(CavityOutcome::Freeze) => {
+                                    if mesh.is_bad(t) {
+                                        mesh.freeze(t);
+                                        frozen.fetch_add(1, Ordering::AcqRel);
+                                    }
+                                    locks.unlock_all(&held);
+                                    held.clear();
+                                }
+                                Ok(CavityOutcome::Built(c)) => {
+                                    let need = c.num_new_tris();
+                                    let recycled = need.min(c.tris.len());
+                                    let extra = need - recycled;
+                                    let base = if extra > 0 {
+                                        mesh.alloc.host_alloc(extra as u32)
+                                    } else {
+                                        Some(0)
+                                    };
+                                    let vid = mesh.add_vertex_host(c.center);
+                                    match (base, vid) {
+                                        (Some(b), Some(v)) => {
+                                            let mut slots: Vec<u32> =
+                                                c.tris[..recycled].to_vec();
+                                            slots.extend((0..extra as u32).map(|i| b + i));
+                                            retriangulate(mesh, &c, v, &slots);
+                                            refined.fetch_add(1, Ordering::AcqRel);
+                                            for &sl in &slots {
+                                                if mesh.is_bad(sl) {
+                                                    next_round.push(sl);
+                                                }
+                                            }
+                                        }
+                                        _ => {
+                                            // Pool exhausted: retry next round
+                                            // after the host grows storage.
+                                            next_round.push(t);
+                                        }
+                                    }
+                                    locks.unlock_all(&held);
+                                    held.clear();
+                                }
+                            }
+                        }
+                        next_round
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        stats.refined += refined.load(Ordering::Acquire);
+        stats.frozen += frozen.load(Ordering::Acquire);
+        stats.aborted += aborted.load(Ordering::Acquire);
+        mesh.alloc.clear_overflow();
+
+        worklist = results.into_iter().flatten().collect();
+        worklist.retain(|&t| mesh.is_bad(t));
+        worklist.sort_unstable();
+        worklist.dedup();
+    }
+
+    stats.wall = start.elapsed();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::random_mesh;
+
+    #[test]
+    fn cpu_refines_to_quality() {
+        let mut mesh = random_mesh(400, 91);
+        assert!(mesh.stats().bad > 0);
+        let stats = refine_cpu(&mut mesh, 4);
+        assert_eq!(mesh.stats().bad, 0);
+        mesh.validate(true).unwrap_or_else(|e| panic!("{e}"));
+        assert!(stats.refined > 0);
+    }
+
+    #[test]
+    fn single_thread_matches_serial_invariants() {
+        let mut a = random_mesh(200, 13);
+        let mut b = random_mesh(200, 13);
+        refine_cpu(&mut a, 1);
+        crate::serial::refine(&mut b);
+        assert_eq!(a.stats().bad, 0);
+        assert_eq!(b.stats().bad, 0);
+        a.validate(true).unwrap();
+    }
+
+    #[test]
+    fn high_thread_count_on_small_mesh() {
+        // Max contention: more threads than work.
+        let mut mesh = random_mesh(60, 7);
+        let stats = refine_cpu(&mut mesh, 8);
+        assert_eq!(mesh.stats().bad, 0);
+        mesh.validate(true).unwrap();
+        let _ = stats.aborted; // may be 0 — the round collapses to 1 thread
+    }
+
+    #[test]
+    fn locks_are_reentrant_and_fair() {
+        let l = Locks::new(4);
+        assert!(l.try_lock(2, 1));
+        assert!(l.try_lock(2, 1), "reentrant for the same owner");
+        assert!(!l.try_lock(2, 2));
+        l.unlock_all(&[2]);
+        assert!(l.try_lock(2, 2));
+    }
+}

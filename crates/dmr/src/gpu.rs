@@ -1,0 +1,453 @@
+//! The virtual-GPU refinement kernel — the paper's Figure 3.
+//!
+//! Each host-loop iteration launches one kernel of four barrier-separated
+//! phases:
+//!
+//! 0. **select & race** — lane 0 of every block compacts the bad triangles
+//!    of the block's chunk into a shared-memory worklist (§7.5/§7.6; with
+//!    `divergence_sort` off, each thread instead scans its own fixed
+//!    sub-region and warps diverge); each thread expands the cavity of its candidate and
+//!    race-marks the conflict set (§7.3 phase 1);
+//! 1. **prioritycheck** (§7.3 phase 2; skipped in 2-phase mode);
+//! 2. **check** (§7.3 phase 3);
+//! 3. **commit** — winners delete the old cavity (recycling its slots,
+//!    §7.2), bump-allocate any extra slots (§7.1), insert the new point
+//!    and re-triangulate; losers back off and set `changed`.
+//!
+//! The host loop ([`refine_gpu`]) applies the adaptive-parallelism
+//! schedule (§7.4), grows device storage on overflow (§7.1) and falls back
+//! to a single-threaded launch if a live-lock is detected (§7.3:
+//! "the next iteration can be invoked with just a single thread").
+
+use crate::cavity::{build_cavity, retriangulate, Cavity, CavityOutcome, CavityScratch};
+use crate::mesh::Mesh;
+use crate::opts::DmrOpts;
+use crate::serial::RefineStats;
+use morph_core::addition::GrowthPolicy;
+use morph_core::{AdaptiveParallelism, ConflictTable};
+use morph_geometry::Coord;
+use morph_gpu_sim::kernel::chunk_bounds;
+use morph_gpu_sim::{BlockLocal, GpuConfig, Kernel, LaunchStats, ThreadCtx, VirtualGpu};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::time::Instant;
+
+struct ThreadSlot<C: Coord> {
+    cavity: Option<Cavity<C>>,
+    won: bool,
+}
+
+impl<C: Coord> Default for ThreadSlot<C> {
+    fn default() -> Self {
+        Self {
+            cavity: None,
+            won: false,
+        }
+    }
+}
+
+struct BlockState<C: Coord> {
+    /// Compacted bad-triangle ids (shared-memory worklist, §7.5).
+    queue: Vec<u32>,
+    scratch: CavityScratch,
+    slots: Vec<ThreadSlot<C>>,
+}
+
+impl<C: Coord> BlockState<C> {
+    fn new() -> Self {
+        Self {
+            queue: Vec::new(),
+            scratch: CavityScratch::default(),
+            slots: Vec::new(),
+        }
+    }
+}
+
+struct RefineKernel<'a, C: Coord> {
+    mesh: &'a Mesh<C>,
+    conflict: &'a ConflictTable,
+    state: &'a BlockLocal<BlockState<C>>,
+    opts: DmrOpts,
+    /// Triangle-slot high-water at launch time (fixes chunk partitioning
+    /// for this launch; slots created during the launch are scanned next
+    /// launch).
+    slots_hint: usize,
+    changed: AtomicBool,
+    overflow: AtomicBool,
+    refined: AtomicU32,
+    frozen: AtomicU32,
+}
+
+impl<C: Coord> RefineKernel<'_, C> {
+    fn chunk(&self, ctx: &ThreadCtx<'_>) -> (usize, usize) {
+        chunk_bounds(self.slots_hint, ctx.block, ctx.nblocks)
+    }
+}
+
+impl<C: Coord> Kernel for RefineKernel<'_, C> {
+    fn phases(&self) -> usize {
+        4
+    }
+
+    fn run(&self, phase: usize, ctx: &mut ThreadCtx<'_>) -> bool {
+        let tib = ctx.thread_in_block;
+        match phase {
+            // -- select & race ------------------------------------------
+            0 => {
+                let (lo, hi) = self.chunk(ctx);
+                if tib == 0 {
+                    self.state.with(ctx, |st| {
+                        if st.slots.len() < ctx.threads_per_block {
+                            st.slots.resize_with(ctx.threads_per_block, ThreadSlot::default);
+                        }
+                        st.queue.clear();
+                        for t in lo as u32..hi as u32 {
+                            if self.mesh.is_bad(t) {
+                                st.queue.push(t);
+                            }
+                        }
+                        if !st.queue.is_empty() {
+                            self.changed.store(true, Ordering::Release);
+                        }
+                    });
+                }
+                let me = ctx.tid as u32;
+                self.state.with(ctx, |st| {
+                    let slot = &mut st.slots[tib];
+                    slot.cavity = None;
+                    slot.won = false;
+                    let candidate = if self.opts.divergence_sort {
+                        let q = st.queue.len();
+                        if q <= ctx.threads_per_block {
+                            st.queue.get(tib).copied()
+                        } else {
+                            // Spread candidates across the whole queue:
+                            // bad triangles cluster spatially (cascades),
+                            // and adjacent candidates mean overlapping
+                            // cavities, i.e. aborts. Evenly-spaced picks
+                            // keep the abort ratio down (§7.3/§7.5's
+                            // pseudo-partitioning intuition).
+                            st.queue.get(tib * q / ctx.threads_per_block).copied()
+                        }
+                    } else {
+                        // Topology-driven without compaction: each thread
+                        // scans its fixed sub-region of the block's chunk
+                        // for its next bad triangle. Threads whose region
+                        // is clean idle out ⇒ divergent warps — exactly
+                        // the behaviour the §7.6 compaction (row 6) fixes.
+                        let (slo, shi) =
+                            chunk_bounds(hi - lo, tib, ctx.threads_per_block);
+                        ((lo + slo) as u32..(lo + shi) as u32).find(|&t| self.mesh.is_bad(t))
+                    };
+                    let Some(t) = candidate else { return false };
+                    if !self.mesh.is_bad(t) {
+                        return false;
+                    }
+                    match build_cavity(self.mesh, t, &mut st.scratch) {
+                        CavityOutcome::Freeze => {
+                            self.mesh.freeze(t);
+                            self.frozen.fetch_add(1, Ordering::AcqRel);
+                            false
+                        }
+                        CavityOutcome::Built(c) => {
+                            self.conflict.race(c.conflict.iter().copied(), me);
+                            slot.cavity = Some(c);
+                            true
+                        }
+                    }
+                })
+            }
+            // -- prioritycheck -------------------------------------------
+            1 => {
+                let me = ctx.tid as u32;
+                self.state.with(ctx, |st| {
+                    let slot = &mut st.slots[tib];
+                    match &slot.cavity {
+                        Some(c) => {
+                            slot.won = if self.opts.three_phase {
+                                self.conflict.priority_check(c.conflict.iter().copied(), me)
+                            } else {
+                                true // 2-phase mode: decided in `check`
+                            };
+                            true
+                        }
+                        None => false,
+                    }
+                })
+            }
+            // -- check ---------------------------------------------------
+            2 => {
+                let me = ctx.tid as u32;
+                self.state.with(ctx, |st| {
+                    let slot = &mut st.slots[tib];
+                    match &slot.cavity {
+                        Some(c) => {
+                            if slot.won {
+                                slot.won = self.conflict.check(c.conflict.iter().copied(), me);
+                            }
+                            true
+                        }
+                        None => false,
+                    }
+                })
+            }
+            // -- commit --------------------------------------------------
+            _ => {
+                let (cavity, won) = self.state.with(ctx, |st| {
+                    let slot = &mut st.slots[tib];
+                    (slot.cavity.take(), slot.won)
+                });
+                let Some(c) = cavity else { return false };
+                if !won {
+                    ctx.abort();
+                    self.changed.store(true, Ordering::Release);
+                    return true;
+                }
+                let need = c.num_new_tris();
+                let recycled = need.min(c.tris.len());
+                let extra = need - recycled;
+                let extra_base = if extra > 0 {
+                    match self.mesh.alloc.try_alloc(ctx, extra as u32) {
+                        Some(b) => b,
+                        None => {
+                            self.overflow.store(true, Ordering::Release);
+                            self.changed.store(true, Ordering::Release);
+                            ctx.abort();
+                            return true;
+                        }
+                    }
+                } else {
+                    0
+                };
+                let Some(vid) = self.mesh.add_vertex(ctx, c.center) else {
+                    self.overflow.store(true, Ordering::Release);
+                    self.changed.store(true, Ordering::Release);
+                    ctx.abort();
+                    return true;
+                };
+                let mut slots: Vec<u32> = c.tris[..recycled].to_vec();
+                slots.extend((0..extra as u32).map(|i| extra_base + i));
+                let new_bad = retriangulate(self.mesh, &c, vid, &slots);
+                if new_bad > 0 {
+                    self.changed.store(true, Ordering::Release);
+                }
+                self.refined.fetch_add(1, Ordering::AcqRel);
+                ctx.commit();
+                true
+            }
+        }
+    }
+}
+
+/// Outcome of a GPU refinement run.
+#[derive(Debug, Clone)]
+pub struct GpuRefineOutcome {
+    pub stats: RefineStats,
+    /// Accumulated virtual-GPU counters over all launches.
+    pub launch: LaunchStats,
+    /// Host-loop iterations (kernel launches).
+    pub iterations: u64,
+    /// Single-thread live-lock rescue launches (§7.3; only the 2-phase
+    /// protocol should ever need them).
+    pub rescues: u64,
+    /// Final provisioned triangle capacity (the §7.1 memory-footprint
+    /// metric: pre-allocation trades this for speed).
+    pub peak_tri_capacity: usize,
+}
+
+/// Refine `mesh` on the virtual GPU with `sms` worker threads.
+pub fn refine_gpu<C: Coord>(mesh: &mut Mesh<C>, opts: DmrOpts, sms: usize) -> GpuRefineOutcome {
+    let start = Instant::now();
+    if opts.layout_opt {
+        mesh.reorder_for_locality();
+    }
+
+    let initial = mesh.num_slots();
+    if !opts.on_demand_alloc {
+        // §7.1 pre-allocation: one big provision up front.
+        mesh.grow_tris(initial * 10 + 1024);
+        mesh.grow_verts(mesh.num_verts() * 6 + 1024);
+    } else {
+        mesh.grow_tris(initial + initial / 4 + 256);
+        mesh.grow_verts(mesh.num_verts() + mesh.num_verts() / 4 + 256);
+    }
+
+    let blocks = AdaptiveParallelism::blocks_for_input(sms, initial, 1024);
+    let sched = AdaptiveParallelism {
+        initial_tpb: opts.base_tpb,
+        growth_iters: if opts.adaptive { 3 } else { 0 },
+        max_tpb: 1024,
+    };
+    let mut conflict = ConflictTable::new(mesh.tri_capacity());
+    let mut gpu = VirtualGpu::new(GpuConfig {
+        num_sms: sms,
+        warp_size: 32,
+        blocks,
+        threads_per_block: opts.base_tpb,
+        barrier: opts.barrier,
+    });
+    let state: BlockLocal<BlockState<C>> = BlockLocal::new(blocks, |_| BlockState::new());
+
+    let mut total = LaunchStats::default();
+    let mut stats = RefineStats::default();
+    let mut iterations = 0u64;
+    let mut zero_commit_streak = 0u32;
+    let mut rescues = 0u64;
+
+    loop {
+        let single_thread_rescue = zero_commit_streak >= 3;
+        if single_thread_rescue {
+            rescues += 1;
+            gpu.set_geometry(1, 1);
+        } else {
+            gpu.set_geometry(blocks, sched.tpb_for_iteration(iterations));
+        }
+
+        let kernel = RefineKernel {
+            mesh,
+            conflict: &conflict,
+            state: &state,
+            opts,
+            slots_hint: mesh.num_slots(),
+            changed: AtomicBool::new(false),
+            overflow: AtomicBool::new(false),
+            refined: AtomicU32::new(0),
+            frozen: AtomicU32::new(0),
+        };
+        let launch = gpu.launch(&kernel);
+        iterations += 1;
+        let changed = kernel.changed.load(Ordering::Acquire);
+        let overflow = kernel.overflow.load(Ordering::Acquire)
+            || mesh.alloc.overflowed()
+            || mesh.vert_overflowed();
+        stats.refined += kernel.refined.load(Ordering::Acquire) as u64;
+        stats.frozen += kernel.frozen.load(Ordering::Acquire) as u64;
+        stats.aborted = total.aborts + launch.aborts;
+        let commits = launch.commits;
+        total.absorb(&launch);
+
+        if overflow {
+            // §7.1 Kernel-Host: the kernel reported exhaustion; the host
+            // reallocates sized by the current bad count.
+            mesh.alloc.clear_overflow();
+            let bad = mesh.bad_triangles().len();
+            let policy = GrowthPolicy::OnDemand { over_alloc: 1.5 };
+            let cap = policy.plan_capacity(initial, mesh.num_slots(), bad.max(64) * 8);
+            mesh.grow_tris(cap);
+            mesh.grow_verts(mesh.num_verts() + bad.max(64) * 2);
+            conflict.grow(mesh.tri_capacity());
+        }
+
+        if !changed && !overflow {
+            break;
+        }
+        if commits == 0 && !overflow {
+            zero_commit_streak += 1;
+        } else {
+            zero_commit_streak = 0;
+        }
+    }
+
+    stats.wall = start.elapsed();
+    total.iterations = iterations;
+    GpuRefineOutcome {
+        stats,
+        launch: total,
+        iterations,
+        rescues,
+        peak_tri_capacity: mesh.tri_capacity(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opts::OptLevel;
+    use crate::serial::random_mesh;
+
+    #[test]
+    fn gpu_refines_to_quality() {
+        let mut mesh = random_mesh(400, 21);
+        assert!(mesh.stats().bad > 0);
+        let out = refine_gpu(&mut mesh, DmrOpts::default(), 4);
+        assert_eq!(mesh.stats().bad, 0);
+        mesh.validate(true).unwrap_or_else(|e| panic!("{e}"));
+        assert!(out.stats.refined > 0);
+        assert!(out.iterations >= 1);
+        assert!(out.launch.commits >= out.stats.refined);
+        assert_eq!(out.rescues, 0, "3-phase must never live-lock");
+    }
+
+    #[test]
+    fn every_ablation_level_is_correct() {
+        for level in OptLevel::ALL {
+            let mut mesh = random_mesh(150, 33);
+            let out = refine_gpu(&mut mesh, level.opts(), 2);
+            assert_eq!(
+                mesh.stats().bad,
+                0,
+                "{}: bad triangles remain",
+                level.label()
+            );
+            mesh.validate(true)
+                .unwrap_or_else(|e| panic!("{}: {e}", level.label()));
+            assert!(out.stats.refined > 0, "{}", level.label());
+        }
+    }
+
+    #[test]
+    fn f32_mesh_refines() {
+        use morph_geometry::{triangulate, Point, TriQuality};
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let pts: Vec<Point<f32>> = (0..200)
+            .map(|_| Point::snapped(rng.gen_range(0.0..400.0), rng.gen_range(0.0..400.0)))
+            .collect();
+        let t = triangulate(&pts).unwrap();
+        let mut mesh = Mesh::from_triangulation(&t, TriQuality::scaled(28.0), 4.0, 4.0);
+        refine_gpu(&mut mesh, DmrOpts::default(), 2);
+        assert_eq!(mesh.stats().bad, 0);
+        mesh.validate(true).unwrap();
+    }
+
+    #[test]
+    fn on_demand_allocation_grows_less_memory() {
+        let mut pre = random_mesh(300, 44);
+        let mut od = random_mesh(300, 44);
+        let o1 = refine_gpu(&mut pre, OptLevel::L7SinglePrecision.opts(), 2);
+        let o2 = refine_gpu(&mut od, OptLevel::L8OnDemandAlloc.opts(), 2);
+        assert!(
+            o2.peak_tri_capacity < o1.peak_tri_capacity,
+            "on-demand ({}) must provision less than pre-allocation ({})",
+            o2.peak_tri_capacity,
+            o1.peak_tri_capacity
+        );
+        assert_eq!(pre.stats().bad, 0);
+        assert_eq!(od.stats().bad, 0);
+    }
+
+    #[test]
+    fn conflicts_are_observed_under_contention() {
+        // Many threads on a small mesh ⇒ overlapping cavities ⇒ aborts.
+        let mut mesh = random_mesh(120, 55);
+        let out = refine_gpu(&mut mesh, DmrOpts::default(), 4);
+        assert_eq!(mesh.stats().bad, 0);
+        // Abort counter is wired through (may legitimately be 0 on tiny
+        // runs, but commits must be exact).
+        assert_eq!(out.launch.commits, out.stats.refined);
+    }
+
+    #[test]
+    fn gpu_result_matches_serial_quality() {
+        let mut g = random_mesh(250, 66);
+        let mut s = random_mesh(250, 66);
+        refine_gpu(&mut g, DmrOpts::default(), 4);
+        crate::serial::refine(&mut s);
+        // Orders differ, meshes differ — but both are fully refined and
+        // structurally valid ("different orders … lead to different
+        // meshes, but all satisfy the quality constraints").
+        assert_eq!(g.stats().bad, 0);
+        assert_eq!(s.stats().bad, 0);
+        g.validate(true).unwrap();
+        s.validate(true).unwrap();
+    }
+}

@@ -1,0 +1,108 @@
+//! # morph-dmr — Delaunay Mesh Refinement (paper §2, §6.2, §8.1)
+//!
+//! DMR is the paper's flagship morph algorithm: it takes a Delaunay
+//! triangulation and fixes every *bad* triangle (minimum angle below a
+//! quality bound, 30° in the paper) by inserting the triangle's
+//! circumcenter, deleting the *cavity* of triangles whose circumcircles
+//! contain the new point, and re-triangulating — adding **and** removing
+//! subgraphs on every step.
+//!
+//! Three engines share one mesh representation ([`mesh::Mesh`], the n×3
+//! vertex/neighbor matrices of §6.2):
+//!
+//! * [`serial`] — the sequential baseline (the role Shewchuk's *Triangle*
+//!   plays in the paper's Fig. 6/7),
+//! * [`cpu`] — a speculative lock-based multicore refiner (the Galois
+//!   role),
+//! * [`gpu`] — the bulk-synchronous virtual-GPU kernel of Fig. 3, with
+//!   every optimisation of Fig. 8 individually switchable via
+//!   [`opts::DmrOpts`].
+//!
+//! [`profile`] reproduces the ParaMeter available-parallelism profile of
+//! Fig. 2.
+
+pub mod cavity;
+pub mod cpu;
+pub mod gpu;
+pub mod io;
+pub mod mesh;
+pub mod opts;
+pub mod profile;
+pub mod serial;
+
+pub use cavity::{build_cavity, Cavity, CavityOutcome, CavityScratch};
+pub use mesh::{Mesh, MeshStats, NO_NEIGHBOR};
+pub use opts::{DmrOpts, OptLevel};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use morph_geometry::{triangulate, Point, TriQuality};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        /// Any random point cloud refines to a fully-good, structurally
+        /// valid mesh under both the serial and virtual-GPU engines.
+        #[test]
+        fn refinement_reaches_quality(
+            raw in prop::collection::vec((0.0f64..400.0, 0.0f64..400.0), 10..80),
+            seed in 0u64..1000,
+        ) {
+            let pts: Vec<Point<f64>> =
+                raw.iter().map(|&(x, y)| Point::snapped(x, y)).collect();
+            let Some(t) = triangulate(&pts) else { return Ok(()) };
+            let _ = seed;
+            let spacing = 400.0 * (std::f64::consts::PI / raw.len() as f64).sqrt();
+
+            let mut serial_mesh = Mesh::from_triangulation(&t, TriQuality::scaled(spacing), 4.0, 4.0);
+            serial::refine(&mut serial_mesh);
+            prop_assert_eq!(serial_mesh.stats().bad, 0);
+            prop_assert!(serial_mesh.validate(true).is_ok(), "{:?}", serial_mesh.validate(true));
+
+            let mut gpu_mesh = Mesh::from_triangulation(&t, TriQuality::scaled(spacing), 4.0, 4.0);
+            gpu::refine_gpu(&mut gpu_mesh, DmrOpts::default(), 2);
+            prop_assert_eq!(gpu_mesh.stats().bad, 0);
+            prop_assert!(gpu_mesh.validate(true).is_ok(), "{:?}", gpu_mesh.validate(true));
+        }
+    }
+}
+
+#[cfg(test)]
+mod shape_tests {
+    use super::*;
+
+    /// §7.6: block-level compaction reduces warp divergence relative to
+    /// the raw-window schedule on the same input.
+    #[test]
+    fn divergence_sort_reduces_divergence() {
+        use opts::OptLevel;
+        let base = OptLevel::L5Adaptive.opts(); // sort OFF
+        let sorted = OptLevel::L6DivergenceSort.opts(); // sort ON
+
+        let mut m1 = serial_test_mesh();
+        let off = gpu::refine_gpu(&mut m1, base, 2);
+        let mut m2 = serial_test_mesh();
+        let on = gpu::refine_gpu(&mut m2, sorted, 2);
+        assert_eq!(m1.stats().bad, 0);
+        assert_eq!(m2.stats().bad, 0);
+        assert!(
+            on.launch.divergence_ratio() <= off.launch.divergence_ratio() + 0.05,
+            "sorted {:.3} vs raw {:.3}",
+            on.launch.divergence_ratio(),
+            off.launch.divergence_ratio()
+        );
+    }
+
+    fn serial_test_mesh() -> Mesh<f64> {
+        use morph_geometry::{triangulate, Point, TriQuality};
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+        let pts: Vec<Point<f64>> = (0..1500)
+            .map(|_| Point::snapped(rng.gen_range(0.0..2000.0), rng.gen_range(0.0..2000.0)))
+            .collect();
+        let t = triangulate(&pts).unwrap();
+        // 1500 points in a 2000x2000 box: spacing ~52.
+        Mesh::from_triangulation(&t, TriQuality::scaled(52.0), 6.0, 6.0)
+    }
+}

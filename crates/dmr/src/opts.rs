@@ -1,0 +1,185 @@
+//! The DMR optimisation ladder of Fig. 8.
+//!
+//! Each row of the paper's ablation table enables one more technique on
+//! top of the previous row; [`OptLevel`] reproduces the ladder and
+//! [`DmrOpts`] exposes every switch independently.
+//!
+//! | Row | Paper description | Switch |
+//! |---|---|---|
+//! | 1 | Topology-driven with mesh-partitioning | baseline (2-phase marking, naive barrier) |
+//! | 2 | 3-phase marking | `three_phase` |
+//! | 3 | + atomic-free global barrier | `barrier = SenseReversing` |
+//! | 4 | + optimized memory layout | `layout_opt` |
+//! | 5 | + adaptive parallelism | `adaptive` |
+//! | 6 | + reduced thread-divergence | `divergence_sort` |
+//! | 7 | + single-precision arithmetic | run with `Mesh<f32>` |
+//! | 8 | + on-demand memory allocation | `on_demand_alloc` |
+
+use morph_gpu_sim::BarrierKind;
+
+/// Coordinate precision a run uses (rows 1–6 use `f64`, rows 7–8 `f32`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Precision {
+    F32,
+    F64,
+}
+
+/// All switches of the GPU DMR engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DmrOpts {
+    /// 3-phase race/prioritycheck/check instead of 2-phase race/check.
+    pub three_phase: bool,
+    /// Global-barrier implementation.
+    pub barrier: BarrierKind,
+    /// BFS-renumber the triangle array before refining (§6.1).
+    pub layout_opt: bool,
+    /// Grow threads-per-block over the first iterations (§7.4).
+    pub adaptive: bool,
+    /// Block-level compaction of bad triangles (§7.6).
+    pub divergence_sort: bool,
+    /// Provision storage on demand instead of a large pre-allocation
+    /// (§7.1; saves memory, costs reallocation churn — the paper's row 8
+    /// is *slower* than row 7 for exactly this reason).
+    pub on_demand_alloc: bool,
+    /// Blocks per virtual SM.
+    pub blocks_per_sm: usize,
+    /// Threads per block (initial value when `adaptive`).
+    pub base_tpb: usize,
+}
+
+impl Default for DmrOpts {
+    /// The fully-optimised configuration (row 7: everything on, big
+    /// pre-allocation).
+    fn default() -> Self {
+        Self {
+            three_phase: true,
+            barrier: BarrierKind::SenseReversing,
+            layout_opt: true,
+            adaptive: true,
+            divergence_sort: true,
+            on_demand_alloc: false,
+            blocks_per_sm: 4,
+            base_tpb: 64,
+        }
+    }
+}
+
+/// The cumulative rows of Fig. 8.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OptLevel {
+    /// Row 1: topology-driven, 2-phase marking, naive atomic barrier.
+    L1Baseline,
+    /// Row 2: + 3-phase marking.
+    L2ThreePhase,
+    /// Row 3: + atomic-free global barrier.
+    L3AtomicFreeBarrier,
+    /// Row 4: + optimized memory layout.
+    L4MemoryLayout,
+    /// Row 5: + adaptive parallelism.
+    L5Adaptive,
+    /// Row 6: + reduced thread divergence.
+    L6DivergenceSort,
+    /// Row 7: + single-precision arithmetic (run with `f32` meshes).
+    L7SinglePrecision,
+    /// Row 8: + on-demand memory allocation.
+    L8OnDemandAlloc,
+}
+
+impl OptLevel {
+    pub const ALL: [OptLevel; 8] = [
+        OptLevel::L1Baseline,
+        OptLevel::L2ThreePhase,
+        OptLevel::L3AtomicFreeBarrier,
+        OptLevel::L4MemoryLayout,
+        OptLevel::L5Adaptive,
+        OptLevel::L6DivergenceSort,
+        OptLevel::L7SinglePrecision,
+        OptLevel::L8OnDemandAlloc,
+    ];
+
+    /// The paper's row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OptLevel::L1Baseline => "Topology-driven with mesh-partitioning",
+            OptLevel::L2ThreePhase => "3-phase marking",
+            OptLevel::L3AtomicFreeBarrier => "+ Atomic-free global barrier",
+            OptLevel::L4MemoryLayout => "+ Optimized memory layout",
+            OptLevel::L5Adaptive => "+ Adaptive parallelism",
+            OptLevel::L6DivergenceSort => "+ Reduced thread-divergence",
+            OptLevel::L7SinglePrecision => "+ Single-precision arithmetic",
+            OptLevel::L8OnDemandAlloc => "+ On-demand memory allocation",
+        }
+    }
+
+    /// Engine switches for this row.
+    pub fn opts(&self) -> DmrOpts {
+        let row = *self as usize;
+        DmrOpts {
+            three_phase: row >= 1,
+            barrier: if row >= 2 {
+                BarrierKind::SenseReversing
+            } else {
+                BarrierKind::NaiveAtomic
+            },
+            layout_opt: row >= 3,
+            adaptive: row >= 4,
+            divergence_sort: row >= 5,
+            on_demand_alloc: row >= 7,
+            blocks_per_sm: 4,
+            base_tpb: 64,
+        }
+    }
+
+    /// Coordinate precision for this row.
+    pub fn precision(&self) -> Precision {
+        if (*self as usize) >= 6 {
+            Precision::F32
+        } else {
+            Precision::F64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_cumulative() {
+        let rows: Vec<DmrOpts> = OptLevel::ALL.iter().map(|l| l.opts()).collect();
+        assert!(!rows[0].three_phase);
+        assert!(rows[1].three_phase);
+        assert_eq!(rows[1].barrier, BarrierKind::NaiveAtomic);
+        assert_eq!(rows[2].barrier, BarrierKind::SenseReversing);
+        assert!(!rows[2].layout_opt && rows[3].layout_opt);
+        assert!(!rows[3].adaptive && rows[4].adaptive);
+        assert!(!rows[4].divergence_sort && rows[5].divergence_sort);
+        assert!(!rows[6].on_demand_alloc && rows[7].on_demand_alloc);
+        // Later rows keep earlier switches on.
+        for w in rows.windows(2) {
+            assert!(!w[0].three_phase || w[1].three_phase);
+            assert!(!w[0].layout_opt || w[1].layout_opt);
+        }
+    }
+
+    #[test]
+    fn precision_switch_at_row_7() {
+        assert_eq!(OptLevel::L6DivergenceSort.precision(), Precision::F64);
+        assert_eq!(OptLevel::L7SinglePrecision.precision(), Precision::F32);
+        assert_eq!(OptLevel::L8OnDemandAlloc.precision(), Precision::F32);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            OptLevel::ALL.iter().map(|l| l.label()).collect();
+        assert_eq!(labels.len(), 8);
+    }
+
+    #[test]
+    fn default_is_row7_equivalent() {
+        let d = DmrOpts::default();
+        let l7 = OptLevel::L7SinglePrecision.opts();
+        assert_eq!(d, l7);
+    }
+}

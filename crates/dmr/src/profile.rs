@@ -1,0 +1,126 @@
+//! ParaMeter-style available-parallelism profiling (paper Fig. 2).
+//!
+//! "The profile was obtained by running DMR on a randomly generated input
+//! mesh consisting of 100K triangles, half of which are initially bad. The
+//! amount of parallelism changes significantly during the execution …
+//! Initially, there are about 5,000 bad triangles that can be processed in
+//! parallel. This number increases as the computation progresses, peaking
+//! at over 7,000 triangles, after which point the available parallelism
+//! drops slowly."
+//!
+//! Available parallelism at computation step *k* is the size of a greedy
+//! maximal independent set of activities whose neighborhoods (cavity ∪
+//! frame) are pairwise disjoint — exactly what ParaMeter [15] measures.
+
+use crate::cavity::{build_cavity, retriangulate, Cavity, CavityOutcome, CavityScratch};
+use crate::mesh::Mesh;
+use morph_geometry::Coord;
+use std::collections::HashSet;
+
+/// Run refinement round by round, returning the available parallelism at
+/// each computation step (the Fig. 2 series).
+pub fn parallelism_profile<C: Coord>(mesh: &mut Mesh<C>) -> Vec<usize> {
+    let mut profile = Vec::new();
+    let mut scratch = CavityScratch::default();
+
+    loop {
+        let bad = mesh.bad_triangles();
+        if bad.is_empty() {
+            break;
+        }
+        ensure_headroom(mesh, bad.len() * 8 + 1024);
+
+        // Pass 1: expand cavities against the round-start mesh and
+        // greedily select a maximal set with pairwise-disjoint conflict
+        // sets.
+        let mut claimed: HashSet<u32> = HashSet::new();
+        let mut selected: Vec<Cavity<C>> = Vec::new();
+        for t in bad {
+            if !mesh.is_bad(t) {
+                continue;
+            }
+            match build_cavity(mesh, t, &mut scratch) {
+                CavityOutcome::Freeze => mesh.freeze(t),
+                CavityOutcome::Built(c) => {
+                    if c.conflict.iter().all(|e| !claimed.contains(e)) {
+                        claimed.extend(c.conflict.iter().copied());
+                        selected.push(c);
+                    }
+                }
+            }
+        }
+        if selected.is_empty() {
+            break;
+        }
+        profile.push(selected.len());
+
+        // Pass 2: execute the independent set. Disjoint conflict sets make
+        // the order irrelevant.
+        for c in selected {
+            let vid = mesh.add_vertex_host(c.center).expect("headroom ensured");
+            let need = c.num_new_tris();
+            let recycled = need.min(c.tris.len());
+            let mut slots: Vec<u32> = c.tris[..recycled].to_vec();
+            while slots.len() < need {
+                slots.push(mesh.alloc.host_alloc(1).expect("headroom ensured"));
+            }
+            retriangulate(mesh, &c, vid, &slots);
+        }
+    }
+    profile
+}
+
+fn ensure_headroom<C: Coord>(mesh: &mut Mesh<C>, slack: usize) {
+    if mesh.alloc.capacity() < mesh.num_slots() + slack {
+        mesh.grow_tris(mesh.num_slots() + slack * 2);
+    }
+    if mesh.vert_capacity() < mesh.num_verts() + slack {
+        mesh.grow_verts(mesh.num_verts() + slack * 2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::random_mesh;
+
+    #[test]
+    fn profile_refines_and_has_fig2_shape() {
+        let mut mesh = random_mesh(600, 42);
+        let bad0 = mesh.stats().bad;
+        assert!(bad0 > 0);
+        let profile = parallelism_profile(&mut mesh);
+        assert_eq!(mesh.stats().bad, 0, "profiling run must fully refine");
+        mesh.validate(true).unwrap();
+        assert!(!profile.is_empty());
+        // Step-0 parallelism is large (many independent cavities) but
+        // bounded by the bad count.
+        assert!(profile[0] > bad0 / 10, "{} of {bad0}", profile[0]);
+        assert!(profile[0] <= bad0);
+        // The tail decays: the last step has little parallelism compared
+        // to the peak (Fig. 2's rise-then-fall).
+        let peak = *profile.iter().max().unwrap();
+        let last = *profile.last().unwrap();
+        assert!(last <= peak, "peak {peak}, last {last}");
+    }
+
+    #[test]
+    fn profile_is_deterministic() {
+        let mut a = random_mesh(200, 8);
+        let mut b = random_mesh(200, 8);
+        assert_eq!(parallelism_profile(&mut a), parallelism_profile(&mut b));
+    }
+
+    #[test]
+    fn good_mesh_has_empty_profile() {
+        use morph_geometry::{triangulate, Point, TriQuality};
+        let pts = [
+            Point::<f64>::snapped(0.0, 0.0),
+            Point::snapped(10.0, 0.0),
+            Point::snapped(5.0, 8.66),
+        ];
+        let t = triangulate(&pts).unwrap();
+        let mut mesh = Mesh::from_triangulation(&t, TriQuality::default(), 2.0, 2.0);
+        assert!(parallelism_profile(&mut mesh).is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! Sequential mesh refinement — the baseline playing the role of
+//! Shewchuk's *Triangle* in the paper's Fig. 6/7 comparison.
+
+use crate::cavity::{build_cavity, retriangulate, CavityOutcome, CavityScratch};
+use crate::mesh::Mesh;
+use morph_geometry::Coord;
+use std::time::{Duration, Instant};
+
+/// Outcome of a refinement run (any engine).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RefineStats {
+    /// Cavities successfully refined (= points inserted).
+    pub refined: u64,
+    /// Triangles whose refinement was abandoned at grid resolution.
+    pub frozen: u64,
+    /// Activities that backed off due to conflicts (0 for serial).
+    pub aborted: u64,
+    pub wall: Duration,
+}
+
+/// Refine `mesh` in place until no bad triangles remain, growing storage
+/// on demand.
+pub fn refine<C: Coord>(mesh: &mut Mesh<C>) -> RefineStats {
+    let start = Instant::now();
+    let mut stats = RefineStats::default();
+    let mut scratch = CavityScratch::default();
+    let mut worklist = mesh.bad_triangles();
+
+    while let Some(t) = worklist.pop() {
+        if !mesh.is_bad(t) {
+            continue; // deleted or fixed since queued
+        }
+        ensure_headroom(mesh, 64);
+        match build_cavity(mesh, t, &mut scratch) {
+            CavityOutcome::Freeze => {
+                mesh.freeze(t);
+                stats.frozen += 1;
+            }
+            CavityOutcome::Built(c) => {
+                let vid = mesh
+                    .add_vertex_host(c.center)
+                    .expect("headroom ensured above");
+                let need = c.num_new_tris();
+                let mut slots: Vec<u32> = c.tris.iter().copied().take(need).collect();
+                while slots.len() < need {
+                    slots.push(mesh.alloc.host_alloc(1).expect("headroom ensured above"));
+                }
+                retriangulate(mesh, &c, vid, &slots);
+                stats.refined += 1;
+                for &s in &slots {
+                    if mesh.is_bad(s) {
+                        worklist.push(s);
+                    }
+                }
+            }
+        }
+    }
+    stats.wall = start.elapsed();
+    stats
+}
+
+/// Host-side §7.1 on-demand growth: keep at least `slack` free triangle
+/// slots and vertex slots.
+fn ensure_headroom<C: Coord>(mesh: &mut Mesh<C>, slack: usize) {
+    if mesh.alloc.capacity() - mesh.num_slots() < slack {
+        let cap = mesh.tri_capacity() * 3 / 2 + slack;
+        mesh.grow_tris(cap);
+    }
+    if mesh.vert_capacity() - mesh.num_verts() < slack {
+        let cap = mesh.vert_capacity() * 3 / 2 + slack;
+        mesh.grow_verts(cap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_geometry::{triangulate, Point, TriQuality};
+    use rand::prelude::*;
+
+    pub(crate) fn random_mesh(n: usize, seed: u64) -> Mesh<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let pts: Vec<Point<f64>> = (0..n)
+            .map(|_| {
+                let r = 500.0 * rng.gen::<f64>().sqrt();
+                let a = rng.gen::<f64>() * std::f64::consts::TAU;
+                Point::snapped(1000.0 + r * a.cos(), 1000.0 + r * a.sin())
+            })
+            .collect();
+        let t = triangulate(&pts).unwrap();
+        let spacing = 500.0 * (std::f64::consts::PI / n as f64).sqrt();
+        Mesh::from_triangulation(&t, TriQuality::scaled(spacing), 6.0, 6.0)
+    }
+
+    #[test]
+    fn refines_to_quality() {
+        let mut mesh = random_mesh(300, 17);
+        let before = mesh.stats();
+        assert!(before.bad > 0, "random meshes start with bad triangles");
+        let stats = refine(&mut mesh);
+        assert!(stats.refined > 0);
+        let after = mesh.stats();
+        assert_eq!(after.bad, 0, "no bad triangles may remain");
+        mesh.validate(true).unwrap_or_else(|e| panic!("{e}"));
+        assert!(
+            after.frozen <= after.live / 10,
+            "freezing must be rare: {} of {}",
+            after.frozen,
+            after.live
+        );
+        assert!(after.live > before.live, "refinement adds triangles");
+    }
+
+    #[test]
+    fn already_good_mesh_is_untouched() {
+        // An equilateral-ish triangle is already good.
+        let pts = [
+            Point::<f64>::snapped(0.0, 0.0),
+            Point::snapped(10.0, 0.0),
+            Point::snapped(5.0, 8.66),
+        ];
+        let t = triangulate(&pts).unwrap();
+        let mut mesh = Mesh::from_triangulation(&t, TriQuality::default(), 2.0, 2.0);
+        assert_eq!(mesh.stats().bad, 0);
+        let stats = refine(&mut mesh);
+        assert_eq!(stats.refined, 0);
+        assert_eq!(mesh.stats().live, 1);
+    }
+
+    #[test]
+    fn growth_is_exercised() {
+        // Tiny initial capacity forces repeated host reallocation.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let pts: Vec<Point<f64>> = (0..100)
+            .map(|_| Point::snapped(rng.gen_range(0.0..300.0), rng.gen_range(0.0..300.0)))
+            .collect();
+        let t = triangulate(&pts).unwrap();
+        let mut mesh = Mesh::from_triangulation(&t, TriQuality::default(), 1.01, 1.01);
+        let cap0 = mesh.tri_capacity();
+        refine(&mut mesh);
+        assert!(mesh.tri_capacity() > cap0, "growth must have happened");
+        assert_eq!(mesh.stats().bad, 0);
+        mesh.validate(true).unwrap();
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = random_mesh(150, 5);
+        let mut b = random_mesh(150, 5);
+        let sa = refine(&mut a);
+        let sb = refine(&mut b);
+        assert_eq!(sa.refined, sb.refined);
+        assert_eq!(a.stats(), b.stats());
+    }
+}
+
+#[cfg(test)]
+pub(crate) use tests::random_mesh;

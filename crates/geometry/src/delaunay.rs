@@ -1,0 +1,474 @@
+//! Incremental Bowyer–Watson Delaunay triangulation.
+//!
+//! This is the substrate that generates the paper's *input* meshes ("the
+//! input meshes are randomly generated"): a Delaunay triangulation of a
+//! point set, which `morph-dmr` then refines. Point location walks from
+//! the previously-touched triangle; inserting in Morton order keeps walks
+//! short. All topological decisions use the exact predicates, so the
+//! result is a true (non-strict) Delaunay triangulation.
+
+use crate::point::{Coord, Point};
+use crate::predicates::{incircle, orient2d, Orientation};
+use std::collections::HashMap;
+
+/// Missing-neighbor marker (convex-hull edges).
+pub const NO_NEIGHBOR: u32 = u32::MAX;
+
+/// A triangulation: points plus CCW triangles with cross-edge adjacency.
+/// `neighbors[t][i]` is the triangle sharing edge `(v[i], v[(i+1)%3])` of
+/// triangle `t`, or [`NO_NEIGHBOR`].
+#[derive(Clone, Debug)]
+pub struct Triangulation<C: Coord> {
+    pub points: Vec<Point<C>>,
+    pub triangles: Vec<[u32; 3]>,
+    pub neighbors: Vec<[u32; 3]>,
+}
+
+impl<C: Coord> Triangulation<C> {
+    /// Structural + Delaunay validation (tests / debugging):
+    /// * every triangle CCW,
+    /// * neighbor links symmetric and edge-consistent,
+    /// * local empty-circle property (opposite vertex of every neighbor is
+    ///   not strictly inside the circumcircle), which implies global
+    ///   Delaunay-ness for a consistent triangulation.
+    pub fn validate(&self) -> Result<(), String> {
+        for (t, tri) in self.triangles.iter().enumerate() {
+            let [a, b, c] = *tri;
+            let (pa, pb, pc) = (
+                &self.points[a as usize],
+                &self.points[b as usize],
+                &self.points[c as usize],
+            );
+            if orient2d(pa, pb, pc) != Orientation::CounterClockwise {
+                return Err(format!("triangle {t} not CCW"));
+            }
+            for i in 0..3 {
+                let n = self.neighbors[t][i];
+                if n == NO_NEIGHBOR {
+                    continue;
+                }
+                let n = n as usize;
+                if n >= self.triangles.len() {
+                    return Err(format!("triangle {t} neighbor {n} out of range"));
+                }
+                let (e0, e1) = (tri[i], tri[(i + 1) % 3]);
+                // The neighbor must hold the reversed edge and point back.
+                let ntri = self.triangles[n];
+                let j = (0..3)
+                    .find(|&j| ntri[j] == e1 && ntri[(j + 1) % 3] == e0)
+                    .ok_or_else(|| format!("triangle {t} edge {i} not mirrored in {n}"))?;
+                if self.neighbors[n][j] as usize != t {
+                    return Err(format!("neighbor link {n}->{t} not symmetric"));
+                }
+                // Local Delaunay: the apex of the neighbor is not strictly
+                // inside this triangle's circumcircle.
+                let apex = ntri[(j + 2) % 3];
+                if incircle(pa, pb, pc, &self.points[apex as usize]) {
+                    return Err(format!("edge {t}/{n} violates Delaunay"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    pub fn num_triangles(&self) -> usize {
+        self.triangles.len()
+    }
+}
+
+/// Morton (Z-order) key over grid coordinates, for insertion locality.
+fn morton_key<C: Coord>(p: &Point<C>) -> u64 {
+    let (gx, gy) = p.grid();
+    // Shift into non-negative range; grid magnitudes are ≤ 2^24.
+    let x = (gx + (1 << 25)) as u64;
+    let y = (gy + (1 << 25)) as u64;
+    fn spread(mut v: u64) -> u64 {
+        v &= 0x3ff_ffff; // 26 bits
+        v = (v | (v << 16)) & 0x0000_ffff_0000_ffff;
+        v = (v | (v << 8)) & 0x00ff_00ff_00ff_00ff;
+        v = (v | (v << 4)) & 0x0f0f_0f0f_0f0f_0f0f;
+        v = (v | (v << 2)) & 0x3333_3333_3333_3333;
+        v = (v | (v << 1)) & 0x5555_5555_5555_5555;
+        v
+    }
+    spread(x) | (spread(y) << 1)
+}
+
+struct Builder<C: Coord> {
+    points: Vec<Point<C>>,
+    tris: Vec<[u32; 3]>,
+    nbrs: Vec<[u32; 3]>,
+    alive: Vec<bool>,
+    last: u32,
+    // Scratch buffers reused across insertions.
+    cavity: Vec<u32>,
+    boundary: Vec<(u32, u32, u32)>, // (edge start, edge end, outer triangle)
+    stack: Vec<u32>,
+    start_map: HashMap<u32, u32>,
+}
+
+impl<C: Coord> Builder<C> {
+    fn tri_points(&self, t: u32) -> [&Point<C>; 3] {
+        let [a, b, c] = self.tris[t as usize];
+        [
+            &self.points[a as usize],
+            &self.points[b as usize],
+            &self.points[c as usize],
+        ]
+    }
+
+    /// Walk from `self.last` to a triangle containing `p` (inclusive of
+    /// boundary). Falls back to a linear scan if the walk exceeds a cap
+    /// (cannot happen for points inside the super-triangle, but cheap
+    /// insurance).
+    fn locate(&self, p: &Point<C>) -> Option<u32> {
+        let mut cur = self.last;
+        if !self.alive[cur as usize] {
+            cur = (0..self.tris.len() as u32).find(|&t| self.alive[t as usize])?;
+        }
+        let cap = 4 * self.tris.len() + 16;
+        for _ in 0..cap {
+            let [pa, pb, pc] = self.tri_points(cur);
+            let t = self.tris[cur as usize];
+            let o = [
+                orient2d(pa, pb, p),
+                orient2d(pb, pc, p),
+                orient2d(pc, pa, p),
+            ];
+            if o.iter().all(|&x| x != Orientation::Clockwise) {
+                return Some(cur);
+            }
+            // Move across the first strictly-violated edge.
+            let i = (0..3).find(|&i| o[i] == Orientation::Clockwise).unwrap();
+            let n = self.nbrs[cur as usize][i];
+            if n == NO_NEIGHBOR {
+                // p outside the hull (outside super-triangle): reject.
+                let _ = t;
+                return None;
+            }
+            cur = n;
+        }
+        // Pathological walk; exhaustive search.
+        (0..self.tris.len() as u32).find(|&t| {
+            self.alive[t as usize] && {
+                let [pa, pb, pc] = self.tri_points(t);
+                crate::predicates::in_triangle(pa, pb, pc, p)
+            }
+        })
+    }
+
+    /// Insert point id `pid`. Returns `false` if the point was rejected
+    /// (outside hull, duplicate of an existing vertex, or degenerate
+    /// boundary).
+    fn insert(&mut self, pid: u32) -> bool {
+        let p = self.points[pid as usize];
+        let Some(seed) = self.locate(&p) else {
+            return false;
+        };
+        // Duplicate check against the containing triangle's vertices.
+        if self.tris[seed as usize]
+            .iter()
+            .any(|&v| self.points[v as usize] == p)
+        {
+            return false;
+        }
+
+        // Cavity: BFS over triangles whose circumcircle strictly contains p.
+        self.cavity.clear();
+        self.boundary.clear();
+        self.stack.clear();
+        self.stack.push(seed);
+        let mut in_cavity = HashMap::new();
+        in_cavity.insert(seed, true);
+        self.cavity.push(seed);
+        while let Some(t) = self.stack.pop() {
+            for i in 0..3 {
+                let n = self.nbrs[t as usize][i];
+                let e0 = self.tris[t as usize][i];
+                let e1 = self.tris[t as usize][(i + 1) % 3];
+                if n == NO_NEIGHBOR {
+                    self.boundary.push((e0, e1, NO_NEIGHBOR));
+                    continue;
+                }
+                match in_cavity.get(&n) {
+                    Some(true) => continue,
+                    Some(false) => {
+                        self.boundary.push((e0, e1, n));
+                        continue;
+                    }
+                    None => {}
+                }
+                let [na, nb, nc] = self.tri_points(n);
+                if incircle(na, nb, nc, &p) {
+                    in_cavity.insert(n, true);
+                    self.cavity.push(n);
+                    self.stack.push(n);
+                } else {
+                    in_cavity.insert(n, false);
+                    self.boundary.push((e0, e1, n));
+                }
+            }
+        }
+
+        // Star-shapedness check: p strictly left of every boundary edge.
+        for &(e0, e1, _) in &self.boundary {
+            if orient2d(
+                &self.points[e0 as usize],
+                &self.points[e1 as usize],
+                &p,
+            ) != Orientation::CounterClockwise
+            {
+                return false; // degenerate (p on a boundary edge); skip point
+            }
+        }
+
+        // Retriangulate: one new triangle per boundary edge, recycling
+        // cavity slots first.
+        let mut free = std::mem::take(&mut self.cavity);
+        self.start_map.clear();
+        let mut new_tris = Vec::with_capacity(self.boundary.len());
+        let boundary = std::mem::take(&mut self.boundary);
+        for &(e0, e1, outer) in &boundary {
+            let id = match free.pop() {
+                Some(slot) => slot,
+                None => {
+                    self.tris.push([0; 3]);
+                    self.nbrs.push([NO_NEIGHBOR; 3]);
+                    self.alive.push(true);
+                    (self.tris.len() - 1) as u32
+                }
+            };
+            self.alive[id as usize] = true;
+            self.tris[id as usize] = [e0, e1, pid];
+            self.nbrs[id as usize] = [outer, NO_NEIGHBOR, NO_NEIGHBOR];
+            if outer != NO_NEIGHBOR {
+                // Fix the outer triangle's back-pointer.
+                let ot = self.tris[outer as usize];
+                let j = (0..3)
+                    .find(|&j| ot[j] == e1 && ot[(j + 1) % 3] == e0)
+                    .expect("outer edge must mirror boundary edge");
+                self.nbrs[outer as usize][j] = id;
+            }
+            self.start_map.insert(e0, id);
+            new_tris.push(id);
+        }
+        // Link the fan: triangle with edge (e0,e1) has CCW-next neighbor
+        // (the one starting at e1) across its edge (e1, pid), and CCW-prev
+        // across (pid, e0).
+        for &id in &new_tris {
+            let [e0, e1, _] = self.tris[id as usize];
+            let next = self.start_map[&e1];
+            self.nbrs[id as usize][1] = next;
+            self.nbrs[next as usize][2] = id;
+            let _ = e0;
+        }
+        // Any cavity slots not recycled are dead.
+        for slot in free {
+            self.alive[slot as usize] = false;
+        }
+        self.boundary = boundary;
+        self.last = *new_tris.last().expect("cavity always has a boundary");
+        true
+    }
+}
+
+/// Triangulate `raw` points (snapped to the exact grid; duplicates and
+/// degenerate points are dropped). Returns `None` when fewer than 3
+/// distinct non-collinear points remain.
+pub fn triangulate<C: Coord>(raw: &[Point<C>]) -> Option<Triangulation<C>> {
+    if raw.len() < 3 {
+        return None;
+    }
+    // Deduplicate (exact grid equality) and order by Morton key.
+    let mut pts: Vec<Point<C>> = raw.to_vec();
+    pts.sort_by_key(morton_key);
+    pts.dedup_by(|a, b| a == b);
+    if pts.len() < 3 {
+        return None;
+    }
+
+    let n = pts.len() as u32;
+    // Super-triangle vertices appended after the real points.
+    let mut points = pts;
+    points.push(Point::snapped(-16000.0, -16000.0));
+    points.push(Point::snapped(16000.0, -16000.0));
+    points.push(Point::snapped(0.0, 16000.0));
+
+    let mut b = Builder {
+        points,
+        tris: vec![[n, n + 1, n + 2]],
+        nbrs: vec![[NO_NEIGHBOR; 3]],
+        alive: vec![true],
+        last: 0,
+        cavity: Vec::new(),
+        boundary: Vec::new(),
+        stack: Vec::new(),
+        start_map: HashMap::new(),
+    };
+
+    let mut inserted = 0u32;
+    for pid in 0..n {
+        if b.insert(pid) {
+            inserted += 1;
+        }
+    }
+    if inserted < 3 {
+        return None;
+    }
+
+    // Strip super-triangle triangles; compact ids.
+    let keep: Vec<bool> = b
+        .tris
+        .iter()
+        .zip(&b.alive)
+        .map(|(t, &alive)| alive && t.iter().all(|&v| v < n))
+        .collect();
+    let mut remap = vec![NO_NEIGHBOR; b.tris.len()];
+    let mut out_tris = Vec::new();
+    let mut out_nbrs = Vec::new();
+    for (t, &k) in keep.iter().enumerate() {
+        if k {
+            remap[t] = out_tris.len() as u32;
+            out_tris.push(b.tris[t]);
+            out_nbrs.push(b.nbrs[t]);
+        }
+    }
+    for nb in &mut out_nbrs {
+        for slot in nb.iter_mut() {
+            *slot = if *slot == NO_NEIGHBOR {
+                NO_NEIGHBOR
+            } else {
+                remap[*slot as usize]
+            };
+        }
+    }
+    b.points.truncate(n as usize);
+
+    let tri = Triangulation {
+        points: b.points,
+        triangles: out_tris,
+        neighbors: out_nbrs,
+    };
+    if tri.triangles.is_empty() {
+        None
+    } else {
+        Some(tri)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point<f64> {
+        Point::snapped(x, y)
+    }
+
+    #[test]
+    fn three_points_make_one_triangle() {
+        let t = triangulate(&[p(0.0, 0.0), p(10.0, 0.0), p(5.0, 8.0)]).unwrap();
+        assert_eq!(t.num_triangles(), 1);
+        assert!(t.validate().is_ok());
+        assert_eq!(t.points.len(), 3);
+    }
+
+    #[test]
+    fn square_makes_two_triangles() {
+        let t = triangulate(&[p(0.0, 0.0), p(4.0, 0.0), p(4.0, 4.0), p(0.0, 4.0)]).unwrap();
+        assert_eq!(t.num_triangles(), 2);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn duplicates_are_dropped() {
+        let t = triangulate(&[
+            p(0.0, 0.0),
+            p(0.0, 0.0),
+            p(4.0, 0.0),
+            p(4.0, 0.0),
+            p(2.0, 3.0),
+        ])
+        .unwrap();
+        assert_eq!(t.points.len(), 3);
+        assert_eq!(t.num_triangles(), 1);
+    }
+
+    #[test]
+    fn collinear_input_rejected() {
+        assert!(triangulate(&[p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0), p(3.0, 3.0)]).is_none());
+        assert!(triangulate::<f64>(&[]).is_none());
+        assert!(triangulate(&[p(0.0, 0.0), p(1.0, 0.0)]).is_none());
+    }
+
+    #[test]
+    fn random_points_yield_valid_delaunay() {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+        for n in [10usize, 100, 500] {
+            let pts: Vec<Point<f64>> = (0..n)
+                .map(|_| p(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+                .collect();
+            let t = triangulate(&pts).expect("triangulation exists");
+            t.validate().unwrap_or_else(|e| panic!("n={n}: {e}"));
+            // Euler sanity: for a planar triangulation of a convex-ish
+            // cloud, T ≈ 2n; require at least n.
+            assert!(t.num_triangles() >= n / 2, "n={n}, T={}", t.num_triangles());
+        }
+    }
+
+    #[test]
+    fn cocircular_grid_points_are_handled() {
+        // A 5×5 integer lattice: maximal cocircularity stress.
+        let mut pts = Vec::new();
+        for i in 0..5 {
+            for j in 0..5 {
+                pts.push(p(i as f64, j as f64));
+            }
+        }
+        let t = triangulate(&pts).unwrap();
+        assert!(t.validate().is_ok());
+        // 25 points, convex hull 16 ⇒ 2·25−2−16 = 32 triangles.
+        assert_eq!(t.num_triangles(), 32);
+    }
+
+    #[test]
+    fn f32_triangulation_matches_validity() {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let pts: Vec<Point<f32>> = (0..200)
+            .map(|_| Point::snapped(rng.gen_range(0.0..500.0), rng.gen_range(0.0..500.0)))
+            .collect();
+        let t = triangulate(&pts).unwrap();
+        assert!(t.validate().is_ok());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// Any random point set triangulates into a valid Delaunay mesh
+        /// (or is rejected as degenerate).
+        #[test]
+        fn triangulation_always_valid(
+            raw in prop::collection::vec((0.0f64..200.0, 0.0f64..200.0), 3..60)
+        ) {
+            let pts: Vec<Point<f64>> =
+                raw.iter().map(|&(x, y)| Point::snapped(x, y)).collect();
+            if let Some(t) = triangulate(&pts) {
+                prop_assert!(t.validate().is_ok(), "{:?}", t.validate());
+                // All original (deduped) points appear as vertices of some
+                // triangle or were rejected as degenerate—but at minimum,
+                // every vertex index is in range.
+                for tri in &t.triangles {
+                    for &v in tri {
+                        prop_assert!((v as usize) < t.points.len());
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # morph-geometry — 2-D geometric substrate for Delaunay Mesh Refinement
+//!
+//! DMR needs three geometric facilities:
+//!
+//! * **Exact predicates** ([`predicates`]): `orient2d` and `incircle`.
+//!   Instead of Shewchuk's adaptive floating-point filters we make the
+//!   predicates exact by construction: all coordinates live on a fixed
+//!   grid of resolution [`GRID`] (2⁻¹⁰), so after scaling by 1024 they are
+//!   integers small enough that both determinants evaluate exactly in
+//!   `i128`. Mesh generators snap inputs to the grid, and refinement snaps
+//!   every inserted circumcenter — a standard, termination-preserving
+//!   perturbation.
+//! * **Triangle measures** ([`triangle`]): circumcenter, circumradius,
+//!   minimum angle (the quality constraint "no angle less than 30°").
+//! * **Initial triangulation** ([`delaunay`]): an incremental
+//!   Bowyer–Watson Delaunay triangulator used by the workload generator
+//!   (the paper's input meshes are Delaunay triangulations of random
+//!   points).
+//!
+//! Coordinates are generic over [`Coord`] (`f32` or `f64`): the Fig. 8
+//! "single-precision arithmetic" ablation row stores the mesh in `f32`.
+//! Grid values up to [`MAX_COORD`] are exactly representable in both.
+
+pub mod delaunay;
+pub mod point;
+pub mod predicates;
+pub mod triangle;
+
+pub use delaunay::{triangulate, Triangulation};
+pub use point::{Coord, Point, GRID, MAX_COORD};
+pub use predicates::{incircle, orient2d, Orientation};
+pub use triangle::{circumcenter, circumradius_sq, min_angle_deg, TriQuality};

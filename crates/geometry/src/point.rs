@@ -1,0 +1,155 @@
+//! Grid-snapped 2-D points, generic over storage precision.
+
+/// Grid resolution: every coordinate is an integer multiple of `GRID`.
+pub const GRID: f64 = 1.0 / 1024.0;
+
+/// Largest coordinate magnitude the exact predicates support. With
+/// |x| ≤ 2¹⁴ the scaled integers are ≤ 2²⁴, so the `incircle` determinant
+/// terms stay below ~2¹⁰³ and sum exactly in `i128`.
+pub const MAX_COORD: f64 = 16384.0;
+
+/// Coordinate storage type: `f64`, or `f32` for the paper's
+/// single-precision ablation (Fig. 8 row 7). All grid values within
+/// [`MAX_COORD`] are exactly representable in both, so predicates remain
+/// exact either way — the `f32` variant saves memory bandwidth, which is
+/// where the paper's speedup came from.
+pub trait Coord: Copy + PartialEq + PartialOrd + std::fmt::Debug + Send + Sync + 'static {
+    fn to_f64(self) -> f64;
+    fn from_f64(v: f64) -> Self;
+    const ZERO: Self;
+}
+
+impl Coord for f64 {
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    const ZERO: Self = 0.0;
+}
+
+impl Coord for f32 {
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    const ZERO: Self = 0.0;
+}
+
+/// Snap a raw coordinate to the exact grid (clamping to the supported
+/// domain).
+#[inline]
+pub fn snap(v: f64) -> f64 {
+    (v.clamp(-MAX_COORD, MAX_COORD) / GRID).round() * GRID
+}
+
+/// A 2-D point with grid-snapped coordinates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point<C: Coord> {
+    pub x: C,
+    pub y: C,
+}
+
+impl<C: Coord> Point<C> {
+    /// Construct, snapping both coordinates to the grid.
+    #[inline]
+    pub fn snapped(x: f64, y: f64) -> Self {
+        Self {
+            x: C::from_f64(snap(x)),
+            y: C::from_f64(snap(y)),
+        }
+    }
+
+    /// Construct from already-snapped coordinates (debug-checked).
+    #[inline]
+    pub fn new(x: C, y: C) -> Self {
+        debug_assert_eq!(snap(x.to_f64()), x.to_f64(), "x not on grid");
+        debug_assert_eq!(snap(y.to_f64()), y.to_f64(), "y not on grid");
+        Self { x, y }
+    }
+
+    #[inline]
+    pub fn xf(&self) -> f64 {
+        self.x.to_f64()
+    }
+
+    #[inline]
+    pub fn yf(&self) -> f64 {
+        self.y.to_f64()
+    }
+
+    /// Scaled integer coordinates for exact arithmetic.
+    #[inline]
+    pub fn grid(&self) -> (i64, i64) {
+        (
+            (self.xf() / GRID).round() as i64,
+            (self.yf() / GRID).round() as i64,
+        )
+    }
+
+    /// Squared Euclidean distance to `other` (inexact f64; used only for
+    /// size/quality heuristics, never for topological decisions).
+    #[inline]
+    pub fn dist_sq(&self, other: &Self) -> f64 {
+        let dx = self.xf() - other.xf();
+        let dy = self.yf() - other.yf();
+        dx * dx + dy * dy
+    }
+
+    /// Convert between precisions.
+    #[inline]
+    pub fn cast<D: Coord>(&self) -> Point<D> {
+        Point {
+            x: D::from_f64(self.xf()),
+            y: D::from_f64(self.yf()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapping_lands_on_grid() {
+        for v in [0.0, 1.0, 3.14159, -2.71828, 1000.123456, -16384.9, 99999.0] {
+            let s = snap(v);
+            assert!((s / GRID).fract().abs() < 1e-9, "{v} -> {s}");
+            assert!(s.abs() <= MAX_COORD);
+            assert!((s - v.clamp(-MAX_COORD, MAX_COORD)).abs() <= GRID / 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn grid_values_exact_in_f32() {
+        let p64: Point<f64> = Point::snapped(4095.876, -1234.5678);
+        let p32: Point<f32> = p64.cast();
+        assert_eq!(p32.xf(), p64.xf(), "f32 must represent grid values exactly");
+        assert_eq!(p32.yf(), p64.yf());
+        assert_eq!(p32.grid(), p64.grid());
+    }
+
+    #[test]
+    fn grid_integers_roundtrip() {
+        let p: Point<f64> = Point::snapped(2.5, -0.25);
+        assert_eq!(p.grid(), (2560, -256));
+        let q: Point<f64> = Point::snapped(0.0, 0.0);
+        assert_eq!(q.grid(), (0, 0));
+    }
+
+    #[test]
+    fn dist_sq_is_symmetric() {
+        let a: Point<f64> = Point::snapped(1.0, 2.0);
+        let b: Point<f64> = Point::snapped(4.0, 6.0);
+        assert_eq!(a.dist_sq(&b), 25.0);
+        assert_eq!(b.dist_sq(&a), 25.0);
+        assert_eq!(a.dist_sq(&a), 0.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Triangle measures: circumcenter, circumradius, angles, quality.
+//!
+//! Unlike the predicates, these are *heuristic* quantities (which triangle
+//! counts as "bad", where to put the new point); plain `f64` arithmetic is
+//! fine because no topological decision depends on them exactly.
+
+use crate::point::{Coord, Point};
+
+/// Circumcenter in raw `f64` (not snapped); `None` for degenerate
+/// (collinear) triangles.
+pub fn circumcenter_f64<C: Coord>(
+    a: &Point<C>,
+    b: &Point<C>,
+    c: &Point<C>,
+) -> Option<(f64, f64)> {
+    let (ax, ay) = (a.xf(), a.yf());
+    let (bx, by) = (b.xf(), b.yf());
+    let (cx, cy) = (c.xf(), c.yf());
+    let d = 2.0 * (ax * (by - cy) + bx * (cy - ay) + cx * (ay - by));
+    if d.abs() < 1e-12 {
+        return None;
+    }
+    let a2 = ax * ax + ay * ay;
+    let b2 = bx * bx + by * by;
+    let c2 = cx * cx + cy * cy;
+    let ux = (a2 * (by - cy) + b2 * (cy - ay) + c2 * (ay - by)) / d;
+    let uy = (a2 * (cx - bx) + b2 * (ax - cx) + c2 * (bx - ax)) / d;
+    Some((ux, uy))
+}
+
+/// Circumcenter snapped onto the exact grid (the point DMR inserts).
+pub fn circumcenter<C: Coord>(a: &Point<C>, b: &Point<C>, c: &Point<C>) -> Option<Point<C>> {
+    circumcenter_f64(a, b, c).map(|(x, y)| Point::snapped(x, y))
+}
+
+/// Squared circumradius (`f64`), or `f64::INFINITY` for degenerate
+/// triangles.
+pub fn circumradius_sq<C: Coord>(a: &Point<C>, b: &Point<C>, c: &Point<C>) -> f64 {
+    match circumcenter_f64(a, b, c) {
+        Some((x, y)) => (a.xf() - x).powi(2) + (a.yf() - y).powi(2),
+        None => f64::INFINITY,
+    }
+}
+
+/// Minimum interior angle in degrees (0 for degenerate triangles).
+pub fn min_angle_deg<C: Coord>(a: &Point<C>, b: &Point<C>, c: &Point<C>) -> f64 {
+    let la2 = b.dist_sq(c); // opposite a
+    let lb2 = a.dist_sq(c); // opposite b
+    let lc2 = a.dist_sq(b); // opposite c
+    if la2 == 0.0 || lb2 == 0.0 || lc2 == 0.0 {
+        return 0.0;
+    }
+    let angle = |opp2: f64, s1: f64, s2: f64| -> f64 {
+        // Law of cosines; clamp for numeric safety.
+        let cos = ((s1 + s2 - opp2) / (2.0 * (s1 * s2).sqrt())).clamp(-1.0, 1.0);
+        cos.acos().to_degrees()
+    };
+    angle(la2, lb2, lc2)
+        .min(angle(lb2, la2, lc2))
+        .min(angle(lc2, la2, lb2))
+}
+
+/// Quality policy deciding which triangles are *bad* (must be refined).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TriQuality {
+    /// Minimum acceptable interior angle, degrees. The paper uses 30°.
+    pub min_angle_deg: f64,
+    /// Triangles whose shortest edge is below this length are never
+    /// considered bad — the standard termination guard (30° sits at the
+    /// theoretical edge of guaranteed termination for Chew's algorithm).
+    pub min_edge: f64,
+}
+
+impl Default for TriQuality {
+    fn default() -> Self {
+        Self {
+            min_angle_deg: 30.0,
+            min_edge: 4.0 * crate::point::GRID,
+        }
+    }
+}
+
+impl TriQuality {
+    /// Quality bound scaled to a mesh whose points are ~`spacing` apart:
+    /// the paper's 30° minimum angle with a short-edge guard at
+    /// `spacing / 3`.
+    ///
+    /// The guard is what makes 30° refinement terminate on arbitrary
+    /// inputs: flat triangles along the convex hull have circumcenters
+    /// *outside* the mesh, so refining them falls back to boundary-edge
+    /// bisection, which makes them flatter — an unbounded cascade unless
+    /// sub-guard triangles stop counting as bad (Shewchuk's Triangle
+    /// embeds equivalent area/edge cutoffs for the same reason).
+    pub fn scaled(spacing: f64) -> Self {
+        Self {
+            min_angle_deg: 30.0,
+            min_edge: (spacing / 3.0).max(4.0 * crate::point::GRID),
+        }
+    }
+
+    /// Is the triangle bad (violates the quality bound and is still large
+    /// enough to refine)?
+    pub fn is_bad<C: Coord>(&self, a: &Point<C>, b: &Point<C>, c: &Point<C>) -> bool {
+        let shortest = a.dist_sq(b).min(b.dist_sq(c)).min(a.dist_sq(c));
+        if shortest <= self.min_edge * self.min_edge {
+            return false;
+        }
+        min_angle_deg(a, b, c) < self.min_angle_deg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point<f64> {
+        Point::snapped(x, y)
+    }
+
+    #[test]
+    fn circumcenter_of_right_triangle_is_hypotenuse_midpoint() {
+        let (a, b, c) = (p(0.0, 0.0), p(4.0, 0.0), p(0.0, 4.0));
+        let (x, y) = circumcenter_f64(&a, &b, &c).unwrap();
+        assert!((x - 2.0).abs() < 1e-9 && (y - 2.0).abs() < 1e-9);
+        let r2 = circumradius_sq(&a, &b, &c);
+        assert!((r2 - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_triangle_handled() {
+        let (a, b, c) = (p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0));
+        assert!(circumcenter_f64(&a, &b, &c).is_none());
+        assert!(circumcenter(&a, &b, &c).is_none());
+        assert_eq!(circumradius_sq(&a, &b, &c), f64::INFINITY);
+        assert_eq!(min_angle_deg(&a, &b, &c), 0.0);
+    }
+
+    #[test]
+    fn equilateral_angles_are_60() {
+        let h = 3f64.sqrt() * 2.0;
+        let (a, b, c) = (p(0.0, 0.0), p(4.0, 0.0), p(2.0, h));
+        let m = min_angle_deg(&a, &b, &c);
+        assert!((m - 60.0).abs() < 0.1, "{m}");
+    }
+
+    #[test]
+    fn skinny_triangle_is_bad_fat_is_good() {
+        let q = TriQuality::default();
+        // Very flat triangle: tiny min angle.
+        assert!(q.is_bad(&p(0.0, 0.0), &p(10.0, 0.0), &p(5.0, 0.25)));
+        // Near-equilateral: fine.
+        assert!(!q.is_bad(&p(0.0, 0.0), &p(4.0, 0.0), &p(2.0, 3.4641)));
+    }
+
+    #[test]
+    fn min_edge_guard_suppresses_badness() {
+        let q = TriQuality {
+            min_angle_deg: 30.0,
+            min_edge: 1.0,
+        };
+        // Skinny but with a sub-threshold shortest edge → not bad.
+        assert!(!q.is_bad(&p(0.0, 0.0), &p(0.5, 0.01), &p(10.0, 0.0)));
+    }
+
+    #[test]
+    fn circumcenter_snaps_to_grid() {
+        let (a, b, c) = (p(0.0, 0.0), p(3.0, 0.1), p(0.1, 3.0));
+        let cc = circumcenter(&a, &b, &c).unwrap();
+        let (gx, gy) = cc.grid();
+        assert_eq!(gx as f64 * crate::point::GRID, cc.xf());
+        assert_eq!(gy as f64 * crate::point::GRID, cc.yf());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pt() -> impl Strategy<Value = Point<f64>> {
+        (-1000.0f64..1000.0, -1000.0f64..1000.0).prop_map(|(x, y)| Point::snapped(x, y))
+    }
+
+    proptest! {
+        /// Circumcenter is equidistant from all three vertices.
+        #[test]
+        fn circumcenter_equidistant(a in pt(), b in pt(), c in pt()) {
+            if let Some((x, y)) = circumcenter_f64(&a, &b, &c) {
+                let d = |p: &Point<f64>| (p.xf() - x).powi(2) + (p.yf() - y).powi(2);
+                let (da, db, dc) = (d(&a), d(&b), d(&c));
+                let scale = da.max(1.0);
+                prop_assert!((da - db).abs() < 1e-6 * scale, "{da} vs {db}");
+                prop_assert!((da - dc).abs() < 1e-6 * scale);
+            }
+        }
+
+        /// Angles sum to 180° for non-degenerate triangles, and the minimum
+        /// is at most 60°.
+        #[test]
+        fn min_angle_sane(a in pt(), b in pt(), c in pt()) {
+            let m = min_angle_deg(&a, &b, &c);
+            prop_assert!((0.0..=60.0001).contains(&m), "{m}");
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Software global barriers (paper §7.3, "Barrier implementation").
+//!
+//! Current GPUs have no hardware grid-wide barrier, so the paper implements
+//! one in user code and compares three designs. We reproduce all three. The
+//! barrier participants here are the host workers (the virtual SMs); the
+//! *cost model* of the naive and hierarchical designs is preserved by
+//! issuing one real atomic RMW per virtual thread (naive) or per block
+//! (hierarchical) on a shared contended counter before arrival, so the
+//! relative cost of the three designs scales exactly as on the GPU: with
+//! the thread count, the block count, and the participant count
+//! respectively.
+
+use crate::config::BarrierKind;
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// A reusable grid-wide barrier for a fixed number of participants.
+pub trait GlobalBarrier: Sync + Send {
+    /// Block until all participants have arrived.
+    ///
+    /// `vthreads` / `vblocks` are the numbers of virtual threads and blocks
+    /// the calling worker simulates; the naive and hierarchical designs pay
+    /// one atomic RMW per virtual thread / block respectively.
+    ///
+    /// # Panics
+    /// Panics if the barrier has been [poisoned](GlobalBarrier::poison) by
+    /// a panic in another worker.
+    fn wait(&self, participant: usize, vthreads: usize, vblocks: usize);
+
+    /// Mark the barrier poisoned so spinning workers fail fast instead of
+    /// hanging when a sibling worker panicked.
+    fn poison(&self);
+
+    /// Atomic read-modify-write operations this barrier has issued — the
+    /// traffic the paper's atomic-free design (Fig. 8, row 3) eliminates.
+    fn rmw_traffic(&self) -> u64;
+}
+
+/// Construct the barrier implementation selected by `kind`.
+pub fn make_barrier(kind: BarrierKind, participants: usize) -> Box<dyn GlobalBarrier> {
+    match kind {
+        BarrierKind::NaiveAtomic => Box::new(CentralBarrier::new(participants, TrafficModel::PerThread)),
+        BarrierKind::Hierarchical => Box::new(CentralBarrier::new(participants, TrafficModel::PerBlock)),
+        BarrierKind::SenseReversing => Box::new(SenseBarrier::new(participants)),
+    }
+}
+
+fn spin_wait(mut check: impl FnMut() -> bool, poisoned: &AtomicBool) {
+    let mut spins = 0u32;
+    while !check() {
+        if poisoned.load(Ordering::Relaxed) {
+            panic!("virtual GPU barrier poisoned: a worker panicked");
+        }
+        spins += 1;
+        if spins < 64 {
+            std::hint::spin_loop();
+        } else {
+            // More workers than cores must not livelock the spinners.
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum TrafficModel {
+    PerThread,
+    PerBlock,
+}
+
+/// Counter-based barrier: every arrival is an atomic RMW on one shared
+/// counter, plus simulated per-thread or per-block RMW traffic.
+struct CentralBarrier {
+    participants: usize,
+    count: CachePadded<AtomicUsize>,
+    generation: CachePadded<AtomicUsize>,
+    /// Contended location absorbing the simulated per-thread/per-block
+    /// atomic traffic of the naive/hierarchical designs.
+    traffic: CachePadded<AtomicU64>,
+    model: TrafficModel,
+    poisoned: AtomicBool,
+}
+
+impl CentralBarrier {
+    fn new(participants: usize, model: TrafficModel) -> Self {
+        Self {
+            participants,
+            count: CachePadded::new(AtomicUsize::new(0)),
+            generation: CachePadded::new(AtomicUsize::new(0)),
+            traffic: CachePadded::new(AtomicU64::new(0)),
+            model,
+            poisoned: AtomicBool::new(false),
+        }
+    }
+}
+
+impl GlobalBarrier for CentralBarrier {
+    fn wait(&self, _participant: usize, vthreads: usize, vblocks: usize) {
+        if self.participants == 1 {
+            return;
+        }
+        // Simulated arrival traffic: the naive design has *every virtual
+        // thread* decrement the counter; the hierarchical design has one
+        // representative per block do so (the intra-block syncthreads is
+        // free here because a block runs on a single worker).
+        let extra = match self.model {
+            TrafficModel::PerThread => vthreads.saturating_sub(1),
+            TrafficModel::PerBlock => vblocks.saturating_sub(1),
+        };
+        for _ in 0..extra {
+            self.traffic.fetch_add(1, Ordering::AcqRel);
+        }
+        self.traffic.fetch_add(1, Ordering::Relaxed); // the arrival RMW itself
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.participants {
+            self.count.store(0, Ordering::Relaxed);
+            self.generation.store(gen.wrapping_add(1), Ordering::Release);
+        } else {
+            spin_wait(
+                || self.generation.load(Ordering::Acquire) != gen,
+                &self.poisoned,
+            );
+        }
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Relaxed);
+    }
+
+    fn rmw_traffic(&self) -> u64 {
+        self.traffic.load(Ordering::Acquire)
+    }
+}
+
+/// Xiao–Feng style atomic-free barrier: epoch-stamped arrive flags written
+/// with release stores, a designated master that observes them with acquire
+/// loads and publishes a `go` epoch. No read-modify-write operations at all
+/// (paper Fig. 8, row 3: "atomic-free global barrier").
+struct SenseBarrier {
+    participants: usize,
+    arrive: Vec<CachePadded<AtomicU64>>,
+    go: CachePadded<AtomicU64>,
+    poisoned: AtomicBool,
+}
+
+impl SenseBarrier {
+    fn new(participants: usize) -> Self {
+        Self {
+            participants,
+            arrive: (0..participants)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            go: CachePadded::new(AtomicU64::new(0)),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+}
+
+impl GlobalBarrier for SenseBarrier {
+    fn wait(&self, participant: usize, _vthreads: usize, _vblocks: usize) {
+        if self.participants == 1 {
+            return;
+        }
+        let epoch = self.arrive[participant].load(Ordering::Relaxed) + 1;
+        self.arrive[participant].store(epoch, Ordering::Release);
+        if participant == 0 {
+            for flag in &self.arrive[1..] {
+                spin_wait(|| flag.load(Ordering::Acquire) >= epoch, &self.poisoned);
+            }
+            self.go.store(epoch, Ordering::Release);
+        } else {
+            spin_wait(|| self.go.load(Ordering::Acquire) >= epoch, &self.poisoned);
+        }
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Relaxed);
+    }
+
+    fn rmw_traffic(&self) -> u64 {
+        0 // loads and stores only — the whole point
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as Counter;
+
+    /// Stress one barrier kind: W workers each increment a shared epoch
+    /// array slot, then barrier, then verify every other worker has
+    /// reached the same round. Any barrier bug shows up as a torn round.
+    fn stress(kind: BarrierKind, workers: usize, rounds: u64) {
+        let barrier = make_barrier(kind, workers);
+        let slots: Vec<Counter> = (0..workers).map(|_| Counter::new(0)).collect();
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let barrier = &barrier;
+                let slots = &slots;
+                s.spawn(move || {
+                    for r in 1..=rounds {
+                        slots[w].store(r, Ordering::Release);
+                        barrier.wait(w, 7, 3);
+                        for q in slots {
+                            assert!(q.load(Ordering::Acquire) >= r, "barrier leaked round {r}");
+                        }
+                        barrier.wait(w, 7, 3);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn naive_atomic_barrier_is_correct() {
+        stress(BarrierKind::NaiveAtomic, 4, 200);
+    }
+
+    #[test]
+    fn hierarchical_barrier_is_correct() {
+        stress(BarrierKind::Hierarchical, 4, 200);
+    }
+
+    #[test]
+    fn sense_reversing_barrier_is_correct() {
+        stress(BarrierKind::SenseReversing, 4, 200);
+    }
+
+    #[test]
+    fn sense_reversing_many_workers() {
+        stress(BarrierKind::SenseReversing, 16, 50);
+    }
+
+    #[test]
+    fn single_participant_never_blocks() {
+        for kind in [
+            BarrierKind::NaiveAtomic,
+            BarrierKind::Hierarchical,
+            BarrierKind::SenseReversing,
+        ] {
+            let b = make_barrier(kind, 1);
+            for _ in 0..10 {
+                b.wait(0, 1000, 10);
+            }
+        }
+    }
+
+    #[test]
+    fn rmw_traffic_reflects_design() {
+        for (kind, expect_rmws) in [
+            (BarrierKind::NaiveAtomic, true),
+            (BarrierKind::Hierarchical, true),
+            (BarrierKind::SenseReversing, false),
+        ] {
+            let b = make_barrier(kind, 2);
+            std::thread::scope(|s| {
+                for w in 0..2 {
+                    let b = &b;
+                    s.spawn(move || {
+                        for _ in 0..10 {
+                            b.wait(w, 100, 4);
+                        }
+                    });
+                }
+            });
+            assert_eq!(b.rmw_traffic() > 0, expect_rmws, "{kind:?}");
+            if kind == BarrierKind::NaiveAtomic {
+                // One RMW per virtual thread per wait, plus arrivals.
+                assert!(b.rmw_traffic() >= 2 * 10 * 99, "{}", b.rmw_traffic());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "poisoned")]
+    fn poisoned_barrier_panics_spinners() {
+        let b = make_barrier(BarrierKind::SenseReversing, 2);
+        b.poison();
+        // Participant 1 spins on `go`, which will never advance.
+        b.wait(1, 1, 1);
+    }
+}

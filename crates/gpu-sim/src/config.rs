@@ -1,0 +1,150 @@
+//! Launch configuration for the virtual GPU.
+//!
+//! The paper tunes two knobs per algorithm (§7.4): the number of thread
+//! blocks (`3×SM` to `50×SM`) and the number of threads per block (grown
+//! adaptively over the first iterations). Both are plain fields here so the
+//! adaptive-parallelism controller in `morph-core` can adjust them between
+//! launches.
+
+use std::num::NonZeroUsize;
+
+/// Which software global-barrier implementation to use (paper §7.3,
+/// "Barrier implementation").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum BarrierKind {
+    /// Every virtual thread performs an atomic RMW on one global counter and
+    /// spins on it. The paper calls this "particularly inefficient on GPUs";
+    /// its cost scales with the virtual-thread count.
+    NaiveAtomic,
+    /// Threads inside a block synchronise with `__syncthreads()` (free in
+    /// this simulator: a block runs on one worker) and one representative
+    /// per block performs the atomic RMW.
+    Hierarchical,
+    /// Xiao & Feng's atomic-free barrier: per-participant arrive/go flags
+    /// written with release stores and read with acquire loads — no RMW at
+    /// all. This is the paper's fastest variant (Fig. 8, row 3), augmented
+    /// with the fences Fermi's incoherent L1 required.
+    #[default]
+    SenseReversing,
+}
+
+/// How a kernel distributes a range of work items over its virtual threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum WorkPartition {
+    /// Thread `t` processes items `t, t+N, t+2N, …` (grid-stride loop).
+    Strided,
+    /// Thread `t` processes a contiguous chunk. Combined with the memory
+    /// layout optimisation (§6.1) this forms the "pseudo-partitioning" the
+    /// paper uses to reduce conflicts (§7.5).
+    #[default]
+    Chunked,
+}
+
+/// Virtual-GPU launch configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GpuConfig {
+    /// Number of host worker threads — the virtual streaming
+    /// multiprocessors. Blocks are multiplexed over these round-robin.
+    pub num_sms: usize,
+    /// Virtual threads per warp. Warps execute in lockstep (sequentially on
+    /// one worker) and are the unit of divergence accounting.
+    pub warp_size: usize,
+    /// Thread blocks per grid.
+    pub blocks: usize,
+    /// Virtual threads per block.
+    pub threads_per_block: usize,
+    /// Global-barrier implementation used between kernel phases.
+    pub barrier: BarrierKind,
+}
+
+impl GpuConfig {
+    /// Configuration sized for the current host: one SM per available core,
+    /// `blocks_per_sm × SMs` blocks.
+    pub fn detect(blocks_per_sm: usize, threads_per_block: usize) -> Self {
+        let sms = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(4);
+        Self {
+            num_sms: sms,
+            warp_size: 32,
+            blocks: blocks_per_sm.max(1) * sms,
+            threads_per_block: threads_per_block.max(1),
+            barrier: BarrierKind::SenseReversing,
+        }
+    }
+
+    /// A tiny deterministic configuration for unit tests and doctests.
+    pub fn small() -> Self {
+        Self {
+            num_sms: 2,
+            warp_size: 4,
+            blocks: 4,
+            threads_per_block: 8,
+            barrier: BarrierKind::SenseReversing,
+        }
+    }
+
+    /// Total number of virtual threads in the grid.
+    pub fn total_threads(&self) -> usize {
+        self.blocks * self.threads_per_block
+    }
+
+    /// Replace the barrier implementation.
+    pub fn with_barrier(mut self, kind: BarrierKind) -> Self {
+        self.barrier = kind;
+        self
+    }
+
+    /// Replace the launch geometry.
+    pub fn with_geometry(mut self, blocks: usize, threads_per_block: usize) -> Self {
+        self.blocks = blocks.max(1);
+        self.threads_per_block = threads_per_block.max(1);
+        self
+    }
+
+    /// Replace the number of virtual SMs (host workers).
+    pub fn with_sms(mut self, sms: usize) -> Self {
+        self.num_sms = sms.max(1);
+        self
+    }
+
+    /// Number of workers that will actually run: at most one per block.
+    pub fn effective_workers(&self) -> usize {
+        self.num_sms.min(self.blocks).max(1)
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self::detect(4, 128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_produces_sane_config() {
+        let c = GpuConfig::detect(3, 64);
+        assert!(c.num_sms >= 1);
+        assert_eq!(c.blocks, 3 * c.num_sms);
+        assert_eq!(c.threads_per_block, 64);
+        assert_eq!(c.total_threads(), c.blocks * 64);
+    }
+
+    #[test]
+    fn zero_guards() {
+        let c = GpuConfig::small().with_geometry(0, 0).with_sms(0);
+        assert_eq!(c.blocks, 1);
+        assert_eq!(c.threads_per_block, 1);
+        assert_eq!(c.num_sms, 1);
+        assert_eq!(c.effective_workers(), 1);
+    }
+
+    #[test]
+    fn effective_workers_capped_by_blocks() {
+        let c = GpuConfig::small().with_sms(16).with_geometry(3, 8);
+        assert_eq!(c.effective_workers(), 3);
+    }
+}

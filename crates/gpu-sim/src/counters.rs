@@ -1,0 +1,187 @@
+//! Performance counters.
+//!
+//! The paper evaluates its techniques by their effect on aborted work, warp
+//! divergence, atomic traffic and barrier cost. The engine meters exactly
+//! those quantities. Counters are accumulated per worker in cache-padded
+//! plain `u64`s (no contention) and summed into a [`LaunchStats`] when the
+//! launch finishes.
+
+use std::time::Duration;
+
+/// Per-worker counter block. Written only by the owning worker during a
+/// launch; padded to a cache line to avoid false sharing.
+#[derive(Default, Debug, Clone)]
+#[repr(align(128))]
+pub struct WorkerCounters {
+    /// Virtual threads that reported useful work (phase returned `true`).
+    pub active_threads: u64,
+    /// Virtual threads that ran a phase but had nothing to do.
+    pub idle_threads: u64,
+    /// Warp executions (one warp running one phase).
+    pub warps: u64,
+    /// Warp executions in which some lanes were active and some idle — the
+    /// SIMT divergence the paper's compaction optimisation (§7.6) reduces.
+    pub divergent_warps: u64,
+    /// Atomic read-modify-write operations issued through [`crate::ThreadCtx`].
+    pub atomics: u64,
+    /// Speculative activities that detected a conflict and backed off
+    /// (paper §7.3).
+    pub aborts: u64,
+    /// Speculative activities that won conflict resolution and committed.
+    pub commits: u64,
+    /// Global-barrier crossings by this worker.
+    pub barriers: u64,
+}
+
+impl WorkerCounters {
+    pub(crate) fn merge_into(&self, out: &mut LaunchStats) {
+        out.active_threads += self.active_threads;
+        out.idle_threads += self.idle_threads;
+        out.warps += self.warps;
+        out.divergent_warps += self.divergent_warps;
+        out.atomics += self.atomics;
+        out.aborts += self.aborts;
+        out.commits += self.commits;
+        out.barriers += self.barriers;
+    }
+}
+
+/// Aggregated statistics for one launch (or one persistent execution).
+#[derive(Default, Debug, Clone)]
+pub struct LaunchStats {
+    /// Kernel iterations executed (1 for [`crate::VirtualGpu::launch`],
+    /// the loop trip count for [`crate::VirtualGpu::execute`]).
+    pub iterations: u64,
+    /// Phases executed in total (`iterations × kernel.phases()`).
+    pub phases: u64,
+    pub active_threads: u64,
+    pub idle_threads: u64,
+    pub warps: u64,
+    pub divergent_warps: u64,
+    pub atomics: u64,
+    pub aborts: u64,
+    pub commits: u64,
+    pub barriers: u64,
+    /// Atomic RMW traffic issued by the global barrier itself (0 for the
+    /// sense-reversing design).
+    pub barrier_rmws: u64,
+    /// Wall-clock time of the whole execution.
+    pub wall: Duration,
+}
+
+impl LaunchStats {
+    /// Fraction of warp executions that diverged. `0.0` if no warps ran.
+    pub fn divergence_ratio(&self) -> f64 {
+        if self.warps == 0 {
+            0.0
+        } else {
+            self.divergent_warps as f64 / self.warps as f64
+        }
+    }
+
+    /// Fraction of speculative activities that aborted. `0.0` if none ran.
+    pub fn abort_ratio(&self) -> f64 {
+        let total = self.aborts + self.commits;
+        if total == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / total as f64
+        }
+    }
+
+    /// Fraction of thread executions that did useful work.
+    pub fn work_efficiency(&self) -> f64 {
+        let total = self.active_threads + self.idle_threads;
+        if total == 0 {
+            0.0
+        } else {
+            self.active_threads as f64 / total as f64
+        }
+    }
+
+    /// Accumulate another launch's statistics (e.g. across the host-side
+    /// do–while loop of the paper's Fig. 3).
+    pub fn absorb(&mut self, other: &LaunchStats) {
+        self.iterations += other.iterations;
+        self.phases += other.phases;
+        self.active_threads += other.active_threads;
+        self.idle_threads += other.idle_threads;
+        self.warps += other.warps;
+        self.divergent_warps += other.divergent_warps;
+        self.atomics += other.atomics;
+        self.aborts += other.aborts;
+        self.commits += other.commits;
+        self.barriers += other.barriers;
+        self.barrier_rmws += other.barrier_rmws;
+        self.wall += other.wall;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_empty() {
+        let s = LaunchStats::default();
+        assert_eq!(s.divergence_ratio(), 0.0);
+        assert_eq!(s.abort_ratio(), 0.0);
+        assert_eq!(s.work_efficiency(), 0.0);
+    }
+
+    #[test]
+    fn ratios_compute() {
+        let s = LaunchStats {
+            warps: 10,
+            divergent_warps: 5,
+            aborts: 1,
+            commits: 3,
+            active_threads: 8,
+            idle_threads: 2,
+            ..Default::default()
+        };
+        assert!((s.divergence_ratio() - 0.5).abs() < 1e-12);
+        assert!((s.abort_ratio() - 0.25).abs() < 1e-12);
+        assert!((s.work_efficiency() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_sums_everything() {
+        let mut a = LaunchStats {
+            iterations: 1,
+            atomics: 5,
+            wall: Duration::from_millis(2),
+            ..Default::default()
+        };
+        let b = LaunchStats {
+            iterations: 2,
+            atomics: 7,
+            wall: Duration::from_millis(3),
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.iterations, 3);
+        assert_eq!(a.atomics, 12);
+        assert_eq!(a.wall, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn worker_counters_merge() {
+        let w = WorkerCounters {
+            active_threads: 3,
+            idle_threads: 1,
+            warps: 2,
+            divergent_warps: 1,
+            atomics: 9,
+            aborts: 4,
+            commits: 5,
+            barriers: 6,
+        };
+        let mut s = LaunchStats::default();
+        w.merge_into(&mut s);
+        w.merge_into(&mut s);
+        assert_eq!(s.active_threads, 6);
+        assert_eq!(s.atomics, 18);
+        assert_eq!(s.barriers, 12);
+    }
+}

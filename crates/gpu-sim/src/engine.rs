@@ -1,0 +1,510 @@
+//! The execution engine.
+//!
+//! [`VirtualGpu::launch`] runs one kernel iteration; [`VirtualGpu::execute`]
+//! runs the kernel persistently — the whole `do { … } while (changed)` loop
+//! of the paper's Figure 3 inside one thread scope, with software global
+//! barriers between phases and iterations instead of kernel relaunches.
+//!
+//! Scheduling model: the grid's blocks are dealt round-robin to
+//! `min(num_sms, blocks)` host workers. A worker runs phase `p` of every
+//! thread of every block it owns (warp by warp, lane by lane — lockstep
+//! within a warp is the sequential order), then crosses the global barrier.
+//! Because a block never splits across workers, `__syncthreads()` is
+//! implied at each phase boundary and [`crate::BlockLocal`] state is
+//! race-free by construction.
+
+use crate::barrier::{make_barrier, GlobalBarrier};
+use crate::config::GpuConfig;
+use crate::counters::{LaunchStats, WorkerCounters};
+use crate::kernel::{Decision, Kernel, ThreadCtx};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// A virtual GPU: a launch configuration plus the machinery to run
+/// [`Kernel`]s under the SIMT execution model.
+pub struct VirtualGpu {
+    cfg: GpuConfig,
+}
+
+impl VirtualGpu {
+    pub fn new(cfg: GpuConfig) -> Self {
+        assert!(cfg.warp_size >= 1, "warp size must be at least 1");
+        Self { cfg }
+    }
+
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Replace the launch geometry (used by the adaptive-parallelism
+    /// controller between launches, paper §7.4).
+    pub fn set_geometry(&mut self, blocks: usize, threads_per_block: usize) {
+        self.cfg = self.cfg.clone().with_geometry(blocks, threads_per_block);
+    }
+
+    /// Run a single kernel iteration (all phases once).
+    pub fn launch<K: Kernel + ?Sized>(&self, kernel: &K) -> LaunchStats {
+        self.drive(kernel, false)
+    }
+
+    /// Run the kernel persistently: iterate all phases, consult
+    /// [`Kernel::next_iteration`], repeat until it returns
+    /// [`Decision::Stop`]. Equivalent to re-launching in a host loop, minus
+    /// the launch overhead (the paper's persistent pattern).
+    pub fn execute<K: Kernel + ?Sized>(&self, kernel: &K) -> LaunchStats {
+        self.drive(kernel, true)
+    }
+
+    fn drive<K: Kernel + ?Sized>(&self, kernel: &K, persistent: bool) -> LaunchStats {
+        let cfg = &self.cfg;
+        let workers = cfg.effective_workers();
+        let phases = kernel.phases().max(1);
+        let barrier = make_barrier(cfg.barrier, workers);
+        let keep_going = AtomicBool::new(false);
+        let start = Instant::now();
+
+        let mut stats = LaunchStats::default();
+        let mut iterations = 0u64;
+
+        if workers == 1 {
+            // Degenerate single-worker grid: run inline, no threads.
+            let mut counters = WorkerCounters::default();
+            iterations = run_worker(
+                kernel,
+                cfg,
+                0,
+                workers,
+                phases,
+                persistent,
+                barrier.as_ref(),
+                &keep_going,
+                &mut counters,
+            );
+            counters.merge_into(&mut stats);
+        } else {
+            let collected = std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(workers);
+                for w in 0..workers {
+                    let barrier = barrier.as_ref();
+                    let keep_going = &keep_going;
+                    handles.push(scope.spawn(move || {
+                        let mut counters = WorkerCounters::default();
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            run_worker(
+                                kernel, cfg, w, workers, phases, persistent, barrier,
+                                &keep_going, &mut counters,
+                            )
+                        }));
+                        match result {
+                            Ok(iters) => (iters, counters),
+                            Err(payload) => {
+                                // Unblock siblings before propagating.
+                                barrier.poison();
+                                resume_unwind(payload);
+                            }
+                        }
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|e| resume_unwind(e)))
+                    .collect::<Vec<_>>()
+            });
+            for (iters, counters) in collected {
+                iterations = iterations.max(iters);
+                counters.merge_into(&mut stats);
+            }
+        }
+
+        stats.iterations = iterations;
+        stats.phases = iterations * phases as u64;
+        stats.barrier_rmws = barrier.rmw_traffic();
+        stats.wall = start.elapsed();
+        stats
+    }
+}
+
+/// The per-worker loop. Returns the number of iterations executed.
+#[allow(clippy::too_many_arguments)]
+fn run_worker<K: Kernel + ?Sized>(
+    kernel: &K,
+    cfg: &GpuConfig,
+    worker: usize,
+    workers: usize,
+    phases: usize,
+    persistent: bool,
+    barrier: &dyn GlobalBarrier,
+    keep_going: &AtomicBool,
+    counters: &mut WorkerCounters,
+) -> u64 {
+    let tpb = cfg.threads_per_block;
+    let nthreads = cfg.total_threads();
+    let my_blocks: Vec<usize> = (worker..cfg.blocks).step_by(workers).collect();
+    let my_vthreads = my_blocks.len() * tpb;
+    let my_vblocks = my_blocks.len();
+
+    let mut iteration = 0usize;
+    loop {
+        for phase in 0..phases {
+            for &block in &my_blocks {
+                run_block_phase(kernel, cfg, block, phase, iteration, nthreads, counters);
+            }
+            counters.barriers += 1;
+            barrier.wait(worker, my_vthreads, my_vblocks);
+        }
+
+        iteration += 1;
+        if !persistent {
+            return iteration as u64;
+        }
+
+        // Worker 0 decides; everyone else learns the decision after a
+        // second barrier (all workers are quiescent at this point).
+        if worker == 0 {
+            let d = kernel.next_iteration(iteration - 1);
+            keep_going.store(d == Decision::Continue, Ordering::Release);
+        }
+        counters.barriers += 1;
+        barrier.wait(worker, my_vthreads, my_vblocks);
+        if !keep_going.load(Ordering::Acquire) {
+            return iteration as u64;
+        }
+    }
+}
+
+/// Run one phase of one block: warp by warp, lane by lane.
+fn run_block_phase<K: Kernel + ?Sized>(
+    kernel: &K,
+    cfg: &GpuConfig,
+    block: usize,
+    phase: usize,
+    iteration: usize,
+    nthreads: usize,
+    counters: &mut WorkerCounters,
+) {
+    let tpb = cfg.threads_per_block;
+    let warp_size = cfg.warp_size;
+    let mut tib = 0usize;
+    while tib < tpb {
+        let lanes = warp_size.min(tpb - tib);
+        let warp = (block * tpb + tib) / warp_size;
+        let mut active = 0u64;
+        for lane in 0..lanes {
+            let thread_in_block = tib + lane;
+            let tid = block * tpb + thread_in_block;
+            let mut ctx = ThreadCtx {
+                tid,
+                nthreads,
+                block,
+                nblocks: cfg.blocks,
+                thread_in_block,
+                threads_per_block: tpb,
+                warp,
+                lane,
+                iteration,
+                counters,
+            };
+            if kernel.run(phase, &mut ctx) {
+                active += 1;
+            }
+        }
+        counters.warps += 1;
+        if active > 0 && active < lanes as u64 {
+            counters.divergent_warps += 1;
+        }
+        counters.active_threads += active;
+        counters.idle_threads += lanes as u64 - active;
+        tib += lanes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::AtomicU32Slice;
+    use crate::shared::{BlockLocal, LocalWorklist};
+    use std::sync::atomic::AtomicU64;
+
+    /// Histogram via counted atomics, strided partition.
+    struct Histogram<'a> {
+        data: &'a [u32],
+        bins: AtomicU32Slice,
+    }
+
+    impl Kernel for Histogram<'_> {
+        fn run(&self, _phase: usize, ctx: &mut ThreadCtx<'_>) -> bool {
+            let mut did = false;
+            for i in ctx.strided(self.data.len()) {
+                let b = (self.data[i] as usize) % self.bins.len();
+                ctx.atomic_add_u32(self.bins.at(b), 1);
+                did = true;
+            }
+            did
+        }
+    }
+
+    #[test]
+    fn histogram_kernel_counts_correctly() {
+        let data: Vec<u32> = (0..10_000).collect();
+        let k = Histogram {
+            data: &data,
+            bins: AtomicU32Slice::new(7, 0),
+        };
+        let gpu = VirtualGpu::new(GpuConfig::small());
+        let stats = gpu.launch(&k);
+        let bins = k.bins.to_vec();
+        assert_eq!(bins.iter().sum::<u32>(), 10_000);
+        for (b, &count) in bins.iter().enumerate() {
+            let expected = (0..10_000u32).filter(|x| (*x as usize) % 7 == b).count() as u32;
+            assert_eq!(count, expected);
+        }
+        assert_eq!(stats.iterations, 1);
+        assert_eq!(stats.atomics, 10_000);
+    }
+
+    /// Two-phase kernel: phase 0 writes per-thread values, phase 1 reads
+    /// *other* threads' values — only correct if the global barrier between
+    /// phases is real.
+    struct PhaseOrdering {
+        scratch: AtomicU32Slice,
+        errors: AtomicU32Slice,
+    }
+
+    impl Kernel for PhaseOrdering {
+        fn phases(&self) -> usize {
+            2
+        }
+        fn run(&self, phase: usize, ctx: &mut ThreadCtx<'_>) -> bool {
+            match phase {
+                0 => self.scratch.store(ctx.tid, ctx.tid as u32 + 1),
+                _ => {
+                    let peer = (ctx.tid + ctx.nthreads / 2) % ctx.nthreads;
+                    if self.scratch.load(peer) != peer as u32 + 1 {
+                        ctx.atomic_add_u32(self.errors.at(0), 1);
+                    }
+                }
+            }
+            true
+        }
+    }
+
+    #[test]
+    fn phases_are_globally_ordered() {
+        for kind in [
+            crate::BarrierKind::NaiveAtomic,
+            crate::BarrierKind::Hierarchical,
+            crate::BarrierKind::SenseReversing,
+        ] {
+            let cfg = GpuConfig {
+                num_sms: 4,
+                warp_size: 8,
+                blocks: 8,
+                threads_per_block: 32,
+                barrier: kind,
+            };
+            let gpu = VirtualGpu::new(cfg.clone());
+            let k = PhaseOrdering {
+                scratch: AtomicU32Slice::new(cfg.total_threads(), 0),
+                errors: AtomicU32Slice::new(1, 0),
+            };
+            let stats = gpu.launch(&k);
+            assert_eq!(k.errors.load(0), 0, "{kind:?}");
+            assert_eq!(stats.phases, 2);
+        }
+    }
+
+    /// Persistent kernel: accumulate until a target is reached, checking
+    /// `next_iteration` plumbing.
+    struct CountTo {
+        total: AtomicU64,
+        target: u64,
+    }
+
+    impl Kernel for CountTo {
+        fn run(&self, _phase: usize, ctx: &mut ThreadCtx<'_>) -> bool {
+            if ctx.tid == 0 {
+                ctx.atomic_add_u64(&self.total, 1);
+                true
+            } else {
+                false
+            }
+        }
+        fn next_iteration(&self, _iter: usize) -> Decision {
+            if self.total.load(Ordering::Acquire) < self.target {
+                Decision::Continue
+            } else {
+                Decision::Stop
+            }
+        }
+    }
+
+    #[test]
+    fn persistent_execution_iterates_until_stop() {
+        let gpu = VirtualGpu::new(GpuConfig::small());
+        let k = CountTo {
+            total: AtomicU64::new(0),
+            target: 23,
+        };
+        let stats = gpu.execute(&k);
+        assert_eq!(k.total.load(Ordering::Acquire), 23);
+        assert_eq!(stats.iterations, 23);
+    }
+
+    /// Divergence accounting: odd lanes work, even lanes don't.
+    struct HalfActive;
+    impl Kernel for HalfActive {
+        fn run(&self, _phase: usize, ctx: &mut ThreadCtx<'_>) -> bool {
+            ctx.lane % 2 == 1
+        }
+    }
+
+    #[test]
+    fn divergence_is_detected() {
+        let gpu = VirtualGpu::new(GpuConfig::small());
+        let stats = gpu.launch(&HalfActive);
+        assert_eq!(stats.divergent_warps, stats.warps);
+        assert!(stats.divergence_ratio() > 0.99);
+        assert_eq!(stats.active_threads, stats.idle_threads);
+    }
+
+    /// Block-local worklists: each block collects its own ids in shared
+    /// memory in phase 0 (lane 0 builds the list) and drains it in phase 1.
+    struct BlockQueues<'a> {
+        queues: &'a BlockLocal<LocalWorklist>,
+        drained: AtomicU32Slice,
+    }
+
+    impl Kernel for BlockQueues<'_> {
+        fn phases(&self) -> usize {
+            2
+        }
+        fn run(&self, phase: usize, ctx: &mut ThreadCtx<'_>) -> bool {
+            match phase {
+                0 => {
+                    if ctx.thread_in_block == 0 {
+                        let base = (ctx.block * ctx.threads_per_block) as u32;
+                        self.queues.with(ctx, |q| {
+                            q.clear();
+                            for i in 0..ctx.threads_per_block as u32 {
+                                q.push(base + i);
+                            }
+                        });
+                    }
+                    true
+                }
+                _ => {
+                    let item = self.queues.with(ctx, |q| q.peek_at(ctx.thread_in_block));
+                    if let Some(it) = item {
+                        self.drained.store(it as usize, 1);
+                        true
+                    } else {
+                        false
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_local_worklists_work_under_the_engine() {
+        let cfg = GpuConfig::small();
+        let queues = BlockLocal::new(cfg.blocks, |_| LocalWorklist::with_capacity(8));
+        let k = BlockQueues {
+            queues: &queues,
+            drained: AtomicU32Slice::new(cfg.total_threads(), 0),
+        };
+        let gpu = VirtualGpu::new(cfg);
+        gpu.launch(&k);
+        assert!(k.drained.to_vec().iter().all(|&v| v == 1));
+    }
+
+    struct Panicker;
+    impl Kernel for Panicker {
+        fn run(&self, _phase: usize, ctx: &mut ThreadCtx<'_>) -> bool {
+            if ctx.tid == 3 {
+                panic!("kernel fault");
+            }
+            true
+        }
+    }
+
+    #[test]
+    fn kernel_panic_propagates_without_hanging() {
+        let gpu = VirtualGpu::new(GpuConfig::small());
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| gpu.launch(&Panicker)));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn degenerate_geometries_work() {
+        // warp bigger than block, single block, single thread, more SMs
+        // than blocks — all must execute every thread exactly once.
+        for (sms, warp, blocks, tpb) in [
+            (4usize, 64usize, 1usize, 8usize),
+            (1, 1, 3, 5),
+            (8, 32, 2, 1),
+            (2, 7, 5, 13),
+        ] {
+            let cfg = GpuConfig {
+                num_sms: sms,
+                warp_size: warp,
+                blocks,
+                threads_per_block: tpb,
+                barrier: crate::BarrierKind::SenseReversing,
+            };
+            let hits = AtomicU32Slice::new(cfg.total_threads(), 0);
+            struct Once<'a>(&'a AtomicU32Slice);
+            impl Kernel for Once<'_> {
+                fn run(&self, _p: usize, ctx: &mut ThreadCtx<'_>) -> bool {
+                    ctx.atomic_add_u32(self.0.at(ctx.tid), 1);
+                    true
+                }
+            }
+            VirtualGpu::new(cfg).launch(&Once(&hits));
+            assert!(
+                hits.to_vec().iter().all(|&h| h == 1),
+                "({sms},{warp},{blocks},{tpb})"
+            );
+        }
+    }
+
+    #[test]
+    fn iteration_counter_visible_to_threads() {
+        struct IterCheck {
+            max_seen: AtomicU64,
+        }
+        impl Kernel for IterCheck {
+            fn run(&self, _p: usize, ctx: &mut ThreadCtx<'_>) -> bool {
+                self.max_seen
+                    .fetch_max(ctx.iteration as u64, Ordering::AcqRel);
+                true
+            }
+            fn next_iteration(&self, iter: usize) -> Decision {
+                if iter < 4 {
+                    Decision::Continue
+                } else {
+                    Decision::Stop
+                }
+            }
+        }
+        let k = IterCheck {
+            max_seen: AtomicU64::new(0),
+        };
+        VirtualGpu::new(GpuConfig::small()).execute(&k);
+        assert_eq!(k.max_seen.load(Ordering::Acquire), 4);
+    }
+
+    #[test]
+    fn geometry_can_be_reconfigured() {
+        let mut gpu = VirtualGpu::new(GpuConfig::small());
+        gpu.set_geometry(2, 16);
+        assert_eq!(gpu.config().total_threads(), 32);
+        let k = Histogram {
+            data: &[1, 2, 3],
+            bins: AtomicU32Slice::new(4, 0),
+        };
+        gpu.launch(&k);
+        assert_eq!(k.bins.to_vec().iter().sum::<u32>(), 3);
+    }
+}

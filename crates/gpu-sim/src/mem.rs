@@ -1,0 +1,390 @@
+//! Global-memory buffers.
+//!
+//! [`SharedSlice`] models CUDA global memory for plain (non-atomic) data:
+//! any thread may read or write any element through a shared reference, and
+//! — exactly as in CUDA — correctness under concurrency is the *algorithm's*
+//! responsibility. The morph techniques in this repository guarantee an
+//! exclusive-writer discipline per element (e.g. only the cavity owner that
+//! won 3-phase conflict resolution writes a triangle's slots), which is the
+//! condition under which this type is sound.
+//!
+//! For locations that are genuinely raced (owner marks, worklist cursors,
+//! points-to bit words, cached surveys) use the atomic slices below; the
+//! floating-point variants bit-cast through `AtomicU32`/`AtomicU64`.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+#[repr(transparent)]
+struct SyncCell<T>(UnsafeCell<T>);
+
+// SAFETY: `SharedSlice`'s API contract (below) restricts concurrent access
+// to the element level: at most one writer per element, and no reader of an
+// element concurrent with its writer. Under that discipline sharing the
+// cell across threads is sound.
+unsafe impl<T: Send> Sync for SyncCell<T> {}
+
+/// A fixed-length buffer readable and writable through `&self` from any
+/// virtual thread — the analogue of a `cudaMalloc`'d array.
+///
+/// # Concurrency contract
+///
+/// For every element index `i`, while any thread may call
+/// [`set`](SharedSlice::set)`(i, _)`, no *other* thread may concurrently
+/// call `get(i)` or `set(i, _)`. Distinct elements are independent.
+/// Violating this is undefined behaviour, just as the equivalent data race
+/// is on the GPU. All algorithm kernels in this workspace uphold the
+/// contract via ownership marking (paper §7.3) or phase separation.
+pub struct SharedSlice<T> {
+    data: Vec<SyncCell<T>>,
+}
+
+impl<T: Copy + Send> SharedSlice<T> {
+    /// A buffer of `len` elements, each initialised to `fill`.
+    pub fn new(len: usize, fill: T) -> Self {
+        Self::from_vec(vec![fill; len])
+    }
+
+    /// Take ownership of `v`'s elements.
+    pub fn from_vec(v: Vec<T>) -> Self {
+        Self {
+            data: v.into_iter().map(|x| SyncCell(UnsafeCell::new(x))).collect(),
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read element `i`. See the type-level concurrency contract.
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        // SAFETY: the cell is valid for `i < len` (slice indexing checks
+        // bounds); concurrent access discipline is the caller's contract.
+        unsafe { *self.data[i].0.get() }
+    }
+
+    /// Write element `i` through a shared reference. See the type-level
+    /// concurrency contract.
+    #[inline]
+    pub fn set(&self, i: usize, v: T) {
+        // SAFETY: as in `get`.
+        unsafe { *self.data[i].0.get() = v }
+    }
+
+    /// Exclusive host-side view of the whole buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        // SAFETY: `&mut self` guarantees no concurrent device access;
+        // `SyncCell<T>` is `repr(transparent)` over `T`.
+        unsafe { std::slice::from_raw_parts_mut(self.data.as_mut_ptr().cast::<T>(), self.data.len()) }
+    }
+
+    /// Grow to `new_len` elements (no-op if already that large), filling
+    /// new slots with `fill`. Host-side only (requires `&mut`), mirroring
+    /// the paper's host-side reallocation strategies (§7.1).
+    pub fn grow(&mut self, new_len: usize, fill: T) {
+        while self.data.len() < new_len {
+            self.data.push(SyncCell(UnsafeCell::new(fill)));
+        }
+    }
+
+    /// Copy the contents out (host-side; requires quiescence, which `&self`
+    /// cannot prove — callers must not run kernels concurrently).
+    pub fn to_vec(&self) -> Vec<T> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+}
+
+impl<T: Copy + Send> From<Vec<T>> for SharedSlice<T> {
+    fn from(v: Vec<T>) -> Self {
+        Self::from_vec(v)
+    }
+}
+
+impl<T: Copy + Send + std::fmt::Debug> std::fmt::Debug for SharedSlice<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedSlice").field("len", &self.len()).finish()
+    }
+}
+
+macro_rules! atomic_slice {
+    ($name:ident, $atomic:ty, $prim:ty) => {
+        /// A growable array of atomics — the analogue of a device array
+        /// accessed with `atomic*()` intrinsics or volatile loads/stores.
+        pub struct $name {
+            data: Vec<$atomic>,
+        }
+
+        impl $name {
+            pub fn new(len: usize, fill: $prim) -> Self {
+                Self {
+                    data: (0..len).map(|_| <$atomic>::new(fill)).collect(),
+                }
+            }
+
+            pub fn from_vec(v: Vec<$prim>) -> Self {
+                Self {
+                    data: v.into_iter().map(<$atomic>::new).collect(),
+                }
+            }
+
+            #[inline]
+            pub fn len(&self) -> usize {
+                self.data.len()
+            }
+
+            #[inline]
+            pub fn is_empty(&self) -> bool {
+                self.data.is_empty()
+            }
+
+            /// Borrow the raw atomic for use with the counted
+            /// [`crate::ThreadCtx`] primitives.
+            #[inline]
+            pub fn at(&self, i: usize) -> &$atomic {
+                &self.data[i]
+            }
+
+            #[inline]
+            pub fn load(&self, i: usize) -> $prim {
+                self.data[i].load(Ordering::Acquire)
+            }
+
+            #[inline]
+            pub fn load_relaxed(&self, i: usize) -> $prim {
+                self.data[i].load(Ordering::Relaxed)
+            }
+
+            #[inline]
+            pub fn store(&self, i: usize, v: $prim) {
+                self.data[i].store(v, Ordering::Release)
+            }
+
+            #[inline]
+            pub fn store_relaxed(&self, i: usize, v: $prim) {
+                self.data[i].store(v, Ordering::Relaxed)
+            }
+
+            /// Host-side bulk fill.
+            pub fn fill(&mut self, v: $prim) {
+                for a in &self.data {
+                    a.store(v, Ordering::Relaxed);
+                }
+            }
+
+            /// Host-side growth to `new_len`, filling new slots with `fill`.
+            pub fn grow(&mut self, new_len: usize, fill: $prim) {
+                while self.data.len() < new_len {
+                    self.data.push(<$atomic>::new(fill));
+                }
+            }
+
+            /// Snapshot the contents (host-side).
+            pub fn to_vec(&self) -> Vec<$prim> {
+                self.data.iter().map(|a| a.load(Ordering::Acquire)).collect()
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_struct(stringify!($name)).field("len", &self.len()).finish()
+            }
+        }
+    };
+}
+
+atomic_slice!(AtomicU32Slice, AtomicU32, u32);
+atomic_slice!(AtomicU64Slice, AtomicU64, u64);
+
+/// Atomic array of `f32`, stored as bit patterns in `AtomicU32` (CUDA
+/// stores floats in 32-bit words the same way; float atomics on Fermi are
+/// CAS loops underneath).
+pub struct AtomicF32Slice {
+    bits: AtomicU32Slice,
+}
+
+impl AtomicF32Slice {
+    pub fn new(len: usize, fill: f32) -> Self {
+        Self {
+            bits: AtomicU32Slice::new(len, fill.to_bits()),
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    #[inline]
+    pub fn load(&self, i: usize) -> f32 {
+        f32::from_bits(self.bits.load(i))
+    }
+
+    #[inline]
+    pub fn store(&self, i: usize, v: f32) {
+        self.bits.store(i, v.to_bits())
+    }
+
+    pub fn fill(&mut self, v: f32) {
+        self.bits.fill(v.to_bits())
+    }
+
+    pub fn grow(&mut self, new_len: usize, fill: f32) {
+        self.bits.grow(new_len, fill.to_bits())
+    }
+
+    pub fn to_vec(&self) -> Vec<f32> {
+        self.bits.to_vec().into_iter().map(f32::from_bits).collect()
+    }
+}
+
+/// Atomic array of `f64`, stored as bit patterns in `AtomicU64`.
+pub struct AtomicF64Slice {
+    bits: AtomicU64Slice,
+}
+
+impl AtomicF64Slice {
+    pub fn new(len: usize, fill: f64) -> Self {
+        Self {
+            bits: AtomicU64Slice::new(len, fill.to_bits()),
+        }
+    }
+
+    pub fn from_vec(v: Vec<f64>) -> Self {
+        Self {
+            bits: AtomicU64Slice::from_vec(v.into_iter().map(f64::to_bits).collect()),
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    #[inline]
+    pub fn load(&self, i: usize) -> f64 {
+        f64::from_bits(self.bits.load(i))
+    }
+
+    #[inline]
+    pub fn store(&self, i: usize, v: f64) {
+        self.bits.store(i, v.to_bits())
+    }
+
+    pub fn fill(&mut self, v: f64) {
+        self.bits.fill(v.to_bits())
+    }
+
+    pub fn grow(&mut self, new_len: usize, fill: f64) {
+        self.bits.grow(new_len, fill.to_bits())
+    }
+
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.bits.to_vec().into_iter().map(f64::from_bits).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_slice_roundtrip() {
+        let mut s = SharedSlice::new(4, 0i64);
+        s.set(2, 42);
+        assert_eq!(s.get(2), 42);
+        assert_eq!(s.to_vec(), vec![0, 0, 42, 0]);
+        s.as_mut_slice()[0] = -1;
+        assert_eq!(s.get(0), -1);
+        s.grow(6, 9);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.get(5), 9);
+        s.grow(2, 7); // shrinking is a no-op
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn shared_slice_disjoint_parallel_writes() {
+        let s = SharedSlice::new(1024, 0u32);
+        std::thread::scope(|scope| {
+            for t in 0..8usize {
+                let s = &s;
+                scope.spawn(move || {
+                    for i in (t..1024).step_by(8) {
+                        s.set(i, i as u32);
+                    }
+                });
+            }
+        });
+        for i in 0..1024 {
+            assert_eq!(s.get(i), i as u32);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn shared_slice_bounds_checked() {
+        let s = SharedSlice::new(3, 0u8);
+        s.get(3);
+    }
+
+    #[test]
+    fn atomic_u32_slice_ops() {
+        let mut s = AtomicU32Slice::new(3, 7);
+        assert_eq!(s.load(1), 7);
+        s.store(1, 9);
+        assert_eq!(s.load_relaxed(1), 9);
+        s.at(1).fetch_add(1, Ordering::AcqRel);
+        assert_eq!(s.load(1), 10);
+        s.fill(0);
+        assert_eq!(s.to_vec(), vec![0, 0, 0]);
+        s.grow(5, 3);
+        assert_eq!(s.to_vec(), vec![0, 0, 0, 3, 3]);
+    }
+
+    #[test]
+    fn atomic_f64_bitcast_roundtrip() {
+        let s = AtomicF64Slice::new(2, -0.5);
+        assert_eq!(s.load(0), -0.5);
+        s.store(1, f64::MAX);
+        assert_eq!(s.load(1), f64::MAX);
+        s.store(0, f64::NAN);
+        assert!(s.load(0).is_nan());
+    }
+
+    #[test]
+    fn atomic_f32_bitcast_roundtrip() {
+        let mut s = AtomicF32Slice::new(1, 1.5);
+        assert_eq!(s.load(0), 1.5);
+        s.store(0, -3.25);
+        assert_eq!(s.to_vec(), vec![-3.25]);
+        s.grow(3, 0.0);
+        assert_eq!(s.len(), 3);
+        s.fill(2.0);
+        assert_eq!(s.to_vec(), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn from_vec_preserves_order() {
+        let s = AtomicU64Slice::from_vec(vec![5, 6, 7]);
+        assert_eq!(s.to_vec(), vec![5, 6, 7]);
+        let p: SharedSlice<u8> = vec![1, 2].into();
+        assert_eq!(p.to_vec(), vec![1, 2]);
+    }
+}

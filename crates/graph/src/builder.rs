@@ -1,0 +1,149 @@
+//! Edge-list → CSR construction (counting sort over sources).
+
+use crate::csr::Csr;
+use crate::{NodeId, Weight};
+
+/// Accumulates an edge list and builds a [`Csr`] in two passes.
+#[derive(Clone, Debug, Default)]
+pub struct CsrBuilder {
+    nodes: usize,
+    edges: Vec<(NodeId, NodeId, Weight)>,
+}
+
+impl CsrBuilder {
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    pub fn with_edge_capacity(nodes: usize, edges: usize) -> Self {
+        Self {
+            nodes,
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Number of directed edges accumulated so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Add one directed edge.
+    pub fn add_directed(&mut self, src: NodeId, dst: NodeId, w: Weight) {
+        debug_assert!((src as usize) < self.nodes && (dst as usize) < self.nodes);
+        self.edges.push((src, dst, w));
+    }
+
+    /// Add an undirected edge (stored in both directions, per §6).
+    pub fn add_undirected(&mut self, a: NodeId, b: NodeId, w: Weight) {
+        self.add_directed(a, b, w);
+        self.add_directed(b, a, w);
+    }
+
+    /// Build the CSR. Edges of a node appear in insertion order.
+    pub fn build(self) -> Csr {
+        let n = self.nodes;
+        let m = self.edges.len();
+        let mut row = vec![0u32; n + 1];
+        for &(s, _, _) in &self.edges {
+            row[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            row[i + 1] += row[i];
+        }
+        let mut cursor = row.clone();
+        let mut dst = vec![0 as NodeId; m];
+        let mut weight = vec![0 as Weight; m];
+        for &(s, d, w) in &self.edges {
+            let at = cursor[s as usize] as usize;
+            cursor[s as usize] += 1;
+            dst[at] = d;
+            weight[at] = w;
+        }
+        Csr::from_parts(row, dst, weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_in_insertion_order() {
+        let mut b = CsrBuilder::with_edge_capacity(4, 4);
+        b.add_directed(2, 0, 10);
+        b.add_directed(2, 3, 11);
+        b.add_directed(0, 1, 12);
+        b.add_directed(2, 1, 13);
+        assert_eq!(b.num_edges(), 4);
+        assert_eq!(b.num_nodes(), 4);
+        let g = b.build();
+        assert_eq!(g.neighbors(2), &[0, 3, 1]);
+        assert_eq!(g.weights(2), &[10, 11, 13]);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.degree(1), 0);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn empty_builder() {
+        let g = CsrBuilder::new(0).build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn undirected_doubles() {
+        let mut b = CsrBuilder::new(2);
+        b.add_undirected(0, 1, 4);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.is_symmetric());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// CSR construction preserves the multiset of edges.
+        #[test]
+        fn csr_preserves_edges(edges in prop::collection::vec((0u32..50, 0u32..50, 0u32..1000), 0..200)) {
+            let mut b = CsrBuilder::new(50);
+            for &(s, d, w) in &edges {
+                b.add_directed(s, d, w);
+            }
+            let g = b.build();
+            prop_assert!(g.validate().is_ok());
+            let mut got: Vec<_> = g.all_edges().collect();
+            let mut want = edges.clone();
+            got.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+
+        /// Degrees sum to the edge count; neighbor slices agree with ranges.
+        #[test]
+        fn degrees_consistent(edges in prop::collection::vec((0u32..20, 0u32..20), 0..100)) {
+            let mut b = CsrBuilder::new(20);
+            for &(s, d) in &edges {
+                b.add_directed(s, d, 1);
+            }
+            let g = b.build();
+            let total: usize = (0..20).map(|n| g.degree(n)).sum();
+            prop_assert_eq!(total, edges.len());
+            for n in 0..20u32 {
+                prop_assert_eq!(g.neighbors(n).len(), g.degree(n));
+                prop_assert_eq!(g.weights(n).len(), g.degree(n));
+            }
+        }
+    }
+}

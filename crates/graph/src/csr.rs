@@ -1,0 +1,242 @@
+//! Compressed sparse row graphs (paper §6).
+
+use crate::{NodeId, Weight};
+
+/// A weighted graph in CSR form. Directed by construction; undirected
+/// graphs store each edge in both directions (as the paper does for MST
+/// and SP factor graphs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    /// `row[n]..row[n+1]` indexes the edges of node `n`. Length = nodes+1.
+    row: Vec<u32>,
+    /// Edge targets.
+    dst: Vec<NodeId>,
+    /// Edge weights (parallel to `dst`).
+    weight: Vec<Weight>,
+}
+
+impl Csr {
+    /// Build from raw parts. Panics if the parts are inconsistent.
+    pub fn from_parts(row: Vec<u32>, dst: Vec<NodeId>, weight: Vec<Weight>) -> Self {
+        assert!(!row.is_empty(), "row offsets must contain at least [0]");
+        assert_eq!(row[0], 0);
+        assert_eq!(*row.last().unwrap() as usize, dst.len());
+        assert_eq!(dst.len(), weight.len());
+        debug_assert!(row.windows(2).all(|w| w[0] <= w[1]), "row offsets must be sorted");
+        let n = row.len() - 1;
+        debug_assert!(dst.iter().all(|&d| (d as usize) < n), "edge target out of range");
+        Self { row, dst, weight }
+    }
+
+    /// An empty graph with `n` isolated nodes.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            row: vec![0; n + 1],
+            dst: Vec::new(),
+            weight: Vec::new(),
+        }
+    }
+
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.row.len() - 1
+    }
+
+    /// Number of *directed* edges stored (an undirected graph reports 2×
+    /// its edge count).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.dst.len()
+    }
+
+    #[inline]
+    pub fn degree(&self, n: NodeId) -> usize {
+        let n = n as usize;
+        (self.row[n + 1] - self.row[n]) as usize
+    }
+
+    /// Edge-index range of node `n`'s adjacency.
+    #[inline]
+    pub fn edge_range(&self, n: NodeId) -> std::ops::Range<usize> {
+        let n = n as usize;
+        self.row[n] as usize..self.row[n + 1] as usize
+    }
+
+    /// Neighbors of `n`.
+    #[inline]
+    pub fn neighbors(&self, n: NodeId) -> &[NodeId] {
+        &self.dst[self.edge_range(n)]
+    }
+
+    /// Weights parallel to [`neighbors`](Self::neighbors).
+    #[inline]
+    pub fn weights(&self, n: NodeId) -> &[Weight] {
+        &self.weight[self.edge_range(n)]
+    }
+
+    /// `(neighbor, weight)` pairs of node `n`.
+    #[inline]
+    pub fn edges(&self, n: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
+        let r = self.edge_range(n);
+        self.dst[r.clone()].iter().copied().zip(self.weight[r].iter().copied())
+    }
+
+    /// Target of edge `e` (global edge index).
+    #[inline]
+    pub fn edge_dst(&self, e: usize) -> NodeId {
+        self.dst[e]
+    }
+
+    /// Weight of edge `e` (global edge index).
+    #[inline]
+    pub fn edge_weight(&self, e: usize) -> Weight {
+        self.weight[e]
+    }
+
+    /// Iterate all directed edges as `(src, dst, weight)`.
+    pub fn all_edges(&self) -> impl Iterator<Item = (NodeId, NodeId, Weight)> + '_ {
+        (0..self.num_nodes() as NodeId).flat_map(move |s| {
+            self.edges(s).map(move |(d, w)| (s, d, w))
+        })
+    }
+
+    /// Unique undirected edges `(u, v, w)` with `u < v`. Assumes the graph
+    /// stores both directions of every edge.
+    pub fn undirected_edges(&self) -> impl Iterator<Item = (NodeId, NodeId, Weight)> + '_ {
+        self.all_edges().filter(|&(s, d, _)| s < d)
+    }
+
+    /// Total weight over unique undirected edges.
+    pub fn total_undirected_weight(&self) -> u64 {
+        self.undirected_edges().map(|(_, _, w)| w as u64).sum()
+    }
+
+    /// Sum of degrees divided by node count.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_nodes() as f64
+        }
+    }
+
+    /// Check structural invariants (for tests and debug builds).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.row[0] != 0 {
+            return Err("row[0] != 0".into());
+        }
+        if *self.row.last().unwrap() as usize != self.dst.len() {
+            return Err("last row offset != edge count".into());
+        }
+        if !self.row.windows(2).all(|w| w[0] <= w[1]) {
+            return Err("row offsets not monotone".into());
+        }
+        let n = self.num_nodes() as NodeId;
+        if let Some(&bad) = self.dst.iter().find(|&&d| d >= n) {
+            return Err(format!("edge target {bad} out of range (n={n})"));
+        }
+        if self.dst.len() != self.weight.len() {
+            return Err("dst/weight length mismatch".into());
+        }
+        Ok(())
+    }
+
+    /// True if for every directed edge `(u,v,w)` the reverse `(v,u,w)`
+    /// exists — i.e. the CSR is a valid undirected doubling.
+    pub fn is_symmetric(&self) -> bool {
+        use std::collections::HashMap;
+        let mut fwd: HashMap<(NodeId, NodeId), Vec<Weight>> = HashMap::new();
+        for (s, d, w) in self.all_edges() {
+            fwd.entry((s, d)).or_default().push(w);
+        }
+        for (s, d, ws) in fwd.iter().map(|((s, d), ws)| (*s, *d, ws)) {
+            let mut sorted = ws.clone();
+            sorted.sort_unstable();
+            match fwd.get(&(d, s)) {
+                Some(rs) => {
+                    let mut rsorted = rs.clone();
+                    rsorted.sort_unstable();
+                    if rsorted != sorted {
+                        return false;
+                    }
+                }
+                None => return false,
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CsrBuilder;
+
+    fn triangle() -> Csr {
+        let mut b = CsrBuilder::new(3);
+        b.add_undirected(0, 1, 5);
+        b.add_undirected(1, 2, 7);
+        b.add_undirected(0, 2, 9);
+        b.build()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.degree(0), 2);
+        let mut nb: Vec<_> = g.neighbors(0).to_vec();
+        nb.sort_unstable();
+        assert_eq!(nb, vec![1, 2]);
+        assert_eq!(g.edges(1).count(), 2);
+        assert!(g.validate().is_ok());
+        assert!(g.is_symmetric());
+        assert_eq!(g.total_undirected_weight(), 21);
+        assert!((g.avg_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undirected_edges_unique() {
+        let g = triangle();
+        let e: Vec<_> = g.undirected_edges().collect();
+        assert_eq!(e.len(), 3);
+        assert!(e.iter().all(|&(u, v, _)| u < v));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty(5);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(4), 0);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.avg_degree(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_parts_rejects_bad_offsets() {
+        Csr::from_parts(vec![0, 2], vec![1], vec![1]);
+    }
+
+    #[test]
+    fn asymmetric_detected() {
+        let mut b = CsrBuilder::new(2);
+        b.add_directed(0, 1, 3);
+        let g = b.build();
+        assert!(!g.is_symmetric());
+    }
+
+    #[test]
+    fn edge_global_index_accessors() {
+        let g = triangle();
+        let r = g.edge_range(0);
+        for e in r {
+            assert_eq!(g.edge_weight(e), {
+                let d = g.edge_dst(e);
+                if d == 1 { 5 } else { 9 }
+            });
+        }
+    }
+}

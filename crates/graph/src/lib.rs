@@ -1,0 +1,39 @@
+//! # morph-graph — graph substrate for the morph algorithms
+//!
+//! Data structures from §6 and §7.1 of *Morph Algorithms on GPUs*:
+//!
+//! * [`Csr`] — compressed sparse row storage, the paper's baseline graph
+//!   representation (§6): "all edges are stored contiguously with the edges
+//!   of a node stored together"; undirected graphs store each edge twice.
+//! * [`ChunkedAdjacency`] — the kernel-only allocation strategy of §7.1:
+//!   each node keeps a linked list of *chunks* of incoming neighbors;
+//!   "chunking reduces the frequency of memory allocation at the cost of
+//!   some internal fragmentation. To enable efficient lookups, we sort the
+//!   nodes in the chunks by ID."
+//! * [`SparseBitSet`] — word-indexed sparse bit vectors used for points-to
+//!   sets.
+//! * [`reorder`] — the memory-layout optimisation of §6.1: renumber nodes
+//!   so graph neighbors are memory neighbors.
+//! * [`UnionFind`] — the "fast union-find data structure" the improved
+//!   Galois 2.1.5 MST baseline uses (§8.4).
+
+pub mod builder;
+pub mod csr;
+pub mod dyn_adj;
+pub mod io;
+pub mod metrics;
+pub mod reorder;
+pub mod sparse_bits;
+pub mod union_find;
+
+pub use builder::CsrBuilder;
+pub use csr::Csr;
+pub use dyn_adj::ChunkedAdjacency;
+pub use sparse_bits::SparseBitSet;
+pub use union_find::UnionFind;
+
+/// Node identifier. 32 bits keeps hot structures small (perf-book idiom);
+/// all workloads in this repository fit comfortably.
+pub type NodeId = u32;
+/// Edge weight used by the MST algorithms.
+pub type Weight = u32;

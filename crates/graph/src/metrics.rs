@@ -1,0 +1,130 @@
+//! Graph metrics: the quantities the paper's Fig. 11 discussion turns on
+//! (density, degree skew, connectivity).
+
+use crate::csr::Csr;
+use crate::union_find::SeqUnionFind;
+
+/// Summary statistics of a graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphMetrics {
+    pub nodes: usize,
+    /// Undirected edge count (directed count / 2 for symmetric graphs).
+    pub undirected_edges: usize,
+    /// Undirected edges per node — the density axis of Fig. 11.
+    pub density: f64,
+    pub max_degree: usize,
+    /// max_degree / mean_degree: ≈1 for grids/roads, large for RMAT.
+    pub degree_skew: f64,
+    pub connected_components: usize,
+    pub isolated_nodes: usize,
+}
+
+/// Compute [`GraphMetrics`] (host-side, O(N + M)).
+pub fn metrics(g: &Csr) -> GraphMetrics {
+    let n = g.num_nodes();
+    let m = g.num_edges() / 2;
+    let mut uf = SeqUnionFind::new(n);
+    let mut max_degree = 0usize;
+    let mut isolated = 0usize;
+    for v in 0..n as u32 {
+        let d = g.degree(v);
+        max_degree = max_degree.max(d);
+        if d == 0 {
+            isolated += 1;
+        }
+        for &w in g.neighbors(v) {
+            uf.union(v, w);
+        }
+    }
+    let components = (0..n as u32).filter(|&v| uf.find(v) == v).count();
+    let mean = if n == 0 { 0.0 } else { g.num_edges() as f64 / n as f64 };
+    GraphMetrics {
+        nodes: n,
+        undirected_edges: m,
+        density: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+        max_degree,
+        degree_skew: if mean > 0.0 { max_degree as f64 / mean } else { 0.0 },
+        connected_components: components,
+        isolated_nodes: isolated,
+    }
+}
+
+/// Degree histogram with power-of-two buckets: `hist[i]` counts nodes of
+/// degree in `[2^i, 2^(i+1))`; `hist[0]` counts degree 0 and 1.
+pub fn degree_histogram(g: &Csr) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for v in 0..g.num_nodes() as u32 {
+        let d = g.degree(v);
+        let bucket = if d <= 1 { 0 } else { (usize::BITS - d.leading_zeros()) as usize - 1 };
+        if hist.len() <= bucket {
+            hist.resize(bucket + 1, 0);
+        }
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CsrBuilder;
+
+    fn path(n: usize) -> Csr {
+        let mut b = CsrBuilder::new(n);
+        for i in 0..n as u32 - 1 {
+            b.add_undirected(i, i + 1, 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn path_metrics() {
+        let m = metrics(&path(10));
+        assert_eq!(m.nodes, 10);
+        assert_eq!(m.undirected_edges, 9);
+        assert_eq!(m.max_degree, 2);
+        assert_eq!(m.connected_components, 1);
+        assert_eq!(m.isolated_nodes, 0);
+        assert!((m.density - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_and_isolated() {
+        let mut b = CsrBuilder::new(5);
+        b.add_undirected(0, 1, 1); // nodes 2,3,4 isolated
+        let m = metrics(&b.build());
+        assert_eq!(m.connected_components, 4);
+        assert_eq!(m.isolated_nodes, 3);
+    }
+
+    #[test]
+    fn star_has_high_skew() {
+        let mut b = CsrBuilder::new(9);
+        for v in 1..9u32 {
+            b.add_undirected(0, v, 1);
+        }
+        let m = metrics(&b.build());
+        assert_eq!(m.max_degree, 8);
+        assert!(m.degree_skew > 4.0, "{}", m.degree_skew);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        // Star of 9: hub degree 8 (bucket 3), leaves degree 1 (bucket 0).
+        let mut b = CsrBuilder::new(9);
+        for v in 1..9u32 {
+            b.add_undirected(0, v, 1);
+        }
+        let h = degree_histogram(&b.build());
+        assert_eq!(h, vec![8, 0, 0, 1]);
+        assert!(degree_histogram(&Csr::empty(0)).is_empty());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let m = metrics(&Csr::empty(0));
+        assert_eq!(m.nodes, 0);
+        assert_eq!(m.density, 0.0);
+        assert_eq!(m.connected_components, 0);
+    }
+}

@@ -1,0 +1,362 @@
+//! Bit-vector sets for points-to analysis.
+//!
+//! Two representations, matching the two solver families:
+//!
+//! * [`SparseBitSet`] — a sorted array of `(base, word)` pairs; the classic
+//!   sparse bit vector used by CPU Andersen solvers. Single-threaded.
+//! * [`AtomicBitmap`] — a dense 2-D bitmap of `AtomicU64` words (one row
+//!   per pointer, one column block per 64 address-taken variables), the
+//!   GPU-side representation. Rows can be updated by their owning thread
+//!   and read concurrently by others — the monotone-staleness pattern the
+//!   paper's pull-based PTA relies on (§6.4).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A sparse set of `u32` values stored as sorted `(base, 64-bit word)`
+/// pairs, where `base = value / 64`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SparseBitSet {
+    words: Vec<(u32, u64)>,
+}
+
+impl SparseBitSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&(_, w)| w == 0)
+    }
+
+    /// Number of elements (popcount over all words).
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|&(_, w)| w.count_ones() as usize).sum()
+    }
+
+    /// Insert `v`; returns `true` if it was newly added.
+    pub fn insert(&mut self, v: u32) -> bool {
+        let base = v / 64;
+        let bit = 1u64 << (v % 64);
+        match self.words.binary_search_by_key(&base, |&(b, _)| b) {
+            Ok(i) => {
+                let old = self.words[i].1;
+                self.words[i].1 = old | bit;
+                old & bit == 0
+            }
+            Err(i) => {
+                self.words.insert(i, (base, bit));
+                true
+            }
+        }
+    }
+
+    pub fn contains(&self, v: u32) -> bool {
+        let base = v / 64;
+        let bit = 1u64 << (v % 64);
+        match self.words.binary_search_by_key(&base, |&(b, _)| b) {
+            Ok(i) => self.words[i].1 & bit != 0,
+            Err(_) => false,
+        }
+    }
+
+    /// `self ∪= other`; returns `true` if `self` changed. Linear-merge —
+    /// the hot operation of inclusion-based points-to analysis.
+    pub fn union_with(&mut self, other: &SparseBitSet) -> bool {
+        if other.words.is_empty() {
+            return false;
+        }
+        let mut changed = false;
+        let mut out = Vec::with_capacity(self.words.len() + other.words.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.words.len() && j < other.words.len() {
+            let (sb, sw) = self.words[i];
+            let (ob, ow) = other.words[j];
+            match sb.cmp(&ob) {
+                std::cmp::Ordering::Less => {
+                    out.push((sb, sw));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    if ow != 0 {
+                        changed = true;
+                    }
+                    out.push((ob, ow));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    if ow & !sw != 0 {
+                        changed = true;
+                    }
+                    out.push((sb, sw | ow));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.words[i..]);
+        for &(b, w) in &other.words[j..] {
+            if w != 0 {
+                changed = true;
+            }
+            out.push((b, w));
+        }
+        self.words = out;
+        changed
+    }
+
+    /// Iterate elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().flat_map(|&(base, word)| {
+            (0..64u32).filter(move |b| word & (1 << b) != 0).map(move |b| base * 64 + b)
+        })
+    }
+
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.iter().collect()
+    }
+}
+
+impl FromIterator<u32> for SparseBitSet {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        let mut s = Self::new();
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+/// Dense rows × (universe/64) columns of atomic 64-bit words.
+///
+/// Writers use `fetch_or`; readers take relaxed/acquire snapshots. All
+/// operations are monotone (bits are only ever set), so stale reads are
+/// safe — the precise property flow-insensitive PTA exploits (§6.4).
+pub struct AtomicBitmap {
+    rows: usize,
+    words_per_row: usize,
+    bits: Vec<AtomicU64>,
+}
+
+impl AtomicBitmap {
+    /// `rows` sets over a universe of `universe` values.
+    pub fn new(rows: usize, universe: usize) -> Self {
+        let words_per_row = universe.div_ceil(64).max(1);
+        Self {
+            rows,
+            words_per_row,
+            bits: (0..rows * words_per_row).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    #[inline]
+    fn word_index(&self, row: usize, v: u32) -> usize {
+        let w = (v / 64) as usize;
+        debug_assert!(w < self.words_per_row, "value {v} outside universe");
+        row * self.words_per_row + w
+    }
+
+    /// Set bit `v` in `row`; returns `true` if newly set.
+    #[inline]
+    pub fn set(&self, row: usize, v: u32) -> bool {
+        let bit = 1u64 << (v % 64);
+        let prev = self.bits[self.word_index(row, v)].fetch_or(bit, Ordering::AcqRel);
+        prev & bit == 0
+    }
+
+    #[inline]
+    pub fn get(&self, row: usize, v: u32) -> bool {
+        let bit = 1u64 << (v % 64);
+        self.bits[self.word_index(row, v)].load(Ordering::Acquire) & bit != 0
+    }
+
+    /// Raw word access (for the pull kernel's word-parallel unions).
+    #[inline]
+    pub fn word(&self, row: usize, w: usize) -> u64 {
+        self.bits[row * self.words_per_row + w].load(Ordering::Acquire)
+    }
+
+    /// `row(dst) ∪= row(src)`; returns `true` if `dst` changed. Word-wise
+    /// `fetch_or`, skipping zero source words.
+    pub fn union_rows(&self, dst: usize, src: usize) -> bool {
+        debug_assert_ne!(dst, src);
+        let mut changed = false;
+        for w in 0..self.words_per_row {
+            let s = self.word(src, w);
+            if s == 0 {
+                continue;
+            }
+            let d = &self.bits[dst * self.words_per_row + w];
+            if d.load(Ordering::Relaxed) & s != s {
+                let prev = d.fetch_or(s, Ordering::AcqRel);
+                if prev & s != s {
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
+    /// Popcount of `row`.
+    pub fn count(&self, row: usize) -> usize {
+        (0..self.words_per_row).map(|w| self.word(row, w).count_ones() as usize).sum()
+    }
+
+    /// Elements of `row` in ascending order (snapshot).
+    pub fn row_to_vec(&self, row: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        for w in 0..self.words_per_row {
+            let mut word = self.word(row, w);
+            while word != 0 {
+                let b = word.trailing_zeros();
+                out.push(w as u32 * 64 + b);
+                word &= word - 1;
+            }
+        }
+        out
+    }
+
+    /// Visit the elements of `row`.
+    pub fn for_each(&self, row: usize, mut f: impl FnMut(u32)) {
+        for w in 0..self.words_per_row {
+            let mut word = self.word(row, w);
+            while word != 0 {
+                let b = word.trailing_zeros();
+                f(w as u32 * 64 + b);
+                word &= word - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_insert_contains() {
+        let mut s = SparseBitSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.insert(1000));
+        assert!(s.insert(64));
+        assert!(s.contains(5));
+        assert!(s.contains(64));
+        assert!(!s.contains(63));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.to_vec(), vec![5, 64, 1000]);
+    }
+
+    #[test]
+    fn sparse_union_reports_change() {
+        let mut a: SparseBitSet = [1u32, 2, 3].into_iter().collect();
+        let b: SparseBitSet = [3u32, 4, 200].into_iter().collect();
+        assert!(a.union_with(&b));
+        assert_eq!(a.to_vec(), vec![1, 2, 3, 4, 200]);
+        assert!(!a.union_with(&b), "second union adds nothing");
+        let empty = SparseBitSet::new();
+        assert!(!a.union_with(&empty));
+    }
+
+    #[test]
+    fn atomic_bitmap_set_get() {
+        let m = AtomicBitmap::new(3, 130);
+        assert_eq!(m.words_per_row(), 3);
+        assert!(m.set(1, 5));
+        assert!(!m.set(1, 5));
+        assert!(m.set(1, 129));
+        assert!(m.get(1, 5));
+        assert!(!m.get(0, 5));
+        assert_eq!(m.count(1), 2);
+        assert_eq!(m.row_to_vec(1), vec![5, 129]);
+    }
+
+    #[test]
+    fn atomic_bitmap_union_rows() {
+        let m = AtomicBitmap::new(2, 256);
+        for v in [0u32, 63, 64, 255] {
+            m.set(0, v);
+        }
+        assert!(m.union_rows(1, 0));
+        assert!(!m.union_rows(1, 0));
+        assert_eq!(m.row_to_vec(1), vec![0, 63, 64, 255]);
+    }
+
+    #[test]
+    fn atomic_bitmap_concurrent_sets() {
+        let m = AtomicBitmap::new(1, 64 * 64);
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                let m = &m;
+                s.spawn(move || {
+                    for i in 0..512u32 {
+                        m.set(0, (i * 8 + t) % 4096);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.count(0), 4096);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    proptest! {
+        /// SparseBitSet behaves like a BTreeSet model.
+        #[test]
+        fn sparse_matches_model(values in prop::collection::vec(0u32..5000, 0..300)) {
+            let mut s = SparseBitSet::new();
+            let mut model = BTreeSet::new();
+            for &v in &values {
+                prop_assert_eq!(s.insert(v), model.insert(v));
+            }
+            prop_assert_eq!(s.len(), model.len());
+            prop_assert_eq!(s.to_vec(), model.iter().copied().collect::<Vec<_>>());
+            for v in 0..5000u32 {
+                if model.contains(&v) {
+                    prop_assert!(s.contains(v));
+                }
+            }
+        }
+
+        /// Union matches model union and change-reporting is exact.
+        #[test]
+        fn union_matches_model(
+            a in prop::collection::vec(0u32..2000, 0..150),
+            b in prop::collection::vec(0u32..2000, 0..150),
+        ) {
+            let mut sa: SparseBitSet = a.iter().copied().collect();
+            let sb: SparseBitSet = b.iter().copied().collect();
+            let ma: BTreeSet<u32> = a.iter().copied().collect();
+            let mb: BTreeSet<u32> = b.iter().copied().collect();
+            let should_change = !mb.is_subset(&ma);
+            prop_assert_eq!(sa.union_with(&sb), should_change);
+            let want: Vec<u32> = ma.union(&mb).copied().collect();
+            prop_assert_eq!(sa.to_vec(), want);
+        }
+
+        /// AtomicBitmap rows agree with SparseBitSet on the same inserts.
+        #[test]
+        fn bitmap_matches_sparse(values in prop::collection::vec(0u32..1000, 0..200)) {
+            let m = AtomicBitmap::new(1, 1000);
+            let mut s = SparseBitSet::new();
+            for &v in &values {
+                prop_assert_eq!(m.set(0, v), s.insert(v));
+            }
+            prop_assert_eq!(m.row_to_vec(0), s.to_vec());
+            prop_assert_eq!(m.count(0), s.len());
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Component-based multicore Boruvka — the Galois-2.1.5 role of Fig. 11.
+//!
+//! "We modified the Galois implementation (in version 2.1.5) to also use
+//! a component-based approach. Additionally, the new multicore code
+//! incorporates a fast union-find data structure that maintains groups of
+//! nodes, keeps the graph unmodified, and employs a bulk-synchronous
+//! executor. The resulting CPU code is much faster."
+//!
+//! Rounds: (1) every node scans its *original* adjacency and atomic-mins
+//! the best outgoing edge into its component's candidate slot; (2) each
+//! component is unioned with its candidate's other endpoint; repeat.
+
+use crate::MstResult;
+use morph_graph::{Csr, UnionFind};
+use morph_gpu_sim::kernel::chunk_bounds;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+const NONE: u64 = u64::MAX;
+
+/// Pack `(weight, edge id)` so `u64` min order = (weight, edge id) order.
+#[inline]
+fn pack(w: u32, edge: u32) -> u64 {
+    ((w as u64) << 32) | edge as u64
+}
+
+/// Minimum spanning forest with `threads` workers.
+pub fn mst(g: &Csr, threads: usize) -> MstResult {
+    let n = g.num_nodes();
+    let threads = threads.max(1);
+    let mut out = MstResult::default();
+    if n == 0 {
+        return out;
+    }
+    // Edge-id → source node (the CSR stores only destinations).
+    let mut edge_src = vec![0u32; g.num_edges()];
+    for v in 0..n as u32 {
+        for e in g.edge_range(v) {
+            edge_src[e] = v;
+        }
+    }
+
+    let uf = UnionFind::new(n);
+    let best: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(NONE)).collect();
+    let weight = AtomicU64::new(0);
+    let edges = AtomicUsize::new(0);
+    let rounds = AtomicUsize::new(0);
+    let progressed = AtomicBool::new(true);
+    // Persistent workers, one barrier per phase: the "bulk-synchronous
+    // executor" the paper credits Galois 2.1.5 with — threads are not
+    // respawned per round.
+    let barrier = Barrier::new(threads);
+
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let (lo, hi) = chunk_bounds(n, t, threads);
+            let (uf, best, weight, edges, edge_src, rounds, progressed, barrier) = (
+                &uf, &best, &weight, &edges, &edge_src, &rounds, &progressed, &barrier,
+            );
+            s.spawn(move || loop {
+                // Phase 1: per-node min-edge scan into the component slot.
+                for v in lo as u32..hi as u32 {
+                    let my = uf.find(v);
+                    let mut local = NONE;
+                    for e in g.edge_range(v) {
+                        let d = g.edge_dst(e);
+                        if uf.find(d) != my {
+                            local = local.min(pack(g.edge_weight(e), e as u32));
+                        }
+                    }
+                    if local != NONE {
+                        best[my as usize].fetch_min(local, Ordering::AcqRel);
+                    }
+                }
+                if barrier.wait().is_leader() {
+                    progressed.store(false, Ordering::Release);
+                    rounds.fetch_add(1, Ordering::AcqRel);
+                }
+                barrier.wait();
+                // Phase 2: contract each component along its candidate.
+                let mut any = false;
+                for c in lo as u32..hi as u32 {
+                    let cand = best[c as usize].swap(NONE, Ordering::AcqRel);
+                    if cand == NONE {
+                        continue;
+                    }
+                    let e = (cand & 0xffff_ffff) as u32;
+                    let w = (cand >> 32) as u32;
+                    let u = edge_src[e as usize];
+                    let v = g.edge_dst(e as usize);
+                    if uf.union(u, v) {
+                        weight.fetch_add(w as u64, Ordering::AcqRel);
+                        edges.fetch_add(1, Ordering::AcqRel);
+                        any = true;
+                    }
+                }
+                if any {
+                    progressed.store(true, Ordering::Release);
+                }
+                barrier.wait();
+                if !progressed.load(Ordering::Acquire) {
+                    return;
+                }
+            });
+        }
+    });
+
+    out.rounds = rounds.load(Ordering::Acquire);
+    out.weight = weight.load(Ordering::Acquire);
+    out.edges = edges.load(Ordering::Acquire);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kruskal;
+    use crate::testgraphs::*;
+
+    #[test]
+    fn matches_kruskal_on_random_graphs() {
+        for seed in 0..6 {
+            let g = random_connected(300, 900, seed);
+            let a = mst(&g, 4);
+            let b = kruskal::mst(&g);
+            assert_eq!(a.weight, b.weight, "seed {seed}");
+            assert_eq!(a.edges, b.edges);
+            assert_eq!(a.edges, 299, "spanning tree of connected graph");
+        }
+    }
+
+    #[test]
+    fn handles_ties_and_disconnection() {
+        for seed in 0..4 {
+            let g = tied_weights(120, seed);
+            assert_eq!(mst(&g, 4).weight, kruskal::mst(&g).weight, "ties {seed}");
+        }
+        let g = two_components(9);
+        let r = mst(&g, 4);
+        assert_eq!(r.weight, kruskal::mst(&g).weight);
+        assert_eq!(r.edges, 38);
+    }
+
+    #[test]
+    fn pack_orders_by_weight_then_edge() {
+        assert!(pack(1, 500) < pack(2, 0));
+        assert!(pack(3, 1) < pack(3, 2));
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let g = random_connected(50, 100, 77);
+        assert_eq!(mst(&g, 1).weight, kruskal::mst(&g).weight);
+    }
+}

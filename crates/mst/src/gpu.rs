@@ -1,0 +1,233 @@
+//! The virtual-GPU Boruvka pipeline (paper §5 "GPU Implementation").
+//!
+//! "The first kernel identifies the minimum edge of each node whose other
+//! endpoint is in another component. The second kernel isolates the
+//! minimum inter-component edge for each component. … All components in a
+//! cycle are then merged … The process repeats until there is a single
+//! component." Components are a partition maintained in a union-find
+//! (§6.5: "the newly formed components can be handled by reshuffling the
+//! nodes in an array" — pre-allocation, nothing grows); the original
+//! adjacency lists are never modified, so "the cost of merging increases
+//! with the number of nodes rather than with the number of edges" — the
+//! property that makes the GPU version win on dense graphs (Fig. 11).
+
+use crate::MstResult;
+use morph_core::AdaptiveParallelism;
+use morph_graph::{Csr, UnionFind};
+use morph_gpu_sim::{
+    AtomicU64Slice, BarrierKind, Decision, GpuConfig, Kernel, LaunchStats, ThreadCtx, VirtualGpu,
+};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+const NONE: u64 = u64::MAX;
+
+#[inline]
+fn pack(w: u32, edge: u32) -> u64 {
+    ((w as u64) << 32) | edge as u64
+}
+
+struct BoruvkaKernel<'a> {
+    g: &'a Csr,
+    edge_src: &'a [u32],
+    uf: &'a UnionFind,
+    /// Kernel 1+2 output: per-component minimum inter-component edge.
+    best: &'a AtomicU64Slice,
+    weight: &'a AtomicU64,
+    edges: &'a AtomicUsize,
+    changed: AtomicBool,
+    rounds: AtomicUsize,
+}
+
+impl Kernel for BoruvkaKernel<'_> {
+    fn phases(&self) -> usize {
+        3
+    }
+
+    fn run(&self, phase: usize, ctx: &mut ThreadCtx<'_>) -> bool {
+        let n = self.g.num_nodes();
+        match phase {
+            // Kernel 1+2: per-node scan, atomic-min into the component
+            // slot (the per-node minimum of kernel 1 and the
+            // per-component isolation of kernel 2 fuse into one
+            // reduction; the reduction tree is the atomicMin).
+            0 => {
+                if ctx.tid == 0 {
+                    self.changed.store(false, Ordering::Release);
+                }
+                let mut any = false;
+                for v in ctx.chunked(n) {
+                    let v = v as u32;
+                    let my = self.uf.find(v);
+                    let mut local = NONE;
+                    for e in self.g.edge_range(v) {
+                        if self.uf.find(self.g.edge_dst(e)) != my {
+                            local = local.min(pack(self.g.edge_weight(e), e as u32));
+                        }
+                    }
+                    if local != NONE {
+                        ctx.atomic_min_u64(self.best.at(my as usize), local);
+                        any = true;
+                    }
+                }
+                any
+            }
+            // Kernel 3: cycle handling. Mutual-best pairs and longer
+            // equal-weight cycles are resolved by the union-find itself:
+            // the union toward the minimum root id succeeds exactly
+            // component-count − 1 times around any cycle (the paper's
+            // min-id cycle representative).
+            1 => {
+                let mut any = false;
+                for c in ctx.chunked(n) {
+                    let cand = self.best.load(c);
+                    if cand == NONE {
+                        continue;
+                    }
+                    any = true;
+                    let e = (cand & 0xffff_ffff) as usize;
+                    let u = self.edge_src[e];
+                    let v = self.g.edge_dst(e);
+                    if self.uf.union(u, v) {
+                        ctx.atomic_add_u64(self.weight, cand >> 32);
+                        self.edges.fetch_add(1, Ordering::AcqRel);
+                        self.changed.store(true, Ordering::Release);
+                    }
+                }
+                any
+            }
+            // Kernel 4: reset component slots for the next round (the
+            // paper's merge kernel also re-initialises per-component
+            // state).
+            _ => {
+                let mut any = false;
+                for c in ctx.chunked(n) {
+                    if self.best.load_relaxed(c) != NONE {
+                        self.best.store_relaxed(c, NONE);
+                        any = true;
+                    }
+                }
+                any
+            }
+        }
+    }
+
+    fn next_iteration(&self, iter: usize) -> Decision {
+        self.rounds.store(iter + 1, Ordering::Release);
+        if self.changed.load(Ordering::Acquire) {
+            Decision::Continue
+        } else {
+            Decision::Stop
+        }
+    }
+}
+
+/// Outcome with virtual-GPU counters.
+pub struct GpuMstOutcome {
+    pub result: MstResult,
+    pub launch: LaunchStats,
+}
+
+/// Minimum spanning forest on the virtual GPU with `sms` workers.
+pub fn mst_with_stats(g: &Csr, sms: usize) -> GpuMstOutcome {
+    let n = g.num_nodes();
+    if n == 0 {
+        return GpuMstOutcome {
+            result: MstResult::default(),
+            launch: LaunchStats::default(),
+        };
+    }
+    let mut edge_src = vec![0u32; g.num_edges()];
+    for v in 0..n as u32 {
+        for e in g.edge_range(v) {
+            edge_src[e] = v;
+        }
+    }
+    let uf = UnionFind::new(n);
+    let best = AtomicU64Slice::new(n, NONE);
+    let weight = AtomicU64::new(0);
+    let edges = AtomicUsize::new(0);
+    let k = BoruvkaKernel {
+        g,
+        edge_src: &edge_src,
+        uf: &uf,
+        best: &best,
+        weight: &weight,
+        edges: &edges,
+        changed: AtomicBool::new(false),
+        rounds: AtomicUsize::new(0),
+    };
+    let blocks = AdaptiveParallelism::blocks_for_input(sms, n, 4096);
+    let gpu = VirtualGpu::new(GpuConfig {
+        num_sms: sms,
+        warp_size: 32,
+        blocks,
+        threads_per_block: 64,
+        barrier: BarrierKind::SenseReversing,
+    });
+    let launch = gpu.execute(&k);
+    GpuMstOutcome {
+        result: MstResult {
+            weight: weight.load(Ordering::Acquire),
+            edges: edges.load(Ordering::Acquire),
+            rounds: k.rounds.load(Ordering::Acquire),
+        },
+        launch,
+    }
+}
+
+/// Minimum spanning forest (result only).
+pub fn mst(g: &Csr, sms: usize) -> MstResult {
+    mst_with_stats(g, sms).result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kruskal;
+    use crate::testgraphs::*;
+
+    #[test]
+    fn matches_kruskal_on_random_graphs() {
+        for seed in 0..6 {
+            let g = random_connected(250, 800, seed);
+            let a = mst(&g, 4);
+            let b = kruskal::mst(&g);
+            assert_eq!(a.weight, b.weight, "seed {seed}");
+            assert_eq!(a.edges, b.edges);
+            assert!(a.rounds >= 1 && a.rounds < 32, "rounds {}", a.rounds);
+        }
+    }
+
+    #[test]
+    fn handles_ties() {
+        for seed in 0..5 {
+            let g = tied_weights(150, seed);
+            assert_eq!(mst(&g, 3).weight, kruskal::mst(&g).weight, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn handles_disconnected() {
+        let g = two_components(11);
+        let r = mst(&g, 2);
+        assert_eq!(r.weight, kruskal::mst(&g).weight);
+        assert_eq!(r.edges, 38);
+    }
+
+    #[test]
+    fn boruvka_rounds_are_logarithmic() {
+        let g = random_connected(1024, 0, 3); // pure path: worst case still O(log n) rounds
+        let r = mst(&g, 4);
+        assert!(r.rounds <= 14, "rounds {}", r.rounds);
+        assert_eq!(r.edges, 1023);
+    }
+
+    #[test]
+    fn stats_are_collected() {
+        let g = random_connected(100, 200, 1);
+        let out = mst_with_stats(&g, 2);
+        assert!(out.launch.iterations >= 1);
+        assert!(out.launch.atomics > 0);
+        assert_eq!(out.result.weight, kruskal::mst(&g).weight);
+    }
+}

@@ -1,0 +1,143 @@
+//! Hybrid Boruvka→Kruskal MST.
+//!
+//! §5 of the paper: "Initially, there is a lot of parallelism in
+//! Boruvka's minimum spanning tree algorithm … After each edge
+//! contraction, the graph becomes denser with fewer nodes, lowering the
+//! available parallelism. This is why many parallel MST implementations
+//! begin with Boruvka's algorithm but switch algorithms as the graph
+//! becomes dense." This module implements that switch: parallel
+//! component-based Boruvka rounds until the component count drops below a
+//! threshold, then a sequential Kruskal finish over the surviving
+//! inter-component edges.
+
+use crate::MstResult;
+use morph_graph::{Csr, UnionFind};
+use morph_gpu_sim::kernel::chunk_bounds;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+const NONE: u64 = u64::MAX;
+
+#[inline]
+fn pack(w: u32, edge: u32) -> u64 {
+    ((w as u64) << 32) | edge as u64
+}
+
+/// MST with Boruvka rounds until ≤ `switch_at` components remain (or no
+/// round makes progress), then a Kruskal endgame.
+pub fn mst(g: &Csr, threads: usize, switch_at: usize) -> MstResult {
+    let n = g.num_nodes();
+    let threads = threads.max(1);
+    let mut out = MstResult::default();
+    if n == 0 {
+        return out;
+    }
+    let mut edge_src = vec![0u32; g.num_edges()];
+    for v in 0..n as u32 {
+        for e in g.edge_range(v) {
+            edge_src[e] = v;
+        }
+    }
+    let uf = UnionFind::new(n);
+    let best: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(NONE)).collect();
+    let weight = AtomicU64::new(0);
+    let edges = AtomicUsize::new(0);
+    let mut components = n;
+
+    // Phase 1: parallel Boruvka while parallelism is plentiful.
+    while components > switch_at.max(1) {
+        out.rounds += 1;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let (lo, hi) = chunk_bounds(n, t, threads);
+                let (uf, best) = (&uf, &best);
+                s.spawn(move || {
+                    for v in lo as u32..hi as u32 {
+                        let my = uf.find(v);
+                        let mut local = NONE;
+                        for e in g.edge_range(v) {
+                            if uf.find(g.edge_dst(e)) != my {
+                                local = local.min(pack(g.edge_weight(e), e as u32));
+                            }
+                        }
+                        if local != NONE {
+                            best[my as usize].fetch_min(local, Ordering::AcqRel);
+                        }
+                    }
+                });
+            }
+        });
+        let mut merged = 0usize;
+        for c in 0..n {
+            let cand = best[c].swap(NONE, Ordering::AcqRel);
+            if cand == NONE {
+                continue;
+            }
+            let e = (cand & 0xffff_ffff) as usize;
+            if uf.union(edge_src[e], g.edge_dst(e)) {
+                weight.fetch_add(cand >> 32, Ordering::AcqRel);
+                edges.fetch_add(1, Ordering::AcqRel);
+                merged += 1;
+            }
+        }
+        if merged == 0 {
+            break; // only isolated components remain
+        }
+        components -= merged;
+    }
+
+    // Phase 2: Kruskal endgame on the remaining inter-component edges.
+    if components > 1 {
+        let mut rest: Vec<(u32, u32, u32)> = g
+            .undirected_edges()
+            .filter(|&(u, v, _)| uf.find(u) != uf.find(v))
+            .map(|(u, v, w)| (w, u, v))
+            .collect();
+        rest.sort_unstable();
+        for (w, u, v) in rest {
+            if uf.union(u, v) {
+                weight.fetch_add(w as u64, Ordering::AcqRel);
+                edges.fetch_add(1, Ordering::AcqRel);
+            }
+        }
+    }
+
+    out.weight = weight.load(Ordering::Acquire);
+    out.edges = edges.load(Ordering::Acquire);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kruskal;
+    use crate::testgraphs::*;
+
+    #[test]
+    fn matches_kruskal_for_all_switch_points() {
+        let g = random_connected(300, 900, 3);
+        let want = kruskal::mst(&g);
+        for switch_at in [1usize, 8, 64, 1000] {
+            let got = mst(&g, 3, switch_at);
+            assert_eq!(got.weight, want.weight, "switch_at={switch_at}");
+            assert_eq!(got.edges, want.edges);
+        }
+    }
+
+    #[test]
+    fn pure_kruskal_mode_runs_zero_rounds() {
+        let g = random_connected(100, 200, 5);
+        let r = mst(&g, 2, usize::MAX);
+        assert_eq!(r.rounds, 0);
+        assert_eq!(r.weight, kruskal::mst(&g).weight);
+    }
+
+    #[test]
+    fn handles_ties_and_disconnection() {
+        let g = tied_weights(120, 7);
+        assert_eq!(mst(&g, 2, 16).weight, kruskal::mst(&g).weight);
+        let g = two_components(2);
+        let r = mst(&g, 2, 4);
+        assert_eq!(r.weight, kruskal::mst(&g).weight);
+        assert_eq!(r.edges, 38);
+    }
+}

@@ -1,0 +1,56 @@
+//! Kruskal's algorithm — the verification oracle. Ordered (sorts all
+//! edges), in contrast to Boruvka's unordered contraction (§5).
+
+use crate::MstResult;
+use morph_graph::union_find::SeqUnionFind;
+use morph_graph::Csr;
+
+/// Minimum spanning forest by Kruskal's algorithm.
+pub fn mst(g: &Csr) -> MstResult {
+    let mut edges: Vec<(u32, u32, u32)> =
+        g.undirected_edges().map(|(u, v, w)| (w, u, v)).collect();
+    edges.sort_unstable();
+    let mut uf = SeqUnionFind::new(g.num_nodes());
+    let mut out = MstResult::default();
+    for (w, u, v) in edges {
+        if uf.union(u, v) {
+            out.weight += w as u64;
+            out.edges += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_graph::CsrBuilder;
+
+    #[test]
+    fn textbook_example() {
+        // Classic 4-node graph with known MST weight 6 (1+2+3).
+        let mut b = CsrBuilder::new(4);
+        b.add_undirected(0, 1, 1);
+        b.add_undirected(1, 2, 2);
+        b.add_undirected(2, 3, 3);
+        b.add_undirected(0, 3, 10);
+        b.add_undirected(0, 2, 9);
+        let r = mst(&b.build());
+        assert_eq!(r.weight, 6);
+        assert_eq!(r.edges, 3);
+    }
+
+    #[test]
+    fn forest_on_disconnected() {
+        let g = crate::testgraphs::two_components(3);
+        let r = mst(&g);
+        assert_eq!(r.edges, 38, "two components of 20 ⇒ 19+19 edges");
+    }
+
+    #[test]
+    fn empty_and_trivial() {
+        let r = mst(&morph_graph::Csr::empty(5));
+        assert_eq!(r.weight, 0);
+        assert_eq!(r.edges, 0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Points-to constraints (paper §4, Fig. 5).
+//!
+//! "There are four kinds of constraints: address-of (p = &q), copy
+//! (p = q), load (p = *q) and store (*p = q). The address-of constraints
+//! determine the initial points-to information in the constraint graph and
+//! the other three types of constraints add edges."
+
+/// One points-to constraint over variable ids.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Constraint {
+    /// `p = &q`
+    AddressOf { p: u32, q: u32 },
+    /// `p = q`
+    Copy { p: u32, q: u32 },
+    /// `p = *q`
+    Load { p: u32, q: u32 },
+    /// `*p = q`
+    Store { p: u32, q: u32 },
+}
+
+/// A points-to analysis instance.
+#[derive(Clone, Debug, Default)]
+pub struct PtaProblem {
+    pub num_vars: usize,
+    pub constraints: Vec<Constraint>,
+}
+
+impl PtaProblem {
+    pub fn new(num_vars: usize) -> Self {
+        Self {
+            num_vars,
+            constraints: Vec::new(),
+        }
+    }
+
+    pub fn add(&mut self, c: Constraint) {
+        debug_assert!(self.vars_of(c).iter().all(|&v| (v as usize) < self.num_vars));
+        self.constraints.push(c);
+    }
+
+    fn vars_of(&self, c: Constraint) -> [u32; 2] {
+        match c {
+            Constraint::AddressOf { p, q }
+            | Constraint::Copy { p, q }
+            | Constraint::Load { p, q }
+            | Constraint::Store { p, q } => [p, q],
+        }
+    }
+
+    /// Counts per constraint kind: `(address-of, copy, load, store)`.
+    pub fn kind_counts(&self) -> (usize, usize, usize, usize) {
+        let mut n = (0, 0, 0, 0);
+        for c in &self.constraints {
+            match c {
+                Constraint::AddressOf { .. } => n.0 += 1,
+                Constraint::Copy { .. } => n.1 += 1,
+                Constraint::Load { .. } => n.2 += 1,
+                Constraint::Store { .. } => n.3 += 1,
+            }
+        }
+        n
+    }
+
+    /// The paper's Fig. 5 example: a = &x; b = &y; p = &a; *p = b; c = a.
+    pub fn fig5() -> (Self, &'static [&'static str]) {
+        const NAMES: &[&str] = &["a", "b", "p", "c", "x", "y"];
+        let (a, b, p, c, x, y) = (0, 1, 2, 3, 4, 5);
+        let mut prob = Self::new(6);
+        prob.add(Constraint::AddressOf { p: a, q: x });
+        prob.add(Constraint::AddressOf { p: b, q: y });
+        prob.add(Constraint::AddressOf { p: p, q: a });
+        prob.add(Constraint::Store { p, q: b });
+        prob.add(Constraint::Copy { p: c, q: a });
+        (prob, NAMES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_shape() {
+        let (prob, names) = PtaProblem::fig5();
+        assert_eq!(prob.num_vars, 6);
+        assert_eq!(prob.constraints.len(), 5);
+        assert_eq!(prob.kind_counts(), (3, 1, 0, 1));
+        assert_eq!(names.len(), 6);
+    }
+}

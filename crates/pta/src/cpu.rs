@@ -1,0 +1,130 @@
+//! Multicore **push-based** solver — the Galois-role baseline of Fig. 10.
+//!
+//! "In a push-based approach, multiple threads may simultaneously
+//! propagate information to the same node and, in general, need to use
+//! synchronization" (§6.4). Rounds of two bulk phases (add edges, then
+//! push) over host threads; points-to rows are updated with atomic
+//! `fetch_or`s, so concurrent pushes into one target contend — the cost
+//! the GPU engine's pull model avoids.
+
+use crate::constraints::{Constraint, PtaProblem};
+use crate::Solution;
+use morph_graph::sparse_bits::AtomicBitmap;
+use morph_graph::ChunkedAdjacency;
+use morph_gpu_sim::kernel::chunk_bounds;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Solve with `threads` workers.
+pub fn solve(prob: &PtaProblem, threads: usize) -> Solution {
+    let n = prob.num_vars;
+    let threads = threads.max(1);
+    let pts = AtomicBitmap::new(n, n.max(1));
+    // Outgoing copy edges, grown concurrently in chunks (§7.1); the chunk
+    // directory is lazy, so cap at the worst-case O(n²) edge set.
+    let max_chunks = n * 2 + n * n / 16 + 1024;
+    let succ = ChunkedAdjacency::new(n, 16, max_chunks);
+
+    for &c in &prob.constraints {
+        match c {
+            Constraint::AddressOf { p, q } => {
+                pts.set(p as usize, q);
+            }
+            Constraint::Copy { p, q } => {
+                succ.insert(q, p);
+            }
+            _ => {}
+        }
+    }
+    let complex: Vec<Constraint> = prob
+        .constraints
+        .iter()
+        .copied()
+        .filter(|c| matches!(c, Constraint::Load { .. } | Constraint::Store { .. }))
+        .collect();
+
+    let changed = AtomicBool::new(true);
+    while changed.swap(false, Ordering::AcqRel) {
+        // Phase A: evaluate load/store constraints, adding edges.
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let (lo, hi) = chunk_bounds(complex.len(), t, threads);
+                let (pts, succ, complex, changed) = (&pts, &succ, &complex, &changed);
+                s.spawn(move || {
+                    for &c in &complex[lo..hi] {
+                        match c {
+                            Constraint::Load { p, q } => {
+                                pts.for_each(q as usize, |v| {
+                                    if succ.insert(v, p) {
+                                        changed.store(true, Ordering::Release);
+                                    }
+                                });
+                            }
+                            Constraint::Store { p, q } => {
+                                pts.for_each(p as usize, |v| {
+                                    if succ.insert(q, v) {
+                                        changed.store(true, Ordering::Release);
+                                    }
+                                });
+                            }
+                            _ => unreachable!(),
+                        }
+                    }
+                });
+            }
+        });
+        // Phase B: push along edges (atomic unions into shared targets).
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let (lo, hi) = chunk_bounds(n, t, threads);
+                let (pts, succ, changed) = (&pts, &succ, &changed);
+                s.spawn(move || {
+                    for src in lo..hi {
+                        succ.for_each(src as u32, |dst| {
+                            if dst as usize != src && pts.union_rows(dst as usize, src) {
+                                changed.store(true, Ordering::Release);
+                            }
+                        });
+                    }
+                });
+            }
+        });
+    }
+
+    (0..n).map(|v| pts.row_to_vec(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_matches_serial() {
+        let (prob, _) = PtaProblem::fig5();
+        assert_eq!(solve(&prob, 4), crate::serial::solve(&prob));
+    }
+
+    #[test]
+    fn random_problems_match_serial() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(31);
+        for trial in 0..5 {
+            let n = 60;
+            let mut prob = PtaProblem::new(n);
+            for _ in 0..150 {
+                let p = rng.gen_range(0..n as u32);
+                let q = rng.gen_range(0..n as u32);
+                prob.add(match rng.gen_range(0..4) {
+                    0 => Constraint::AddressOf { p, q },
+                    1 => Constraint::Copy { p, q },
+                    2 => Constraint::Load { p, q },
+                    _ => Constraint::Store { p, q },
+                });
+            }
+            assert_eq!(
+                solve(&prob, 4),
+                crate::serial::solve(&prob),
+                "trial {trial}"
+            );
+        }
+    }
+}

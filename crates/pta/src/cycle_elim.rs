@@ -1,0 +1,290 @@
+//! Online cycle elimination — the classic CPU-side Andersen optimisation
+//! the paper mentions its Galois/serial baselines perform ("The CPU codes
+//! perform optimizations like online cycle elimination and topological
+//! sort that are not included in our GPU code", §8.3).
+//!
+//! Copy-edge cycles force all member variables to the same points-to set,
+//! so they can be collapsed to one representative. We run Tarjan's SCC
+//! over the current copy graph whenever the worklist has churned enough,
+//! collapse components in a union-find, and keep solving on the smaller
+//! graph.
+
+use crate::constraints::{Constraint, PtaProblem};
+use crate::Solution;
+use morph_graph::union_find::SeqUnionFind;
+use morph_graph::SparseBitSet;
+use std::collections::{HashSet, VecDeque};
+
+/// Iterative Tarjan SCC over `succ`, restricted to representatives.
+fn tarjan_sccs(n: usize, succ: &[HashSet<u32>], rep_of: &mut SeqUnionFind) -> usize {
+    #[derive(Clone, Copy)]
+    struct Frame {
+        v: u32,
+        parent: u32,
+    }
+    let mut index = vec![u32::MAX; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut collapsed = 0usize;
+
+    for root in 0..n as u32 {
+        if rep_of.find(root) != root || index[root as usize] != u32::MAX {
+            continue;
+        }
+        // Explicit DFS to avoid recursion depth limits.
+        let mut call: Vec<(Frame, Vec<u32>, usize)> = Vec::new();
+        let start_neighbors: Vec<u32> = succ[root as usize]
+            .iter()
+            .map(|&d| rep_of.find(d))
+            .filter(|&d| d != root)
+            .collect();
+        index[root as usize] = next_index;
+        low[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+        call.push((
+            Frame {
+                v: root,
+                parent: u32::MAX,
+            },
+            start_neighbors,
+            0,
+        ));
+
+        while let Some((frame, neighbors, mut cursor)) = call.pop() {
+            let v = frame.v;
+            let mut descended = false;
+            while cursor < neighbors.len() {
+                let w = neighbors[cursor];
+                cursor += 1;
+                if index[w as usize] == u32::MAX {
+                    // Descend.
+                    index[w as usize] = next_index;
+                    low[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    let wn: Vec<u32> = succ[w as usize]
+                        .iter()
+                        .map(|&d| rep_of.find(d))
+                        .filter(|&d| d != w)
+                        .collect();
+                    call.push((frame, neighbors, cursor));
+                    call.push((Frame { v: w, parent: v }, wn, 0));
+                    descended = true;
+                    break;
+                } else if on_stack[w as usize] {
+                    low[v as usize] = low[v as usize].min(index[w as usize]);
+                }
+            }
+            if descended {
+                continue;
+            }
+            // v finished.
+            if low[v as usize] == index[v as usize] {
+                // Pop the SCC rooted at v.
+                let mut members = Vec::new();
+                while let Some(w) = stack.pop() {
+                    on_stack[w as usize] = false;
+                    members.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                if members.len() > 1 {
+                    collapsed += members.len() - 1;
+                    for w in &members {
+                        rep_of.union(v, *w);
+                    }
+                }
+            }
+            if frame.parent != u32::MAX {
+                let p = frame.parent as usize;
+                low[p] = low[p].min(low[v as usize]);
+            }
+        }
+    }
+    collapsed
+}
+
+/// Solve with periodic online cycle elimination. Produces the identical
+/// fixed point to [`crate::serial::solve`] (every cycle member reports
+/// the collapsed representative's set).
+pub fn solve(prob: &PtaProblem) -> Solution {
+    let n = prob.num_vars;
+    let mut rep = SeqUnionFind::new(n);
+    let mut pts: Vec<SparseBitSet> = vec![SparseBitSet::new(); n];
+    let mut succ: Vec<HashSet<u32>> = vec![HashSet::new(); n];
+    let mut loads_by_src: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut stores_by_dst: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut work: VecDeque<u32> = VecDeque::new();
+    let mut queued = vec![false; n];
+
+    let enqueue = |work: &mut VecDeque<u32>, queued: &mut Vec<bool>, v: u32| {
+        if !queued[v as usize] {
+            queued[v as usize] = true;
+            work.push_back(v);
+        }
+    };
+
+    for &c in &prob.constraints {
+        match c {
+            Constraint::AddressOf { p, q } => {
+                if pts[p as usize].insert(q) {
+                    enqueue(&mut work, &mut queued, p);
+                }
+            }
+            Constraint::Copy { p, q } => {
+                if p != q && succ[q as usize].insert(p) {
+                    enqueue(&mut work, &mut queued, q);
+                }
+            }
+            Constraint::Load { p, q } => loads_by_src[q as usize].push(p),
+            Constraint::Store { p, q } => stores_by_dst[p as usize].push(q),
+        }
+    }
+
+    let mut processed_since_scc = 0usize;
+    let scc_interval = (n / 2).max(64);
+
+    while let Some(node) = work.pop_front() {
+        queued[node as usize] = false;
+        let node = rep.find(node);
+        processed_since_scc += 1;
+
+        if processed_since_scc >= scc_interval {
+            processed_since_scc = 0;
+            if tarjan_sccs(n, &succ, &mut rep) > 0 {
+                // Merge collapsed state into representatives.
+                for v in 0..n as u32 {
+                    let r = rep.find(v);
+                    if r != v {
+                        let moved = std::mem::take(&mut pts[v as usize]);
+                        if pts[r as usize].union_with(&moved) {
+                            enqueue(&mut work, &mut queued, r);
+                        }
+                        let edges = std::mem::take(&mut succ[v as usize]);
+                        for d in edges {
+                            let d = rep.find(d);
+                            if d != r && succ[r as usize].insert(d) {
+                                enqueue(&mut work, &mut queued, r);
+                            }
+                        }
+                        let loads = std::mem::take(&mut loads_by_src[v as usize]);
+                        loads_by_src[r as usize].extend(loads);
+                        let stores = std::mem::take(&mut stores_by_dst[v as usize]);
+                        stores_by_dst[r as usize].extend(stores);
+                        enqueue(&mut work, &mut queued, r);
+                    }
+                }
+            }
+        }
+
+        let points_to = pts[node as usize].to_vec();
+        let loads = loads_by_src[node as usize].clone();
+        for p in loads {
+            let p = rep.find(p);
+            for &v in &points_to {
+                let v = rep.find(v);
+                if v != p && succ[v as usize].insert(p) {
+                    enqueue(&mut work, &mut queued, v);
+                }
+            }
+        }
+        let stores = stores_by_dst[node as usize].clone();
+        for q in stores {
+            let q = rep.find(q);
+            for &v in &points_to {
+                let v = rep.find(v);
+                if q != v && succ[q as usize].insert(v) {
+                    enqueue(&mut work, &mut queued, q);
+                }
+            }
+        }
+        let src = std::mem::take(&mut pts[node as usize]);
+        let targets: Vec<u32> = succ[node as usize].iter().copied().collect();
+        for m in targets {
+            let m = rep.find(m);
+            if m != node && pts[m as usize].union_with(&src) {
+                enqueue(&mut work, &mut queued, m);
+            }
+        }
+        pts[node as usize] = src;
+    }
+
+    // Project representative sets back onto every variable. Pointees may
+    // themselves have been collapsed; a pointee set always names original
+    // variable ids (address-of targets), which never change — only the
+    // *holder* of the set moves under collapsing.
+    (0..n as u32)
+        .map(|v| pts[rep.find(v) as usize].to_vec())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_matches_serial() {
+        let (prob, _) = PtaProblem::fig5();
+        assert_eq!(solve(&prob), crate::serial::solve(&prob));
+    }
+
+    #[test]
+    fn copy_cycle_is_collapsed_to_same_solution() {
+        // 0 → 1 → 2 → 0 copy cycle fed from &x.
+        let mut prob = PtaProblem::new(4);
+        prob.add(Constraint::AddressOf { p: 0, q: 3 });
+        prob.add(Constraint::Copy { p: 1, q: 0 });
+        prob.add(Constraint::Copy { p: 2, q: 1 });
+        prob.add(Constraint::Copy { p: 0, q: 2 });
+        let sol = solve(&prob);
+        assert_eq!(sol, crate::serial::solve(&prob));
+        assert_eq!(sol[0], vec![3]);
+        assert_eq!(sol[1], vec![3]);
+        assert_eq!(sol[2], vec![3]);
+    }
+
+    #[test]
+    fn random_problems_match_serial() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(123);
+        for trial in 0..8 {
+            let n = 80;
+            let mut prob = PtaProblem::new(n);
+            for _ in 0..240 {
+                let p = rng.gen_range(0..n as u32);
+                let q = rng.gen_range(0..n as u32);
+                prob.add(match rng.gen_range(0..4) {
+                    0 => Constraint::AddressOf { p, q },
+                    1 => Constraint::Copy { p, q },
+                    2 => Constraint::Load { p, q },
+                    _ => Constraint::Store { p, q },
+                });
+            }
+            assert_eq!(
+                solve(&prob),
+                crate::serial::solve(&prob),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn tarjan_collapses_a_simple_cycle() {
+        let mut uf = SeqUnionFind::new(4);
+        let mut succ: Vec<HashSet<u32>> = vec![HashSet::new(); 4];
+        succ[0].insert(1);
+        succ[1].insert(2);
+        succ[2].insert(0);
+        succ[3].insert(0); // feeds the cycle, not part of it
+        let collapsed = tarjan_sccs(4, &succ, &mut uf);
+        assert_eq!(collapsed, 2);
+        assert!(uf.same(0, 1) && uf.same(1, 2));
+        assert!(!uf.same(3, 0));
+    }
+}

@@ -1,0 +1,291 @@
+//! Virtual-GPU **pull-based two-phase** solver (paper §4 "GPU
+//! Implementation", §6.4).
+//!
+//! "Processing of each constraint happens in two phases. In the first
+//! phase, the constraints add edges to the graph. In the second phase,
+//! the points-to information is propagated along these edges." Each node
+//! keeps a chunked list of **incoming** neighbors (§7.1 Kernel-Only
+//! allocation) and pulls from them, so "no synchronization is needed to
+//! update the points-to information" — stale reads are safe because the
+//! analysis is monotone.
+//!
+//! The §7.6 divergence optimisation ("we similarly move all pointer nodes
+//! with enabled incoming edges to one side of the array") is applied by
+//! the host between iterations.
+
+use crate::constraints::{Constraint, PtaProblem};
+use crate::Solution;
+use morph_core::compact::partition_active;
+use morph_core::AdaptiveParallelism;
+use morph_graph::sparse_bits::AtomicBitmap;
+use morph_graph::ChunkedAdjacency;
+use morph_gpu_sim::{
+    AtomicU32Slice, BarrierKind, GpuConfig, Kernel, LaunchStats, ThreadCtx, VirtualGpu,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Engine switches.
+#[derive(Clone, Copy, Debug)]
+pub struct PtaOpts {
+    /// Apply the adaptive threads-per-block schedule (§7.4: 128 doubling
+    /// to 1024 over the first three iterations).
+    pub adaptive: bool,
+    /// Host-side compaction of nodes with changed inputs (§7.6).
+    pub divergence_sort: bool,
+    /// Chunk size for the incoming-edge lists (paper: input-dependent,
+    /// 512–4096; our graphs are smaller).
+    pub chunk_size: usize,
+}
+
+impl Default for PtaOpts {
+    fn default() -> Self {
+        Self {
+            adaptive: true,
+            divergence_sort: true,
+            chunk_size: 64,
+        }
+    }
+}
+
+struct PtaKernel<'a> {
+    prob: &'a PtaProblem,
+    complex: &'a [Constraint],
+    pts: &'a AtomicBitmap,
+    incoming: &'a ChunkedAdjacency,
+    /// Node processing order (compacted by the host when enabled).
+    order: &'a AtomicU32Slice,
+    /// 1 when the node's points-to set changed in the previous iteration.
+    dirty: &'a AtomicU32Slice,
+    changed: &'a AtomicBool,
+}
+
+impl Kernel for PtaKernel<'_> {
+    fn phases(&self) -> usize {
+        2
+    }
+
+    fn run(&self, phase: usize, ctx: &mut ThreadCtx<'_>) -> bool {
+        match phase {
+            // Phase 1: constraints add incoming edges.
+            0 => {
+                let mut any = false;
+                for i in ctx.chunked(self.complex.len()) {
+                    any = true;
+                    match self.complex[i] {
+                        Constraint::Load { p, q } => {
+                            // p = *q: each pointee v of q feeds p.
+                            self.pts.for_each(q as usize, |v| {
+                                if self.incoming.insert(p, v) {
+                                    self.dirty.store_relaxed(v as usize, 1);
+                                    self.changed.store(true, Ordering::Release);
+                                }
+                            });
+                        }
+                        Constraint::Store { p, q } => {
+                            // *p = q: q feeds each pointee v of p.
+                            self.pts.for_each(p as usize, |v| {
+                                if self.incoming.insert(v, q) {
+                                    self.dirty.store_relaxed(q as usize, 1);
+                                    self.changed.store(true, Ordering::Release);
+                                }
+                            });
+                        }
+                        _ => unreachable!("complex holds only loads/stores"),
+                    }
+                }
+                any
+            }
+            // Phase 2: pull along incoming edges.
+            _ => {
+                let n = self.prob.num_vars;
+                let mut any = false;
+                for oi in ctx.chunked(n) {
+                    let node = self.order.load_relaxed(oi);
+                    let mut grew = false;
+                    self.incoming.for_each(node, |src| {
+                        if src != node
+                            && self.dirty.load_relaxed(src as usize) != 0
+                            && self.pts.union_rows(node as usize, src as usize)
+                        {
+                            grew = true;
+                        }
+                    });
+                    if grew {
+                        any = true;
+                        // Publish for the *next* iteration (phase barrier
+                        // separates marking from this iteration's reads —
+                        // a missed same-iteration read re-pulls next time).
+                        self.dirty.store(node as usize, 2);
+                        self.changed.store(true, Ordering::Release);
+                    }
+                }
+                any
+            }
+        }
+    }
+}
+
+/// Outcome with virtual-GPU counters.
+pub struct GpuSolveOutcome {
+    pub solution: Solution,
+    pub launch: LaunchStats,
+    pub iterations: u64,
+    /// Bytes allocated kernel-side for incoming-edge chunks.
+    pub edge_bytes: usize,
+}
+
+/// Solve on the virtual GPU with `sms` workers.
+pub fn solve_with(prob: &PtaProblem, opts: PtaOpts, sms: usize) -> GpuSolveOutcome {
+    let n = prob.num_vars;
+    let pts = AtomicBitmap::new(n, n.max(1));
+    // The chunk directory is lazily populated (device-heap model), so cap
+    // generously: the edge set of Andersen analysis is worst-case O(n²).
+    let max_chunks = n * 2 + n * n / opts.chunk_size.max(1) + 4096;
+    let incoming = ChunkedAdjacency::new(n, opts.chunk_size, max_chunks);
+    let dirty = AtomicU32Slice::new(n, 0);
+
+    let mut complex: Vec<Constraint> = Vec::new();
+    for &c in &prob.constraints {
+        match c {
+            Constraint::AddressOf { p, q } => {
+                pts.set(p as usize, q);
+                dirty.store_relaxed(p as usize, 1);
+            }
+            Constraint::Copy { p, q } => {
+                if p != q {
+                    incoming.push(p, q);
+                    dirty.store_relaxed(q as usize, 1);
+                }
+            }
+            c => complex.push(c),
+        }
+    }
+
+    let order = AtomicU32Slice::from_vec((0..n as u32).collect());
+    let blocks = AdaptiveParallelism::blocks_for_input(sms, n.max(complex.len()), 2048);
+    let sched = if opts.adaptive {
+        AdaptiveParallelism::pta()
+    } else {
+        AdaptiveParallelism::fixed(512)
+    };
+    let mut gpu = VirtualGpu::new(GpuConfig {
+        num_sms: sms,
+        warp_size: 32,
+        blocks,
+        threads_per_block: sched.initial_tpb,
+        barrier: BarrierKind::SenseReversing,
+    });
+
+    let mut total = LaunchStats::default();
+    let mut iterations = 0u64;
+    loop {
+        gpu.set_geometry(blocks, sched.tpb_for_iteration(iterations));
+        let changed = AtomicBool::new(false);
+        let k = PtaKernel {
+            prob,
+            complex: &complex,
+            pts: &pts,
+            incoming: &incoming,
+            order: &order,
+            dirty: &dirty,
+            changed: &changed,
+        };
+        total.absorb(&gpu.launch(&k));
+        iterations += 1;
+
+        // Host: age dirty marks (2 → 1 → 0) so a node stays enabled for
+        // exactly one iteration after its set changed.
+        let mut any_dirty = false;
+        for v in 0..n {
+            match dirty.load_relaxed(v) {
+                2 => {
+                    dirty.store_relaxed(v, 1);
+                    any_dirty = true;
+                }
+                1 => dirty.store_relaxed(v, 0),
+                _ => {}
+            }
+        }
+        if !changed.load(Ordering::Acquire) && !any_dirty {
+            break;
+        }
+        if opts.divergence_sort {
+            // §7.6: nodes with enabled incoming edges to one side.
+            let mut ids = order.to_vec();
+            partition_active(&mut ids, |v| dirty.load_relaxed(v as usize) != 0);
+            for (i, v) in ids.into_iter().enumerate() {
+                order.store_relaxed(i, v);
+            }
+        }
+    }
+
+    total.iterations = iterations;
+    GpuSolveOutcome {
+        solution: (0..n).map(|v| pts.row_to_vec(v)).collect(),
+        launch: total,
+        iterations,
+        edge_bytes: incoming.bytes_allocated(),
+    }
+}
+
+/// Solve with default options.
+pub fn solve(prob: &PtaProblem, sms: usize) -> Solution {
+    solve_with(prob, PtaOpts::default(), sms).solution
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_matches_serial() {
+        let (prob, _) = PtaProblem::fig5();
+        assert_eq!(solve(&prob, 2), crate::serial::solve(&prob));
+    }
+
+    #[test]
+    fn random_problems_match_serial_all_option_combos() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..4 {
+            let n = 50;
+            let mut prob = PtaProblem::new(n);
+            for _ in 0..140 {
+                let p = rng.gen_range(0..n as u32);
+                let q = rng.gen_range(0..n as u32);
+                prob.add(match rng.gen_range(0..4) {
+                    0 => Constraint::AddressOf { p, q },
+                    1 => Constraint::Copy { p, q },
+                    2 => Constraint::Load { p, q },
+                    _ => Constraint::Store { p, q },
+                });
+            }
+            let want = crate::serial::solve(&prob);
+            for adaptive in [false, true] {
+                for sort in [false, true] {
+                    let opts = PtaOpts {
+                        adaptive,
+                        divergence_sort: sort,
+                        chunk_size: 8,
+                    };
+                    let got = solve_with(&prob, opts, 3);
+                    assert_eq!(
+                        got.solution, want,
+                        "trial {trial} adaptive={adaptive} sort={sort}"
+                    );
+                    assert!(got.edge_bytes > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_are_safe() {
+        let mut prob = PtaProblem::new(3);
+        prob.add(Constraint::AddressOf { p: 0, q: 2 });
+        prob.add(Constraint::Copy { p: 0, q: 0 });
+        prob.add(Constraint::Copy { p: 1, q: 0 });
+        prob.add(Constraint::Copy { p: 1, q: 0 });
+        assert_eq!(solve(&prob, 2), crate::serial::solve(&prob));
+    }
+}

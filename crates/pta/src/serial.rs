@@ -1,0 +1,143 @@
+//! Sequential worklist solver — the reference semantics and the "Serial"
+//! column of Fig. 10.
+
+use crate::constraints::{Constraint, PtaProblem};
+use crate::Solution;
+use morph_graph::SparseBitSet;
+use std::collections::{HashSet, VecDeque};
+
+/// Solve to fixed point with a classic worklist algorithm over sparse bit
+/// vectors.
+pub fn solve(prob: &PtaProblem) -> Solution {
+    let n = prob.num_vars;
+    let mut pts: Vec<SparseBitSet> = vec![SparseBitSet::new(); n];
+    let mut succ: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut succ_set: Vec<HashSet<u32>> = vec![HashSet::new(); n];
+    // Load/store constraints indexed by their pointer operand.
+    let mut loads_by_src: Vec<Vec<u32>> = vec![Vec::new(); n]; // q -> [p] for p = *q
+    let mut stores_by_dst: Vec<Vec<u32>> = vec![Vec::new(); n]; // p -> [q] for *p = q
+
+    let mut work: VecDeque<u32> = VecDeque::new();
+    let mut queued = vec![false; n];
+    let push = |work: &mut VecDeque<u32>, queued: &mut Vec<bool>, v: u32| {
+        if !queued[v as usize] {
+            queued[v as usize] = true;
+            work.push_back(v);
+        }
+    };
+
+    for &c in &prob.constraints {
+        match c {
+            Constraint::AddressOf { p, q } => {
+                if pts[p as usize].insert(q) {
+                    push(&mut work, &mut queued, p);
+                }
+            }
+            Constraint::Copy { p, q } => {
+                if succ_set[q as usize].insert(p) {
+                    succ[q as usize].push(p);
+                    push(&mut work, &mut queued, q);
+                }
+            }
+            Constraint::Load { p, q } => loads_by_src[q as usize].push(p),
+            Constraint::Store { p, q } => stores_by_dst[p as usize].push(q),
+        }
+    }
+
+    while let Some(nid) = work.pop_front() {
+        queued[nid as usize] = false;
+        let points_to = pts[nid as usize].to_vec();
+
+        // p = *nid : every pointee v of nid flows into p  ⇒ edge v → p.
+        for &p in &loads_by_src[nid as usize] {
+            for &v in &points_to {
+                if succ_set[v as usize].insert(p) {
+                    succ[v as usize].push(p);
+                    push(&mut work, &mut queued, v);
+                }
+            }
+        }
+        // *nid = q : q flows into every pointee v of nid ⇒ edge q → v.
+        for &q in &stores_by_dst[nid as usize] {
+            for &v in &points_to {
+                if succ_set[q as usize].insert(v) {
+                    succ[q as usize].push(v);
+                    push(&mut work, &mut queued, q);
+                }
+            }
+        }
+        // Propagate along copy edges.
+        let src = std::mem::take(&mut pts[nid as usize]);
+        for &m in &succ[nid as usize] {
+            if m != nid && pts[m as usize].union_with(&src) {
+                push(&mut work, &mut queued, m);
+            }
+        }
+        pts[nid as usize] = src;
+    }
+
+    pts.into_iter().map(|s| s.to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_fixed_point() {
+        // Paper Fig. 5: a = &x; b = &y; p = &a; *p = b; c = a.
+        // Final: a → {x, y}, b → {y}, p → {a}, c → {x, y}.
+        let (prob, _) = PtaProblem::fig5();
+        let sol = solve(&prob);
+        let (a, b, p, c, x, y) = (0usize, 1, 2, 3, 4u32, 5u32);
+        assert_eq!(sol[a], vec![x, y]);
+        assert_eq!(sol[b], vec![y]);
+        assert_eq!(sol[p], vec![0]); // p -> {a}
+        assert_eq!(sol[c], vec![x, y]);
+        assert!(sol[x as usize].is_empty());
+        assert!(sol[y as usize].is_empty());
+    }
+
+    #[test]
+    fn copy_chain_propagates() {
+        let mut prob = PtaProblem::new(4);
+        prob.add(Constraint::AddressOf { p: 0, q: 3 });
+        prob.add(Constraint::Copy { p: 1, q: 0 });
+        prob.add(Constraint::Copy { p: 2, q: 1 });
+        let sol = solve(&prob);
+        assert_eq!(sol[0], vec![3]);
+        assert_eq!(sol[1], vec![3]);
+        assert_eq!(sol[2], vec![3]);
+    }
+
+    #[test]
+    fn load_store_indirection() {
+        // p = &a; q = &b; *p = q; r = *p  ⇒ a → {b}, r → {b}.
+        let (p, q, r, a, b) = (0u32, 1, 2, 3, 4);
+        let mut prob = PtaProblem::new(5);
+        prob.add(Constraint::AddressOf { p, q: a });
+        prob.add(Constraint::AddressOf { p: q, q: b });
+        prob.add(Constraint::Store { p, q });
+        prob.add(Constraint::Load { p: r, q: p });
+        let sol = solve(&prob);
+        assert_eq!(sol[a as usize], vec![b]);
+        assert_eq!(sol[r as usize], vec![b]);
+    }
+
+    #[test]
+    fn cyclic_copies_terminate() {
+        let mut prob = PtaProblem::new(3);
+        prob.add(Constraint::AddressOf { p: 0, q: 2 });
+        prob.add(Constraint::Copy { p: 1, q: 0 });
+        prob.add(Constraint::Copy { p: 0, q: 1 });
+        let sol = solve(&prob);
+        assert_eq!(sol[0], vec![2]);
+        assert_eq!(sol[1], vec![2]);
+    }
+
+    #[test]
+    fn empty_problem() {
+        let sol = solve(&PtaProblem::new(3));
+        assert!(sol.iter().all(|s| s.is_empty()));
+    }
+}

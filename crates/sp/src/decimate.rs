@@ -1,0 +1,141 @@
+//! Decimation: fixing biased literals and deleting them from the factor
+//! graph (paper §3 — the morph step of SP).
+//!
+//! "Then, the surveys are processed to find the most biased literals,
+//! which are fixed to the appropriate value. The fixed literals are then
+//! removed from the graph." Removal is by marking (§7.2): satisfied
+//! clauses get a deleted flag, falsified literals become EMPTY slots.
+
+use crate::factor_graph::FactorGraph;
+use crate::surveys::{bias, Surveys};
+
+/// What one decimation pass did.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DecimationOutcome {
+    /// Variables fixed this pass.
+    pub fixed: usize,
+    /// An unsatisfied clause ran out of literals.
+    pub contradiction: bool,
+    /// Largest |bias| observed among free variables (before fixing).
+    pub max_bias: f64,
+}
+
+/// Fix the most-biased free variables whose |bias| reaches `threshold`,
+/// capped at a few percent of the free variables per pass (fixing the
+/// whole backbone guess at once, before the surveys re-converge on the
+/// reduced graph, is how SP talks itself into contradictions). If nothing
+/// reaches `threshold` but some bias exceeds `floor`, the single most
+/// biased variable is fixed so non-trivial surveys always make progress.
+pub fn decimate(
+    fg: &FactorGraph,
+    s: &Surveys,
+    threshold: f64,
+    floor: f64,
+) -> DecimationOutcome {
+    let mut out = DecimationOutcome::default();
+    let mut candidates: Vec<(f64, u32, bool)> = Vec::new();
+    let mut free = 0usize;
+
+    for v in 0..fg.num_vars as u32 {
+        if !fg.var_free(v) {
+            continue;
+        }
+        free += 1;
+        let b = bias(fg, s, v);
+        let mag = b.abs();
+        out.max_bias = out.max_bias.max(mag);
+        if mag >= floor {
+            candidates.push((mag, v, b > 0.0));
+        }
+    }
+
+    // Strongest biases first; fix at most ~4 % of the free variables (at
+    // least one) per decimation round.
+    candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let cap = (free / 25).max(1);
+    let take: Vec<(u32, bool)> = candidates
+        .iter()
+        .enumerate()
+        .take_while(|&(i, &(mag, _, _))| i == 0 || mag >= threshold)
+        .take(cap)
+        .map(|(_, &(_, v, val))| (v, val))
+        .collect();
+
+    for (v, val) in take {
+        if !fg.fix_var(v, val) {
+            out.contradiction = true;
+        }
+        out.fixed += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::{Formula, Lit};
+    use crate::surveys::{recompute_var_cache, update_clause};
+
+    /// A formula where x0 is forced true by a unit clause: SP must give it
+    /// maximal bias and decimation must fix it.
+    #[test]
+    fn unit_clause_gets_fixed_true() {
+        let mut f = Formula::new(3);
+        f.add_clause(vec![Lit::pos(0)]);
+        f.add_clause(vec![Lit::negat(0), Lit::pos(1), Lit::pos(2)]);
+        let fg = FactorGraph::new(&f);
+        let s = Surveys::init(&fg, 2);
+        for _ in 0..100 {
+            for v in 0..fg.num_vars as u32 {
+                recompute_var_cache(&fg, &s, v);
+            }
+            let mut d = 0.0f64;
+            for a in 0..fg.num_clauses {
+                d = d.max(update_clause(&fg, &s, a, false));
+            }
+            if d < 1e-9 {
+                break;
+            }
+        }
+        let out = decimate(&fg, &s, 0.5, 0.01);
+        assert!(out.fixed >= 1);
+        assert!(!out.contradiction);
+        assert!(out.max_bias > 0.9, "unit clause bias: {}", out.max_bias);
+        assert_eq!(
+            fg.var_state.load(0),
+            crate::factor_graph::FIXED_TRUE,
+            "x0 must be fixed true"
+        );
+    }
+
+    #[test]
+    fn trivial_surveys_fix_nothing() {
+        let mut f = Formula::new(2);
+        f.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+        f.add_clause(vec![Lit::negat(0), Lit::negat(1)]);
+        let fg = FactorGraph::new(&f);
+        let s = Surveys::init(&fg, 4);
+        // Zero all surveys: paramagnetic state.
+        for e in 0..fg.num_edge_slots() {
+            s.set(e, 0.0);
+        }
+        let out = decimate(&fg, &s, 0.5, 0.01);
+        assert_eq!(out.fixed, 0);
+        assert_eq!(out.max_bias, 0.0);
+        assert_eq!(fg.free_vars(), 2);
+    }
+
+    #[test]
+    fn floor_forces_progress() {
+        let mut f = Formula::new(2);
+        f.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+        let fg = FactorGraph::new(&f);
+        let s = Surveys::init(&fg, 6);
+        // Mild surveys: bias below threshold but above floor.
+        for e in fg.clause_slots(0).collect::<Vec<_>>() {
+            s.set(e, 0.3);
+        }
+        let out = decimate(&fg, &s, 0.99, 0.001);
+        assert_eq!(out.fixed, 1, "most-biased variable must be fixed");
+    }
+}

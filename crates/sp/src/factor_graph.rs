@@ -1,0 +1,392 @@
+//! The bipartite factor graph (paper §6.3).
+//!
+//! "We split the graph nodes into two arrays and store the clauses
+//! separately from the literals. … Each clause has a small limit on the
+//! number of literals it can contain, which is the value of K in the K-SAT
+//! formula … this allows accessing literals in a clause using a direct
+//! offset calculation. … Since a literal may appear in an unpredictable
+//! number of clauses, the literal-to-clause mapping uses the standard CSR
+//! format."
+//!
+//! Decimation *deletes* literal nodes and satisfied clauses — the morph
+//! operation — by marking (§7.2): clause slots carry a deleted flag and
+//! removed literals become [`EMPTY`] slots in the fixed-stride matrix.
+
+use crate::formula::{Formula, Lit};
+use morph_core::deletion::DeletionMarks;
+use morph_gpu_sim::AtomicU32Slice;
+
+/// Empty slot in the clause→literal matrix (removed literal).
+pub const EMPTY: u32 = u32::MAX;
+
+/// Variable fixing state.
+pub const FREE: u32 = 0;
+pub const FIXED_TRUE: u32 = 1;
+pub const FIXED_FALSE: u32 = 2;
+
+/// Edge id of clause `a`, slot `j` is `a * k + j`.
+pub struct FactorGraph {
+    pub k: usize,
+    pub num_clauses: usize,
+    pub num_vars: usize,
+    /// Clause→literal matrix, stride `k`: variable id or [`EMPTY`].
+    clause_var: AtomicU32Slice,
+    /// Negation flags, parallel to `clause_var` (1 = negated).
+    clause_neg: Vec<bool>,
+    /// CSR literal→clause mapping: `var_edges[var_off[v]..var_off[v+1]]`
+    /// are the *edge ids* in which `v` appears (immutable; deleted edges
+    /// are detected via the clause matrix).
+    var_off: Vec<u32>,
+    var_edges: Vec<u32>,
+    /// Clause deletion marks (§7.2 marking).
+    pub clause_deleted: DeletionMarks,
+    /// Per-variable state: [`FREE`] / [`FIXED_TRUE`] / [`FIXED_FALSE`].
+    pub var_state: AtomicU32Slice,
+}
+
+impl FactorGraph {
+    /// Build from a formula. `k` is the maximum clause width.
+    pub fn new(f: &Formula) -> Self {
+        let k = f.clauses.iter().map(Vec::len).max().unwrap_or(0).max(1);
+        let m = f.clauses.len();
+        let n = f.num_vars;
+        let mut clause_var = vec![EMPTY; m * k];
+        let mut clause_neg = vec![false; m * k];
+        let mut degree = vec![0u32; n];
+        for (a, clause) in f.clauses.iter().enumerate() {
+            for (j, lit) in clause.iter().enumerate() {
+                clause_var[a * k + j] = lit.var;
+                clause_neg[a * k + j] = lit.neg;
+                degree[lit.var as usize] += 1;
+            }
+        }
+        let mut var_off = vec![0u32; n + 1];
+        for v in 0..n {
+            var_off[v + 1] = var_off[v] + degree[v];
+        }
+        let mut cursor = var_off.clone();
+        let mut var_edges = vec![0u32; var_off[n] as usize];
+        for (e, &v) in clause_var.iter().enumerate() {
+            if v != EMPTY {
+                let at = cursor[v as usize];
+                cursor[v as usize] += 1;
+                var_edges[at as usize] = e as u32;
+            }
+        }
+        Self {
+            k,
+            num_clauses: m,
+            num_vars: n,
+            clause_var: AtomicU32Slice::from_vec(clause_var),
+            clause_neg,
+            var_off,
+            var_edges,
+            clause_deleted: DeletionMarks::new(m),
+            var_state: AtomicU32Slice::new(n, FREE),
+        }
+    }
+
+    /// Total edge slots (clauses × k; includes EMPTY slots).
+    #[inline]
+    pub fn num_edge_slots(&self) -> usize {
+        self.num_clauses * self.k
+    }
+
+    /// Variable in edge slot `e`, or [`EMPTY`].
+    #[inline]
+    pub fn edge_var(&self, e: usize) -> u32 {
+        self.clause_var.load_relaxed(e)
+    }
+
+    /// Is the literal in slot `e` negated? (Meaningless for EMPTY slots.)
+    #[inline]
+    pub fn edge_neg(&self, e: usize) -> bool {
+        self.clause_neg[e]
+    }
+
+    /// Remove the literal from slot `e` (decimation simplification).
+    #[inline]
+    pub fn remove_edge(&self, e: usize) {
+        self.clause_var.store(e, EMPTY);
+    }
+
+    /// Live (non-EMPTY) slots of clause `a`.
+    pub fn clause_slots(&self, a: usize) -> impl Iterator<Item = usize> + '_ {
+        (a * self.k..a * self.k + self.k).filter(|&e| self.edge_var(e) != EMPTY)
+    }
+
+    /// Current width of clause `a`.
+    pub fn clause_len(&self, a: usize) -> usize {
+        self.clause_slots(a).count()
+    }
+
+    /// Edge ids where variable `v` appears (including edges whose clause
+    /// has since been deleted — callers filter).
+    #[inline]
+    pub fn var_edge_ids(&self, v: u32) -> &[u32] {
+        let lo = self.var_off[v as usize] as usize;
+        let hi = self.var_off[v as usize + 1] as usize;
+        &self.var_edges[lo..hi]
+    }
+
+    /// Is edge slot `e` live (literal present and clause not deleted)?
+    #[inline]
+    pub fn edge_live(&self, e: usize) -> bool {
+        self.edge_var(e) != EMPTY && !self.clause_deleted.is_deleted((e / self.k) as u32)
+    }
+
+    #[inline]
+    pub fn var_free(&self, v: u32) -> bool {
+        self.var_state.load_relaxed(v as usize) == FREE
+    }
+
+    /// Fix variable `v` and simplify: delete satisfied clauses, remove the
+    /// falsified literal elsewhere. Returns `false` on contradiction (an
+    /// unsatisfied clause ran out of literals).
+    pub fn fix_var(&self, v: u32, value: bool) -> bool {
+        self.var_state
+            .store(v as usize, if value { FIXED_TRUE } else { FIXED_FALSE });
+        let mut ok = true;
+        for &e in self.var_edge_ids(v) {
+            let e = e as usize;
+            if !self.edge_live(e) {
+                continue;
+            }
+            let a = e / self.k;
+            let satisfied = self.edge_neg(e) != value;
+            if satisfied {
+                self.clause_deleted.mark_deleted(a as u32);
+            } else {
+                self.remove_edge(e);
+                if self.clause_len(a) == 0 {
+                    ok = false;
+                }
+            }
+        }
+        ok
+    }
+
+    /// Number of live (undeleted) clauses.
+    pub fn live_clauses(&self) -> usize {
+        self.clause_deleted.count_live(self.num_clauses)
+    }
+
+    /// Number of free variables.
+    pub fn free_vars(&self) -> usize {
+        (0..self.num_vars as u32).filter(|&v| self.var_free(v)).count()
+    }
+
+    /// Rebuild the graph without deleted clauses (§7.2 "Explicit
+    /// Deletion": when marking alone would leave too much dead space,
+    /// compact the storage). Variable ids are preserved; clause ids are
+    /// remapped. Returns the new graph and the clause remap
+    /// (`old → new`, `u32::MAX` for deleted).
+    pub fn compacted(&self) -> (Self, Vec<u32>) {
+        let (remap, live) =
+            morph_core::deletion::compact_live(&self.clause_deleted, self.num_clauses);
+        let mut clause_var = vec![EMPTY; live * self.k];
+        let mut clause_neg = vec![false; live * self.k];
+        for old in 0..self.num_clauses {
+            let new = remap[old];
+            if new == u32::MAX {
+                continue;
+            }
+            for j in 0..self.k {
+                clause_var[new as usize * self.k + j] = self.edge_var(old * self.k + j);
+                clause_neg[new as usize * self.k + j] = self.clause_neg[old * self.k + j];
+            }
+        }
+        let n = self.num_vars;
+        let mut degree = vec![0u32; n];
+        for &v in &clause_var {
+            if v != EMPTY {
+                degree[v as usize] += 1;
+            }
+        }
+        let mut var_off = vec![0u32; n + 1];
+        for v in 0..n {
+            var_off[v + 1] = var_off[v] + degree[v];
+        }
+        let mut cursor = var_off.clone();
+        let mut var_edges = vec![0u32; var_off[n] as usize];
+        for (e, &v) in clause_var.iter().enumerate() {
+            if v != EMPTY {
+                let at = cursor[v as usize];
+                cursor[v as usize] += 1;
+                var_edges[at as usize] = e as u32;
+            }
+        }
+        let var_state = AtomicU32Slice::from_vec(
+            (0..n).map(|v| self.var_state.load_relaxed(v)).collect(),
+        );
+        (
+            Self {
+                k: self.k,
+                num_clauses: live,
+                num_vars: n,
+                clause_var: AtomicU32Slice::from_vec(clause_var),
+                clause_neg,
+                var_off,
+                var_edges,
+                clause_deleted: DeletionMarks::new(live),
+                var_state,
+            },
+            remap,
+        )
+    }
+
+    /// Extract the residual formula over free variables (for the endgame
+    /// solver), with a mapping residual-var → original var.
+    pub fn residual(&self) -> (Formula, Vec<u32>) {
+        let mut map = vec![u32::MAX; self.num_vars];
+        let mut back = Vec::new();
+        for v in 0..self.num_vars as u32 {
+            if self.var_free(v) {
+                map[v as usize] = back.len() as u32;
+                back.push(v);
+            }
+        }
+        let mut f = Formula::new(back.len());
+        for a in 0..self.num_clauses {
+            if self.clause_deleted.is_deleted(a as u32) {
+                continue;
+            }
+            let lits: Vec<Lit> = self
+                .clause_slots(a)
+                .map(|e| Lit {
+                    var: map[self.edge_var(e) as usize],
+                    neg: self.edge_neg(e),
+                })
+                .collect();
+            debug_assert!(lits.iter().all(|l| l.var != u32::MAX));
+            if !lits.is_empty() {
+                f.add_clause(lits);
+            }
+        }
+        (f, back)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Lit;
+
+    fn graph() -> FactorGraph {
+        // Fig. 4 of the paper: 5 clauses over x1..x5 (0-indexed here).
+        let mut f = Formula::new(5);
+        f.add_clause(vec![Lit::pos(0), Lit::negat(1), Lit::pos(2)]);
+        f.add_clause(vec![Lit::pos(1), Lit::pos(3), Lit::negat(4)]);
+        f.add_clause(vec![Lit::negat(0), Lit::pos(3), Lit::pos(4)]);
+        f.add_clause(vec![Lit::pos(2), Lit::negat(3), Lit::pos(4)]);
+        f.add_clause(vec![Lit::negat(1), Lit::pos(2), Lit::negat(3)]);
+        FactorGraph::new(&f)
+    }
+
+    #[test]
+    fn structure_matches_formula() {
+        let g = graph();
+        assert_eq!(g.k, 3);
+        assert_eq!(g.num_clauses, 5);
+        assert_eq!(g.num_vars, 5);
+        assert_eq!(g.clause_len(0), 3);
+        // x3 (paper's x4) appears in clauses 1,2,3,4.
+        assert_eq!(g.var_edge_ids(3).len(), 4);
+        // Edge ids point back at the right variable.
+        for v in 0..5u32 {
+            for &e in g.var_edge_ids(v) {
+                assert_eq!(g.edge_var(e as usize), v);
+            }
+        }
+        assert_eq!(g.live_clauses(), 5);
+        assert_eq!(g.free_vars(), 5);
+    }
+
+    #[test]
+    fn fixing_satisfies_and_shrinks() {
+        let g = graph();
+        // x2 = true satisfies clauses 0, 3, 4 (x2 appears positively).
+        assert!(g.fix_var(2, true));
+        assert_eq!(g.live_clauses(), 2);
+        assert!(!g.var_free(2));
+        assert_eq!(g.free_vars(), 4);
+        // Fix x1 = false: clause 1 loses the x1 literal (still live).
+        assert!(g.fix_var(1, false));
+        assert!(g.clause_len(1) < 3);
+    }
+
+    #[test]
+    fn contradiction_detected() {
+        let mut f = Formula::new(1);
+        f.add_clause(vec![Lit::pos(0)]);
+        f.add_clause(vec![Lit::negat(0)]);
+        let g = FactorGraph::new(&f);
+        assert!(!g.fix_var(0, true), "¬x0 clause must become empty");
+    }
+
+    #[test]
+    fn residual_extraction() {
+        let g = graph();
+        g.fix_var(2, true);
+        let (res, back) = g.residual();
+        assert_eq!(res.num_vars, 4);
+        assert_eq!(res.num_clauses(), 2);
+        assert!(!back.contains(&2));
+        // Residual clauses only mention free vars.
+        for c in &res.clauses {
+            for l in c {
+                assert!((l.var as usize) < res.num_vars);
+            }
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_live_structure() {
+        let g = graph();
+        g.fix_var(2, true); // deletes clauses 0, 3, 4
+        let before_live = g.live_clauses();
+        let (c, remap) = g.compacted();
+        assert_eq!(c.num_clauses, before_live);
+        assert_eq!(c.live_clauses(), before_live);
+        assert_eq!(remap.len(), 5);
+        assert_eq!(remap.iter().filter(|&&r| r != u32::MAX).count(), before_live);
+        // Per-clause literal multisets survive the remap.
+        for old in 0..5 {
+            let new = remap[old];
+            if new == u32::MAX {
+                continue;
+            }
+            let old_lits: Vec<(u32, bool)> = g
+                .clause_slots(old)
+                .map(|e| (g.edge_var(e), g.edge_neg(e)))
+                .collect();
+            let new_lits: Vec<(u32, bool)> = c
+                .clause_slots(new as usize)
+                .map(|e| (c.edge_var(e), c.edge_neg(e)))
+                .collect();
+            assert_eq!(old_lits, new_lits, "clause {old}");
+        }
+        // Var state carries over.
+        assert!(!c.var_free(2));
+        // Residual formulas agree.
+        let (r1, b1) = g.residual();
+        let (r2, b2) = c.residual();
+        assert_eq!(b1, b2);
+        assert_eq!(r1.num_clauses(), r2.num_clauses());
+    }
+
+    #[test]
+    fn edge_liveness() {
+        let g = graph();
+        let e0 = g.var_edge_ids(0)[0] as usize;
+        assert!(g.edge_live(e0));
+        g.remove_edge(e0);
+        assert!(!g.edge_live(e0));
+        g.clause_deleted.mark_deleted(1);
+        for &e in g.var_edge_ids(3) {
+            if e as usize / g.k == 1 {
+                assert!(!g.edge_live(e as usize));
+            }
+        }
+    }
+}

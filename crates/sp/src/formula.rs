@@ -1,0 +1,115 @@
+//! Boolean k-SAT formulas in CNF.
+
+/// A literal: variable index plus polarity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Lit {
+    pub var: u32,
+    /// `true` when the literal is negated (the factor-graph edge value -1
+    /// in the paper's Fig. 4).
+    pub neg: bool,
+}
+
+impl Lit {
+    pub fn pos(var: u32) -> Self {
+        Self { var, neg: false }
+    }
+
+    pub fn negat(var: u32) -> Self {
+        Self { var, neg: true }
+    }
+
+    /// Value of this literal under `assign`.
+    #[inline]
+    pub fn eval(&self, assign: &[bool]) -> bool {
+        assign[self.var as usize] ^ self.neg
+    }
+}
+
+/// A CNF formula.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Formula {
+    pub num_vars: usize,
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Formula {
+    pub fn new(num_vars: usize) -> Self {
+        Self {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    pub fn add_clause(&mut self, lits: Vec<Lit>) {
+        debug_assert!(lits.iter().all(|l| (l.var as usize) < self.num_vars));
+        self.clauses.push(lits);
+    }
+
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Clause-to-literal ratio (α; hard 3-SAT sits near 4.2).
+    pub fn ratio(&self) -> f64 {
+        if self.num_vars == 0 {
+            0.0
+        } else {
+            self.clauses.len() as f64 / self.num_vars as f64
+        }
+    }
+
+    /// Is every clause satisfied by `assign`?
+    pub fn eval(&self, assign: &[bool]) -> bool {
+        assert_eq!(assign.len(), self.num_vars);
+        self.clauses.iter().all(|c| c.iter().any(|l| l.eval(assign)))
+    }
+
+    /// Number of clauses `assign` leaves unsatisfied.
+    pub fn num_unsat(&self, assign: &[bool]) -> usize {
+        self.clauses
+            .iter()
+            .filter(|c| !c.iter().any(|l| l.eval(assign)))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Formula {
+        // (x0 ∨ ¬x1) ∧ (x1 ∨ x2) ∧ (¬x0 ∨ ¬x2)
+        let mut f = Formula::new(3);
+        f.add_clause(vec![Lit::pos(0), Lit::negat(1)]);
+        f.add_clause(vec![Lit::pos(1), Lit::pos(2)]);
+        f.add_clause(vec![Lit::negat(0), Lit::negat(2)]);
+        f
+    }
+
+    #[test]
+    fn literal_eval() {
+        let assign = vec![true, false];
+        assert!(Lit::pos(0).eval(&assign));
+        assert!(!Lit::pos(1).eval(&assign));
+        assert!(Lit::negat(1).eval(&assign));
+        assert!(!Lit::negat(0).eval(&assign));
+    }
+
+    #[test]
+    fn formula_eval_and_unsat_count() {
+        let f = tiny();
+        assert_eq!(f.num_clauses(), 3);
+        assert!((f.ratio() - 1.0).abs() < 1e-12);
+        assert!(f.eval(&[true, true, false]));
+        assert!(!f.eval(&[false, true, false]));
+        assert_eq!(f.num_unsat(&[false, true, false]), 1);
+        assert_eq!(f.num_unsat(&[true, true, false]), 0);
+    }
+
+    #[test]
+    fn empty_formula_is_satisfied() {
+        let f = Formula::new(2);
+        assert!(f.eval(&[false, false]));
+        assert_eq!(f.ratio(), 0.0);
+    }
+}

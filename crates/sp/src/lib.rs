@@ -1,0 +1,36 @@
+//! # morph-sp — Survey Propagation (paper §3, §6.3, §8.2)
+//!
+//! Survey Propagation (Braunstein–Mézard–Zecchina) is a heuristic SAT
+//! solver: a k-SAT formula becomes a bipartite *factor graph* of clauses
+//! and literals; *surveys* (warning probabilities η) iterate along its
+//! edges until they stabilise; the most biased literals are then *fixed*
+//! and **deleted from the graph** (the morph operation — §7.2 marking
+//! deletion), and the reduced problem repeats. When only trivial surveys
+//! remain, the residual formula "is passed on to a simpler solver"
+//! ([`walksat`]).
+//!
+//! Engines:
+//! * [`serial`] — single-threaded reference,
+//! * [`cpu`] — multicore sweeps **without** the edge cache (the paper
+//!   notes the Galois version lacks the caching optimisation, which is
+//!   why its runtime explodes with K in Fig. 9),
+//! * [`gpu`] — bulk-synchronous virtual-GPU kernels **with** per-literal
+//!   cached products ("the GPU code caches computations along the edges to
+//!   avoid some repeated graph traversals").
+
+pub mod decimate;
+pub mod factor_graph;
+pub mod formula;
+pub mod io;
+pub mod preprocess;
+pub mod solver;
+pub mod surveys;
+pub mod walksat;
+
+pub mod cpu;
+pub mod gpu;
+pub mod serial;
+
+pub use factor_graph::FactorGraph;
+pub use formula::{Formula, Lit};
+pub use solver::{SolveOutcome, SolveStats, SpParams};

@@ -1,0 +1,233 @@
+//! CNF preprocessing: unit propagation and pure-literal elimination.
+//!
+//! Survey propagation is a heuristic for the *hard core* of an instance;
+//! real instances carry easy structure (units, pure literals) that should
+//! be peeled off first — and doing so lets the solver return a definite
+//! **UNSAT** when propagation derives the empty clause, instead of merely
+//! "giving up".
+
+use crate::formula::{Formula, Lit};
+
+/// Result of preprocessing.
+pub enum Simplified {
+    /// `formula` holds the residual clauses (original variable ids);
+    /// `forced[v]` is `Some(value)` for variables the preprocessing fixed.
+    Reduced {
+        formula: Formula,
+        forced: Vec<Option<bool>>,
+    },
+    /// Unit propagation derived a contradiction: definitely unsatisfiable.
+    Unsat,
+}
+
+/// Run unit propagation + pure-literal elimination to fixpoint.
+pub fn simplify(f: &Formula) -> Simplified {
+    let n = f.num_vars;
+    let mut forced: Vec<Option<bool>> = vec![None; n];
+    let mut clauses: Vec<Option<Vec<Lit>>> = f.clauses.iter().cloned().map(Some).collect();
+
+    loop {
+        let mut changed = false;
+
+        // Unit propagation under the current partial assignment.
+        for slot in clauses.iter_mut() {
+            let Some(c) = slot else { continue };
+            let mut satisfied = false;
+            c.retain(|l| match forced[l.var as usize] {
+                None => true,
+                Some(v) => {
+                    if v != l.neg {
+                        satisfied = true; // literal true under forcing
+                    }
+                    false
+                }
+            });
+            if satisfied {
+                *slot = None;
+                changed = true;
+                continue;
+            }
+            match c.len() {
+                0 => return Simplified::Unsat,
+                1 => {
+                    let l = c[0];
+                    match forced[l.var as usize] {
+                        Some(v) if v == l.neg => return Simplified::Unsat,
+                        Some(_) => {}
+                        None => {
+                            forced[l.var as usize] = Some(!l.neg);
+                            changed = true;
+                        }
+                    }
+                    *slot = None;
+                }
+                _ => {}
+            }
+        }
+
+        // Pure literals: variables appearing with a single polarity.
+        let mut pos = vec![false; n];
+        let mut neg = vec![false; n];
+        for c in clauses.iter().flatten() {
+            for l in c {
+                if l.neg {
+                    neg[l.var as usize] = true;
+                } else {
+                    pos[l.var as usize] = true;
+                }
+            }
+        }
+        for v in 0..n {
+            if forced[v].is_none() && (pos[v] ^ neg[v]) {
+                forced[v] = Some(pos[v]);
+                changed = true;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    let mut formula = Formula::new(n);
+    for c in clauses.into_iter().flatten() {
+        formula.add_clause(c);
+    }
+    Simplified::Reduced { formula, forced }
+}
+
+/// Merge a solution of the residual formula with the forced assignment.
+pub fn merge_assignment(forced: &[Option<bool>], residual: &[bool]) -> Vec<bool> {
+    forced
+        .iter()
+        .zip(residual)
+        .map(|(f, &r)| f.unwrap_or(r))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: i32) -> Lit {
+        Lit {
+            var: v.unsigned_abs() - 1,
+            neg: v < 0,
+        }
+    }
+
+    fn cnf(n: usize, clauses: &[&[i32]]) -> Formula {
+        let mut f = Formula::new(n);
+        for c in clauses {
+            f.add_clause(c.iter().map(|&v| lit(v)).collect());
+        }
+        f
+    }
+
+    #[test]
+    fn unit_chain_propagates() {
+        // x1; ¬x1∨x2; ¬x2∨x3  ⇒ all true, no residual.
+        let f = cnf(3, &[&[1], &[-1, 2], &[-2, 3]]);
+        match simplify(&f) {
+            Simplified::Reduced { formula, forced } => {
+                assert_eq!(formula.num_clauses(), 0);
+                assert_eq!(forced, vec![Some(true), Some(true), Some(true)]);
+            }
+            Simplified::Unsat => panic!("satisfiable"),
+        }
+    }
+
+    #[test]
+    fn contradiction_detected() {
+        let f = cnf(1, &[&[1], &[-1]]);
+        assert!(matches!(simplify(&f), Simplified::Unsat));
+        // Deeper: unit chain into contradiction.
+        let f = cnf(3, &[&[1], &[-1, 2], &[-2, 3], &[-3, -1]]);
+        assert!(matches!(simplify(&f), Simplified::Unsat));
+    }
+
+    #[test]
+    fn pure_literals_eliminated() {
+        // x1 appears only positively, x2 only negatively.
+        let f = cnf(3, &[&[1, 3], &[1, -2], &[-2, -3]]);
+        match simplify(&f) {
+            Simplified::Reduced { formula, forced } => {
+                assert_eq!(forced[0], Some(true));
+                assert_eq!(forced[1], Some(false));
+                assert_eq!(formula.num_clauses(), 0, "all clauses satisfied");
+            }
+            Simplified::Unsat => panic!("satisfiable"),
+        }
+    }
+
+    #[test]
+    fn residual_untouched_variables_remain() {
+        // A 2-2 core that neither units nor purity can reduce.
+        let f = cnf(2, &[&[1, 2], &[-1, 2], &[1, -2], &[-1, -2]]);
+        match simplify(&f) {
+            Simplified::Unsat => {} // actually UNSAT, fine if derived
+            Simplified::Reduced { formula, forced } => {
+                assert!(forced.iter().all(Option::is_none));
+                assert_eq!(formula.num_clauses(), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_assignment_prefers_forced() {
+        let merged = merge_assignment(&[Some(true), None, Some(false)], &[false, true, true]);
+        assert_eq!(merged, vec![true, true, false]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn brute_force_sat(f: &Formula) -> bool {
+        assert!(f.num_vars <= 12);
+        (0u32..(1 << f.num_vars)).any(|bits| {
+            let assign: Vec<bool> = (0..f.num_vars).map(|v| bits & (1 << v) != 0).collect();
+            f.eval(&assign)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Preprocessing preserves satisfiability, and merged assignments
+        /// satisfy the original formula.
+        #[test]
+        fn equisatisfiable(
+            clauses in prop::collection::vec(
+                prop::collection::vec((0u32..8, any::<bool>()), 1..4),
+                0..24,
+            )
+        ) {
+            let mut f = Formula::new(8);
+            for c in &clauses {
+                let mut lits: Vec<Lit> = c.iter().map(|&(var, neg)| Lit { var, neg }).collect();
+                lits.sort_by_key(|l| (l.var, l.neg));
+                lits.dedup();
+                f.add_clause(lits);
+            }
+            let orig_sat = brute_force_sat(&f);
+            match simplify(&f) {
+                Simplified::Unsat => prop_assert!(!orig_sat, "claimed UNSAT on a SAT formula"),
+                Simplified::Reduced { formula, forced } => {
+                    let red_sat = brute_force_sat(&formula);
+                    prop_assert_eq!(red_sat, orig_sat);
+                    if red_sat {
+                        // Find a residual model and merge it.
+                        let model = (0u32..(1 << 8))
+                            .map(|bits| (0..8).map(|v| bits & (1 << v) != 0).collect::<Vec<bool>>())
+                            .find(|a| formula.eval(a))
+                            .unwrap();
+                        let merged = merge_assignment(&forced, &model);
+                        prop_assert!(f.eval(&merged), "merged assignment must satisfy original");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! The SP solving loop shared by all three engines (paper §3).
+//!
+//! "Each phase of the algorithm first iterates over the clauses and the
+//! literals of the formula updating 'surveys' until all updates are below
+//! some small epsilon. Then, the surveys are processed to find the most
+//! biased literals, which are fixed … the fixed literals are then removed
+//! from the graph. If only trivial surveys remain or the number of
+//! literals is small enough, the problem is passed on to a simpler solver.
+//! Otherwise, the algorithm starts over with the reduced graph. … If there
+//! is no progress after some number of iterations, the algorithm gives
+//! up."
+
+use crate::decimate::decimate;
+use crate::factor_graph::{FactorGraph, FIXED_TRUE};
+use crate::formula::Formula;
+use crate::preprocess::{merge_assignment, simplify, Simplified};
+use crate::surveys::Surveys;
+use crate::walksat::walksat;
+use std::time::{Duration, Instant};
+
+/// Tunables of the SP loop.
+#[derive(Clone, Copy, Debug)]
+pub struct SpParams {
+    /// Convergence epsilon on |Δη|.
+    pub eps: f64,
+    /// Sweep cap per propagation phase.
+    pub max_sweeps: usize,
+    /// |bias| at which a variable is fixed.
+    pub fix_threshold: f64,
+    /// Below this max-|bias| the surveys are considered trivial.
+    pub trivial_bias: f64,
+    /// Hand the residual to the simpler solver at this many free vars.
+    pub endgame_vars: usize,
+    /// WalkSAT flip budget.
+    pub walksat_flips: usize,
+    /// Decimation-round cap ("gives up" beyond it).
+    pub max_rounds: usize,
+    /// Compact the factor graph (§7.2 explicit deletion) once fewer than
+    /// this fraction of clauses is live; `0.0` disables compaction and
+    /// relies on marking alone.
+    pub compact_below: f64,
+    /// Peel units and pure literals before SP (and prove easy UNSAT).
+    pub preprocess: bool,
+    pub seed: u64,
+}
+
+impl Default for SpParams {
+    fn default() -> Self {
+        Self {
+            eps: 1e-3,
+            max_sweeps: 200,
+            fix_threshold: 0.6,
+            trivial_bias: 0.02,
+            endgame_vars: 128,
+            walksat_flips: 6_000_000,
+            max_rounds: 1000,
+            compact_below: 0.5,
+            preprocess: true,
+            seed: 12345,
+        }
+    }
+}
+
+/// Result of a solve.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// A verified satisfying assignment.
+    Sat(Vec<bool>),
+    /// Preprocessing derived the empty clause: definitely unsatisfiable.
+    Unsat,
+    /// The heuristic gave up (the instance may still be satisfiable).
+    GaveUp,
+}
+
+/// Bookkeeping of a solve.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolveStats {
+    /// Decimation rounds executed.
+    pub rounds: usize,
+    /// Total survey sweeps across all rounds.
+    pub sweeps: usize,
+    /// Variables fixed by decimation.
+    pub fixed_by_sp: usize,
+    /// Free variables handed to WalkSAT.
+    pub endgame_vars: usize,
+    /// Factor-graph compactions performed (§7.2 explicit deletion).
+    pub compactions: usize,
+    pub wall: Duration,
+}
+
+/// Run the full SP loop. `propagate(fg, surveys)` runs survey sweeps to
+/// convergence (engine-specific) and returns the number of sweeps.
+pub fn run_solver(
+    f: &Formula,
+    params: &SpParams,
+    mut propagate: impl FnMut(&FactorGraph, &Surveys) -> usize,
+) -> (SolveOutcome, SolveStats) {
+    let start = Instant::now();
+    let mut stats = SolveStats::default();
+
+    // Peel the easy structure first (units, pure literals); SP then works
+    // on the residual core over the same variable ids.
+    let (core, forced) = if params.preprocess {
+        match simplify(f) {
+            Simplified::Unsat => {
+                stats.wall = start.elapsed();
+                return (SolveOutcome::Unsat, stats);
+            }
+            Simplified::Reduced { formula, forced } => (formula, forced),
+        }
+    } else {
+        (f.clone(), vec![None; f.num_vars])
+    };
+    let f_orig = f;
+    let f = &core;
+
+    let mut fg = FactorGraph::new(f);
+    let mut s = Surveys::init(&fg, params.seed);
+
+    let finish = |fg: &FactorGraph, stats: &mut SolveStats| -> SolveOutcome {
+        // Endgame: solve the residual with WalkSAT and merge assignments.
+        let (residual, back) = fg.residual();
+        stats.endgame_vars = residual.num_vars;
+        let sub = if residual.num_clauses() == 0 {
+            Some(vec![false; residual.num_vars])
+        } else {
+            walksat(&residual, params.walksat_flips, 0.5, params.seed ^ 0xabcd)
+        };
+        let Some(sub) = sub else {
+            return SolveOutcome::GaveUp;
+        };
+        let mut assign = vec![false; f.num_vars];
+        for v in 0..f.num_vars {
+            assign[v] = fg.var_state.load(v) == FIXED_TRUE;
+        }
+        for (rv, &ov) in sub.iter().zip(&back) {
+            assign[ov as usize] = *rv;
+        }
+        let assign = merge_assignment(&forced, &assign);
+        if f_orig.eval(&assign) {
+            SolveOutcome::Sat(assign)
+        } else {
+            SolveOutcome::GaveUp
+        }
+    };
+
+    for _round in 0..params.max_rounds {
+        stats.rounds += 1;
+        stats.sweeps += propagate(&fg, &s);
+
+        let out = decimate(&fg, &s, params.fix_threshold, params.trivial_bias / 4.0);
+        stats.fixed_by_sp += out.fixed;
+        if out.contradiction {
+            // Backbone guess went wrong: fall back to WalkSAT on the
+            // original formula before giving up.
+            stats.wall = start.elapsed();
+            return match walksat(f, params.walksat_flips, 0.5, params.seed ^ 0x5eed) {
+                Some(a) => {
+                    let a = merge_assignment(&forced, &a);
+                    debug_assert!(f_orig.eval(&a));
+                    (SolveOutcome::Sat(a), stats)
+                }
+                None => (SolveOutcome::GaveUp, stats),
+            };
+        }
+        let trivial = out.max_bias < params.trivial_bias;
+        let small = fg.free_vars() <= params.endgame_vars;
+        if trivial || small || out.fixed == 0 || fg.live_clauses() == 0 {
+            let result = finish(&fg, &mut stats);
+            stats.wall = start.elapsed();
+            return (result, stats);
+        }
+
+        // §7.2: marking is cheap, but once decimation has deleted most
+        // clauses, compact the storage (explicit deletion) so sweeps no
+        // longer scan dead slots.
+        if params.compact_below > 0.0 {
+            let live = fg.live_clauses();
+            if fg.num_clauses > 64 && (live as f64) < params.compact_below * fg.num_clauses as f64
+            {
+                let (new_fg, remap) = fg.compacted();
+                s = s.remapped(&fg, &new_fg, &remap);
+                fg = new_fg;
+                stats.compactions += 1;
+            }
+        }
+    }
+    let result = finish(&fg, &mut stats);
+    stats.wall = start.elapsed();
+    (result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::surveys::{recompute_var_cache, update_clause};
+    use crate::formula::Lit;
+    use rand::prelude::*;
+
+    fn simple_propagate(fg: &FactorGraph, s: &Surveys) -> usize {
+        for sweep in 0..200 {
+            for v in 0..fg.num_vars as u32 {
+                recompute_var_cache(fg, s, v);
+            }
+            let mut d = 0.0f64;
+            for a in 0..fg.num_clauses {
+                d = d.max(update_clause(fg, s, a, true));
+            }
+            if d < 1e-3 {
+                return sweep + 1;
+            }
+        }
+        200
+    }
+
+    pub(crate) fn random_ksat(n: usize, ratio: f64, k: usize, seed: u64) -> Formula {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut f = Formula::new(n);
+        let m = (n as f64 * ratio) as usize;
+        for _ in 0..m {
+            let vars = rand::seq::index::sample(&mut rng, n, k);
+            f.add_clause(
+                vars.iter()
+                    .map(|var| Lit {
+                        var: var as u32,
+                        neg: rng.gen(),
+                    })
+                    .collect(),
+            );
+        }
+        f
+    }
+
+    #[test]
+    fn solves_easy_3sat() {
+        let f = random_ksat(300, 3.0, 3, 7);
+        let (out, stats) = run_solver(&f, &SpParams::default(), simple_propagate);
+        match out {
+            SolveOutcome::Sat(a) => assert!(f.eval(&a)),
+            other => panic!("easy instance must be solved: {other:?}"),
+        }
+        assert!(stats.rounds >= 1);
+        assert!(stats.sweeps >= 1);
+    }
+
+    #[test]
+    fn solves_moderately_hard_3sat() {
+        let f = random_ksat(250, 4.0, 3, 11);
+        let (out, _) = run_solver(&f, &SpParams::default(), simple_propagate);
+        if let SolveOutcome::Sat(a) = out {
+            assert!(f.eval(&a), "returned assignment must verify");
+        }
+        // GaveUp is acceptable near the hard threshold, but any Sat must
+        // verify (checked above).
+    }
+
+    #[test]
+    fn compaction_on_and_off_both_solve() {
+        let f = random_ksat(300, 3.0, 3, 19);
+        let on = SpParams {
+            compact_below: 0.95, // compact aggressively
+            ..SpParams::default()
+        };
+        let off = SpParams {
+            compact_below: 0.0, // marking only
+            ..SpParams::default()
+        };
+        let (o1, s1) = run_solver(&f, &on, simple_propagate);
+        let (o2, _) = run_solver(&f, &off, simple_propagate);
+        match (&o1, &o2) {
+            (SolveOutcome::Sat(a), SolveOutcome::Sat(b)) => {
+                assert!(f.eval(a));
+                assert!(f.eval(b));
+            }
+            other => panic!("easy instance must solve both ways: {other:?}"),
+        }
+        // With several decimation rounds on an easy instance the
+        // aggressive threshold should actually compact at least once.
+        if s1.rounds > 2 {
+            assert!(s1.compactions >= 1, "rounds={} compactions=0", s1.rounds);
+        }
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let f = Formula::new(10);
+        let (out, _) = run_solver(&f, &SpParams::default(), simple_propagate);
+        assert!(matches!(out, SolveOutcome::Sat(_)));
+    }
+
+    #[test]
+    fn unsat_core_is_proved_unsat() {
+        let mut f = Formula::new(2);
+        f.add_clause(vec![Lit::pos(0)]);
+        f.add_clause(vec![Lit::negat(0)]);
+        f.add_clause(vec![Lit::pos(1)]);
+        let (out, _) = run_solver(&f, &SpParams::default(), simple_propagate);
+        assert_eq!(out, SolveOutcome::Unsat, "unit propagation proves this");
+        // Without preprocessing the solver can only give up.
+        let raw = SpParams {
+            preprocess: false,
+            ..SpParams::default()
+        };
+        let (out, _) = run_solver(&f, &raw, simple_propagate);
+        assert_eq!(out, SolveOutcome::GaveUp);
+    }
+
+    #[test]
+    fn preprocessing_alone_can_solve() {
+        // Pure literals + units fully determine this formula.
+        let mut f = Formula::new(3);
+        f.add_clause(vec![Lit::pos(0)]);
+        f.add_clause(vec![Lit::negat(0), Lit::pos(1)]);
+        f.add_clause(vec![Lit::pos(2), Lit::pos(1)]);
+        let (out, stats) = run_solver(&f, &SpParams::default(), simple_propagate);
+        match out {
+            SolveOutcome::Sat(a) => assert!(f.eval(&a)),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(stats.rounds, 1, "core should be empty after peeling");
+    }
+}
+
+#[cfg(test)]
+pub(crate) use tests::random_ksat;

@@ -1,0 +1,158 @@
+//! WalkSAT — the "simpler solver" the paper hands the residual formula to
+//! (§3: "If only trivial surveys remain or the number of literals is small
+//! enough, the problem is passed on to a simpler solver").
+
+use crate::formula::Formula;
+use rand::prelude::*;
+
+/// Solve `f` with WalkSAT under a flip budget split across four random
+/// restarts (restarts escape the local plateaus a single long run stalls
+/// in). Returns a satisfying assignment or `None`.
+pub fn walksat(f: &Formula, max_flips: usize, noise: f64, seed: u64) -> Option<Vec<bool>> {
+    const RESTARTS: usize = 4;
+    let per_try = (max_flips / RESTARTS).max(1);
+    (0..RESTARTS as u64)
+        .find_map(|r| walksat_once(f, per_try, noise, seed.wrapping_add(r.wrapping_mul(0x9e37_79b9))))
+}
+
+/// A single WalkSAT descent.
+fn walksat_once(f: &Formula, max_flips: usize, noise: f64, seed: u64) -> Option<Vec<bool>> {
+    if f.num_vars == 0 {
+        return if f.clauses.iter().all(|c| !c.is_empty()) && f.num_clauses() == 0 {
+            Some(Vec::new())
+        } else if f.num_clauses() == 0 {
+            Some(Vec::new())
+        } else {
+            None
+        };
+    }
+    if f.clauses.iter().any(|c| c.is_empty()) {
+        return None; // empty clause is unsatisfiable
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut assign: Vec<bool> = (0..f.num_vars).map(|_| rng.gen()).collect();
+
+    // Occurrence lists for break-count evaluation.
+    let mut occ: Vec<Vec<u32>> = vec![Vec::new(); f.num_vars];
+    for (a, c) in f.clauses.iter().enumerate() {
+        for l in c {
+            occ[l.var as usize].push(a as u32);
+        }
+    }
+    let sat_count = |a: usize, assign: &[bool]| -> usize {
+        f.clauses[a].iter().filter(|l| l.eval(assign)).count()
+    };
+
+    let mut unsat: Vec<u32> = (0..f.num_clauses())
+        .filter(|&a| sat_count(a, &assign) == 0)
+        .map(|a| a as u32)
+        .collect();
+
+    for _ in 0..max_flips {
+        if unsat.is_empty() {
+            debug_assert!(f.eval(&assign));
+            return Some(assign);
+        }
+        // Pick a random unsatisfied clause (lazily validated).
+        let idx = rng.gen_range(0..unsat.len());
+        let a = unsat[idx] as usize;
+        if sat_count(a, &assign) > 0 {
+            unsat.swap_remove(idx);
+            continue;
+        }
+        // Choose the variable to flip: random walk with probability
+        // `noise`, otherwise minimum break-count.
+        let var = if rng.gen_bool(noise) {
+            f.clauses[a][rng.gen_range(0..f.clauses[a].len())].var
+        } else {
+            f.clauses[a]
+                .iter()
+                .map(|l| {
+                    let v = l.var;
+                    let breaks = occ[v as usize]
+                        .iter()
+                        .filter(|&&b| {
+                            // Clauses currently satisfied only by v.
+                            let b = b as usize;
+                            sat_count(b, &assign) == 1
+                                && f.clauses[b]
+                                    .iter()
+                                    .any(|x| x.var == v && x.eval(&assign))
+                        })
+                        .count();
+                    (breaks, v)
+                })
+                .min_by_key(|&(breaks, _)| breaks)
+                .map(|(_, v)| v)
+                .unwrap()
+        };
+        assign[var as usize] = !assign[var as usize];
+        // Clauses containing var may have flipped state.
+        for &b in &occ[var as usize] {
+            if sat_count(b as usize, &assign) == 0 {
+                unsat.push(b);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Lit;
+
+    #[test]
+    fn solves_trivial_formulas() {
+        let mut f = Formula::new(2);
+        f.add_clause(vec![Lit::pos(0)]);
+        f.add_clause(vec![Lit::negat(1)]);
+        let a = walksat(&f, 1000, 0.5, 1).expect("satisfiable");
+        assert!(f.eval(&a));
+        assert!(a[0] && !a[1]);
+    }
+
+    #[test]
+    fn detects_empty_clause() {
+        let mut f = Formula::new(1);
+        f.add_clause(vec![]);
+        assert!(walksat(&f, 100, 0.5, 1).is_none());
+    }
+
+    #[test]
+    fn zero_vars_empty_formula() {
+        let f = Formula::new(0);
+        assert_eq!(walksat(&f, 10, 0.5, 1), Some(vec![]));
+    }
+
+    #[test]
+    fn solves_random_easy_3sat() {
+        // Ratio 3.0 — well below the hard threshold, always satisfiable
+        // in practice.
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 100;
+        let mut f = Formula::new(n);
+        for _ in 0..(3 * n) {
+            let vars = rand::seq::index::sample(&mut rng, n, 3);
+            f.add_clause(
+                vars.iter()
+                    .map(|v| Lit {
+                        var: v as u32,
+                        neg: rng.gen(),
+                    })
+                    .collect(),
+            );
+        }
+        let a = walksat(&f, 200_000, 0.5, 42).expect("easy instance must solve");
+        assert!(f.eval(&a));
+    }
+
+    #[test]
+    fn unsat_returns_none() {
+        // x ∧ ¬x via 1-clauses.
+        let mut f = Formula::new(1);
+        f.add_clause(vec![Lit::pos(0)]);
+        f.add_clause(vec![Lit::negat(0)]);
+        assert!(walksat(&f, 10_000, 0.5, 5).is_none());
+    }
+}

@@ -1,0 +1,198 @@
+//! The Fig. 11 graph families (paper §8.4).
+//!
+//! | Paper input | Generator here | Character |
+//! |---|---|---|
+//! | USA / W road networks (DIMACS) | [`road_network`] — 2-D grid with random diagonal shortcuts and ~20 % deleted edges | sparse, deg ≈ 2.4 |
+//! | grid-2d-24 / grid-2d-20 | [`grid2d`] | sparse, deg = 2 (paper's N→2N edge ratio) |
+//! | RMAT20 | [`rmat`] — recursive-matrix generator (a=0.45,b=0.22,c=0.22,d=0.11) | skewed, dense communities |
+//! | Random4-20 | [`random_graph`] — Erdős–Rényi with fixed edge count | uniform, deg ≈ 8 |
+
+use morph_graph::{Csr, CsrBuilder};
+use rand::prelude::*;
+use std::collections::HashSet;
+
+/// 2-D grid of `side × side` nodes with 4-neighbor connectivity and
+/// random weights — the paper's `grid-2d-*` inputs (2·N edges).
+pub fn grid2d(side: usize, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = side * side;
+    let id = |x: usize, y: usize| (y * side + x) as u32;
+    let mut b = CsrBuilder::with_edge_capacity(n, 4 * n);
+    for y in 0..side {
+        for x in 0..side {
+            if x + 1 < side {
+                b.add_undirected(id(x, y), id(x + 1, y), rng.gen_range(1..10_000));
+            }
+            if y + 1 < side {
+                b.add_undirected(id(x, y), id(x, y + 1), rng.gen_range(1..10_000));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Road-network proxy: a grid with ~20 % of edges removed (still
+/// connected with high probability) plus a sprinkle of diagonal
+/// shortcuts; average degree ≈ 2.4, matching USA-road sparsity.
+pub fn road_network(side: usize, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = side * side;
+    let id = |x: usize, y: usize| (y * side + x) as u32;
+    let mut b = CsrBuilder::with_edge_capacity(n, 3 * n);
+    let mut uf = morph_graph::union_find::SeqUnionFind::new(n);
+    let add = |b: &mut CsrBuilder, uf: &mut morph_graph::union_find::SeqUnionFind,
+                   u: u32, v: u32, w: u32| {
+        b.add_undirected(u, v, w);
+        uf.union(u, v);
+    };
+    for y in 0..side {
+        for x in 0..side {
+            // Delete ~20 % of the grid edges (dead ends, rivers).
+            if x + 1 < side && rng.gen::<f64>() > 0.2 {
+                add(&mut b, &mut uf, id(x, y), id(x + 1, y), rng.gen_range(1..100_000));
+            }
+            if y + 1 < side && rng.gen::<f64>() > 0.2 {
+                add(&mut b, &mut uf, id(x, y), id(x, y + 1), rng.gen_range(1..100_000));
+            }
+            // Occasional diagonal shortcut (highways).
+            if x + 1 < side && y + 1 < side && rng.gen::<f64>() < 0.05 {
+                add(&mut b, &mut uf, id(x, y), id(x + 1, y + 1), rng.gen_range(1..100_000));
+            }
+        }
+    }
+    // Reconnect any stranded fragments so the network is a single
+    // component (real road networks are).
+    for v in 1..n as u32 {
+        if !uf.same(v - 1, v) {
+            add(&mut b, &mut uf, v - 1, v, rng.gen_range(1..100_000));
+        }
+    }
+    b.build()
+}
+
+/// RMAT generator (Chakrabarti–Zhan–Faloutsos) with the Graph500-style
+/// parameters (0.45, 0.22, 0.22, 0.11); duplicate edges and self-loops
+/// are rejected and resampled, yielding exactly `edges` undirected edges.
+pub fn rmat(scale: u32, edges: usize, seed: u64) -> Csr {
+    let n = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(edges * 2);
+    let mut b = CsrBuilder::with_edge_capacity(n, edges * 2);
+    let mut placed = 0;
+    let mut attempts = 0usize;
+    while placed < edges && attempts < edges * 100 {
+        attempts += 1;
+        let (mut x0, mut x1, mut y0, mut y1) = (0usize, n, 0usize, n);
+        while x1 - x0 > 1 {
+            let r: f64 = rng.gen();
+            let (dx, dy) = if r < 0.45 {
+                (0, 0)
+            } else if r < 0.67 {
+                (1, 0)
+            } else if r < 0.89 {
+                (0, 1)
+            } else {
+                (1, 1)
+            };
+            let mx = (x0 + x1) / 2;
+            let my = (y0 + y1) / 2;
+            if dx == 0 {
+                x1 = mx;
+            } else {
+                x0 = mx;
+            }
+            if dy == 0 {
+                y1 = my;
+            } else {
+                y0 = my;
+            }
+        }
+        let (u, v) = (x0 as u32, y0 as u32);
+        let key = (u.min(v), u.max(v));
+        if u == v || seen.contains(&key) {
+            continue;
+        }
+        seen.insert(key);
+        b.add_undirected(u, v, rng.gen_range(1..100_000));
+        placed += 1;
+    }
+    b.build()
+}
+
+/// Erdős–Rényi-style random graph with exactly `edges` distinct
+/// undirected edges — the paper's `Random4-20` family (edges ≈ 4×nodes).
+pub fn random_graph(nodes: usize, edges: usize, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(edges * 2);
+    let mut b = CsrBuilder::with_edge_capacity(nodes, edges * 2);
+    let mut placed = 0;
+    while placed < edges {
+        let u = rng.gen_range(0..nodes as u32);
+        let v = rng.gen_range(0..nodes as u32);
+        let key = (u.min(v), u.max(v));
+        if u == v || seen.contains(&key) {
+            continue;
+        }
+        seen.insert(key);
+        b.add_undirected(u, v, rng.gen_range(1..100_000));
+        placed += 1;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_shape() {
+        let g = grid2d(10, 1);
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 2 * 180); // 2·side·(side−1) undirected
+        assert!(g.is_symmetric());
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn road_network_is_sparse_and_connected() {
+        let g = road_network(24, 3);
+        let deg = g.avg_degree() / 2.0; // undirected degree
+        assert!(
+            (0.9..=1.6).contains(&deg),
+            "road proxy undirected edge/node ratio: {deg:.2}"
+        );
+        // Spanning backbone keeps it connected: MST has n−1 edges.
+        let r = morph_mst::kruskal::mst(&g);
+        assert_eq!(r.edges, g.num_nodes() - 1, "road network must be connected");
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = rmat(10, 4096, 5);
+        assert_eq!(g.num_nodes(), 1024);
+        assert_eq!(g.num_edges(), 2 * 4096);
+        assert!(g.is_symmetric());
+        let max_deg = (0..1024u32).map(|v| g.degree(v)).max().unwrap();
+        assert!(
+            max_deg as f64 > 6.0 * g.avg_degree(),
+            "RMAT hubs expected: max {max_deg}, avg {:.1}",
+            g.avg_degree()
+        );
+    }
+
+    #[test]
+    fn random_graph_exact_edge_count() {
+        let g = random_graph(500, 2000, 7);
+        assert_eq!(g.num_edges(), 4000);
+        assert!(g.validate().is_ok());
+        assert!((g.avg_degree() - 8.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(grid2d(8, 2), grid2d(8, 2));
+        assert_eq!(rmat(8, 500, 2), rmat(8, 500, 2));
+        assert_eq!(random_graph(100, 300, 2), random_graph(100, 300, 2));
+        assert_eq!(road_network(12, 2), road_network(12, 2));
+    }
+}

@@ -1,0 +1,19 @@
+//! # morph-workloads — deterministic input generators
+//!
+//! Every experiment input of the paper's evaluation, reproduced
+//! synthetically and seeded (see DESIGN.md §2 for the substitutions):
+//!
+//! * [`mesh`] — random triangulated meshes ("the input meshes are
+//!   randomly generated … roughly half of the initial triangles are
+//!   bad"), at laptop scale;
+//! * [`ksat`] — uniform random hard k-SAT at the published hard ratios
+//!   (Mertens–Mézard–Zecchina thresholds used in Fig. 9);
+//! * [`pta`] — SPEC-2000-like constraint sets matching the per-benchmark
+//!   variable/constraint counts of Fig. 10;
+//! * [`graphs`] — the Fig. 11 graph families: road-network proxies,
+//!   2-D grids, RMAT, and uniform random graphs.
+
+pub mod graphs;
+pub mod ksat;
+pub mod mesh;
+pub mod pta;

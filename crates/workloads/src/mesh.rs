@@ -1,0 +1,94 @@
+//! Random input meshes for DMR (paper §8.1).
+//!
+//! Uniform random points in a disc, Delaunay-triangulated. Random point
+//! clouds naturally yield ≈50 % bad triangles at the 30° quality bound —
+//! matching the paper's "roughly half of the initial triangles are bad".
+
+use morph_dmr::Mesh;
+use morph_geometry::{triangulate, Coord, Point, TriQuality, Triangulation};
+use rand::prelude::*;
+
+/// Generate `n` random points uniformly in a disc of radius `r` centred
+/// in the exact-coordinate domain.
+pub fn random_disc_points<C: Coord>(n: usize, r: f64, seed: u64) -> Vec<Point<C>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let r = r.min(7000.0);
+    (0..n)
+        .map(|_| {
+            let rad = r * rng.gen::<f64>().sqrt();
+            let ang = rng.gen::<f64>() * std::f64::consts::TAU;
+            Point::snapped(rad * ang.cos(), rad * ang.sin())
+        })
+        .collect()
+}
+
+/// Disc radius and mean point spacing for `points` random points.
+fn disc_geometry(points: usize) -> (f64, f64) {
+    let radius = (60.0 * (points as f64).sqrt().max(1.0)).min(7000.0);
+    let spacing = radius * (std::f64::consts::PI / points.max(1) as f64).sqrt();
+    (radius, spacing)
+}
+
+/// Random Delaunay triangulation of ~`target_triangles` triangles (a
+/// disc of `target_triangles / 2` points yields ≈`target` triangles).
+pub fn random_triangulation<C: Coord>(target_triangles: usize, seed: u64) -> Triangulation<C> {
+    let points = target_triangles.div_ceil(2).max(3);
+    let (radius, _) = disc_geometry(points);
+    let pts = random_disc_points(points, radius, seed);
+    triangulate(&pts).expect("random point cloud must triangulate")
+}
+
+/// A refinable [`Mesh`] of roughly `target_triangles` triangles with the
+/// paper's 30° quality bound, guarded at the mesh's own scale (see
+/// [`TriQuality::scaled`]).
+pub fn random_mesh<C: Coord>(target_triangles: usize, seed: u64) -> Mesh<C> {
+    let points = target_triangles.div_ceil(2).max(3);
+    let (_, spacing) = disc_geometry(points);
+    let t = random_triangulation(target_triangles, seed);
+    Mesh::from_triangulation(&t, TriQuality::scaled(spacing), 4.0, 4.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_count_near_target() {
+        let t: Triangulation<f64> = random_triangulation(2000, 1);
+        let got = t.num_triangles();
+        assert!(
+            (1500..=2200).contains(&got),
+            "expected ≈2000 triangles, got {got}"
+        );
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn roughly_half_triangles_are_bad() {
+        let m: Mesh<f64> = random_mesh(3000, 7);
+        let s = m.stats();
+        let frac = s.bad as f64 / s.live as f64;
+        assert!(
+            (0.25..=0.75).contains(&frac),
+            "bad fraction {frac:.2} out of the paper's 'roughly half' band"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Triangulation<f64> = random_triangulation(500, 9);
+        let b: Triangulation<f64> = random_triangulation(500, 9);
+        assert_eq!(a.triangles, b.triangles);
+        let c: Triangulation<f64> = random_triangulation(500, 10);
+        assert_ne!(a.triangles, c.triangles);
+    }
+
+    #[test]
+    fn points_stay_in_domain() {
+        let pts = random_disc_points::<f64>(500, 99999.0, 3);
+        for p in pts {
+            assert!(p.xf().abs() <= morph_geometry::MAX_COORD);
+            assert!(p.yf().abs() <= morph_geometry::MAX_COORD);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! SPEC-2000-like points-to constraint sets (paper §8.3 / Fig. 10).
+//!
+//! The paper analyses six SPEC 2000 programs; Fig. 10 publishes each
+//! benchmark's variable and constraint counts. We cannot ship SPEC
+//! sources, so we generate synthetic constraint sets that match those
+//! published counts exactly, with a realistic kind mix and a Zipf-like
+//! variable popularity (a few hub pointers, many cold ones) — the
+//! features that drive Andersen-analysis workload shape.
+
+use morph_pta::{Constraint, PtaProblem};
+use rand::prelude::*;
+
+/// One Fig. 10 benchmark row: `(name, variables, constraints)`.
+pub const SPEC_BENCHMARKS: [(&str, usize, usize); 6] = [
+    ("186.crafty", 6126, 6768),
+    ("164.gzip", 1595, 1773),
+    ("256.bzip2", 1147, 1081),
+    ("181.mcf", 1230, 1509),
+    ("183.equake", 1317, 1279),
+    ("179.art", 586, 603),
+];
+
+/// Zipf-ish variable pick: square the uniform sample so low ids (hubs)
+/// are favoured.
+fn pick_var(rng: &mut StdRng, n: usize) -> u32 {
+    let u: f64 = rng.gen();
+    ((u * u * n as f64) as usize).min(n - 1) as u32
+}
+
+/// Generate a constraint set with the given size, mimicking C-program
+/// constraint statistics: ≈30 % address-of, 45 % copy, 13 % load,
+/// 12 % store.
+pub fn synthetic(num_vars: usize, num_constraints: usize, seed: u64) -> PtaProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut prob = PtaProblem::new(num_vars);
+    for _ in 0..num_constraints {
+        let p = pick_var(&mut rng, num_vars);
+        let q = pick_var(&mut rng, num_vars);
+        let roll: f64 = rng.gen();
+        prob.add(if roll < 0.30 {
+            Constraint::AddressOf { p, q }
+        } else if roll < 0.75 {
+            Constraint::Copy { p, q }
+        } else if roll < 0.88 {
+            Constraint::Load { p, q }
+        } else {
+            Constraint::Store { p, q }
+        });
+    }
+    prob
+}
+
+/// The six Fig. 10 inputs, seeded deterministically per benchmark name.
+pub fn spec_suite() -> Vec<(&'static str, PtaProblem)> {
+    SPEC_BENCHMARKS
+        .iter()
+        .map(|&(name, vars, cons)| {
+            let seed = name.bytes().fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
+            (name, synthetic(vars, cons, seed))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_published_counts() {
+        let suite = spec_suite();
+        assert_eq!(suite.len(), 6);
+        for ((name, vars, cons), (gname, prob)) in SPEC_BENCHMARKS.iter().zip(&suite) {
+            assert_eq!(name, gname);
+            assert_eq!(prob.num_vars, *vars, "{name}");
+            assert_eq!(prob.constraints.len(), *cons, "{name}");
+        }
+    }
+
+    #[test]
+    fn kind_mix_is_realistic() {
+        let prob = synthetic(2000, 10_000, 3);
+        let (a, c, l, s) = prob.kind_counts();
+        let total = (a + c + l + s) as f64;
+        assert!((a as f64 / total - 0.30).abs() < 0.03);
+        assert!((c as f64 / total - 0.45).abs() < 0.03);
+        assert!((l as f64 / total - 0.13).abs() < 0.03);
+        assert!((s as f64 / total - 0.12).abs() < 0.03);
+    }
+
+    #[test]
+    fn deterministic_and_solvable() {
+        let a = synthetic(300, 400, 5);
+        let b = synthetic(300, 400, 5);
+        assert_eq!(a.constraints, b.constraints);
+        // The generated problems reach a fixed point.
+        let sol = morph_pta::serial::solve(&a);
+        assert_eq!(sol.len(), 300);
+        assert!(sol.iter().any(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn hub_variables_exist() {
+        let prob = synthetic(1000, 5000, 9);
+        let mut freq = vec![0usize; 1000];
+        for c in &prob.constraints {
+            if let Constraint::Copy { p, q } = c {
+                freq[*p as usize] += 1;
+                freq[*q as usize] += 1;
+            }
+        }
+        let max = *freq.iter().max().unwrap();
+        let avg = freq.iter().sum::<usize>() as f64 / 1000.0;
+        assert!(max as f64 > 4.0 * avg, "Zipf skew expected: max {max}, avg {avg:.1}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Delaunay Mesh Refinement across all three engines, plus the Fig. 2
+//! parallelism profile.
+//!
+//! ```sh
+//! cargo run --release --example mesh_refinement [triangles]
+//! ```
+
+use morphgpu::dmr::{cpu::refine_cpu, gpu::refine_gpu, profile, serial, DmrOpts, OptLevel};
+use morphgpu::workloads::mesh::random_mesh;
+
+fn main() {
+    let target: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20_000);
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    println!("input: ~{target} triangles, {threads} workers\n");
+
+    // Serial (the Triangle role).
+    let mut m = random_mesh::<f64>(target, 1);
+    let s0 = m.stats();
+    let serial_stats = serial::refine(&mut m);
+    m.validate(true).expect("serial result valid");
+    println!(
+        "serial    : {:>9.2?}  ({} -> {} triangles, {} refined)",
+        serial_stats.wall,
+        s0.live,
+        m.stats().live,
+        serial_stats.refined
+    );
+
+    // Speculative multicore (the Galois role).
+    let mut m = random_mesh::<f64>(target, 1);
+    let cpu_stats = refine_cpu(&mut m, threads);
+    m.validate(true).expect("cpu result valid");
+    println!(
+        "multicore : {:>9.2?}  ({} aborts)",
+        cpu_stats.wall, cpu_stats.aborted
+    );
+
+    // Virtual GPU, fully optimised.
+    let mut m = random_mesh::<f32>(target, 1);
+    let gpu_out = refine_gpu(&mut m, DmrOpts::default(), threads);
+    m.validate(true).expect("gpu result valid");
+    println!(
+        "virtualGPU: {:>9.2?}  ({} launches, abort ratio {:.1}%, divergence {:.1}%)",
+        gpu_out.stats.wall,
+        gpu_out.iterations,
+        100.0 * gpu_out.launch.abort_ratio(),
+        100.0 * gpu_out.launch.divergence_ratio(),
+    );
+
+    // The Fig. 8 ablation ladder on a smaller mesh.
+    println!("\noptimisation ladder (Fig. 8), ~{} triangles:", target / 4);
+    for level in OptLevel::ALL {
+        let wall = match level.precision() {
+            morphgpu::dmr::opts::Precision::F64 => {
+                let mut m = random_mesh::<f64>(target / 4, 2);
+                refine_gpu(&mut m, level.opts(), threads).stats.wall
+            }
+            morphgpu::dmr::opts::Precision::F32 => {
+                let mut m = random_mesh::<f32>(target / 4, 2);
+                refine_gpu(&mut m, level.opts(), threads).stats.wall
+            }
+        };
+        println!("  {:<42} {:>9.2?}", level.label(), wall);
+    }
+
+    // Fig. 2: available parallelism per computation step.
+    let mut m = random_mesh::<f64>(target / 2, 3);
+    let prof = profile::parallelism_profile(&mut m);
+    let peak = prof.iter().max().copied().unwrap_or(0);
+    println!(
+        "\nparallelism profile (Fig. 2): {} steps, start {}, peak {}, end {}",
+        prof.len(),
+        prof.first().copied().unwrap_or(0),
+        peak,
+        prof.last().copied().unwrap_or(0)
+    );
+    // Coarse ASCII sparkline.
+    if peak > 0 {
+        let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#'];
+        let line: String = prof
+            .iter()
+            .map(|&p| glyphs[(p * 7) / peak.max(1)])
+            .collect();
+        println!("  [{line}]");
+    }
+}

@@ -1,0 +1,62 @@
+//! Boruvka MST across the Fig. 11 graph families, comparing the
+//! edge-merging baseline, the component-based CPU version, and the
+//! virtual-GPU pipeline — all verified against Kruskal.
+//!
+//! ```sh
+//! cargo run --release --example minimum_spanning_tree
+//! ```
+
+use morphgpu::mst::{component_cpu, edge_merge, gpu, kruskal};
+use morphgpu::workloads::graphs;
+use std::time::Instant;
+
+fn main() {
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let inputs: Vec<(&str, morphgpu::graph::Csr)> = vec![
+        ("road (USA-proxy)", graphs::road_network(180, 1)),
+        ("grid-2d", graphs::grid2d(180, 2)),
+        ("RMAT", graphs::rmat(15, 260_000, 3)),
+        ("random4", graphs::random_graph(32_768, 131_072, 4)),
+    ];
+
+    println!(
+        "{:<18} {:>8} {:>9} {:>6} | {:>12} {:>12} {:>12}",
+        "graph", "nodes", "edges", "deg", "edge-merge", "component", "virtualGPU"
+    );
+    for (name, g) in &inputs {
+        let oracle = kruskal::mst(g);
+
+        let t = Instant::now();
+        let a = edge_merge::mst(g, threads);
+        let t_merge = t.elapsed();
+
+        let t = Instant::now();
+        let b = component_cpu::mst(g, threads);
+        let t_comp = t.elapsed();
+
+        let t = Instant::now();
+        let c = gpu::mst(g, threads);
+        let t_gpu = t.elapsed();
+
+        assert_eq!(a.weight, oracle.weight, "{name}: edge-merge weight");
+        assert_eq!(b.weight, oracle.weight, "{name}: component weight");
+        assert_eq!(c.weight, oracle.weight, "{name}: gpu weight");
+
+        println!(
+            "{:<18} {:>8} {:>9} {:>6.1} | {:>12.2?} {:>12.2?} {:>12.2?}",
+            name,
+            g.num_nodes(),
+            g.num_edges() / 2,
+            g.avg_degree() / 2.0,
+            t_merge,
+            t_comp,
+            t_gpu,
+        );
+    }
+    println!(
+        "\nall spanning-forest weights verified against Kruskal.\n\
+         Expected shape (Fig. 11): edge-merging collapses on the dense RMAT/random\n\
+         graphs; the component-based CPU code is fastest overall; the GPU pipeline\n\
+         beats edge-merging on dense inputs but trails on sparse road/grid graphs."
+    );
+}

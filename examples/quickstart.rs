@@ -1,0 +1,83 @@
+//! Quickstart: run all four morph algorithms on small inputs.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use morphgpu::dmr::{gpu::refine_gpu, DmrOpts};
+use morphgpu::mst;
+use morphgpu::pta;
+use morphgpu::sp::{self, SolveOutcome, SpParams};
+use morphgpu::workloads;
+
+fn main() {
+    let sms = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    println!("virtual GPU with {sms} SMs\n");
+
+    // 1. Delaunay Mesh Refinement ---------------------------------------
+    let mut mesh = workloads::mesh::random_mesh::<f32>(5_000, 42);
+    let before = mesh.stats();
+    let out = refine_gpu(&mut mesh, DmrOpts::default(), sms);
+    let after = mesh.stats();
+    println!(
+        "DMR     : {} triangles ({} bad) -> {} triangles (0 bad) \
+         in {:?}; {} cavities refined, {} launches, abort ratio {:.1}%",
+        before.live,
+        before.bad,
+        after.live,
+        out.stats.wall,
+        out.stats.refined,
+        out.iterations,
+        100.0 * out.launch.abort_ratio(),
+    );
+    mesh.validate(true).expect("refined mesh must be valid");
+
+    // 2. Survey Propagation ---------------------------------------------
+    let formula = workloads::ksat::hard_instance(2_000, 3, 7);
+    let (outcome, stats) = sp::gpu::solve(&formula, &SpParams::default(), sms);
+    println!(
+        "SP      : 3-SAT, {} vars, {} clauses (ratio {:.1}) -> {} \
+         in {:?}; {} rounds, {} sweeps, {} vars fixed by SP",
+        formula.num_vars,
+        formula.num_clauses(),
+        formula.ratio(),
+        match &outcome {
+            SolveOutcome::Sat(_) => "SAT (verified)",
+            SolveOutcome::Unsat => "UNSAT (proved)",
+            SolveOutcome::GaveUp => "gave up",
+        },
+        stats.wall,
+        stats.rounds,
+        stats.sweeps,
+        stats.fixed_by_sp,
+    );
+
+    // 3. Points-to Analysis ----------------------------------------------
+    let (name, prob) = &workloads::pta::spec_suite()[0];
+    let t = std::time::Instant::now();
+    let solution = pta::gpu::solve(prob, sms);
+    let pts_total: usize = solution.iter().map(Vec::len).sum();
+    println!(
+        "PTA     : {name} ({} vars, {} constraints) -> {} points-to facts in {:?}",
+        prob.num_vars,
+        prob.constraints.len(),
+        pts_total,
+        t.elapsed(),
+    );
+
+    // 4. Boruvka MST -----------------------------------------------------
+    let graph = workloads::graphs::rmat(14, 80_000, 3);
+    let t = std::time::Instant::now();
+    let result = mst::gpu::mst(&graph, sms);
+    let oracle = mst::kruskal::mst(&graph);
+    assert_eq!(result.weight, oracle.weight, "GPU MST must match Kruskal");
+    println!(
+        "MST     : RMAT {} nodes / {} edges -> weight {} ({} edges, {} rounds) in {:?} [verified]",
+        graph.num_nodes(),
+        graph.num_edges() / 2,
+        result.weight,
+        result.edges,
+        result.rounds,
+        t.elapsed(),
+    );
+}

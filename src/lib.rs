@@ -1,0 +1,37 @@
+//! # morphgpu — facade over the morph-gpu workspace
+//!
+//! A Rust reproduction of *Morph Algorithms on GPUs* (Nasre, Burtscher,
+//! Pingali — PPoPP 2013). Morph algorithms add and delete nodes and edges
+//! while they run; this workspace implements the paper's four algorithms
+//! and its reusable toolkit on a simulated SIMT GPU:
+//!
+//! * [`dmr`] — Delaunay Mesh Refinement,
+//! * [`sp`] — Survey Propagation (approximate SAT),
+//! * [`pta`] — Andersen-style points-to analysis,
+//! * [`mst`] — Boruvka's minimum spanning tree,
+//! * [`core`] — the generic morph techniques (conflict resolution,
+//!   addition/deletion strategies, adaptive parallelism, worklists,
+//!   push/pull propagation),
+//! * [`gpu_sim`] — the virtual GPU those run on,
+//! * [`graph`], [`geometry`] — substrates,
+//! * [`workloads`] — deterministic generators for every evaluation input.
+//!
+//! ```
+//! use morphgpu::{dmr, workloads};
+//!
+//! let mut mesh = workloads::mesh::random_mesh::<f64>(500, 42);
+//! assert!(mesh.stats().bad > 0);
+//! dmr::gpu::refine_gpu(&mut mesh, dmr::DmrOpts::default(), 2);
+//! assert_eq!(mesh.stats().bad, 0);
+//! mesh.validate(true).unwrap();
+//! ```
+
+pub use morph_core as core;
+pub use morph_dmr as dmr;
+pub use morph_geometry as geometry;
+pub use morph_gpu_sim as gpu_sim;
+pub use morph_graph as graph;
+pub use morph_mst as mst;
+pub use morph_pta as pta;
+pub use morph_sp as sp;
+pub use morph_workloads as workloads;

@@ -1,0 +1,52 @@
+//! File-format round trips across the workspace: DIMACS .gr graphs,
+//! DIMACS .cnf formulas, Triangle .node/.ele meshes — including running
+//! the algorithms on re-loaded inputs.
+
+use morphgpu::dmr;
+use morphgpu::geometry::Point;
+use morphgpu::graph::io as graph_io;
+use morphgpu::mst;
+use morphgpu::sp::{self, io as sp_io, SpParams};
+use morphgpu::workloads;
+
+#[test]
+fn gr_roundtrip_preserves_mst() {
+    let g = workloads::graphs::rmat(9, 1500, 3);
+    let mut buf = Vec::new();
+    graph_io::write_gr(&g, &mut buf).unwrap();
+    let h = graph_io::read_gr(buf.as_slice()).unwrap();
+    assert_eq!(g, h);
+    assert_eq!(mst::kruskal::mst(&g).weight, mst::gpu::mst(&h, 2).weight);
+}
+
+#[test]
+fn cnf_roundtrip_preserves_satisfiability() {
+    let f = workloads::ksat::easy_instance(200, 3, 7);
+    let mut buf = Vec::new();
+    sp_io::write_cnf(&f, &mut buf).unwrap();
+    let g = sp_io::read_cnf(buf.as_slice()).unwrap();
+    assert_eq!(f, g);
+    let (out, _) = sp::gpu::solve(&g, &SpParams::default(), 2);
+    match out {
+        sp::SolveOutcome::Sat(a) => assert!(g.eval(&a) && f.eval(&a)),
+        other => panic!("easy instance must solve after roundtrip: {other:?}"),
+    }
+}
+
+#[test]
+fn mesh_roundtrip_then_refine() {
+    // Build a small unrefined mesh, save, load, refine the loaded copy.
+    let mesh = workloads::mesh::random_mesh::<f64>(400, 5);
+    let (mut nbuf, mut ebuf) = (Vec::new(), Vec::new());
+    dmr::io::write_mesh(&mesh, &mut nbuf, &mut ebuf).unwrap();
+
+    let pts: Vec<Point<f64>> = dmr::io::read_node(nbuf.as_slice()).unwrap();
+    let tris = dmr::io::read_ele(ebuf.as_slice()).unwrap();
+    let mut loaded = dmr::io::mesh_from_elements(pts, tris, mesh.quality).unwrap();
+    assert_eq!(loaded.stats().live, mesh.stats().live);
+    assert_eq!(loaded.stats().bad, mesh.stats().bad);
+
+    dmr::gpu::refine_gpu(&mut loaded, dmr::DmrOpts::default(), 2);
+    assert_eq!(loaded.stats().bad, 0);
+    loaded.validate(true).unwrap();
+}

@@ -1,0 +1,163 @@
+//! Cross-crate integration tests: each paper algorithm driven end-to-end
+//! through the public facade, with engines cross-checked against each
+//! other.
+
+use morphgpu::dmr::{self, DmrOpts};
+use morphgpu::mst;
+use morphgpu::pta;
+use morphgpu::sp::{self, SolveOutcome, SpParams};
+use morphgpu::workloads;
+
+#[test]
+fn dmr_three_engines_full_pipeline() {
+    let target = 2_000;
+    for (name, run) in [
+        ("serial", 0usize),
+        ("cpu", 1),
+        ("gpu", 2),
+    ] {
+        let mut mesh = workloads::mesh::random_mesh::<f64>(target, 99);
+        let before = mesh.stats();
+        assert!(before.bad > 0);
+        match run {
+            0 => {
+                dmr::serial::refine(&mut mesh);
+            }
+            1 => {
+                dmr::cpu::refine_cpu(&mut mesh, 4);
+            }
+            _ => {
+                dmr::gpu::refine_gpu(&mut mesh, DmrOpts::default(), 4);
+            }
+        }
+        let after = mesh.stats();
+        assert_eq!(after.bad, 0, "{name}: bad triangles remain");
+        assert!(after.live > before.live, "{name}: refinement must add triangles");
+        mesh.validate(true).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn dmr_all_barriers_refine_correctly() {
+    use morphgpu::gpu_sim::BarrierKind;
+    for barrier in [
+        BarrierKind::NaiveAtomic,
+        BarrierKind::Hierarchical,
+        BarrierKind::SenseReversing,
+    ] {
+        let mut mesh = workloads::mesh::random_mesh::<f64>(800, 5);
+        let opts = DmrOpts {
+            barrier,
+            ..DmrOpts::default()
+        };
+        dmr::gpu::refine_gpu(&mut mesh, opts, 3);
+        assert_eq!(mesh.stats().bad, 0, "{barrier:?}");
+        mesh.validate(true).unwrap();
+    }
+}
+
+#[test]
+fn sp_full_pipeline_on_hard_instance() {
+    // A hard-ratio instance at modest size: SP should either solve it
+    // (verified) or give up gracefully — and the three engines must all
+    // run the full morph pipeline (decimation shrinks the graph).
+    let f = workloads::ksat::hard_instance(600, 3, 41);
+    let params = SpParams::default();
+    let mut solved = 0;
+    for (name, outcome) in [
+        ("serial", sp::serial::solve(&f, &params).0),
+        ("cpu", sp::cpu::solve(&f, &params, 4).0),
+        ("gpu", sp::gpu::solve(&f, &params, 4).0),
+    ] {
+        if let SolveOutcome::Sat(a) = outcome {
+            assert!(f.eval(&a), "{name}: bad assignment");
+            solved += 1;
+        }
+    }
+    assert!(solved >= 1, "at least one engine should crack this instance");
+}
+
+#[test]
+fn sp_easy_instances_always_solve() {
+    for k in [3, 4] {
+        let f = workloads::ksat::easy_instance(400, k, 17);
+        let (out, stats) = sp::gpu::solve(&f, &SpParams::default(), 4);
+        match out {
+            SolveOutcome::Sat(a) => assert!(f.eval(&a)),
+            other => panic!("easy K={k} instance must solve: {other:?}"),
+        }
+        assert!(stats.sweeps > 0);
+    }
+}
+
+#[test]
+fn pta_engines_agree_on_spec_suite() {
+    for (name, prob) in workloads::pta::spec_suite() {
+        // Cap the largest input for test time; benches run them in full.
+        if prob.num_vars > 2_000 {
+            continue;
+        }
+        let serial = pta::serial::solve(&prob);
+        let cpu = pta::cpu::solve(&prob, 4);
+        let gpu = pta::gpu::solve(&prob, 4);
+        assert_eq!(serial, cpu, "{name}: cpu differs");
+        assert_eq!(serial, gpu, "{name}: gpu differs");
+        let facts: usize = serial.iter().map(Vec::len).sum();
+        assert!(facts > 0, "{name}: trivial solution");
+    }
+}
+
+#[test]
+fn mst_engines_agree_on_all_graph_families() {
+    let inputs = vec![
+        ("road", workloads::graphs::road_network(40, 1)),
+        ("grid", workloads::graphs::grid2d(40, 2)),
+        ("rmat", workloads::graphs::rmat(10, 4_000, 3)),
+        ("random", workloads::graphs::random_graph(1_000, 4_000, 4)),
+    ];
+    for (name, g) in inputs {
+        let oracle = mst::kruskal::mst(&g);
+        let a = mst::edge_merge::mst(&g, 3);
+        let b = mst::component_cpu::mst(&g, 3);
+        let c = mst::gpu::mst(&g, 3);
+        assert_eq!(a.weight, oracle.weight, "{name}: edge_merge");
+        assert_eq!(b.weight, oracle.weight, "{name}: component_cpu");
+        assert_eq!(c.weight, oracle.weight, "{name}: gpu");
+        assert_eq!(a.edges, oracle.edges, "{name}: forest size");
+        assert_eq!(b.edges, oracle.edges, "{name}");
+        assert_eq!(c.edges, oracle.edges, "{name}");
+    }
+}
+
+#[test]
+fn dmr_parallelism_profile_has_fig2_shape() {
+    let mut mesh = workloads::mesh::random_mesh::<f64>(3_000, 2);
+    let profile = dmr::profile::parallelism_profile(&mut mesh);
+    assert_eq!(mesh.stats().bad, 0);
+    assert!(profile.len() > 3, "multiple computation steps expected");
+    let peak_at = profile
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &p)| p)
+        .map(|(i, _)| i)
+        .unwrap();
+    let peak = profile[peak_at];
+    let last = *profile.last().unwrap();
+    // Rise-then-fall: the peak dominates the tail.
+    assert!(peak >= 4 * last.max(1), "peak {peak}, last {last}");
+}
+
+#[test]
+fn memory_layout_reordering_improves_locality_end_to_end() {
+    use morphgpu::graph::reorder;
+    let g = workloads::graphs::rmat(11, 8_000, 9);
+    let before = reorder::edge_span(&g);
+    let (h, _) = reorder::reorder_for_locality(&g);
+    let after = reorder::edge_span(&h);
+    assert!(after < before, "BFS renumbering must improve edge span");
+    // And the reordered graph still yields the same MST weight.
+    assert_eq!(
+        mst::kruskal::mst(&g).weight,
+        mst::kruskal::mst(&h).weight
+    );
+}
