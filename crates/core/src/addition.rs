@@ -29,8 +29,14 @@ pub struct BumpAllocator {
 impl BumpAllocator {
     /// Allocator over `capacity` slots, with `used` slots already taken
     /// (ids `0..used` are live pre-existing elements).
+    /// # Panics
+    /// If `used > capacity` — a construction-time invariant (the live
+    /// prefix must fit the pool), not a runtime condition.
     pub fn new(used: usize, capacity: usize) -> Self {
-        assert!(used <= capacity);
+        assert!(
+            used <= capacity,
+            "BumpAllocator: live prefix ({used}) exceeds pool capacity ({capacity})"
+        );
         Self {
             next: AtomicU32::new(used as u32),
             capacity: AtomicU32::new(capacity as u32),
@@ -40,7 +46,16 @@ impl BumpAllocator {
 
     /// Claim `n` consecutive slots; returns the base id, or `None` if the
     /// pool is exhausted (the overflow flag is raised for the host).
+    ///
+    /// An attached fault plan (see `morph_gpu_sim::fault`) may deny the
+    /// allocation regardless of capacity; the denial is indistinguishable
+    /// from genuine exhaustion — overflow flag raised, `None` returned —
+    /// so it exercises the host's regrow path end to end.
     pub fn try_alloc(&self, ctx: &mut ThreadCtx<'_>, n: u32) -> Option<u32> {
+        if ctx.fault_deny_alloc() {
+            self.overflow.store(true, Ordering::Release);
+            return None;
+        }
         let base = ctx.atomic_add_u32(&self.next, n);
         if base.saturating_add(n) <= self.capacity.load(Ordering::Acquire) {
             Some(base)
@@ -91,8 +106,17 @@ impl BumpAllocator {
     }
 
     /// Host-side capacity growth (after reallocating the backing buffers).
+    ///
+    /// # Panics
+    /// Shrinking below [`len`](Self::len) would orphan live elements whose
+    /// ids were already handed out — that is a host-side programming error
+    /// (capacities only grow in the §7.1 protocols), so it is a hard
+    /// invariant, not a recoverable condition.
     pub fn set_capacity(&self, capacity: usize) {
-        assert!(capacity >= self.len());
+        assert!(
+            capacity >= self.len(),
+            "BumpAllocator capacity cannot shrink below the live count"
+        );
         self.capacity.store(capacity as u32, Ordering::Release);
     }
 }
@@ -208,5 +232,92 @@ mod tests {
             assert!(w[1] - w[0] >= 3, "granted ranges overlap: {w:?}");
         }
         assert!(sorted.last().unwrap() + 3 <= 60);
+    }
+
+    /// Overflow → host regrow → reallocate, while device-side `try_alloc`
+    /// races host-side `host_alloc` on the same pool. Invariants checked:
+    /// no two grants overlap across the device/host boundary, `len()`
+    /// stays clamped to capacity even while failed allocs push the cursor
+    /// past it, and after `clear_overflow` + `set_capacity` the recovered
+    /// pool hands out fresh non-overlapping slots.
+    #[test]
+    fn concurrent_device_and_host_allocs_across_a_regrow() {
+        let pool = BumpAllocator::new(0, 40); // room for 13 of the 32+host grants of 3
+        let cfg = GpuConfig::small();
+        let granted = morph_gpu_sim::AtomicU32Slice::new(cfg.total_threads(), u32::MAX);
+        let host_got: Vec<u32> = std::thread::scope(|s| {
+            let host = s.spawn(|| {
+                // The host races its own allocations against the kernel's.
+                let mut got = Vec::new();
+                for _ in 0..8 {
+                    if let Some(base) = pool.host_alloc(3) {
+                        got.push(base);
+                    }
+                    // len() must never exceed capacity, even mid-race with
+                    // a cursor pushed arbitrarily far past it.
+                    assert!(pool.len() <= pool.capacity());
+                    std::thread::yield_now();
+                }
+                got
+            });
+            let k = AllocKernel {
+                pool: &pool,
+                granted: &granted,
+            };
+            VirtualGpu::new(cfg.clone()).launch(&k);
+            host.join().unwrap()
+        });
+        assert!(pool.overflowed(), "40 slots cannot satisfy 40 × 3");
+        assert_eq!(pool.len(), 40, "high-water mark clamps at capacity");
+
+        // Recovery: clear the flag (pulls the cursor back to capacity),
+        // grow, and verify the regrown pool continues without overlap.
+        pool.clear_overflow();
+        assert!(!pool.overflowed());
+        pool.set_capacity(200);
+        let after_regrow = pool.host_alloc(5).expect("regrown pool has room");
+        assert!(after_regrow >= 40, "regrown grant must not reuse live slots");
+
+        let mut all: Vec<(u32, u32)> = granted
+            .to_vec()
+            .into_iter()
+            .filter(|&b| b != u32::MAX)
+            .map(|b| (b, 3))
+            .chain(host_got.into_iter().map(|b| (b, 3)))
+            .chain(std::iter::once((after_regrow, 5)))
+            .collect();
+        all.sort_unstable();
+        for w in all.windows(2) {
+            assert!(
+                w[0].0 + w[0].1 <= w[1].0,
+                "grants overlap across device/host/regrow: {w:?}"
+            );
+        }
+    }
+
+    /// An injected allocation denial must look exactly like pool
+    /// exhaustion: `None` + overflow flag, with capacity untouched.
+    #[test]
+    fn injected_denial_mimics_exhaustion() {
+        use morph_gpu_sim::FaultPlan;
+        use std::sync::Arc;
+
+        let pool = BumpAllocator::new(0, 1_000_000);
+        let cfg = GpuConfig::small();
+        let granted = morph_gpu_sim::AtomicU32Slice::new(cfg.total_threads(), u32::MAX);
+        let k = AllocKernel {
+            pool: &pool,
+            granted: &granted,
+        };
+        let mut gpu = VirtualGpu::new(cfg.clone());
+        let plan = Arc::new(FaultPlan::new().with_alloc_denial(0, 3));
+        gpu.set_fault_plan(Arc::clone(&plan));
+        gpu.launch(&k);
+        assert!(pool.overflowed(), "denials must raise the overflow flag");
+        assert!(plan.exhausted(), "denial budget must drain");
+        let denied = granted.to_vec().iter().filter(|&&b| b == u32::MAX).count();
+        assert_eq!(denied, 3, "exactly the denial budget fails");
+        // Undenied allocations all succeeded — capacity was never the issue.
+        assert_eq!(pool.len(), (cfg.total_threads() - 3) * 3);
     }
 }

@@ -18,6 +18,7 @@
 //! Fig. 8 discussions.
 
 use morph_gpu_sim::{AtomicU32Slice, ThreadCtx};
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Mark value meaning "unclaimed". Thread ids must be `< FREE`.
 pub const FREE: u32 = u32::MAX;
@@ -30,6 +31,10 @@ pub const FREE: u32 = u32::MAX;
 /// always overwritten before they are consulted.
 pub struct ConflictTable {
     owners: AtomicU32Slice,
+    /// XOR-perturbation of the priority order (see
+    /// [`reshuffle_priorities`](Self::reshuffle_priorities)). 0 = the
+    /// paper's plain higher-id-wins order.
+    salt: AtomicU32,
 }
 
 impl ConflictTable {
@@ -37,6 +42,7 @@ impl ConflictTable {
     pub fn new(n: usize) -> Self {
         Self {
             owners: AtomicU32Slice::new(n, FREE),
+            salt: AtomicU32::new(0),
         }
     }
 
@@ -53,6 +59,19 @@ impl ConflictTable {
         self.owners.grow(n, FREE);
     }
 
+    /// Perturb the priority total order by XOR-ing `salt` into both sides
+    /// of every comparison (a bijection, so the order stays total and
+    /// livelock-free). The host's livelock rescue (`RescueLevel::Reshuffle`
+    /// in `morph_core::runtime`) calls this between iterations so a
+    /// pathological winner pattern — e.g. a high-priority thread that wins
+    /// its neighborhood every round but can never complete — stops
+    /// repeating. Call only between launches (host side, all threads
+    /// quiescent).
+    pub fn reshuffle_priorities(&self, salt: u32) {
+        debug_assert_ne!(salt, u32::MAX, "FREE must stay the weakest mark");
+        self.salt.store(salt, Ordering::Release);
+    }
+
     /// Phase 1 — **race**: stamp `me` on every element of the
     /// neighborhood. Plain (non-RMW) racy stores, exactly as on the GPU.
     pub fn race(&self, elems: impl IntoIterator<Item = u32>, me: u32) {
@@ -67,12 +86,13 @@ impl ConflictTable {
     /// as in the paper. Re-marks elements currently held by lower-priority
     /// threads.
     pub fn priority_check(&self, elems: impl IntoIterator<Item = u32>, me: u32) -> bool {
+        let salt = self.salt.load(Ordering::Acquire);
         for e in elems {
             let m = self.owners.load(e as usize);
             if m == me {
                 continue;
             }
-            if m != FREE && m > me {
+            if m != FREE && (m ^ salt) > (me ^ salt) {
                 // Rule 2: someone with priority holds it; back off.
                 return false;
             }
@@ -139,6 +159,26 @@ mod tests {
         assert!(!t.priority_check([1, 2].iter().copied(), 4));
         assert!(t.priority_check([2, 3].iter().copied(), 9));
         assert!(t.check([2, 3].iter().copied(), 9));
+    }
+
+    #[test]
+    fn reshuffled_priorities_stay_total_and_change_winners() {
+        // Plain order: 9 beats 4. Salted with a value flipping a high bit
+        // of exactly one contender, the order inverts — but there is still
+        // exactly one winner per element (the order stays total).
+        let t = ConflictTable::new(4);
+        t.reshuffle_priorities(0x8);
+        t.race([0, 1].iter().copied(), 4); // 4 ^ 8 = 12
+        t.race([1, 2].iter().copied(), 9); // 9 ^ 8 = 1
+        assert!(t.priority_check([0, 1].iter().copied(), 4), "salted 4 now wins");
+        assert!(!t.priority_check([1, 2].iter().copied(), 9), "salted 9 backs off");
+        assert!(t.check([0, 1].iter().copied(), 4));
+        // Back to the paper's order.
+        t.reshuffle_priorities(0);
+        t.race([1].iter().copied(), 4);
+        t.race([1].iter().copied(), 9);
+        assert!(!t.priority_check([1].iter().copied(), 4));
+        assert!(t.priority_check([1].iter().copied(), 9));
     }
 
     #[test]

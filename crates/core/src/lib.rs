@@ -33,5 +33,8 @@ pub use adaptive::AdaptiveParallelism;
 pub use addition::BumpAllocator;
 pub use conflict::ConflictTable;
 pub use deletion::{DeletionMarks, RecyclePool};
-pub use runtime::{drive, HostAction};
-pub use worklist::GlobalWorklist;
+pub use runtime::{
+    drive, drive_recovering, DriveError, DriveOutcome, HostAction, RecoveryOpts, RecoveryPolicy,
+    RescueLevel, StepCtx, StepReport,
+};
+pub use worklist::{GlobalWorklist, WorklistFull};

@@ -14,9 +14,20 @@
 //! [`drive`] runs that loop: launch, let the host callback inspect device
 //! state (the `changed` flag, allocator overflow, …) and perform
 //! reallocation, apply the adaptive-parallelism schedule, repeat.
+//!
+//! [`drive_recovering`] is the fault-tolerant version: launches go through
+//! [`morph_gpu_sim::VirtualGpu::try_launch`], failed launches are retried a
+//! bounded number of times, allocator overflow triggers capacity growth
+//! without losing the iteration, and a livelock watchdog escalates through
+//! a rescue ladder (priority reshuffle → serial fallback → structured
+//! error) when the algorithm stops making forward progress — the paper's
+//! §7.3 observation that 2-phase conflict resolution can livelock, turned
+//! into a runtime safety net.
 
 use crate::adaptive::AdaptiveParallelism;
-use morph_gpu_sim::{Kernel, LaunchStats, VirtualGpu};
+use morph_gpu_sim::{FaultPlan, Kernel, LaunchError, LaunchStats, VirtualGpu};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// What the host decides after each kernel launch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -25,6 +36,16 @@ pub enum HostAction {
     Continue,
     /// The algorithm converged (or failed); stop the loop.
     Stop,
+    /// Device pools overflowed: grow to (at least) the given capacity and
+    /// re-run the *same* iteration. The capacity is advisory — the step
+    /// callback performs the actual reallocation on its next invocation
+    /// (via [`StepCtx::regrow_to`]). Only meaningful under
+    /// [`drive_recovering`]; plain [`drive`] treats it as `Continue`.
+    Regrow(usize),
+    /// Re-run the same iteration (e.g. the host rolled back a partial
+    /// result). Counts against [`RecoveryPolicy::max_retries`]. Only
+    /// meaningful under [`drive_recovering`].
+    Retry,
 }
 
 /// Run the do–while host loop of Figure 3.
@@ -57,11 +78,307 @@ pub fn drive<K: Kernel + ?Sized>(
     }
 }
 
+/// Bounds on the recovery machinery of [`drive_recovering`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Consecutive failed/retried attempts of one iteration before the
+    /// loop gives up with [`DriveError::Launch`].
+    pub max_retries: u32,
+    /// Total capacity regrows across the whole run before
+    /// [`DriveError::RegrowsExhausted`] (guards against a growth loop that
+    /// never satisfies the kernel).
+    pub max_regrows: u32,
+    /// Consecutive zero-progress iterations tolerated before the livelock
+    /// watchdog escalates the rescue ladder.
+    pub livelock_patience: u32,
+    /// Total rescue escalations across the run before the watchdog stops
+    /// re-arming and reports [`DriveError::Livelock`].
+    pub max_rescues: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            max_regrows: 32,
+            livelock_patience: 3,
+            max_rescues: 8,
+        }
+    }
+}
+
+/// Per-run recovery configuration a pipeline entry point accepts: the
+/// retry/regrow/livelock budgets plus the optional fault-injection plan
+/// and barrier watchdog to arm on the [`VirtualGpu`] it builds.
+#[derive(Clone, Default)]
+pub struct RecoveryOpts {
+    pub policy: RecoveryPolicy,
+    /// Fault plan to attach before the first launch (tests, chaos runs).
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Barrier watchdog timeout; stalled launches surface as
+    /// [`morph_gpu_sim::LaunchError::BarrierStall`] and are retried.
+    pub barrier_watchdog: Option<Duration>,
+}
+
+impl RecoveryOpts {
+    /// Arm the fault plan and watchdog on a freshly built GPU.
+    pub fn arm(&self, gpu: &mut VirtualGpu) {
+        if let Some(plan) = &self.fault_plan {
+            gpu.set_fault_plan(Arc::clone(plan));
+        }
+        gpu.set_barrier_watchdog(self.barrier_watchdog);
+    }
+}
+
+/// The livelock-rescue ladder: each rung trades parallelism for guaranteed
+/// progress. `Serial` (one block, one thread) cannot conflict with anyone,
+/// so any algorithm whose serial execution terminates is livelock-free
+/// under this ladder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RescueLevel {
+    /// Normal execution.
+    None,
+    /// Ask the pipeline to perturb conflict priorities (see
+    /// `ConflictTable::reshuffle_priorities`) so a pathological
+    /// priority ordering stops repeating.
+    Reshuffle,
+    /// Degrade to a 1×1 grid: conflict-free by construction.
+    Serial,
+}
+
+/// Everything a pipeline's step callback needs to know about the attempt
+/// it is asked to run.
+#[derive(Clone, Copy, Debug)]
+pub struct StepCtx {
+    /// Host-loop iteration (advances only on [`HostAction::Continue`]).
+    pub iteration: u64,
+    /// 0 for the first attempt of this iteration; >0 for retries after a
+    /// launch failure or [`HostAction::Retry`] — the callback must repair
+    /// any partial device state before relaunching.
+    pub attempt: u32,
+    /// Set when the previous attempt asked for [`HostAction::Regrow`]:
+    /// grow device pools to at least this capacity before launching.
+    pub regrow_to: Option<usize>,
+    /// Current rung of the rescue ladder. At [`RescueLevel::Serial`] the
+    /// driver has already set a 1×1 geometry; the callback must not
+    /// override it.
+    pub rescue: RescueLevel,
+}
+
+/// What one recovering step produced.
+#[derive(Debug)]
+pub struct StepReport {
+    /// Stats of the launch this step performed.
+    pub stats: LaunchStats,
+    /// The host decision, as in plain [`drive`].
+    pub action: HostAction,
+    /// Whether the iteration made forward progress (e.g. committed at
+    /// least one activity). Feeds the livelock watchdog: `false` for
+    /// [`RecoveryPolicy::livelock_patience`] consecutive iterations
+    /// escalates the rescue ladder.
+    pub progressed: bool,
+}
+
+/// Why a recovering drive gave up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriveError {
+    /// An iteration kept failing after `attempts` tries; `error` is the
+    /// last failure.
+    Launch {
+        iteration: u64,
+        attempts: u32,
+        error: LaunchError,
+    },
+    /// The pipeline asked for more than [`RecoveryPolicy::max_regrows`]
+    /// capacity growths.
+    RegrowsExhausted { iteration: u64, regrows: u32 },
+    /// Zero-progress iterations persisted through the whole rescue ladder.
+    Livelock { iteration: u64, rescues: u32 },
+}
+
+impl std::fmt::Display for DriveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriveError::Launch {
+                iteration,
+                attempts,
+                error,
+            } => write!(
+                f,
+                "iteration {iteration} failed after {attempts} attempts: {error}"
+            ),
+            DriveError::RegrowsExhausted { iteration, regrows } => write!(
+                f,
+                "capacity regrowth budget exhausted at iteration {iteration} ({regrows} regrows)"
+            ),
+            DriveError::Livelock { iteration, rescues } => write!(
+                f,
+                "livelock at iteration {iteration}: no progress through {rescues} rescue escalations"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DriveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DriveError::Launch { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// Summary of a completed recovering drive.
+#[derive(Debug, Default, Clone)]
+pub struct DriveOutcome {
+    /// Accumulated launch statistics (successful attempts only).
+    pub stats: LaunchStats,
+    /// Host-loop iterations completed.
+    pub iterations: u64,
+    /// Attempts that were retries (after a launch failure or
+    /// [`HostAction::Retry`]).
+    pub retries: u32,
+    /// Capacity regrows performed.
+    pub regrows: u32,
+    /// Rescue-ladder escalations (reshuffles + serial fallbacks).
+    pub rescues: u32,
+}
+
+/// The fault-tolerant host loop: [`drive`] plus bounded retry, overflow
+/// regrow, and a livelock watchdog.
+///
+/// The `step` callback runs one launch attempt end-to-end: perform any
+/// repair/regrowth the [`StepCtx`] asks for, launch through
+/// [`VirtualGpu::try_launch`] (or equivalent), inspect device state, and
+/// report. Returning `Err` means the launch itself died — the driver
+/// retries the same iteration up to [`RecoveryPolicy::max_retries`] times;
+/// the callback sees `attempt > 0` and must restore any invariants a
+/// half-run kernel may have broken.
+///
+/// If `adaptive` is given, geometry follows its schedule except while the
+/// rescue ladder is at [`RescueLevel::Serial`], where the driver pins a
+/// 1×1 grid until progress resumes.
+pub fn drive_recovering(
+    gpu: &mut VirtualGpu,
+    adaptive: Option<AdaptiveParallelism>,
+    policy: &RecoveryPolicy,
+    mut step: impl FnMut(&mut VirtualGpu, &StepCtx) -> Result<StepReport, LaunchError>,
+) -> Result<DriveOutcome, DriveError> {
+    let mut out = DriveOutcome::default();
+    let blocks = gpu.config().blocks;
+    let normal_tpb = gpu.config().threads_per_block;
+    let mut iteration = 0u64;
+    let mut attempt = 0u32;
+    let mut regrow_to: Option<usize> = None;
+    let mut stagnant = 0u32;
+    let mut rescue = RescueLevel::None;
+
+    loop {
+        if rescue == RescueLevel::Serial {
+            gpu.set_geometry(1, 1);
+        } else if let Some(sched) = adaptive {
+            gpu.set_geometry(blocks, sched.tpb_for_iteration(iteration));
+        } else {
+            gpu.set_geometry(blocks, normal_tpb);
+        }
+
+        let ctx = StepCtx {
+            iteration,
+            attempt,
+            regrow_to: regrow_to.take(),
+            rescue,
+        };
+        let report = match step(gpu, &ctx) {
+            Ok(report) => report,
+            Err(error) => {
+                attempt += 1;
+                out.retries += 1;
+                if attempt > policy.max_retries {
+                    return Err(DriveError::Launch {
+                        iteration,
+                        attempts: attempt,
+                        error,
+                    });
+                }
+                continue;
+            }
+        };
+
+        out.stats.absorb(&report.stats);
+        if report.progressed {
+            stagnant = 0;
+            // Progress under a rescue resolves the livelock; resume normal
+            // execution (further stagnation restarts the ladder, bounded
+            // by max_rescues across the whole run).
+            rescue = RescueLevel::None;
+        } else {
+            stagnant += 1;
+        }
+
+        match report.action {
+            HostAction::Stop => {
+                out.iterations = iteration + 1;
+                out.stats.iterations = out.iterations;
+                return Ok(out);
+            }
+            HostAction::Continue => {
+                iteration += 1;
+                attempt = 0;
+            }
+            HostAction::Regrow(capacity) => {
+                out.regrows += 1;
+                if out.regrows > policy.max_regrows {
+                    return Err(DriveError::RegrowsExhausted {
+                        iteration,
+                        regrows: out.regrows,
+                    });
+                }
+                regrow_to = Some(capacity);
+                // Same iteration runs again with the bigger pool; this is
+                // recovery, not a retry, so the attempt budget is unspent.
+            }
+            HostAction::Retry => {
+                attempt += 1;
+                out.retries += 1;
+                if attempt > policy.max_retries {
+                    return Err(DriveError::Launch {
+                        iteration,
+                        attempts: attempt,
+                        error: LaunchError::KernelPanic {
+                            worker: 0,
+                            block: 0,
+                            phase: 0,
+                            iteration: iteration as usize,
+                            message: "host requested retries exhausted".into(),
+                        },
+                    });
+                }
+            }
+        }
+
+        if stagnant >= policy.livelock_patience {
+            stagnant = 0;
+            out.rescues += 1;
+            if out.rescues > policy.max_rescues {
+                return Err(DriveError::Livelock {
+                    iteration,
+                    rescues: out.rescues,
+                });
+            }
+            rescue = match rescue {
+                RescueLevel::None => RescueLevel::Reshuffle,
+                RescueLevel::Reshuffle | RescueLevel::Serial => RescueLevel::Serial,
+            };
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use morph_gpu_sim::{GpuConfig, ThreadCtx};
+    use morph_gpu_sim::{FaultPlan, GpuConfig, ThreadCtx};
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
 
     /// A toy morph loop: each iteration "refines" by adding tid to a sum;
     /// the kernel raises `changed` until the sum crosses a threshold.
@@ -119,24 +436,16 @@ mod tests {
             growth_iters: 2,
             max_tpb: 64,
         };
-        drive(&mut gpu, &k, Some(sched), |iter, _| {
-            seen_tpb.push(gpu_tpb_hack());
+        drive(&mut gpu, &k, Some(sched), |iter, stats| {
+            // Each launch reports the geometry it actually ran with.
+            seen_tpb.push(stats.threads_per_block);
             if iter < 3 {
                 HostAction::Continue
             } else {
                 HostAction::Stop
             }
         });
-        // Geometry is applied before each launch; verify the schedule via
-        // the adaptive object itself (gpu is borrowed inside the closure,
-        // so we recompute).
-        assert_eq!(
-            (0..4).map(|i| sched.tpb_for_iteration(i)).collect::<Vec<_>>(),
-            vec![2, 4, 8, 8]
-        );
-        fn gpu_tpb_hack() -> usize {
-            0
-        }
+        assert_eq!(seen_tpb, vec![2, 4, 8, 8]);
     }
 
     #[test]
@@ -157,5 +466,303 @@ mod tests {
         });
         assert_eq!(total.iterations, 5);
         assert_eq!(total.atomics, 5); // one counted atomic per launch
+    }
+
+    #[test]
+    fn recovering_drive_runs_the_plain_loop() {
+        let mut gpu = VirtualGpu::new(GpuConfig::small());
+        let k = ToyKernel {
+            sum: AtomicU64::new(0),
+            changed: AtomicBool::new(false),
+            threshold: 55,
+        };
+        let out = drive_recovering(
+            &mut gpu,
+            None,
+            &RecoveryPolicy::default(),
+            |gpu, _ctx| {
+                let stats = gpu.try_launch(&k)?;
+                let changed = k.changed.swap(false, Ordering::AcqRel);
+                Ok(StepReport {
+                    stats,
+                    action: if changed {
+                        HostAction::Continue
+                    } else {
+                        HostAction::Stop
+                    },
+                    progressed: true,
+                })
+            },
+        )
+        .expect("no faults");
+        assert_eq!(out.iterations, 6);
+        assert_eq!(out.retries, 0);
+        assert_eq!(k.sum.load(Ordering::Acquire), 60);
+    }
+
+    #[test]
+    fn recovering_drive_retries_injected_panics() {
+        let mut gpu = VirtualGpu::new(GpuConfig::small());
+        // Launch 1 (= first attempt of iteration 1) dies; the retry runs
+        // clean because the fault fires once.
+        gpu.set_fault_plan(Arc::new(FaultPlan::new().with_kernel_panic(1, 0, 0, 0)));
+        let k = ToyKernel {
+            sum: AtomicU64::new(0),
+            changed: AtomicBool::new(false),
+            threshold: 35,
+        };
+        let mut repairs = 0u32;
+        let out = drive_recovering(
+            &mut gpu,
+            None,
+            &RecoveryPolicy::default(),
+            |gpu, ctx| {
+                if ctx.attempt > 0 {
+                    repairs += 1;
+                }
+                let stats = gpu.try_launch(&k)?;
+                let changed = k.changed.swap(false, Ordering::AcqRel);
+                Ok(StepReport {
+                    stats,
+                    action: if changed {
+                        HostAction::Continue
+                    } else {
+                        HostAction::Stop
+                    },
+                    progressed: true,
+                })
+            },
+        )
+        .expect("one retry must absorb one injected panic");
+        assert_eq!(out.retries, 1);
+        assert_eq!(repairs, 1, "retry attempt must be visible to the callback");
+        assert_eq!(out.iterations, 4);
+        // ToyKernel's increment is idempotent per *successful* launch, and
+        // the failed launch died before thread 0 ran (fault at block 0,
+        // thread 0, phase 0) — the result matches a fault-free run.
+        assert_eq!(k.sum.load(Ordering::Acquire), 40);
+    }
+
+    #[test]
+    fn recovering_drive_gives_up_after_max_retries() {
+        let mut gpu = VirtualGpu::new(GpuConfig::small());
+        let plan = FaultPlan::new()
+            .with_kernel_panic(0, 0, 0, 0)
+            .with_kernel_panic(1, 0, 0, 0)
+            .with_kernel_panic(2, 0, 0, 0);
+        gpu.set_fault_plan(Arc::new(plan));
+        let k = ToyKernel {
+            sum: AtomicU64::new(0),
+            changed: AtomicBool::new(false),
+            threshold: 0,
+        };
+        let policy = RecoveryPolicy {
+            max_retries: 2,
+            ..RecoveryPolicy::default()
+        };
+        let err = drive_recovering(&mut gpu, None, &policy, |gpu, _ctx| {
+            let stats = gpu.try_launch(&k)?;
+            Ok(StepReport {
+                stats,
+                action: HostAction::Stop,
+                progressed: true,
+            })
+        })
+        .expect_err("three consecutive faults exceed two retries");
+        match err {
+            DriveError::Launch {
+                iteration,
+                attempts,
+                ..
+            } => {
+                assert_eq!(iteration, 0);
+                assert_eq!(attempts, 3);
+            }
+            other => panic!("expected Launch error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn regrow_reruns_the_same_iteration() {
+        let mut gpu = VirtualGpu::new(GpuConfig::small());
+        let k = ToyKernel {
+            sum: AtomicU64::new(0),
+            changed: AtomicBool::new(false),
+            threshold: 0,
+        };
+        let mut capacity = 4usize;
+        let mut log = Vec::new();
+        let out = drive_recovering(
+            &mut gpu,
+            None,
+            &RecoveryPolicy::default(),
+            |gpu, ctx| {
+                if let Some(cap) = ctx.regrow_to {
+                    capacity = cap;
+                }
+                log.push((ctx.iteration, capacity));
+                let stats = gpu.try_launch(&k)?;
+                let action = if ctx.iteration == 1 && capacity < 16 {
+                    HostAction::Regrow(16)
+                } else if ctx.iteration < 2 {
+                    HostAction::Continue
+                } else {
+                    HostAction::Stop
+                };
+                Ok(StepReport {
+                    stats,
+                    action,
+                    progressed: true,
+                })
+            },
+        )
+        .expect("regrow path");
+        assert_eq!(out.regrows, 1);
+        assert_eq!(out.iterations, 3);
+        // Iteration 1 ran twice: once overflowing at capacity 4, once
+        // regrown to 16.
+        assert_eq!(log, vec![(0, 4), (1, 4), (1, 16), (2, 16)]);
+    }
+
+    #[test]
+    fn regrow_budget_is_bounded() {
+        let mut gpu = VirtualGpu::new(GpuConfig::small());
+        let k = ToyKernel {
+            sum: AtomicU64::new(0),
+            changed: AtomicBool::new(false),
+            threshold: 0,
+        };
+        let policy = RecoveryPolicy {
+            max_regrows: 3,
+            ..RecoveryPolicy::default()
+        };
+        let err = drive_recovering(&mut gpu, None, &policy, |gpu, _ctx| {
+            let stats = gpu.try_launch(&k)?;
+            Ok(StepReport {
+                stats,
+                action: HostAction::Regrow(usize::MAX),
+                progressed: true,
+            })
+        })
+        .expect_err("unbounded growth demand must be cut off");
+        assert!(matches!(
+            err,
+            DriveError::RegrowsExhausted { regrows: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn livelock_watchdog_escalates_then_errors() {
+        let mut gpu = VirtualGpu::new(GpuConfig::small());
+        let k = ToyKernel {
+            sum: AtomicU64::new(0),
+            changed: AtomicBool::new(false),
+            threshold: 0,
+        };
+        let policy = RecoveryPolicy {
+            livelock_patience: 2,
+            max_rescues: 2,
+            ..RecoveryPolicy::default()
+        };
+        let mut ladder = Vec::new();
+        let err = drive_recovering(&mut gpu, None, &policy, |gpu, ctx| {
+            ladder.push(ctx.rescue);
+            let stats = gpu.try_launch(&k)?;
+            Ok(StepReport {
+                stats,
+                action: HostAction::Continue,
+                progressed: false, // never makes progress
+            })
+        })
+        .expect_err("permanent stagnation must not loop forever");
+        assert!(matches!(err, DriveError::Livelock { rescues: 3, .. }));
+        // 2 stagnant iterations at each rung: None,None → Reshuffle,
+        // Reshuffle → Serial, Serial → error.
+        assert_eq!(
+            ladder,
+            vec![
+                RescueLevel::None,
+                RescueLevel::None,
+                RescueLevel::Reshuffle,
+                RescueLevel::Reshuffle,
+                RescueLevel::Serial,
+                RescueLevel::Serial,
+            ]
+        );
+    }
+
+    #[test]
+    fn serial_rescue_pins_a_1x1_grid_until_progress() {
+        let mut gpu = VirtualGpu::new(GpuConfig::small());
+        let k = ToyKernel {
+            sum: AtomicU64::new(0),
+            changed: AtomicBool::new(false),
+            threshold: 0,
+        };
+        let policy = RecoveryPolicy {
+            livelock_patience: 1,
+            max_rescues: 8,
+            ..RecoveryPolicy::default()
+        };
+        let mut geometries = Vec::new();
+        let out = drive_recovering(&mut gpu, None, &policy, |gpu, ctx| {
+            let stats = gpu.try_launch(&k)?;
+            geometries.push((stats.blocks, stats.threads_per_block, ctx.rescue));
+            // Progress only once the driver has degraded to serial.
+            let serial = ctx.rescue == RescueLevel::Serial;
+            Ok(StepReport {
+                stats,
+                action: if serial {
+                    HostAction::Stop
+                } else {
+                    HostAction::Continue
+                },
+                progressed: serial,
+            })
+        })
+        .expect("serial fallback must resolve the livelock");
+        assert_eq!(out.rescues, 2);
+        let (b, t, rescue) = *geometries.last().unwrap();
+        assert_eq!((b, t), (1, 1), "serial rescue must pin a 1×1 grid");
+        assert_eq!(rescue, RescueLevel::Serial);
+        // Non-serial launches kept the configured geometry.
+        assert!(geometries
+            .iter()
+            .filter(|(_, _, r)| *r != RescueLevel::Serial)
+            .all(|&(b, t, _)| (b, t) == (4, 8)));
+    }
+
+    #[test]
+    fn host_retry_action_counts_against_the_budget() {
+        let mut gpu = VirtualGpu::new(GpuConfig::small());
+        let k = ToyKernel {
+            sum: AtomicU64::new(0),
+            changed: AtomicBool::new(false),
+            threshold: 0,
+        };
+        let mut attempts_seen = Vec::new();
+        let out = drive_recovering(
+            &mut gpu,
+            None,
+            &RecoveryPolicy::default(),
+            |gpu, ctx| {
+                attempts_seen.push(ctx.attempt);
+                let stats = gpu.try_launch(&k)?;
+                let action = if ctx.attempt < 2 {
+                    HostAction::Retry
+                } else {
+                    HostAction::Stop
+                };
+                Ok(StepReport {
+                    stats,
+                    action,
+                    progressed: true,
+                })
+            },
+        )
+        .expect("two host retries fit the default budget");
+        assert_eq!(attempts_seen, vec![0, 1, 2]);
+        assert_eq!(out.retries, 2);
+        assert_eq!(out.iterations, 1);
     }
 }

@@ -87,16 +87,43 @@ impl GlobalWorklist {
     }
 
     /// Host-side bulk fill with `0..n` (the topology-driven "all elements"
-    /// schedule).
-    pub fn fill_range(&self, n: u32) {
-        assert!(n as usize <= self.capacity());
+    /// schedule). Fails — leaving the worklist untouched — if `n` exceeds
+    /// capacity, so the host can grow the list and retry instead of
+    /// crashing mid-pipeline.
+    pub fn fill_range(&self, n: u32) -> Result<(), WorklistFull> {
+        if n as usize > self.capacity() {
+            return Err(WorklistFull {
+                requested: n as usize,
+                capacity: self.capacity(),
+            });
+        }
         for i in 0..n {
             self.items.store(i as usize, i);
         }
         self.head.store(0, Ordering::Release);
         self.tail.store(n, Ordering::Release);
+        Ok(())
     }
 }
+
+/// A host-side bulk fill exceeded the worklist's capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorklistFull {
+    pub requested: usize,
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for WorklistFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worklist fill of {} items exceeds capacity {}",
+            self.requested, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for WorklistFull {}
 
 #[cfg(test)]
 mod tests {
@@ -107,11 +134,15 @@ mod tests {
     fn host_side_fill_and_len() {
         let w = GlobalWorklist::with_capacity(8);
         assert!(w.is_empty());
-        w.fill_range(5);
+        w.fill_range(5).unwrap();
         assert_eq!(w.len(), 5);
         w.reset();
         assert!(w.is_empty());
         assert_eq!(w.capacity(), 8);
+        // Overfill is a typed, recoverable error that leaves state intact.
+        let err = w.fill_range(9).unwrap_err();
+        assert_eq!(err, WorklistFull { requested: 9, capacity: 8 });
+        assert!(w.is_empty());
     }
 
     /// Producer/consumer stress under the engine: phase 0 pushes

@@ -237,18 +237,14 @@ pub fn retriangulate<C: Coord>(mesh: &Mesh<C>, cavity: &Cavity<C>, vid: u32, slo
     // Map boundary-edge endpoints to fan slots.
     let mut start_of: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
     let mut end_of: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
-    let mut si = 0;
-    for be in cavity.boundary.iter().filter(|e| !e.skip) {
+    for (si, be) in cavity.boundary.iter().filter(|e| !e.skip).enumerate() {
         start_of.insert(be.e0, slots[si]);
         end_of.insert(be.e1, slots[si]);
-        si += 1;
     }
 
     let mut new_bad = 0;
-    let mut si = 0;
-    for be in cavity.boundary.iter().filter(|e| !e.skip) {
+    for (si, be) in cavity.boundary.iter().filter(|e| !e.skip).enumerate() {
         let s = slots[si];
-        si += 1;
         let nb1 = start_of.get(&be.e1).copied().unwrap_or(NO_NEIGHBOR);
         let nb2 = end_of.get(&be.e0).copied().unwrap_or(NO_NEIGHBOR);
         mesh.write_tri(s, [be.e0, be.e1, vid], [be.outer, nb1, nb2]);

@@ -24,6 +24,9 @@ use crate::mesh::Mesh;
 use crate::opts::DmrOpts;
 use crate::serial::RefineStats;
 use morph_core::addition::GrowthPolicy;
+use morph_core::runtime::{
+    drive_recovering, DriveError, HostAction, RecoveryOpts, RescueLevel, StepReport,
+};
 use morph_core::{AdaptiveParallelism, ConflictTable};
 use morph_geometry::Coord;
 use morph_gpu_sim::kernel::chunk_bounds;
@@ -246,16 +249,40 @@ pub struct GpuRefineOutcome {
     pub launch: LaunchStats,
     /// Host-loop iterations (kernel launches).
     pub iterations: u64,
-    /// Single-thread live-lock rescue launches (§7.3; only the 2-phase
-    /// protocol should ever need them).
+    /// Livelock-rescue escalations (§7.3; only the 2-phase protocol should
+    /// ever need them).
     pub rescues: u64,
+    /// Launch attempts retried after a kernel failure.
+    pub retries: u32,
+    /// Capacity regrows performed (§7.1 Kernel-Host reallocations).
+    pub regrows: u32,
     /// Final provisioned triangle capacity (the §7.1 memory-footprint
     /// metric: pre-allocation trades this for speed).
     pub peak_tri_capacity: usize,
 }
 
 /// Refine `mesh` on the virtual GPU with `sms` worker threads.
+///
+/// # Panics
+/// Panics if refinement fails past the default recovery budgets; use
+/// [`try_refine_gpu`] for structured error handling or fault injection.
 pub fn refine_gpu<C: Coord>(mesh: &mut Mesh<C>, opts: DmrOpts, sms: usize) -> GpuRefineOutcome {
+    try_refine_gpu(mesh, opts, sms, &RecoveryOpts::default())
+        .unwrap_or_else(|e| panic!("GPU refinement failed: {e}"))
+}
+
+/// Fault-tolerant [`refine_gpu`]: drives the host loop through
+/// `morph_core::runtime::drive_recovering`, so failed launches are
+/// retried (refinement is idempotent over surviving bad triangles — a
+/// retried launch simply re-scans the mesh), allocator overflow regrows
+/// capacity without losing the iteration, and livelock escalates
+/// reshuffle → serial → error.
+pub fn try_refine_gpu<C: Coord>(
+    mesh: &mut Mesh<C>,
+    opts: DmrOpts,
+    sms: usize,
+    recovery: &RecoveryOpts,
+) -> Result<GpuRefineOutcome, DriveError> {
     let start = Instant::now();
     if opts.layout_opt {
         mesh.reorder_for_locality();
@@ -285,21 +312,28 @@ pub fn refine_gpu<C: Coord>(mesh: &mut Mesh<C>, opts: DmrOpts, sms: usize) -> Gp
         threads_per_block: opts.base_tpb,
         barrier: opts.barrier,
     });
+    recovery.arm(&mut gpu);
     let state: BlockLocal<BlockState<C>> = BlockLocal::new(blocks, |_| BlockState::new());
 
-    let mut total = LaunchStats::default();
     let mut stats = RefineStats::default();
-    let mut iterations = 0u64;
-    let mut zero_commit_streak = 0u32;
-    let mut rescues = 0u64;
 
-    loop {
-        let single_thread_rescue = zero_commit_streak >= 3;
-        if single_thread_rescue {
-            rescues += 1;
-            gpu.set_geometry(1, 1);
-        } else {
-            gpu.set_geometry(blocks, sched.tpb_for_iteration(iterations));
+    let outcome = drive_recovering(&mut gpu, Some(sched), &recovery.policy, |gpu, ctx| {
+        if let Some(cap) = ctx.regrow_to {
+            // §7.1 Kernel-Host: the kernel reported exhaustion; the host
+            // reallocates sized by the current bad count.
+            mesh.alloc.clear_overflow();
+            let bad = mesh.bad_triangles().len();
+            mesh.grow_tris(cap);
+            mesh.grow_verts(mesh.num_verts() + bad.max(64) * 2);
+            conflict.grow(mesh.tri_capacity());
+        }
+        match ctx.rescue {
+            // Perturb the priority order so a repeating winner pattern
+            // breaks up; restore the paper's order once progress resumes.
+            RescueLevel::Reshuffle => conflict
+                .reshuffle_priorities(((ctx.iteration as u32).wrapping_mul(0x9E37_79B9) >> 1) | 1),
+            RescueLevel::None => conflict.reshuffle_priorities(0),
+            RescueLevel::Serial => {}
         }
 
         let kernel = RefineKernel {
@@ -313,49 +347,45 @@ pub fn refine_gpu<C: Coord>(mesh: &mut Mesh<C>, opts: DmrOpts, sms: usize) -> Gp
             refined: AtomicU32::new(0),
             frozen: AtomicU32::new(0),
         };
-        let launch = gpu.launch(&kernel);
-        iterations += 1;
+        let launch = gpu.try_launch(&kernel)?;
         let changed = kernel.changed.load(Ordering::Acquire);
         let overflow = kernel.overflow.load(Ordering::Acquire)
             || mesh.alloc.overflowed()
             || mesh.vert_overflowed();
-        stats.refined += kernel.refined.load(Ordering::Acquire) as u64;
-        stats.frozen += kernel.frozen.load(Ordering::Acquire) as u64;
-        stats.aborted = total.aborts + launch.aborts;
-        let commits = launch.commits;
-        total.absorb(&launch);
+        let refined = kernel.refined.load(Ordering::Acquire) as u64;
+        let frozen = kernel.frozen.load(Ordering::Acquire) as u64;
+        stats.refined += refined;
+        stats.frozen += frozen;
 
-        if overflow {
-            // §7.1 Kernel-Host: the kernel reported exhaustion; the host
-            // reallocates sized by the current bad count.
-            mesh.alloc.clear_overflow();
+        let action = if overflow {
             let bad = mesh.bad_triangles().len();
             let policy = GrowthPolicy::OnDemand { over_alloc: 1.5 };
-            let cap = policy.plan_capacity(initial, mesh.num_slots(), bad.max(64) * 8);
-            mesh.grow_tris(cap);
-            mesh.grow_verts(mesh.num_verts() + bad.max(64) * 2);
-            conflict.grow(mesh.tri_capacity());
-        }
-
-        if !changed && !overflow {
-            break;
-        }
-        if commits == 0 && !overflow {
-            zero_commit_streak += 1;
+            HostAction::Regrow(policy.plan_capacity(initial, mesh.num_slots(), bad.max(64) * 8))
+        } else if changed {
+            HostAction::Continue
         } else {
-            zero_commit_streak = 0;
-        }
-    }
+            HostAction::Stop
+        };
+        Ok(StepReport {
+            stats: launch,
+            // A regrow is itself progress; only commit-free, overflow-free
+            // iterations feed the livelock watchdog.
+            progressed: refined > 0 || frozen > 0 || overflow,
+            action,
+        })
+    })?;
 
+    stats.aborted = outcome.stats.aborts;
     stats.wall = start.elapsed();
-    total.iterations = iterations;
-    GpuRefineOutcome {
+    Ok(GpuRefineOutcome {
         stats,
-        launch: total,
-        iterations,
-        rescues,
+        launch: outcome.stats.clone(),
+        iterations: outcome.iterations,
+        rescues: outcome.rescues as u64,
+        retries: outcome.retries,
+        regrows: outcome.regrows,
         peak_tri_capacity: mesh.tri_capacity(),
-    }
+    })
 }
 
 #[cfg(test)]

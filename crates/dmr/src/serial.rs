@@ -73,6 +73,9 @@ fn ensure_headroom<C: Coord>(mesh: &mut Mesh<C>, slack: usize) {
 }
 
 #[cfg(test)]
+pub(crate) use tests::random_mesh;
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use morph_geometry::{triangulate, Point, TriQuality};
@@ -153,6 +156,3 @@ mod tests {
         assert_eq!(a.stats(), b.stats());
     }
 }
-
-#[cfg(test)]
-pub(crate) use tests::random_mesh;

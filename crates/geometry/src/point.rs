@@ -118,6 +118,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::approx_constant)] // arbitrary sample coordinates, not π/e
     fn snapping_lands_on_grid() {
         for v in [0.0, 1.0, 3.14159, -2.71828, 1000.123456, -16384.9, 99999.0] {
             let s = snap(v);

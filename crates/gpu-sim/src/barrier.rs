@@ -13,6 +13,18 @@
 use crate::config::BarrierKind;
 use crossbeam::utils::CachePadded;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Panic message raised by workers that die because a *sibling* poisoned
+/// the barrier. The engine uses it to tell secondary casualties apart from
+/// the primary fault.
+pub(crate) const BARRIER_POISON_MSG: &str = "virtual GPU barrier poisoned: a worker panicked";
+
+/// Panic message raised by the barrier watchdog when a participant fails to
+/// arrive within the configured timeout. The raiser poisons the barrier
+/// first, so every other spinner dies with [`BARRIER_POISON_MSG`].
+pub(crate) const BARRIER_TIMEOUT_MSG: &str =
+    "virtual GPU barrier watchdog: a participant failed to arrive in time";
 
 /// A reusable grid-wide barrier for a fixed number of participants.
 pub trait GlobalBarrier: Sync + Send {
@@ -37,25 +49,51 @@ pub trait GlobalBarrier: Sync + Send {
 }
 
 /// Construct the barrier implementation selected by `kind`.
-pub fn make_barrier(kind: BarrierKind, participants: usize) -> Box<dyn GlobalBarrier> {
+///
+/// With a `watchdog` timeout, a participant that spins longer than the
+/// timeout poisons the barrier and panics with [`BARRIER_TIMEOUT_MSG`]
+/// instead of hanging forever on a wedged sibling.
+pub fn make_barrier(
+    kind: BarrierKind,
+    participants: usize,
+    watchdog: Option<Duration>,
+) -> Box<dyn GlobalBarrier> {
     match kind {
-        BarrierKind::NaiveAtomic => Box::new(CentralBarrier::new(participants, TrafficModel::PerThread)),
-        BarrierKind::Hierarchical => Box::new(CentralBarrier::new(participants, TrafficModel::PerBlock)),
-        BarrierKind::SenseReversing => Box::new(SenseBarrier::new(participants)),
+        BarrierKind::NaiveAtomic => Box::new(CentralBarrier::new(
+            participants,
+            TrafficModel::PerThread,
+            watchdog,
+        )),
+        BarrierKind::Hierarchical => Box::new(CentralBarrier::new(
+            participants,
+            TrafficModel::PerBlock,
+            watchdog,
+        )),
+        BarrierKind::SenseReversing => Box::new(SenseBarrier::new(participants, watchdog)),
     }
 }
 
-fn spin_wait(mut check: impl FnMut() -> bool, poisoned: &AtomicBool) {
+fn spin_wait(mut check: impl FnMut() -> bool, poisoned: &AtomicBool, watchdog: Option<Duration>) {
+    let deadline = watchdog.map(|t| Instant::now() + t);
     let mut spins = 0u32;
     while !check() {
         if poisoned.load(Ordering::Relaxed) {
-            panic!("virtual GPU barrier poisoned: a worker panicked");
+            panic!("{}", BARRIER_POISON_MSG);
         }
         spins += 1;
         if spins < 64 {
             std::hint::spin_loop();
         } else {
-            // More workers than cores must not livelock the spinners.
+            // More workers than cores must not livelock the spinners. Once
+            // we are yielding anyway, the clock check is cheap.
+            if let Some(deadline) = deadline {
+                if Instant::now() >= deadline {
+                    // Poison first so siblings fail fast with the generic
+                    // poison message; only this worker reports the stall.
+                    poisoned.store(true, Ordering::Relaxed);
+                    panic!("{}", BARRIER_TIMEOUT_MSG);
+                }
+            }
             std::thread::yield_now();
         }
     }
@@ -78,10 +116,11 @@ struct CentralBarrier {
     traffic: CachePadded<AtomicU64>,
     model: TrafficModel,
     poisoned: AtomicBool,
+    watchdog: Option<Duration>,
 }
 
 impl CentralBarrier {
-    fn new(participants: usize, model: TrafficModel) -> Self {
+    fn new(participants: usize, model: TrafficModel, watchdog: Option<Duration>) -> Self {
         Self {
             participants,
             count: CachePadded::new(AtomicUsize::new(0)),
@@ -89,6 +128,7 @@ impl CentralBarrier {
             traffic: CachePadded::new(AtomicU64::new(0)),
             model,
             poisoned: AtomicBool::new(false),
+            watchdog,
         }
     }
 }
@@ -118,6 +158,7 @@ impl GlobalBarrier for CentralBarrier {
             spin_wait(
                 || self.generation.load(Ordering::Acquire) != gen,
                 &self.poisoned,
+                self.watchdog,
             );
         }
     }
@@ -140,10 +181,11 @@ struct SenseBarrier {
     arrive: Vec<CachePadded<AtomicU64>>,
     go: CachePadded<AtomicU64>,
     poisoned: AtomicBool,
+    watchdog: Option<Duration>,
 }
 
 impl SenseBarrier {
-    fn new(participants: usize) -> Self {
+    fn new(participants: usize, watchdog: Option<Duration>) -> Self {
         Self {
             participants,
             arrive: (0..participants)
@@ -151,6 +193,7 @@ impl SenseBarrier {
                 .collect(),
             go: CachePadded::new(AtomicU64::new(0)),
             poisoned: AtomicBool::new(false),
+            watchdog,
         }
     }
 }
@@ -164,11 +207,19 @@ impl GlobalBarrier for SenseBarrier {
         self.arrive[participant].store(epoch, Ordering::Release);
         if participant == 0 {
             for flag in &self.arrive[1..] {
-                spin_wait(|| flag.load(Ordering::Acquire) >= epoch, &self.poisoned);
+                spin_wait(
+                    || flag.load(Ordering::Acquire) >= epoch,
+                    &self.poisoned,
+                    self.watchdog,
+                );
             }
             self.go.store(epoch, Ordering::Release);
         } else {
-            spin_wait(|| self.go.load(Ordering::Acquire) >= epoch, &self.poisoned);
+            spin_wait(
+                || self.go.load(Ordering::Acquire) >= epoch,
+                &self.poisoned,
+                self.watchdog,
+            );
         }
     }
 
@@ -190,7 +241,7 @@ mod tests {
     /// array slot, then barrier, then verify every other worker has
     /// reached the same round. Any barrier bug shows up as a torn round.
     fn stress(kind: BarrierKind, workers: usize, rounds: u64) {
-        let barrier = make_barrier(kind, workers);
+        let barrier = make_barrier(kind, workers, None);
         let slots: Vec<Counter> = (0..workers).map(|_| Counter::new(0)).collect();
         std::thread::scope(|s| {
             for w in 0..workers {
@@ -237,7 +288,7 @@ mod tests {
             BarrierKind::Hierarchical,
             BarrierKind::SenseReversing,
         ] {
-            let b = make_barrier(kind, 1);
+            let b = make_barrier(kind, 1, None);
             for _ in 0..10 {
                 b.wait(0, 1000, 10);
             }
@@ -251,7 +302,7 @@ mod tests {
             (BarrierKind::Hierarchical, true),
             (BarrierKind::SenseReversing, false),
         ] {
-            let b = make_barrier(kind, 2);
+            let b = make_barrier(kind, 2, None);
             std::thread::scope(|s| {
                 for w in 0..2 {
                     let b = &b;
@@ -273,9 +324,31 @@ mod tests {
     #[test]
     #[should_panic(expected = "poisoned")]
     fn poisoned_barrier_panics_spinners() {
-        let b = make_barrier(BarrierKind::SenseReversing, 2);
+        let b = make_barrier(BarrierKind::SenseReversing, 2, None);
         b.poison();
         // Participant 1 spins on `go`, which will never advance.
         b.wait(1, 1, 1);
+    }
+
+    #[test]
+    fn watchdog_fires_on_missing_participant() {
+        for kind in [
+            BarrierKind::NaiveAtomic,
+            BarrierKind::Hierarchical,
+            BarrierKind::SenseReversing,
+        ] {
+            let b = make_barrier(kind, 2, Some(Duration::from_millis(20)));
+            // Participant 1 never arrives; participant 0 must not hang.
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                b.wait(0, 1, 1);
+            }))
+            .expect_err("watchdog should have fired");
+            let msg = caught
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| caught.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default();
+            assert_eq!(msg, BARRIER_TIMEOUT_MSG, "{kind:?}");
+        }
     }
 }

@@ -65,6 +65,12 @@ pub struct LaunchStats {
     /// Atomic RMW traffic issued by the global barrier itself (0 for the
     /// sense-reversing design).
     pub barrier_rmws: u64,
+    /// Grid geometry this launch actually ran with — lets callers verify
+    /// what the adaptive-parallelism controller (§7.4) applied. Under
+    /// [`LaunchStats::absorb`] these hold the *latest* launch's geometry,
+    /// not a sum.
+    pub blocks: usize,
+    pub threads_per_block: usize,
     /// Wall-clock time of the whole execution.
     pub wall: Duration,
 }
@@ -113,6 +119,10 @@ impl LaunchStats {
         self.commits += other.commits;
         self.barriers += other.barriers;
         self.barrier_rmws += other.barrier_rmws;
+        // Geometry is a configuration, not a quantity: keep the most
+        // recent launch's values so callers see what last ran.
+        self.blocks = other.blocks;
+        self.threads_per_block = other.threads_per_block;
         self.wall += other.wall;
     }
 }

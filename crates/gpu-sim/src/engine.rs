@@ -12,25 +12,110 @@
 //! Because a block never splits across workers, `__syncthreads()` is
 //! implied at each phase boundary and [`crate::BlockLocal`] state is
 //! race-free by construction.
+//!
+//! ## Failure containment
+//!
+//! A panicking virtual thread takes its worker down; the worker poisons the
+//! global barrier so its siblings fail fast instead of hanging, and the
+//! engine reports *where* execution died as a structured [`LaunchError`]
+//! from [`VirtualGpu::try_launch`] / [`VirtualGpu::try_execute`] (the
+//! panicking wrappers [`VirtualGpu::launch`] / [`VirtualGpu::execute`]
+//! remain for code that treats kernel failure as fatal). Faults can be
+//! injected deterministically via [`crate::fault::FaultPlan`], and a
+//! [barrier watchdog](VirtualGpu::set_barrier_watchdog) turns a stalled
+//! worker into a [`LaunchError::BarrierStall`] instead of a hang.
 
-use crate::barrier::{make_barrier, GlobalBarrier};
+use crate::barrier::{make_barrier, GlobalBarrier, BARRIER_POISON_MSG, BARRIER_TIMEOUT_MSG};
 use crate::config::GpuConfig;
 use crate::counters::{LaunchStats, WorkerCounters};
+use crate::fault::FaultPlan;
 use crate::kernel::{Decision, Kernel, ThreadCtx};
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Structured description of a failed launch: which worker died, where it
+/// was in the grid when it died, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchError {
+    /// A virtual thread panicked; the worker running its block reports the
+    /// site. Sibling workers that died on the poisoned barrier are not
+    /// reported — only the primary fault is.
+    KernelPanic {
+        worker: usize,
+        block: usize,
+        phase: usize,
+        iteration: usize,
+        message: String,
+    },
+    /// The barrier watchdog expired: at least one worker failed to arrive
+    /// within the configured timeout (a wedged or stalled SM).
+    BarrierStall {
+        worker: usize,
+        phase: usize,
+        iteration: usize,
+        timeout: Duration,
+    },
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::KernelPanic {
+                worker,
+                block,
+                phase,
+                iteration,
+                message,
+            } => write!(
+                f,
+                "kernel panic on worker {worker} (block {block}, phase {phase}, iteration {iteration}): {message}"
+            ),
+            LaunchError::BarrierStall {
+                worker,
+                phase,
+                iteration,
+                timeout,
+            } => write!(
+                f,
+                "barrier stall detected by worker {worker} (phase {phase}, iteration {iteration}): a participant failed to arrive within {timeout:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// Result of a fallible launch.
+pub type LaunchOutcome = Result<LaunchStats, LaunchError>;
+
+/// Where a worker was when it died (updated with plain stores as execution
+/// advances; read only after the worker's panic has been caught).
+#[derive(Clone, Copy, Default)]
+struct Progress {
+    iteration: usize,
+    phase: usize,
+    block: usize,
+}
 
 /// A virtual GPU: a launch configuration plus the machinery to run
 /// [`Kernel`]s under the SIMT execution model.
 pub struct VirtualGpu {
     cfg: GpuConfig,
+    faults: Option<Arc<FaultPlan>>,
+    barrier_watchdog: Option<Duration>,
 }
 
 impl VirtualGpu {
     pub fn new(cfg: GpuConfig) -> Self {
         assert!(cfg.warp_size >= 1, "warp size must be at least 1");
-        Self { cfg }
+        Self {
+            cfg,
+            faults: None,
+            barrier_watchdog: None,
+        }
     }
 
     pub fn config(&self) -> &GpuConfig {
@@ -43,24 +128,74 @@ impl VirtualGpu {
         self.cfg = self.cfg.clone().with_geometry(blocks, threads_per_block);
     }
 
+    /// Attach a fault-injection plan; subsequent launches advance its
+    /// launch counter and consult it. See [`crate::fault::FaultPlan`].
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.faults = Some(plan);
+    }
+
+    /// Detach the fault plan, returning it (e.g. to assert it fired).
+    pub fn clear_fault_plan(&mut self) -> Option<Arc<FaultPlan>> {
+        self.faults.take()
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
+    }
+
+    /// Arm (or disarm, with `None`) the barrier watchdog: if any barrier
+    /// participant spins longer than `timeout` waiting for the others, the
+    /// launch fails with [`LaunchError::BarrierStall`] instead of hanging.
+    pub fn set_barrier_watchdog(&mut self, timeout: Option<Duration>) {
+        self.barrier_watchdog = timeout;
+    }
+
     /// Run a single kernel iteration (all phases once).
+    ///
+    /// # Panics
+    /// Panics if a virtual thread panics; use [`VirtualGpu::try_launch`]
+    /// for structured error recovery.
     pub fn launch<K: Kernel + ?Sized>(&self, kernel: &K) -> LaunchStats {
         self.drive(kernel, false)
+            .unwrap_or_else(|e| panic!("virtual GPU launch failed: {e}"))
     }
 
     /// Run the kernel persistently: iterate all phases, consult
     /// [`Kernel::next_iteration`], repeat until it returns
     /// [`Decision::Stop`]. Equivalent to re-launching in a host loop, minus
     /// the launch overhead (the paper's persistent pattern).
+    ///
+    /// # Panics
+    /// Panics if a virtual thread panics; use [`VirtualGpu::try_execute`]
+    /// for structured error recovery.
     pub fn execute<K: Kernel + ?Sized>(&self, kernel: &K) -> LaunchStats {
+        self.drive(kernel, true)
+            .unwrap_or_else(|e| panic!("virtual GPU execution failed: {e}"))
+    }
+
+    /// Fallible [`VirtualGpu::launch`]: worker panics are caught and
+    /// returned as a [`LaunchError`] naming the failed block/phase. Partial
+    /// counter state from a failed launch is discarded.
+    pub fn try_launch<K: Kernel + ?Sized>(&self, kernel: &K) -> LaunchOutcome {
+        self.drive(kernel, false)
+    }
+
+    /// Fallible [`VirtualGpu::execute`].
+    pub fn try_execute<K: Kernel + ?Sized>(&self, kernel: &K) -> LaunchOutcome {
         self.drive(kernel, true)
     }
 
-    fn drive<K: Kernel + ?Sized>(&self, kernel: &K, persistent: bool) -> LaunchStats {
+    fn drive<K: Kernel + ?Sized>(&self, kernel: &K, persistent: bool) -> LaunchOutcome {
         let cfg = &self.cfg;
+        let faults = self.faults.as_deref();
+        if let Some(plan) = faults {
+            plan.begin_launch();
+        }
+        let watchdog = self.barrier_watchdog;
         let workers = cfg.effective_workers();
         let phases = kernel.phases().max(1);
-        let barrier = make_barrier(cfg.barrier, workers);
+        let barrier = make_barrier(cfg.barrier, workers, watchdog);
         let keep_going = AtomicBool::new(false);
         let start = Instant::now();
 
@@ -70,48 +205,80 @@ impl VirtualGpu {
         if workers == 1 {
             // Degenerate single-worker grid: run inline, no threads.
             let mut counters = WorkerCounters::default();
-            iterations = run_worker(
-                kernel,
-                cfg,
-                0,
-                workers,
-                phases,
-                persistent,
-                barrier.as_ref(),
-                &keep_going,
-                &mut counters,
-            );
+            let progress = Cell::new(Progress::default());
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                run_worker(
+                    kernel,
+                    cfg,
+                    0,
+                    workers,
+                    phases,
+                    persistent,
+                    barrier.as_ref(),
+                    &keep_going,
+                    &mut counters,
+                    faults,
+                    &progress,
+                )
+            }));
+            match result {
+                Ok(iters) => iterations = iters,
+                Err(payload) => {
+                    return Err(classify_failure(0, progress.get(), payload, watchdog)
+                        .expect("a single worker cannot be a secondary barrier casualty"));
+                }
+            }
             counters.merge_into(&mut stats);
         } else {
+            // First failure wins; secondary barrier-poison casualties are
+            // not recorded (they are consequences, not causes).
+            let failure: Mutex<Option<LaunchError>> = Mutex::new(None);
             let collected = std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(workers);
                 for w in 0..workers {
                     let barrier = barrier.as_ref();
                     let keep_going = &keep_going;
+                    let failure = &failure;
                     handles.push(scope.spawn(move || {
                         let mut counters = WorkerCounters::default();
+                        let progress = Cell::new(Progress::default());
                         let result = catch_unwind(AssertUnwindSafe(|| {
                             run_worker(
                                 kernel, cfg, w, workers, phases, persistent, barrier,
-                                &keep_going, &mut counters,
+                                keep_going, &mut counters, faults, &progress,
                             )
                         }));
                         match result {
-                            Ok(iters) => (iters, counters),
+                            Ok(iters) => Some((iters, counters)),
                             Err(payload) => {
-                                // Unblock siblings before propagating.
+                                // Record the cause before waking siblings so
+                                // their poison panics can never win the race.
+                                if let Some(err) =
+                                    classify_failure(w, progress.get(), payload, watchdog)
+                                {
+                                    failure
+                                        .lock()
+                                        .unwrap_or_else(|e| e.into_inner())
+                                        .get_or_insert(err);
+                                }
                                 barrier.poison();
-                                resume_unwind(payload);
+                                None
                             }
                         }
                     }));
                 }
                 handles
                     .into_iter()
-                    .map(|h| h.join().unwrap_or_else(|e| resume_unwind(e)))
+                    .map(|h| {
+                        h.join()
+                            .expect("worker bookkeeping panicked outside catch_unwind")
+                    })
                     .collect::<Vec<_>>()
             });
-            for (iters, counters) in collected {
+            if let Some(err) = failure.into_inner().unwrap_or_else(|e| e.into_inner()) {
+                return Err(err);
+            }
+            for (iters, counters) in collected.into_iter().flatten() {
                 iterations = iterations.max(iters);
                 counters.merge_into(&mut stats);
             }
@@ -120,9 +287,45 @@ impl VirtualGpu {
         stats.iterations = iterations;
         stats.phases = iterations * phases as u64;
         stats.barrier_rmws = barrier.rmw_traffic();
+        stats.blocks = cfg.blocks;
+        stats.threads_per_block = cfg.threads_per_block;
         stats.wall = start.elapsed();
-        stats
+        Ok(stats)
     }
+}
+
+/// Turn a caught worker panic into a [`LaunchError`], or `None` if the
+/// panic is a secondary casualty of barrier poisoning (the primary fault is
+/// reported by the worker that caused it).
+fn classify_failure(
+    worker: usize,
+    at: Progress,
+    payload: Box<dyn std::any::Any + Send>,
+    watchdog: Option<Duration>,
+) -> Option<LaunchError> {
+    let message = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic payload>".to_string());
+    if message == BARRIER_POISON_MSG {
+        return None;
+    }
+    if message == BARRIER_TIMEOUT_MSG {
+        return Some(LaunchError::BarrierStall {
+            worker,
+            phase: at.phase,
+            iteration: at.iteration,
+            timeout: watchdog.unwrap_or_default(),
+        });
+    }
+    Some(LaunchError::KernelPanic {
+        worker,
+        block: at.block,
+        phase: at.phase,
+        iteration: at.iteration,
+        message,
+    })
 }
 
 /// The per-worker loop. Returns the number of iterations executed.
@@ -137,6 +340,8 @@ fn run_worker<K: Kernel + ?Sized>(
     barrier: &dyn GlobalBarrier,
     keep_going: &AtomicBool,
     counters: &mut WorkerCounters,
+    faults: Option<&FaultPlan>,
+    progress: &Cell<Progress>,
 ) -> u64 {
     let tpb = cfg.threads_per_block;
     let nthreads = cfg.total_threads();
@@ -148,9 +353,19 @@ fn run_worker<K: Kernel + ?Sized>(
     loop {
         for phase in 0..phases {
             for &block in &my_blocks {
-                run_block_phase(kernel, cfg, block, phase, iteration, nthreads, counters);
+                progress.set(Progress {
+                    iteration,
+                    phase,
+                    block,
+                });
+                run_block_phase(kernel, cfg, block, phase, iteration, nthreads, counters, faults);
             }
             counters.barriers += 1;
+            if let Some(plan) = faults {
+                if let Some(delay) = plan.stall_before_barrier(phase, worker) {
+                    std::thread::sleep(delay);
+                }
+            }
             barrier.wait(worker, my_vthreads, my_vblocks);
         }
 
@@ -160,12 +375,18 @@ fn run_worker<K: Kernel + ?Sized>(
         }
 
         // Worker 0 decides; everyone else learns the decision after a
-        // second barrier (all workers are quiescent at this point).
+        // second barrier (all workers are quiescent at this point). A
+        // stall fault targeting `phase == phases` lands on this barrier.
         if worker == 0 {
             let d = kernel.next_iteration(iteration - 1);
             keep_going.store(d == Decision::Continue, Ordering::Release);
         }
         counters.barriers += 1;
+        if let Some(plan) = faults {
+            if let Some(delay) = plan.stall_before_barrier(phases, worker) {
+                std::thread::sleep(delay);
+            }
+        }
         barrier.wait(worker, my_vthreads, my_vblocks);
         if !keep_going.load(Ordering::Acquire) {
             return iteration as u64;
@@ -174,6 +395,7 @@ fn run_worker<K: Kernel + ?Sized>(
 }
 
 /// Run one phase of one block: warp by warp, lane by lane.
+#[allow(clippy::too_many_arguments)]
 fn run_block_phase<K: Kernel + ?Sized>(
     kernel: &K,
     cfg: &GpuConfig,
@@ -182,6 +404,7 @@ fn run_block_phase<K: Kernel + ?Sized>(
     iteration: usize,
     nthreads: usize,
     counters: &mut WorkerCounters,
+    faults: Option<&FaultPlan>,
 ) {
     let tpb = cfg.threads_per_block;
     let warp_size = cfg.warp_size;
@@ -193,6 +416,11 @@ fn run_block_phase<K: Kernel + ?Sized>(
         for lane in 0..lanes {
             let thread_in_block = tib + lane;
             let tid = block * tpb + thread_in_block;
+            if let Some(plan) = faults {
+                if plan.should_panic(phase, block, thread_in_block) {
+                    panic!("{}", crate::fault::INJECTED_PANIC_MSG);
+                }
+            }
             let mut ctx = ThreadCtx {
                 tid,
                 nthreads,
@@ -204,6 +432,7 @@ fn run_block_phase<K: Kernel + ?Sized>(
                 lane,
                 iteration,
                 counters,
+                faults,
             };
             if kernel.run(phase, &mut ctx) {
                 active += 1;
@@ -437,6 +666,104 @@ mod tests {
     }
 
     #[test]
+    fn try_launch_reports_the_failing_site() {
+        let gpu = VirtualGpu::new(GpuConfig::small());
+        match gpu.try_launch(&Panicker) {
+            Err(LaunchError::KernelPanic {
+                block,
+                phase,
+                iteration,
+                message,
+                ..
+            }) => {
+                // tid 3 lives in block 0 under `small()` (tpb = 8).
+                assert_eq!(block, 0);
+                assert_eq!(phase, 0);
+                assert_eq!(iteration, 0);
+                assert_eq!(message, "kernel fault");
+            }
+            other => panic!("expected KernelPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_launch_succeeds_like_launch() {
+        let data: Vec<u32> = (0..100).collect();
+        let k = Histogram {
+            data: &data,
+            bins: AtomicU32Slice::new(3, 0),
+        };
+        let gpu = VirtualGpu::new(GpuConfig::small());
+        let stats = gpu.try_launch(&k).expect("no faults configured");
+        assert_eq!(k.bins.to_vec().iter().sum::<u32>(), 100);
+        assert_eq!(stats.iterations, 1);
+        assert_eq!(stats.blocks, 4);
+        assert_eq!(stats.threads_per_block, 8);
+    }
+
+    #[test]
+    fn injected_panic_is_contained_and_sited() {
+        let mut gpu = VirtualGpu::new(GpuConfig::small());
+        let plan = Arc::new(FaultPlan::new().with_kernel_panic(0, 0, 2, 5));
+        gpu.set_fault_plan(Arc::clone(&plan));
+        let k = CountTo {
+            total: AtomicU64::new(0),
+            target: 1,
+        };
+        match gpu.try_launch(&k) {
+            Err(LaunchError::KernelPanic { block, phase, message, .. }) => {
+                assert_eq!(block, 2);
+                assert_eq!(phase, 0);
+                assert_eq!(message, crate::fault::INJECTED_PANIC_MSG);
+            }
+            other => panic!("expected injected KernelPanic, got {other:?}"),
+        }
+        assert!(plan.exhausted());
+        // The plan fired once; the next launch is clean.
+        let stats = gpu.try_launch(&k).expect("fault already consumed");
+        assert_eq!(stats.iterations, 1);
+    }
+
+    #[test]
+    fn injected_stall_trips_the_watchdog() {
+        let mut gpu = VirtualGpu::new(GpuConfig::small());
+        gpu.set_barrier_watchdog(Some(Duration::from_millis(50)));
+        gpu.set_fault_plan(Arc::new(FaultPlan::new().with_barrier_stall(
+            0,
+            0,
+            1,
+            Duration::from_secs(2),
+        )));
+        let k = CountTo {
+            total: AtomicU64::new(0),
+            target: 1,
+        };
+        let start = Instant::now();
+        match gpu.try_launch(&k) {
+            Err(LaunchError::BarrierStall { timeout, .. }) => {
+                assert_eq!(timeout, Duration::from_millis(50));
+            }
+            other => panic!("expected BarrierStall, got {other:?}"),
+        }
+        // Detection must not wait out the full 2 s stall... but the scope
+        // joins the stalled worker, so the wall clock includes its sleep.
+        // What matters is that we got a structured error, not a hang.
+        assert!(start.elapsed() < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn watchdog_quiet_when_no_stall() {
+        let mut gpu = VirtualGpu::new(GpuConfig::small());
+        gpu.set_barrier_watchdog(Some(Duration::from_secs(5)));
+        let k = CountTo {
+            total: AtomicU64::new(0),
+            target: 7,
+        };
+        let stats = gpu.try_execute(&k).expect("no stall expected");
+        assert_eq!(stats.iterations, 7);
+    }
+
+    #[test]
     fn degenerate_geometries_work() {
         // warp bigger than block, single block, single thread, more SMs
         // than blocks — all must execute every thread exactly once.
@@ -466,6 +793,19 @@ mod tests {
                 hits.to_vec().iter().all(|&h| h == 1),
                 "({sms},{warp},{blocks},{tpb})"
             );
+        }
+    }
+
+    #[test]
+    fn single_worker_failures_are_structured_too() {
+        let cfg = GpuConfig::small().with_geometry(1, 8).with_sms(1);
+        let gpu = VirtualGpu::new(cfg);
+        match gpu.try_launch(&Panicker) {
+            Err(LaunchError::KernelPanic { worker, message, .. }) => {
+                assert_eq!(worker, 0);
+                assert_eq!(message, "kernel fault");
+            }
+            other => panic!("expected KernelPanic, got {other:?}"),
         }
     }
 
@@ -504,7 +844,9 @@ mod tests {
             data: &[1, 2, 3],
             bins: AtomicU32Slice::new(4, 0),
         };
-        gpu.launch(&k);
+        let stats = gpu.launch(&k);
         assert_eq!(k.bins.to_vec().iter().sum::<u32>(), 3);
+        assert_eq!(stats.blocks, 2);
+        assert_eq!(stats.threads_per_block, 16);
     }
 }

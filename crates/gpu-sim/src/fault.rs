@@ -1,0 +1,285 @@
+//! Deterministic fault injection.
+//!
+//! Morph kernels fail mid-flight by design: allocators overflow (§7.1),
+//! speculative cavities conflict (§7.3), and a stalled SM can wedge a
+//! software global barrier. A [`FaultPlan`] lets tests and the recovery
+//! layer in `morph-core` *provoke* those failures at exact, reproducible
+//! points — a specific (launch, phase, block, thread) for kernel panics,
+//! a specific (launch, phase, worker) for barrier stalls, and a denial
+//! budget for device-side allocations.
+//!
+//! A plan is attached to a [`crate::VirtualGpu`] with
+//! [`crate::VirtualGpu::set_fault_plan`]. The engine advances the plan's
+//! launch counter at each launch, consults it before every virtual thread
+//! (panic faults) and before every barrier crossing (stall faults), and
+//! exposes the allocation-denial hook to kernels through
+//! [`crate::ThreadCtx::fault_deny_alloc`] — `morph_core`'s `BumpAllocator`
+//! routes `try_alloc` through it, so a denied allocation looks exactly like
+//! a real pool overflow to the host loop.
+//!
+//! Every fault fires **once** (per plan) and plans are safely shared across
+//! workers; `seeded` derives a whole plan from a single `u64` for
+//! reproducible randomized campaigns.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Panic message used by injected kernel-thread panics (stable so recovery
+/// tests can distinguish injected faults from genuine bugs).
+pub const INJECTED_PANIC_MSG: &str = "injected fault: kernel thread panic";
+
+struct PanicFault {
+    launch: u64,
+    phase: usize,
+    block: usize,
+    thread_in_block: usize,
+    fired: AtomicBool,
+}
+
+struct StallFault {
+    launch: u64,
+    phase: usize,
+    worker: usize,
+    delay: Duration,
+    fired: AtomicBool,
+}
+
+struct AllocDenial {
+    launch: u64,
+    remaining: AtomicU32,
+}
+
+/// A reproducible schedule of faults to inject into kernel execution.
+///
+/// Launch indices are relative to when the plan was attached: the first
+/// launch the engine runs with this plan is launch 0 — i.e. "iteration k"
+/// of the host's do–while loop is launch k.
+#[derive(Default)]
+pub struct FaultPlan {
+    launches_begun: AtomicU64,
+    panics: Vec<PanicFault>,
+    stalls: Vec<StallFault>,
+    denials: Vec<AllocDenial>,
+}
+
+impl FaultPlan {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Panic the virtual thread at `(launch, phase, block, thread_in_block)`
+    /// just before it would run — modelling a crashed thread whose SM takes
+    /// the whole grid down with it.
+    pub fn with_kernel_panic(
+        mut self,
+        launch: u64,
+        phase: usize,
+        block: usize,
+        thread_in_block: usize,
+    ) -> Self {
+        self.panics.push(PanicFault {
+            launch,
+            phase,
+            block,
+            thread_in_block,
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// Delay `worker` by `delay` just before it arrives at the barrier
+    /// ending `(launch, phase)` — modelling a stalled SM. Combined with
+    /// [`crate::VirtualGpu::set_barrier_watchdog`], the stall surfaces as
+    /// [`crate::LaunchError::BarrierStall`] instead of a hang.
+    pub fn with_barrier_stall(
+        mut self,
+        launch: u64,
+        phase: usize,
+        worker: usize,
+        delay: Duration,
+    ) -> Self {
+        self.stalls.push(StallFault {
+            launch,
+            phase,
+            worker,
+            delay,
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// Deny the next `count` device-side allocations issued during `launch`
+    /// — modelling pool exhaustion regardless of actual capacity (§7.1's
+    /// overflow path).
+    pub fn with_alloc_denial(mut self, launch: u64, count: u32) -> Self {
+        self.denials.push(AllocDenial {
+            launch,
+            remaining: AtomicU32::new(count),
+        });
+        self
+    }
+
+    /// Derive a small fault campaign from a seed: one kernel panic and one
+    /// allocation-denial burst, both placed deterministically within the
+    /// first `launches` launches of a `blocks × threads_per_block` grid.
+    pub fn seeded(seed: u64, launches: u64, blocks: usize, threads_per_block: usize) -> Self {
+        let mut s = seed;
+        let mut next = move || {
+            // SplitMix64 — self-contained so the simulator stays dep-free.
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let launches = launches.max(1);
+        let blocks = blocks.max(1) as u64;
+        let tpb = threads_per_block.max(1) as u64;
+        let panic_launch = next() % launches;
+        let panic_block = (next() % blocks) as usize;
+        let panic_thread = (next() % tpb) as usize;
+        let deny_launch = next() % launches;
+        let deny_count = (next() % 4 + 1) as u32;
+        Self::new()
+            .with_kernel_panic(panic_launch, 0, panic_block, panic_thread)
+            .with_alloc_denial(deny_launch, deny_count)
+    }
+
+    /// Called by the engine when a launch starts.
+    pub(crate) fn begin_launch(&self) {
+        self.launches_begun.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Launch index currently executing (0-based); 0 if none begun yet.
+    pub fn current_launch(&self) -> u64 {
+        self.launches_begun.load(Ordering::Acquire).saturating_sub(1)
+    }
+
+    /// Number of launches the plan has observed.
+    pub fn launches_begun(&self) -> u64 {
+        self.launches_begun.load(Ordering::Acquire)
+    }
+
+    /// True if the thread at `(phase, block, thread_in_block)` of the
+    /// current launch must panic. Consumes the fault (fires once).
+    pub(crate) fn should_panic(&self, phase: usize, block: usize, thread_in_block: usize) -> bool {
+        let launch = self.current_launch();
+        self.panics.iter().any(|p| {
+            p.launch == launch
+                && p.phase == phase
+                && p.block == block
+                && p.thread_in_block == thread_in_block
+                && p.fired
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+        })
+    }
+
+    /// Stall duration for `worker` arriving at the barrier after `phase` of
+    /// the current launch, if any. Consumes the fault (fires once).
+    pub(crate) fn stall_before_barrier(&self, phase: usize, worker: usize) -> Option<Duration> {
+        let launch = self.current_launch();
+        self.stalls
+            .iter()
+            .find(|f| {
+                f.launch == launch
+                    && f.phase == phase
+                    && f.worker == worker
+                    && f.fired
+                        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+            })
+            .map(|f| f.delay)
+    }
+
+    /// True if a device-side allocation issued now must be denied.
+    /// Decrements the current launch's denial budget.
+    pub fn deny_allocation(&self) -> bool {
+        let launch = self.current_launch();
+        self.denials.iter().any(|d| {
+            d.launch == launch
+                && d.remaining
+                    .fetch_update(Ordering::AcqRel, Ordering::Acquire, |r| r.checked_sub(1))
+                    .is_ok()
+        })
+    }
+
+    /// True if every configured fault has fired (denials: budget drained).
+    pub fn exhausted(&self) -> bool {
+        self.panics.iter().all(|p| p.fired.load(Ordering::Acquire))
+            && self.stalls.iter().all(|s| s.fired.load(Ordering::Acquire))
+            && self
+                .denials
+                .iter()
+                .all(|d| d.remaining.load(Ordering::Acquire) == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_fire_once_at_their_site() {
+        let plan = FaultPlan::new()
+            .with_kernel_panic(1, 0, 2, 3)
+            .with_barrier_stall(0, 1, 0, Duration::from_millis(5))
+            .with_alloc_denial(1, 2);
+        plan.begin_launch(); // launch 0
+        assert!(!plan.should_panic(0, 2, 3), "panic armed for launch 1, not 0");
+        assert_eq!(plan.stall_before_barrier(1, 0), Some(Duration::from_millis(5)));
+        assert_eq!(plan.stall_before_barrier(1, 0), None, "stall fires once");
+        assert!(!plan.deny_allocation(), "denial armed for launch 1");
+
+        plan.begin_launch(); // launch 1
+        assert!(!plan.should_panic(0, 2, 2));
+        assert!(!plan.should_panic(1, 2, 3));
+        assert!(plan.should_panic(0, 2, 3));
+        assert!(!plan.should_panic(0, 2, 3), "panic fires once");
+        assert!(plan.deny_allocation());
+        assert!(plan.deny_allocation());
+        assert!(!plan.deny_allocation(), "denial budget drained");
+        assert!(plan.exhausted());
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let a = FaultPlan::seeded(99, 10, 8, 32);
+        let b = FaultPlan::seeded(99, 10, 8, 32);
+        let c = FaultPlan::seeded(100, 10, 8, 32);
+        let site = |p: &FaultPlan| {
+            p.panics
+                .iter()
+                .map(|f| (f.launch, f.phase, f.block, f.thread_in_block))
+                .collect::<Vec<_>>()
+        };
+        let denies = |p: &FaultPlan| {
+            p.denials
+                .iter()
+                .map(|d| (d.launch, d.remaining.load(Ordering::Acquire)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(site(&a), site(&b));
+        assert_eq!(denies(&a), denies(&b));
+        assert!(site(&a) != site(&c) || denies(&a) != denies(&c));
+        // Sites are within the configured grid.
+        for f in &a.panics {
+            assert!(f.launch < 10 && f.block < 8 && f.thread_in_block < 32);
+        }
+    }
+
+    #[test]
+    fn concurrent_consumption_fires_exactly_once() {
+        let plan = FaultPlan::new().with_kernel_panic(0, 0, 0, 0);
+        plan.begin_launch();
+        let fired: u32 = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| s.spawn(|| plan.should_panic(0, 0, 0) as u32))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(fired, 1);
+    }
+}

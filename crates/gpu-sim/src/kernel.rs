@@ -70,6 +70,8 @@ pub struct ThreadCtx<'a> {
     /// Iteration number (0 for plain launches).
     pub iteration: usize,
     pub(crate) counters: &'a mut WorkerCounters,
+    /// Fault plan attached to the launching [`crate::VirtualGpu`], if any.
+    pub(crate) faults: Option<&'a crate::fault::FaultPlan>,
 }
 
 /// Iterator over the work items assigned to one thread.
@@ -214,6 +216,16 @@ impl<'a> ThreadCtx<'a> {
         self.count_atomic();
         a.fetch_or(v, Ordering::AcqRel)
     }
+
+    /// True if the attached [`crate::fault::FaultPlan`] denies a
+    /// device-side allocation issued right now. Allocators (e.g.
+    /// `morph_core`'s bump allocator) consult this in their `try_alloc`
+    /// path so an injected denial is indistinguishable from genuine pool
+    /// exhaustion to the rest of the pipeline.
+    #[inline]
+    pub fn fault_deny_alloc(&self) -> bool {
+        self.faults.is_some_and(|p| p.deny_allocation())
+    }
 }
 
 /// Bounds of chunk `t` of `n` items split over `nt` threads: the first
@@ -244,6 +256,7 @@ mod tests {
             lane: tid,
             iteration: 0,
             counters,
+            faults: None,
         }
     }
 

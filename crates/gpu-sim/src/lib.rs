@@ -60,13 +60,15 @@ pub mod barrier;
 pub mod config;
 pub mod counters;
 pub mod engine;
+pub mod fault;
 pub mod kernel;
 pub mod mem;
 pub mod shared;
 
 pub use config::{BarrierKind, GpuConfig, WorkPartition};
 pub use counters::LaunchStats;
-pub use engine::VirtualGpu;
+pub use engine::{LaunchError, LaunchOutcome, VirtualGpu};
+pub use fault::{FaultPlan, INJECTED_PANIC_MSG};
 pub use kernel::{Decision, Kernel, ThreadCtx};
 pub use mem::{AtomicF32Slice, AtomicF64Slice, AtomicU32Slice, AtomicU64Slice, SharedSlice};
 pub use shared::BlockLocal;

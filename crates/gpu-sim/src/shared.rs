@@ -141,6 +141,7 @@ mod tests {
             lane: 0,
             iteration: 0,
             counters,
+            faults: None,
         }
     }
 

@@ -11,7 +11,7 @@
 //! segments plus an atomic bump allocator, so concurrent virtual threads
 //! can allocate chunks mid-kernel exactly like device-side `malloc`.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::OnceLock;
 
 const INVALID: u32 = u32::MAX;
@@ -48,7 +48,24 @@ pub struct ChunkedAdjacency {
     heads: Vec<AtomicU32>,
     segments: Vec<OnceLock<Vec<Chunk>>>,
     next_chunk: AtomicU32,
+    /// Raised when a chunk allocation was denied (§7.1 overflow flag): the
+    /// host should [`grow_chunks`](ChunkedAdjacency::grow_chunks) and
+    /// relaunch.
+    overflow: AtomicBool,
 }
+
+/// A [`ChunkedAdjacency::try_insert`] failed because the chunk arena is
+/// full; the host must grow the arena and retry the insert.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArenaFull;
+
+impl std::fmt::Display for ArenaFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ChunkedAdjacency chunk arena exhausted")
+    }
+}
+
+impl std::error::Error for ArenaFull {}
 
 impl ChunkedAdjacency {
     /// `nodes` adjacency lists built from chunks of `chunk_size` values,
@@ -63,6 +80,34 @@ impl ChunkedAdjacency {
             heads: (0..nodes).map(|_| AtomicU32::new(INVALID)).collect(),
             segments: (0..segs).map(|_| OnceLock::new()).collect(),
             next_chunk: AtomicU32::new(0),
+            overflow: AtomicBool::new(false),
+        }
+    }
+
+    /// True if some allocation was denied since the last
+    /// [`clear_overflow`](ChunkedAdjacency::clear_overflow).
+    pub fn overflowed(&self) -> bool {
+        self.overflow.load(Ordering::Acquire)
+    }
+
+    /// Host-side: reset the overflow flag before relaunching.
+    pub fn clear_overflow(&self) {
+        self.overflow.store(false, Ordering::Release);
+    }
+
+    /// Current arena capacity in chunks (rounded up to whole segments).
+    pub fn max_chunks(&self) -> usize {
+        self.segments.len() * self.seg_size
+    }
+
+    /// Host-side regrow (§7.1 kernel-host hybrid): extend the arena so at
+    /// least `new_max` chunks fit. Requires `&mut self` — only callable
+    /// between kernel launches, which is exactly the paper's model (the
+    /// host reallocates while no kernel is resident). Shrinking is a no-op.
+    pub fn grow_chunks(&mut self, new_max: usize) {
+        let want = new_max.div_ceil(self.seg_size).max(1);
+        while self.segments.len() < want {
+            self.segments.push(OnceLock::new());
         }
     }
 
@@ -90,25 +135,50 @@ impl ChunkedAdjacency {
         &segment[id as usize % self.seg_size]
     }
 
-    /// Device-heap `malloc`: reserve a fresh chunk id.
-    fn alloc_chunk(&self) -> u32 {
-        let id = self.next_chunk.fetch_add(1, Ordering::AcqRel);
+    /// Device-heap `malloc`: reserve a fresh chunk id, or raise the
+    /// overflow flag and return `None` when the arena is full. A denied
+    /// allocation does not consume an id, so every reserved id stays
+    /// within the capacity that existed when it was granted.
+    fn try_alloc_chunk(&self) -> Option<u32> {
         let cap = (self.segments.len() * self.seg_size) as u32;
-        assert!(
-            id < cap,
-            "ChunkedAdjacency chunk arena exhausted ({cap} chunks); construct with a larger max_chunks"
-        );
-        id
+        match self
+            .next_chunk
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |id| {
+                (id < cap).then(|| id + 1)
+            }) {
+            Ok(id) => Some(id),
+            Err(_) => {
+                self.overflow.store(true, Ordering::Release);
+                None
+            }
+        }
     }
 
     /// Append `v` to `node`'s list (no dedup). `v` must not be `u32::MAX`.
+    ///
+    /// # Panics
+    /// Panics when the chunk arena is exhausted — use
+    /// [`try_push`](ChunkedAdjacency::try_push) from kernel code that can
+    /// recover via the host regrow protocol.
     pub fn push(&self, node: u32, v: u32) {
+        assert!(
+            self.try_push(node, v).is_ok(),
+            "ChunkedAdjacency chunk arena exhausted ({} chunks); construct with a larger max_chunks",
+            self.max_chunks()
+        );
+    }
+
+    /// Fallible [`push`](ChunkedAdjacency::push): `Err(ArenaFull)` when a
+    /// needed chunk cannot be allocated, in which case nothing is appended
+    /// (a full chunk's `len` may overshoot transiently, which readers
+    /// already clamp).
+    pub fn try_push(&self, node: u32, v: u32) -> Result<(), ArenaFull> {
         debug_assert_ne!(v, INVALID);
         let mut cur = {
             let head = &self.heads[node as usize];
             let mut h = head.load(Ordering::Acquire);
             if h == INVALID {
-                let fresh = self.alloc_chunk();
+                let fresh = self.try_alloc_chunk().ok_or(ArenaFull)?;
                 match head.compare_exchange(INVALID, fresh, Ordering::AcqRel, Ordering::Acquire) {
                     Ok(_) => h = fresh,
                     Err(existing) => h = existing, // racer installed one; fresh chunk is leaked-to-arena
@@ -121,12 +191,12 @@ impl ChunkedAdjacency {
             let slot = c.len.fetch_add(1, Ordering::AcqRel) as usize;
             if slot < self.chunk_size {
                 c.vals[slot].store(v, Ordering::Release);
-                return;
+                return Ok(());
             }
             // Chunk full: follow or install the next link.
             let mut nxt = c.next.load(Ordering::Acquire);
             if nxt == INVALID {
-                let fresh = self.alloc_chunk();
+                let fresh = self.try_alloc_chunk().ok_or(ArenaFull)?;
                 match c.next.compare_exchange(INVALID, fresh, Ordering::AcqRel, Ordering::Acquire) {
                     Ok(_) => nxt = fresh,
                     Err(existing) => nxt = existing,
@@ -151,12 +221,29 @@ impl ChunkedAdjacency {
     /// same value a duplicate may slip through (check-then-act race); that
     /// is harmless for monotone propagation and mirrors the GPU code.
     /// Returns `true` if this call appended.
+    ///
+    /// # Panics
+    /// Panics when the chunk arena is exhausted — use
+    /// [`try_insert`](ChunkedAdjacency::try_insert) from kernel code.
     pub fn insert(&self, node: u32, v: u32) -> bool {
         if self.contains(node, v) {
             false
         } else {
             self.push(node, v);
             true
+        }
+    }
+
+    /// Fallible [`insert`](ChunkedAdjacency::insert): `Ok(true)` appended,
+    /// `Ok(false)` already present, `Err(ArenaFull)` when the arena is out
+    /// of chunks (overflow flag raised; the edge is *not* recorded and the
+    /// caller must arrange a host regrow + re-scan).
+    pub fn try_insert(&self, node: u32, v: u32) -> Result<bool, ArenaFull> {
+        if self.contains(node, v) {
+            Ok(false)
+        } else {
+            self.try_push(node, v)?;
+            Ok(true)
         }
     }
 
@@ -288,6 +375,33 @@ mod tests {
         for v in 0..300 {
             adj.push(0, v);
         }
+    }
+
+    #[test]
+    fn exhaustion_raises_overflow_and_grow_recovers() {
+        // 256 chunks of 1 slot each (segment rounding).
+        let mut adj = ChunkedAdjacency::new(1, 1, 1);
+        assert_eq!(adj.max_chunks(), 256);
+        for v in 0..256 {
+            adj.try_push(0, v).unwrap();
+        }
+        assert!(!adj.overflowed());
+        assert_eq!(adj.try_push(0, 256), Err(ArenaFull));
+        assert_eq!(adj.try_insert(0, 256), Err(ArenaFull));
+        assert!(adj.overflowed(), "denied alloc must raise the flag");
+        // Nothing was recorded for the denied values.
+        assert!(!adj.contains(0, 256));
+
+        // Host regrow protocol: clear, grow, re-scan.
+        adj.clear_overflow();
+        adj.grow_chunks(512);
+        assert_eq!(adj.max_chunks(), 512);
+        assert_eq!(adj.try_insert(0, 256), Ok(true));
+        for v in 257..400 {
+            adj.try_push(0, v).unwrap();
+        }
+        assert!(!adj.overflowed());
+        assert_eq!(adj.sorted(0), (0..400).collect::<Vec<_>>());
     }
 
     #[test]

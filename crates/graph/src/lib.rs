@@ -28,7 +28,7 @@ pub mod union_find;
 
 pub use builder::CsrBuilder;
 pub use csr::Csr;
-pub use dyn_adj::ChunkedAdjacency;
+pub use dyn_adj::{ArenaFull, ChunkedAdjacency};
 pub use sparse_bits::SparseBitSet;
 pub use union_find::UnionFind;
 

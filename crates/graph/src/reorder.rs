@@ -101,7 +101,7 @@ mod tests {
     fn permutation_is_a_bijection() {
         let g = random_ring_with_shuffled_ids(100, 7);
         let perm = bfs_permutation(&g);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for &p in &perm {
             assert!(!seen[p as usize]);
             seen[p as usize] = true;

@@ -10,12 +10,22 @@
 //! adjacency lists are never modified, so "the cost of merging increases
 //! with the number of nodes rather than with the number of edges" — the
 //! property that makes the GPU version win on dense graphs (Fig. 11).
+//!
+//! Rounds are driven launch-per-round by
+//! [`morph_core::runtime::drive_recovering`]. Retrying a half-run round is
+//! safe because every value a `best` slot ever holds is the minimum (under
+//! the weight-then-edge-id total order) edge crossing *some* component cut,
+//! so by the cut property it belongs to the MST no matter when the union
+//! is applied — but stale slots must be cleared before the re-run, since a
+//! stale (already-union-ed) minimum can mask the current component minimum
+//! through the `atomicMin` and stop the round count short.
 
 use crate::MstResult;
+use morph_core::runtime::{drive_recovering, DriveError, HostAction, RecoveryOpts, StepReport};
 use morph_core::AdaptiveParallelism;
 use morph_graph::{Csr, UnionFind};
 use morph_gpu_sim::{
-    AtomicU64Slice, BarrierKind, Decision, GpuConfig, Kernel, LaunchStats, ThreadCtx, VirtualGpu,
+    AtomicU64Slice, BarrierKind, GpuConfig, Kernel, LaunchStats, ThreadCtx, VirtualGpu,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
@@ -34,8 +44,8 @@ struct BoruvkaKernel<'a> {
     best: &'a AtomicU64Slice,
     weight: &'a AtomicU64,
     edges: &'a AtomicUsize,
-    changed: AtomicBool,
-    rounds: AtomicUsize,
+    /// Fresh per round: set when this round merged at least two components.
+    changed: &'a AtomicBool,
 }
 
 impl Kernel for BoruvkaKernel<'_> {
@@ -51,9 +61,6 @@ impl Kernel for BoruvkaKernel<'_> {
             // per-component isolation of kernel 2 fuse into one
             // reduction; the reduction tree is the atomicMin).
             0 => {
-                if ctx.tid == 0 {
-                    self.changed.store(false, Ordering::Release);
-                }
                 let mut any = false;
                 for v in ctx.chunked(n) {
                     let v = v as u32;
@@ -110,31 +117,43 @@ impl Kernel for BoruvkaKernel<'_> {
             }
         }
     }
-
-    fn next_iteration(&self, iter: usize) -> Decision {
-        self.rounds.store(iter + 1, Ordering::Release);
-        if self.changed.load(Ordering::Acquire) {
-            Decision::Continue
-        } else {
-            Decision::Stop
-        }
-    }
 }
 
 /// Outcome with virtual-GPU counters.
 pub struct GpuMstOutcome {
     pub result: MstResult,
     pub launch: LaunchStats,
+    /// Failed launches that were re-run.
+    pub retries: u32,
 }
 
 /// Minimum spanning forest on the virtual GPU with `sms` workers.
+///
+/// # Panics
+/// Panics if launches keep failing past the default recovery budgets; use
+/// [`try_mst_with_stats`] for structured errors or fault injection.
 pub fn mst_with_stats(g: &Csr, sms: usize) -> GpuMstOutcome {
+    try_mst_with_stats(g, sms, &RecoveryOpts::default())
+        .unwrap_or_else(|e| panic!("GPU MST failed: {e}"))
+}
+
+/// Fault-tolerant [`mst_with_stats`]: one launch per Boruvka round under
+/// the recovering driver. On a retry (`attempt > 0`) the host clears every
+/// `best` slot first — unions already applied by the half-run round are
+/// kept (each is an MST edge by the cut property), but stale minima must
+/// not shadow the re-run's `atomicMin` reduction.
+pub fn try_mst_with_stats(
+    g: &Csr,
+    sms: usize,
+    recovery: &RecoveryOpts,
+) -> Result<GpuMstOutcome, DriveError> {
     let n = g.num_nodes();
     if n == 0 {
-        return GpuMstOutcome {
+        return Ok(GpuMstOutcome {
             result: MstResult::default(),
             launch: LaunchStats::default(),
-        };
+            retries: 0,
+        });
     }
     let mut edge_src = vec![0u32; g.num_edges()];
     for v in 0..n as u32 {
@@ -146,33 +165,59 @@ pub fn mst_with_stats(g: &Csr, sms: usize) -> GpuMstOutcome {
     let best = AtomicU64Slice::new(n, NONE);
     let weight = AtomicU64::new(0);
     let edges = AtomicUsize::new(0);
-    let k = BoruvkaKernel {
-        g,
-        edge_src: &edge_src,
-        uf: &uf,
-        best: &best,
-        weight: &weight,
-        edges: &edges,
-        changed: AtomicBool::new(false),
-        rounds: AtomicUsize::new(0),
-    };
     let blocks = AdaptiveParallelism::blocks_for_input(sms, n, 4096);
-    let gpu = VirtualGpu::new(GpuConfig {
+    let mut gpu = VirtualGpu::new(GpuConfig {
         num_sms: sms,
         warp_size: 32,
         blocks,
         threads_per_block: 64,
         barrier: BarrierKind::SenseReversing,
     });
-    let launch = gpu.execute(&k);
-    GpuMstOutcome {
+    recovery.arm(&mut gpu);
+
+    let outcome = drive_recovering(&mut gpu, None, &recovery.policy, |gpu, ctx| {
+        if ctx.attempt > 0 {
+            // Clear survivors of the failed attempt (kernel 4 may not have
+            // run); see the module docs for why the unions themselves are
+            // safe to keep.
+            for c in 0..n {
+                best.store_relaxed(c, NONE);
+            }
+        }
+        let changed = AtomicBool::new(false);
+        let k = BoruvkaKernel {
+            g,
+            edge_src: &edge_src,
+            uf: &uf,
+            best: &best,
+            weight: &weight,
+            edges: &edges,
+            changed: &changed,
+        };
+        let stats = gpu.try_launch(&k)?;
+        let action = if changed.load(Ordering::Acquire) {
+            HostAction::Continue
+        } else {
+            HostAction::Stop
+        };
+        Ok(StepReport {
+            stats,
+            action,
+            // A round that merges nothing is the Stop condition, not a
+            // livelock; the rescue ladder is not meaningful here.
+            progressed: true,
+        })
+    })?;
+
+    Ok(GpuMstOutcome {
         result: MstResult {
             weight: weight.load(Ordering::Acquire),
             edges: edges.load(Ordering::Acquire),
-            rounds: k.rounds.load(Ordering::Acquire),
+            rounds: outcome.iterations as usize,
         },
-        launch,
-    }
+        launch: outcome.stats,
+        retries: outcome.retries,
+    })
 }
 
 /// Minimum spanning forest (result only).
@@ -220,6 +265,29 @@ mod tests {
         let r = mst(&g, 4);
         assert!(r.rounds <= 14, "rounds {}", r.rounds);
         assert_eq!(r.edges, 1023);
+    }
+
+    #[test]
+    fn injected_panics_do_not_change_the_forest() {
+        use morph_core::runtime::RecoveryOpts;
+        use morph_gpu_sim::FaultPlan;
+        use std::sync::Arc;
+
+        let g = random_connected(250, 800, 2);
+        let want = kruskal::mst(&g);
+        // One panic per phase of round 1: exercises retry after a partial
+        // min-reduction, after partial unions, and after a partial reset.
+        for phase in 0..3 {
+            let recovery = RecoveryOpts {
+                fault_plan: Some(Arc::new(FaultPlan::new().with_kernel_panic(1, phase, 0, 0))),
+                ..RecoveryOpts::default()
+            };
+            let out = try_mst_with_stats(&g, 4, &recovery)
+                .expect("one panic must be absorbed by a retry");
+            assert_eq!(out.result.weight, want.weight, "phase {phase}");
+            assert_eq!(out.result.edges, want.edges, "phase {phase}");
+            assert_eq!(out.retries, 1, "phase {phase}");
+        }
     }
 
     #[test]

@@ -67,8 +67,8 @@ pub fn mst(g: &Csr, threads: usize, switch_at: usize) -> MstResult {
             }
         });
         let mut merged = 0usize;
-        for c in 0..n {
-            let cand = best[c].swap(NONE, Ordering::AcqRel);
+        for slot in best.iter().take(n) {
+            let cand = slot.swap(NONE, Ordering::AcqRel);
             if cand == NONE {
                 continue;
             }

@@ -68,7 +68,7 @@ impl PtaProblem {
         let mut prob = Self::new(6);
         prob.add(Constraint::AddressOf { p: a, q: x });
         prob.add(Constraint::AddressOf { p: b, q: y });
-        prob.add(Constraint::AddressOf { p: p, q: a });
+        prob.add(Constraint::AddressOf { p, q: a });
         prob.add(Constraint::Store { p, q: b });
         prob.add(Constraint::Copy { p: c, q: a });
         (prob, NAMES)

@@ -12,10 +12,18 @@
 //! The §7.6 divergence optimisation ("we similarly move all pointer nodes
 //! with enabled incoming edges to one side of the array") is applied by
 //! the host between iterations.
+//!
+//! The chunk arena starts lean and grows under the §7.1 kernel-host
+//! protocol: a denied chunk allocation raises an overflow flag, the host
+//! regrows the arena between launches (via
+//! [`morph_core::runtime::drive_recovering`]) and the next phase-0
+//! constraint re-scan re-derives any dropped edge — safe because the
+//! analysis is monotone.
 
 use crate::constraints::{Constraint, PtaProblem};
 use crate::Solution;
 use morph_core::compact::partition_active;
+use morph_core::runtime::{drive_recovering, DriveError, HostAction, RecoveryOpts, StepReport};
 use morph_core::AdaptiveParallelism;
 use morph_graph::sparse_bits::AtomicBitmap;
 use morph_graph::ChunkedAdjacency;
@@ -57,6 +65,26 @@ struct PtaKernel<'a> {
     /// 1 when the node's points-to set changed in the previous iteration.
     dirty: &'a AtomicU32Slice,
     changed: &'a AtomicBool,
+    /// Raised when an edge was dropped because the chunk arena denied an
+    /// allocation (genuine or fault-injected); tells the host to regrow.
+    denied: &'a AtomicBool,
+}
+
+impl PtaKernel<'_> {
+    /// Add `src → dst` unless present. On a denied chunk allocation the
+    /// edge is simply dropped this round: the host regrows the arena and
+    /// the next phase-0 re-scan re-derives it (monotone analysis).
+    fn add_edge(&self, ctx: &ThreadCtx<'_>, dst: u32, src: u32) {
+        if self.incoming.contains(dst, src) {
+            return;
+        }
+        if ctx.fault_deny_alloc() || self.incoming.try_push(dst, src).is_err() {
+            self.denied.store(true, Ordering::Release);
+            return;
+        }
+        self.dirty.store_relaxed(src as usize, 1);
+        self.changed.store(true, Ordering::Release);
+    }
 }
 
 impl Kernel for PtaKernel<'_> {
@@ -74,21 +102,11 @@ impl Kernel for PtaKernel<'_> {
                     match self.complex[i] {
                         Constraint::Load { p, q } => {
                             // p = *q: each pointee v of q feeds p.
-                            self.pts.for_each(q as usize, |v| {
-                                if self.incoming.insert(p, v) {
-                                    self.dirty.store_relaxed(v as usize, 1);
-                                    self.changed.store(true, Ordering::Release);
-                                }
-                            });
+                            self.pts.for_each(q as usize, |v| self.add_edge(ctx, p, v));
                         }
                         Constraint::Store { p, q } => {
                             // *p = q: q feeds each pointee v of p.
-                            self.pts.for_each(p as usize, |v| {
-                                if self.incoming.insert(v, q) {
-                                    self.dirty.store_relaxed(q as usize, 1);
-                                    self.changed.store(true, Ordering::Release);
-                                }
-                            });
+                            self.pts.for_each(p as usize, |v| self.add_edge(ctx, v, q));
                         }
                         _ => unreachable!("complex holds only loads/stores"),
                     }
@@ -132,16 +150,40 @@ pub struct GpuSolveOutcome {
     pub iterations: u64,
     /// Bytes allocated kernel-side for incoming-edge chunks.
     pub edge_bytes: usize,
+    /// Failed launches that were re-run.
+    pub retries: u32,
+    /// Host-side chunk-arena regrows (§7.1 kernel-host round trips).
+    pub regrows: u32,
 }
 
 /// Solve on the virtual GPU with `sms` workers.
+///
+/// # Panics
+/// Panics if launches keep failing past the default recovery budgets; use
+/// [`try_solve_with`] for structured errors or fault injection.
 pub fn solve_with(prob: &PtaProblem, opts: PtaOpts, sms: usize) -> GpuSolveOutcome {
+    try_solve_with(prob, opts, sms, &RecoveryOpts::default())
+        .unwrap_or_else(|e| panic!("GPU points-to analysis failed: {e}"))
+}
+
+/// Fault-tolerant [`solve_with`] under the recovering driver: failed
+/// launches are retried (safe — the analysis is monotone, so a half-run
+/// kernel only leaves behind valid edges and points-to bits) and chunk-
+/// arena exhaustion triggers a host regrow + re-scan.
+pub fn try_solve_with(
+    prob: &PtaProblem,
+    opts: PtaOpts,
+    sms: usize,
+    recovery: &RecoveryOpts,
+) -> Result<GpuSolveOutcome, DriveError> {
     let n = prob.num_vars;
     let pts = AtomicBitmap::new(n, n.max(1));
-    // The chunk directory is lazily populated (device-heap model), so cap
-    // generously: the edge set of Andersen analysis is worst-case O(n²).
-    let max_chunks = n * 2 + n * n / opts.chunk_size.max(1) + 4096;
-    let incoming = ChunkedAdjacency::new(n, opts.chunk_size, max_chunks);
+    // Start the chunk arena lean (§7.1 kernel-host: "allocate a little
+    // more than half of the available memory…and grow on overflow"): the
+    // recovering driver regrows it on demand, so no worst-case O(n²)
+    // pre-allocation is needed.
+    let max_chunks = n + 64;
+    let mut incoming = ChunkedAdjacency::new(n, opts.chunk_size, max_chunks);
     let dirty = AtomicU32Slice::new(n, 0);
 
     let mut complex: Vec<Constraint> = Vec::new();
@@ -153,7 +195,12 @@ pub fn solve_with(prob: &PtaProblem, opts: PtaOpts, sms: usize) -> GpuSolveOutco
             }
             Constraint::Copy { p, q } => {
                 if p != q {
-                    incoming.push(p, q);
+                    // Host-side setup may outgrow the lean arena; regrow
+                    // inline (host code never needs the overflow protocol).
+                    while incoming.try_push(p, q).is_err() {
+                        incoming.clear_overflow();
+                        incoming.grow_chunks(incoming.max_chunks() * 2);
+                    }
                     dirty.store_relaxed(q as usize, 1);
                 }
             }
@@ -175,12 +222,15 @@ pub fn solve_with(prob: &PtaProblem, opts: PtaOpts, sms: usize) -> GpuSolveOutco
         threads_per_block: sched.initial_tpb,
         barrier: BarrierKind::SenseReversing,
     });
+    recovery.arm(&mut gpu);
 
-    let mut total = LaunchStats::default();
-    let mut iterations = 0u64;
-    loop {
-        gpu.set_geometry(blocks, sched.tpb_for_iteration(iterations));
+    let outcome = drive_recovering(&mut gpu, Some(sched), &recovery.policy, |gpu, ctx| {
+        if let Some(new_max) = ctx.regrow_to {
+            incoming.clear_overflow();
+            incoming.grow_chunks(new_max);
+        }
         let changed = AtomicBool::new(false);
+        let denied = AtomicBool::new(false);
         let k = PtaKernel {
             prob,
             complex: &complex,
@@ -189,9 +239,20 @@ pub fn solve_with(prob: &PtaProblem, opts: PtaOpts, sms: usize) -> GpuSolveOutco
             order: &order,
             dirty: &dirty,
             changed: &changed,
+            denied: &denied,
         };
-        total.absorb(&gpu.launch(&k));
-        iterations += 1;
+        let stats = gpu.try_launch(&k)?;
+
+        if incoming.overflowed() || denied.load(Ordering::Acquire) {
+            // A dropped edge means the iteration is incomplete: regrow and
+            // re-run it. Dirty marks are left un-aged so already-published
+            // growth stays visible to the re-run.
+            return Ok(StepReport {
+                stats,
+                action: HostAction::Regrow(incoming.max_chunks() * 2),
+                progressed: true,
+            });
+        }
 
         // Host: age dirty marks (2 → 1 → 0) so a node stays enabled for
         // exactly one iteration after its set changed.
@@ -206,10 +267,12 @@ pub fn solve_with(prob: &PtaProblem, opts: PtaOpts, sms: usize) -> GpuSolveOutco
                 _ => {}
             }
         }
-        if !changed.load(Ordering::Acquire) && !any_dirty {
-            break;
-        }
-        if opts.divergence_sort {
+        let action = if !changed.load(Ordering::Acquire) && !any_dirty {
+            HostAction::Stop
+        } else {
+            HostAction::Continue
+        };
+        if opts.divergence_sort && action == HostAction::Continue {
             // §7.6: nodes with enabled incoming edges to one side.
             let mut ids = order.to_vec();
             partition_active(&mut ids, |v| dirty.load_relaxed(v as usize) != 0);
@@ -217,15 +280,24 @@ pub fn solve_with(prob: &PtaProblem, opts: PtaOpts, sms: usize) -> GpuSolveOutco
                 order.store_relaxed(i, v);
             }
         }
-    }
+        Ok(StepReport {
+            stats,
+            action,
+            // Fixpoint iterations terminate by running out of change, which
+            // is exactly the Stop condition above — a livelock rescue is
+            // never needed, only retry/regrow.
+            progressed: true,
+        })
+    })?;
 
-    total.iterations = iterations;
-    GpuSolveOutcome {
+    Ok(GpuSolveOutcome {
         solution: (0..n).map(|v| pts.row_to_vec(v)).collect(),
-        launch: total,
-        iterations,
+        launch: outcome.stats,
+        iterations: outcome.iterations,
         edge_bytes: incoming.bytes_allocated(),
-    }
+        retries: outcome.retries,
+        regrows: outcome.regrows,
+    })
 }
 
 /// Solve with default options.
@@ -277,6 +349,57 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn injected_alloc_denials_regrow_and_match_serial() {
+        use morph_gpu_sim::FaultPlan;
+        use std::sync::Arc;
+
+        // Load/store constraints force kernel-side edge allocations.
+        let mut prob = PtaProblem::new(8);
+        for i in 0..7u32 {
+            prob.add(Constraint::AddressOf { p: i, q: i + 1 });
+        }
+        prob.add(Constraint::Load { p: 6, q: 0 });
+        prob.add(Constraint::Store { p: 0, q: 5 });
+        prob.add(Constraint::Load { p: 7, q: 6 });
+        let want = crate::serial::solve(&prob);
+
+        let recovery = RecoveryOpts {
+            fault_plan: Some(Arc::new(FaultPlan::new().with_alloc_denial(0, 2))),
+            ..RecoveryOpts::default()
+        };
+        let got = try_solve_with(&prob, PtaOpts::default(), 2, &recovery)
+            .expect("denials must be absorbed by regrows");
+        assert_eq!(got.solution, want);
+        assert!(got.regrows >= 1, "a denied alloc must trigger a regrow");
+    }
+
+    #[test]
+    fn tiny_arena_grows_on_demand() {
+        use rand::prelude::*;
+        // A dense-ish random instance overflowing the lean initial arena
+        // exercises the genuine (non-injected) regrow path.
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 40;
+        let mut prob = PtaProblem::new(n);
+        for _ in 0..400 {
+            let p = rng.gen_range(0..n as u32);
+            let q = rng.gen_range(0..n as u32);
+            prob.add(match rng.gen_range(0..4) {
+                0 => Constraint::AddressOf { p, q },
+                1 => Constraint::Copy { p, q },
+                2 => Constraint::Load { p, q },
+                _ => Constraint::Store { p, q },
+            });
+        }
+        let opts = PtaOpts {
+            chunk_size: 1, // one edge per chunk ⇒ maximal arena pressure
+            ..PtaOpts::default()
+        };
+        let got = solve_with(&prob, opts, 3);
+        assert_eq!(got.solution, crate::serial::solve(&prob));
     }
 
     #[test]

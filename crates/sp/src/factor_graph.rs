@@ -186,8 +186,7 @@ impl FactorGraph {
             morph_core::deletion::compact_live(&self.clause_deleted, self.num_clauses);
         let mut clause_var = vec![EMPTY; live * self.k];
         let mut clause_neg = vec![false; live * self.k];
-        for old in 0..self.num_clauses {
-            let new = remap[old];
+        for (old, &new) in remap.iter().enumerate() {
             if new == u32::MAX {
                 continue;
             }
@@ -351,8 +350,7 @@ mod tests {
         assert_eq!(remap.len(), 5);
         assert_eq!(remap.iter().filter(|&&r| r != u32::MAX).count(), before_live);
         // Per-clause literal multisets survive the remap.
-        for old in 0..5 {
-            let new = remap[old];
+        for (old, &new) in remap.iter().enumerate() {
             if new == u32::MAX {
                 continue;
             }

@@ -1,31 +1,31 @@
 //! Virtual-GPU SP engine (paper §3 "GPU Implementation", §6.3).
 //!
-//! A persistent two-phase kernel: phase 0 refreshes the per-literal cached
-//! products (one thread per literal node), phase 1 updates the surveys of
-//! every live clause (one thread per clause node) using the **cached**
-//! O(1) products — the optimisation the paper credits for the GPU's
-//! near-linear scaling in K (Fig. 9). The factor-graph split into separate
-//! clause and literal arrays (§6.3) is what makes this two-kernel shape
-//! natural. Threads-per-block is fixed at 1024 "because the graph size
-//! mostly remains constant" (§7.4).
+//! A two-phase kernel launched once per sweep: phase 0 refreshes the
+//! per-literal cached products (one thread per literal node), phase 1
+//! updates the surveys of every live clause (one thread per clause node)
+//! using the **cached** O(1) products — the optimisation the paper credits
+//! for the GPU's near-linear scaling in K (Fig. 9). The factor-graph split
+//! into separate clause and literal arrays (§6.3) is what makes this
+//! two-kernel shape natural. Threads-per-block is fixed "because the graph
+//! size mostly remains constant" (§7.4).
+//!
+//! Sweeps are driven by `morph_core::runtime::drive_recovering`: a sweep
+//! is idempotent (it recomputes caches and surveys from the current state),
+//! so a launch that dies mid-sweep is simply re-launched.
 
 use crate::factor_graph::FactorGraph;
 use crate::formula::Formula;
 use crate::solver::{run_solver, SolveOutcome, SolveStats, SpParams};
 use crate::surveys::{recompute_var_cache, update_clause, Surveys};
+use morph_core::runtime::{drive_recovering, DriveError, HostAction, RecoveryOpts, StepReport};
 use morph_core::AdaptiveParallelism;
-use morph_gpu_sim::{
-    BarrierKind, Decision, GpuConfig, Kernel, LaunchStats, ThreadCtx, VirtualGpu,
-};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use morph_gpu_sim::{BarrierKind, GpuConfig, Kernel, LaunchStats, ThreadCtx, VirtualGpu};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 struct SurveyKernel<'a> {
     fg: &'a FactorGraph,
     s: &'a Surveys,
-    eps: f64,
-    max_sweeps: usize,
     delta_bits: AtomicU64,
-    sweeps: AtomicUsize,
 }
 
 impl Kernel for SurveyKernel<'_> {
@@ -37,9 +37,6 @@ impl Kernel for SurveyKernel<'_> {
         match phase {
             // Literal kernel: refresh cached products.
             0 => {
-                if ctx.tid == 0 {
-                    self.delta_bits.store(0, Ordering::Release);
-                }
                 let mut any = false;
                 for v in ctx.chunked(self.fg.num_vars) {
                     recompute_var_cache(self.fg, self.s, v as u32);
@@ -67,20 +64,14 @@ impl Kernel for SurveyKernel<'_> {
             }
         }
     }
-
-    fn next_iteration(&self, iter: usize) -> Decision {
-        self.sweeps.store(iter + 1, Ordering::Release);
-        let delta = f64::from_bits(self.delta_bits.load(Ordering::Acquire));
-        if delta < self.eps || iter + 1 >= self.max_sweeps {
-            Decision::Stop
-        } else {
-            Decision::Continue
-        }
-    }
 }
 
-/// Run one propagation phase persistently on the virtual GPU; returns
+/// Run one propagation phase to convergence on the virtual GPU; returns
 /// `(sweeps, launch stats)`.
+///
+/// # Panics
+/// Panics if launches keep failing past the default recovery budgets; use
+/// [`try_propagate`] for structured errors or fault injection.
 pub fn propagate(
     fg: &FactorGraph,
     s: &Surveys,
@@ -88,8 +79,22 @@ pub fn propagate(
     max_sweeps: usize,
     sms: usize,
 ) -> (usize, LaunchStats) {
+    try_propagate(fg, s, eps, max_sweeps, sms, &RecoveryOpts::default())
+        .unwrap_or_else(|e| panic!("GPU survey propagation failed: {e}"))
+}
+
+/// Fault-tolerant [`propagate`]: one launch per sweep under the recovering
+/// driver, with failed sweeps re-launched (bounded by the policy).
+pub fn try_propagate(
+    fg: &FactorGraph,
+    s: &Surveys,
+    eps: f64,
+    max_sweeps: usize,
+    sms: usize,
+    recovery: &RecoveryOpts,
+) -> Result<(usize, LaunchStats), DriveError> {
     let blocks = AdaptiveParallelism::blocks_for_input(sms, fg.num_clauses, 1024);
-    let gpu = VirtualGpu::new(GpuConfig {
+    let mut gpu = VirtualGpu::new(GpuConfig {
         num_sms: sms,
         warp_size: 32,
         blocks,
@@ -98,16 +103,32 @@ pub fn propagate(
         // so we keep blocks×tpb within a few× the worker count for speed.
         barrier: BarrierKind::SenseReversing,
     });
-    let k = SurveyKernel {
-        fg,
-        s,
-        eps,
-        max_sweeps: max_sweeps.max(1),
-        delta_bits: AtomicU64::new(0),
-        sweeps: AtomicUsize::new(0),
-    };
-    let stats = gpu.execute(&k);
-    (k.sweeps.load(Ordering::Acquire), stats)
+    recovery.arm(&mut gpu);
+    let max_sweeps = max_sweeps.max(1);
+    let mut sweeps = 0usize;
+    let outcome = drive_recovering(&mut gpu, None, &recovery.policy, |gpu, _ctx| {
+        let k = SurveyKernel {
+            fg,
+            s,
+            delta_bits: AtomicU64::new(0),
+        };
+        let stats = gpu.try_launch(&k)?;
+        sweeps += 1;
+        let delta = f64::from_bits(k.delta_bits.load(Ordering::Acquire));
+        let action = if delta < eps || sweeps >= max_sweeps {
+            HostAction::Stop
+        } else {
+            HostAction::Continue
+        };
+        Ok(StepReport {
+            stats,
+            action,
+            // Numerical convergence has its own bound (max_sweeps); the
+            // livelock watchdog is not meaningful here.
+            progressed: true,
+        })
+    })?;
+    Ok((sweeps, outcome.stats))
 }
 
 /// Solve `f` on the virtual GPU with `sms` workers.
@@ -154,6 +175,29 @@ mod tests {
         let (out, _) = solve(&f, &SpParams::default(), 2);
         if let SolveOutcome::Sat(a) = out {
             assert!(f.eval(&a));
+        }
+    }
+
+    #[test]
+    fn injected_fault_does_not_change_the_result() {
+        use morph_gpu_sim::FaultPlan;
+        use std::sync::Arc;
+
+        let f = random_ksat(200, 3.5, 3, 23);
+        let fg = FactorGraph::new(&f);
+        let clean = Surveys::init(&fg, 5);
+        let (clean_sweeps, _) = propagate(&fg, &clean, 1e-3, 300, 2);
+
+        let faulty = Surveys::init(&fg, 5);
+        let recovery = RecoveryOpts {
+            fault_plan: Some(Arc::new(FaultPlan::new().with_kernel_panic(1, 0, 0, 0))),
+            ..RecoveryOpts::default()
+        };
+        let (sweeps, _) = try_propagate(&fg, &faulty, 1e-3, 300, 2, &recovery)
+            .expect("one panic must be absorbed by a retry");
+        assert_eq!(sweeps, clean_sweeps);
+        for e in 0..fg.num_edge_slots() {
+            assert_eq!(clean.get(e).to_bits(), faulty.get(e).to_bits(), "edge {e}");
         }
     }
 }

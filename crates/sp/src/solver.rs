@@ -130,8 +130,8 @@ pub fn run_solver(
             return SolveOutcome::GaveUp;
         };
         let mut assign = vec![false; f.num_vars];
-        for v in 0..f.num_vars {
-            assign[v] = fg.var_state.load(v) == FIXED_TRUE;
+        for (v, a) in assign.iter_mut().enumerate() {
+            *a = fg.var_state.load(v) == FIXED_TRUE;
         }
         for (rv, &ov) in sub.iter().zip(&back) {
             assign[ov as usize] = *rv;
@@ -189,6 +189,9 @@ pub fn run_solver(
     stats.wall = start.elapsed();
     (result, stats)
 }
+
+#[cfg(test)]
+pub(crate) use tests::random_ksat;
 
 #[cfg(test)]
 mod tests {
@@ -320,6 +323,3 @@ mod tests {
         assert_eq!(stats.rounds, 1, "core should be empty after peeling");
     }
 }
-
-#[cfg(test)]
-pub(crate) use tests::random_ksat;

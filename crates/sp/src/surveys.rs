@@ -64,8 +64,7 @@ impl Surveys {
     /// deletion): `remap[old_clause] = new_clause` or `u32::MAX`.
     pub fn remapped(&self, old: &FactorGraph, new: &FactorGraph, remap: &[u32]) -> Self {
         let mut eta = vec![0.0f64; new.num_edge_slots()];
-        for a in 0..old.num_clauses {
-            let na = remap[a];
+        for (a, &na) in remap.iter().enumerate() {
             if na == u32::MAX {
                 continue;
             }

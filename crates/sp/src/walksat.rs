@@ -18,9 +18,9 @@ pub fn walksat(f: &Formula, max_flips: usize, noise: f64, seed: u64) -> Option<V
 /// A single WalkSAT descent.
 fn walksat_once(f: &Formula, max_flips: usize, noise: f64, seed: u64) -> Option<Vec<bool>> {
     if f.num_vars == 0 {
-        return if f.clauses.iter().all(|c| !c.is_empty()) && f.num_clauses() == 0 {
-            Some(Vec::new())
-        } else if f.num_clauses() == 0 {
+        // With no variables, only the empty formula is satisfiable (an
+        // empty clause would make num_clauses() non-zero and unsat).
+        return if f.num_clauses() == 0 {
             Some(Vec::new())
         } else {
             None

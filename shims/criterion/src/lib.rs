@@ -1,0 +1,204 @@
+//! Vendored offline subset of `criterion`.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the slice of the criterion API its benches use:
+//! `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size,
+//! bench_function, bench_with_input, finish}`, `BenchmarkId::new`,
+//! `Bencher::iter` and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is intentionally simple: each benchmark runs a short warm-up
+//! then `sample_size` timed samples, and the per-iteration median is printed
+//! to stdout. There is no statistical analysis, plotting, or HTML report —
+//! the benches exist to compare engine configurations relative to each
+//! other, and a median over a fixed sample count serves that.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self(format!("{function_name}/{parameter}"))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// Hands the routine-under-measurement to the harness.
+pub struct Bencher {
+    samples: usize,
+    median: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping the median over the configured sample count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up (also primes allocator / caches the way criterion does).
+        black_box(routine());
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(routine());
+                start.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        self.median = Some(times[times.len() / 2]);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark (criterion's default is 100; benches in this
+    /// workspace lower it for the heavy mesh/graph workloads).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            median: None,
+        };
+        f(&mut b);
+        self.report(&id, b.median);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            median: None,
+        };
+        f(&mut b, input);
+        self.report(&id, b.median);
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, median: Option<Duration>) {
+        match median {
+            Some(t) => println!("{}/{}  median {:?}  ({} samples)", self.name, id, t, self.sample_size),
+            None => println!("{}/{}  (no measurement: Bencher::iter never called)", self.name, id),
+        }
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// Identity function opaque to the optimizer.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_measures() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut runs = 0u32;
+        g.bench_function("counted", |b| {
+            b.iter(|| runs += 1);
+        });
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2));
+        });
+        g.finish();
+    }
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("direct", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    criterion_group!(benches, target);
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        benches();
+    }
+}

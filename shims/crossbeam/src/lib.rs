@@ -1,0 +1,128 @@
+//! Vendored offline subset of `crossbeam`.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the tiny slice of the crossbeam API it actually uses:
+//! [`utils::CachePadded`] (false-sharing avoidance for the virtual-GPU
+//! barrier and per-block shared memory) and [`queue::SegQueue`] (the
+//! free-list behind triangle/vertex recycling). Semantics match the real
+//! crate for these uses; performance characteristics are close enough for a
+//! simulator (`SegQueue` here is a mutexed deque, not a lock-free segment
+//! queue).
+
+pub mod utils {
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to (at least) a cache-line boundary so that
+    /// adjacent values never share a line.
+    #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        pub const fn new(value: T) -> Self {
+            Self { value }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            Self::new(value)
+        }
+    }
+}
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Unbounded MPMC FIFO queue. The real crossbeam implementation is
+    /// lock-free; this vendored stand-in is a mutexed deque with the same
+    /// API and linearizable behaviour.
+    #[derive(Debug, Default)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        pub const fn new() -> Self {
+            Self {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        pub fn push(&self, value: T) {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).push_back(value);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).pop_front()
+        }
+
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queue::SegQueue;
+    use super::utils::CachePadded;
+
+    #[test]
+    fn cache_padded_derefs_and_aligns() {
+        let p = CachePadded::new(7u32);
+        assert_eq!(*p, 7);
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+        assert_eq!(CachePadded::new(3u64).into_inner(), 3);
+    }
+
+    #[test]
+    fn seg_queue_fifo_across_threads() {
+        let q = SegQueue::new();
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let q = &q;
+                s.spawn(move || {
+                    for i in 0..100 {
+                        q.push(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(q.len(), 400);
+        let mut seen = Vec::new();
+        while let Some(v) = q.pop() {
+            seen.push(v);
+        }
+        seen.sort_unstable();
+        let want: Vec<u32> = (0..4u32).flat_map(|t| (0..100).map(move |i| t * 1000 + i)).collect();
+        let mut want = want;
+        want.sort_unstable();
+        assert_eq!(seen, want);
+        assert!(q.is_empty());
+    }
+}

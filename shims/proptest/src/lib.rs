@@ -1,0 +1,411 @@
+//! Vendored offline subset of `proptest`.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the slice of the proptest API its property tests use:
+//! the `proptest!` macro (with `#![proptest_config(...)]`), strategies for
+//! numeric ranges / tuples / `prop::collection::vec` / `any::<bool>()` /
+//! `.prop_map(...)`, and the `prop_assert!`/`prop_assert_eq!` macros.
+//!
+//! Semantics differ from the real crate in two deliberate ways: cases are
+//! generated from a deterministic per-test seed (reproducible by
+//! construction, no `PROPTEST_*` env handling), and there is **no input
+//! shrinking** — a failing case reports its case index and message only.
+//! For this workspace's model-checking style tests those are acceptable
+//! trade-offs.
+
+use std::marker::PhantomData;
+
+pub mod test_runner {
+    use rand::prelude::*;
+
+    /// Per-test configuration (`ProptestConfig` in the prelude).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// A failed `prop_assert!` — carried as an `Err` so assertions compose
+    /// with `?`/`return` inside test bodies exactly like the real crate.
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic per-(test, case) generator used by strategy sampling.
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            // FNV-1a over the test name keeps distinct tests on distinct
+            // streams without any runtime randomness.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Self(StdRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+        }
+
+        pub fn inner(&mut self) -> &mut StdRng {
+            &mut self.0
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.inner().gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Element-count bound for [`vec`]; built from a `usize` or a
+    /// half-open `Range<usize>`.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self(n..n + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            Self(r)
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.size.0.is_empty() {
+                self.size.0.start
+            } else {
+                rng.inner().gen_range(self.size.0.clone())
+            };
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.inner().gen()
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.inner().gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize);
+
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// `any::<T>()` — the "whole domain" strategy for simple types.
+pub fn any<T: arbitrary::Arbitrary>() -> arbitrary::Any<T> {
+    arbitrary::Any(PhantomData)
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_cases! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                $( let $arg = $strat; )+
+                for __case in 0..__config.cases {
+                    let mut __rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), __case);
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&$arg, &mut __rng);
+                    )+
+                    let __result: $crate::test_runner::TestCaseResult = (|| {
+                        { $body };
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(e) = __result {
+                        panic!(
+                            "proptest '{}' failed at case {}/{}: {}",
+                            stringify!($name),
+                            __case,
+                            __config.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(__l == __r, $($fmt)+);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l != __r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            __l
+        );
+    }};
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+        #[test]
+        fn ranges_and_tuples_stay_in_bounds(
+            a in 3u32..9,
+            pair in (0usize..4, -2.0f64..2.0),
+        ) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!(pair.0 < 4);
+            prop_assert!((-2.0..2.0).contains(&pair.1), "{} out of range", pair.1);
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(
+            v in prop::collection::vec((0u32..10, any::<bool>()), 2..7),
+        ) {
+            prop_assert!((2..7).contains(&v.len()));
+            for (x, _b) in &v {
+                prop_assert!(*x < 10);
+            }
+        }
+
+        #[test]
+        fn prop_map_transforms(x in 0u32..100) {
+            // Use via an inline strategy to exercise Map.
+            let doubled = (0u32..50).prop_map(|v| v * 2);
+            let mut rng = crate::test_runner::TestRng::for_case("inner", x);
+            let d = doubled.sample(&mut rng);
+            prop_assert!(d % 2 == 0 && d < 100);
+        }
+
+        #[test]
+        fn early_return_ok_is_allowed(x in 0u32..10) {
+            if x < 10 {
+                return Ok(());
+            }
+            prop_assert!(false, "unreachable");
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let s = (0u64..1_000_000, 0.0f64..1.0);
+        let a: Vec<_> = (0..10)
+            .map(|c| s.sample(&mut crate::test_runner::TestRng::for_case("t", c)))
+            .collect();
+        let b: Vec<_> = (0..10)
+            .map(|c| s.sample(&mut crate::test_runner::TestRng::for_case("t", c)))
+            .collect();
+        assert_eq!(a, b);
+        assert!(a.windows(2).any(|w| w[0] != w[1]), "stream should vary across cases");
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    // The macro expands a nested #[test] fn that cargo cannot collect;
+    // here it is invoked purely for its body.
+    #[allow(unnameable_test_items)]
+    fn failing_property_panics_with_case_info() {
+        proptest! {
+            #[test]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100);
+            }
+        }
+        always_fails();
+    }
+}
