@@ -1,0 +1,153 @@
+//! `trace-report` — record and render morph-trace streams.
+//!
+//! Two subcommands:
+//!
+//! ```text
+//! trace-report run <dmr|sp|pta|mst> <out.jsonl>   # small traced pipeline run
+//! trace-report report <in.jsonl> [--csv]          # render timeline / waste
+//! ```
+//!
+//! `run` attaches a [`JsonlSink`] to one small pipeline per algorithm via
+//! `RecoveryOpts::tracer`, producing a parseable JSONL stream (the CI trace
+//! smoke job runs exactly this). `report` folds the stream back through
+//! [`TraceReport`] into the paper-shaped views: a Fig. 2-style per-iteration
+//! timeline, per-phase kernel histograms, and the §7 waste breakdown
+//! (aborted speculation, idle lanes, retry wall time). `--csv` emits the
+//! raw timeline and algorithm series as CSV instead of text tables.
+
+use morph_core::runtime::RecoveryOpts;
+use morph_dmr::profile::parallelism_profile_traced;
+use morph_dmr::DmrOpts;
+use morph_sp::surveys::Surveys;
+use morph_sp::FactorGraph;
+use morph_trace::{parse_jsonl, JsonlSink, TraceReport, Tracer};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: trace-report run <dmr|sp|pta|mst> <out.jsonl>");
+    eprintln!("       trace-report report <in.jsonl> [--csv]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => match (args.get(1), args.get(2)) {
+            (Some(algo), Some(path)) => run(algo, path),
+            _ => usage(),
+        },
+        Some("report") => match args.get(1) {
+            Some(path) => report(path, args.iter().any(|a| a == "--csv")),
+            None => usage(),
+        },
+        _ => usage(),
+    }
+}
+
+/// Run one small pipeline with a JSONL sink attached through the
+/// recovering driver, so the stream contains launch spans, per-phase
+/// counter deltas, recovery decisions and algorithm iteration markers.
+fn run(algo: &str, path: &str) -> ExitCode {
+    let sink = match JsonlSink::create(path) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("trace-report: cannot create {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let tracer = Tracer::new(Arc::clone(&sink) as _);
+    let recovery = RecoveryOpts {
+        tracer: tracer.clone(),
+        ..RecoveryOpts::default()
+    };
+
+    let outcome: Result<(), String> = match algo {
+        "dmr" => {
+            let mut mesh = morph_workloads::mesh::random_mesh::<f64>(400, 7);
+            morph_dmr::gpu::try_refine_gpu(&mut mesh, DmrOpts::default(), 2, &recovery)
+                .map(|out| {
+                    eprintln!(
+                        "dmr: {} iterations, {} refined",
+                        out.iterations, out.stats.refined
+                    );
+                })
+                .map_err(|e| e.to_string())
+                .map(|()| {
+                    // Also record the ParaMeter-style Fig. 2 series so the
+                    // report's `dmr.profile/parallelism` view is populated.
+                    let mut mesh = morph_workloads::mesh::random_mesh::<f64>(400, 7);
+                    let profile = parallelism_profile_traced(&mut mesh, &tracer);
+                    eprintln!("dmr.profile: {} steps", profile.len());
+                })
+        }
+        "sp" => {
+            let f = morph_workloads::ksat::random_ksat(200, 700, 3, 23);
+            let fg = FactorGraph::new(&f);
+            let s = Surveys::init(&fg, 5);
+            morph_sp::gpu::try_propagate(&fg, &s, 1e-3, 60, 2, &recovery)
+                .map(|(sweeps, _)| eprintln!("sp: {sweeps} sweeps"))
+                .map_err(|e| e.to_string())
+        }
+        "pta" => {
+            let prob = morph_workloads::pta::synthetic(80, 220, 5);
+            morph_pta::gpu::try_solve_with(&prob, morph_pta::gpu::PtaOpts::default(), 2, &recovery)
+                .map(|out| eprintln!("pta: {} iterations", out.iterations))
+                .map_err(|e| e.to_string())
+        }
+        "mst" => {
+            let g = morph_workloads::graphs::random_graph(300, 900, 3);
+            morph_mst::gpu::try_mst_with_stats(&g, 2, &recovery)
+                .map(|out| eprintln!("mst: {} rounds", out.result.rounds))
+                .map_err(|e| e.to_string())
+        }
+        other => {
+            eprintln!("trace-report: unknown algorithm {other:?}");
+            return usage();
+        }
+    };
+    if let Err(e) = outcome {
+        eprintln!("trace-report: {algo} pipeline failed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    tracer.flush();
+    if let Some(err) = sink.io_error() {
+        eprintln!("trace-report: I/O error writing {path}: {err}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {} events to {path}", sink.lines());
+    ExitCode::SUCCESS
+}
+
+/// Parse a recorded stream and render the aggregated views. Any
+/// unparseable line is a hard failure — the CI smoke job relies on this
+/// to validate the stream.
+fn report(path: &str, csv: bool) -> ExitCode {
+    let data = match std::fs::read_to_string(path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("trace-report: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (events, bad) = parse_jsonl(&data);
+    if !bad.is_empty() {
+        eprintln!("trace-report: {path}: unparseable lines: {bad:?}");
+        return ExitCode::FAILURE;
+    }
+    if events.is_empty() {
+        eprintln!("trace-report: {path}: no events");
+        return ExitCode::FAILURE;
+    }
+    let rpt = TraceReport::from_events(&events);
+    if csv {
+        print!("{}", rpt.timeline_csv());
+        print!("{}", rpt.series_csv());
+    } else {
+        print!("{}", rpt.render_timeline());
+        print!("{}", rpt.render_phases());
+        print!("{}", rpt.render_waste());
+    }
+    ExitCode::SUCCESS
+}

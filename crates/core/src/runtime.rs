@@ -26,8 +26,9 @@
 
 use crate::adaptive::AdaptiveParallelism;
 use morph_gpu_sim::{FaultPlan, Kernel, LaunchError, LaunchStats, VirtualGpu};
+use morph_trace::{RecoveryKind, TraceEvent, Tracer};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// What the host decides after each kernel launch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -118,15 +119,21 @@ pub struct RecoveryOpts {
     /// Barrier watchdog timeout; stalled launches surface as
     /// [`morph_gpu_sim::LaunchError::BarrierStall`] and are retried.
     pub barrier_watchdog: Option<Duration>,
+    /// Tracer to attach to the GPU the pipeline builds. Launch spans are
+    /// emitted by the engine; [`drive_recovering`] emits one `Recovery`
+    /// event per retry/regrow/rescue decision through the same handle.
+    /// Defaults to [`Tracer::disabled`] (no events, no overhead).
+    pub tracer: Tracer,
 }
 
 impl RecoveryOpts {
-    /// Arm the fault plan and watchdog on a freshly built GPU.
+    /// Arm the fault plan, watchdog and tracer on a freshly built GPU.
     pub fn arm(&self, gpu: &mut VirtualGpu) {
         if let Some(plan) = &self.fault_plan {
             gpu.set_fault_plan(Arc::clone(plan));
         }
         gpu.set_barrier_watchdog(self.barrier_watchdog);
+        gpu.set_tracer(self.tracer.clone());
     }
 }
 
@@ -265,6 +272,7 @@ pub fn drive_recovering(
     mut step: impl FnMut(&mut VirtualGpu, &StepCtx) -> Result<StepReport, LaunchError>,
 ) -> Result<DriveOutcome, DriveError> {
     let mut out = DriveOutcome::default();
+    let tracer = gpu.tracer().clone();
     let blocks = gpu.config().blocks;
     let normal_tpb = gpu.config().threads_per_block;
     let mut iteration = 0u64;
@@ -288,21 +296,45 @@ pub fn drive_recovering(
             regrow_to: regrow_to.take(),
             rescue,
         };
+        let step_start = Instant::now();
         let report = match step(gpu, &ctx) {
             Ok(report) => report,
             Err(error) => {
+                // A failed attempt is pure recovery overhead: the whole
+                // wall time of the dead launch is retry-attributed.
+                out.stats.retry_wall += step_start.elapsed();
                 attempt += 1;
                 out.retries += 1;
                 if attempt > policy.max_retries {
+                    tracer.emit(|| TraceEvent::Recovery {
+                        iteration,
+                        attempt: attempt as u64,
+                        kind: RecoveryKind::GiveUp,
+                        capacity: 0,
+                        detail: error.to_string(),
+                    });
                     return Err(DriveError::Launch {
                         iteration,
                         attempts: attempt,
                         error,
                     });
                 }
+                tracer.emit(|| TraceEvent::Recovery {
+                    iteration,
+                    attempt: attempt as u64,
+                    kind: RecoveryKind::Retry,
+                    capacity: 0,
+                    detail: error.to_string(),
+                });
                 continue;
             }
         };
+        if ctx.attempt > 0 {
+            // The successful re-run of a retried iteration would not have
+            // happened on a clean run either: its launch time is part of
+            // the recovery bill.
+            out.stats.retry_wall += report.stats.wall;
+        }
 
         out.stats.absorb(&report.stats);
         if report.progressed {
@@ -328,19 +360,46 @@ pub fn drive_recovering(
             HostAction::Regrow(capacity) => {
                 out.regrows += 1;
                 if out.regrows > policy.max_regrows {
+                    tracer.emit(|| TraceEvent::Recovery {
+                        iteration,
+                        attempt: attempt as u64,
+                        kind: RecoveryKind::GiveUp,
+                        capacity: capacity as u64,
+                        detail: "regrow budget exhausted".into(),
+                    });
                     return Err(DriveError::RegrowsExhausted {
                         iteration,
                         regrows: out.regrows,
                     });
                 }
+                tracer.emit(|| TraceEvent::Recovery {
+                    iteration,
+                    attempt: attempt as u64,
+                    kind: RecoveryKind::Regrow,
+                    capacity: capacity as u64,
+                    detail: String::new(),
+                });
                 regrow_to = Some(capacity);
                 // Same iteration runs again with the bigger pool; this is
                 // recovery, not a retry, so the attempt budget is unspent.
             }
             HostAction::Retry => {
+                // A host-demanded re-run is recovery overhead just like a
+                // failed launch: the discarded attempt is billed too
+                // (unless it was itself a retry, already billed above).
+                if ctx.attempt == 0 {
+                    out.stats.retry_wall += report.stats.wall;
+                }
                 attempt += 1;
                 out.retries += 1;
                 if attempt > policy.max_retries {
+                    tracer.emit(|| TraceEvent::Recovery {
+                        iteration,
+                        attempt: attempt as u64,
+                        kind: RecoveryKind::GiveUp,
+                        capacity: 0,
+                        detail: "host requested retries exhausted".into(),
+                    });
                     return Err(DriveError::Launch {
                         iteration,
                         attempts: attempt,
@@ -353,6 +412,13 @@ pub fn drive_recovering(
                         },
                     });
                 }
+                tracer.emit(|| TraceEvent::Recovery {
+                    iteration,
+                    attempt: attempt as u64,
+                    kind: RecoveryKind::Retry,
+                    capacity: 0,
+                    detail: "host requested retry".into(),
+                });
             }
         }
 
@@ -360,6 +426,13 @@ pub fn drive_recovering(
             stagnant = 0;
             out.rescues += 1;
             if out.rescues > policy.max_rescues {
+                tracer.emit(|| TraceEvent::Recovery {
+                    iteration,
+                    attempt: attempt as u64,
+                    kind: RecoveryKind::GiveUp,
+                    capacity: 0,
+                    detail: "rescue budget exhausted".into(),
+                });
                 return Err(DriveError::Livelock {
                     iteration,
                     rescues: out.rescues,
@@ -369,6 +442,17 @@ pub fn drive_recovering(
                 RescueLevel::None => RescueLevel::Reshuffle,
                 RescueLevel::Reshuffle | RescueLevel::Serial => RescueLevel::Serial,
             };
+            let kind = match rescue {
+                RescueLevel::Reshuffle => RecoveryKind::Reshuffle,
+                _ => RecoveryKind::SerialPin,
+            };
+            tracer.emit(move || TraceEvent::Recovery {
+                iteration,
+                attempt: attempt as u64,
+                kind,
+                capacity: 0,
+                detail: String::new(),
+            });
         }
     }
 }
@@ -730,6 +814,111 @@ mod tests {
             .iter()
             .filter(|(_, _, r)| *r != RescueLevel::Serial)
             .all(|&(b, t, _)| (b, t) == (4, 8)));
+    }
+
+    #[test]
+    fn retries_emit_recovery_events_and_bill_retry_wall() {
+        use morph_trace::{RecoveryKind, RingSink, TraceEvent, Tracer};
+
+        let mut gpu = VirtualGpu::new(GpuConfig::small());
+        let sink = Arc::new(RingSink::new(256));
+        let opts = RecoveryOpts {
+            fault_plan: Some(Arc::new(FaultPlan::new().with_kernel_panic(1, 0, 0, 0))),
+            tracer: Tracer::new(sink.clone()),
+            ..RecoveryOpts::default()
+        };
+        opts.arm(&mut gpu);
+        let k = ToyKernel {
+            sum: AtomicU64::new(0),
+            changed: AtomicBool::new(false),
+            threshold: 35,
+        };
+        let out = drive_recovering(&mut gpu, None, &opts.policy, |gpu, _ctx| {
+            let stats = gpu.try_launch(&k)?;
+            let changed = k.changed.swap(false, Ordering::AcqRel);
+            Ok(StepReport {
+                stats,
+                action: if changed {
+                    HostAction::Continue
+                } else {
+                    HostAction::Stop
+                },
+                progressed: true,
+            })
+        })
+        .expect("one retry absorbs the injected panic");
+        assert_eq!(out.retries, 1);
+        assert!(
+            out.stats.retry_wall > Duration::ZERO,
+            "failed attempt + re-run must be billed to retry_wall"
+        );
+        assert!(
+            out.stats.retry_wall <= out.stats.wall + out.stats.retry_wall,
+            "sanity"
+        );
+        let recoveries: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                TraceEvent::Recovery {
+                    iteration,
+                    attempt,
+                    kind,
+                    ..
+                } => Some((iteration, attempt, kind)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(recoveries, vec![(1, 1, RecoveryKind::Retry)]);
+        // The engine's launch spans ride the same armed tracer.
+        assert!(sink
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::LaunchBegin { .. })));
+    }
+
+    #[test]
+    fn rescue_ladder_emits_reshuffle_then_serial_pin() {
+        use morph_trace::{RecoveryKind, RingSink, TraceEvent, Tracer};
+
+        let mut gpu = VirtualGpu::new(GpuConfig::small());
+        let sink = Arc::new(RingSink::new(256));
+        gpu.set_tracer(Tracer::new(sink.clone()));
+        let k = ToyKernel {
+            sum: AtomicU64::new(0),
+            changed: AtomicBool::new(false),
+            threshold: 0,
+        };
+        let policy = RecoveryPolicy {
+            livelock_patience: 1,
+            max_rescues: 2,
+            ..RecoveryPolicy::default()
+        };
+        let _ = drive_recovering(&mut gpu, None, &policy, |gpu, _ctx| {
+            let stats = gpu.try_launch(&k)?;
+            Ok(StepReport {
+                stats,
+                action: HostAction::Continue,
+                progressed: false,
+            })
+        })
+        .expect_err("permanent stagnation");
+        let kinds: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                TraceEvent::Recovery { kind, .. } => Some(kind),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                RecoveryKind::Reshuffle,
+                RecoveryKind::SerialPin,
+                RecoveryKind::GiveUp,
+            ]
+        );
     }
 
     #[test]

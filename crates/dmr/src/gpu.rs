@@ -30,7 +30,9 @@ use morph_core::runtime::{
 use morph_core::{AdaptiveParallelism, ConflictTable};
 use morph_geometry::Coord;
 use morph_gpu_sim::kernel::chunk_bounds;
-use morph_gpu_sim::{BlockLocal, GpuConfig, Kernel, LaunchStats, ThreadCtx, VirtualGpu};
+use morph_gpu_sim::{
+    BlockLocal, GpuConfig, Kernel, LaunchStats, ThreadCtx, TraceEvent, VirtualGpu,
+};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::time::Instant;
 
@@ -356,6 +358,25 @@ pub fn try_refine_gpu<C: Coord>(
         let frozen = kernel.frozen.load(Ordering::Acquire) as u64;
         stats.refined += refined;
         stats.frozen += frozen;
+
+        // Algorithm-level markers (the paper's "bad triangles remaining"
+        // curve) plus the triangle-pool high-water mark. The mesh scan is
+        // metering-only work, so it is gated on an attached sink.
+        if gpu.tracer().enabled() {
+            let bad = mesh.bad_triangles().len();
+            let iteration = ctx.iteration;
+            gpu.tracer().emit(|| TraceEvent::AlgoIteration {
+                algo: "dmr".into(),
+                iteration,
+                metric: "bad_triangles".into(),
+                value: bad as f64,
+            });
+            gpu.tracer().emit(|| TraceEvent::Alloc {
+                name: "dmr.tri_pool".into(),
+                used: mesh.alloc.len() as u64,
+                capacity: mesh.alloc.capacity() as u64,
+            });
+        }
 
         let action = if overflow {
             let bad = mesh.bad_triangles().len();

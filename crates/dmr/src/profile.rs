@@ -15,11 +15,20 @@
 use crate::cavity::{build_cavity, retriangulate, Cavity, CavityOutcome, CavityScratch};
 use crate::mesh::Mesh;
 use morph_geometry::Coord;
+use morph_gpu_sim::{TraceEvent, Tracer};
 use std::collections::HashSet;
 
 /// Run refinement round by round, returning the available parallelism at
 /// each computation step (the Fig. 2 series).
 pub fn parallelism_profile<C: Coord>(mesh: &mut Mesh<C>) -> Vec<usize> {
+    parallelism_profile_traced(mesh, &Tracer::disabled())
+}
+
+/// [`parallelism_profile`] that additionally emits each step's
+/// parallelism as an `AlgoIteration { algo: "dmr.profile", metric:
+/// "parallelism" }` trace event, so the Fig. 2 series can be rebuilt from
+/// a recorded stream (see `morph_trace::TraceReport::series_values`).
+pub fn parallelism_profile_traced<C: Coord>(mesh: &mut Mesh<C>, tracer: &Tracer) -> Vec<usize> {
     let mut profile = Vec::new();
     let mut scratch = CavityScratch::default();
 
@@ -52,7 +61,15 @@ pub fn parallelism_profile<C: Coord>(mesh: &mut Mesh<C>) -> Vec<usize> {
         if selected.is_empty() {
             break;
         }
-        profile.push(selected.len());
+        let step = profile.len() as u64;
+        let parallelism = selected.len();
+        tracer.emit(|| TraceEvent::AlgoIteration {
+            algo: "dmr.profile".into(),
+            iteration: step,
+            metric: "parallelism".into(),
+            value: parallelism as f64,
+        });
+        profile.push(parallelism);
 
         // Pass 2: execute the independent set. Disjoint conflict sets make
         // the order irrelevant.

@@ -6,6 +6,9 @@
 //! plain `u64`s (no contention) and summed into a [`LaunchStats`] when the
 //! launch finishes.
 
+use morph_trace::CountersSnapshot;
+use serde::ser::{SerializeStruct, Serializer};
+use serde::Serialize;
 use std::time::Duration;
 
 /// Per-worker counter block. Written only by the owning worker during a
@@ -44,6 +47,53 @@ impl WorkerCounters {
         out.commits += self.commits;
         out.barriers += self.barriers;
     }
+
+    /// Plain-data copy for trace events (see [`morph_trace::TraceEvent`]).
+    pub fn snapshot(&self) -> CountersSnapshot {
+        CountersSnapshot {
+            active_threads: self.active_threads,
+            idle_threads: self.idle_threads,
+            warps: self.warps,
+            divergent_warps: self.divergent_warps,
+            atomics: self.atomics,
+            aborts: self.aborts,
+            commits: self.commits,
+            barriers: self.barriers,
+        }
+    }
+}
+
+impl Serialize for WorkerCounters {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut st = s.serialize_struct("WorkerCounters", 8)?;
+        st.serialize_field("active_threads", &self.active_threads)?;
+        st.serialize_field("idle_threads", &self.idle_threads)?;
+        st.serialize_field("warps", &self.warps)?;
+        st.serialize_field("divergent_warps", &self.divergent_warps)?;
+        st.serialize_field("atomics", &self.atomics)?;
+        st.serialize_field("aborts", &self.aborts)?;
+        st.serialize_field("commits", &self.commits)?;
+        st.serialize_field("barriers", &self.barriers)?;
+        st.end()
+    }
+}
+
+impl std::fmt::Display for WorkerCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "warps {} ({} divergent), threads {}+{} active/idle, \
+             {} atomics, {}/{} commits/aborts, {} barriers",
+            self.warps,
+            self.divergent_warps,
+            self.active_threads,
+            self.idle_threads,
+            self.atomics,
+            self.commits,
+            self.aborts,
+            self.barriers,
+        )
+    }
 }
 
 /// Aggregated statistics for one launch (or one persistent execution).
@@ -73,6 +123,13 @@ pub struct LaunchStats {
     pub threads_per_block: usize,
     /// Wall-clock time of the whole execution.
     pub wall: Duration,
+    /// The share of [`wall`](Self::wall) attributable to *recovery*:
+    /// launch attempts beyond the first of an iteration (failed attempts
+    /// plus the successful re-run). Filled in by
+    /// `morph_core::runtime::drive_recovering`; a single clean launch
+    /// always reports zero. Summed by [`absorb`](Self::absorb), so
+    /// `retry_wall / wall` is the recovery-overhead fraction of a run.
+    pub retry_wall: Duration,
 }
 
 impl LaunchStats {
@@ -107,6 +164,15 @@ impl LaunchStats {
 
     /// Accumulate another launch's statistics (e.g. across the host-side
     /// do–while loop of the paper's Fig. 3).
+    ///
+    /// All counter and time fields **sum**, with one deliberate exception:
+    /// `blocks` and `threads_per_block` are **last-launch-wins**. Geometry
+    /// is a configuration, not a quantity — under the adaptive-parallelism
+    /// schedule (§7.4) every launch may run with a different
+    /// threads-per-block, and summing configurations would produce a
+    /// number that describes no launch at all. Callers that need the full
+    /// geometry history should trace it (see `morph-trace`'s
+    /// `LaunchBegin` events) rather than read it off the aggregate.
     pub fn absorb(&mut self, other: &LaunchStats) {
         self.iterations += other.iterations;
         self.phases += other.phases;
@@ -124,6 +190,69 @@ impl LaunchStats {
         self.blocks = other.blocks;
         self.threads_per_block = other.threads_per_block;
         self.wall += other.wall;
+        self.retry_wall += other.retry_wall;
+    }
+
+    /// Plain-data copy of the counter fields for trace events.
+    pub fn snapshot(&self) -> CountersSnapshot {
+        CountersSnapshot {
+            active_threads: self.active_threads,
+            idle_threads: self.idle_threads,
+            warps: self.warps,
+            divergent_warps: self.divergent_warps,
+            atomics: self.atomics,
+            aborts: self.aborts,
+            commits: self.commits,
+            barriers: self.barriers,
+        }
+    }
+}
+
+/// One-line ratio summary for quick logging:
+/// `divergence`/`abort`/`efficiency` plus the headline counters.
+impl std::fmt::Display for LaunchStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} iters, {}×{} grid, {:.1?} wall ({:.1?} retry): \
+             divergence {:.1}%, aborts {:.1}%, efficiency {:.1}%, \
+             {} atomics, {} barriers",
+            self.iterations,
+            self.blocks,
+            self.threads_per_block,
+            self.wall,
+            self.retry_wall,
+            100.0 * self.divergence_ratio(),
+            100.0 * self.abort_ratio(),
+            100.0 * self.work_efficiency(),
+            self.atomics,
+            self.barriers,
+        )
+    }
+}
+
+impl Serialize for LaunchStats {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut st = s.serialize_struct("LaunchStats", 18)?;
+        st.serialize_field("iterations", &self.iterations)?;
+        st.serialize_field("phases", &self.phases)?;
+        st.serialize_field("active_threads", &self.active_threads)?;
+        st.serialize_field("idle_threads", &self.idle_threads)?;
+        st.serialize_field("warps", &self.warps)?;
+        st.serialize_field("divergent_warps", &self.divergent_warps)?;
+        st.serialize_field("atomics", &self.atomics)?;
+        st.serialize_field("aborts", &self.aborts)?;
+        st.serialize_field("commits", &self.commits)?;
+        st.serialize_field("barriers", &self.barriers)?;
+        st.serialize_field("barrier_rmws", &self.barrier_rmws)?;
+        st.serialize_field("blocks", &self.blocks)?;
+        st.serialize_field("threads_per_block", &self.threads_per_block)?;
+        st.serialize_field("wall_us", &(self.wall.as_micros() as u64))?;
+        st.serialize_field("retry_wall_us", &(self.retry_wall.as_micros() as u64))?;
+        st.serialize_field("divergence_ratio", &self.divergence_ratio())?;
+        st.serialize_field("abort_ratio", &self.abort_ratio())?;
+        st.serialize_field("work_efficiency", &self.work_efficiency())?;
+        st.end()
     }
 }
 
@@ -173,6 +302,70 @@ mod tests {
         assert_eq!(a.iterations, 3);
         assert_eq!(a.atomics, 12);
         assert_eq!(a.wall, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn absorb_geometry_is_last_launch_wins() {
+        // Satellite: geometry fields are configuration, not quantities.
+        // `absorb` must overwrite them with the newest launch's values
+        // while summing every true counter alongside.
+        let mut a = LaunchStats {
+            blocks: 8,
+            threads_per_block: 256,
+            warps: 100,
+            retry_wall: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let b = LaunchStats {
+            blocks: 2,
+            threads_per_block: 64,
+            warps: 50,
+            retry_wall: Duration::from_millis(4),
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.blocks, 2, "blocks must reflect the latest launch");
+        assert_eq!(a.threads_per_block, 64, "tpb must reflect the latest launch");
+        assert_eq!(a.warps, 150, "counters still sum");
+        assert_eq!(a.retry_wall, Duration::from_millis(5), "retry time sums");
+    }
+
+    #[test]
+    fn display_and_serialize_summaries() {
+        let s = LaunchStats {
+            iterations: 3,
+            blocks: 4,
+            threads_per_block: 32,
+            warps: 10,
+            divergent_warps: 5,
+            aborts: 1,
+            commits: 3,
+            active_threads: 8,
+            idle_threads: 2,
+            wall: Duration::from_millis(7),
+            ..Default::default()
+        };
+        let line = s.to_string();
+        assert!(line.contains("divergence 50.0%"), "{line}");
+        assert!(line.contains("aborts 25.0%"), "{line}");
+        assert!(line.contains("efficiency 80.0%"), "{line}");
+
+        let js = morph_trace::json::to_json(&s);
+        let v = morph_trace::json::parse(&js).unwrap();
+        assert_eq!(v.get("iterations").and_then(|x| x.as_u64()), Some(3));
+        assert_eq!(v.get("wall_us").and_then(|x| x.as_u64()), Some(7000));
+        assert_eq!(v.get("retry_wall_us").and_then(|x| x.as_u64()), Some(0));
+        assert_eq!(v.get("divergence_ratio").and_then(|x| x.as_f64()), Some(0.5));
+
+        let wc = WorkerCounters {
+            warps: 2,
+            atomics: 9,
+            ..Default::default()
+        };
+        assert!(wc.to_string().contains("9 atomics"));
+        let wjs = morph_trace::json::to_json(&wc);
+        let wv = morph_trace::json::parse(&wjs).unwrap();
+        assert_eq!(wv.get("atomics").and_then(|x| x.as_u64()), Some(9));
     }
 
     #[test]

@@ -30,9 +30,10 @@ use crate::config::GpuConfig;
 use crate::counters::{LaunchStats, WorkerCounters};
 use crate::fault::FaultPlan;
 use crate::kernel::{Decision, Kernel, ThreadCtx};
+use morph_trace::{CountersSnapshot, TraceEvent, Tracer};
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -100,12 +101,76 @@ struct Progress {
     block: usize,
 }
 
+/// Per-phase counter accumulator, live only while tracing is enabled.
+/// Workers add their phase delta before arriving at the phase barrier;
+/// worker 0 reads the monotone totals after the barrier and emits the
+/// grid-wide delta. A worker cannot re-enter phase `p` until worker 0 has
+/// crossed the *next* barrier, so the post-barrier read is race-free.
+struct PhaseAccum {
+    active_threads: AtomicU64,
+    idle_threads: AtomicU64,
+    warps: AtomicU64,
+    divergent_warps: AtomicU64,
+    atomics: AtomicU64,
+    aborts: AtomicU64,
+    commits: AtomicU64,
+    barriers: AtomicU64,
+}
+
+impl PhaseAccum {
+    fn new() -> Self {
+        PhaseAccum {
+            active_threads: AtomicU64::new(0),
+            idle_threads: AtomicU64::new(0),
+            warps: AtomicU64::new(0),
+            divergent_warps: AtomicU64::new(0),
+            atomics: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+            commits: AtomicU64::new(0),
+            barriers: AtomicU64::new(0),
+        }
+    }
+
+    fn add(&self, d: &CountersSnapshot) {
+        self.active_threads.fetch_add(d.active_threads, Ordering::Relaxed);
+        self.idle_threads.fetch_add(d.idle_threads, Ordering::Relaxed);
+        self.warps.fetch_add(d.warps, Ordering::Relaxed);
+        self.divergent_warps.fetch_add(d.divergent_warps, Ordering::Relaxed);
+        self.atomics.fetch_add(d.atomics, Ordering::Relaxed);
+        self.aborts.fetch_add(d.aborts, Ordering::Relaxed);
+        self.commits.fetch_add(d.commits, Ordering::Relaxed);
+        self.barriers.fetch_add(d.barriers, Ordering::Relaxed);
+    }
+
+    fn totals(&self) -> CountersSnapshot {
+        CountersSnapshot {
+            active_threads: self.active_threads.load(Ordering::Relaxed),
+            idle_threads: self.idle_threads.load(Ordering::Relaxed),
+            warps: self.warps.load(Ordering::Relaxed),
+            divergent_warps: self.divergent_warps.load(Ordering::Relaxed),
+            atomics: self.atomics.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            barriers: self.barriers.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Per-launch tracing state, allocated only when a tracer is attached.
+struct TraceState {
+    tracer: Tracer,
+    launch: u64,
+    accums: Vec<PhaseAccum>,
+}
+
 /// A virtual GPU: a launch configuration plus the machinery to run
 /// [`Kernel`]s under the SIMT execution model.
 pub struct VirtualGpu {
     cfg: GpuConfig,
     faults: Option<Arc<FaultPlan>>,
     barrier_watchdog: Option<Duration>,
+    tracer: Tracer,
+    launch_seq: AtomicU64,
 }
 
 impl VirtualGpu {
@@ -115,7 +180,25 @@ impl VirtualGpu {
             cfg,
             faults: None,
             barrier_watchdog: None,
+            tracer: Tracer::disabled(),
+            launch_seq: AtomicU64::new(0),
         }
+    }
+
+    /// Attach a tracer. Subsequent launches emit `LaunchBegin`,
+    /// per-iteration `PhaseSpan` (grid-wide counter delta + worker-0 wall
+    /// time including the barrier wait) and `LaunchEnd` events. The
+    /// default [`Tracer::disabled`] handle makes every emission a single
+    /// branch — no events are built and no per-launch state is allocated.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The attached tracer handle (disabled by default). Pipelines clone
+    /// this to emit their own algorithm-level events alongside the
+    /// engine's spans.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     pub fn config(&self) -> &GpuConfig {
@@ -197,6 +280,23 @@ impl VirtualGpu {
         let phases = kernel.phases().max(1);
         let barrier = make_barrier(cfg.barrier, workers, watchdog);
         let keep_going = AtomicBool::new(false);
+
+        // Per-launch tracing state exists only when a sink is attached:
+        // the disabled path allocates nothing and never builds an event.
+        let trace = self.tracer.enabled().then(|| TraceState {
+            tracer: self.tracer.clone(),
+            launch: self.launch_seq.fetch_add(1, Ordering::Relaxed),
+            accums: (0..phases).map(|_| PhaseAccum::new()).collect(),
+        });
+        if let Some(t) = trace.as_ref() {
+            t.tracer.emit(|| TraceEvent::LaunchBegin {
+                launch: t.launch,
+                blocks: cfg.blocks as u64,
+                threads_per_block: cfg.threads_per_block as u64,
+                phases: phases as u64,
+            });
+        }
+        let trace = trace.as_ref();
         let start = Instant::now();
 
         let mut stats = LaunchStats::default();
@@ -219,6 +319,7 @@ impl VirtualGpu {
                     &mut counters,
                     faults,
                     &progress,
+                    trace,
                 )
             }));
             match result {
@@ -245,7 +346,7 @@ impl VirtualGpu {
                         let result = catch_unwind(AssertUnwindSafe(|| {
                             run_worker(
                                 kernel, cfg, w, workers, phases, persistent, barrier,
-                                keep_going, &mut counters, faults, &progress,
+                                keep_going, &mut counters, faults, &progress, trace,
                             )
                         }));
                         match result {
@@ -290,6 +391,14 @@ impl VirtualGpu {
         stats.blocks = cfg.blocks;
         stats.threads_per_block = cfg.threads_per_block;
         stats.wall = start.elapsed();
+        if let Some(t) = trace {
+            t.tracer.emit(|| TraceEvent::LaunchEnd {
+                launch: t.launch,
+                iterations,
+                wall_us: stats.wall.as_micros() as u64,
+                totals: stats.snapshot(),
+            });
+        }
         Ok(stats)
     }
 }
@@ -342,6 +451,7 @@ fn run_worker<K: Kernel + ?Sized>(
     counters: &mut WorkerCounters,
     faults: Option<&FaultPlan>,
     progress: &Cell<Progress>,
+    trace: Option<&TraceState>,
 ) -> u64 {
     let tpb = cfg.threads_per_block;
     let nthreads = cfg.total_threads();
@@ -349,9 +459,27 @@ fn run_worker<K: Kernel + ?Sized>(
     let my_vthreads = my_blocks.len() * tpb;
     let my_vblocks = my_blocks.len();
 
+    // Tracing bookkeeping (allocated only when a sink is attached): each
+    // worker remembers its last published counter snapshot so it can push
+    // per-phase deltas into the shared accumulators; worker 0 additionally
+    // remembers each phase's previous accumulator totals so the emitted
+    // span is a grid-wide per-iteration delta, not a running sum.
+    let mut my_prev = trace.map(|_| CountersSnapshot::default());
+    let mut emitted_prev: Vec<CountersSnapshot> = match trace {
+        Some(_) if worker == 0 => vec![CountersSnapshot::default(); phases],
+        _ => Vec::new(),
+    };
+
     let mut iteration = 0usize;
     loop {
+        // `phase` indexes per-phase trace state as well as driving the
+        // kernel, so an iterator over `emitted_prev` would be wrong here.
+        #[allow(clippy::needless_range_loop)]
         for phase in 0..phases {
+            let phase_start = match trace {
+                Some(_) if worker == 0 => Some(Instant::now()),
+                _ => None,
+            };
             for &block in &my_blocks {
                 progress.set(Progress {
                     iteration,
@@ -361,12 +489,32 @@ fn run_worker<K: Kernel + ?Sized>(
                 run_block_phase(kernel, cfg, block, phase, iteration, nthreads, counters, faults);
             }
             counters.barriers += 1;
+            if let Some(t) = trace {
+                let cur = counters.snapshot();
+                t.accums[phase].add(&cur.delta_since(my_prev.as_ref().unwrap()));
+                my_prev = Some(cur);
+            }
             if let Some(plan) = faults {
                 if let Some(delay) = plan.stall_before_barrier(phase, worker) {
                     std::thread::sleep(delay);
                 }
             }
             barrier.wait(worker, my_vthreads, my_vblocks);
+            if worker == 0 {
+                if let Some(t) = trace {
+                    let totals = t.accums[phase].totals();
+                    let delta = totals.delta_since(&emitted_prev[phase]);
+                    emitted_prev[phase] = totals;
+                    let wall = phase_start.expect("worker 0 timed the phase").elapsed();
+                    t.tracer.emit(|| TraceEvent::PhaseSpan {
+                        launch: t.launch,
+                        iteration: iteration as u64,
+                        phase: phase as u64,
+                        wall_us: wall.as_micros() as u64,
+                        delta,
+                    });
+                }
+            }
         }
 
         iteration += 1;
@@ -833,6 +981,142 @@ mod tests {
         };
         VirtualGpu::new(GpuConfig::small()).execute(&k);
         assert_eq!(k.max_seen.load(Ordering::Acquire), 4);
+    }
+
+    /// Every thread launches exactly one speculative activity; some abort,
+    /// some commit, some lanes idle.
+    struct Speculator;
+    impl Kernel for Speculator {
+        fn run(&self, _phase: usize, ctx: &mut ThreadCtx<'_>) -> bool {
+            if ctx.tid.is_multiple_of(3) {
+                ctx.abort();
+            } else {
+                ctx.commit();
+            }
+            ctx.tid.is_multiple_of(2)
+        }
+    }
+
+    #[test]
+    fn counters_are_conserved() {
+        // Satellite: with warp-aligned geometry (tpb divisible by
+        // warp_size, so no partial warps) the lane accounting must balance
+        // exactly — every lane of every warp execution is either active or
+        // idle — and every speculative activity either aborts or commits.
+        let cfg = GpuConfig {
+            num_sms: 3,
+            warp_size: 8,
+            blocks: 4,
+            threads_per_block: 16,
+            barrier: crate::BarrierKind::SenseReversing,
+        };
+        let total_threads = cfg.total_threads() as u64;
+        let warp_size = cfg.warp_size as u64;
+        let stats = VirtualGpu::new(cfg).launch(&Speculator);
+        assert_eq!(
+            stats.active_threads + stats.idle_threads,
+            stats.warps * warp_size,
+            "every lane of every warp execution is exactly one of active/idle"
+        );
+        assert_eq!(
+            stats.aborts + stats.commits,
+            total_threads,
+            "each thread launched exactly one speculative activity"
+        );
+    }
+
+    #[test]
+    fn traced_launch_emits_spans_that_sum_to_totals() {
+        use morph_trace::RingSink;
+
+        let mut gpu = VirtualGpu::new(GpuConfig::small());
+        let sink = Arc::new(RingSink::new(1024));
+        gpu.set_tracer(Tracer::new(sink.clone()));
+        let k = CountTo {
+            total: AtomicU64::new(0),
+            target: 3,
+        };
+        let stats = gpu.execute(&k);
+        assert_eq!(stats.iterations, 3);
+
+        let events = sink.events();
+        let begins: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::LaunchBegin { .. }))
+            .collect();
+        assert_eq!(begins.len(), 1);
+        match begins[0] {
+            TraceEvent::LaunchBegin {
+                blocks,
+                threads_per_block,
+                phases,
+                ..
+            } => {
+                assert_eq!(*blocks, 4);
+                assert_eq!(*threads_per_block, 8);
+                assert_eq!(*phases, 1);
+            }
+            _ => unreachable!(),
+        }
+
+        // One span per (iteration, phase); deltas must sum back to the
+        // launch totals for every counter except barriers (the final
+        // decision barrier is crossed after the last span is cut).
+        let mut summed = CountersSnapshot::default();
+        let mut spans = 0;
+        for e in &events {
+            if let TraceEvent::PhaseSpan { delta, .. } = e {
+                summed.add(delta);
+                spans += 1;
+            }
+        }
+        assert_eq!(spans, 3, "one span per iteration of a 1-phase kernel");
+        let totals = stats.snapshot();
+        assert_eq!(summed.active_threads, totals.active_threads);
+        assert_eq!(summed.idle_threads, totals.idle_threads);
+        assert_eq!(summed.warps, totals.warps);
+        assert_eq!(summed.divergent_warps, totals.divergent_warps);
+        assert_eq!(summed.atomics, totals.atomics);
+        assert_eq!(summed.aborts, totals.aborts);
+        assert_eq!(summed.commits, totals.commits);
+
+        match events.last().expect("stream not empty") {
+            TraceEvent::LaunchEnd {
+                iterations, totals, ..
+            } => {
+                assert_eq!(*iterations, 3);
+                assert_eq!(totals.atomics, stats.atomics);
+            }
+            other => panic!("expected trailing LaunchEnd, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn launch_ids_increment_per_gpu() {
+        use morph_trace::RingSink;
+
+        let mut gpu = VirtualGpu::new(GpuConfig::small());
+        let sink = Arc::new(RingSink::new(64));
+        gpu.set_tracer(Tracer::new(sink.clone()));
+        let k = CountTo {
+            total: AtomicU64::new(0),
+            target: 1,
+        };
+        gpu.launch(&k);
+        let k2 = CountTo {
+            total: AtomicU64::new(0),
+            target: 1,
+        };
+        gpu.launch(&k2);
+        let ids: Vec<u64> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::LaunchBegin { launch, .. } => Some(*launch),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, vec![0, 1]);
     }
 
     #[test]

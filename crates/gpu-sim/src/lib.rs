@@ -66,8 +66,11 @@ pub mod mem;
 pub mod shared;
 
 pub use config::{BarrierKind, GpuConfig, WorkPartition};
-pub use counters::LaunchStats;
+pub use counters::{LaunchStats, WorkerCounters};
 pub use engine::{LaunchError, LaunchOutcome, VirtualGpu};
+// Re-exported so kernels and pipelines can emit trace events without
+// depending on morph-trace directly.
+pub use morph_trace::{CountersSnapshot, TraceEvent, Tracer};
 pub use fault::{FaultPlan, INJECTED_PANIC_MSG};
 pub use kernel::{Decision, Kernel, ThreadCtx};
 pub use mem::{AtomicF32Slice, AtomicF64Slice, AtomicU32Slice, AtomicU64Slice, SharedSlice};

@@ -25,7 +25,7 @@ use morph_core::runtime::{drive_recovering, DriveError, HostAction, RecoveryOpts
 use morph_core::AdaptiveParallelism;
 use morph_graph::{Csr, UnionFind};
 use morph_gpu_sim::{
-    AtomicU64Slice, BarrierKind, GpuConfig, Kernel, LaunchStats, ThreadCtx, VirtualGpu,
+    AtomicU64Slice, BarrierKind, GpuConfig, Kernel, LaunchStats, ThreadCtx, TraceEvent, VirtualGpu,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
@@ -195,6 +195,19 @@ pub fn try_mst_with_stats(
             changed: &changed,
         };
         let stats = gpu.try_launch(&k)?;
+        // Per-round marker: components remaining after this round's
+        // merges ("the process repeats until there is a single
+        // component") — the MST analogue of the Fig. 2 series.
+        if gpu.tracer().enabled() {
+            let components = n as u64 - edges.load(Ordering::Acquire) as u64;
+            let iteration = ctx.iteration;
+            gpu.tracer().emit(|| TraceEvent::AlgoIteration {
+                algo: "mst".into(),
+                iteration,
+                metric: "components".into(),
+                value: components as f64,
+            });
+        }
         let action = if changed.load(Ordering::Acquire) {
             HostAction::Continue
         } else {

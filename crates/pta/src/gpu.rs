@@ -28,7 +28,7 @@ use morph_core::AdaptiveParallelism;
 use morph_graph::sparse_bits::AtomicBitmap;
 use morph_graph::ChunkedAdjacency;
 use morph_gpu_sim::{
-    AtomicU32Slice, BarrierKind, GpuConfig, Kernel, LaunchStats, ThreadCtx, VirtualGpu,
+    AtomicU32Slice, BarrierKind, GpuConfig, Kernel, LaunchStats, ThreadCtx, TraceEvent, VirtualGpu,
 };
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -266,6 +266,24 @@ pub fn try_solve_with(
                 1 => dirty.store_relaxed(v, 0),
                 _ => {}
             }
+        }
+        // Per-iteration markers: how many nodes still have enabled
+        // incoming edges (the §7.6 divergence-sort population) and the
+        // chunk-arena footprint (§7.1 Kernel-Only allocation high water).
+        if gpu.tracer().enabled() {
+            let dirty_nodes = (0..n).filter(|&v| dirty.load_relaxed(v) != 0).count();
+            let iteration = ctx.iteration;
+            gpu.tracer().emit(|| TraceEvent::AlgoIteration {
+                algo: "pta".into(),
+                iteration,
+                metric: "dirty_nodes".into(),
+                value: dirty_nodes as f64,
+            });
+            gpu.tracer().emit(|| TraceEvent::Alloc {
+                name: "pta.chunk_arena".into(),
+                used: incoming.chunks_allocated() as u64,
+                capacity: incoming.max_chunks() as u64,
+            });
         }
         let action = if !changed.load(Ordering::Acquire) && !any_dirty {
             HostAction::Stop

@@ -19,7 +19,9 @@ use crate::solver::{run_solver, SolveOutcome, SolveStats, SpParams};
 use crate::surveys::{recompute_var_cache, update_clause, Surveys};
 use morph_core::runtime::{drive_recovering, DriveError, HostAction, RecoveryOpts, StepReport};
 use morph_core::AdaptiveParallelism;
-use morph_gpu_sim::{BarrierKind, GpuConfig, Kernel, LaunchStats, ThreadCtx, VirtualGpu};
+use morph_gpu_sim::{
+    BarrierKind, GpuConfig, Kernel, LaunchStats, ThreadCtx, TraceEvent, VirtualGpu,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 struct SurveyKernel<'a> {
@@ -115,6 +117,27 @@ pub fn try_propagate(
         let stats = gpu.try_launch(&k)?;
         sweeps += 1;
         let delta = f64::from_bits(k.delta_bits.load(Ordering::Acquire));
+        // Per-sweep convergence marker: the max survey change this sweep
+        // (the series that decides the `delta < eps` exit below), plus the
+        // live-clause count (shrinks as the solver decimates).
+        if gpu.tracer().enabled() {
+            let sweep = sweeps as u64 - 1;
+            gpu.tracer().emit(|| TraceEvent::AlgoIteration {
+                algo: "sp".into(),
+                iteration: sweep,
+                metric: "max_delta".into(),
+                value: delta,
+            });
+            let live = (0..fg.num_clauses)
+                .filter(|&a| !fg.clause_deleted.is_deleted(a as u32))
+                .count();
+            gpu.tracer().emit(|| TraceEvent::AlgoIteration {
+                algo: "sp".into(),
+                iteration: sweep,
+                metric: "live_clauses".into(),
+                value: live as f64,
+            });
+        }
         let action = if delta < eps || sweeps >= max_sweeps {
             HostAction::Stop
         } else {

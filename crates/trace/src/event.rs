@@ -1,0 +1,474 @@
+//! The typed event schema.
+//!
+//! Every quantity the paper's evaluation argues about over *time* — the
+//! Fig. 2 parallelism profile, the §7 divergence/abort/atomic/barrier
+//! ablations, the §7.1 allocator footprints — maps onto one of these
+//! variants. Events are plain data: producing crates construct them,
+//! sinks persist them, and [`crate::report`] folds a stream of them back
+//! into per-phase and per-iteration aggregates.
+
+use crate::json::JsonValue;
+use serde::ser::{SerializeStruct, Serializer};
+use serde::Serialize;
+
+/// A plain copy of the engine's performance-counter block. Mirrors
+/// `morph_gpu_sim::WorkerCounters` field for field; defined here (below
+/// the sim crate in the dependency order) so events can carry counter
+/// snapshots without a dependency cycle.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CountersSnapshot {
+    pub active_threads: u64,
+    pub idle_threads: u64,
+    pub warps: u64,
+    pub divergent_warps: u64,
+    pub atomics: u64,
+    pub aborts: u64,
+    pub commits: u64,
+    pub barriers: u64,
+}
+
+impl CountersSnapshot {
+    /// Field-wise `self - earlier` (saturating: a fresh launch resets
+    /// worker counters, so callers pass snapshots from one launch only).
+    pub fn delta_since(&self, earlier: &CountersSnapshot) -> CountersSnapshot {
+        CountersSnapshot {
+            active_threads: self.active_threads.saturating_sub(earlier.active_threads),
+            idle_threads: self.idle_threads.saturating_sub(earlier.idle_threads),
+            warps: self.warps.saturating_sub(earlier.warps),
+            divergent_warps: self.divergent_warps.saturating_sub(earlier.divergent_warps),
+            atomics: self.atomics.saturating_sub(earlier.atomics),
+            aborts: self.aborts.saturating_sub(earlier.aborts),
+            commits: self.commits.saturating_sub(earlier.commits),
+            barriers: self.barriers.saturating_sub(earlier.barriers),
+        }
+    }
+
+    /// Field-wise accumulation.
+    pub fn add(&mut self, other: &CountersSnapshot) {
+        self.active_threads += other.active_threads;
+        self.idle_threads += other.idle_threads;
+        self.warps += other.warps;
+        self.divergent_warps += other.divergent_warps;
+        self.atomics += other.atomics;
+        self.aborts += other.aborts;
+        self.commits += other.commits;
+        self.barriers += other.barriers;
+    }
+}
+
+impl Serialize for CountersSnapshot {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut st = s.serialize_struct("CountersSnapshot", 8)?;
+        st.serialize_field("active_threads", &self.active_threads)?;
+        st.serialize_field("idle_threads", &self.idle_threads)?;
+        st.serialize_field("warps", &self.warps)?;
+        st.serialize_field("divergent_warps", &self.divergent_warps)?;
+        st.serialize_field("atomics", &self.atomics)?;
+        st.serialize_field("aborts", &self.aborts)?;
+        st.serialize_field("commits", &self.commits)?;
+        st.serialize_field("barriers", &self.barriers)?;
+        st.end()
+    }
+}
+
+/// What the recovering driver decided (see
+/// `morph_core::runtime::drive_recovering`). Stringly-typed `detail`
+/// carries the human-readable error for retries/failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryKind {
+    /// A launch attempt failed (or the host demanded a re-run) and the
+    /// same iteration will run again.
+    Retry,
+    /// Device pools overflowed; capacity grows to `capacity` and the
+    /// iteration re-runs.
+    Regrow,
+    /// Livelock watchdog escalated to a conflict-priority reshuffle.
+    Reshuffle,
+    /// Livelock watchdog pinned a 1×1 serial grid.
+    SerialPin,
+    /// The driver gave up with a `DriveError`.
+    GiveUp,
+}
+
+impl RecoveryKind {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RecoveryKind::Retry => "retry",
+            RecoveryKind::Regrow => "regrow",
+            RecoveryKind::Reshuffle => "reshuffle",
+            RecoveryKind::SerialPin => "serial_pin",
+            RecoveryKind::GiveUp => "give_up",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<RecoveryKind> {
+        Some(match s {
+            "retry" => RecoveryKind::Retry,
+            "regrow" => RecoveryKind::Regrow,
+            "reshuffle" => RecoveryKind::Reshuffle,
+            "serial_pin" => RecoveryKind::SerialPin,
+            "give_up" => RecoveryKind::GiveUp,
+            _ => return None,
+        })
+    }
+}
+
+/// One structured trace event. The JSONL encoding tags each record with a
+/// `"type"` discriminant matching the variant names below (snake_case).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A kernel launch (or persistent execution) started.
+    LaunchBegin {
+        /// Monotonic per-`VirtualGpu` launch sequence number.
+        launch: u64,
+        blocks: u64,
+        threads_per_block: u64,
+        phases: u64,
+    },
+    /// One barrier-separated phase of one kernel iteration completed.
+    /// `delta` is the grid-wide counter change attributable to this phase
+    /// (summed over all workers); `wall_us` is the phase wall time as
+    /// observed by worker 0, including the closing barrier wait.
+    PhaseSpan {
+        launch: u64,
+        iteration: u64,
+        phase: u64,
+        wall_us: u64,
+        delta: CountersSnapshot,
+    },
+    /// A launch finished; `totals` are the whole-launch counters.
+    LaunchEnd {
+        launch: u64,
+        iterations: u64,
+        wall_us: u64,
+        totals: CountersSnapshot,
+    },
+    /// A `drive_recovering` decision (retry / regrow / rescue ladder /
+    /// give-up). `iteration`/`attempt` locate it in the host loop;
+    /// `capacity` is the regrow target (0 otherwise).
+    Recovery {
+        iteration: u64,
+        attempt: u64,
+        kind: RecoveryKind,
+        capacity: u64,
+        detail: String,
+    },
+    /// Allocator occupancy snapshot (`BumpAllocator`, the PTA chunk
+    /// arena, …). `used` is the high-water mark at emission time.
+    Alloc {
+        name: String,
+        used: u64,
+        capacity: u64,
+    },
+    /// Worklist occupancy snapshot.
+    Worklist {
+        name: String,
+        len: u64,
+        capacity: u64,
+    },
+    /// Algorithm-level per-iteration marker: DMR bad triangles remaining,
+    /// SP sweep delta, PTA dirty nodes, MST components remaining, the
+    /// Fig. 2 parallelism series, …
+    AlgoIteration {
+        algo: String,
+        iteration: u64,
+        metric: String,
+        value: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The `"type"` discriminant used in the JSONL encoding.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::LaunchBegin { .. } => "launch_begin",
+            TraceEvent::PhaseSpan { .. } => "phase_span",
+            TraceEvent::LaunchEnd { .. } => "launch_end",
+            TraceEvent::Recovery { .. } => "recovery",
+            TraceEvent::Alloc { .. } => "alloc",
+            TraceEvent::Worklist { .. } => "worklist",
+            TraceEvent::AlgoIteration { .. } => "algo_iteration",
+        }
+    }
+
+    /// Decode an event from a parsed JSONL record. Returns `None` when the
+    /// record is not a recognizable event (wrong/missing `type`, missing
+    /// field) — callers decide whether that is an error.
+    pub fn from_json(v: &JsonValue) -> Option<TraceEvent> {
+        let ty = v.get("type")?.as_str()?;
+        let u = |k: &str| v.get(k).and_then(JsonValue::as_u64);
+        let s = |k: &str| v.get(k).and_then(JsonValue::as_str).map(str::to_string);
+        Some(match ty {
+            "launch_begin" => TraceEvent::LaunchBegin {
+                launch: u("launch")?,
+                blocks: u("blocks")?,
+                threads_per_block: u("threads_per_block")?,
+                phases: u("phases")?,
+            },
+            "phase_span" => TraceEvent::PhaseSpan {
+                launch: u("launch")?,
+                iteration: u("iteration")?,
+                phase: u("phase")?,
+                wall_us: u("wall_us")?,
+                delta: counters_from_json(v.get("delta")?)?,
+            },
+            "launch_end" => TraceEvent::LaunchEnd {
+                launch: u("launch")?,
+                iterations: u("iterations")?,
+                wall_us: u("wall_us")?,
+                totals: counters_from_json(v.get("totals")?)?,
+            },
+            "recovery" => TraceEvent::Recovery {
+                iteration: u("iteration")?,
+                attempt: u("attempt")?,
+                kind: RecoveryKind::parse(&s("kind")?)?,
+                capacity: u("capacity")?,
+                detail: s("detail")?,
+            },
+            "alloc" => TraceEvent::Alloc {
+                name: s("name")?,
+                used: u("used")?,
+                capacity: u("capacity")?,
+            },
+            "worklist" => TraceEvent::Worklist {
+                name: s("name")?,
+                len: u("len")?,
+                capacity: u("capacity")?,
+            },
+            "algo_iteration" => TraceEvent::AlgoIteration {
+                algo: s("algo")?,
+                iteration: u("iteration")?,
+                metric: s("metric")?,
+                value: v.get("value").and_then(JsonValue::as_f64)?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+fn counters_from_json(v: &JsonValue) -> Option<CountersSnapshot> {
+    let u = |k: &str| v.get(k).and_then(JsonValue::as_u64);
+    Some(CountersSnapshot {
+        active_threads: u("active_threads")?,
+        idle_threads: u("idle_threads")?,
+        warps: u("warps")?,
+        divergent_warps: u("divergent_warps")?,
+        atomics: u("atomics")?,
+        aborts: u("aborts")?,
+        commits: u("commits")?,
+        barriers: u("barriers")?,
+    })
+}
+
+impl Serialize for TraceEvent {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            TraceEvent::LaunchBegin {
+                launch,
+                blocks,
+                threads_per_block,
+                phases,
+            } => {
+                let mut st = s.serialize_struct("TraceEvent", 5)?;
+                st.serialize_field("type", self.kind())?;
+                st.serialize_field("launch", launch)?;
+                st.serialize_field("blocks", blocks)?;
+                st.serialize_field("threads_per_block", threads_per_block)?;
+                st.serialize_field("phases", phases)?;
+                st.end()
+            }
+            TraceEvent::PhaseSpan {
+                launch,
+                iteration,
+                phase,
+                wall_us,
+                delta,
+            } => {
+                let mut st = s.serialize_struct("TraceEvent", 6)?;
+                st.serialize_field("type", self.kind())?;
+                st.serialize_field("launch", launch)?;
+                st.serialize_field("iteration", iteration)?;
+                st.serialize_field("phase", phase)?;
+                st.serialize_field("wall_us", wall_us)?;
+                st.serialize_field("delta", delta)?;
+                st.end()
+            }
+            TraceEvent::LaunchEnd {
+                launch,
+                iterations,
+                wall_us,
+                totals,
+            } => {
+                let mut st = s.serialize_struct("TraceEvent", 5)?;
+                st.serialize_field("type", self.kind())?;
+                st.serialize_field("launch", launch)?;
+                st.serialize_field("iterations", iterations)?;
+                st.serialize_field("wall_us", wall_us)?;
+                st.serialize_field("totals", totals)?;
+                st.end()
+            }
+            TraceEvent::Recovery {
+                iteration,
+                attempt,
+                kind,
+                capacity,
+                detail,
+            } => {
+                let mut st = s.serialize_struct("TraceEvent", 6)?;
+                st.serialize_field("type", self.kind())?;
+                st.serialize_field("iteration", iteration)?;
+                st.serialize_field("attempt", attempt)?;
+                st.serialize_field("kind", kind.as_str())?;
+                st.serialize_field("capacity", capacity)?;
+                st.serialize_field("detail", detail)?;
+                st.end()
+            }
+            TraceEvent::Alloc {
+                name,
+                used,
+                capacity,
+            } => {
+                let mut st = s.serialize_struct("TraceEvent", 4)?;
+                st.serialize_field("type", self.kind())?;
+                st.serialize_field("name", name)?;
+                st.serialize_field("used", used)?;
+                st.serialize_field("capacity", capacity)?;
+                st.end()
+            }
+            TraceEvent::Worklist {
+                name,
+                len,
+                capacity,
+            } => {
+                let mut st = s.serialize_struct("TraceEvent", 4)?;
+                st.serialize_field("type", self.kind())?;
+                st.serialize_field("name", name)?;
+                st.serialize_field("len", len)?;
+                st.serialize_field("capacity", capacity)?;
+                st.end()
+            }
+            TraceEvent::AlgoIteration {
+                algo,
+                iteration,
+                metric,
+                value,
+            } => {
+                let mut st = s.serialize_struct("TraceEvent", 5)?;
+                st.serialize_field("type", self.kind())?;
+                st.serialize_field("algo", algo)?;
+                st.serialize_field("iteration", iteration)?;
+                st.serialize_field("metric", metric)?;
+                st.serialize_field("value", value)?;
+                st.end()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn roundtrip(ev: TraceEvent) {
+        let line = json::to_json(&ev);
+        let parsed = json::parse(&line).expect("event must serialize to valid JSON");
+        let back = TraceEvent::from_json(&parsed).expect("event must decode");
+        assert_eq!(back, ev, "json was: {line}");
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        roundtrip(TraceEvent::LaunchBegin {
+            launch: 3,
+            blocks: 8,
+            threads_per_block: 128,
+            phases: 4,
+        });
+        roundtrip(TraceEvent::PhaseSpan {
+            launch: 3,
+            iteration: 7,
+            phase: 2,
+            wall_us: 1234,
+            delta: CountersSnapshot {
+                active_threads: 10,
+                idle_threads: 6,
+                warps: 4,
+                divergent_warps: 2,
+                atomics: 99,
+                aborts: 1,
+                commits: 9,
+                barriers: 4,
+            },
+        });
+        roundtrip(TraceEvent::LaunchEnd {
+            launch: 3,
+            iterations: 12,
+            wall_us: 40_000,
+            totals: CountersSnapshot::default(),
+        });
+        roundtrip(TraceEvent::Recovery {
+            iteration: 4,
+            attempt: 2,
+            kind: RecoveryKind::Retry,
+            capacity: 0,
+            detail: "kernel panic on worker 1 (\"quoted\")".into(),
+        });
+        roundtrip(TraceEvent::Alloc {
+            name: "dmr.tri_pool".into(),
+            used: 100,
+            capacity: 4096,
+        });
+        roundtrip(TraceEvent::Worklist {
+            name: "dmr.bad_queue".into(),
+            len: 17,
+            capacity: 64,
+        });
+        roundtrip(TraceEvent::AlgoIteration {
+            algo: "dmr".into(),
+            iteration: 5,
+            metric: "bad_triangles".into(),
+            value: 321.0,
+        });
+    }
+
+    #[test]
+    fn snapshot_delta_and_add() {
+        let a = CountersSnapshot {
+            warps: 10,
+            commits: 5,
+            ..Default::default()
+        };
+        let b = CountersSnapshot {
+            warps: 14,
+            commits: 9,
+            ..Default::default()
+        };
+        let d = b.delta_since(&a);
+        assert_eq!(d.warps, 4);
+        assert_eq!(d.commits, 4);
+        let mut acc = a;
+        acc.add(&d);
+        assert_eq!(acc, b);
+    }
+
+    #[test]
+    fn unknown_type_decodes_to_none() {
+        let v = json::parse(r#"{"type":"mystery","x":1}"#).unwrap();
+        assert!(TraceEvent::from_json(&v).is_none());
+    }
+
+    #[test]
+    fn recovery_kind_string_roundtrip() {
+        for k in [
+            RecoveryKind::Retry,
+            RecoveryKind::Regrow,
+            RecoveryKind::Reshuffle,
+            RecoveryKind::SerialPin,
+            RecoveryKind::GiveUp,
+        ] {
+            assert_eq!(RecoveryKind::parse(k.as_str()), Some(k));
+        }
+        assert_eq!(RecoveryKind::parse("nope"), None);
+    }
+}

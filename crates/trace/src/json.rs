@@ -1,0 +1,511 @@
+//! Minimal JSON backend: a [`serde::Serializer`] that writes compact JSON
+//! and a small recursive-descent parser for reading traces back.
+//!
+//! The JSONL trace format only ever contains flat-ish objects (numbers,
+//! strings, booleans, one level of nested counter objects), but the parser
+//! is a complete little JSON reader — arrays, nesting, escapes, exponent
+//! floats — so hand-edited or foreign traces don't break `trace-report` in
+//! surprising ways.
+
+use serde::ser::{SerializeSeq, SerializeStruct, Serializer};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Serialize any [`serde::Serialize`] value to a compact JSON string.
+pub fn to_json<T: ?Sized + Serialize>(value: &T) -> String {
+    let mut out = String::with_capacity(128);
+    value
+        .serialize(JsonSerializer { out: &mut out })
+        .expect("JSON serialization into a String cannot fail");
+    out
+}
+
+/// The writing half: implements the vendored serde `Serializer` over a
+/// borrowed output `String`.
+pub struct JsonSerializer<'a> {
+    out: &'a mut String,
+}
+
+impl<'a> JsonSerializer<'a> {
+    pub fn new(out: &'a mut String) -> Self {
+        Self { out }
+    }
+}
+
+/// Serialization into a `String` cannot fail; the error type is
+/// uninhabited in practice but must exist to satisfy the trait.
+#[derive(Debug)]
+pub enum Never {}
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl<'a> Serializer for JsonSerializer<'a> {
+    type Ok = ();
+    type Error = Never;
+    type SerializeStruct = JsonStruct<'a>;
+    type SerializeSeq = JsonSeq<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Never> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), Never> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), Never> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Never> {
+        if v.is_finite() {
+            // `{:?}` prints the shortest representation that parses back
+            // exactly (Rust's float formatting is round-trip safe).
+            self.out.push_str(&format!("{v:?}"));
+        } else {
+            // JSON has no NaN/Infinity; null is the conventional stand-in.
+            self.out.push_str("null");
+        }
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Never> {
+        push_escaped(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<JsonStruct<'a>, Never> {
+        self.out.push('{');
+        Ok(JsonStruct {
+            out: self.out,
+            first: true,
+        })
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<JsonSeq<'a>, Never> {
+        self.out.push('[');
+        Ok(JsonSeq {
+            out: self.out,
+            first: true,
+        })
+    }
+}
+
+pub struct JsonStruct<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl SerializeStruct for JsonStruct<'_> {
+    type Ok = ();
+    type Error = Never;
+
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Never> {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        push_escaped(self.out, key);
+        self.out.push(':');
+        value.serialize(JsonSerializer { out: self.out })
+    }
+
+    fn end(self) -> Result<(), Never> {
+        self.out.push('}');
+        Ok(())
+    }
+}
+
+pub struct JsonSeq<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl SerializeSeq for JsonSeq<'_> {
+    type Ok = ();
+    type Error = Never;
+
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Never> {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        value.serialize(JsonSerializer { out: self.out })
+    }
+
+    fn end(self) -> Result<(), Never> {
+        self.out.push(']');
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<JsonValue>),
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Object field lookup (`None` for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Integral numbers as u64 (rejects negatives and non-integers outside
+    /// f64's exact range is fine: trace counters stay far below 2^53).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure: byte offset plus a short description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse one JSON document (a full trace line). Trailing whitespace is
+/// allowed; trailing garbage is an error.
+pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            map.insert(key, v);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our
+                            // writer; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("slice on char boundary"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| self.err("malformed number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        assert_eq!(parse("42").unwrap().as_u64(), Some(42));
+        assert_eq!(parse("-3.5").unwrap().as_f64(), Some(-3.5));
+        assert_eq!(parse("1e3").unwrap().as_f64(), Some(1000.0));
+        assert_eq!(parse("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(
+            parse(r#""a\"b\n""#).unwrap().as_str(),
+            Some("a\"b\n")
+        );
+    }
+
+    #[test]
+    fn nested_structures_parse() {
+        let v = parse(r#"{"a":[1,2,{"b":"x"}],"c":{"d":true}}"#).unwrap();
+        assert_eq!(
+            v.get("a").unwrap(),
+            &JsonValue::Array(vec![
+                JsonValue::Number(1.0),
+                JsonValue::Number(2.0),
+                JsonValue::Object(
+                    [("b".to_string(), JsonValue::String("x".into()))]
+                        .into_iter()
+                        .collect()
+                ),
+            ])
+        );
+        assert_eq!(v.get("c").unwrap().get("d"), Some(&JsonValue::Bool(true)));
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("12 34").is_err());
+        assert!(parse(r#"{"a":}"#).is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn writer_escapes_and_parser_unescapes() {
+        let s = "line\nwith \"quotes\" and \\slashes\\ and \u{1}control";
+        let json = to_json(s);
+        assert_eq!(parse(&json).unwrap().as_str(), Some(s));
+    }
+
+    #[test]
+    fn unicode_survives() {
+        let s = "héllo ∆ 日本語";
+        assert_eq!(parse(&to_json(s)).unwrap().as_str(), Some(s));
+    }
+
+    #[test]
+    fn float_values_roundtrip_exactly() {
+        for v in [0.1, 1.0 / 3.0, 1e-12, 123456.789] {
+            let json = to_json(&v);
+            assert_eq!(parse(&json).unwrap().as_f64(), Some(v), "{json}");
+        }
+    }
+
+    #[test]
+    fn as_u64_rejects_fractions_and_negatives() {
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-2").unwrap().as_u64(), None);
+        assert_eq!(parse("0").unwrap().as_u64(), Some(0));
+    }
+}

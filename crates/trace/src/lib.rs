@@ -1,0 +1,33 @@
+//! # morph-trace — structured tracing & per-phase profiling
+//!
+//! The paper's evaluation is *observational*: Fig. 2 is a parallelism
+//! profile over time, and the §7 ablations argue about divergence, aborts,
+//! atomic traffic and barrier cost per optimisation. The workspace's
+//! `LaunchStats` only reports end-of-launch aggregates; this crate adds the
+//! time dimension — a low-overhead structured event layer threaded through
+//! the simulator (`morph-gpu-sim`), the recovering runtime (`morph-core`)
+//! and all four pipelines.
+//!
+//! * [`event::TraceEvent`] — the typed schema: launch/phase spans with wall
+//!   time and counter deltas, recovery decisions, allocator/worklist
+//!   occupancy, and algorithm-level iteration markers.
+//! * [`sink::TraceSink`] — where events go: [`sink::RingSink`] (bounded
+//!   in-memory flight recorder) or [`sink::JsonlSink`] (streamed JSON
+//!   Lines). [`sink::Tracer`] is the cheap handle producers emit through;
+//!   disabled, an emit is a single branch and the event is never built.
+//! * [`report::TraceReport`] — folds an event stream into per-phase
+//!   aggregates, a per-iteration timeline (Fig. 2 shape) and a §7-style
+//!   waste breakdown; rendered by `morph-bench`'s `trace-report` binary.
+//!
+//! Dependency-wise this crate sits *below* `morph-gpu-sim` (events carry a
+//! plain [`event::CountersSnapshot`], not `LaunchStats`), so every layer of
+//! the workspace can emit without cycles.
+
+pub mod event;
+pub mod json;
+pub mod report;
+pub mod sink;
+
+pub use event::{CountersSnapshot, RecoveryKind, TraceEvent};
+pub use report::{TraceReport, WasteBreakdown};
+pub use sink::{parse_jsonl, JsonlSink, RingSink, TraceSink, Tracer};

@@ -1,0 +1,469 @@
+//! The profiler aggregator: folds an event stream into per-phase
+//! aggregates, a per-launch timeline, and algorithm metric series — the
+//! material of the paper's Fig. 2 (parallelism over time) and §7 ablation
+//! arguments (where the waste went: divergence, aborts, atomics,
+//! barriers).
+
+use crate::event::{CountersSnapshot, RecoveryKind, TraceEvent};
+use std::collections::BTreeMap;
+
+/// Aggregate over every `PhaseSpan` with the same phase index.
+#[derive(Debug, Default, Clone)]
+pub struct PhaseAgg {
+    /// Number of spans folded in.
+    pub spans: u64,
+    /// Total wall time (µs, worker-0 observed, barrier wait included).
+    pub wall_us: u64,
+    /// Summed counter deltas.
+    pub counters: CountersSnapshot,
+}
+
+/// One host-loop step of the timeline: everything between a
+/// `LaunchBegin`/`LaunchEnd` pair. Under launch-per-iteration drivers
+/// (all four pipelines) this *is* one algorithm iteration.
+#[derive(Debug, Default, Clone)]
+pub struct LaunchRow {
+    pub launch: u64,
+    pub iterations: u64,
+    pub wall_us: u64,
+    pub totals: CountersSnapshot,
+}
+
+/// A recovery decision, as it appeared in the stream.
+#[derive(Debug, Clone)]
+pub struct RecoveryRow {
+    pub iteration: u64,
+    pub attempt: u64,
+    pub kind: RecoveryKind,
+    pub capacity: u64,
+    pub detail: String,
+}
+
+/// Everything `trace-report` renders, folded from one pass over the
+/// events.
+#[derive(Debug, Default)]
+pub struct TraceReport {
+    pub phases: BTreeMap<u64, PhaseAgg>,
+    pub launches: Vec<LaunchRow>,
+    pub recoveries: Vec<RecoveryRow>,
+    /// `(algo, metric)` → `(iteration, value)` series, in stream order.
+    pub series: BTreeMap<(String, String), Vec<(u64, f64)>>,
+    /// Allocator name → peak `used` / last `capacity` seen.
+    pub alloc_peaks: BTreeMap<String, (u64, u64)>,
+    /// Worklist name → peak `len` / last `capacity` seen.
+    pub worklist_peaks: BTreeMap<String, (u64, u64)>,
+    /// Whole-stream counter totals (sum of `LaunchEnd` totals).
+    pub totals: CountersSnapshot,
+    pub total_wall_us: u64,
+}
+
+impl TraceReport {
+    pub fn from_events<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> Self {
+        let mut r = TraceReport::default();
+        for ev in events {
+            match ev {
+                TraceEvent::LaunchBegin { .. } => {}
+                TraceEvent::PhaseSpan {
+                    phase,
+                    wall_us,
+                    delta,
+                    ..
+                } => {
+                    let agg = r.phases.entry(*phase).or_default();
+                    agg.spans += 1;
+                    agg.wall_us += wall_us;
+                    agg.counters.add(delta);
+                }
+                TraceEvent::LaunchEnd {
+                    launch,
+                    iterations,
+                    wall_us,
+                    totals,
+                } => {
+                    r.launches.push(LaunchRow {
+                        launch: *launch,
+                        iterations: *iterations,
+                        wall_us: *wall_us,
+                        totals: *totals,
+                    });
+                    r.totals.add(totals);
+                    r.total_wall_us += wall_us;
+                }
+                TraceEvent::Recovery {
+                    iteration,
+                    attempt,
+                    kind,
+                    capacity,
+                    detail,
+                } => r.recoveries.push(RecoveryRow {
+                    iteration: *iteration,
+                    attempt: *attempt,
+                    kind: kind.clone(),
+                    capacity: *capacity,
+                    detail: detail.clone(),
+                }),
+                TraceEvent::Alloc {
+                    name,
+                    used,
+                    capacity,
+                } => {
+                    let e = r.alloc_peaks.entry(name.clone()).or_insert((0, 0));
+                    e.0 = e.0.max(*used);
+                    e.1 = *capacity;
+                }
+                TraceEvent::Worklist {
+                    name,
+                    len,
+                    capacity,
+                } => {
+                    let e = r.worklist_peaks.entry(name.clone()).or_insert((0, 0));
+                    e.0 = e.0.max(*len);
+                    e.1 = *capacity;
+                }
+                TraceEvent::AlgoIteration {
+                    algo,
+                    iteration,
+                    metric,
+                    value,
+                } => r
+                    .series
+                    .entry((algo.clone(), metric.clone()))
+                    .or_default()
+                    .push((*iteration, *value)),
+            }
+        }
+        r
+    }
+
+    /// One named metric series as plain values ordered by iteration —
+    /// e.g. `series_values("dmr.profile", "parallelism")` reproduces the
+    /// Fig. 2 per-step parallelism profile.
+    pub fn series_values(&self, algo: &str, metric: &str) -> Vec<f64> {
+        let Some(points) = self
+            .series
+            .get(&(algo.to_string(), metric.to_string()))
+        else {
+            return Vec::new();
+        };
+        let mut pts = points.clone();
+        pts.sort_by_key(|&(it, _)| it);
+        pts.into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// The §7-style waste breakdown over the whole stream.
+    pub fn waste(&self) -> WasteBreakdown {
+        let t = &self.totals;
+        let threads = t.active_threads + t.idle_threads;
+        let activities = t.aborts + t.commits;
+        WasteBreakdown {
+            divergence_ratio: ratio(t.divergent_warps, t.warps),
+            abort_ratio: ratio(t.aborts, activities),
+            idle_ratio: ratio(t.idle_threads, threads),
+            atomics_per_commit: if t.commits == 0 {
+                0.0
+            } else {
+                t.atomics as f64 / t.commits as f64
+            },
+            barriers: t.barriers,
+            retries: self
+                .recoveries
+                .iter()
+                .filter(|r| r.kind == RecoveryKind::Retry)
+                .count() as u64,
+            regrows: self
+                .recoveries
+                .iter()
+                .filter(|r| r.kind == RecoveryKind::Regrow)
+                .count() as u64,
+            rescues: self
+                .recoveries
+                .iter()
+                .filter(|r| matches!(r.kind, RecoveryKind::Reshuffle | RecoveryKind::SerialPin))
+                .count() as u64,
+        }
+    }
+
+    /// Fig. 2-style per-iteration timeline rendered as text: one row per
+    /// launch with commits/aborts/divergence plus a commit spark-bar.
+    pub fn render_timeline(&self) -> String {
+        let mut out = String::new();
+        out.push_str("iter | wall_us | commits | aborts | div% | idle% | timeline\n");
+        out.push_str("-----|---------|---------|--------|------|-------|---------\n");
+        let peak = self
+            .launches
+            .iter()
+            .map(|l| l.totals.commits)
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        for (i, l) in self.launches.iter().enumerate() {
+            let t = &l.totals;
+            let bar_len = ((t.commits * 40) / peak) as usize;
+            out.push_str(&format!(
+                "{:>4} | {:>7} | {:>7} | {:>6} | {:>4.1} | {:>5.1} | {}\n",
+                i,
+                l.wall_us,
+                t.commits,
+                t.aborts,
+                100.0 * ratio(t.divergent_warps, t.warps),
+                100.0 * ratio(t.idle_threads, t.active_threads + t.idle_threads),
+                "#".repeat(bar_len),
+            ));
+        }
+        out
+    }
+
+    /// Per-phase aggregate table (the per-kernel histogram view).
+    pub fn render_phases(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "phase | spans | wall_us | warps | div% | atomics | aborts | commits | barriers\n",
+        );
+        for (phase, agg) in &self.phases {
+            let c = &agg.counters;
+            out.push_str(&format!(
+                "{:>5} | {:>5} | {:>7} | {:>5} | {:>4.1} | {:>7} | {:>6} | {:>7} | {:>8}\n",
+                phase,
+                agg.spans,
+                agg.wall_us,
+                c.warps,
+                100.0 * ratio(c.divergent_warps, c.warps),
+                c.atomics,
+                c.aborts,
+                c.commits,
+                c.barriers,
+            ));
+        }
+        out
+    }
+
+    /// §7-style waste summary plus allocator/worklist/recovery footnotes.
+    pub fn render_waste(&self) -> String {
+        let w = self.waste();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "total wall      : {} us over {} launches\n",
+            self.total_wall_us,
+            self.launches.len()
+        ));
+        out.push_str(&format!(
+            "divergence      : {:.1}% of warp executions\n",
+            100.0 * w.divergence_ratio
+        ));
+        out.push_str(&format!(
+            "aborted work    : {:.1}% of speculative activities\n",
+            100.0 * w.abort_ratio
+        ));
+        out.push_str(&format!(
+            "idle threads    : {:.1}% of thread executions\n",
+            100.0 * w.idle_ratio
+        ));
+        out.push_str(&format!(
+            "atomic traffic  : {:.2} atomics per committed activity\n",
+            w.atomics_per_commit
+        ));
+        out.push_str(&format!("barrier crossings: {}\n", w.barriers));
+        out.push_str(&format!(
+            "recovery        : {} retries, {} regrows, {} rescues\n",
+            w.retries, w.regrows, w.rescues
+        ));
+        for (name, (peak, cap)) in &self.alloc_peaks {
+            out.push_str(&format!(
+                "allocator {name}: high-water {peak} of {cap}\n"
+            ));
+        }
+        for (name, (peak, cap)) in &self.worklist_peaks {
+            out.push_str(&format!(
+                "worklist  {name}: peak occupancy {peak} of {cap}\n"
+            ));
+        }
+        out
+    }
+
+    /// CSV export of the per-launch timeline (machine-readable Fig. 2).
+    pub fn timeline_csv(&self) -> String {
+        let mut out = String::from(
+            "iter,launch,wall_us,commits,aborts,warps,divergent_warps,active_threads,idle_threads,atomics,barriers\n",
+        );
+        for (i, l) in self.launches.iter().enumerate() {
+            let t = &l.totals;
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{}\n",
+                i,
+                l.launch,
+                l.wall_us,
+                t.commits,
+                t.aborts,
+                t.warps,
+                t.divergent_warps,
+                t.active_threads,
+                t.idle_threads,
+                t.atomics,
+                t.barriers,
+            ));
+        }
+        out
+    }
+
+    /// CSV export of every algorithm metric series.
+    pub fn series_csv(&self) -> String {
+        let mut out = String::from("algo,metric,iteration,value\n");
+        for ((algo, metric), points) in &self.series {
+            for (it, v) in points {
+                out.push_str(&format!("{algo},{metric},{it},{v}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// The §7 quantities as ratios over the whole stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WasteBreakdown {
+    pub divergence_ratio: f64,
+    pub abort_ratio: f64,
+    pub idle_ratio: f64,
+    pub atomics_per_commit: f64,
+    pub barriers: u64,
+    pub retries: u64,
+    pub regrows: u64,
+    pub rescues: u64,
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(phase: u64, commits: u64, aborts: u64) -> TraceEvent {
+        TraceEvent::PhaseSpan {
+            launch: 0,
+            iteration: 0,
+            phase,
+            wall_us: 10,
+            delta: CountersSnapshot {
+                warps: 4,
+                divergent_warps: 1,
+                commits,
+                aborts,
+                ..Default::default()
+            },
+        }
+    }
+
+    fn end(launch: u64, commits: u64) -> TraceEvent {
+        TraceEvent::LaunchEnd {
+            launch,
+            iterations: 1,
+            wall_us: 100,
+            totals: CountersSnapshot {
+                warps: 8,
+                divergent_warps: 2,
+                active_threads: 6,
+                idle_threads: 2,
+                commits,
+                aborts: 1,
+                atomics: 12,
+                barriers: 4,
+            },
+        }
+    }
+
+    #[test]
+    fn folds_phases_and_launches() {
+        let events = vec![span(0, 3, 1), span(1, 2, 0), span(0, 5, 2), end(0, 5), end(1, 7)];
+        let r = TraceReport::from_events(&events);
+        assert_eq!(r.phases.len(), 2);
+        let p0 = &r.phases[&0];
+        assert_eq!(p0.spans, 2);
+        assert_eq!(p0.counters.commits, 8);
+        assert_eq!(p0.counters.aborts, 3);
+        assert_eq!(p0.wall_us, 20);
+        assert_eq!(r.launches.len(), 2);
+        assert_eq!(r.totals.commits, 12);
+        assert_eq!(r.total_wall_us, 200);
+    }
+
+    #[test]
+    fn waste_ratios() {
+        let r = TraceReport::from_events(&[end(0, 7)]);
+        let w = r.waste();
+        assert!((w.divergence_ratio - 0.25).abs() < 1e-12);
+        assert!((w.abort_ratio - 1.0 / 8.0).abs() < 1e-12);
+        assert!((w.idle_ratio - 0.25).abs() < 1e-12);
+        assert!((w.atomics_per_commit - 12.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_sorted_by_iteration() {
+        let mk = |it, v| TraceEvent::AlgoIteration {
+            algo: "dmr".into(),
+            iteration: it,
+            metric: "bad".into(),
+            value: v,
+        };
+        let r = TraceReport::from_events(&[mk(2, 30.0), mk(0, 10.0), mk(1, 20.0)]);
+        assert_eq!(r.series_values("dmr", "bad"), vec![10.0, 20.0, 30.0]);
+        assert!(r.series_values("dmr", "missing").is_empty());
+    }
+
+    #[test]
+    fn peaks_and_recoveries_tracked() {
+        let events = vec![
+            TraceEvent::Alloc {
+                name: "pool".into(),
+                used: 5,
+                capacity: 10,
+            },
+            TraceEvent::Alloc {
+                name: "pool".into(),
+                used: 9,
+                capacity: 20,
+            },
+            TraceEvent::Worklist {
+                name: "wl".into(),
+                len: 3,
+                capacity: 8,
+            },
+            TraceEvent::Recovery {
+                iteration: 1,
+                attempt: 1,
+                kind: RecoveryKind::Retry,
+                capacity: 0,
+                detail: "boom".into(),
+            },
+            TraceEvent::Recovery {
+                iteration: 2,
+                attempt: 0,
+                kind: RecoveryKind::Regrow,
+                capacity: 128,
+                detail: String::new(),
+            },
+        ];
+        let r = TraceReport::from_events(&events);
+        assert_eq!(r.alloc_peaks["pool"], (9, 20));
+        assert_eq!(r.worklist_peaks["wl"], (3, 8));
+        let w = r.waste();
+        assert_eq!((w.retries, w.regrows, w.rescues), (1, 1, 0));
+    }
+
+    #[test]
+    fn renders_do_not_panic_and_carry_data() {
+        let events = vec![span(0, 3, 1), end(0, 3), end(1, 9)];
+        let r = TraceReport::from_events(&events);
+        let tl = r.render_timeline();
+        assert!(tl.contains('#'), "{tl}");
+        assert!(r.render_phases().contains("phase"));
+        assert!(r.render_waste().contains("divergence"));
+        let csv = r.timeline_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(TraceReport::default().render_timeline().lines().count() >= 2);
+    }
+}

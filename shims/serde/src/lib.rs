@@ -1,0 +1,144 @@
+//! Vendored offline subset of `serde`.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the slice of the serde API it actually uses: the
+//! **serialize half** of the data model — `Serialize`, `Serializer`, and
+//! the `SerializeStruct`/`SerializeSeq` compound builders — enough for
+//! hand-written `impl Serialize` blocks (there is no derive macro here;
+//! implementations are written out, which serde also supports).
+//!
+//! The one concrete serializer in the workspace is
+//! `morph_trace::json::JsonSerializer`; this shim only defines the traits
+//! so that `morph-gpu-sim` and friends can declare their types serializable
+//! without depending on the tracing crate.
+//!
+//! Deviations from real serde: no `Deserialize`, no derive, no
+//! `serialize_i*/u8/char/bytes/unit/newtype/map/enum` entry points (the
+//! data the workspace serializes is structs, sequences, numbers, strings
+//! and bools), and `Serializer` is passed by value exactly as in serde but
+//! with a much smaller method set.
+
+/// A data structure that can be serialized through any [`Serializer`].
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A format backend (e.g. the JSON writer in `morph-trace`).
+pub trait Serializer: Sized {
+    type Ok;
+    type Error;
+    type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+}
+
+/// Builder returned by [`Serializer::serialize_struct`].
+pub trait SerializeStruct {
+    type Ok;
+    type Error;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Builder returned by [`Serializer::serialize_seq`].
+pub trait SerializeSeq {
+    type Ok;
+    type Error;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T)
+        -> Result<(), Self::Error>;
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Mirror of serde's `ser` module path (`use serde::ser::SerializeStruct`).
+pub mod ser {
+    pub use super::{Serialize, SerializeSeq, SerializeStruct, Serializer};
+}
+
+macro_rules! serialize_as_u64 {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+serialize_as_u64!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_as_i64 {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+serialize_as_i64!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut seq = s.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}

@@ -13,6 +13,8 @@
 //!   addition/deletion strategies, adaptive parallelism, worklists,
 //!   push/pull propagation),
 //! * [`gpu_sim`] — the virtual GPU those run on,
+//! * [`trace`] — structured tracing: sinks, JSONL streams, and the
+//!   profiler aggregator behind `trace-report`,
 //! * [`graph`], [`geometry`] — substrates,
 //! * [`workloads`] — deterministic generators for every evaluation input.
 //!
@@ -34,4 +36,5 @@ pub use morph_graph as graph;
 pub use morph_mst as mst;
 pub use morph_pta as pta;
 pub use morph_sp as sp;
+pub use morph_trace as trace;
 pub use morph_workloads as workloads;
