@@ -1,0 +1,237 @@
+//! Shadow-log data-race detection for `SharedSlice`.
+//!
+//! The simulator's `SharedSlice` models CUDA global memory: plain
+//! (non-atomic) loads and stores with no ordering guarantees inside a
+//! barrier interval. Its documented contract — at most one writer per
+//! element and no reader concurrent with a writer within one interval — is
+//! exactly what the paper's 3-phase conflict resolution (§7.3) exists to
+//! establish for cavity slots. This module checks the contract at runtime.
+//!
+//! Each slice owns a [`ShadowLog`]. Every *guarded* access (one made while a
+//! [`crate::thread::KernelScope`] is installed, i.e. from inside a kernel
+//! phase) records `(index, virtual thread, barrier epoch)`. Two accesses to
+//! the same index by distinct virtual threads in the same epoch trap if at
+//! least one is a write — regardless of how the scheduler happened to
+//! interleave them, because the contract promises *no* ordering within a
+//! phase. Host-side (unguarded) accesses are never logged: the host owns
+//! the data between launches, which the quiescence check enforces
+//! separately.
+//!
+//! Epochs make clearing cheap: instead of wiping the log at every barrier,
+//! each cell remembers the epoch it was last touched in and lazily resets
+//! when a newer epoch arrives.
+
+use crate::thread;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Shard count for the index → cell-state map; keeps worker OS threads from
+/// serializing on one lock when the slice is hot.
+const SHARDS: usize = 16;
+
+/// How many distinct readers to remember per cell per epoch. One is enough
+/// to detect any read/write race; a few more give better diagnostics.
+const MAX_READERS: usize = 8;
+
+#[derive(Debug)]
+struct CellState {
+    epoch: u64,
+    writer: Option<u64>,
+    readers: Vec<u64>,
+}
+
+/// Per-slice shadow access log. `Default`-constructed empty; grows lazily
+/// to the set of indices actually touched by kernels.
+pub struct ShadowLog {
+    shards: [Mutex<HashMap<usize, CellState>>; SHARDS],
+}
+
+impl Default for ShadowLog {
+    fn default() -> Self {
+        ShadowLog {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
+}
+
+impl std::fmt::Debug for ShadowLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ShadowLog")
+    }
+}
+
+impl ShadowLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a guarded read of `index`; traps on a read/write race.
+    pub fn on_read(&self, index: usize) {
+        self.on_access(index, false);
+    }
+
+    /// Record a guarded write of `index`; traps on a write/write or
+    /// read/write race.
+    pub fn on_write(&self, index: usize) {
+        self.on_access(index, true);
+    }
+
+    fn on_access(&self, index: usize, is_write: bool) {
+        // Unguarded (host-side) accesses are outside the intra-phase
+        // contract; skip them without touching the lock.
+        let Some((vthread, epoch)) = thread::current() else {
+            return;
+        };
+        let mut map = self.shards[index % SHARDS]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let cell = map.entry(index).or_insert_with(|| CellState {
+            epoch,
+            writer: None,
+            readers: Vec::new(),
+        });
+        if cell.epoch != epoch {
+            cell.epoch = epoch;
+            cell.writer = None;
+            cell.readers.clear();
+        }
+        if is_write {
+            if let Some(w) = cell.writer {
+                if w != vthread {
+                    crate::fail(
+                        "data_race",
+                        &format!(
+                            "data race on SharedSlice index {index}: write by virtual thread \
+                             {vthread} conflicts with write by virtual thread {w} in barrier \
+                             epoch {epoch} (no conflict-resolution ownership)"
+                        ),
+                    );
+                }
+            }
+            if let Some(&r) = cell.readers.iter().find(|&&r| r != vthread) {
+                crate::fail(
+                    "data_race",
+                    &format!(
+                        "data race on SharedSlice index {index}: write by virtual thread \
+                         {vthread} conflicts with read by virtual thread {r} in barrier epoch \
+                         {epoch} (no conflict-resolution ownership)"
+                    ),
+                );
+            }
+            cell.writer = Some(vthread);
+        } else {
+            if let Some(w) = cell.writer {
+                if w != vthread {
+                    crate::fail(
+                        "data_race",
+                        &format!(
+                            "data race on SharedSlice index {index}: read by virtual thread \
+                             {vthread} conflicts with write by virtual thread {w} in barrier \
+                             epoch {epoch} (no conflict-resolution ownership)"
+                        ),
+                    );
+                }
+            }
+            if cell.readers.len() < MAX_READERS && !cell.readers.contains(&vthread) {
+                cell.readers.push(vthread);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thread::KernelScope;
+
+    fn trap_message(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+        let err = std::panic::catch_unwind(f).unwrap_err();
+        err.downcast_ref::<String>().cloned().expect("string panic payload")
+    }
+
+    #[test]
+    fn unguarded_accesses_are_ignored() {
+        let log = ShadowLog::new();
+        log.on_write(0);
+        log.on_write(0); // host-side, no scope: never a race
+        log.on_read(0);
+    }
+
+    #[test]
+    fn same_thread_may_read_and_write_freely() {
+        let log = ShadowLog::new();
+        let _g = KernelScope::enter(5, 1);
+        log.on_write(3);
+        log.on_read(3);
+        log.on_write(3);
+    }
+
+    #[test]
+    fn write_write_by_distinct_threads_traps_with_attribution() {
+        let log = ShadowLog::new();
+        {
+            let _g = KernelScope::enter(0, 1);
+            log.on_write(7);
+        }
+        let msg = trap_message(|| {
+            let _g = KernelScope::enter(1, 1);
+            log.on_write(7);
+        });
+        assert!(crate::is_violation(&msg));
+        assert!(msg.contains("data race"));
+        assert!(msg.contains("index 7"));
+        assert!(msg.contains("virtual thread 1"));
+        assert!(msg.contains("virtual thread 0"));
+    }
+
+    #[test]
+    fn read_then_write_by_distinct_threads_traps() {
+        let log = ShadowLog::new();
+        {
+            let _g = KernelScope::enter(2, 9);
+            log.on_read(4);
+        }
+        let msg = trap_message(|| {
+            let _g = KernelScope::enter(3, 9);
+            log.on_write(4);
+        });
+        assert!(msg.contains("read by virtual thread 2"));
+    }
+
+    #[test]
+    fn write_then_read_by_distinct_threads_traps() {
+        let log = ShadowLog::new();
+        {
+            let _g = KernelScope::enter(2, 9);
+            log.on_write(4);
+        }
+        let msg = trap_message(|| {
+            let _g = KernelScope::enter(3, 9);
+            log.on_read(4);
+        });
+        assert!(msg.contains("write by virtual thread 2"));
+    }
+
+    #[test]
+    fn epoch_change_resets_ownership() {
+        let log = ShadowLog::new();
+        {
+            let _g = KernelScope::enter(0, 1);
+            log.on_write(2);
+        }
+        // Same index, different thread, *later barrier interval*: legal.
+        let _g = KernelScope::enter(1, 2);
+        log.on_write(2);
+        log.on_read(2);
+    }
+
+    #[test]
+    fn disjoint_indices_never_conflict() {
+        let log = ShadowLog::new();
+        for t in 0..32u64 {
+            let _g = KernelScope::enter(t, 1);
+            log.on_write(t as usize);
+            log.on_read(t as usize);
+        }
+    }
+}

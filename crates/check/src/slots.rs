@@ -1,0 +1,157 @@
+//! Epoch-tagged slot tracking for recycling free-lists.
+//!
+//! The paper's deletion story (§7.2) recycles slots: a deleted triangle /
+//! clause slot is donated to a free-list once, reclaimed by at most one
+//! winner, and resurrected by overwrite. PR 1's retry machinery makes the
+//! dangerous path reachable — a faulted commit may re-run and try to donate
+//! the same cavity slots again, after which two winners would be handed the
+//! same slot. [`SlotTracker`] is the shadow state that catches this: every
+//! donation stamps the slot with a recycle epoch, and a second donation
+//! without an intervening reclaim is a trap.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+#[derive(Debug, Clone, Copy)]
+struct SlotRecord {
+    /// Currently sitting in the free queue?
+    queued: bool,
+    /// Recycle epoch of the most recent donation (1-based).
+    donated_at: u64,
+    /// How many times this slot completed a donate→reclaim round trip.
+    round_trips: u64,
+}
+
+/// Shadow state over a recycling free-list (e.g. `RecyclePool`).
+///
+/// Thread-safe; all methods take `&self`. Traps with an attributed
+/// [`crate::fail`] on misuse.
+#[derive(Debug, Default)]
+pub struct SlotTracker {
+    slots: Mutex<HashMap<u32, SlotRecord>>,
+    clock: AtomicU64,
+}
+
+impl SlotTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a donation of `slot`. Traps if the slot is already queued
+    /// (double-donate / double-free).
+    pub fn on_donate(&self, slot: u32) {
+        let epoch = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        let rec = slots.entry(slot).or_insert(SlotRecord {
+            queued: false,
+            donated_at: 0,
+            round_trips: 0,
+        });
+        if rec.queued {
+            let (first, trips) = (rec.donated_at, rec.round_trips);
+            drop(slots);
+            crate::fail(
+                "double_donate",
+                &format!(
+                    "slot {slot} donated twice without an intervening reclaim: already queued \
+                     since recycle epoch {first}, re-donated at epoch {epoch} \
+                     ({trips} completed round trips)"
+                ),
+            );
+        }
+        rec.queued = true;
+        rec.donated_at = epoch;
+    }
+
+    /// Record that `slot` was handed back out of the queue. Traps if the
+    /// tracker never saw it donated (the queue invented a slot).
+    pub fn on_reclaim(&self, slot: u32) {
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        match slots.get_mut(&slot) {
+            Some(rec) if rec.queued => {
+                rec.queued = false;
+                rec.round_trips += 1;
+            }
+            _ => {
+                drop(slots);
+                crate::fail(
+                    "phantom_reclaim",
+                    &format!("slot {slot} reclaimed from the free queue but was never donated"),
+                );
+            }
+        }
+    }
+
+    /// Is `slot` currently queued (donated, not yet reclaimed)?
+    pub fn is_queued(&self, slot: u32) -> bool {
+        self.slots
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&slot)
+            .is_some_and(|r| r.queued)
+    }
+
+    /// Slots currently sitting in the queue, sorted. At pipeline end this
+    /// is the leak set if the pool is expected to be drained.
+    pub fn queued_slots(&self) -> Vec<u32> {
+        let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        let mut q: Vec<u32> = slots
+            .iter()
+            .filter(|(_, r)| r.queued)
+            .map(|(&s, _)| s)
+            .collect();
+        q.sort_unstable();
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trap_message(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+        let err = std::panic::catch_unwind(f).unwrap_err();
+        err.downcast_ref::<String>().cloned().expect("string panic payload")
+    }
+
+    #[test]
+    fn donate_reclaim_round_trips_are_clean() {
+        let t = SlotTracker::new();
+        for _ in 0..3 {
+            t.on_donate(5);
+            assert!(t.is_queued(5));
+            t.on_reclaim(5);
+            assert!(!t.is_queued(5));
+        }
+        assert!(t.queued_slots().is_empty());
+    }
+
+    #[test]
+    fn double_donate_traps_with_slot_attribution() {
+        let t = SlotTracker::new();
+        t.on_donate(9);
+        let msg = trap_message(|| t.on_donate(9));
+        assert!(crate::is_violation(&msg));
+        assert!(msg.contains("double_donate"));
+        assert!(msg.contains("slot 9"));
+    }
+
+    #[test]
+    fn phantom_reclaim_traps() {
+        let t = SlotTracker::new();
+        let msg = trap_message(|| t.on_reclaim(4));
+        assert!(msg.contains("phantom_reclaim"));
+        assert!(msg.contains("slot 4"));
+    }
+
+    #[test]
+    fn queued_slots_reports_leaks() {
+        let t = SlotTracker::new();
+        t.on_donate(2);
+        t.on_donate(8);
+        t.on_donate(1);
+        t.on_reclaim(8);
+        assert_eq!(t.queued_slots(), vec![1, 2]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Per-OS-thread record of the currently executing *virtual* thread.
+//!
+//! The engine multiplexes many virtual GPU threads onto a few worker OS
+//! threads, so `std::thread::current()` is useless for attributing an access
+//! to a CUDA-model thread. Instead the engine installs a [`KernelScope`]
+//! around every `kernel.run(phase, ctx)` call, recording the virtual thread
+//! id and the *barrier epoch* — a value unique per (launch, iteration,
+//! phase) interval. Shadow checkers read it back via [`current`].
+//!
+//! The scope is a guard: it restores the previous value on drop, including
+//! during unwinding, so a trapping kernel leaves no stale identity behind.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+thread_local! {
+    static CURRENT: Cell<Option<(u64, u64)>> = const { Cell::new(None) };
+}
+
+/// Monotonic launch counter; each launch gets a fresh nonce so barrier
+/// epochs never collide across launches (or across GPUs in one process).
+static LAUNCH_NONCE: AtomicU64 = AtomicU64::new(1);
+
+/// Reserve a fresh launch nonce. The engine folds this together with the
+/// (iteration, phase) pair into the barrier epoch passed to
+/// [`KernelScope::enter`].
+pub fn next_launch_nonce() -> u64 {
+    LAUNCH_NONCE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// RAII guard marking the calling OS thread as executing virtual thread
+/// `vthread` within barrier epoch `epoch`.
+pub struct KernelScope {
+    prev: Option<(u64, u64)>,
+}
+
+impl KernelScope {
+    pub fn enter(vthread: u64, epoch: u64) -> Self {
+        let prev = CURRENT.with(|c| c.replace(Some((vthread, epoch))));
+        KernelScope { prev }
+    }
+}
+
+impl Drop for KernelScope {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        CURRENT.with(|c| c.set(prev));
+    }
+}
+
+/// The (virtual thread, barrier epoch) executing on this OS thread, if any.
+pub fn current() -> Option<(u64, u64)> {
+    CURRENT.with(|c| c.get())
+}
+
+/// Is the calling OS thread currently inside a kernel phase?
+pub fn in_kernel() -> bool {
+    current().is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_installs_and_restores_identity() {
+        assert_eq!(current(), None);
+        {
+            let _a = KernelScope::enter(3, 10);
+            assert_eq!(current(), Some((3, 10)));
+            {
+                let _b = KernelScope::enter(4, 10);
+                assert_eq!(current(), Some((4, 10)));
+            }
+            assert_eq!(current(), Some((3, 10)));
+        }
+        assert_eq!(current(), None);
+        assert!(!in_kernel());
+    }
+
+    #[test]
+    fn scope_restores_during_unwind() {
+        let _ = std::panic::catch_unwind(|| {
+            let _g = KernelScope::enter(9, 1);
+            panic!("boom");
+        });
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn nonces_are_unique() {
+        let a = next_launch_nonce();
+        let b = next_launch_nonce();
+        assert_ne!(a, b);
+    }
+}

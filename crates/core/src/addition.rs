@@ -24,6 +24,12 @@ pub struct BumpAllocator {
     next: AtomicU32,
     capacity: AtomicU32,
     overflow: AtomicBool,
+    /// morph-check shadow state: one past the highest slot ever *granted*
+    /// (successfully allocated) or live at construction. The overflow
+    /// recovery path must never rewind the cursor into this region — that
+    /// would re-allocate live slots.
+    #[cfg(feature = "morph-check")]
+    granted_high: AtomicU32,
 }
 
 impl BumpAllocator {
@@ -41,7 +47,16 @@ impl BumpAllocator {
             next: AtomicU32::new(used as u32),
             capacity: AtomicU32::new(capacity as u32),
             overflow: AtomicBool::new(false),
+            #[cfg(feature = "morph-check")]
+            granted_high: AtomicU32::new(used as u32),
         }
+    }
+
+    /// morph-check bookkeeping: record a successful grant of
+    /// `[base, base + n)`.
+    #[cfg(feature = "morph-check")]
+    fn record_grant(&self, base: u32, n: u32) {
+        self.granted_high.fetch_max(base.saturating_add(n), Ordering::AcqRel);
     }
 
     /// Claim `n` consecutive slots; returns the base id, or `None` if the
@@ -58,6 +73,8 @@ impl BumpAllocator {
         }
         let base = ctx.atomic_add_u32(&self.next, n);
         if base.saturating_add(n) <= self.capacity.load(Ordering::Acquire) {
+            #[cfg(feature = "morph-check")]
+            self.record_grant(base, n);
             Some(base)
         } else {
             self.overflow.store(true, Ordering::Release);
@@ -69,6 +86,8 @@ impl BumpAllocator {
     pub fn host_alloc(&self, n: u32) -> Option<u32> {
         let base = self.next.fetch_add(n, Ordering::AcqRel);
         if base.saturating_add(n) <= self.capacity.load(Ordering::Acquire) {
+            #[cfg(feature = "morph-check")]
+            self.record_grant(base, n);
             Some(base)
         } else {
             self.overflow.store(true, Ordering::Release);
@@ -102,6 +121,25 @@ impl BumpAllocator {
         let _ = self
             .next
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| (n > cap).then_some(cap));
+        // The pull-back must never rewind the cursor into storage that was
+        // already granted — subsequent allocations would hand out live
+        // slots. `clear_overflow` runs host-side between launches, so this
+        // read is quiescent.
+        #[cfg(feature = "morph-check")]
+        {
+            let next = self.next.load(Ordering::Acquire);
+            let granted = self.granted_high.load(Ordering::Acquire);
+            if next < granted {
+                morph_check::fail(
+                    "alloc_live",
+                    &format!(
+                        "overflow recovery rewound the bump cursor to {next}, below the \
+                         granted high-water mark {granted}; slots \
+                         {next}..{granted} would be allocated twice"
+                    ),
+                );
+            }
+        }
         self.overflow.store(false, Ordering::Release);
     }
 
@@ -122,7 +160,7 @@ impl BumpAllocator {
 }
 
 /// Who sizes the pool, and how (paper §7.1). Drives
-/// [`plan_capacity`].
+/// [`GrowthPolicy::plan_capacity`].
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum GrowthPolicy {
     /// Allocate `factor ×` the initial element count once; never grow.

@@ -34,7 +34,9 @@ pub use addition::BumpAllocator;
 pub use conflict::ConflictTable;
 pub use deletion::{DeletionMarks, RecyclePool};
 pub use runtime::{
-    drive, drive_recovering, DriveError, DriveOutcome, HostAction, RecoveryOpts, RecoveryPolicy,
-    RescueLevel, StepCtx, StepReport,
+    drive, drive_recovering, DriveError, DriveOutcome, HostAction, OracleGate, RecoveryOpts,
+    RecoveryPolicy, RescueLevel, StepCtx, StepReport,
 };
+#[cfg(feature = "morph-check")]
+pub use runtime::report_oracle;
 pub use worklist::{GlobalWorklist, WorklistFull};

@@ -457,6 +457,62 @@ pub fn drive_recovering(
     }
 }
 
+/// Decides *when* a pipeline's end-state oracle should run during a
+/// [`drive_recovering`] loop: after every recovery escalation (the first
+/// step at a new rescue level — the retried/relaid-out state is exactly
+/// where recycling and ownership bugs surface) and at completion
+/// ([`HostAction::Stop`]).
+///
+/// Pipelines track one gate inside their step callback; the callback
+/// already holds the mutable borrow of the algorithm state the oracle needs
+/// to inspect, so the gate lives there rather than in the driver.
+#[derive(Debug, Default)]
+pub struct OracleGate {
+    last_rescue: Option<RescueLevel>,
+}
+
+impl OracleGate {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Should the oracle run for this step? Call exactly once per step,
+    /// after the step has computed its `action`.
+    pub fn due(&mut self, ctx: &StepCtx, action: &HostAction) -> bool {
+        let escalated = self.last_rescue.is_some_and(|prev| ctx.rescue > prev);
+        self.last_rescue = Some(ctx.rescue);
+        escalated || matches!(action, HostAction::Stop)
+    }
+}
+
+/// Publish an oracle verdict: emit a [`TraceEvent::Sanitizer`] through the
+/// pipeline's tracer and, on violation, flush the trace and trap with the
+/// attributed diagnostic (failing the pipeline the same way an in-kernel
+/// sanitizer trap would).
+#[cfg(feature = "morph-check")]
+pub fn report_oracle(tracer: &Tracer, check: &str, result: Result<(), String>) {
+    match result {
+        Ok(()) => {
+            tracer.emit(|| TraceEvent::Sanitizer {
+                check: check.to_string(),
+                status: "ok".into(),
+                index: 0,
+                detail: String::new(),
+            });
+        }
+        Err(detail) => {
+            tracer.emit(|| TraceEvent::Sanitizer {
+                check: check.to_string(),
+                status: "violation".into(),
+                index: 0,
+                detail: detail.clone(),
+            });
+            tracer.flush();
+            morph_check::fail(check, &detail);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

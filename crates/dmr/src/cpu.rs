@@ -1,7 +1,7 @@
 //! Speculative multicore refinement — the Galois baseline role.
 //!
 //! The paper compares its GPU code against the Galois system's optimistic
-//! parallel DMR [16]: threads claim a cavity's neighborhood with
+//! parallel DMR \[16\]: threads claim a cavity's neighborhood with
 //! fine-grained per-element locks as they traverse it, back off on
 //! conflict, and commit otherwise. This module implements that execution
 //! model with try-lock/abort semantics (no blocking ⇒ no deadlock) over

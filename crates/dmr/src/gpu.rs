@@ -318,6 +318,8 @@ pub fn try_refine_gpu<C: Coord>(
     let state: BlockLocal<BlockState<C>> = BlockLocal::new(blocks, |_| BlockState::new());
 
     let mut stats = RefineStats::default();
+    #[cfg(feature = "morph-check")]
+    let mut oracle = morph_core::OracleGate::new();
 
     let outcome = drive_recovering(&mut gpu, Some(sched), &recovery.policy, |gpu, ctx| {
         if let Some(cap) = ctx.regrow_to {
@@ -387,6 +389,14 @@ pub fn try_refine_gpu<C: Coord>(
         } else {
             HostAction::Stop
         };
+        // End-state oracle (§6.1): adjacency must stay mutually consistent
+        // with no deleted-slot references at every recovery escalation, and
+        // at completion no bad triangle may remain.
+        #[cfg(feature = "morph-check")]
+        if oracle.due(ctx, &action) {
+            let done = action == HostAction::Stop;
+            morph_core::report_oracle(gpu.tracer(), "oracle.dmr.end_state", mesh.validate(done));
+        }
         Ok(StepReport {
             stats: launch,
             // A regrow is itself progress; only commit-free, overflow-free

@@ -10,7 +10,7 @@
 //!
 //! Available parallelism at computation step *k* is the size of a greedy
 //! maximal independent set of activities whose neighborhoods (cavity ∪
-//! frame) are pairwise disjoint — exactly what ParaMeter [15] measures.
+//! frame) are pairwise disjoint — exactly what ParaMeter \[15\] measures.
 
 use crate::cavity::{build_cavity, retriangulate, Cavity, CavityOutcome, CavityScratch};
 use crate::mesh::Mesh;

@@ -51,7 +51,7 @@ pub trait GlobalBarrier: Sync + Send {
 /// Construct the barrier implementation selected by `kind`.
 ///
 /// With a `watchdog` timeout, a participant that spins longer than the
-/// timeout poisons the barrier and panics with [`BARRIER_TIMEOUT_MSG`]
+/// timeout poisons the barrier and panics with `BARRIER_TIMEOUT_MSG`
 /// instead of hanging forever on a wedged sibling.
 pub fn make_barrier(
     kind: BarrierKind,

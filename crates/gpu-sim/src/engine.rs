@@ -171,6 +171,10 @@ pub struct VirtualGpu {
     barrier_watchdog: Option<Duration>,
     tracer: Tracer,
     launch_seq: AtomicU64,
+    /// True while a launch is executing on this GPU. Host-side exclusive
+    /// access to device buffers (`SharedSlice::as_mut_slice`/`to_vec`) is
+    /// only legal while this is false — the quiescence contract.
+    in_flight: AtomicBool,
 }
 
 impl VirtualGpu {
@@ -182,7 +186,14 @@ impl VirtualGpu {
             barrier_watchdog: None,
             tracer: Tracer::disabled(),
             launch_seq: AtomicU64::new(0),
+            in_flight: AtomicBool::new(false),
         }
+    }
+
+    /// Is a launch currently executing on this GPU? Host code must see
+    /// `false` before touching device buffers non-atomically.
+    pub fn launch_in_flight(&self) -> bool {
+        self.in_flight.load(Ordering::Acquire)
     }
 
     /// Attach a tracer. Subsequent launches emit `LaunchBegin`,
@@ -270,6 +281,24 @@ impl VirtualGpu {
     }
 
     fn drive<K: Kernel + ?Sized>(&self, kernel: &K, persistent: bool) -> LaunchOutcome {
+        // Launch-in-flight flag: overlapping launches on one GPU would
+        // break the quiescence contract that host-side bulk accessors rely
+        // on, so flag entry and clear on every exit path via the guard.
+        let was_in_flight = self.in_flight.swap(true, Ordering::AcqRel);
+        debug_assert!(
+            !was_in_flight,
+            "overlapping launches on one VirtualGpu: host-side exclusive access \
+             to device buffers is only legal between launches"
+        );
+        let _in_flight = InFlightGuard(&self.in_flight);
+
+        // Fresh barrier-epoch nonce for the data-race shadow logs: epochs
+        // from different launches must never collide.
+        #[cfg(feature = "morph-check")]
+        let check_nonce = morph_check::next_launch_nonce();
+        #[cfg(not(feature = "morph-check"))]
+        let check_nonce = 0u64;
+
         let cfg = &self.cfg;
         let faults = self.faults.as_deref();
         if let Some(plan) = faults {
@@ -320,6 +349,7 @@ impl VirtualGpu {
                     faults,
                     &progress,
                     trace,
+                    check_nonce,
                 )
             }));
             match result {
@@ -347,6 +377,7 @@ impl VirtualGpu {
                             run_worker(
                                 kernel, cfg, w, workers, phases, persistent, barrier,
                                 keep_going, &mut counters, faults, &progress, trace,
+                                check_nonce,
                             )
                         }));
                         match result {
@@ -403,6 +434,16 @@ impl VirtualGpu {
     }
 }
 
+/// Clears [`VirtualGpu::in_flight`] on every exit path of `drive`,
+/// including unwinding.
+struct InFlightGuard<'a>(&'a AtomicBool);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
+    }
+}
+
 /// Turn a caught worker panic into a [`LaunchError`], or `None` if the
 /// panic is a secondary casualty of barrier poisoning (the primary fault is
 /// reported by the worker that caused it).
@@ -452,6 +493,7 @@ fn run_worker<K: Kernel + ?Sized>(
     faults: Option<&FaultPlan>,
     progress: &Cell<Progress>,
     trace: Option<&TraceState>,
+    check_nonce: u64,
 ) -> u64 {
     let tpb = cfg.threads_per_block;
     let nthreads = cfg.total_threads();
@@ -480,13 +522,21 @@ fn run_worker<K: Kernel + ?Sized>(
                 Some(_) if worker == 0 => Some(Instant::now()),
                 _ => None,
             };
+            // Barrier epoch for the data-race shadow logs: unique per
+            // (launch, iteration, phase) barrier interval.
+            let check_epoch = check_nonce
+                .wrapping_mul(1 << 24)
+                .wrapping_add((iteration * phases + phase) as u64);
             for &block in &my_blocks {
                 progress.set(Progress {
                     iteration,
                     phase,
                     block,
                 });
-                run_block_phase(kernel, cfg, block, phase, iteration, nthreads, counters, faults);
+                run_block_phase(
+                    kernel, cfg, block, phase, iteration, nthreads, counters, faults,
+                    check_epoch,
+                );
             }
             counters.barriers += 1;
             if let Some(t) = trace {
@@ -544,6 +594,7 @@ fn run_worker<K: Kernel + ?Sized>(
 
 /// Run one phase of one block: warp by warp, lane by lane.
 #[allow(clippy::too_many_arguments)]
+#[cfg_attr(not(feature = "morph-check"), allow(unused_variables))]
 fn run_block_phase<K: Kernel + ?Sized>(
     kernel: &K,
     cfg: &GpuConfig,
@@ -553,6 +604,7 @@ fn run_block_phase<K: Kernel + ?Sized>(
     nthreads: usize,
     counters: &mut WorkerCounters,
     faults: Option<&FaultPlan>,
+    check_epoch: u64,
 ) {
     let tpb = cfg.threads_per_block;
     let warp_size = cfg.warp_size;
@@ -582,6 +634,11 @@ fn run_block_phase<K: Kernel + ?Sized>(
                 counters,
                 faults,
             };
+            // Mark this OS thread as executing virtual thread `tid` in the
+            // current barrier interval, so shadow checkers can attribute
+            // accesses; the guard unwinds cleanly with a trapping kernel.
+            #[cfg(feature = "morph-check")]
+            let _scope = morph_check::KernelScope::enter(tid as u64, check_epoch);
             if kernel.run(phase, &mut ctx) {
                 active += 1;
             }

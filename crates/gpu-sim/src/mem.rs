@@ -35,8 +35,17 @@ unsafe impl<T: Send> Sync for SyncCell<T> {}
 /// Violating this is undefined behaviour, just as the equivalent data race
 /// is on the GPU. All algorithm kernels in this workspace uphold the
 /// contract via ownership marking (paper §7.3) or phase separation.
+///
+/// Under `--features morph-check` the contract becomes a runtime check:
+/// every in-kernel access is recorded in a shadow log keyed by
+/// (index, virtual thread, barrier epoch), and a write/write or read/write
+/// pair by distinct virtual threads within one barrier interval traps with
+/// an index- and thread-attributed diagnostic. Host-side bulk accessors
+/// additionally assert quiescence (no kernel on the calling thread).
 pub struct SharedSlice<T> {
     data: Vec<SyncCell<T>>,
+    #[cfg(feature = "morph-check")]
+    shadow: morph_check::ShadowLog,
 }
 
 impl<T: Copy + Send> SharedSlice<T> {
@@ -49,6 +58,8 @@ impl<T: Copy + Send> SharedSlice<T> {
     pub fn from_vec(v: Vec<T>) -> Self {
         Self {
             data: v.into_iter().map(|x| SyncCell(UnsafeCell::new(x))).collect(),
+            #[cfg(feature = "morph-check")]
+            shadow: morph_check::ShadowLog::new(),
         }
     }
 
@@ -65,6 +76,8 @@ impl<T: Copy + Send> SharedSlice<T> {
     /// Read element `i`. See the type-level concurrency contract.
     #[inline]
     pub fn get(&self, i: usize) -> T {
+        #[cfg(feature = "morph-check")]
+        self.shadow.on_read(i);
         // SAFETY: the cell is valid for `i < len` (slice indexing checks
         // bounds); concurrent access discipline is the caller's contract.
         unsafe { *self.data[i].0.get() }
@@ -74,12 +87,16 @@ impl<T: Copy + Send> SharedSlice<T> {
     /// concurrency contract.
     #[inline]
     pub fn set(&self, i: usize, v: T) {
+        #[cfg(feature = "morph-check")]
+        self.shadow.on_write(i);
         // SAFETY: as in `get`.
         unsafe { *self.data[i].0.get() = v }
     }
 
     /// Exclusive host-side view of the whole buffer.
     pub fn as_mut_slice(&mut self) -> &mut [T] {
+        #[cfg(feature = "morph-check")]
+        morph_check::assert_host_side("SharedSlice::as_mut_slice");
         // SAFETY: `&mut self` guarantees no concurrent device access;
         // `SyncCell<T>` is `repr(transparent)` over `T`.
         unsafe { std::slice::from_raw_parts_mut(self.data.as_mut_ptr().cast::<T>(), self.data.len()) }
@@ -89,15 +106,22 @@ impl<T: Copy + Send> SharedSlice<T> {
     /// new slots with `fill`. Host-side only (requires `&mut`), mirroring
     /// the paper's host-side reallocation strategies (§7.1).
     pub fn grow(&mut self, new_len: usize, fill: T) {
+        #[cfg(feature = "morph-check")]
+        morph_check::assert_host_side("SharedSlice::grow");
         while self.data.len() < new_len {
             self.data.push(SyncCell(UnsafeCell::new(fill)));
         }
     }
 
     /// Copy the contents out (host-side; requires quiescence, which `&self`
-    /// cannot prove — callers must not run kernels concurrently).
+    /// cannot prove — callers must not run kernels concurrently; morph-check
+    /// asserts the calling thread at least is not inside a kernel).
     pub fn to_vec(&self) -> Vec<T> {
-        (0..self.len()).map(|i| self.get(i)).collect()
+        #[cfg(feature = "morph-check")]
+        morph_check::assert_host_side("SharedSlice::to_vec");
+        // SAFETY: as in `get` — direct cell reads, bypassing the shadow log
+        // (this is a host-side snapshot, not an in-kernel access).
+        (0..self.len()).map(|i| unsafe { *self.data[i].0.get() }).collect()
     }
 }
 
@@ -185,8 +209,11 @@ macro_rules! atomic_slice {
                 }
             }
 
-            /// Snapshot the contents (host-side).
+            /// Snapshot the contents (host-side; morph-check asserts the
+            /// calling thread is not inside a kernel).
             pub fn to_vec(&self) -> Vec<$prim> {
+                #[cfg(feature = "morph-check")]
+                morph_check::assert_host_side(concat!(stringify!($name), "::to_vec"));
                 self.data.iter().map(|a| a.load(Ordering::Acquire)).collect()
             }
         }

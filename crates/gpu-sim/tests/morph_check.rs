@@ -1,0 +1,165 @@
+//! Negative tests for the morph-check data-race detector: a deliberately
+//! planted `SharedSlice` race must be caught with index and thread
+//! attribution, while disciplined kernels stay sanitizer-clean.
+//!
+//! Compiled only under `--features morph-check` (the detector does not
+//! exist otherwise).
+#![cfg(feature = "morph-check")]
+
+use morph_gpu_sim::{GpuConfig, Kernel, LaunchError, SharedSlice, ThreadCtx, VirtualGpu};
+
+/// Two virtual threads write the same index without any conflict-resolution
+/// ownership — the exact bug class 3-phase conflict resolution (paper §7.3)
+/// exists to prevent.
+struct PlantedRace {
+    data: SharedSlice<u32>,
+}
+
+impl Kernel for PlantedRace {
+    fn run(&self, _phase: usize, ctx: &mut ThreadCtx<'_>) -> bool {
+        if ctx.tid < 2 {
+            self.data.set(0, ctx.tid as u32);
+        }
+        false
+    }
+}
+
+#[test]
+fn planted_write_write_race_is_caught_with_attribution() {
+    let gpu = VirtualGpu::new(GpuConfig::small());
+    let k = PlantedRace {
+        data: SharedSlice::new(8, 0),
+    };
+    let err = gpu.try_launch(&k).expect_err("the race must trap");
+    match err {
+        LaunchError::KernelPanic { message, .. } => {
+            assert!(morph_check::is_violation(&message), "not a sanitizer verdict: {message}");
+            assert!(message.contains("data race"), "{message}");
+            assert!(message.contains("index 0"), "{message}");
+            assert!(message.contains("virtual thread 0"), "{message}");
+            assert!(message.contains("virtual thread 1"), "{message}");
+        }
+        other => panic!("expected KernelPanic, got {other}"),
+    }
+}
+
+/// A reader racing a writer on the same index is equally illegal.
+struct PlantedReadWriteRace {
+    data: SharedSlice<u32>,
+    sink: SharedSlice<u32>,
+}
+
+impl Kernel for PlantedReadWriteRace {
+    fn run(&self, _phase: usize, ctx: &mut ThreadCtx<'_>) -> bool {
+        match ctx.tid {
+            0 => self.data.set(3, 7),
+            1 => self.sink.set(1, self.data.get(3)),
+            _ => {}
+        }
+        false
+    }
+}
+
+#[test]
+fn planted_read_write_race_is_caught() {
+    let gpu = VirtualGpu::new(GpuConfig::small());
+    let k = PlantedReadWriteRace {
+        data: SharedSlice::new(8, 0),
+        sink: SharedSlice::new(8, 0),
+    };
+    let err = gpu.try_launch(&k).expect_err("the race must trap");
+    match err {
+        LaunchError::KernelPanic { message, .. } => {
+            assert!(message.contains("data race"), "{message}");
+            assert!(message.contains("index 3"), "{message}");
+        }
+        other => panic!("expected KernelPanic, got {other}"),
+    }
+}
+
+/// The disciplined patterns the workspace's kernels actually use must stay
+/// clean: per-thread disjoint writes in one phase, cross-thread reads only
+/// after the phase barrier.
+struct OwnerThenReaders {
+    data: SharedSlice<u32>,
+    sums: SharedSlice<u32>,
+}
+
+impl Kernel for OwnerThenReaders {
+    fn phases(&self) -> usize {
+        2
+    }
+
+    fn run(&self, phase: usize, ctx: &mut ThreadCtx<'_>) -> bool {
+        match phase {
+            0 => self.data.set(ctx.tid, ctx.tid as u32),
+            _ => {
+                // Every thread reads a *peer's* element — legal because the
+                // write happened in the previous barrier interval.
+                let peer = (ctx.tid + 1) % ctx.nthreads;
+                self.sums.set(ctx.tid, self.data.get(peer) + 1);
+            }
+        }
+        true
+    }
+}
+
+#[test]
+fn phase_separated_sharing_is_clean() {
+    let gpu = VirtualGpu::new(GpuConfig::small());
+    let n = gpu.config().total_threads();
+    let k = OwnerThenReaders {
+        data: SharedSlice::new(n, 0),
+        sums: SharedSlice::new(n, 0),
+    };
+    gpu.try_launch(&k).expect("disciplined kernel must be sanitizer-clean");
+    for t in 0..n {
+        assert_eq!(k.sums.get(t), ((t + 1) % n) as u32 + 1);
+    }
+}
+
+/// Re-launching reuses the same slice with fresh barrier epochs: writes by
+/// different threads across launches are not races.
+#[test]
+fn cross_launch_accesses_are_clean() {
+    let gpu = VirtualGpu::new(GpuConfig::small());
+    let n = gpu.config().total_threads();
+    let k = OwnerThenReaders {
+        data: SharedSlice::new(n, 0),
+        sums: SharedSlice::new(n, 0),
+    };
+    for _ in 0..3 {
+        gpu.try_launch(&k).expect("repeat launches must stay clean");
+    }
+}
+
+/// The quiescence contract: host-side bulk access from inside a kernel is
+/// trapped (the host must wait for the launch to finish).
+struct HostAccessFromKernel {
+    data: SharedSlice<u32>,
+}
+
+impl Kernel for HostAccessFromKernel {
+    fn run(&self, _phase: usize, ctx: &mut ThreadCtx<'_>) -> bool {
+        if ctx.tid == 0 {
+            let _ = self.data.to_vec();
+        }
+        false
+    }
+}
+
+#[test]
+fn in_kernel_bulk_access_violates_quiescence() {
+    let gpu = VirtualGpu::new(GpuConfig::small());
+    let k = HostAccessFromKernel {
+        data: SharedSlice::new(4, 0),
+    };
+    let err = gpu.try_launch(&k).expect_err("quiescence violation must trap");
+    match err {
+        LaunchError::KernelPanic { message, .. } => {
+            assert!(message.contains("quiescence"), "{message}");
+            assert!(message.contains("SharedSlice::to_vec"), "{message}");
+        }
+        other => panic!("expected KernelPanic, got {other}"),
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! The improved Galois 2.1.5 MST baseline the paper describes in §8.4
 //! "incorporates a fast union-find data structure that maintains groups of
-//! nodes [and] keeps the graph unmodified". This is that structure: a
+//! nodes \[and\] keeps the graph unmodified". This is that structure: a
 //! lock-free parent array with CAS linking and path halving. Roots are
 //! canonicalised to the **minimum node id** of their set, matching the
 //! paper's cycle-representative rule ("choosing the component with minimum

@@ -175,6 +175,10 @@ pub fn try_mst_with_stats(
     });
     recovery.arm(&mut gpu);
 
+    #[cfg(feature = "morph-check")]
+    let mut oracle = morph_core::OracleGate::new();
+    #[cfg(feature = "morph-check")]
+    let mut reference: Option<MstResult> = None;
     let outcome = drive_recovering(&mut gpu, None, &recovery.policy, |gpu, ctx| {
         if ctx.attempt > 0 {
             // Clear survivors of the failed attempt (kernel 4 may not have
@@ -213,6 +217,24 @@ pub fn try_mst_with_stats(
         } else {
             HostAction::Stop
         };
+        // End-state oracle (§6.5): the accepted edges must form a spanning
+        // forest of the union-find partition, and at completion the forest
+        // must match the Kruskal reference exactly.
+        #[cfg(feature = "morph-check")]
+        if oracle.due(ctx, &action) {
+            morph_core::report_oracle(
+                gpu.tracer(),
+                "oracle.mst.end_state",
+                mst_oracle(
+                    g,
+                    &uf,
+                    weight.load(Ordering::Acquire),
+                    edges.load(Ordering::Acquire),
+                    &mut reference,
+                    action == HostAction::Stop,
+                ),
+            );
+        }
         Ok(StepReport {
             stats,
             action,
@@ -231,6 +253,45 @@ pub fn try_mst_with_stats(
         launch: outcome.stats,
         retries: outcome.retries,
     })
+}
+
+/// Spanning-forest oracle. At any point the accepted edge count must equal
+/// `n − components` (every union adds exactly one tree edge) and the
+/// accumulated weight can never exceed the Kruskal optimum (each accepted
+/// edge is a cut-property MST edge); at completion both must match the
+/// Kruskal reference exactly.
+#[cfg(feature = "morph-check")]
+fn mst_oracle(
+    g: &Csr,
+    uf: &UnionFind,
+    weight: u64,
+    edges: usize,
+    reference: &mut Option<MstResult>,
+    done: bool,
+) -> Result<(), String> {
+    let n = g.num_nodes();
+    let components = (0..n as u32).filter(|&v| uf.find(v) == v).count();
+    if edges != n - components {
+        return Err(format!(
+            "{edges} accepted edges but the union-find splits {n} nodes into {components} \
+             components; a spanning forest needs {}",
+            n - components
+        ));
+    }
+    let want = reference.get_or_insert_with(|| crate::kruskal::mst(g));
+    if weight > want.weight {
+        return Err(format!(
+            "accumulated weight {weight} exceeds the Kruskal optimum {}",
+            want.weight
+        ));
+    }
+    if done && (edges != want.edges || weight != want.weight) {
+        return Err(format!(
+            "final forest has {edges} edges / weight {weight}, Kruskal reference has {} / {}",
+            want.edges, want.weight
+        ));
+    }
+    Ok(())
 }
 
 /// Minimum spanning forest (result only).

@@ -224,6 +224,10 @@ pub fn try_solve_with(
     });
     recovery.arm(&mut gpu);
 
+    #[cfg(feature = "morph-check")]
+    let mut oracle = morph_core::OracleGate::new();
+    #[cfg(feature = "morph-check")]
+    let mut reference: Option<Solution> = None;
     let outcome = drive_recovering(&mut gpu, Some(sched), &recovery.policy, |gpu, ctx| {
         if let Some(new_max) = ctx.regrow_to {
             incoming.clear_overflow();
@@ -247,9 +251,18 @@ pub fn try_solve_with(
             // A dropped edge means the iteration is incomplete: regrow and
             // re-run it. Dirty marks are left un-aged so already-published
             // growth stays visible to the re-run.
+            let action = HostAction::Regrow(incoming.max_chunks() * 2);
+            #[cfg(feature = "morph-check")]
+            if oracle.due(ctx, &action) {
+                morph_core::report_oracle(
+                    gpu.tracer(),
+                    "oracle.pta.fixpoint",
+                    pta_oracle(prob, &pts, &mut reference, false),
+                );
+            }
             return Ok(StepReport {
                 stats,
-                action: HostAction::Regrow(incoming.max_chunks() * 2),
+                action,
                 progressed: true,
             });
         }
@@ -290,6 +303,17 @@ pub fn try_solve_with(
         } else {
             HostAction::Continue
         };
+        // End-state oracle (§6.4): at the fixpoint the points-to sets must
+        // equal the CPU reference; after a recovery escalation the partial
+        // sets must at least be a sound subset of it (monotone analysis).
+        #[cfg(feature = "morph-check")]
+        if oracle.due(ctx, &action) {
+            morph_core::report_oracle(
+                gpu.tracer(),
+                "oracle.pta.fixpoint",
+                pta_oracle(prob, &pts, &mut reference, action == HostAction::Stop),
+            );
+        }
         if opts.divergence_sort && action == HostAction::Continue {
             // §7.6: nodes with enabled incoming edges to one side.
             let mut ids = order.to_vec();
@@ -316,6 +340,38 @@ pub fn try_solve_with(
         retries: outcome.retries,
         regrows: outcome.regrows,
     })
+}
+
+/// Fixpoint oracle against the serial CPU solver, guarded to small inputs
+/// (the reference is cubic-ish). `done` selects strict equality (at Stop)
+/// versus monotone soundness (mid-run, after a recovery escalation: every
+/// derived points-to bit must already be in the CPU fixpoint).
+#[cfg(feature = "morph-check")]
+fn pta_oracle(
+    prob: &PtaProblem,
+    pts: &AtomicBitmap,
+    reference: &mut Option<Solution>,
+    done: bool,
+) -> Result<(), String> {
+    let n = prob.num_vars;
+    if n > 256 {
+        return Ok(());
+    }
+    let want = reference.get_or_insert_with(|| crate::serial::solve(prob));
+    for (v, want_row) in want.iter().enumerate() {
+        let got = pts.row_to_vec(v);
+        if done && got != *want_row {
+            return Err(format!(
+                "fixpoint mismatch at node {v}: gpu points-to {got:?} differs from CPU reference {want_row:?}"
+            ));
+        }
+        if let Some(&q) = got.iter().find(|q| !want_row.contains(q)) {
+            return Err(format!(
+                "unsound points-to bit at node {v}: {q} is not in the CPU fixpoint"
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Solve with default options.

@@ -108,6 +108,8 @@ pub fn try_propagate(
     recovery.arm(&mut gpu);
     let max_sweeps = max_sweeps.max(1);
     let mut sweeps = 0usize;
+    #[cfg(feature = "morph-check")]
+    let mut oracle = morph_core::OracleGate::new();
     let outcome = drive_recovering(&mut gpu, None, &recovery.policy, |gpu, _ctx| {
         let k = SurveyKernel {
             fg,
@@ -143,6 +145,13 @@ pub fn try_propagate(
         } else {
             HostAction::Continue
         };
+        // End-state oracle (§6.2): surveys on live edges must be finite
+        // probabilities, and live clauses must reference only in-range,
+        // still-free variables — the state decimation relies on.
+        #[cfg(feature = "morph-check")]
+        if oracle.due(_ctx, &action) {
+            morph_core::report_oracle(gpu.tracer(), "oracle.sp.surveys", sp_oracle(fg, s));
+        }
         Ok(StepReport {
             stats,
             action,
@@ -159,6 +168,41 @@ pub fn solve(f: &Formula, params: &SpParams, sms: usize) -> (SolveOutcome, Solve
     run_solver(f, params, |fg, s| {
         propagate(fg, s, params.eps, params.max_sweeps, sms).0
     })
+}
+
+/// End-state oracle: every live edge carries a finite survey in `[0, 1]`,
+/// and live clauses reference only in-range, still-free variables. Checked
+/// at propagate completion and after recovery escalations.
+#[cfg(feature = "morph-check")]
+fn sp_oracle(fg: &FactorGraph, s: &Surveys) -> Result<(), String> {
+    for a in 0..fg.num_clauses {
+        if fg.clause_deleted.is_deleted(a as u32) {
+            continue;
+        }
+        for e in fg.clause_slots(a) {
+            if !fg.edge_live(e) {
+                continue;
+            }
+            let eta = s.get(e);
+            if !eta.is_finite() || !(0.0..=1.0).contains(&eta) {
+                return Err(format!(
+                    "live clause {a} edge slot {e} carries non-probability survey {eta}"
+                ));
+            }
+            let v = fg.edge_var(e);
+            if v as usize >= fg.num_vars {
+                return Err(format!(
+                    "live clause {a} edge slot {e} references out-of-range var {v}"
+                ));
+            }
+            if !fg.var_free(v) {
+                return Err(format!(
+                    "live clause {a} references var {v}, which decimation already fixed"
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

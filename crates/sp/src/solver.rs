@@ -179,6 +179,8 @@ pub fn run_solver(
             if fg.num_clauses > 64 && (live as f64) < params.compact_below * fg.num_clauses as f64
             {
                 let (new_fg, remap) = fg.compacted();
+                #[cfg(feature = "morph-check")]
+                check_compaction(&fg, &new_fg, &remap);
                 s = s.remapped(&fg, &new_fg, &remap);
                 fg = new_fg;
                 stats.compactions += 1;
@@ -188,6 +190,78 @@ pub fn run_solver(
     let result = finish(&fg, &mut stats);
     stats.wall = start.elapsed();
     (result, stats)
+}
+
+/// Compaction oracle (issue "decimated formula consistent with the
+/// compaction remap"): the remap must send deleted clauses to `u32::MAX`
+/// and be a bijection from live clauses onto `0..live`, and every
+/// surviving clause must carry its literal slots into the new graph
+/// unchanged. Violations trap with the standard morph-check prefix so the
+/// engine attributes them like any other sanitizer finding.
+#[cfg(feature = "morph-check")]
+fn check_compaction(old: &FactorGraph, new_fg: &FactorGraph, remap: &[u32]) {
+    use crate::factor_graph::EMPTY;
+    fn fail(detail: String) -> ! {
+        panic!("morph-check violation [sp.compaction]: {detail}");
+    }
+    let live = old.live_clauses();
+    if remap.len() != old.num_clauses {
+        fail(format!(
+            "remap covers {} clauses but the old graph has {}",
+            remap.len(),
+            old.num_clauses
+        ));
+    }
+    if new_fg.num_clauses != live {
+        fail(format!(
+            "compacted graph has {} clauses but {} were live",
+            new_fg.num_clauses, live
+        ));
+    }
+    let mut seen = vec![false; live];
+    for (a, &r) in remap.iter().enumerate() {
+        if old.clause_deleted.is_deleted(a as u32) {
+            if r != u32::MAX {
+                fail(format!(
+                    "deleted clause {a} remapped to live slot {r} instead of u32::MAX"
+                ));
+            }
+            continue;
+        }
+        if r as usize >= live {
+            fail(format!(
+                "live clause {a} remapped to {r}, outside the live range 0..{live}"
+            ));
+        }
+        if seen[r as usize] {
+            fail(format!(
+                "remap is not injective: new slot {r} assigned to clause {a} and an earlier clause"
+            ));
+        }
+        seen[r as usize] = true;
+        for j in 0..old.k {
+            let (ov, nv) = (
+                old.edge_var(a * old.k + j),
+                new_fg.edge_var(r as usize * new_fg.k + j),
+            );
+            if ov != nv {
+                fail(format!(
+                    "clause {a} slot {j}: literal var changed {ov} -> {nv} across compaction"
+                ));
+            }
+            if ov != EMPTY && old.edge_neg(a * old.k + j) != new_fg.edge_neg(r as usize * new_fg.k + j)
+            {
+                fail(format!(
+                    "clause {a} slot {j}: literal polarity flipped across compaction"
+                ));
+            }
+        }
+    }
+    // Surjectivity follows from injectivity + the count check, but assert
+    // it anyway so a miscounted `live` cannot mask a hole.
+    if let Some(hole) = seen.iter().position(|&s| !s) {
+        fail(format!("no live clause was remapped onto new slot {hole}"));
+    }
 }
 
 #[cfg(test)]
@@ -282,6 +356,28 @@ mod tests {
         if s1.rounds > 2 {
             assert!(s1.compactions >= 1, "rounds={} compactions=0", s1.rounds);
         }
+    }
+
+    #[cfg(feature = "morph-check")]
+    #[test]
+    fn tampered_compaction_remap_is_caught() {
+        let f = random_ksat(60, 3.0, 3, 41);
+        let fg = FactorGraph::new(&f);
+        fg.clause_deleted.mark_deleted(2);
+        fg.clause_deleted.mark_deleted(5);
+        let (new_fg, mut remap) = fg.compacted();
+        check_compaction(&fg, &new_fg, &remap); // honest remap is clean
+        // Point two live clauses at the same new slot.
+        let (a, b) = (remap[0], remap[1]);
+        assert_ne!(a, b);
+        remap[1] = a;
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            check_compaction(&fg, &new_fg, &remap)
+        }))
+        .expect_err("duplicate remap target must trap");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("morph-check violation [sp.compaction]"), "{msg}");
+        assert!(msg.contains("not injective"), "{msg}");
     }
 
     #[test]

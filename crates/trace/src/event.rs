@@ -175,6 +175,19 @@ pub enum TraceEvent {
         metric: String,
         value: f64,
     },
+    /// A morph-check sanitizer or end-state-oracle verdict. `check` names
+    /// the checker (e.g. `"oracle.dmr.end_state"`, `"double_donate"`),
+    /// `status` is `"ok"` or `"violation"`, `index` locates the offending
+    /// element when there is one (0 otherwise), and `detail` carries the
+    /// attributed diagnostic for violations. Emitted only when the
+    /// pipelines are built with `--features morph-check`; the schema is
+    /// always present so reports can decode any stream.
+    Sanitizer {
+        check: String,
+        status: String,
+        index: u64,
+        detail: String,
+    },
 }
 
 impl TraceEvent {
@@ -188,6 +201,7 @@ impl TraceEvent {
             TraceEvent::Alloc { .. } => "alloc",
             TraceEvent::Worklist { .. } => "worklist",
             TraceEvent::AlgoIteration { .. } => "algo_iteration",
+            TraceEvent::Sanitizer { .. } => "sanitizer",
         }
     }
 
@@ -240,6 +254,12 @@ impl TraceEvent {
                 iteration: u("iteration")?,
                 metric: s("metric")?,
                 value: v.get("value").and_then(JsonValue::as_f64)?,
+            },
+            "sanitizer" => TraceEvent::Sanitizer {
+                check: s("check")?,
+                status: s("status")?,
+                index: u("index")?,
+                detail: s("detail")?,
             },
             _ => return None,
         })
@@ -361,6 +381,20 @@ impl Serialize for TraceEvent {
                 st.serialize_field("value", value)?;
                 st.end()
             }
+            TraceEvent::Sanitizer {
+                check,
+                status,
+                index,
+                detail,
+            } => {
+                let mut st = s.serialize_struct("TraceEvent", 5)?;
+                st.serialize_field("type", self.kind())?;
+                st.serialize_field("check", check)?;
+                st.serialize_field("status", status)?;
+                st.serialize_field("index", index)?;
+                st.serialize_field("detail", detail)?;
+                st.end()
+            }
         }
     }
 }
@@ -429,6 +463,12 @@ mod tests {
             iteration: 5,
             metric: "bad_triangles".into(),
             value: 321.0,
+        });
+        roundtrip(TraceEvent::Sanitizer {
+            check: "oracle.dmr.end_state".into(),
+            status: "violation".into(),
+            index: 42,
+            detail: "triangle 42 references deleted slot 7".into(),
         });
     }
 

@@ -39,6 +39,21 @@ pub struct RecoveryRow {
     pub detail: String,
 }
 
+/// A morph-check sanitizer / end-state-oracle verdict from the stream.
+#[derive(Debug, Clone)]
+pub struct SanitizerRow {
+    pub check: String,
+    pub status: String,
+    pub index: u64,
+    pub detail: String,
+}
+
+impl SanitizerRow {
+    pub fn is_violation(&self) -> bool {
+        self.status != "ok"
+    }
+}
+
 /// Everything `trace-report` renders, folded from one pass over the
 /// events.
 #[derive(Debug, Default)]
@@ -46,6 +61,9 @@ pub struct TraceReport {
     pub phases: BTreeMap<u64, PhaseAgg>,
     pub launches: Vec<LaunchRow>,
     pub recoveries: Vec<RecoveryRow>,
+    /// Sanitizer verdicts, in stream order (empty unless the recorded run
+    /// was built with `--features morph-check`).
+    pub sanitizers: Vec<SanitizerRow>,
     /// `(algo, metric)` → `(iteration, value)` series, in stream order.
     pub series: BTreeMap<(String, String), Vec<(u64, f64)>>,
     /// Allocator name → peak `used` / last `capacity` seen.
@@ -130,6 +148,17 @@ impl TraceReport {
                     .entry((algo.clone(), metric.clone()))
                     .or_default()
                     .push((*iteration, *value)),
+                TraceEvent::Sanitizer {
+                    check,
+                    status,
+                    index,
+                    detail,
+                } => r.sanitizers.push(SanitizerRow {
+                    check: check.clone(),
+                    status: status.clone(),
+                    index: *index,
+                    detail: detail.clone(),
+                }),
             }
         }
         r
@@ -276,6 +305,24 @@ impl TraceReport {
             out.push_str(&format!(
                 "worklist  {name}: peak occupancy {peak} of {cap}\n"
             ));
+        }
+        if !self.sanitizers.is_empty() {
+            let violations = self.sanitizers.iter().filter(|s| s.is_violation()).count();
+            out.push_str(&format!(
+                "sanitizer       : {} verdicts, {} violations\n",
+                self.sanitizers.len(),
+                violations
+            ));
+            for row in &self.sanitizers {
+                if row.is_violation() {
+                    out.push_str(&format!(
+                        "  [{}] {} (index {}): {}\n",
+                        row.status, row.check, row.index, row.detail
+                    ));
+                } else {
+                    out.push_str(&format!("  [{}] {}\n", row.status, row.check));
+                }
+            }
         }
         out
     }
@@ -452,6 +499,32 @@ mod tests {
         assert_eq!(r.worklist_peaks["wl"], (3, 8));
         let w = r.waste();
         assert_eq!((w.retries, w.regrows, w.rescues), (1, 1, 0));
+    }
+
+    #[test]
+    fn sanitizer_verdicts_surface_in_waste_report() {
+        let events = vec![
+            TraceEvent::Sanitizer {
+                check: "oracle.mst.end_state".into(),
+                status: "ok".into(),
+                index: 0,
+                detail: String::new(),
+            },
+            TraceEvent::Sanitizer {
+                check: "double_donate".into(),
+                status: "violation".into(),
+                index: 9,
+                detail: "slot 9 donated twice".into(),
+            },
+        ];
+        let r = TraceReport::from_events(&events);
+        assert_eq!(r.sanitizers.len(), 2);
+        assert!(!r.sanitizers[0].is_violation());
+        assert!(r.sanitizers[1].is_violation());
+        let waste = r.render_waste();
+        assert!(waste.contains("sanitizer       : 2 verdicts, 1 violations"), "{waste}");
+        assert!(waste.contains("[ok] oracle.mst.end_state"), "{waste}");
+        assert!(waste.contains("double_donate (index 9): slot 9 donated twice"), "{waste}");
     }
 
     #[test]

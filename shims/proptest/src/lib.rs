@@ -155,7 +155,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Element-count bound for [`vec`]; built from a `usize` or a
+    /// Element-count bound for [`vec()`]; built from a `usize` or a
     /// half-open `Range<usize>`.
     #[derive(Clone, Debug)]
     pub struct SizeRange(Range<usize>);
