@@ -33,6 +33,7 @@ pub use adaptive::AdaptiveParallelism;
 pub use addition::BumpAllocator;
 pub use conflict::ConflictTable;
 pub use deletion::{DeletionMarks, RecyclePool};
+pub use morph_gpu_sim::CancelToken;
 pub use runtime::{
     drive, drive_recovering, DriveError, DriveOutcome, HostAction, OracleGate, RecoveryOpts,
     RecoveryPolicy, RescueLevel, StepCtx, StepReport,

@@ -25,7 +25,7 @@
 //! into a runtime safety net.
 
 use crate::adaptive::AdaptiveParallelism;
-use morph_gpu_sim::{FaultPlan, Kernel, LaunchError, LaunchStats, VirtualGpu};
+use morph_gpu_sim::{CancelToken, FaultPlan, Kernel, LaunchError, LaunchStats, VirtualGpu};
 use morph_trace::{RecoveryKind, TraceEvent, Tracer};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -124,16 +124,25 @@ pub struct RecoveryOpts {
     /// event per retry/regrow/rescue decision through the same handle.
     /// Defaults to [`Tracer::disabled`] (no events, no overhead).
     pub tracer: Tracer,
+    /// Cooperative cancellation token. [`drive_recovering`] checks it at
+    /// every host-action boundary (before each launch attempt) and unwinds
+    /// with [`DriveError::Cancelled`] when raised — the owner of the other
+    /// handle (a job scheduler, a signal handler) gets the device back with
+    /// quiescent buffers. Cloning `RecoveryOpts` shares the token. The
+    /// default token is never cancelled.
+    pub cancel: CancelToken,
 }
 
 impl RecoveryOpts {
-    /// Arm the fault plan, watchdog and tracer on a freshly built GPU.
+    /// Arm the fault plan, watchdog, tracer and cancellation token on a
+    /// freshly built GPU.
     pub fn arm(&self, gpu: &mut VirtualGpu) {
         if let Some(plan) = &self.fault_plan {
             gpu.set_fault_plan(Arc::clone(plan));
         }
         gpu.set_barrier_watchdog(self.barrier_watchdog);
         gpu.set_tracer(self.tracer.clone());
+        gpu.set_cancel_token(self.cancel.clone());
     }
 }
 
@@ -201,6 +210,10 @@ pub enum DriveError {
     RegrowsExhausted { iteration: u64, regrows: u32 },
     /// Zero-progress iterations persisted through the whole rescue ladder.
     Livelock { iteration: u64, rescues: u32 },
+    /// The run's [`CancelToken`] was raised; the loop unwound at the next
+    /// host-action boundary. Not a failure of the algorithm — the caller
+    /// asked for the device back.
+    Cancelled { iteration: u64 },
 }
 
 impl std::fmt::Display for DriveError {
@@ -222,6 +235,9 @@ impl std::fmt::Display for DriveError {
                 f,
                 "livelock at iteration {iteration}: no progress through {rescues} rescue escalations"
             ),
+            DriveError::Cancelled { iteration } => {
+                write!(f, "cancelled at iteration {iteration}")
+            }
         }
     }
 }
@@ -282,6 +298,19 @@ pub fn drive_recovering(
     let mut rescue = RescueLevel::None;
 
     loop {
+        // Host-action boundary: a raised cancellation token wins over
+        // everything else. No launch is in flight here, so device buffers
+        // are quiescent and the caller gets the GPU back immediately.
+        if gpu.cancel_token().is_cancelled() {
+            tracer.emit(|| TraceEvent::Recovery {
+                iteration,
+                attempt: attempt as u64,
+                kind: RecoveryKind::Cancelled,
+                capacity: 0,
+                detail: "cancellation token raised".into(),
+            });
+            return Err(DriveError::Cancelled { iteration });
+        }
         if rescue == RescueLevel::Serial {
             gpu.set_geometry(1, 1);
         } else if let Some(sched) = adaptive {
@@ -975,6 +1004,109 @@ mod tests {
                 RecoveryKind::GiveUp,
             ]
         );
+    }
+
+    #[test]
+    fn cancellation_unwinds_at_the_next_host_boundary() {
+        let mut gpu = VirtualGpu::new(GpuConfig::small());
+        let token = CancelToken::new();
+        let opts = RecoveryOpts {
+            cancel: token.clone(),
+            ..RecoveryOpts::default()
+        };
+        opts.arm(&mut gpu);
+        let k = ToyKernel {
+            sum: AtomicU64::new(0),
+            changed: AtomicBool::new(false),
+            threshold: 0,
+        };
+        let mut steps = 0u64;
+        let err = drive_recovering(&mut gpu, None, &opts.policy, |gpu, _ctx| {
+            steps += 1;
+            if steps == 3 {
+                // Raised mid-step: the driver must still finish this step
+                // and only unwind at the next host-action boundary.
+                token.cancel();
+            }
+            let stats = gpu.try_launch(&k)?;
+            Ok(StepReport {
+                stats,
+                action: HostAction::Continue,
+                progressed: true,
+            })
+        })
+        .expect_err("cancellation must surface as a DriveError");
+        assert_eq!(steps, 3, "no launch after the token was raised");
+        match err {
+            DriveError::Cancelled { iteration } => assert_eq!(iteration, 3),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancellation_before_the_first_launch_runs_nothing() {
+        let mut gpu = VirtualGpu::new(GpuConfig::small());
+        let token = CancelToken::new();
+        token.cancel();
+        gpu.set_cancel_token(token);
+        let k = ToyKernel {
+            sum: AtomicU64::new(0),
+            changed: AtomicBool::new(false),
+            threshold: 0,
+        };
+        let err = drive_recovering(
+            &mut gpu,
+            None,
+            &RecoveryPolicy::default(),
+            |gpu, _ctx| {
+                let stats = gpu.try_launch(&k)?;
+                Ok(StepReport {
+                    stats,
+                    action: HostAction::Stop,
+                    progressed: true,
+                })
+            },
+        )
+        .expect_err("pre-cancelled token must stop the loop before launch 0");
+        assert_eq!(err, DriveError::Cancelled { iteration: 0 });
+        assert_eq!(k.sum.load(Ordering::Acquire), 0, "no kernel may have run");
+    }
+
+    #[test]
+    fn cancellation_emits_a_recovery_event() {
+        use morph_trace::{RecoveryKind, RingSink, TraceEvent, Tracer};
+
+        let mut gpu = VirtualGpu::new(GpuConfig::small());
+        let sink = Arc::new(RingSink::new(64));
+        gpu.set_tracer(Tracer::new(sink.clone()));
+        let token = CancelToken::new();
+        token.cancel();
+        gpu.set_cancel_token(token);
+        let k = ToyKernel {
+            sum: AtomicU64::new(0),
+            changed: AtomicBool::new(false),
+            threshold: 0,
+        };
+        let _ = drive_recovering(
+            &mut gpu,
+            None,
+            &RecoveryPolicy::default(),
+            |gpu, _ctx| {
+                let stats = gpu.try_launch(&k)?;
+                Ok(StepReport {
+                    stats,
+                    action: HostAction::Stop,
+                    progressed: true,
+                })
+            },
+        );
+        assert!(sink.events().iter().any(|e| matches!(
+            e,
+            TraceEvent::Recovery {
+                kind: RecoveryKind::Cancelled,
+                ..
+            }
+        )));
     }
 
     #[test]

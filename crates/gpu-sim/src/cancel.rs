@@ -1,0 +1,73 @@
+//! Cooperative cancellation.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag shared between a job owner
+//! (a scheduler, a CLI signal handler, a test) and the host loop driving a
+//! [`crate::VirtualGpu`]. Cancellation is *cooperative*: raising the token
+//! never interrupts a launch mid-kernel — the recovering driver in
+//! `morph-core` observes it at the next host-action boundary (between
+//! launches) and unwinds with a structured error, leaving device state
+//! quiescent. That is exactly the granularity a multi-tenant serving layer
+//! needs: a cancelled job releases its device slot at the next iteration
+//! boundary without poisoning the simulator.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag. Cloning shares the flag; the default token
+/// is never cancelled (and allocates nothing observable beyond one `Arc`).
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raise the flag. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has [`CancelToken::cancel`] been called (on this token or any
+    /// clone)?
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// Do these two handles share one flag?
+    pub fn same_token(&self, other: &CancelToken) -> bool {
+        Arc::ptr_eq(&self.flag, &other.flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!t.is_cancelled());
+        assert!(t.same_token(&c));
+        c.cancel();
+        assert!(t.is_cancelled());
+        assert!(c.is_cancelled());
+        // Idempotent.
+        t.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn fresh_tokens_are_independent() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        assert!(!a.same_token(&b));
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+}

@@ -96,14 +96,34 @@ impl GpuConfig {
     }
 
     /// Replace the launch geometry.
+    ///
+    /// A zero block count or zero threads-per-block describes a grid that
+    /// can never execute a kernel; it is always a caller bug (an adaptive
+    /// schedule gone wrong, an uninitialised option struct). Debug builds
+    /// trap on it; release builds clamp to 1 so a degenerate configuration
+    /// degrades to serial execution instead of dividing by zero deeper in
+    /// the engine.
     pub fn with_geometry(mut self, blocks: usize, threads_per_block: usize) -> Self {
+        debug_assert!(
+            blocks > 0,
+            "launch geometry with zero blocks: the grid would never run"
+        );
+        debug_assert!(
+            threads_per_block > 0,
+            "launch geometry with zero threads per block: the grid would never run"
+        );
         self.blocks = blocks.max(1);
         self.threads_per_block = threads_per_block.max(1);
         self
     }
 
     /// Replace the number of virtual SMs (host workers).
+    ///
+    /// Zero SMs would leave every block unscheduled; like
+    /// [`GpuConfig::with_geometry`], debug builds trap and release builds
+    /// clamp to one worker.
     pub fn with_sms(mut self, sms: usize) -> Self {
+        debug_assert!(sms > 0, "a GPU with zero SMs cannot schedule any block");
         self.num_sms = sms.max(1);
         self
     }
@@ -133,13 +153,44 @@ mod tests {
         assert_eq!(c.total_threads(), c.blocks * 64);
     }
 
+    /// Release builds clamp degenerate geometry to a 1×1 serial grid
+    /// instead of propagating a zero into the engine's divisions.
     #[test]
-    fn zero_guards() {
+    #[cfg(not(debug_assertions))]
+    fn zero_guards_clamp_in_release() {
         let c = GpuConfig::small().with_geometry(0, 0).with_sms(0);
         assert_eq!(c.blocks, 1);
         assert_eq!(c.threads_per_block, 1);
         assert_eq!(c.num_sms, 1);
         assert_eq!(c.effective_workers(), 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "zero blocks")]
+    fn zero_blocks_trap_in_debug() {
+        let _ = GpuConfig::small().with_geometry(0, 8);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "zero threads per block")]
+    fn zero_tpb_traps_in_debug() {
+        let _ = GpuConfig::small().with_geometry(4, 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "zero SMs")]
+    fn zero_sms_traps_in_debug() {
+        let _ = GpuConfig::small().with_sms(0);
+    }
+
+    /// Nonzero inputs pass through both guards untouched.
+    #[test]
+    fn nonzero_geometry_is_preserved() {
+        let c = GpuConfig::small().with_geometry(7, 3).with_sms(5);
+        assert_eq!((c.blocks, c.threads_per_block, c.num_sms), (7, 3, 5));
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 use crate::barrier::{make_barrier, GlobalBarrier, BARRIER_POISON_MSG, BARRIER_TIMEOUT_MSG};
 use crate::config::GpuConfig;
+use crate::cancel::CancelToken;
 use crate::counters::{LaunchStats, WorkerCounters};
 use crate::fault::FaultPlan;
 use crate::kernel::{Decision, Kernel, ThreadCtx};
@@ -170,6 +171,7 @@ pub struct VirtualGpu {
     faults: Option<Arc<FaultPlan>>,
     barrier_watchdog: Option<Duration>,
     tracer: Tracer,
+    cancel: CancelToken,
     launch_seq: AtomicU64,
     /// True while a launch is executing on this GPU. Host-side exclusive
     /// access to device buffers (`SharedSlice::as_mut_slice`/`to_vec`) is
@@ -185,6 +187,7 @@ impl VirtualGpu {
             faults: None,
             barrier_watchdog: None,
             tracer: Tracer::disabled(),
+            cancel: CancelToken::new(),
             launch_seq: AtomicU64::new(0),
             in_flight: AtomicBool::new(false),
         }
@@ -210,6 +213,21 @@ impl VirtualGpu {
     /// engine's spans.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Attach a cancellation token. The engine itself never aborts a
+    /// launch mid-kernel; host loops (`morph_core::drive_recovering`)
+    /// consult this token at host-action boundaries and unwind with a
+    /// structured error, so a cancelled job releases the device with
+    /// quiescent buffers.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = token;
+    }
+
+    /// The attached cancellation token (a fresh, never-cancelled token by
+    /// default).
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
     }
 
     pub fn config(&self) -> &GpuConfig {

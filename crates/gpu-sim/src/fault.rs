@@ -62,6 +62,19 @@ pub struct FaultPlan {
     denials: Vec<AllocDenial>,
 }
 
+// Summarised by hand: the fault lists are implementation detail, but
+// holders of a plan (job specs, chaos configs) want to be derivable.
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("launches_begun", &self.launches_begun.load(Ordering::Relaxed))
+            .field("panics", &self.panics.len())
+            .field("stalls", &self.stalls.len())
+            .field("denials", &self.denials.len())
+            .finish()
+    }
+}
+
 impl FaultPlan {
     pub fn new() -> Self {
         Self::default()

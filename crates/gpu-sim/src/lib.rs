@@ -57,6 +57,7 @@
 //! ```
 
 pub mod barrier;
+pub mod cancel;
 pub mod config;
 pub mod counters;
 pub mod engine;
@@ -65,6 +66,7 @@ pub mod kernel;
 pub mod mem;
 pub mod shared;
 
+pub use cancel::CancelToken;
 pub use config::{BarrierKind, GpuConfig, WorkPartition};
 pub use counters::{LaunchStats, WorkerCounters};
 pub use engine::{LaunchError, LaunchOutcome, VirtualGpu};

@@ -1,0 +1,202 @@
+//! `morph-serve` — replay a job file against a virtual-device pool.
+//!
+//! ```text
+//! morph-serve gen <jobs> <seed> <out.jobs>
+//! morph-serve run <file.jobs> [--devices N] [--sms M] [--queue C]
+//!                             [--trace out.jsonl] [--fault-seed S]
+//! ```
+//!
+//! `gen` writes a seeded mixed workload (all four pipelines, three
+//! tenants) in the replay format. `run` submits every job to a pool and
+//! prints the serving summary; with `--trace` the merged per-job event
+//! stream is also written as JSON Lines (renderable by `trace-report`,
+//! partitionable per job). `--fault-seed` arms a seeded `FaultPlan` on
+//! every fourth job, exercising the requeue path under injected faults —
+//! the CI soak job runs exactly this and greps the final `SOAK` line.
+
+use morph_gpu_sim::FaultPlan;
+use morph_serve::{generate_mixed, parse_file, render_file, MorphServe, ServeConfig, ServeSummary};
+use morph_trace::{parse_jsonl, JsonlSink, RingSink, TeeSink, TraceReport, Tracer, TraceSink};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: morph-serve gen <jobs> <seed> <out.jobs>");
+    eprintln!("       morph-serve run <file.jobs> [--devices N] [--sms M] [--queue C]");
+    eprintln!("                       [--trace out.jsonl] [--fault-seed S]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => match (args.get(1), args.get(2), args.get(3)) {
+            (Some(jobs), Some(seed), Some(out)) => gen(jobs, seed, out),
+            _ => usage(),
+        },
+        Some("run") => match args.get(1) {
+            Some(file) => run(file, &args[2..]),
+            None => usage(),
+        },
+        _ => usage(),
+    }
+}
+
+fn gen(jobs: &str, seed: &str, out: &str) -> ExitCode {
+    let (Ok(jobs), Ok(seed)) = (jobs.parse::<usize>(), seed.parse::<u64>()) else {
+        return usage();
+    };
+    let specs = generate_mixed(jobs, seed);
+    let text = render_file(&specs, seed);
+    if let Err(e) = std::fs::write(out, text) {
+        eprintln!("morph-serve: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {} jobs to {out}", specs.len());
+    ExitCode::SUCCESS
+}
+
+/// Flag parsing: `--name value` pairs after the file argument.
+fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("{name} needs a value"))?
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("bad value for {name}")),
+    }
+}
+
+fn run(file: &str, rest: &[String]) -> ExitCode {
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("morph-serve: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let specs = match parse_file(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("morph-serve: {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (devices, sms, queue, trace_path, fault_seed) = match (
+        flag::<usize>(rest, "--devices"),
+        flag::<usize>(rest, "--sms"),
+        flag::<usize>(rest, "--queue"),
+        flag::<String>(rest, "--trace"),
+        flag::<u64>(rest, "--fault-seed"),
+    ) {
+        (Ok(d), Ok(s), Ok(q), Ok(t), Ok(f)) => (
+            d.unwrap_or(4),
+            s.unwrap_or(2),
+            q.unwrap_or(256),
+            t,
+            f,
+        ),
+        (d, s, q, t, f) => {
+            for e in [
+                d.err(),
+                s.err(),
+                q.err(),
+                t.err(),
+                f.err(),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                eprintln!("morph-serve: {e}");
+            }
+            return usage();
+        }
+    };
+
+    // Always fold through a ring (the summary source); tee into a JSONL
+    // file when asked.
+    let ring = Arc::new(RingSink::new(1 << 18));
+    let mut sinks: Vec<Arc<dyn TraceSink>> = vec![Arc::clone(&ring) as _];
+    let jsonl = match &trace_path {
+        Some(path) => match JsonlSink::create(path) {
+            Ok(s) => {
+                let s = Arc::new(s);
+                sinks.push(Arc::clone(&s) as _);
+                Some(s)
+            }
+            Err(e) => {
+                eprintln!("morph-serve: cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let tracer = Tracer::new(Arc::new(TeeSink::new(sinks)) as _);
+
+    let cfg = ServeConfig {
+        devices,
+        sms_per_device: sms,
+        queue_capacity: queue,
+        ..ServeConfig::default()
+    };
+    eprintln!(
+        "serving {} jobs on {} device(s) x {} SM(s), queue capacity {}",
+        specs.len(),
+        cfg.devices,
+        cfg.sms_per_device,
+        cfg.queue_capacity
+    );
+    let mut pool = MorphServe::start(cfg, tracer);
+    let mut rejected = 0usize;
+    for (i, mut spec) in specs.into_iter().enumerate() {
+        if let Some(fs) = fault_seed {
+            // Every fourth job runs under a seeded fault plan, so the
+            // retry/requeue machinery is continuously exercised.
+            if i % 4 == 0 {
+                spec = spec.with_fault_plan(Arc::new(FaultPlan::seeded(
+                    fs.wrapping_add(i as u64),
+                    6,
+                    8,
+                    64,
+                )));
+            }
+        }
+        if pool.submit(spec).is_err() {
+            rejected += 1;
+        }
+    }
+    pool.drain();
+    pool.shutdown();
+    if rejected > 0 {
+        eprintln!("{rejected} submission(s) rejected at admission");
+    }
+
+    let report = TraceReport::from_events(ring.events().iter());
+    let summary = ServeSummary::from_report(&report);
+    print!("{}", report.render_jobs());
+    print!("{}", summary.render());
+    if let Some(sink) = jsonl {
+        sink.flush();
+        if let Some(err) = sink.io_error() {
+            eprintln!("morph-serve: I/O error writing trace: {err}");
+            return ExitCode::FAILURE;
+        }
+        // Self-check: the stream we just wrote must parse line-for-line.
+        if let Some(path) = &trace_path {
+            if let Ok(data) = std::fs::read_to_string(path) {
+                let (events, bad) = parse_jsonl(&data);
+                eprintln!("trace: {} events to {path} ({} unparseable)", events.len(), bad.len());
+                if !bad.is_empty() {
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    if summary.lost > 0 || summary.duplicate_runs > 0 {
+        eprintln!("morph-serve: integrity violation (lost or duplicated jobs)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

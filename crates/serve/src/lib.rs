@@ -1,0 +1,46 @@
+//! # morph-serve — multi-tenant job scheduling over a virtual-device pool
+//!
+//! The paper evaluates each morph algorithm in isolation; a GPU in
+//! production is a *shared* resource. This crate adds the serving layer:
+//! many tenants submit [`JobSpec`]s wrapping any of the four pipelines,
+//! and a pool of independent simulated devices runs them concurrently —
+//! one `VirtualGpu` per slot, each driven through `morph-core`'s
+//! recovering host loop, so every job individually keeps the fault
+//! tolerance, rescue ladder and (with `morph-check`) sanitizers of the
+//! single-job stack.
+//!
+//! * [`job`] — the job model: workloads, priorities, deadlines, retry
+//!   policy, and the [`DriveError`](morph_core::DriveError) → retryable /
+//!   permanent / cancelled classification.
+//! * [`sched`] — bounded admission (backpressure via
+//!   [`AdmitError::Saturated`]) and the deterministic pick rule:
+//!   priority, then tenant fair share by accrued device time, then
+//!   earliest deadline, then FIFO.
+//! * [`pool`] — the executor: one host thread per device slot;
+//!   cooperative cancellation via `morph-core`'s `CancelToken`, checked
+//!   at every host-action boundary, so cancelling an in-flight job frees
+//!   its slot at the next launch boundary.
+//! * [`replay`] — a plain-text workload file format plus a seeded mixed
+//!   generator (the CI soak input).
+//! * [`summary`] — end-of-run accounting folded from the trace stream:
+//!   throughput, wait/turnaround, SLO misses, per-tenant fairness, and
+//!   the `lost`/`dup` integrity counters.
+//!
+//! Observability rides on `morph-trace`: the pool emits
+//! `TraceEvent::Job` lifecycle events and tags every engine/recovery
+//! event with the owning job via `Tracer::for_job`, so one JSONL stream
+//! from a busy pool can be partitioned back into per-job traces.
+
+pub mod job;
+pub mod pool;
+pub mod replay;
+pub mod sched;
+pub mod summary;
+
+pub use job::{
+    classify, FailureClass, JobId, JobMetrics, JobSpec, JobStatus, Priority, RetryPolicy, Workload,
+};
+pub use pool::{MorphServe, ServeConfig};
+pub use replay::{encode_line, generate_mixed, parse_file, render_file, ParseError};
+pub use sched::AdmitError;
+pub use summary::ServeSummary;

@@ -1,0 +1,619 @@
+//! The device pool: N worker threads, each owning one virtual-device
+//! slot, draining the shared ready queue (`sched::ReadyQueue`).
+//!
+//! Each worker loops: pick the next job under the scheduler's rule, emit
+//! its `Scheduled`/`Started` lifecycle events, then drive the workload on
+//! a fresh simulated device (`Workload::run` builds a `VirtualGpu` with
+//! `sms_per_device` SMs via the pipeline's `try_*` entry point). The
+//! recovering driver absorbs transient faults itself; what escapes to the
+//! pool is a give-up error, classified into requeue (transient, budget
+//! remaining), permanent failure, or cancellation.
+//!
+//! Determinism note: the *pick* is deterministic given queue contents,
+//! but with >1 device the interleaving of completions is not — this is a
+//! throughput layer, not a replayable simulation. Everything observable
+//! (job lifecycles, attribution, fairness accounting) flows through
+//! `morph-trace` events, so post-hoc analysis never depends on shared
+//! mutable state.
+
+use crate::job::{classify, FailureClass, Job, JobId, JobSpec, JobStatus};
+use crate::sched::{AdmitError, ReadyQueue};
+use morph_core::{CancelToken, RecoveryOpts, RecoveryPolicy};
+use morph_trace::{JobEventKind, TraceEvent, Tracer};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Pool shape and per-job driver defaults.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Device slots (worker threads). Each runs one job at a time.
+    pub devices: usize,
+    /// SMs per simulated device.
+    pub sms_per_device: usize,
+    /// Admission-queue bound; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Recovery policy every job is driven with.
+    pub policy: RecoveryPolicy,
+    /// Barrier watchdog armed on every job's device.
+    pub barrier_watchdog: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            devices: 2,
+            sms_per_device: 2,
+            queue_capacity: 64,
+            policy: RecoveryPolicy::default(),
+            barrier_watchdog: None,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ServeState {
+    queue: ReadyQueue,
+    /// Cancel handles of in-flight jobs, keyed by id.
+    running: BTreeMap<JobId, CancelToken>,
+    statuses: BTreeMap<JobId, JobStatus>,
+    /// Accrued device-µs per tenant (the fair-share signal). Failures
+    /// accrue too: a tenant burning device time on doomed jobs must not
+    /// outrank one whose jobs finish.
+    tenant_run_us: BTreeMap<String, u64>,
+    next_id: JobId,
+    next_seq: u64,
+    shutting_down: bool,
+}
+
+struct Inner {
+    state: Mutex<ServeState>,
+    /// Signalled when work arrives or shutdown begins.
+    work: Condvar,
+    /// Signalled on every terminal transition.
+    done: Condvar,
+    /// Base (untagged) tracer. Job lifecycle events go through this —
+    /// they carry their own `job` field. Pipeline events go through
+    /// `tracer.for_job(id)` so engine/recovery spans get attributed.
+    tracer: Tracer,
+    epoch: Instant,
+    cfg: ServeConfig,
+}
+
+impl Inner {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    // One parameter per field of the event it mirrors.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_job(
+        &self,
+        job: JobId,
+        tenant: &str,
+        kind: JobEventKind,
+        queue_depth: u64,
+        device: u64,
+        deadline_us: u64,
+        detail: String,
+    ) {
+        let t_us = self.now_us();
+        let tenant = tenant.to_string();
+        self.tracer.emit(move || TraceEvent::Job {
+            job,
+            tenant,
+            kind,
+            queue_depth,
+            device,
+            t_us,
+            deadline_us,
+            detail,
+        });
+    }
+}
+
+/// The serving pool. Dropping it without [`MorphServe::shutdown`] joins
+/// the workers after draining queued work.
+pub struct MorphServe {
+    inner: Arc<Inner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl MorphServe {
+    /// Start `cfg.devices` worker threads against an empty queue.
+    /// `tracer` receives the merged, line-atomic event stream; pass
+    /// `Tracer::disabled()` to serve without observability.
+    pub fn start(cfg: ServeConfig, tracer: Tracer) -> Self {
+        let devices = cfg.devices.max(1);
+        let inner = Arc::new(Inner {
+            state: Mutex::new(ServeState {
+                queue: ReadyQueue::new(cfg.queue_capacity),
+                running: BTreeMap::new(),
+                statuses: BTreeMap::new(),
+                tenant_run_us: BTreeMap::new(),
+                next_id: 1,
+                next_seq: 0,
+                shutting_down: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            tracer,
+            epoch: Instant::now(),
+            cfg,
+        });
+        let workers = (0..devices)
+            .map(|slot| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("morph-serve-dev{}", slot + 1))
+                    .spawn(move || worker_loop(&inner, (slot + 1) as u64))
+                    .expect("spawning a device worker thread")
+            })
+            .collect();
+        MorphServe { inner, workers }
+    }
+
+    /// Submit a job. Returns its id, or the spec back with the admission
+    /// error when the queue is saturated (a `Rejected` event is emitted
+    /// so rejections are visible in the trace).
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, (JobSpec, AdmitError)> {
+        let mut st = self.inner.state.lock().unwrap();
+        let id = st.next_id;
+        let seq = st.next_seq;
+        let deadline_us = spec
+            .deadline
+            .map(|d| (self.inner.now_us() + d.as_micros() as u64).max(1))
+            .unwrap_or(0);
+        let job = Job {
+            id,
+            spec,
+            seq,
+            attempts: 0,
+            cancel: CancelToken::new(),
+            deadline_us,
+        };
+        let tenant = job.spec.tenant.clone();
+        let detail = job.spec.workload.encode();
+        match st.queue.admit(job) {
+            Ok(()) => {
+                st.next_id += 1;
+                st.next_seq += 1;
+                st.statuses.insert(id, JobStatus::Queued);
+                let depth = st.queue.len() as u64;
+                drop(st);
+                self.inner
+                    .emit_job(id, &tenant, JobEventKind::Submitted, depth, 0, deadline_us, detail);
+                self.inner.work.notify_one();
+                Ok(id)
+            }
+            Err(bounced) => {
+                let (job, err) = *bounced;
+                let depth = st.queue.len() as u64;
+                drop(st);
+                self.inner.emit_job(
+                    id,
+                    &tenant,
+                    JobEventKind::Rejected,
+                    depth,
+                    0,
+                    deadline_us,
+                    err.to_string(),
+                );
+                Err((job.spec, err))
+            }
+        }
+    }
+
+    /// Cancel a job. Queued: removed immediately (terminal `Cancelled`).
+    /// Running: its token is raised and the driver unwinds at the next
+    /// host-action boundary, freeing the device slot. Terminal/unknown:
+    /// no-op. Returns whether anything was cancelled.
+    pub fn cancel(&self, id: JobId) -> bool {
+        let mut st = self.inner.state.lock().unwrap();
+        if let Some(job) = st.queue.remove(id) {
+            st.statuses.insert(id, JobStatus::Cancelled);
+            let depth = st.queue.len() as u64;
+            let tenant = job.spec.tenant.clone();
+            drop(st);
+            self.inner.emit_job(
+                id,
+                &tenant,
+                JobEventKind::Cancelled,
+                depth,
+                0,
+                job.deadline_us,
+                "cancelled while queued".into(),
+            );
+            self.inner.done.notify_all();
+            return true;
+        }
+        if let Some(tok) = st.running.get(&id) {
+            tok.cancel();
+            return true;
+        }
+        false
+    }
+
+    /// Current status, if the job id was ever admitted.
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        self.inner.state.lock().unwrap().statuses.get(&id).cloned()
+    }
+
+    /// Block until the job reaches a terminal state and return it.
+    /// Returns `None` for an id that was never admitted.
+    pub fn wait(&self, id: JobId) -> Option<JobStatus> {
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            match st.statuses.get(&id) {
+                None => return None,
+                Some(s) if s.is_terminal() => return Some(s.clone()),
+                Some(_) => {
+                    let (next, _) = self
+                        .inner
+                        .done
+                        .wait_timeout(st, Duration::from_millis(50))
+                        .unwrap();
+                    st = next;
+                }
+            }
+        }
+    }
+
+    /// Block until every admitted job is terminal.
+    pub fn drain(&self) {
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            let all_done = st.queue.is_empty()
+                && st.running.is_empty()
+                && st.statuses.values().all(JobStatus::is_terminal);
+            if all_done {
+                return;
+            }
+            let (next, _) = self
+                .inner
+                .done
+                .wait_timeout(st, Duration::from_millis(50))
+                .unwrap();
+            st = next;
+        }
+    }
+
+    /// Per-tenant accrued device time (µs) — the live fairness signal.
+    pub fn tenant_run_us(&self) -> BTreeMap<String, u64> {
+        self.inner.state.lock().unwrap().tenant_run_us.clone()
+    }
+
+    /// Drain queued work, stop the workers, and join them. Flushes the
+    /// tracer. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.drain();
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            st.shutting_down = true;
+        }
+        self.inner.work.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        self.inner.tracer.flush();
+    }
+}
+
+impl Drop for MorphServe {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One device slot's service loop.
+fn worker_loop(inner: &Arc<Inner>, device: u64) {
+    loop {
+        let job = {
+            let mut st = inner.state.lock().unwrap();
+            loop {
+                if let Some(job) = {
+                    let usage = st.tenant_run_us.clone();
+                    st.queue.pick(&usage)
+                } {
+                    break job;
+                }
+                if st.shutting_down {
+                    return;
+                }
+                let (next, _) = inner
+                    .work
+                    .wait_timeout(st, Duration::from_millis(50))
+                    .unwrap();
+                st = next;
+            }
+        };
+        run_one(inner, device, job);
+    }
+}
+
+/// Run one picked job to a terminal state or a requeue.
+fn run_one(inner: &Arc<Inner>, device: u64, mut job: Job) {
+    let id = job.id;
+    let tenant = job.spec.tenant.clone();
+    job.attempts += 1;
+    let attempt = job.attempts;
+
+    // Transition to Running and register the cancel handle while holding
+    // the lock, so `cancel` can always find in-flight jobs.
+    let depth = {
+        let mut st = inner.state.lock().unwrap();
+        st.running.insert(id, job.cancel.clone());
+        st.statuses.insert(id, JobStatus::Running { device });
+        st.queue.len() as u64
+    };
+    inner.emit_job(
+        id,
+        &tenant,
+        JobEventKind::Scheduled,
+        depth,
+        device,
+        job.deadline_us,
+        format!("attempt {attempt}"),
+    );
+    inner.emit_job(
+        id,
+        &tenant,
+        JobEventKind::Started,
+        depth,
+        device,
+        job.deadline_us,
+        job.spec.workload.encode(),
+    );
+
+    let recovery = RecoveryOpts {
+        policy: inner.cfg.policy,
+        fault_plan: job.spec.fault_plan.clone(),
+        barrier_watchdog: inner.cfg.barrier_watchdog,
+        tracer: inner.tracer.for_job(id),
+        cancel: job.cancel.clone(),
+    };
+    let run_started = Instant::now();
+    let outcome = job.spec.workload.run(inner.cfg.sms_per_device, &recovery);
+    let run_us = run_started.elapsed().as_micros() as u64;
+
+    let mut st = inner.state.lock().unwrap();
+    st.running.remove(&id);
+    *st.tenant_run_us.entry(tenant.clone()).or_insert(0) += run_us;
+
+    match outcome {
+        Ok(metrics) => {
+            st.statuses.insert(id, JobStatus::Finished { metrics });
+            let depth = st.queue.len() as u64;
+            drop(st);
+            inner.emit_job(
+                id,
+                &tenant,
+                JobEventKind::Finished,
+                depth,
+                device,
+                job.deadline_us,
+                format!(
+                    "{}: {} iterations, {} items, {} retries",
+                    job.spec.workload.algo(),
+                    metrics.iterations,
+                    metrics.work_items,
+                    metrics.retries
+                ),
+            );
+        }
+        Err(err) => match classify(&err) {
+            FailureClass::Cancelled => {
+                st.statuses.insert(id, JobStatus::Cancelled);
+                let depth = st.queue.len() as u64;
+                drop(st);
+                inner.emit_job(
+                    id,
+                    &tenant,
+                    JobEventKind::Cancelled,
+                    depth,
+                    device,
+                    job.deadline_us,
+                    err.to_string(),
+                );
+            }
+            FailureClass::Retryable if attempt < job.spec.retry.max_attempts => {
+                let detail = format!("attempt {attempt} failed: {err}");
+                st.statuses.insert(id, JobStatus::Queued);
+                st.queue.requeue(job);
+                let depth = st.queue.len() as u64;
+                drop(st);
+                inner.emit_job(
+                    id,
+                    &tenant,
+                    JobEventKind::Requeued,
+                    depth,
+                    device,
+                    0,
+                    detail,
+                );
+                inner.work.notify_one();
+                // Not terminal: skip the `done` notification below.
+                return;
+            }
+            class => {
+                let permanent = class == FailureClass::Permanent;
+                st.statuses.insert(
+                    id,
+                    JobStatus::Failed {
+                        attempts: attempt,
+                        error: err.to_string(),
+                        permanent,
+                    },
+                );
+                let depth = st.queue.len() as u64;
+                drop(st);
+                inner.emit_job(
+                    id,
+                    &tenant,
+                    JobEventKind::Failed,
+                    depth,
+                    device,
+                    job.deadline_us,
+                    format!(
+                        "{} after {attempt} attempt(s): {err}",
+                        if permanent { "permanent" } else { "retries exhausted" }
+                    ),
+                );
+            }
+        },
+    }
+    inner.done.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobMetrics, Priority, Workload};
+    use morph_trace::{RingSink, TraceReport};
+
+    fn small_mst(seed: u64) -> Workload {
+        Workload::Mst {
+            nodes: 60,
+            edges: 180,
+            seed,
+        }
+    }
+
+    #[test]
+    fn a_single_job_runs_to_finished() {
+        let ring = Arc::new(RingSink::new(4096));
+        let tracer = Tracer::new(Arc::clone(&ring) as _);
+        let mut pool = MorphServe::start(
+            ServeConfig {
+                devices: 1,
+                ..ServeConfig::default()
+            },
+            tracer,
+        );
+        let id = pool.submit(JobSpec::new("t0", small_mst(1))).unwrap();
+        let status = pool.wait(id).unwrap();
+        match status {
+            JobStatus::Finished {
+                metrics: JobMetrics { iterations, .. },
+            } => assert!(iterations > 0),
+            other => panic!("expected Finished, got {other:?}"),
+        }
+        pool.shutdown();
+        let report = TraceReport::from_events(ring.events().iter());
+        let row = &report.jobs[&id];
+        assert_eq!(row.outcome, Some(JobEventKind::Finished));
+        assert_eq!(row.starts, 1);
+        assert_eq!(row.device, Some(1));
+        assert!(row.turnaround_us().is_some());
+    }
+
+    #[test]
+    fn saturated_queue_rejects_and_traces() {
+        let ring = Arc::new(RingSink::new(4096));
+        let tracer = Tracer::new(Arc::clone(&ring) as _);
+        // Zero devices is clamped to 1, but a 1-capacity queue with slow
+        // jobs saturates immediately.
+        let mut pool = MorphServe::start(
+            ServeConfig {
+                devices: 1,
+                queue_capacity: 1,
+                ..ServeConfig::default()
+            },
+            tracer,
+        );
+        // Fill the only device and the only queue slot, then overflow.
+        let a = pool
+            .submit(JobSpec::new("t", Workload::Dmr { triangles: 400, seed: 1 }))
+            .unwrap();
+        let b = pool.submit(JobSpec::new("t", small_mst(2)));
+        let c = pool.submit(JobSpec::new("t", small_mst(3)));
+        // At least one of b/c must have been rejected or both admitted
+        // (the first job may have been picked already, freeing a slot);
+        // saturation is timing-dependent, so just drain and assert the
+        // invariant: every *admitted* job reached a terminal state.
+        pool.drain();
+        assert!(pool.wait(a).unwrap().is_terminal());
+        for r in [b, c].into_iter().flatten() {
+            assert!(pool.wait(r).unwrap().is_terminal());
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn cancelling_a_queued_job_is_immediate() {
+        let ring = Arc::new(RingSink::new(4096));
+        let tracer = Tracer::new(Arc::clone(&ring) as _);
+        let mut pool = MorphServe::start(
+            ServeConfig {
+                devices: 1,
+                ..ServeConfig::default()
+            },
+            tracer,
+        );
+        // Occupy the device with a longer job, queue a victim behind it.
+        let long = pool
+            .submit(JobSpec::new("t", Workload::Dmr { triangles: 600, seed: 5 }))
+            .unwrap();
+        let victim = pool
+            .submit(JobSpec::new("t", small_mst(6)).with_priority(Priority::Low))
+            .unwrap();
+        // The victim may already be running if the device freed quickly;
+        // cancel handles both cases.
+        assert!(pool.cancel(victim));
+        let status = pool.wait(victim).unwrap();
+        assert!(
+            matches!(status, JobStatus::Cancelled),
+            "victim should be cancelled, got {status:?}"
+        );
+        assert!(matches!(
+            pool.wait(long).unwrap(),
+            JobStatus::Finished { .. }
+        ));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn fair_share_interleaves_two_tenants() {
+        let ring = Arc::new(RingSink::new(1 << 14));
+        let tracer = Tracer::new(Arc::clone(&ring) as _);
+        let mut pool = MorphServe::start(
+            ServeConfig {
+                devices: 1,
+                queue_capacity: 64,
+                ..ServeConfig::default()
+            },
+            tracer,
+        );
+        // 4 jobs for tenant A submitted first, then 4 for tenant B. With
+        // strict FIFO, all A-jobs would run before any B-job; fair share
+        // must alternate once A has accrued device time.
+        let mut ids = Vec::new();
+        for s in 0..4 {
+            ids.push(pool.submit(JobSpec::new("a", small_mst(s))).unwrap());
+        }
+        for s in 4..8 {
+            ids.push(pool.submit(JobSpec::new("b", small_mst(s))).unwrap());
+        }
+        pool.drain();
+        pool.shutdown();
+        let report = TraceReport::from_events(ring.events().iter());
+        // All 8 finished.
+        for id in &ids {
+            assert_eq!(report.jobs[id].outcome, Some(JobEventKind::Finished));
+        }
+        // The first B-job must not have waited for all four A-jobs: find
+        // start order and check a B-job started before the last A-job.
+        let mut starts: Vec<(u64, String)> = report
+            .jobs
+            .values()
+            .map(|r| (r.started_us.unwrap(), r.tenant.clone()))
+            .collect();
+        starts.sort();
+        let order: Vec<&str> = starts.iter().map(|(_, t)| t.as_str()).collect();
+        let first_b = order.iter().position(|t| *t == "b").unwrap();
+        assert!(
+            first_b < order.len() - 1 && order[first_b + 1..].contains(&"a"),
+            "fair share should interleave tenants, got {order:?}"
+        );
+    }
+}

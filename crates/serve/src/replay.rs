@@ -1,0 +1,229 @@
+//! Workload-file replay: a plain-text job list the `morph-serve` binary
+//! feeds into a pool, plus a seeded generator for mixed soak workloads.
+//!
+//! Line format (whitespace-separated, `#` starts a comment):
+//!
+//! ```text
+//! <tenant> <priority> <deadline_ms|-> <max_attempts> <algo> <args…>
+//! ```
+//!
+//! where `<algo> <args…>` is [`Workload::encode`]'s format:
+//!
+//! ```text
+//! dmr <triangles> <seed>
+//! sp  <vars> <clauses> <k> <max_sweeps> <seed>
+//! pta <vars> <constraints> <seed>
+//! mst <nodes> <edges> <seed>
+//! ```
+
+use crate::job::{JobSpec, Priority, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// A replay-file parse failure, with the 1-based line number.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub reason: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
+/// Encode one spec as a replay line.
+pub fn encode_line(spec: &JobSpec) -> String {
+    format!(
+        "{} {} {} {} {}",
+        spec.tenant,
+        spec.priority.as_str(),
+        spec.deadline
+            .map_or_else(|| "-".to_string(), |d| d.as_millis().to_string()),
+        spec.retry.max_attempts,
+        spec.workload.encode()
+    )
+}
+
+/// Parse a whole replay file. Blank lines and `#` comments are skipped.
+pub fn parse_file(text: &str) -> Result<Vec<JobSpec>, ParseError> {
+    let mut specs = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        specs.push(parse_line(line).map_err(|reason| ParseError {
+            line: i + 1,
+            reason,
+        })?);
+    }
+    Ok(specs)
+}
+
+fn parse_line(line: &str) -> Result<JobSpec, String> {
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    if fields.len() < 5 {
+        return Err(format!(
+            "expected `<tenant> <priority> <deadline_ms|-> <max_attempts> <algo> <args…>`, got {} field(s)",
+            fields.len()
+        ));
+    }
+    let tenant = fields[0].to_string();
+    let priority =
+        Priority::parse(fields[1]).ok_or_else(|| format!("unknown priority {:?}", fields[1]))?;
+    let deadline = match fields[2] {
+        "-" => None,
+        ms => Some(Duration::from_millis(
+            ms.parse::<u64>()
+                .map_err(|_| format!("bad deadline_ms {ms:?}"))?,
+        )),
+    };
+    let max_attempts: u32 = fields[3]
+        .parse()
+        .map_err(|_| format!("bad max_attempts {:?}", fields[3]))?;
+    let workload = Workload::parse(&fields[4..])
+        .ok_or_else(|| format!("bad workload spec {:?}", fields[4..].join(" ")))?;
+    let mut spec = JobSpec::new(tenant, workload)
+        .with_priority(priority)
+        .with_retry(max_attempts);
+    if let Some(d) = deadline {
+        spec = spec.with_deadline(d);
+    }
+    Ok(spec)
+}
+
+/// Generate a seeded mixed workload: `jobs` specs spread across three
+/// tenants and all four pipelines, with a sprinkle of priorities and
+/// deadlines. Sizes are kept small enough that a soak of ~64 jobs runs
+/// in CI time on the simulator.
+pub fn generate_mixed(jobs: usize, seed: u64) -> Vec<JobSpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tenants = ["acme", "blue", "cyan"];
+    (0..jobs)
+        .map(|i| {
+            let tenant = tenants[rng.gen_range(0..tenants.len())];
+            let job_seed = seed.wrapping_mul(1_000).wrapping_add(i as u64);
+            let workload = match rng.gen_range(0..4u32) {
+                0 => Workload::Dmr {
+                    triangles: rng.gen_range(40..160),
+                    seed: job_seed,
+                },
+                1 => Workload::Sp {
+                    vars: rng.gen_range(20..60),
+                    clauses: rng.gen_range(60..180),
+                    k: 3,
+                    max_sweeps: 30,
+                    seed: job_seed,
+                },
+                2 => Workload::Pta {
+                    vars: rng.gen_range(20..60),
+                    constraints: rng.gen_range(50..150),
+                    seed: job_seed,
+                },
+                _ => Workload::Mst {
+                    nodes: rng.gen_range(40..160),
+                    edges: rng.gen_range(120..480),
+                    seed: job_seed,
+                },
+            };
+            let priority = match rng.gen_range(0..10u32) {
+                0..=1 => Priority::High,
+                2..=7 => Priority::Normal,
+                _ => Priority::Low,
+            };
+            let mut spec = JobSpec::new(tenant, workload)
+                .with_priority(priority)
+                .with_retry(rng.gen_range(1..4u32));
+            if rng.gen_bool(0.3) {
+                spec = spec.with_deadline(Duration::from_millis(rng.gen_range(50..2_000u64)));
+            }
+            spec
+        })
+        .collect()
+}
+
+/// Render a generated workload as a replay file (with a header comment).
+pub fn render_file(specs: &[JobSpec], seed: u64) -> String {
+    let mut out = format!(
+        "# morph-serve replay: {} jobs, generator seed {}\n\
+         # <tenant> <priority> <deadline_ms|-> <max_attempts> <algo> <args…>\n",
+        specs.len(),
+        seed
+    );
+    for s in specs {
+        out.push_str(&encode_line(s));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_workloads_roundtrip_through_the_file_format() {
+        let specs = generate_mixed(32, 42);
+        assert_eq!(specs.len(), 32);
+        let text = render_file(&specs, 42);
+        let parsed = parse_file(&text).expect("generated file must parse");
+        assert_eq!(parsed.len(), specs.len());
+        for (a, b) in specs.iter().zip(&parsed) {
+            assert_eq!(a.tenant, b.tenant);
+            assert_eq!(a.priority, b.priority);
+            assert_eq!(a.deadline, b.deadline);
+            assert_eq!(a.retry, b.retry);
+            assert_eq!(a.workload, b.workload);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generate_mixed(16, 7);
+        let b = generate_mixed(16, 7);
+        let c = generate_mixed(16, 8);
+        assert_eq!(
+            a.iter().map(|s| s.workload.encode()).collect::<Vec<_>>(),
+            b.iter().map(|s| s.workload.encode()).collect::<Vec<_>>()
+        );
+        assert_ne!(
+            a.iter().map(|s| s.workload.encode()).collect::<Vec<_>>(),
+            c.iter().map(|s| s.workload.encode()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn mixed_generation_covers_all_pipelines_and_tenants() {
+        let specs = generate_mixed(64, 3);
+        let algos: std::collections::BTreeSet<&str> =
+            specs.iter().map(|s| s.workload.algo()).collect();
+        assert_eq!(algos.len(), 4, "all four pipelines should appear: {algos:?}");
+        let tenants: std::collections::BTreeSet<&str> =
+            specs.iter().map(|s| s.tenant.as_str()).collect();
+        assert_eq!(tenants.len(), 3, "all three tenants should appear");
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse_file("# ok\nacme high - 2 dmr 100 1\nbogus\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        let err = parse_file("acme urgent - 2 dmr 100 1\n").unwrap_err();
+        assert!(err.reason.contains("priority"), "{}", err.reason);
+        let err = parse_file("acme high 12x 2 dmr 100 1\n").unwrap_err();
+        assert!(err.reason.contains("deadline"), "{}", err.reason);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let specs = parse_file(
+            "\n# header\nacme high - 2 dmr 100 1  # trailing comment\n\n  \nblue low 250 1 mst 50 150 9\n",
+        )
+        .unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].tenant, "acme");
+        assert_eq!(specs[1].deadline, Some(Duration::from_millis(250)));
+    }
+}

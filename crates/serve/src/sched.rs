@@ -1,0 +1,218 @@
+//! Admission control and the deterministic pick rule.
+//!
+//! The ready queue is **bounded**: `admit` refuses new work once
+//! `capacity` jobs are waiting ([`AdmitError::Saturated`]) so a slow pool
+//! pushes back on producers instead of buffering unboundedly. Requeues
+//! (retry after a transient fault) bypass the bound — a job that was
+//! already admitted is never lost to backpressure.
+//!
+//! The pick rule is a pure function of queue contents plus the tenants'
+//! accrued device time, so the schedule is deterministic for a given
+//! arrival/completion order:
+//!
+//! 1. priority class (high before normal before low),
+//! 2. tenant fair share — least accrued device-µs first, so a tenant
+//!    that has monopolised the pool yields to starved ones,
+//! 3. earliest absolute deadline (best-effort jobs last),
+//! 4. submission sequence (FIFO tiebreak).
+
+use crate::job::{Job, JobId};
+use std::collections::BTreeMap;
+
+/// Why a submission was refused at the door.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The bounded queue is full; resubmit after draining.
+    Saturated { capacity: usize },
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::Saturated { capacity } => {
+                write!(f, "admission queue saturated ({capacity} jobs waiting)")
+            }
+        }
+    }
+}
+
+/// The waiting room. Not thread-safe on its own — the pool wraps it in
+/// its state mutex; keeping it pure makes the scheduling policy testable
+/// without threads.
+#[derive(Debug)]
+pub(crate) struct ReadyQueue {
+    capacity: usize,
+    jobs: Vec<Job>,
+}
+
+impl ReadyQueue {
+    pub fn new(capacity: usize) -> Self {
+        ReadyQueue {
+            capacity: capacity.max(1),
+            jobs: Vec::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Admit a fresh submission, enforcing the bound. On saturation the
+    /// job comes back (boxed — it is a large value) with the error.
+    pub fn admit(&mut self, job: Job) -> Result<(), Box<(Job, AdmitError)>> {
+        if self.jobs.len() >= self.capacity {
+            let capacity = self.capacity;
+            return Err(Box::new((job, AdmitError::Saturated { capacity })));
+        }
+        self.jobs.push(job);
+        Ok(())
+    }
+
+    /// Put a job back after a retryable failure. Bypasses the bound: the
+    /// job was already admitted once and must not be lost.
+    pub fn requeue(&mut self, job: Job) {
+        self.jobs.push(job);
+    }
+
+    /// Remove and return the next job under the pick rule, given each
+    /// tenant's accrued device time in µs (absent = 0).
+    pub fn pick(&mut self, tenant_run_us: &BTreeMap<String, u64>) -> Option<Job> {
+        let idx = self.pick_index(tenant_run_us)?;
+        Some(self.jobs.swap_remove(idx))
+    }
+
+    fn pick_index(&self, tenant_run_us: &BTreeMap<String, u64>) -> Option<usize> {
+        self.jobs
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, j)| {
+                (
+                    j.spec.priority,
+                    tenant_run_us.get(&j.spec.tenant).copied().unwrap_or(0),
+                    j.spec.tenant.clone(),
+                    // 0 (no deadline) must sort *after* every real deadline.
+                    if j.deadline_us == 0 {
+                        u64::MAX
+                    } else {
+                        j.deadline_us
+                    },
+                    j.seq,
+                )
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// Remove a queued job by id (cancellation before it reached a
+    /// device). Returns the job so the pool can emit its terminal event.
+    pub fn remove(&mut self, id: JobId) -> Option<Job> {
+        let idx = self.jobs.iter().position(|j| j.id == id)?;
+        Some(self.jobs.swap_remove(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobSpec, Priority, RetryPolicy, Workload};
+    use morph_core::CancelToken;
+    use std::collections::BTreeMap;
+
+    fn job(id: JobId, tenant: &str, priority: Priority, deadline_us: u64) -> Job {
+        Job {
+            id,
+            spec: JobSpec {
+                tenant: tenant.into(),
+                priority,
+                deadline: None,
+                retry: RetryPolicy::default(),
+                workload: Workload::Mst {
+                    nodes: 10,
+                    edges: 20,
+                    seed: id,
+                },
+                fault_plan: None,
+            },
+            seq: id,
+            attempts: 0,
+            cancel: CancelToken::new(),
+            deadline_us,
+        }
+    }
+
+    fn no_usage() -> BTreeMap<String, u64> {
+        BTreeMap::new()
+    }
+
+    #[test]
+    fn admission_bound_is_enforced_but_requeue_bypasses() {
+        let mut q = ReadyQueue::new(2);
+        q.admit(job(1, "a", Priority::Normal, 0)).unwrap();
+        q.admit(job(2, "a", Priority::Normal, 0)).unwrap();
+        let (bounced, err) = *q.admit(job(3, "a", Priority::Normal, 0)).unwrap_err();
+        assert_eq!(err, AdmitError::Saturated { capacity: 2 });
+        assert_eq!(bounced.id, 3);
+        // A requeued job must never bounce.
+        q.requeue(bounced);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn higher_priority_wins_regardless_of_order() {
+        let mut q = ReadyQueue::new(8);
+        q.admit(job(1, "a", Priority::Low, 0)).unwrap();
+        q.admit(job(2, "a", Priority::High, 0)).unwrap();
+        q.admit(job(3, "a", Priority::Normal, 0)).unwrap();
+        assert_eq!(q.pick(&no_usage()).unwrap().id, 2);
+        assert_eq!(q.pick(&no_usage()).unwrap().id, 3);
+        assert_eq!(q.pick(&no_usage()).unwrap().id, 1);
+    }
+
+    #[test]
+    fn fifo_within_a_priority_class() {
+        let mut q = ReadyQueue::new(8);
+        for id in 1..=4 {
+            q.admit(job(id, "a", Priority::Normal, 0)).unwrap();
+        }
+        for id in 1..=4 {
+            assert_eq!(q.pick(&no_usage()).unwrap().id, id);
+        }
+    }
+
+    #[test]
+    fn starved_tenant_preempts_heavy_one() {
+        let mut q = ReadyQueue::new(8);
+        q.admit(job(1, "heavy", Priority::Normal, 0)).unwrap();
+        q.admit(job(2, "light", Priority::Normal, 0)).unwrap();
+        let mut usage = BTreeMap::new();
+        usage.insert("heavy".to_string(), 10_000u64);
+        // `light` has accrued nothing, so its later submission runs first.
+        assert_eq!(q.pick(&usage).unwrap().id, 2);
+        assert_eq!(q.pick(&usage).unwrap().id, 1);
+    }
+
+    #[test]
+    fn earlier_deadline_breaks_fair_share_ties() {
+        let mut q = ReadyQueue::new(8);
+        q.admit(job(1, "a", Priority::Normal, 0)).unwrap(); // best-effort
+        q.admit(job(2, "a", Priority::Normal, 9_000)).unwrap();
+        q.admit(job(3, "a", Priority::Normal, 4_000)).unwrap();
+        assert_eq!(q.pick(&no_usage()).unwrap().id, 3);
+        assert_eq!(q.pick(&no_usage()).unwrap().id, 2);
+        assert_eq!(q.pick(&no_usage()).unwrap().id, 1);
+    }
+
+    #[test]
+    fn remove_cancels_a_queued_job() {
+        let mut q = ReadyQueue::new(8);
+        q.admit(job(1, "a", Priority::Normal, 0)).unwrap();
+        q.admit(job(2, "a", Priority::Normal, 0)).unwrap();
+        assert_eq!(q.remove(1).unwrap().id, 1);
+        assert!(q.remove(1).is_none());
+        assert_eq!(q.pick(&no_usage()).unwrap().id, 2);
+        assert!(q.is_empty());
+    }
+}

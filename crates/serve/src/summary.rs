@@ -1,0 +1,230 @@
+//! End-of-run accounting: fold the trace's job rows into the serving
+//! summary the binary prints — throughput, latency percentiles, SLO
+//! misses, per-tenant fairness, and the two integrity counters the soak
+//! job greps for (`lost`, `dup`).
+//!
+//! Everything here is derived from [`TraceReport`] — the summary trusts
+//! the event stream, not the pool's in-memory state, so a job the pool
+//! "forgot" (lost) or started twice without a requeue (dup) is caught by
+//! construction.
+
+use morph_trace::{JobEventKind, TraceReport};
+
+/// The folded serving summary.
+#[derive(Debug, Default)]
+pub struct ServeSummary {
+    pub submitted: u64,
+    pub finished: u64,
+    pub failed: u64,
+    pub cancelled: u64,
+    pub rejected: u64,
+    /// Jobs with a `Submitted` event but no terminal event — must be 0.
+    pub lost: u64,
+    /// Jobs whose `Started` count exceeds requeues + 1 — must be 0.
+    pub duplicate_runs: u64,
+    pub requeues: u64,
+    pub deadline_misses: u64,
+    pub queue_depth_peak: u64,
+    /// Wall-clock span from first to last job event, µs.
+    pub span_us: u64,
+    pub mean_wait_us: u64,
+    pub mean_turnaround_us: u64,
+    pub max_turnaround_us: u64,
+    /// `(tenant, jobs, finished, run_us, share_pct)` sorted by tenant.
+    pub tenants: Vec<(String, u64, u64, u64, f64)>,
+    /// Sanitizer violations recorded in the same stream (0 without
+    /// `morph-check`).
+    pub sanitizer_violations: u64,
+}
+
+impl ServeSummary {
+    /// Fold a report (built from the pool's merged event stream).
+    pub fn from_report(report: &TraceReport) -> Self {
+        let mut s = ServeSummary {
+            queue_depth_peak: report.queue_depth_peak,
+            deadline_misses: report.deadline_misses(),
+            ..ServeSummary::default()
+        };
+        let mut first_us = u64::MAX;
+        let mut last_us = 0u64;
+        let mut waits = Vec::new();
+        let mut turnarounds = Vec::new();
+        for row in report.jobs.values() {
+            if let Some(t) = row.submitted_us {
+                s.submitted += 1;
+                first_us = first_us.min(t);
+            }
+            if let Some(t) = row.ended_us {
+                last_us = last_us.max(t);
+            }
+            s.requeues += row.requeues;
+            if row.starts > row.requeues + 1 {
+                s.duplicate_runs += 1;
+            }
+            match row.outcome {
+                Some(JobEventKind::Finished) => s.finished += 1,
+                Some(JobEventKind::Failed) => s.failed += 1,
+                Some(JobEventKind::Cancelled) => s.cancelled += 1,
+                Some(JobEventKind::Rejected) => s.rejected += 1,
+                _ => {
+                    if row.submitted_us.is_some() {
+                        s.lost += 1;
+                    }
+                }
+            }
+            if let Some(w) = row.wait_us() {
+                waits.push(w);
+            }
+            if let Some(t) = row.turnaround_us() {
+                turnarounds.push(t);
+                s.max_turnaround_us = s.max_turnaround_us.max(t);
+            }
+        }
+        if last_us > first_us {
+            s.span_us = last_us - first_us;
+        }
+        s.mean_wait_us = mean(&waits);
+        s.mean_turnaround_us = mean(&turnarounds);
+        let tenants = report.tenants();
+        let total_run: u64 = tenants.values().map(|t| t.run_us).sum();
+        s.tenants = tenants
+            .into_iter()
+            .map(|(name, agg)| {
+                let share = if total_run == 0 {
+                    0.0
+                } else {
+                    100.0 * agg.run_us as f64 / total_run as f64
+                };
+                (name, agg.jobs, agg.finished, agg.run_us, share)
+            })
+            .collect();
+        s.sanitizer_violations = report
+            .sanitizers
+            .iter()
+            .filter(|row| row.status != "ok")
+            .count() as u64;
+        s
+    }
+
+    /// Jobs served per wall-clock second (terminal outcomes over span).
+    pub fn throughput_per_s(&self) -> f64 {
+        if self.span_us == 0 {
+            return 0.0;
+        }
+        let served = (self.finished + self.failed + self.cancelled) as f64;
+        served / (self.span_us as f64 / 1e6)
+    }
+
+    /// Human summary plus the machine-greppable `SOAK` line CI checks.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "jobs: {} submitted, {} finished, {} failed, {} cancelled, {} rejected, {} requeues\n",
+            self.submitted, self.finished, self.failed, self.cancelled, self.rejected, self.requeues
+        ));
+        out.push_str(&format!(
+            "latency: mean wait {} us, mean turnaround {} us, max turnaround {} us\n",
+            self.mean_wait_us, self.mean_turnaround_us, self.max_turnaround_us
+        ));
+        out.push_str(&format!(
+            "throughput: {:.1} jobs/s over {:.1} ms; queue depth peak {}; deadline misses {}\n",
+            self.throughput_per_s(),
+            self.span_us as f64 / 1e3,
+            self.queue_depth_peak,
+            self.deadline_misses
+        ));
+        for (tenant, jobs, finished, run_us, share) in &self.tenants {
+            out.push_str(&format!(
+                "tenant {tenant:<8}: {jobs} jobs ({finished} finished), {run_us} device-us ({share:.1}% share)\n"
+            ));
+        }
+        out.push_str(&format!(
+            "SOAK lost={} dup={} sanitizer_violations={}\n",
+            self.lost, self.duplicate_runs, self.sanitizer_violations
+        ));
+        out
+    }
+}
+
+fn mean(xs: &[u64]) -> u64 {
+    if xs.is_empty() {
+        0
+    } else {
+        xs.iter().sum::<u64>() / xs.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_trace::TraceEvent;
+
+    fn job_ev(job: u64, kind: JobEventKind, t_us: u64) -> TraceEvent {
+        TraceEvent::Job {
+            job,
+            tenant: "t".into(),
+            kind,
+            queue_depth: 1,
+            device: 1,
+            t_us,
+            deadline_us: 0,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn lost_and_duplicate_jobs_are_counted() {
+        let events = [
+            // Job 1: clean lifecycle.
+            job_ev(1, JobEventKind::Submitted, 0),
+            job_ev(1, JobEventKind::Started, 10),
+            job_ev(1, JobEventKind::Finished, 20),
+            // Job 2: submitted, never terminal => lost.
+            job_ev(2, JobEventKind::Submitted, 5),
+            // Job 3: two starts with no requeue => duplicate run.
+            job_ev(3, JobEventKind::Submitted, 6),
+            job_ev(3, JobEventKind::Started, 7),
+            job_ev(3, JobEventKind::Started, 8),
+            job_ev(3, JobEventKind::Finished, 9),
+        ];
+        let report = TraceReport::from_events(events.iter());
+        let s = ServeSummary::from_report(&report);
+        assert_eq!(s.submitted, 3);
+        assert_eq!(s.finished, 2);
+        assert_eq!(s.lost, 1);
+        assert_eq!(s.duplicate_runs, 1);
+        let rendered = s.render();
+        assert!(rendered.contains("SOAK lost=1 dup=1 sanitizer_violations=0"));
+    }
+
+    #[test]
+    fn requeued_restart_is_not_a_duplicate() {
+        let events = [
+            job_ev(1, JobEventKind::Submitted, 0),
+            job_ev(1, JobEventKind::Started, 10),
+            job_ev(1, JobEventKind::Requeued, 20),
+            job_ev(1, JobEventKind::Started, 30),
+            job_ev(1, JobEventKind::Finished, 40),
+        ];
+        let report = TraceReport::from_events(events.iter());
+        let s = ServeSummary::from_report(&report);
+        assert_eq!(s.duplicate_runs, 0);
+        assert_eq!(s.requeues, 1);
+        assert_eq!(s.lost, 0);
+    }
+
+    #[test]
+    fn throughput_and_latency_fold() {
+        let events = [
+            job_ev(1, JobEventKind::Submitted, 0),
+            job_ev(1, JobEventKind::Started, 100),
+            job_ev(1, JobEventKind::Finished, 1_000_000),
+        ];
+        let report = TraceReport::from_events(events.iter());
+        let s = ServeSummary::from_report(&report);
+        assert_eq!(s.span_us, 1_000_000);
+        assert!((s.throughput_per_s() - 1.0).abs() < 1e-9);
+        assert_eq!(s.mean_wait_us, 100);
+        assert_eq!(s.mean_turnaround_us, 1_000_000);
+    }
+}

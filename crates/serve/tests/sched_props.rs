@@ -1,0 +1,189 @@
+//! Seeded property tests over the serving layer's invariants, driven
+//! through the real pool (threads, devices, trace stream) with tiny
+//! workloads so each case completes in milliseconds.
+//!
+//! The three satellite properties:
+//! 1. no admitted job is lost or run twice (starts == requeues + 1),
+//! 2. FIFO within a priority class for a single tenant,
+//! 3. cancelling an in-flight job frees its device slot (later jobs
+//!    still get served by the same worker).
+
+use morph_serve::{JobSpec, MorphServe, Priority, ServeConfig, ServeSummary, Workload};
+use morph_trace::{JobEventKind, RingSink, TraceReport, Tracer};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn tiny_workload(kind: u8, seed: u64) -> Workload {
+    match kind % 4 {
+        0 => Workload::Dmr {
+            triangles: 30,
+            seed,
+        },
+        1 => Workload::Sp {
+            vars: 15,
+            clauses: 40,
+            k: 3,
+            max_sweeps: 15,
+            seed,
+        },
+        2 => Workload::Pta {
+            vars: 12,
+            constraints: 30,
+            seed,
+        },
+        _ => Workload::Mst {
+            nodes: 30,
+            edges: 90,
+            seed,
+        },
+    }
+}
+
+fn priority(p: u8) -> Priority {
+    match p % 3 {
+        0 => Priority::High,
+        1 => Priority::Normal,
+        _ => Priority::Low,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every admitted job reaches exactly one terminal state, and no job
+    /// starts more often than its requeues allow — across random mixes
+    /// of pipelines, priorities and device counts.
+    #[test]
+    fn no_admitted_job_is_lost_or_run_twice(
+        jobs in prop::collection::vec((any::<u8>(), any::<u8>()), 1..24),
+        devices in 1usize..5,
+    ) {
+        let ring = Arc::new(RingSink::new(1 << 16));
+        let tracer = Tracer::new(Arc::clone(&ring) as _);
+        let mut pool = MorphServe::start(
+            ServeConfig { devices, queue_capacity: 64, ..ServeConfig::default() },
+            tracer,
+        );
+        let mut ids = Vec::new();
+        for (i, (kind, prio)) in jobs.iter().enumerate() {
+            let spec = JobSpec::new(
+                ["a", "b"][i % 2],
+                tiny_workload(*kind, i as u64),
+            )
+            .with_priority(priority(*prio));
+            ids.push(pool.submit(spec).unwrap());
+        }
+        pool.drain();
+        pool.shutdown();
+
+        let report = TraceReport::from_events(ring.events().iter());
+        let summary = ServeSummary::from_report(&report);
+        prop_assert_eq!(summary.submitted, ids.len() as u64);
+        prop_assert_eq!(summary.lost, 0);
+        prop_assert_eq!(summary.duplicate_runs, 0);
+        for id in ids {
+            let row = &report.jobs[&id];
+            prop_assert!(row.outcome.is_some(), "job {} has no terminal event", id);
+            prop_assert_eq!(row.starts, row.requeues + 1);
+        }
+    }
+
+    /// With one device, one tenant and one priority class, jobs start in
+    /// submission order — the seq tiebreak is a strict FIFO.
+    #[test]
+    fn fifo_within_a_priority_class(
+        kinds in prop::collection::vec(any::<u8>(), 2..10),
+    ) {
+        let ring = Arc::new(RingSink::new(1 << 16));
+        let tracer = Tracer::new(Arc::clone(&ring) as _);
+        let mut pool = MorphServe::start(
+            ServeConfig { devices: 1, queue_capacity: 64, ..ServeConfig::default() },
+            tracer,
+        );
+        let mut ids = Vec::new();
+        for (i, kind) in kinds.iter().enumerate() {
+            ids.push(
+                pool.submit(JobSpec::new("solo", tiny_workload(*kind, i as u64)))
+                    .unwrap(),
+            );
+        }
+        pool.drain();
+        pool.shutdown();
+
+        let report = TraceReport::from_events(ring.events().iter());
+        let mut starts: Vec<(u64, u64)> = ids
+            .iter()
+            .map(|id| (report.jobs[id].started_us.expect("every job must start"), *id))
+            .collect();
+        starts.sort();
+        let started_order: Vec<u64> = starts.into_iter().map(|(_, id)| id).collect();
+        // Submission ids are monotone, so FIFO means starts in id order.
+        // Caveat: the worker may pick the first job before later ones are
+        // queued, but picks among *queued* jobs always favour lower seq,
+        // and with a single tenant/priority no other key differs.
+        prop_assert_eq!(&started_order, &ids);
+    }
+
+    /// Cancelling a prefix of the queue (some jobs mid-flight, some
+    /// queued) never wedges a device: all remaining jobs still finish.
+    #[test]
+    fn cancellation_frees_the_device_slot(
+        cancel_count in 1usize..4,
+        tail in 2usize..6,
+    ) {
+        let ring = Arc::new(RingSink::new(1 << 16));
+        let tracer = Tracer::new(Arc::clone(&ring) as _);
+        let mut pool = MorphServe::start(
+            ServeConfig { devices: 1, queue_capacity: 64, ..ServeConfig::default() },
+            tracer,
+        );
+        // Cancel victims first: larger meshes so some are in flight when
+        // the cancellations land.
+        let victims: Vec<u64> = (0..cancel_count)
+            .map(|i| {
+                pool.submit(JobSpec::new(
+                    "victim",
+                    Workload::Dmr { triangles: 300, seed: i as u64 },
+                ))
+                .unwrap()
+            })
+            .collect();
+        let survivors: Vec<u64> = (0..tail)
+            .map(|i| {
+                pool.submit(JobSpec::new(
+                    "rest",
+                    tiny_workload(i as u8, 100 + i as u64),
+                ))
+                .unwrap()
+            })
+            .collect();
+        for id in &victims {
+            pool.cancel(*id);
+        }
+        pool.drain();
+        pool.shutdown();
+
+        let report = TraceReport::from_events(ring.events().iter());
+        // Every survivor must have been served after the cancellations —
+        // the device slot came back.
+        for id in survivors {
+            prop_assert_eq!(
+                report.jobs[&id].outcome,
+                Some(JobEventKind::Finished),
+                "survivor {} did not finish", id
+            );
+        }
+        // Victims are either cancelled (token seen in time) or finished
+        // (already past the last host boundary) — never lost.
+        for id in victims {
+            let out = report.jobs[&id].outcome;
+            prop_assert!(
+                matches!(out, Some(JobEventKind::Cancelled | JobEventKind::Finished)),
+                "victim {} ended as {:?}", id, out
+            );
+        }
+        let summary = ServeSummary::from_report(&report);
+        prop_assert_eq!(summary.lost, 0);
+        prop_assert_eq!(summary.duplicate_runs, 0);
+    }
+}

@@ -86,6 +86,9 @@ pub enum RecoveryKind {
     Reshuffle,
     /// Livelock watchdog pinned a 1×1 serial grid.
     SerialPin,
+    /// The job's cancellation token was raised; the driver unwound at the
+    /// host-action boundary.
+    Cancelled,
     /// The driver gave up with a `DriveError`.
     GiveUp,
 }
@@ -97,6 +100,7 @@ impl RecoveryKind {
             RecoveryKind::Regrow => "regrow",
             RecoveryKind::Reshuffle => "reshuffle",
             RecoveryKind::SerialPin => "serial_pin",
+            RecoveryKind::Cancelled => "cancelled",
             RecoveryKind::GiveUp => "give_up",
         }
     }
@@ -107,7 +111,73 @@ impl RecoveryKind {
             "regrow" => RecoveryKind::Regrow,
             "reshuffle" => RecoveryKind::Reshuffle,
             "serial_pin" => RecoveryKind::SerialPin,
+            "cancelled" => RecoveryKind::Cancelled,
             "give_up" => RecoveryKind::GiveUp,
+            _ => return None,
+        })
+    }
+}
+
+/// A job-lifecycle transition observed by the `morph-serve` scheduler /
+/// device pool. The sequence for a well-behaved job is
+/// `Submitted → Scheduled → Started → Finished`; `Requeued` re-enters at
+/// `Scheduled`, and `Rejected`/`Failed`/`Cancelled` are the other terminal
+/// states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobEventKind {
+    /// Admitted into the bounded queue.
+    Submitted,
+    /// Refused at admission (queue full / server draining). Terminal.
+    Rejected,
+    /// Picked by the scheduler (leaves the queue).
+    Scheduled,
+    /// Began executing on a device slot.
+    Started,
+    /// A retryable failure put the job back in the queue.
+    Requeued,
+    /// Completed successfully. Terminal.
+    Finished,
+    /// Failed permanently (or exhausted its retry budget). Terminal.
+    Failed,
+    /// Cancelled — either while queued or mid-run via its token. Terminal.
+    Cancelled,
+}
+
+impl JobEventKind {
+    /// Does this kind end the job's lifecycle?
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobEventKind::Rejected
+                | JobEventKind::Finished
+                | JobEventKind::Failed
+                | JobEventKind::Cancelled
+        )
+    }
+
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JobEventKind::Submitted => "submitted",
+            JobEventKind::Rejected => "rejected",
+            JobEventKind::Scheduled => "scheduled",
+            JobEventKind::Started => "started",
+            JobEventKind::Requeued => "requeued",
+            JobEventKind::Finished => "finished",
+            JobEventKind::Failed => "failed",
+            JobEventKind::Cancelled => "cancelled",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<JobEventKind> {
+        Some(match s {
+            "submitted" => JobEventKind::Submitted,
+            "rejected" => JobEventKind::Rejected,
+            "scheduled" => JobEventKind::Scheduled,
+            "started" => JobEventKind::Started,
+            "requeued" => JobEventKind::Requeued,
+            "finished" => JobEventKind::Finished,
+            "failed" => JobEventKind::Failed,
+            "cancelled" => JobEventKind::Cancelled,
             _ => return None,
         })
     }
@@ -175,6 +245,25 @@ pub enum TraceEvent {
         metric: String,
         value: f64,
     },
+    /// A `morph-serve` job-lifecycle transition with job/tenant
+    /// attribution. `t_us` is microseconds since the serving epoch (pool
+    /// start), the clock every wait/run/turnaround aggregation is computed
+    /// on. `queue_depth` is the admission-queue depth observed *after* the
+    /// transition. `device` is the 1-based device slot for
+    /// `Started`/`Finished`/`Failed`/`Cancelled`-while-running (0 = not on
+    /// a device). `deadline_us` is the job's absolute deadline on the same
+    /// epoch clock (0 = no deadline), carried on `Submitted` so reports
+    /// can score SLO misses from the stream alone.
+    Job {
+        job: u64,
+        tenant: String,
+        kind: JobEventKind,
+        queue_depth: u64,
+        device: u64,
+        t_us: u64,
+        deadline_us: u64,
+        detail: String,
+    },
     /// A morph-check sanitizer or end-state-oracle verdict. `check` names
     /// the checker (e.g. `"oracle.dmr.end_state"`, `"double_donate"`),
     /// `status` is `"ok"` or `"violation"`, `index` locates the offending
@@ -201,6 +290,7 @@ impl TraceEvent {
             TraceEvent::Alloc { .. } => "alloc",
             TraceEvent::Worklist { .. } => "worklist",
             TraceEvent::AlgoIteration { .. } => "algo_iteration",
+            TraceEvent::Job { .. } => "job",
             TraceEvent::Sanitizer { .. } => "sanitizer",
         }
     }
@@ -254,6 +344,16 @@ impl TraceEvent {
                 iteration: u("iteration")?,
                 metric: s("metric")?,
                 value: v.get("value").and_then(JsonValue::as_f64)?,
+            },
+            "job" => TraceEvent::Job {
+                job: u("job")?,
+                tenant: s("tenant")?,
+                kind: JobEventKind::parse(&s("kind")?)?,
+                queue_depth: u("queue_depth")?,
+                device: u("device")?,
+                t_us: u("t_us")?,
+                deadline_us: u("deadline_us")?,
+                detail: s("detail")?,
             },
             "sanitizer" => TraceEvent::Sanitizer {
                 check: s("check")?,
@@ -381,6 +481,28 @@ impl Serialize for TraceEvent {
                 st.serialize_field("value", value)?;
                 st.end()
             }
+            TraceEvent::Job {
+                job,
+                tenant,
+                kind,
+                queue_depth,
+                device,
+                t_us,
+                deadline_us,
+                detail,
+            } => {
+                let mut st = s.serialize_struct("TraceEvent", 9)?;
+                st.serialize_field("type", self.kind())?;
+                st.serialize_field("job", job)?;
+                st.serialize_field("tenant", tenant)?;
+                st.serialize_field("kind", kind.as_str())?;
+                st.serialize_field("queue_depth", queue_depth)?;
+                st.serialize_field("device", device)?;
+                st.serialize_field("t_us", t_us)?;
+                st.serialize_field("deadline_us", deadline_us)?;
+                st.serialize_field("detail", detail)?;
+                st.end()
+            }
             TraceEvent::Sanitizer {
                 check,
                 status,
@@ -448,6 +570,16 @@ mod tests {
             capacity: 0,
             detail: "kernel panic on worker 1 (\"quoted\")".into(),
         });
+        roundtrip(TraceEvent::Job {
+            job: 17,
+            tenant: "acme".into(),
+            kind: JobEventKind::Started,
+            queue_depth: 5,
+            device: 2,
+            t_us: 10_500,
+            deadline_us: 0,
+            detail: "dmr 2000 tris".into(),
+        });
         roundtrip(TraceEvent::Alloc {
             name: "dmr.tri_pool".into(),
             used: 100,
@@ -505,6 +637,7 @@ mod tests {
             RecoveryKind::Regrow,
             RecoveryKind::Reshuffle,
             RecoveryKind::SerialPin,
+            RecoveryKind::Cancelled,
             RecoveryKind::GiveUp,
         ] {
             assert_eq!(RecoveryKind::parse(k.as_str()), Some(k));

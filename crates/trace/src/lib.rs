@@ -28,6 +28,6 @@ pub mod json;
 pub mod report;
 pub mod sink;
 
-pub use event::{CountersSnapshot, RecoveryKind, TraceEvent};
-pub use report::{TraceReport, WasteBreakdown};
-pub use sink::{parse_jsonl, JsonlSink, RingSink, TraceSink, Tracer};
+pub use event::{CountersSnapshot, JobEventKind, RecoveryKind, TraceEvent};
+pub use report::{partition_by_job, JobRow, TenantAgg, TraceReport, WasteBreakdown};
+pub use sink::{parse_jsonl, parse_jsonl_tagged, JsonlSink, RingSink, TeeSink, TraceSink, Tracer};

@@ -4,7 +4,7 @@
 //! arguments (where the waste went: divergence, aborts, atomics,
 //! barriers).
 
-use crate::event::{CountersSnapshot, RecoveryKind, TraceEvent};
+use crate::event::{CountersSnapshot, JobEventKind, RecoveryKind, TraceEvent};
 use std::collections::BTreeMap;
 
 /// Aggregate over every `PhaseSpan` with the same phase index.
@@ -54,6 +54,90 @@ impl SanitizerRow {
     }
 }
 
+/// One job's lifecycle folded from its [`TraceEvent::Job`] events: the
+/// timestamps behind the wait/run/turnaround metrics a serving layer
+/// reports, plus consistency counters (`starts`, `requeues`) that let
+/// tests prove no job ran twice without an intervening requeue.
+#[derive(Debug, Default, Clone)]
+pub struct JobRow {
+    pub job: u64,
+    pub tenant: String,
+    /// Epoch-µs of the `Submitted` event.
+    pub submitted_us: Option<u64>,
+    /// Epoch-µs of the *latest* `Started` (re-runs overwrite: wait time is
+    /// measured to the attempt that reached a terminal state).
+    pub started_us: Option<u64>,
+    /// Epoch-µs of the terminal event.
+    pub ended_us: Option<u64>,
+    /// Absolute deadline (epoch-µs); `None` when the job had none.
+    pub deadline_us: Option<u64>,
+    /// The terminal transition, once one arrived.
+    pub outcome: Option<JobEventKind>,
+    /// 1-based device slot of the last `Started`.
+    pub device: Option<u64>,
+    /// `Started` events seen (> requeues + 1 would mean a duplicated run).
+    pub starts: u64,
+    /// `Requeued` events seen.
+    pub requeues: u64,
+    /// Detail string of the terminal event.
+    pub detail: String,
+}
+
+impl JobRow {
+    /// Queue wait: submission → (final) start.
+    pub fn wait_us(&self) -> Option<u64> {
+        Some(self.started_us?.saturating_sub(self.submitted_us?))
+    }
+
+    /// Device occupancy of the final run: start → terminal.
+    pub fn run_us(&self) -> Option<u64> {
+        Some(self.ended_us?.saturating_sub(self.started_us?))
+    }
+
+    /// Submission → terminal.
+    pub fn turnaround_us(&self) -> Option<u64> {
+        Some(self.ended_us?.saturating_sub(self.submitted_us?))
+    }
+
+    /// Did the job reach its terminal state after its deadline?
+    pub fn missed_deadline(&self) -> bool {
+        match (self.deadline_us, self.ended_us) {
+            (Some(dl), Some(end)) => end > dl,
+            _ => false,
+        }
+    }
+}
+
+/// Per-tenant fold over [`JobRow`]s — the fair-share evidence: how many
+/// jobs each tenant got through and how much device time they consumed.
+#[derive(Debug, Default, Clone)]
+pub struct TenantAgg {
+    pub jobs: u64,
+    pub finished: u64,
+    pub failed: u64,
+    pub cancelled: u64,
+    pub rejected: u64,
+    pub deadline_misses: u64,
+    /// Total device occupancy (sum of final-run `run_us`).
+    pub run_us: u64,
+    /// Total queue wait (sum of `wait_us`).
+    pub wait_us: u64,
+}
+
+/// Partition a tagged event stream by job attribution. Untagged events
+/// (engine spans from outside any job, etc.) land under `None`; each
+/// job's slice preserves stream order and can be folded into its own
+/// [`TraceReport`].
+pub fn partition_by_job(
+    records: &[(Option<u64>, TraceEvent)],
+) -> BTreeMap<Option<u64>, Vec<TraceEvent>> {
+    let mut parts: BTreeMap<Option<u64>, Vec<TraceEvent>> = BTreeMap::new();
+    for (tag, ev) in records {
+        parts.entry(*tag).or_default().push(ev.clone());
+    }
+    parts
+}
+
 /// Everything `trace-report` renders, folded from one pass over the
 /// events.
 #[derive(Debug, Default)]
@@ -73,6 +157,10 @@ pub struct TraceReport {
     /// Whole-stream counter totals (sum of `LaunchEnd` totals).
     pub totals: CountersSnapshot,
     pub total_wall_us: u64,
+    /// Job lifecycles folded from `Job` events, keyed by job id.
+    pub jobs: BTreeMap<u64, JobRow>,
+    /// Peak admission-queue depth observed on any `Job` event.
+    pub queue_depth_peak: u64,
 }
 
 impl TraceReport {
@@ -148,6 +236,45 @@ impl TraceReport {
                     .entry((algo.clone(), metric.clone()))
                     .or_default()
                     .push((*iteration, *value)),
+                TraceEvent::Job {
+                    job,
+                    tenant,
+                    kind,
+                    queue_depth,
+                    device,
+                    t_us,
+                    deadline_us,
+                    detail,
+                } => {
+                    r.queue_depth_peak = r.queue_depth_peak.max(*queue_depth);
+                    let row = r.jobs.entry(*job).or_default();
+                    row.job = *job;
+                    if row.tenant.is_empty() {
+                        row.tenant = tenant.clone();
+                    }
+                    match kind {
+                        JobEventKind::Submitted => {
+                            row.submitted_us = Some(*t_us);
+                            if *deadline_us > 0 {
+                                row.deadline_us = Some(*deadline_us);
+                            }
+                        }
+                        JobEventKind::Scheduled => {}
+                        JobEventKind::Started => {
+                            row.starts += 1;
+                            row.started_us = Some(*t_us);
+                            if *device > 0 {
+                                row.device = Some(*device);
+                            }
+                        }
+                        JobEventKind::Requeued => row.requeues += 1,
+                        terminal => {
+                            row.outcome = Some(*terminal);
+                            row.ended_us = Some(*t_us);
+                            row.detail = detail.clone();
+                        }
+                    }
+                }
                 TraceEvent::Sanitizer {
                     check,
                     status,
@@ -162,6 +289,90 @@ impl TraceReport {
             }
         }
         r
+    }
+
+    /// Fold a *tagged* stream: identical to [`TraceReport::from_events`]
+    /// over the events; the tags are available separately through
+    /// [`partition_by_job`] for per-job sub-reports.
+    pub fn from_tagged(records: &[(Option<u64>, TraceEvent)]) -> Self {
+        Self::from_events(records.iter().map(|(_, e)| e))
+    }
+
+    /// Per-tenant fold of the job rows (fair-share evidence).
+    pub fn tenants(&self) -> BTreeMap<String, TenantAgg> {
+        let mut out: BTreeMap<String, TenantAgg> = BTreeMap::new();
+        for row in self.jobs.values() {
+            let agg = out.entry(row.tenant.clone()).or_default();
+            agg.jobs += 1;
+            match row.outcome {
+                Some(JobEventKind::Finished) => agg.finished += 1,
+                Some(JobEventKind::Failed) => agg.failed += 1,
+                Some(JobEventKind::Cancelled) => agg.cancelled += 1,
+                Some(JobEventKind::Rejected) => agg.rejected += 1,
+                _ => {}
+            }
+            if row.missed_deadline() {
+                agg.deadline_misses += 1;
+            }
+            agg.run_us += row.run_us().unwrap_or(0);
+            agg.wait_us += row.wait_us().unwrap_or(0);
+        }
+        out
+    }
+
+    /// Jobs that reached a terminal state after their deadline.
+    pub fn deadline_misses(&self) -> u64 {
+        self.jobs.values().filter(|r| r.missed_deadline()).count() as u64
+    }
+
+    /// Render the job table plus the per-tenant fairness summary.
+    pub fn render_jobs(&self) -> String {
+        let mut out = String::new();
+        if self.jobs.is_empty() {
+            return out;
+        }
+        out.push_str(
+            "job | tenant | outcome | dev | starts | requeues | wait_us | run_us | turnaround_us | slo\n",
+        );
+        for row in self.jobs.values() {
+            out.push_str(&format!(
+                "{:>3} | {:<6} | {:<9} | {:>3} | {:>6} | {:>8} | {:>7} | {:>6} | {:>13} | {}\n",
+                row.job,
+                row.tenant,
+                row.outcome.map_or("pending", |k| k.as_str()),
+                row.device.map_or_else(|| "-".into(), |d| d.to_string()),
+                row.starts,
+                row.requeues,
+                row.wait_us().map_or_else(|| "-".into(), |v| v.to_string()),
+                row.run_us().map_or_else(|| "-".into(), |v| v.to_string()),
+                row.turnaround_us()
+                    .map_or_else(|| "-".into(), |v| v.to_string()),
+                if row.missed_deadline() { "MISS" } else { "ok" },
+            ));
+        }
+        out.push_str(&format!(
+            "queue depth peak: {}; deadline misses: {}\n",
+            self.queue_depth_peak,
+            self.deadline_misses()
+        ));
+        let tenants = self.tenants();
+        let total_run: u64 = tenants.values().map(|t| t.run_us).sum();
+        for (name, agg) in &tenants {
+            out.push_str(&format!(
+                "tenant {:<8}: {} jobs ({} finished, {} failed, {} cancelled), \
+                 run {} us ({:.1}% share), mean wait {} us, {} deadline misses\n",
+                name,
+                agg.jobs,
+                agg.finished,
+                agg.failed,
+                agg.cancelled,
+                agg.run_us,
+                100.0 * ratio(agg.run_us, total_run),
+                agg.wait_us.checked_div(agg.jobs).unwrap_or(0),
+                agg.deadline_misses,
+            ));
+        }
+        out
     }
 
     /// One named metric series as plain values ordered by iteration —
@@ -525,6 +736,78 @@ mod tests {
         assert!(waste.contains("sanitizer       : 2 verdicts, 1 violations"), "{waste}");
         assert!(waste.contains("[ok] oracle.mst.end_state"), "{waste}");
         assert!(waste.contains("double_donate (index 9): slot 9 donated twice"), "{waste}");
+    }
+
+    fn jev(job: u64, tenant: &str, kind: crate::event::JobEventKind, t_us: u64) -> TraceEvent {
+        TraceEvent::Job {
+            job,
+            tenant: tenant.into(),
+            kind,
+            queue_depth: job, // distinct depths so the peak is checkable
+            device: 1,
+            t_us,
+            deadline_us: if kind == crate::event::JobEventKind::Submitted {
+                t_us + 50
+            } else {
+                0
+            },
+            detail: "d".into(),
+        }
+    }
+
+    #[test]
+    fn job_lifecycles_fold_into_rows_tenants_and_deadline_misses() {
+        use crate::event::JobEventKind as K;
+        let events = vec![
+            jev(1, "acme", K::Submitted, 10),
+            jev(2, "blue", K::Submitted, 12),
+            jev(1, "acme", K::Started, 20),
+            jev(1, "acme", K::Requeued, 30),
+            jev(1, "acme", K::Started, 40),
+            // Ends at 100 > deadline 60 => miss.
+            jev(1, "acme", K::Finished, 100),
+            jev(2, "blue", K::Started, 25),
+            // Ends at 50 < deadline 62 => ok.
+            jev(2, "blue", K::Cancelled, 50),
+        ];
+        let r = TraceReport::from_events(&events);
+        assert_eq!(r.queue_depth_peak, 2);
+        let j1 = &r.jobs[&1];
+        assert_eq!(j1.starts, 2);
+        assert_eq!(j1.requeues, 1);
+        assert_eq!(j1.wait_us(), Some(30)); // to the *final* start
+        assert_eq!(j1.run_us(), Some(60));
+        assert_eq!(j1.turnaround_us(), Some(90));
+        assert!(j1.missed_deadline());
+        assert_eq!(r.deadline_misses(), 1);
+        let tenants = r.tenants();
+        assert_eq!(tenants["acme"].finished, 1);
+        assert_eq!(tenants["acme"].deadline_misses, 1);
+        assert_eq!(tenants["blue"].cancelled, 1);
+        let rendered = r.render_jobs();
+        assert!(rendered.contains("MISS"), "{rendered}");
+        assert!(rendered.contains("tenant blue"), "{rendered}");
+    }
+
+    #[test]
+    fn tagged_streams_partition_per_job() {
+        let records = vec![
+            (None, end(0, 3)),
+            (Some(1), span(0, 1, 0)),
+            (Some(2), span(0, 1, 1)),
+            (Some(1), end(1, 4)),
+        ];
+        let parts = partition_by_job(&records);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[&None].len(), 1);
+        assert_eq!(parts[&Some(1)].len(), 2);
+        assert_eq!(parts[&Some(2)].len(), 1);
+        // A per-job sub-report folds only that job's engine events.
+        let sub = TraceReport::from_events(&parts[&Some(1)]);
+        assert_eq!(sub.launches.len(), 1);
+        // And from_tagged over the whole stream sees everything.
+        let whole = TraceReport::from_tagged(&records);
+        assert_eq!(whole.launches.len(), 2);
     }
 
     #[test]

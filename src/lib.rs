@@ -15,6 +15,9 @@
 //! * [`gpu_sim`] — the virtual GPU those run on,
 //! * [`trace`] — structured tracing: sinks, JSONL streams, and the
 //!   profiler aggregator behind `trace-report`,
+//! * [`serve`] — the multi-tenant serving layer: job specs over all four
+//!   pipelines, a bounded fair-share scheduler, and a pool of virtual
+//!   devices with cancellation and retry (the `morph-serve` binary),
 //! * [`graph`], [`geometry`] — substrates,
 //! * [`workloads`] — deterministic generators for every evaluation input.
 //!
@@ -35,6 +38,7 @@ pub use morph_gpu_sim as gpu_sim;
 pub use morph_graph as graph;
 pub use morph_mst as mst;
 pub use morph_pta as pta;
+pub use morph_serve as serve;
 pub use morph_sp as sp;
 pub use morph_trace as trace;
 pub use morph_workloads as workloads;
