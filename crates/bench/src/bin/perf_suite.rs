@@ -1,0 +1,338 @@
+//! `perf-suite` — the perf-trajectory harness.
+//!
+//! ```text
+//! perf-suite run <out.json>                         # calibrated 4-pipeline sweep
+//! perf-suite compare <baseline.json> <candidate.json> [--tolerance PCT]
+//! ```
+//!
+//! `run` executes one calibrated workload per pipeline (the same
+//! geometries the trace smoke job uses), folds each run's launch totals
+//! into the paper's efficiency ratios, and writes a trajectory file
+//! (`BENCH_<n>.json`, committed per PR). `compare` gates a fresh run
+//! against a committed trajectory: the **gated** metrics are the
+//! scheduling-deterministic ratios (divergence, abort share, work
+//! efficiency, coalescing factor, occupancy) — wall time and throughput
+//! are recorded but never gated, because they are machine- and
+//! load-dependent. A candidate identical to its baseline passes at zero
+//! tolerance.
+//!
+//! Exit codes: 0 ok, 1 hard error (I/O, parse, missing pipeline),
+//! 2 regression beyond tolerance (CI soft-fails on 2, hard-fails on 1).
+
+use morph_core::runtime::RecoveryOpts;
+use morph_dmr::DmrOpts;
+use morph_sp::surveys::Surveys;
+use morph_sp::FactorGraph;
+use morph_trace::json::{parse, JsonValue};
+use morph_trace::{CountersSnapshot, RingSink, TraceEvent, Tracer};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Schema tag for trajectory files; bump on layout changes.
+const SCHEMA: &str = "morph-perf-trajectory-v1";
+
+const ALGOS: [&str; 4] = ["dmr", "sp", "pta", "mst"];
+
+/// The gated, scheduling-deterministic metrics, with the direction in
+/// which each may drift without being a regression.
+const GATED: [(&str, Direction); 5] = [
+    ("divergence_ratio", Direction::LowerIsBetter),
+    ("abort_ratio", Direction::LowerIsBetter),
+    ("work_efficiency", Direction::HigherIsBetter),
+    ("coalescing_factor", Direction::HigherIsBetter),
+    ("occupancy", Direction::HigherIsBetter),
+];
+
+#[derive(Clone, Copy)]
+enum Direction {
+    LowerIsBetter,
+    HigherIsBetter,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: perf-suite run <out.json>");
+    eprintln!("       perf-suite compare <baseline.json> <candidate.json> [--tolerance PCT]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => match args.get(1) {
+            Some(out) => run(out),
+            None => usage(),
+        },
+        Some("compare") => match (args.get(1), args.get(2)) {
+            (Some(base), Some(cand)) => {
+                let tolerance = match args.iter().position(|a| a == "--tolerance") {
+                    None => 10.0,
+                    Some(i) => match args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) {
+                        Some(t) if t >= 0.0 => t,
+                        _ => {
+                            eprintln!("perf-suite: --tolerance needs a non-negative percent");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                };
+                compare(base, cand, tolerance)
+            }
+            _ => usage(),
+        },
+        _ => usage(),
+    }
+}
+
+/// One pipeline's trajectory row.
+struct PipelineRow {
+    algo: &'static str,
+    wall_ms: f64,
+    iterations: u64,
+    work_items: u64,
+    totals: CountersSnapshot,
+}
+
+impl PipelineRow {
+    fn abort_ratio(&self) -> f64 {
+        let done = self.totals.aborts + self.totals.commits;
+        if done == 0 {
+            0.0
+        } else {
+            self.totals.aborts as f64 / done as f64
+        }
+    }
+
+    fn work_efficiency(&self) -> f64 {
+        let lanes = self.totals.active_threads + self.totals.idle_threads;
+        if lanes == 0 {
+            0.0
+        } else {
+            self.totals.active_threads as f64 / lanes as f64
+        }
+    }
+
+    fn throughput_per_s(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.work_items as f64 / (self.wall_ms / 1e3)
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"algo\":\"{}\",\"wall_ms\":{:.3},\"iterations\":{},",
+                "\"work_items\":{},\"throughput_per_s\":{:.3},",
+                "\"divergence_ratio\":{:.6},\"abort_ratio\":{:.6},",
+                "\"work_efficiency\":{:.6},\"coalescing_factor\":{:.6},",
+                "\"occupancy\":{:.6}}}"
+            ),
+            self.algo,
+            self.wall_ms,
+            self.iterations,
+            self.work_items,
+            self.throughput_per_s(),
+            self.totals.divergence_ratio(),
+            self.abort_ratio(),
+            self.work_efficiency(),
+            self.totals.coalescing_factor(),
+            self.totals.occupancy(),
+        )
+    }
+}
+
+/// Run one calibrated pipeline with a ring tracer attached and fold its
+/// launch totals. The geometries match the trace smoke job — small
+/// enough for CI, large enough that every phase runs multiple warps.
+fn run_pipeline(algo: &'static str) -> Result<PipelineRow, String> {
+    let sink = Arc::new(RingSink::new(1 << 16));
+    let recovery = RecoveryOpts {
+        tracer: Tracer::new(Arc::clone(&sink) as _),
+        ..RecoveryOpts::default()
+    };
+    let start = Instant::now();
+    let (iterations, work_items) = match algo {
+        "dmr" => {
+            let mut mesh = morph_workloads::mesh::random_mesh::<f64>(400, 7);
+            let out = morph_dmr::gpu::try_refine_gpu(&mut mesh, DmrOpts::default(), 2, &recovery)
+                .map_err(|e| e.to_string())?;
+            (out.iterations as u64, out.stats.refined as u64)
+        }
+        "sp" => {
+            let f = morph_workloads::ksat::random_ksat(200, 700, 3, 23);
+            let fg = FactorGraph::new(&f);
+            let s = Surveys::init(&fg, 5);
+            let (sweeps, _) = morph_sp::gpu::try_propagate(&fg, &s, 1e-3, 60, 2, &recovery)
+                .map_err(|e| e.to_string())?;
+            (sweeps as u64, fg.num_clauses as u64)
+        }
+        "pta" => {
+            let prob = morph_workloads::pta::synthetic(80, 220, 5);
+            let out = morph_pta::gpu::try_solve_with(
+                &prob,
+                morph_pta::gpu::PtaOpts::default(),
+                2,
+                &recovery,
+            )
+            .map_err(|e| e.to_string())?;
+            (out.iterations as u64, prob.constraints.len() as u64)
+        }
+        "mst" => {
+            let g = morph_workloads::graphs::random_graph(300, 900, 3);
+            let out =
+                morph_mst::gpu::try_mst_with_stats(&g, 2, &recovery).map_err(|e| e.to_string())?;
+            (out.result.rounds as u64, g.num_edges() as u64)
+        }
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let mut totals = CountersSnapshot::default();
+    let mut launches = 0u64;
+    for ev in sink.events() {
+        if let TraceEvent::LaunchEnd { totals: t, .. } = ev {
+            totals.add(&t);
+            launches += 1;
+        }
+    }
+    if launches == 0 {
+        return Err(format!("{algo}: no launches recorded"));
+    }
+    Ok(PipelineRow {
+        algo,
+        wall_ms,
+        iterations,
+        work_items,
+        totals,
+    })
+}
+
+fn run(out: &str) -> ExitCode {
+    let mut rows = Vec::new();
+    for algo in ALGOS {
+        match run_pipeline(algo) {
+            Ok(row) => {
+                eprintln!(
+                    "{algo}: {:.1} ms, {} iterations, {} items, \
+                     divergence {:.3}, coalescing {:.2}, occupancy {:.3}",
+                    row.wall_ms,
+                    row.iterations,
+                    row.work_items,
+                    row.totals.divergence_ratio(),
+                    row.totals.coalescing_factor(),
+                    row.totals.occupancy(),
+                );
+                rows.push(row);
+            }
+            Err(e) => {
+                eprintln!("perf-suite: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let body = rows
+        .iter()
+        .map(PipelineRow::to_json)
+        .collect::<Vec<_>>()
+        .join(",");
+    let text = format!("{{\"schema\":\"{SCHEMA}\",\"pipelines\":[{body}]}}\n");
+    // Self-check: the file must parse and self-compare cleanly before it
+    // is worth committing as a trajectory point.
+    if let Err(e) = load_trajectory_text(&text) {
+        eprintln!("perf-suite: generated trajectory is invalid: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(out, &text) {
+        eprintln!("perf-suite: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote trajectory for {} pipelines to {out}", rows.len());
+    ExitCode::SUCCESS
+}
+
+/// `algo -> metric -> value`, validated against the schema tag.
+type Trajectory = Vec<(String, Vec<(String, f64)>)>;
+
+fn load_trajectory_text(text: &str) -> Result<Trajectory, String> {
+    let v = parse(text).map_err(|e| e.to_string())?;
+    match v.get("schema").and_then(JsonValue::as_str) {
+        Some(SCHEMA) => {}
+        Some(other) => return Err(format!("unsupported schema {other:?}")),
+        None => return Err("missing schema tag".into()),
+    }
+    let Some(JsonValue::Array(pipelines)) = v.get("pipelines") else {
+        return Err("missing pipelines array".into());
+    };
+    let mut out = Vec::new();
+    for p in pipelines {
+        let algo = p
+            .get("algo")
+            .and_then(JsonValue::as_str)
+            .ok_or("pipeline row without algo")?
+            .to_string();
+        let mut metrics = Vec::new();
+        for (name, _) in GATED {
+            let value = p
+                .get(name)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("{algo}: missing gated metric {name}"))?;
+            if !value.is_finite() {
+                return Err(format!("{algo}: non-finite {name}"));
+            }
+            metrics.push((name.to_string(), value));
+        }
+        out.push((algo, metrics));
+    }
+    Ok(out)
+}
+
+fn load_trajectory(path: &str) -> Result<Trajectory, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    load_trajectory_text(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn compare(base_path: &str, cand_path: &str, tolerance_pct: f64) -> ExitCode {
+    let (base, cand) = match (load_trajectory(base_path), load_trajectory(cand_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for e in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("perf-suite: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let tol = tolerance_pct / 100.0;
+    let mut regressions = 0u32;
+    for (algo, base_metrics) in &base {
+        let Some((_, cand_metrics)) = cand.iter().find(|(a, _)| a == algo) else {
+            eprintln!("perf-suite: candidate is missing pipeline {algo}");
+            return ExitCode::FAILURE;
+        };
+        for ((name, b), (_, c)) in base_metrics.iter().zip(cand_metrics) {
+            // Strictly-worse-than-the-band counts; equality always passes,
+            // so a trajectory self-compares cleanly at zero tolerance.
+            let worse = match GATED.iter().find(|(n, _)| n == name).map(|(_, d)| d) {
+                Some(Direction::LowerIsBetter) => *c > b * (1.0 + tol) + f64::EPSILON,
+                Some(Direction::HigherIsBetter) => *c < b * (1.0 - tol) - f64::EPSILON,
+                None => unreachable!("loader only admits gated metrics"),
+            };
+            if worse {
+                eprintln!(
+                    "REGRESSION {algo}.{name}: baseline {b:.6} -> candidate {c:.6} \
+                     (tolerance {tolerance_pct}%)"
+                );
+                regressions += 1;
+            } else {
+                eprintln!("ok {algo}.{name}: {b:.6} -> {c:.6}");
+            }
+        }
+    }
+    if regressions > 0 {
+        eprintln!("perf-suite: {regressions} gated metric(s) regressed");
+        return ExitCode::from(2);
+    }
+    eprintln!("perf-suite: no regressions beyond {tolerance_pct}% tolerance");
+    ExitCode::SUCCESS
+}

@@ -34,6 +34,9 @@ pub use addition::BumpAllocator;
 pub use conflict::ConflictTable;
 pub use deletion::{DeletionMarks, RecyclePool};
 pub use morph_gpu_sim::CancelToken;
+// Metrics surface, re-exported so pipelines and servers can attach a hub
+// through `RecoveryOpts` without a direct morph-metrics dependency.
+pub use morph_gpu_sim::{MetricsHub, MetricsRegistry, MetricsSnapshot};
 pub use runtime::{
     drive, drive_recovering, DriveError, DriveOutcome, HostAction, OracleGate, RecoveryOpts,
     RecoveryPolicy, RescueLevel, StepCtx, StepReport,

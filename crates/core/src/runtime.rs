@@ -25,7 +25,9 @@
 //! into a runtime safety net.
 
 use crate::adaptive::AdaptiveParallelism;
-use morph_gpu_sim::{CancelToken, FaultPlan, Kernel, LaunchError, LaunchStats, VirtualGpu};
+use morph_gpu_sim::{
+    CancelToken, FaultPlan, Kernel, LaunchError, LaunchStats, MetricsHub, VirtualGpu,
+};
 use morph_trace::{RecoveryKind, TraceEvent, Tracer};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -124,6 +126,12 @@ pub struct RecoveryOpts {
     /// event per retry/regrow/rescue decision through the same handle.
     /// Defaults to [`Tracer::disabled`] (no events, no overhead).
     pub tracer: Tracer,
+    /// Metrics hub to attach to the GPU the pipeline builds. When enabled
+    /// the engine arms its hardware cost model (coalescing, bank
+    /// conflicts, atomic serialization, occupancy) and publishes per-warp
+    /// distributions plus launch totals into the hub's registry. Defaults
+    /// to [`MetricsHub::disabled`] (no tape, no metering).
+    pub metrics: MetricsHub,
     /// Cooperative cancellation token. [`drive_recovering`] checks it at
     /// every host-action boundary (before each launch attempt) and unwinds
     /// with [`DriveError::Cancelled`] when raised — the owner of the other
@@ -134,14 +142,15 @@ pub struct RecoveryOpts {
 }
 
 impl RecoveryOpts {
-    /// Arm the fault plan, watchdog, tracer and cancellation token on a
-    /// freshly built GPU.
+    /// Arm the fault plan, watchdog, tracer, metrics hub and cancellation
+    /// token on a freshly built GPU.
     pub fn arm(&self, gpu: &mut VirtualGpu) {
         if let Some(plan) = &self.fault_plan {
             gpu.set_fault_plan(Arc::clone(plan));
         }
         gpu.set_barrier_watchdog(self.barrier_watchdog);
         gpu.set_tracer(self.tracer.clone());
+        gpu.set_metrics(self.metrics.clone());
         gpu.set_cancel_token(self.cancel.clone());
     }
 }

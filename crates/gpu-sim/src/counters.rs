@@ -34,6 +34,29 @@ pub struct WorkerCounters {
     pub commits: u64,
     /// Global-barrier crossings by this worker.
     pub barriers: u64,
+    /// Global-memory accesses metered by the hardware cost model (plain
+    /// loads/stores through [`crate::ThreadCtx::global_load`]/
+    /// [`crate::ThreadCtx::global_store`] plus counted atomics). Zero
+    /// when no tracer or metrics registry is attached — metering follows
+    /// the same zero-cost-when-disabled contract as tracing.
+    pub gmem_accesses: u64,
+    /// 32-byte segment transactions those accesses coalesced into, per
+    /// warp per phase. `gmem_accesses / gmem_transactions` is the
+    /// coalescing factor.
+    pub gmem_transactions: u64,
+    /// Shared-memory ([`crate::BlockLocal`]) accesses metered by the
+    /// cost model.
+    pub smem_accesses: u64,
+    /// Bank conflicts among those accesses: banks are word-interleaved,
+    /// `warp_size` banks, one extra cycle per additional distinct word
+    /// hitting the same bank within a warp.
+    pub smem_conflicts: u64,
+    /// Extra serialization steps forced by same-address atomics within a
+    /// warp (`count − 1` per contended address).
+    pub atomic_serial: u64,
+    /// Warp executions with at least one active lane — the numerator of
+    /// achieved occupancy. Counted unconditionally (it costs one add).
+    pub active_warps: u64,
 }
 
 impl WorkerCounters {
@@ -46,6 +69,12 @@ impl WorkerCounters {
         out.aborts += self.aborts;
         out.commits += self.commits;
         out.barriers += self.barriers;
+        out.gmem_accesses += self.gmem_accesses;
+        out.gmem_transactions += self.gmem_transactions;
+        out.smem_accesses += self.smem_accesses;
+        out.smem_conflicts += self.smem_conflicts;
+        out.atomic_serial += self.atomic_serial;
+        out.active_warps += self.active_warps;
     }
 
     /// Plain-data copy for trace events (see [`morph_trace::TraceEvent`]).
@@ -59,13 +88,19 @@ impl WorkerCounters {
             aborts: self.aborts,
             commits: self.commits,
             barriers: self.barriers,
+            gmem_accesses: self.gmem_accesses,
+            gmem_transactions: self.gmem_transactions,
+            smem_accesses: self.smem_accesses,
+            smem_conflicts: self.smem_conflicts,
+            atomic_serial: self.atomic_serial,
+            active_warps: self.active_warps,
         }
     }
 }
 
 impl Serialize for WorkerCounters {
     fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        let mut st = s.serialize_struct("WorkerCounters", 8)?;
+        let mut st = s.serialize_struct("WorkerCounters", 14)?;
         st.serialize_field("active_threads", &self.active_threads)?;
         st.serialize_field("idle_threads", &self.idle_threads)?;
         st.serialize_field("warps", &self.warps)?;
@@ -74,6 +109,12 @@ impl Serialize for WorkerCounters {
         st.serialize_field("aborts", &self.aborts)?;
         st.serialize_field("commits", &self.commits)?;
         st.serialize_field("barriers", &self.barriers)?;
+        st.serialize_field("gmem_accesses", &self.gmem_accesses)?;
+        st.serialize_field("gmem_transactions", &self.gmem_transactions)?;
+        st.serialize_field("smem_accesses", &self.smem_accesses)?;
+        st.serialize_field("smem_conflicts", &self.smem_conflicts)?;
+        st.serialize_field("atomic_serial", &self.atomic_serial)?;
+        st.serialize_field("active_warps", &self.active_warps)?;
         st.end()
     }
 }
@@ -112,6 +153,15 @@ pub struct LaunchStats {
     pub aborts: u64,
     pub commits: u64,
     pub barriers: u64,
+    /// Cost-model counters (see [`WorkerCounters`] for semantics). Zero
+    /// unless the launch ran with a tracer or metrics registry attached,
+    /// except `active_warps`, which is always metered.
+    pub gmem_accesses: u64,
+    pub gmem_transactions: u64,
+    pub smem_accesses: u64,
+    pub smem_conflicts: u64,
+    pub atomic_serial: u64,
+    pub active_warps: u64,
     /// Atomic RMW traffic issued by the global barrier itself (0 for the
     /// sense-reversing design).
     pub barrier_rmws: u64,
@@ -162,6 +212,27 @@ impl LaunchStats {
         }
     }
 
+    /// Metered global accesses per 32-byte transaction. 1.0 means every
+    /// access paid its own transaction (fully scattered); higher is
+    /// better coalesced. `0.0` when the cost model was not armed.
+    pub fn coalescing_factor(&self) -> f64 {
+        if self.gmem_transactions == 0 {
+            0.0
+        } else {
+            self.gmem_accesses as f64 / self.gmem_transactions as f64
+        }
+    }
+
+    /// Achieved occupancy: warp executions with at least one active lane
+    /// over all warp executions. `0.0` if no warps ran.
+    pub fn occupancy(&self) -> f64 {
+        if self.warps == 0 {
+            0.0
+        } else {
+            self.active_warps as f64 / self.warps as f64
+        }
+    }
+
     /// Accumulate another launch's statistics (e.g. across the host-side
     /// do–while loop of the paper's Fig. 3).
     ///
@@ -184,6 +255,12 @@ impl LaunchStats {
         self.aborts += other.aborts;
         self.commits += other.commits;
         self.barriers += other.barriers;
+        self.gmem_accesses += other.gmem_accesses;
+        self.gmem_transactions += other.gmem_transactions;
+        self.smem_accesses += other.smem_accesses;
+        self.smem_conflicts += other.smem_conflicts;
+        self.atomic_serial += other.atomic_serial;
+        self.active_warps += other.active_warps;
         self.barrier_rmws += other.barrier_rmws;
         // Geometry is a configuration, not a quantity: keep the most
         // recent launch's values so callers see what last ran.
@@ -204,6 +281,12 @@ impl LaunchStats {
             aborts: self.aborts,
             commits: self.commits,
             barriers: self.barriers,
+            gmem_accesses: self.gmem_accesses,
+            gmem_transactions: self.gmem_transactions,
+            smem_accesses: self.smem_accesses,
+            smem_conflicts: self.smem_conflicts,
+            atomic_serial: self.atomic_serial,
+            active_warps: self.active_warps,
         }
     }
 }
@@ -233,7 +316,7 @@ impl std::fmt::Display for LaunchStats {
 
 impl Serialize for LaunchStats {
     fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        let mut st = s.serialize_struct("LaunchStats", 18)?;
+        let mut st = s.serialize_struct("LaunchStats", 26)?;
         st.serialize_field("iterations", &self.iterations)?;
         st.serialize_field("phases", &self.phases)?;
         st.serialize_field("active_threads", &self.active_threads)?;
@@ -244,6 +327,12 @@ impl Serialize for LaunchStats {
         st.serialize_field("aborts", &self.aborts)?;
         st.serialize_field("commits", &self.commits)?;
         st.serialize_field("barriers", &self.barriers)?;
+        st.serialize_field("gmem_accesses", &self.gmem_accesses)?;
+        st.serialize_field("gmem_transactions", &self.gmem_transactions)?;
+        st.serialize_field("smem_accesses", &self.smem_accesses)?;
+        st.serialize_field("smem_conflicts", &self.smem_conflicts)?;
+        st.serialize_field("atomic_serial", &self.atomic_serial)?;
+        st.serialize_field("active_warps", &self.active_warps)?;
         st.serialize_field("barrier_rmws", &self.barrier_rmws)?;
         st.serialize_field("blocks", &self.blocks)?;
         st.serialize_field("threads_per_block", &self.threads_per_block)?;
@@ -252,6 +341,8 @@ impl Serialize for LaunchStats {
         st.serialize_field("divergence_ratio", &self.divergence_ratio())?;
         st.serialize_field("abort_ratio", &self.abort_ratio())?;
         st.serialize_field("work_efficiency", &self.work_efficiency())?;
+        st.serialize_field("coalescing_factor", &self.coalescing_factor())?;
+        st.serialize_field("occupancy", &self.occupancy())?;
         st.end()
     }
 }
@@ -379,6 +470,12 @@ mod tests {
             aborts: 4,
             commits: 5,
             barriers: 6,
+            gmem_accesses: 32,
+            gmem_transactions: 8,
+            smem_accesses: 16,
+            smem_conflicts: 2,
+            atomic_serial: 3,
+            active_warps: 2,
         };
         let mut s = LaunchStats::default();
         w.merge_into(&mut s);
@@ -386,5 +483,34 @@ mod tests {
         assert_eq!(s.active_threads, 6);
         assert_eq!(s.atomics, 18);
         assert_eq!(s.barriers, 12);
+        assert_eq!(s.gmem_accesses, 64);
+        assert_eq!(s.gmem_transactions, 16);
+        assert_eq!(s.smem_accesses, 32);
+        assert_eq!(s.smem_conflicts, 4);
+        assert_eq!(s.atomic_serial, 6);
+        assert_eq!(s.active_warps, 4);
+    }
+
+    #[test]
+    fn cost_model_ratios() {
+        let s = LaunchStats {
+            warps: 10,
+            active_warps: 9,
+            gmem_accesses: 128,
+            gmem_transactions: 16,
+            ..Default::default()
+        };
+        assert!((s.coalescing_factor() - 8.0).abs() < 1e-12);
+        assert!((s.occupancy() - 0.9).abs() < 1e-12);
+        // Unarmed cost model: the derived ratios stay defined.
+        let z = LaunchStats::default();
+        assert_eq!(z.coalescing_factor(), 0.0);
+        assert_eq!(z.occupancy(), 0.0);
+        // The derived fields reach the JSON summary.
+        let js = morph_trace::json::to_json(&s);
+        let v = morph_trace::json::parse(&js).unwrap();
+        assert_eq!(v.get("coalescing_factor").and_then(|x| x.as_f64()), Some(8.0));
+        assert_eq!(v.get("occupancy").and_then(|x| x.as_f64()), Some(0.9));
+        assert_eq!(v.get("gmem_transactions").and_then(|x| x.as_u64()), Some(16));
     }
 }

@@ -28,9 +28,11 @@
 use crate::barrier::{make_barrier, GlobalBarrier, BARRIER_POISON_MSG, BARRIER_TIMEOUT_MSG};
 use crate::config::GpuConfig;
 use crate::cancel::CancelToken;
+use crate::costmodel::{WarpScore, WarpTape};
 use crate::counters::{LaunchStats, WorkerCounters};
 use crate::fault::FaultPlan;
 use crate::kernel::{Decision, Kernel, ThreadCtx};
+use morph_metrics::MetricsHub;
 use morph_trace::{CountersSnapshot, TraceEvent, Tracer};
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -116,6 +118,12 @@ struct PhaseAccum {
     aborts: AtomicU64,
     commits: AtomicU64,
     barriers: AtomicU64,
+    gmem_accesses: AtomicU64,
+    gmem_transactions: AtomicU64,
+    smem_accesses: AtomicU64,
+    smem_conflicts: AtomicU64,
+    atomic_serial: AtomicU64,
+    active_warps: AtomicU64,
 }
 
 impl PhaseAccum {
@@ -129,6 +137,12 @@ impl PhaseAccum {
             aborts: AtomicU64::new(0),
             commits: AtomicU64::new(0),
             barriers: AtomicU64::new(0),
+            gmem_accesses: AtomicU64::new(0),
+            gmem_transactions: AtomicU64::new(0),
+            smem_accesses: AtomicU64::new(0),
+            smem_conflicts: AtomicU64::new(0),
+            atomic_serial: AtomicU64::new(0),
+            active_warps: AtomicU64::new(0),
         }
     }
 
@@ -141,6 +155,12 @@ impl PhaseAccum {
         self.aborts.fetch_add(d.aborts, Ordering::Relaxed);
         self.commits.fetch_add(d.commits, Ordering::Relaxed);
         self.barriers.fetch_add(d.barriers, Ordering::Relaxed);
+        self.gmem_accesses.fetch_add(d.gmem_accesses, Ordering::Relaxed);
+        self.gmem_transactions.fetch_add(d.gmem_transactions, Ordering::Relaxed);
+        self.smem_accesses.fetch_add(d.smem_accesses, Ordering::Relaxed);
+        self.smem_conflicts.fetch_add(d.smem_conflicts, Ordering::Relaxed);
+        self.atomic_serial.fetch_add(d.atomic_serial, Ordering::Relaxed);
+        self.active_warps.fetch_add(d.active_warps, Ordering::Relaxed);
     }
 
     fn totals(&self) -> CountersSnapshot {
@@ -153,6 +173,12 @@ impl PhaseAccum {
             aborts: self.aborts.load(Ordering::Relaxed),
             commits: self.commits.load(Ordering::Relaxed),
             barriers: self.barriers.load(Ordering::Relaxed),
+            gmem_accesses: self.gmem_accesses.load(Ordering::Relaxed),
+            gmem_transactions: self.gmem_transactions.load(Ordering::Relaxed),
+            smem_accesses: self.smem_accesses.load(Ordering::Relaxed),
+            smem_conflicts: self.smem_conflicts.load(Ordering::Relaxed),
+            atomic_serial: self.atomic_serial.load(Ordering::Relaxed),
+            active_warps: self.active_warps.load(Ordering::Relaxed),
         }
     }
 }
@@ -164,6 +190,88 @@ struct TraceState {
     accums: Vec<PhaseAccum>,
 }
 
+/// Per-launch metrics state: registry handles resolved once per launch,
+/// allocated only when a [`MetricsHub`] is attached. Mirrors the
+/// [`TraceState`] zero-cost contract — the disabled path allocates
+/// nothing and the hot loop never sees a registry lock.
+struct MetricsState {
+    txn_per_warp: Arc<morph_metrics::Histogram>,
+    conflicts_per_warp: Arc<morph_metrics::Histogram>,
+    serial_per_warp: Arc<morph_metrics::Histogram>,
+    occupancy_pct: Arc<morph_metrics::Histogram>,
+    gmem_accesses: Arc<morph_metrics::Counter>,
+    gmem_transactions: Arc<morph_metrics::Counter>,
+    smem_conflicts: Arc<morph_metrics::Counter>,
+    atomic_serial: Arc<morph_metrics::Counter>,
+}
+
+impl MetricsState {
+    fn new(hub: &MetricsHub) -> Self {
+        let h = |name: &str, help: &str| hub.histogram(name, help).expect("hub is enabled");
+        let c = |name: &str, help: &str| hub.counter(name, help).expect("hub is enabled");
+        MetricsState {
+            txn_per_warp: h(
+                "morph_warp_gmem_transactions",
+                "Global-memory transactions per warp per phase (32-byte segment model)",
+            ),
+            conflicts_per_warp: h(
+                "morph_warp_smem_conflicts",
+                "Shared-memory bank conflicts per warp per phase (warp_size banks, word-interleaved)",
+            ),
+            serial_per_warp: h(
+                "morph_warp_atomic_serial",
+                "Same-address atomic serialization steps per warp per phase",
+            ),
+            occupancy_pct: h(
+                "morph_launch_occupancy_pct",
+                "Achieved occupancy per launch: percent of warp executions with an active lane",
+            ),
+            gmem_accesses: c(
+                "morph_gmem_accesses_total",
+                "Metered global-memory accesses (loads, stores, atomics)",
+            ),
+            gmem_transactions: c(
+                "morph_gmem_transactions_total",
+                "32-byte global-memory transactions after warp coalescing",
+            ),
+            smem_conflicts: c(
+                "morph_smem_conflicts_total",
+                "Shared-memory bank conflicts",
+            ),
+            atomic_serial: c(
+                "morph_atomic_serial_total",
+                "Serialization steps from same-address atomics within a warp",
+            ),
+        }
+    }
+
+    /// Feed one warp's score into the per-warp distributions. Empty
+    /// dimensions are skipped so a warp that never touched shared memory
+    /// does not drag the conflict histogram toward zero.
+    fn record_warp(&self, s: &WarpScore) {
+        if s.gmem_accesses > 0 {
+            self.txn_per_warp.record(s.gmem_transactions);
+        }
+        if s.smem_accesses > 0 {
+            self.conflicts_per_warp.record(s.smem_conflicts);
+        }
+        if s.atomic_ops > 0 {
+            self.serial_per_warp.record(s.atomic_serial);
+        }
+    }
+
+    /// Publish launch totals into the live registry counters.
+    fn finish(&self, stats: &LaunchStats) {
+        self.gmem_accesses.add(stats.gmem_accesses);
+        self.gmem_transactions.add(stats.gmem_transactions);
+        self.smem_conflicts.add(stats.smem_conflicts);
+        self.atomic_serial.add(stats.atomic_serial);
+        if let Some(pct) = (100 * stats.active_warps).checked_div(stats.warps) {
+            self.occupancy_pct.record(pct);
+        }
+    }
+}
+
 /// A virtual GPU: a launch configuration plus the machinery to run
 /// [`Kernel`]s under the SIMT execution model.
 pub struct VirtualGpu {
@@ -171,6 +279,7 @@ pub struct VirtualGpu {
     faults: Option<Arc<FaultPlan>>,
     barrier_watchdog: Option<Duration>,
     tracer: Tracer,
+    metrics: MetricsHub,
     cancel: CancelToken,
     launch_seq: AtomicU64,
     /// True while a launch is executing on this GPU. Host-side exclusive
@@ -187,6 +296,7 @@ impl VirtualGpu {
             faults: None,
             barrier_watchdog: None,
             tracer: Tracer::disabled(),
+            metrics: MetricsHub::disabled(),
             cancel: CancelToken::new(),
             launch_seq: AtomicU64::new(0),
             in_flight: AtomicBool::new(false),
@@ -213,6 +323,20 @@ impl VirtualGpu {
     /// engine's spans.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Attach a metrics hub. Subsequent launches arm the hardware cost
+    /// model (coalescing, bank conflicts, atomic serialization) and feed
+    /// per-warp distributions plus launch totals into the hub's registry.
+    /// The default [`MetricsHub::disabled`] hub keeps the cost model off
+    /// entirely — no tape is allocated and no access is metered.
+    pub fn set_metrics(&mut self, hub: MetricsHub) {
+        self.metrics = hub;
+    }
+
+    /// The attached metrics hub (disabled by default).
+    pub fn metrics(&self) -> &MetricsHub {
+        &self.metrics
     }
 
     /// Attach a cancellation token. The engine itself never aborts a
@@ -344,6 +468,11 @@ impl VirtualGpu {
             });
         }
         let trace = trace.as_ref();
+
+        // Per-launch metrics state, same contract: registry handles are
+        // resolved once here, never inside the warp loop.
+        let mstate = self.metrics.enabled().then(|| MetricsState::new(&self.metrics));
+        let mstate = mstate.as_ref();
         let start = Instant::now();
 
         let mut stats = LaunchStats::default();
@@ -367,6 +496,7 @@ impl VirtualGpu {
                     faults,
                     &progress,
                     trace,
+                    mstate,
                     check_nonce,
                 )
             }));
@@ -395,7 +525,7 @@ impl VirtualGpu {
                             run_worker(
                                 kernel, cfg, w, workers, phases, persistent, barrier,
                                 keep_going, &mut counters, faults, &progress, trace,
-                                check_nonce,
+                                mstate, check_nonce,
                             )
                         }));
                         match result {
@@ -447,6 +577,9 @@ impl VirtualGpu {
                 wall_us: stats.wall.as_micros() as u64,
                 totals: stats.snapshot(),
             });
+        }
+        if let Some(m) = mstate {
+            m.finish(&stats);
         }
         Ok(stats)
     }
@@ -511,6 +644,7 @@ fn run_worker<K: Kernel + ?Sized>(
     faults: Option<&FaultPlan>,
     progress: &Cell<Progress>,
     trace: Option<&TraceState>,
+    metrics: Option<&MetricsState>,
     check_nonce: u64,
 ) -> u64 {
     let tpb = cfg.threads_per_block;
@@ -518,6 +652,12 @@ fn run_worker<K: Kernel + ?Sized>(
     let my_blocks: Vec<usize> = (worker..cfg.blocks).step_by(workers).collect();
     let my_vthreads = my_blocks.len() * tpb;
     let my_vblocks = my_blocks.len();
+
+    // The cost-model tape records memory accesses whenever any observer
+    // (tracer or metrics hub) is attached; unobserved launches skip both
+    // the allocation and the per-access pushes.
+    let tape = (trace.is_some() || metrics.is_some()).then(WarpTape::new);
+    let tape = tape.as_ref();
 
     // Tracing bookkeeping (allocated only when a sink is attached): each
     // worker remembers its last published counter snapshot so it can push
@@ -553,7 +693,7 @@ fn run_worker<K: Kernel + ?Sized>(
                 });
                 run_block_phase(
                     kernel, cfg, block, phase, iteration, nthreads, counters, faults,
-                    check_epoch,
+                    tape, metrics, check_epoch,
                 );
             }
             counters.barriers += 1;
@@ -622,6 +762,8 @@ fn run_block_phase<K: Kernel + ?Sized>(
     nthreads: usize,
     counters: &mut WorkerCounters,
     faults: Option<&FaultPlan>,
+    tape: Option<&WarpTape>,
+    metrics: Option<&MetricsState>,
     check_epoch: u64,
 ) {
     let tpb = cfg.threads_per_block;
@@ -651,6 +793,7 @@ fn run_block_phase<K: Kernel + ?Sized>(
                 iteration,
                 counters,
                 faults,
+                tape,
             };
             // Mark this OS thread as executing virtual thread `tid` in the
             // current barrier interval, so shadow checkers can attribute
@@ -662,11 +805,25 @@ fn run_block_phase<K: Kernel + ?Sized>(
             }
         }
         counters.warps += 1;
-        if active > 0 && active < lanes as u64 {
-            counters.divergent_warps += 1;
+        if active > 0 {
+            counters.active_warps += 1;
+            if active < lanes as u64 {
+                counters.divergent_warps += 1;
+            }
         }
         counters.active_threads += active;
         counters.idle_threads += lanes as u64 - active;
+        if let Some(t) = tape {
+            let score = t.score_and_clear(warp_size);
+            counters.gmem_accesses += score.gmem_accesses;
+            counters.gmem_transactions += score.gmem_transactions;
+            counters.smem_accesses += score.smem_accesses;
+            counters.smem_conflicts += score.smem_conflicts;
+            counters.atomic_serial += score.atomic_serial;
+            if let Some(m) = metrics {
+                m.record_warp(&score);
+            }
+        }
         tib += lanes;
     }
 }
@@ -1100,6 +1257,183 @@ mod tests {
         );
     }
 
+    fn metered_gpu(cfg: GpuConfig) -> (VirtualGpu, Arc<morph_metrics::MetricsRegistry>) {
+        let mut gpu = VirtualGpu::new(cfg);
+        let registry = Arc::new(morph_metrics::MetricsRegistry::new());
+        gpu.set_metrics(MetricsHub::new(registry.clone()));
+        (gpu, registry)
+    }
+
+    /// Copies `src[f(tid)]` to `dst[f(tid)]` through the metered access
+    /// path; `stride` plants the coalescing behaviour.
+    struct StridedCopy<'a> {
+        src: &'a crate::mem::SharedSlice<u64>,
+        dst: &'a crate::mem::SharedSlice<u64>,
+        stride: usize,
+    }
+    impl Kernel for StridedCopy<'_> {
+        fn run(&self, _phase: usize, ctx: &mut ThreadCtx<'_>) -> bool {
+            let i = (ctx.tid * self.stride) % self.src.len();
+            let v = ctx.global_load(self.src, i);
+            ctx.global_store(self.dst, i, v);
+            true
+        }
+    }
+
+    fn copy_stats(stride: usize) -> LaunchStats {
+        let cfg = GpuConfig {
+            num_sms: 1,
+            warp_size: 8,
+            blocks: 1,
+            threads_per_block: 8,
+            barrier: crate::BarrierKind::SenseReversing,
+        };
+        let src = crate::mem::SharedSlice::<u64>::from_vec((0..64).collect());
+        let dst = crate::mem::SharedSlice::<u64>::new(64, 0);
+        let (gpu, _reg) = metered_gpu(cfg);
+        gpu.launch(&StridedCopy {
+            src: &src,
+            dst: &dst,
+            stride,
+        })
+    }
+
+    #[test]
+    fn planted_stride_degrades_coalescing() {
+        // Acceptance gate: the cost model must discriminate. A warp of 8
+        // lanes reading consecutive u64s touches 2 segments (64 bytes);
+        // with stride 8 every lane is 64 bytes apart and pays its own
+        // segment. Same access counts, different transaction counts.
+        let contiguous = copy_stats(1);
+        let strided = copy_stats(8);
+        assert_eq!(contiguous.gmem_accesses, 16, "8 loads + 8 stores");
+        assert_eq!(contiguous.gmem_accesses, strided.gmem_accesses);
+        // 64 contiguous bytes span 2 segments when aligned, 3 when the heap
+        // buffer straddles a boundary — per array.
+        assert!(
+            (4..=6).contains(&contiguous.gmem_transactions),
+            "contiguous warp should need 2-3 segments per array, got {}",
+            contiguous.gmem_transactions
+        );
+        assert_eq!(strided.gmem_transactions, 16, "one segment per access");
+        assert!(
+            contiguous.coalescing_factor() > 2.5
+                && strided.coalescing_factor() < 1.1,
+            "coalescing factor must separate the planted pathologies: \
+             contiguous {} vs strided {}",
+            contiguous.coalescing_factor(),
+            strided.coalescing_factor()
+        );
+    }
+
+    /// Every lane increments either one shared bin (pathological) or its
+    /// own bin (clean).
+    struct ContendedCounter {
+        bins: AtomicU32Slice,
+        same_address: bool,
+    }
+    impl Kernel for ContendedCounter {
+        fn run(&self, _phase: usize, ctx: &mut ThreadCtx<'_>) -> bool {
+            let b = if self.same_address {
+                0
+            } else {
+                ctx.tid % self.bins.len()
+            };
+            ctx.atomic_add_u32(self.bins.at(b), 1);
+            true
+        }
+    }
+
+    #[test]
+    fn planted_same_address_atomics_raise_contention() {
+        let cfg = GpuConfig {
+            num_sms: 1,
+            warp_size: 8,
+            blocks: 2,
+            threads_per_block: 8,
+            barrier: crate::BarrierKind::SenseReversing,
+        };
+        let run = |same_address: bool| {
+            let (gpu, _reg) = metered_gpu(cfg.clone());
+            gpu.launch(&ContendedCounter {
+                bins: AtomicU32Slice::new(16, 0),
+                same_address,
+            })
+        };
+        let hot = run(true);
+        let spread = run(false);
+        assert_eq!(hot.atomics, 16);
+        assert_eq!(spread.atomics, 16);
+        // 2 warps of 8 lanes hammering one address: 7 extra serialized
+        // steps each. Distinct bins per lane: none.
+        assert_eq!(hot.atomic_serial, 14);
+        assert_eq!(spread.atomic_serial, 0);
+    }
+
+    #[test]
+    fn cost_model_counters_are_conserved_and_published() {
+        let cfg = GpuConfig {
+            num_sms: 2,
+            warp_size: 8,
+            blocks: 4,
+            threads_per_block: 16,
+            barrier: crate::BarrierKind::SenseReversing,
+        };
+        let (gpu, registry) = metered_gpu(cfg);
+        let stats = gpu.launch(&ContendedCounter {
+            bins: AtomicU32Slice::new(8, 0),
+            same_address: false,
+        });
+
+        // Structural invariants of the model.
+        assert!(stats.gmem_transactions <= stats.gmem_accesses);
+        assert!(stats.gmem_transactions > 0, "atomics are global accesses");
+        assert!(stats.active_warps <= stats.warps);
+        assert!(stats.occupancy() > 0.0 && stats.occupancy() <= 1.0);
+        assert!(stats.coalescing_factor() >= 1.0);
+
+        // The same totals must have landed in the live registry.
+        let snap = registry.snapshot();
+        let series = |name: &str| {
+            snap.series
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("series {name} not published"))
+        };
+        match &series("morph_gmem_accesses_total").value {
+            morph_metrics::SampleValue::Counter(v) => assert_eq!(*v, stats.gmem_accesses),
+            other => panic!("expected counter, got {other:?}"),
+        }
+        match &series("morph_gmem_transactions_total").value {
+            morph_metrics::SampleValue::Counter(v) => {
+                assert_eq!(*v, stats.gmem_transactions)
+            }
+            other => panic!("expected counter, got {other:?}"),
+        }
+        match &series("morph_launch_occupancy_pct").value {
+            morph_metrics::SampleValue::Histogram(h) => {
+                assert_eq!(h.count, 1, "one launch, one occupancy sample");
+                assert_eq!(h.max, 100 * stats.active_warps / stats.warps);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unobserved_launch_skips_the_cost_model() {
+        // Zero-cost contract: with neither tracer nor metrics hub the tape
+        // never exists, so metered accessors record nothing.
+        let stats = VirtualGpu::new(GpuConfig::small()).launch(&ContendedCounter {
+            bins: AtomicU32Slice::new(8, 0),
+            same_address: true,
+        });
+        assert_eq!(stats.gmem_accesses, 0);
+        assert_eq!(stats.gmem_transactions, 0);
+        assert_eq!(stats.atomic_serial, 0);
+        assert!(stats.atomics > 0, "plain atomic counting is unconditional");
+        assert!(stats.active_warps > 0, "occupancy metering is unconditional");
+    }
+
     #[test]
     fn traced_launch_emits_spans_that_sum_to_totals() {
         use morph_trace::RingSink;
@@ -1154,6 +1488,16 @@ mod tests {
         assert_eq!(summed.atomics, totals.atomics);
         assert_eq!(summed.aborts, totals.aborts);
         assert_eq!(summed.commits, totals.commits);
+        assert_eq!(summed.gmem_accesses, totals.gmem_accesses);
+        assert_eq!(summed.gmem_transactions, totals.gmem_transactions);
+        assert_eq!(summed.smem_accesses, totals.smem_accesses);
+        assert_eq!(summed.smem_conflicts, totals.smem_conflicts);
+        assert_eq!(summed.atomic_serial, totals.atomic_serial);
+        assert_eq!(summed.active_warps, totals.active_warps);
+        assert!(
+            totals.gmem_accesses > 0,
+            "a traced launch arms the cost model, and this kernel issues atomics"
+        );
 
         match events.last().expect("stream not empty") {
             TraceEvent::LaunchEnd {

@@ -13,7 +13,9 @@
 //! software global barrier between iterations.
 
 use crate::config::WorkPartition;
+use crate::costmodel::WarpTape;
 use crate::counters::WorkerCounters;
+use crate::mem::SharedSlice;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Whether a persistent execution runs another iteration.
@@ -72,6 +74,11 @@ pub struct ThreadCtx<'a> {
     pub(crate) counters: &'a mut WorkerCounters,
     /// Fault plan attached to the launching [`crate::VirtualGpu`], if any.
     pub(crate) faults: Option<&'a crate::fault::FaultPlan>,
+    /// Cost-model tape for the currently executing warp. `None` unless a
+    /// tracer or metrics registry is attached to the launch. Shared (the
+    /// tape is interior-mutable) so `&ThreadCtx` paths like
+    /// [`crate::BlockLocal::with`] can record through it.
+    pub(crate) tape: Option<&'a WarpTape>,
 }
 
 /// Iterator over the work items assigned to one thread.
@@ -149,71 +156,109 @@ impl<'a> ThreadCtx<'a> {
         self.counters.commits += 1;
     }
 
+    /// Metered read of global memory: records the element's byte address
+    /// on the warp's cost-model tape (when armed), then delegates to
+    /// [`SharedSlice::get`]. Kernels route hot loads through this so the
+    /// coalescing factor reflects their real access pattern; unmetered
+    /// `slice.get(i)` stays available and simply goes uncounted.
     #[inline]
-    fn count_atomic(&mut self) {
+    pub fn global_load<T: Copy + Send>(&mut self, slice: &SharedSlice<T>, i: usize) -> T {
+        if let Some(t) = self.tape {
+            t.record_global(slice.element_addr(i));
+        }
+        slice.get(i)
+    }
+
+    /// Metered write of global memory; counterpart of
+    /// [`global_load`](Self::global_load).
+    #[inline]
+    pub fn global_store<T: Copy + Send>(&mut self, slice: &SharedSlice<T>, i: usize, v: T) {
+        if let Some(t) = self.tape {
+            t.record_global(slice.element_addr(i));
+        }
+        slice.set(i, v)
+    }
+
+    /// Record a shared-memory access at word index `word` for the bank
+    /// conflict model (banks are word-interleaved, `warp_size` of them).
+    /// [`crate::BlockLocal::with`] records its cell automatically; kernels
+    /// that index *within* a block-local structure lane-by-lane call this
+    /// to expose the intra-structure pattern.
+    #[inline]
+    pub fn smem_word(&self, word: usize) {
+        if let Some(t) = self.tape {
+            t.record_smem(word);
+        }
+    }
+
+    #[inline]
+    fn count_atomic(&mut self, addr: usize) {
         self.counters.atomics += 1;
+        if let Some(t) = self.tape {
+            t.record_atomic(addr);
+        }
     }
 
     /// Counted `atomicAdd` on a 32-bit word; returns the previous value.
     #[inline]
     pub fn atomic_add_u32(&mut self, a: &AtomicU32, v: u32) -> u32 {
-        self.count_atomic();
+        self.count_atomic(a as *const AtomicU32 as usize);
         a.fetch_add(v, Ordering::AcqRel)
     }
 
     /// Counted `atomicAdd` on a 64-bit word; returns the previous value.
     #[inline]
     pub fn atomic_add_u64(&mut self, a: &AtomicU64, v: u64) -> u64 {
-        self.count_atomic();
+        self.count_atomic(a as *const AtomicU64 as usize);
         a.fetch_add(v, Ordering::AcqRel)
     }
 
     /// Counted `atomicMin`; returns the previous value.
     #[inline]
     pub fn atomic_min_u32(&mut self, a: &AtomicU32, v: u32) -> u32 {
-        self.count_atomic();
+        self.count_atomic(a as *const AtomicU32 as usize);
         a.fetch_min(v, Ordering::AcqRel)
     }
 
     /// Counted `atomicMax`; returns the previous value.
     #[inline]
     pub fn atomic_max_u32(&mut self, a: &AtomicU32, v: u32) -> u32 {
-        self.count_atomic();
+        self.count_atomic(a as *const AtomicU32 as usize);
         a.fetch_max(v, Ordering::AcqRel)
     }
 
     /// Counted `atomicMin` on a 64-bit word; returns the previous value.
     #[inline]
     pub fn atomic_min_u64(&mut self, a: &AtomicU64, v: u64) -> u64 {
-        self.count_atomic();
+        self.count_atomic(a as *const AtomicU64 as usize);
         a.fetch_min(v, Ordering::AcqRel)
     }
 
     /// Counted `atomicMax` on a 64-bit word; returns the previous value.
     #[inline]
     pub fn atomic_max_u64(&mut self, a: &AtomicU64, v: u64) -> u64 {
-        self.count_atomic();
+        self.count_atomic(a as *const AtomicU64 as usize);
         a.fetch_max(v, Ordering::AcqRel)
     }
 
     /// Counted `atomicCAS`; returns `Ok(previous)` on success.
     #[inline]
     pub fn atomic_cas_u32(&mut self, a: &AtomicU32, current: u32, new: u32) -> Result<u32, u32> {
-        self.count_atomic();
+        self.count_atomic(a as *const AtomicU32 as usize);
         a.compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire)
     }
 
     /// Counted `atomicExch`; returns the previous value.
     #[inline]
     pub fn atomic_exchange_u32(&mut self, a: &AtomicU32, v: u32) -> u32 {
-        self.count_atomic();
+        self.count_atomic(a as *const AtomicU32 as usize);
         a.swap(v, Ordering::AcqRel)
     }
 
     /// Counted `atomicOr` on a 64-bit word; returns the previous value.
     #[inline]
     pub fn atomic_or_u64(&mut self, a: &AtomicU64, v: u64) -> u64 {
-        self.count_atomic();
+        self.count_atomic(a as *const AtomicU64 as usize);
         a.fetch_or(v, Ordering::AcqRel)
     }
 
@@ -257,6 +302,7 @@ mod tests {
             iteration: 0,
             counters,
             faults: None,
+            tape: None,
         }
     }
 

@@ -59,6 +59,7 @@
 pub mod barrier;
 pub mod cancel;
 pub mod config;
+mod costmodel;
 pub mod counters;
 pub mod engine;
 pub mod fault;
@@ -70,9 +71,15 @@ pub use cancel::CancelToken;
 pub use config::{BarrierKind, GpuConfig, WorkPartition};
 pub use counters::{LaunchStats, WorkerCounters};
 pub use engine::{LaunchError, LaunchOutcome, VirtualGpu};
+pub use costmodel::SEGMENT_BYTES;
 // Re-exported so kernels and pipelines can emit trace events without
 // depending on morph-trace directly.
 pub use morph_trace::{CountersSnapshot, TraceEvent, Tracer};
+// Re-exported so pipelines can attach a metrics hub without depending on
+// morph-metrics directly.
+pub use morph_metrics::{
+    Histogram, HistogramSnapshot, MetricsHub, MetricsRegistry, MetricsSnapshot,
+};
 pub use fault::{FaultPlan, INJECTED_PANIC_MSG};
 pub use kernel::{Decision, Kernel, ThreadCtx};
 pub use mem::{AtomicF32Slice, AtomicF64Slice, AtomicU32Slice, AtomicU64Slice, SharedSlice};

@@ -73,6 +73,15 @@ impl<T: Copy + Send> SharedSlice<T> {
         self.data.is_empty()
     }
 
+    /// Byte address of element `i`, for the cost model's coalescing
+    /// analysis. `SyncCell<T>` is `repr(transparent)` over `T`, so element
+    /// spacing equals `size_of::<T>()` exactly as on the device.
+    #[inline]
+    pub(crate) fn element_addr(&self, i: usize) -> usize {
+        debug_assert!(i < self.data.len());
+        self.data.as_ptr() as usize + i * std::mem::size_of::<T>()
+    }
+
     /// Read element `i`. See the type-level concurrency contract.
     #[inline]
     pub fn get(&self, i: usize) -> T {

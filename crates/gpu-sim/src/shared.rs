@@ -46,6 +46,12 @@ impl<T: Send> BlockLocal<T> {
     #[inline]
     pub fn with<R>(&self, ctx: &ThreadCtx<'_>, f: impl FnOnce(&mut T) -> R) -> R {
         debug_assert!(ctx.block < self.cells.len());
+        if let Some(tape) = ctx.tape {
+            // One shared-memory access per `with`, at the cell's word
+            // address. Finer-grained intra-cell patterns are the kernel's
+            // to report via `ThreadCtx::smem_word`.
+            tape.record_smem((&self.cells[ctx.block] as *const _ as usize) >> 2);
+        }
         // SAFETY: see the `Sync` impl above — one block never runs on two
         // workers concurrently, and `ctx.block` scopes access to the
         // caller's own block.
@@ -142,6 +148,7 @@ mod tests {
             iteration: 0,
             counters,
             faults: None,
+            tape: None,
         }
     }
 

@@ -1,0 +1,440 @@
+//! Exporters: Prometheus-style text exposition and hand-rolled JSON —
+//! plus a small exposition parser so tests (and the perf harness) can
+//! round-trip what the serve binary writes without a scrape stack.
+
+use crate::histogram::bucket_upper_bound;
+use crate::registry::{MetricsSnapshot, SampleValue};
+use std::collections::BTreeMap;
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Render a snapshot as Prometheus text exposition (version 0.0.4).
+///
+/// Every family gets `# HELP` and `# TYPE` lines; histograms expand to
+/// cumulative `_bucket{le=...}` samples (empty buckets elided, `+Inf`
+/// always present) plus `_sum` and `_count`.
+pub fn expose(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_family: Option<&str> = None;
+    for s in &snapshot.series {
+        if last_family != Some(s.name.as_str()) {
+            last_family = Some(s.name.as_str());
+            let kind = match s.value {
+                SampleValue::Counter(_) => "counter",
+                SampleValue::Gauge(_) => "gauge",
+                SampleValue::Histogram(_) => "histogram",
+            };
+            out.push_str(&format!("# HELP {} {}\n", s.name, escape_help(&s.help)));
+            out.push_str(&format!("# TYPE {} {}\n", s.name, kind));
+        }
+        match &s.value {
+            SampleValue::Counter(v) => {
+                out.push_str(&format!("{}{} {}\n", s.name, label_block(&s.labels, None), v));
+            }
+            SampleValue::Gauge(v) => {
+                out.push_str(&format!("{}{} {}\n", s.name, label_block(&s.labels, None), v));
+            }
+            SampleValue::Histogram(h) => {
+                let mut cum = 0u64;
+                for (i, &n) in h.buckets.iter().enumerate() {
+                    if n == 0 {
+                        continue;
+                    }
+                    cum += n;
+                    let le = bucket_upper_bound(i).to_string();
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        s.name,
+                        label_block(&s.labels, Some(("le", &le))),
+                        cum
+                    ));
+                }
+                out.push_str(&format!(
+                    "{}_bucket{} {}\n",
+                    s.name,
+                    label_block(&s.labels, Some(("le", "+Inf"))),
+                    h.count
+                ));
+                out.push_str(&format!(
+                    "{}_sum{} {}\n",
+                    s.name,
+                    label_block(&s.labels, None),
+                    h.sum
+                ));
+                out.push_str(&format!(
+                    "{}_count{} {}\n",
+                    s.name,
+                    label_block(&s.labels, None),
+                    h.count
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpositionSample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+/// A parsed exposition document.
+#[derive(Debug, Clone, Default)]
+pub struct Exposition {
+    pub helps: BTreeMap<String, String>,
+    pub types: BTreeMap<String, String>,
+    pub samples: Vec<ExpositionSample>,
+}
+
+impl Exposition {
+    /// The family a sample belongs to: its own name, or — for histogram
+    /// expansions — the name with `_bucket`/`_sum`/`_count` stripped.
+    fn family_of(&self, sample: &str) -> Option<&str> {
+        if self.types.contains_key(sample) {
+            return Some(self.types.get_key_value(sample).unwrap().0);
+        }
+        for suffix in ["_bucket", "_sum", "_count"] {
+            if let Some(base) = sample.strip_suffix(suffix) {
+                if self.types.get(base).map(String::as_str) == Some("histogram") {
+                    return self.types.get_key_value(base).map(|(k, _)| k.as_str());
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Parse exposition text back into samples, validating that every sample
+/// belongs to a family that declared both `# TYPE` and `# HELP`.
+pub fn parse_exposition(text: &str) -> Result<Exposition, String> {
+    let mut doc = Exposition::default();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest
+                .split_once(' ')
+                .map(|(n, h)| (n, h.to_string()))
+                .unwrap_or((rest, String::new()));
+            doc.helps.insert(name.to_string(), help);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {}: malformed TYPE", lineno + 1))?;
+            doc.types.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+        doc.samples
+            .push(parse_sample(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    for s in &doc.samples {
+        let family = doc
+            .family_of(&s.name)
+            .ok_or_else(|| format!("sample {} has no # TYPE line", s.name))?
+            .to_string();
+        if !doc.helps.contains_key(&family) {
+            return Err(format!("family {family} has no # HELP line"));
+        }
+    }
+    Ok(doc)
+}
+
+fn parse_sample(line: &str) -> Result<ExpositionSample, String> {
+    let (head, value) = match line.find('{') {
+        Some(open) => {
+            let close = line.rfind('}').ok_or("unterminated label block")?;
+            let labels = parse_labels(&line[open + 1..close])?;
+            let name = &line[..open];
+            let value = line[close + 1..].trim();
+            return Ok(ExpositionSample {
+                name: name.to_string(),
+                labels,
+                value: value.parse::<f64>().map_err(|e| e.to_string())?,
+            });
+        }
+        None => line
+            .split_once(char::is_whitespace)
+            .ok_or("sample line without value")?,
+    };
+    Ok(ExpositionSample {
+        name: head.to_string(),
+        labels: Vec::new(),
+        value: value.trim().parse::<f64>().map_err(|e| e.to_string())?,
+    })
+}
+
+fn parse_labels(block: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = block.chars().peekable();
+    loop {
+        while matches!(chars.peek(), Some(' ') | Some(',')) {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            return Ok(labels);
+        }
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("label {key}: expected opening quote"));
+        }
+        let mut val = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('\\') => val.push('\\'),
+                    Some('"') => val.push('"'),
+                    Some('n') => val.push('\n'),
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some('"') => break,
+                Some(c) => val.push(c),
+                None => return Err("unterminated label value".into()),
+            }
+        }
+        labels.push((key, val));
+    }
+}
+
+fn escape_json(v: &str) -> String {
+    let mut out = String::with_capacity(v.len() + 2);
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a snapshot as the repo's hand-rolled JSON: one object with a
+/// `series` array; histograms carry totals, clamped percentiles, and the
+/// non-empty `[upper_bound, count]` bucket pairs.
+pub fn to_json(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\"series\":[");
+    for (i, s) in snapshot.series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"name\":\"{}\",\"labels\":{{", escape_json(&s.name)));
+        for (j, (k, v)) in s.labels.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)));
+        }
+        out.push_str("},");
+        match &s.value {
+            SampleValue::Counter(v) => {
+                out.push_str(&format!("\"type\":\"counter\",\"value\":{v}}}"));
+            }
+            SampleValue::Gauge(v) => {
+                out.push_str(&format!("\"type\":\"gauge\",\"value\":{v}}}"));
+            }
+            SampleValue::Histogram(h) => {
+                out.push_str(&format!(
+                    "\"type\":\"histogram\",\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+                    h.count,
+                    h.sum,
+                    h.max,
+                    h.p50(),
+                    h.p95(),
+                    h.p99()
+                ));
+                let mut first = true;
+                for (b, &n) in h.buckets.iter().enumerate() {
+                    if n == 0 {
+                        continue;
+                    }
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    out.push_str(&format!("[{},{}]", bucket_upper_bound(b), n));
+                }
+                out.push_str("]}");
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    fn sample_registry() -> MetricsRegistry {
+        let r = MetricsRegistry::new();
+        r.counter("morph_jobs_total", "Jobs submitted", &[("tenant", "alpha")])
+            .add(12);
+        r.counter("morph_jobs_total", "Jobs submitted", &[("tenant", "beta")])
+            .add(3);
+        r.gauge("morph_queue_depth", "Queued jobs", &[]).set(4);
+        let h = r.histogram(
+            "morph_job_run_us",
+            "Per-job device time",
+            &[("tenant", "alpha"), ("algo", "dmr")],
+        );
+        h.record(100);
+        h.record(90_000);
+        h.record(0);
+        r
+    }
+
+    #[test]
+    fn exposition_round_trips() {
+        let r = sample_registry();
+        let text = expose(&r.snapshot());
+        let doc = parse_exposition(&text).expect("exposition parses");
+        // Every family declared its metadata.
+        for fam in ["morph_jobs_total", "morph_queue_depth", "morph_job_run_us"] {
+            assert!(doc.types.contains_key(fam), "missing TYPE for {fam}");
+            assert!(doc.helps.contains_key(fam), "missing HELP for {fam}");
+        }
+        assert_eq!(doc.types["morph_job_run_us"], "histogram");
+        // Counter values survive.
+        let alpha = doc
+            .samples
+            .iter()
+            .find(|s| {
+                s.name == "morph_jobs_total"
+                    && s.labels.contains(&("tenant".into(), "alpha".into()))
+            })
+            .expect("alpha sample present");
+        assert_eq!(alpha.value, 12.0);
+        // Histogram expansion: +Inf bucket equals _count equals 3.
+        let inf = doc
+            .samples
+            .iter()
+            .find(|s| {
+                s.name == "morph_job_run_us_bucket"
+                    && s.labels.contains(&("le".into(), "+Inf".into()))
+            })
+            .expect("+Inf bucket present");
+        assert_eq!(inf.value, 3.0);
+        let count = doc
+            .samples
+            .iter()
+            .find(|s| s.name == "morph_job_run_us_count")
+            .unwrap();
+        assert_eq!(count.value, 3.0);
+        let sum = doc
+            .samples
+            .iter()
+            .find(|s| s.name == "morph_job_run_us_sum")
+            .unwrap();
+        assert_eq!(sum.value, 90_100.0);
+    }
+
+    #[test]
+    fn buckets_are_cumulative_and_ordered() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("lat", "latency", &[]);
+        h.record(1);
+        h.record(1);
+        h.record(1000);
+        let text = expose(&r.snapshot());
+        let doc = parse_exposition(&text).unwrap();
+        let buckets: Vec<f64> = doc
+            .samples
+            .iter()
+            .filter(|s| s.name == "lat_bucket")
+            .map(|s| s.value)
+            .collect();
+        // Cumulative counts never decrease and end at the total.
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*buckets.last().unwrap(), 3.0);
+    }
+
+    #[test]
+    fn samples_without_metadata_are_rejected() {
+        assert!(parse_exposition("orphan_metric 1\n").is_err());
+        let missing_help = "# TYPE x counter\nx 1\n";
+        assert!(parse_exposition(missing_help).is_err());
+        let ok = "# HELP x n\n# TYPE x counter\nx{a=\"b\"} 1\n";
+        assert!(parse_exposition(ok).is_ok());
+    }
+
+    #[test]
+    fn label_escapes_round_trip() {
+        let r = MetricsRegistry::new();
+        r.counter("c", "h", &[("k", "a\"b\\c\nd")]).inc();
+        let text = expose(&r.snapshot());
+        let doc = parse_exposition(&text).unwrap();
+        assert_eq!(doc.samples[0].labels[0].1, "a\"b\\c\nd");
+    }
+
+    #[test]
+    fn json_export_is_wellformed_enough_to_eyeball() {
+        let r = sample_registry();
+        let json = to_json(&r.snapshot());
+        assert!(json.starts_with("{\"series\":["));
+        assert!(json.contains("\"type\":\"histogram\""));
+        assert!(json.contains("\"p50\":"));
+        assert!(json.ends_with("]}"));
+        // Balanced braces/brackets as a cheap structural check.
+        let opens = json.matches('{').count() + json.matches('[').count();
+        let closes = json.matches('}').count() + json.matches(']').count();
+        assert_eq!(opens, closes);
+    }
+}

@@ -1,0 +1,320 @@
+//! Fixed log₂-bucket histogram.
+//!
+//! The bucket layout is static so histograms recorded by different
+//! shards, workers, or processes are mergeable bucket-wise without any
+//! bound negotiation: bucket 0 holds the value `0`, bucket `i ≥ 1`
+//! holds values in `[2^(i-1), 2^i - 1]`, and bucket 64 tops out at
+//! `u64::MAX`. Recording is three relaxed atomic adds plus a
+//! `fetch_max`, so a histogram can be hammered from every engine worker
+//! without a lock.
+//!
+//! Quantile readout is bucket-resolution by construction; to keep small
+//! fixtures exact the reported quantile is clamped to the recorded
+//! maximum, so a histogram holding the single value `100` reports
+//! p50 = p99 = 100, not the bucket upper bound `127`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero plus one per power of two.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Index of the bucket a value lands in.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i`.
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A lock-free, mergeable log₂ histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Record `n` identical observations in one shot.
+    #[inline]
+    pub fn record_n(&self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(value)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(value.saturating_mul(n), Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Fold another histogram's contents into this one (bucket-wise).
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the whole distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut s = HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            ..HistogramSnapshot::default()
+        };
+        for (dst, src) in s.buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        s
+    }
+
+    /// Quantile readout at bucket resolution; see [`HistogramSnapshot::quantile`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+}
+
+/// A frozen histogram: plain counters with delta semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// What was recorded since `earlier` (bucket-wise saturating).
+    ///
+    /// The `max` of a delta is the current max: a maximum is a
+    /// high-water mark, not a monotone counter, so it carries over.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut d = *self;
+        for (dst, src) in d.buckets.iter_mut().zip(earlier.buckets.iter()) {
+            *dst = dst.saturating_sub(*src);
+        }
+        d.count = d.count.saturating_sub(earlier.count);
+        d.sum = d.sum.saturating_sub(earlier.sum);
+        d
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`, clamped to the recorded max.
+    ///
+    /// Resolution is the bucket upper bound (a factor-of-two error bound),
+    /// except that the answer never exceeds the true maximum — which makes
+    /// single-sample distributions exact.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(7), 127);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        let h = Histogram::new();
+        h.record(100);
+        assert_eq!(h.quantile(0.5), 100);
+        assert_eq!(h.quantile(0.99), 100);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.sum(), 100);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_buckets() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(10); // bucket 4, upper bound 15
+        }
+        for _ in 0..10 {
+            h.record(1000); // bucket 10, upper bound 1023
+        }
+        assert_eq!(h.quantile(0.50), 15);
+        assert_eq!(h.quantile(0.90), 15);
+        // p95 and p99 land in the tail bucket; clamped to the true max.
+        assert_eq!(h.quantile(0.95), 1000);
+        assert_eq!(h.quantile(0.99), 1000);
+    }
+
+    #[test]
+    fn zero_values_are_their_own_bucket() {
+        let h = Histogram::new();
+        h.record_n(0, 5);
+        h.record(8);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 8);
+    }
+
+    #[test]
+    fn merge_of_shards_equals_single_shard_ingest() {
+        // Seeded LCG so the property is reproducible without a rand dep.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % 100_000
+        };
+        let shards: Vec<Histogram> = (0..4).map(|_| Histogram::new()).collect();
+        let single = Histogram::new();
+        for i in 0..10_000 {
+            let v = next();
+            shards[i % 4].record(v);
+            single.record(v);
+        }
+        let merged = Histogram::new();
+        for s in &shards {
+            merged.merge(s);
+        }
+        assert_eq!(merged.snapshot(), single.snapshot());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), single.quantile(q), "q={q}");
+        }
+        assert_eq!(merged.count(), 10_000);
+        assert_eq!(merged.sum(), single.sum());
+        assert_eq!(merged.max(), single.max());
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_bucketwise() {
+        let h = Histogram::new();
+        h.record(5);
+        let before = h.snapshot();
+        h.record(5);
+        h.record(700);
+        let delta = h.snapshot().delta_since(&before);
+        assert_eq!(delta.count, 2);
+        assert_eq!(delta.sum, 705);
+        assert_eq!(delta.buckets[bucket_index(5)], 1);
+        assert_eq!(delta.buckets[bucket_index(700)], 1);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = std::sync::Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        h.record((t * 1000 + i) as u64 % 37);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+    }
+}

@@ -1,0 +1,179 @@
+//! # morph-metrics — the workspace's second observability pillar
+//!
+//! `morph-trace` (DESIGN.md §8) records *events*: what happened, when,
+//! in order. This crate records *levels and distributions*: how much,
+//! how fast, how skewed. The two are deliberately decoupled — the
+//! simulator's hardware cost model feeds histograms here while the
+//! tracer streams spans, and either can be attached without the other.
+//!
+//! Three primitives, one registry:
+//!
+//! * [`Counter`] — monotone, sharded across cache-padded cells so the
+//!   engine's workers never contend on one line;
+//! * [`Gauge`] — a settable level (queue depth, resident warps);
+//! * [`Histogram`] — fixed log₂ buckets, lock-free, mergeable, with
+//!   p50/p95/p99/max readout clamped to the true maximum.
+//!
+//! [`MetricsRegistry`] names them (`family{label="value"}` keyed like
+//! Prometheus), [`MetricsSnapshot`] freezes them with delta semantics,
+//! and [`expose`]/[`to_json`] export them — text exposition for
+//! scraping, the repo's hand-rolled JSON for artifacts.
+//!
+//! [`MetricsHub`] is the cheap handle the rest of the workspace passes
+//! around, mirroring `morph_trace::Tracer`: a disabled hub is a `None`
+//! and every operation on it is a no-op, so instrumented code pays
+//! nothing when nobody is listening.
+//!
+//! Like `morph-trace`, this crate has **zero dependencies** — it sits
+//! below `morph-gpu-sim` and must stay trivially buildable.
+
+mod expose;
+mod histogram;
+mod registry;
+
+pub use expose::{expose, parse_exposition, to_json, Exposition, ExpositionSample};
+pub use histogram::{
+    bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS,
+};
+pub use registry::{
+    Counter, Gauge, MetricKind, MetricsRegistry, MetricsSnapshot, SampleValue, SeriesSnapshot,
+};
+
+use std::sync::Arc;
+
+/// A cloneable handle to a registry plus the label set to stamp on
+/// every series created through it.
+///
+/// The default hub is disabled: `enabled()` is `false`, and the
+/// `counter`/`gauge`/`histogram` helpers return `None` without touching
+/// any lock. Attach one registry, then derive per-job or per-tenant
+/// hubs with [`MetricsHub::with_label`].
+#[derive(Clone, Default)]
+pub struct MetricsHub {
+    registry: Option<Arc<MetricsRegistry>>,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricsHub {
+    /// The no-op hub. Everything recorded through it is dropped.
+    pub const fn disabled() -> Self {
+        MetricsHub {
+            registry: None,
+            labels: Vec::new(),
+        }
+    }
+
+    /// A hub writing into `registry`.
+    pub fn new(registry: Arc<MetricsRegistry>) -> Self {
+        MetricsHub {
+            registry: Some(registry),
+            labels: Vec::new(),
+        }
+    }
+
+    /// A copy of this hub with one more label stamped on its series.
+    pub fn with_label(mut self, key: &str, value: &str) -> Self {
+        self.labels.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.registry.is_some()
+    }
+
+    pub fn registry(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.registry.as_ref()
+    }
+
+    fn label_refs(&self) -> Vec<(&str, &str)> {
+        self.labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect()
+    }
+
+    /// Get-or-create a counter under this hub's label set.
+    pub fn counter(&self, name: &str, help: &str) -> Option<Arc<Counter>> {
+        self.registry
+            .as_ref()
+            .map(|r| r.counter(name, help, &self.label_refs()))
+    }
+
+    /// Get-or-create a gauge under this hub's label set.
+    pub fn gauge(&self, name: &str, help: &str) -> Option<Arc<Gauge>> {
+        self.registry
+            .as_ref()
+            .map(|r| r.gauge(name, help, &self.label_refs()))
+    }
+
+    /// Get-or-create a histogram under this hub's label set.
+    pub fn histogram(&self, name: &str, help: &str) -> Option<Arc<Histogram>> {
+        self.registry
+            .as_ref()
+            .map(|r| r.histogram(name, help, &self.label_refs()))
+    }
+}
+
+impl std::fmt::Debug for MetricsHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.enabled() {
+            write!(f, "MetricsHub(enabled, {} labels)", self.labels.len())
+        } else {
+            write!(f, "MetricsHub(disabled)")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_hub_is_inert() {
+        let hub = MetricsHub::disabled();
+        assert!(!hub.enabled());
+        assert!(hub.counter("x", "").is_none());
+        assert!(hub.gauge("x", "").is_none());
+        assert!(hub.histogram("x", "").is_none());
+        let hub = MetricsHub::default();
+        assert!(!hub.enabled());
+    }
+
+    #[test]
+    fn hub_labels_stamp_every_series() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let hub = MetricsHub::new(Arc::clone(&registry))
+            .with_label("tenant", "alpha")
+            .with_label("algo", "dmr");
+        hub.counter("jobs", "jobs run").unwrap().inc();
+        let snap = registry.snapshot();
+        assert_eq!(snap.series.len(), 1);
+        assert_eq!(
+            snap.series[0].labels,
+            vec![
+                ("algo".to_string(), "dmr".to_string()),
+                ("tenant".to_string(), "alpha".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn two_hubs_one_registry_share_families() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let a = MetricsHub::new(Arc::clone(&registry)).with_label("tenant", "a");
+        let b = MetricsHub::new(Arc::clone(&registry)).with_label("tenant", "b");
+        a.counter("jobs", "h").unwrap().add(2);
+        b.counter("jobs", "h").unwrap().add(3);
+        let snap = registry.snapshot();
+        assert_eq!(snap.series.len(), 2);
+        let total: u64 = snap
+            .series
+            .iter()
+            .map(|s| match s.value {
+                SampleValue::Counter(v) => v,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, 5);
+    }
+}

@@ -1,0 +1,385 @@
+//! The registry: named metric families, label-keyed series, snapshots.
+//!
+//! Registration (the only locked path) happens once per series; the
+//! returned `Arc` handles are then updated lock-free. [`Counter`] is
+//! sharded across cache-padded cells so engine workers on different
+//! cores never contend on one line; reads sum the shards.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of cache-padded shards per counter. Power of two.
+const COUNTER_SHARDS: usize = 8;
+
+#[repr(align(128))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+/// Which shard this thread writes. Assigned round-robin on first use so
+/// a fixed worker pool spreads evenly.
+#[inline]
+fn shard_index() -> usize {
+    use std::cell::Cell;
+    thread_local! {
+        static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SHARD.with(|c| {
+        let mut i = c.get();
+        if i == usize::MAX {
+            static NEXT: AtomicUsize = AtomicUsize::new(0);
+            i = NEXT.fetch_add(1, Ordering::Relaxed);
+            c.set(i);
+        }
+        i & (COUNTER_SHARDS - 1)
+    })
+}
+
+/// A monotone counter, sharded for write scalability.
+#[derive(Default)]
+pub struct Counter {
+    shards: [PaddedU64; COUNTER_SHARDS],
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+/// A settable level (queue depth, resident warps, …).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, d: i64) {
+        self.value.fetch_add(d, Ordering::Relaxed);
+    }
+
+    pub fn sub(&self, d: i64) {
+        self.value.fetch_sub(d, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// The kind of a metric family. One name has exactly one kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricKind {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Family {
+    help: String,
+    kind: MetricKind,
+    /// Keyed by the sorted label set.
+    series: BTreeMap<Vec<(String, String)>, Metric>,
+}
+
+/// Named metric families, each with label-keyed series.
+///
+/// `counter`/`gauge`/`histogram` are get-or-create: the first call for a
+/// `(name, labels)` pair registers the series, later calls return the
+/// same handle. Using one name with two different kinds is a programming
+/// error and panics.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.series(name, help, MetricKind::Counter, labels, || {
+            Metric::Counter(Arc::new(Counter::new()))
+        }) {
+            Metric::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.series(name, help, MetricKind::Gauge, labels, || {
+            Metric::Gauge(Arc::new(Gauge::new()))
+        }) {
+            Metric::Gauge(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        match self.series(name, help, MetricKind::Histogram, labels, || {
+            Metric::Histogram(Arc::new(Histogram::new()))
+        }) {
+            Metric::Histogram(h) => h,
+            _ => unreachable!(),
+        }
+    }
+
+    fn series(
+        &self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let mut key: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        key.sort();
+        let mut families = self.families.lock().unwrap();
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert_eq!(
+            family.kind, kind,
+            "metric {name:?} registered as {} but requested as {}",
+            family.kind.as_str(),
+            kind.as_str()
+        );
+        let m = family.series.entry(key).or_insert_with(make);
+        match m {
+            Metric::Counter(c) => Metric::Counter(Arc::clone(c)),
+            Metric::Gauge(g) => Metric::Gauge(Arc::clone(g)),
+            Metric::Histogram(h) => Metric::Histogram(Arc::clone(h)),
+        }
+    }
+
+    /// Point-in-time copy of every series, ordered by (name, labels).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let families = self.families.lock().unwrap();
+        let mut out = Vec::new();
+        for (name, family) in families.iter() {
+            for (labels, metric) in family.series.iter() {
+                out.push(SeriesSnapshot {
+                    name: name.clone(),
+                    help: family.help.clone(),
+                    labels: labels.clone(),
+                    value: match metric {
+                        Metric::Counter(c) => SampleValue::Counter(c.get()),
+                        Metric::Gauge(g) => SampleValue::Gauge(g.get()),
+                        Metric::Histogram(h) => SampleValue::Histogram(h.snapshot()),
+                    },
+                });
+            }
+        }
+        MetricsSnapshot { series: out }
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let families = self.families.lock().unwrap();
+        write!(f, "MetricsRegistry({} families)", families.len())
+    }
+}
+
+/// One frozen series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSnapshot {
+    pub name: String,
+    pub help: String,
+    pub labels: Vec<(String, String)>,
+    pub value: SampleValue,
+}
+
+/// The frozen value of a series. The histogram snapshot is boxed-free on
+/// purpose but much larger than the scalar variants; the enum is built
+/// once per snapshot, never on the record path.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)]
+pub enum SampleValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(HistogramSnapshot),
+}
+
+/// A full registry snapshot with delta semantics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub series: Vec<SeriesSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// What moved since `earlier`.
+    ///
+    /// Counters and histograms subtract (saturating); gauges are levels,
+    /// so the current reading carries through. Series absent from
+    /// `earlier` are reported whole.
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        type SeriesKey<'a> = (&'a str, &'a [(String, String)]);
+        let prev: BTreeMap<SeriesKey<'_>, &SampleValue> = earlier
+            .series
+            .iter()
+            .map(|s| ((s.name.as_str(), s.labels.as_slice()), &s.value))
+            .collect();
+        let series = self
+            .series
+            .iter()
+            .map(|s| {
+                let mut d = s.clone();
+                if let Some(old) = prev.get(&(s.name.as_str(), s.labels.as_slice())) {
+                    d.value = match (&s.value, old) {
+                        (SampleValue::Counter(now), SampleValue::Counter(was)) => {
+                            SampleValue::Counter(now.saturating_sub(*was))
+                        }
+                        (SampleValue::Histogram(now), SampleValue::Histogram(was)) => {
+                            SampleValue::Histogram(now.delta_since(was))
+                        }
+                        (now, _) => (*now).clone(),
+                    };
+                }
+                d
+            })
+            .collect();
+        MetricsSnapshot { series }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_the_same_series() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("jobs_total", "jobs", &[("tenant", "a")]);
+        let b = r.counter("jobs_total", "jobs", &[("tenant", "a")]);
+        a.add(3);
+        b.add(4);
+        assert_eq!(a.get(), 7);
+        // Different labels are a different series.
+        let c = r.counter("jobs_total", "jobs", &[("tenant", "b")]);
+        c.inc();
+        assert_eq!(c.get(), 1);
+        assert_eq!(r.snapshot().series.len(), 2);
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x", "", &[("a", "1"), ("b", "2")]);
+        let b = r.counter("x", "", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(r.snapshot().series.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as counter")]
+    fn kind_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        r.counter("x", "", &[]);
+        r.gauge("x", "", &[]);
+    }
+
+    #[test]
+    fn sharded_counter_sums_across_threads() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("hits", "", &[]);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+
+    #[test]
+    fn snapshot_delta_semantics() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("n", "", &[]);
+        let g = r.gauge("depth", "", &[]);
+        let h = r.histogram("lat", "", &[]);
+        c.add(10);
+        g.set(5);
+        h.record(100);
+        let before = r.snapshot();
+        c.add(7);
+        g.set(3);
+        h.record(200);
+        let delta = r.snapshot().delta_since(&before);
+        let by_name: BTreeMap<&str, &SampleValue> = delta
+            .series
+            .iter()
+            .map(|s| (s.name.as_str(), &s.value))
+            .collect();
+        assert_eq!(by_name["n"], &SampleValue::Counter(7));
+        // Gauges are levels: delta reports the current reading.
+        assert_eq!(by_name["depth"], &SampleValue::Gauge(3));
+        match by_name["lat"] {
+            SampleValue::Histogram(h) => {
+                assert_eq!(h.count, 1);
+                assert_eq!(h.sum, 200);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -3,16 +3,20 @@
 //! ```text
 //! morph-serve gen <jobs> <seed> <out.jobs>
 //! morph-serve run <file.jobs> [--devices N] [--sms M] [--queue C]
-//!                             [--trace out.jsonl] [--fault-seed S]
+//!                             [--trace out.jsonl] [--metrics out.prom]
+//!                             [--fault-seed S]
 //! ```
 //!
 //! `gen` writes a seeded mixed workload (all four pipelines, three
 //! tenants) in the replay format. `run` submits every job to a pool and
 //! prints the serving summary; with `--trace` the merged per-job event
 //! stream is also written as JSON Lines (renderable by `trace-report`,
-//! partitionable per job). `--fault-seed` arms a seeded `FaultPlan` on
-//! every fourth job, exercising the requeue path under injected faults —
-//! the CI soak job runs exactly this and greps the final `SOAK` line.
+//! partitionable per job). `--metrics` flushes the pool's live registry —
+//! per-job latency histograms plus the engine's hardware cost-model
+//! series, labelled tenant/algo — as Prometheus-style exposition text.
+//! `--fault-seed` arms a seeded `FaultPlan` on every fourth job,
+//! exercising the requeue path under injected faults — the CI soak job
+//! runs exactly this and greps the final `SOAK` line.
 
 use morph_gpu_sim::FaultPlan;
 use morph_serve::{generate_mixed, parse_file, render_file, MorphServe, ServeConfig, ServeSummary};
@@ -23,7 +27,7 @@ use std::sync::Arc;
 fn usage() -> ExitCode {
     eprintln!("usage: morph-serve gen <jobs> <seed> <out.jobs>");
     eprintln!("       morph-serve run <file.jobs> [--devices N] [--sms M] [--queue C]");
-    eprintln!("                       [--trace out.jsonl] [--fault-seed S]");
+    eprintln!("                       [--trace out.jsonl] [--metrics out.prom] [--fault-seed S]");
     ExitCode::from(2)
 }
 
@@ -84,26 +88,29 @@ fn run(file: &str, rest: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let (devices, sms, queue, trace_path, fault_seed) = match (
+    let (devices, sms, queue, trace_path, metrics_path, fault_seed) = match (
         flag::<usize>(rest, "--devices"),
         flag::<usize>(rest, "--sms"),
         flag::<usize>(rest, "--queue"),
         flag::<String>(rest, "--trace"),
+        flag::<String>(rest, "--metrics"),
         flag::<u64>(rest, "--fault-seed"),
     ) {
-        (Ok(d), Ok(s), Ok(q), Ok(t), Ok(f)) => (
+        (Ok(d), Ok(s), Ok(q), Ok(t), Ok(m), Ok(f)) => (
             d.unwrap_or(4),
             s.unwrap_or(2),
             q.unwrap_or(256),
             t,
+            m,
             f,
         ),
-        (d, s, q, t, f) => {
+        (d, s, q, t, m, f) => {
             for e in [
                 d.err(),
                 s.err(),
                 q.err(),
                 t.err(),
+                m.err(),
                 f.err(),
             ]
             .into_iter()
@@ -168,6 +175,9 @@ fn run(file: &str, rest: &[String]) -> ExitCode {
         }
     }
     pool.drain();
+    // Snapshot before shutdown so the registry reflects exactly the jobs
+    // this run served.
+    let metrics_snapshot = metrics_path.as_ref().map(|_| pool.metrics().snapshot());
     pool.shutdown();
     if rejected > 0 {
         eprintln!("{rejected} submission(s) rejected at admission");
@@ -193,6 +203,20 @@ fn run(file: &str, rest: &[String]) -> ExitCode {
                 }
             }
         }
+    }
+    if let (Some(path), Some(snap)) = (&metrics_path, &metrics_snapshot) {
+        let text = morph_metrics::expose(snap);
+        // Self-check before writing: exposition we cannot re-parse is a
+        // bug, not a warning.
+        if let Err(e) = morph_metrics::parse_exposition(&text) {
+            eprintln!("morph-serve: invalid exposition generated: {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("morph-serve: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("metrics: {} series to {path}", snap.series.len());
     }
     if summary.lost > 0 || summary.duplicate_runs > 0 {
         eprintln!("morph-serve: integrity violation (lost or duplicated jobs)");

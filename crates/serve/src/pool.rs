@@ -18,7 +18,7 @@
 
 use crate::job::{classify, FailureClass, Job, JobId, JobSpec, JobStatus};
 use crate::sched::{AdmitError, ReadyQueue};
-use morph_core::{CancelToken, RecoveryOpts, RecoveryPolicy};
+use morph_core::{CancelToken, MetricsHub, MetricsRegistry, RecoveryOpts, RecoveryPolicy};
 use morph_trace::{JobEventKind, TraceEvent, Tracer};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Condvar, Mutex};
@@ -76,6 +76,10 @@ struct Inner {
     /// they carry their own `job` field. Pipeline events go through
     /// `tracer.for_job(id)` so engine/recovery spans get attributed.
     tracer: Tracer,
+    /// Live metrics registry. Every job's pipeline runs with a hub tagged
+    /// `tenant`/`algo`, so engine cost-model series and the pool's own
+    /// latency histograms land here, partitioned per tenant and algorithm.
+    metrics: Arc<MetricsRegistry>,
     epoch: Instant,
     cfg: ServeConfig,
 }
@@ -138,6 +142,7 @@ impl MorphServe {
             work: Condvar::new(),
             done: Condvar::new(),
             tracer,
+            metrics: Arc::new(MetricsRegistry::new()),
             epoch: Instant::now(),
             cfg,
         });
@@ -279,6 +284,14 @@ impl MorphServe {
     }
 
     /// Per-tenant accrued device time (µs) — the live fairness signal.
+    /// The pool's live metrics registry: engine cost-model series and
+    /// per-job latency histograms, labelled by tenant and algorithm.
+    /// Snapshot or export it at any time; series accumulate across jobs
+    /// for the lifetime of the pool.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.inner.metrics
+    }
+
     pub fn tenant_run_us(&self) -> BTreeMap<String, u64> {
         self.inner.state.lock().unwrap().tenant_run_us.clone()
     }
@@ -365,16 +378,26 @@ fn run_one(inner: &Arc<Inner>, device: u64, mut job: Job) {
         job.spec.workload.encode(),
     );
 
+    let hub = MetricsHub::new(Arc::clone(&inner.metrics))
+        .with_label("tenant", &tenant)
+        .with_label("algo", job.spec.workload.algo());
     let recovery = RecoveryOpts {
         policy: inner.cfg.policy,
         fault_plan: job.spec.fault_plan.clone(),
         barrier_watchdog: inner.cfg.barrier_watchdog,
         tracer: inner.tracer.for_job(id),
+        metrics: hub.clone(),
         cancel: job.cancel.clone(),
     };
     let run_started = Instant::now();
     let outcome = job.spec.workload.run(inner.cfg.sms_per_device, &recovery);
     let run_us = run_started.elapsed().as_micros() as u64;
+    if let Some(h) = hub.histogram(
+        "morph_job_run_us",
+        "Per-job device-resident wall time in microseconds",
+    ) {
+        h.record(run_us);
+    }
 
     let mut st = inner.state.lock().unwrap();
     st.running.remove(&id);
@@ -505,6 +528,53 @@ mod tests {
         assert_eq!(row.starts, 1);
         assert_eq!(row.device, Some(1));
         assert!(row.turnaround_us().is_some());
+    }
+
+    #[test]
+    fn jobs_publish_tenant_tagged_metrics_that_round_trip() {
+        let mut pool = MorphServe::start(
+            ServeConfig {
+                devices: 2,
+                ..ServeConfig::default()
+            },
+            Tracer::disabled(),
+        );
+        let a = pool.submit(JobSpec::new("acme", small_mst(7))).unwrap();
+        let b = pool
+            .submit(JobSpec::new("zeta", Workload::Dmr { triangles: 300, seed: 8 }))
+            .unwrap();
+        pool.wait(a);
+        pool.wait(b);
+        let snap = pool.metrics().snapshot();
+        pool.shutdown();
+
+        // One latency sample per job, partitioned by tenant and algorithm.
+        let latency: Vec<_> = snap
+            .series
+            .iter()
+            .filter(|s| s.name == "morph_job_run_us")
+            .collect();
+        assert_eq!(latency.len(), 2, "one series per (tenant, algo) pair");
+        for s in &latency {
+            assert!(s.labels.iter().any(|(k, _)| k == "tenant"));
+            assert!(s.labels.iter().any(|(k, _)| k == "algo"));
+            match &s.value {
+                morph_metrics::SampleValue::Histogram(h) => assert_eq!(h.count, 1),
+                other => panic!("expected latency histogram, got {other:?}"),
+            }
+        }
+        // Engine cost-model series rode the same hub.
+        assert!(
+            snap.series
+                .iter()
+                .any(|s| s.name == "morph_gmem_accesses_total"),
+            "pipeline launches must publish cost-model counters"
+        );
+
+        // Exposition text is valid: every sample covered by TYPE + HELP.
+        let text = morph_metrics::expose(&snap);
+        let parsed = morph_metrics::parse_exposition(&text).expect("valid exposition");
+        assert!(parsed.samples.iter().any(|s| s.name == "morph_job_run_us_count"));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! "forgot" (lost) or started twice without a requeue (dup) is caught by
 //! construction.
 
+use morph_metrics::{Histogram, HistogramSnapshot};
 use morph_trace::{JobEventKind, TraceReport};
 
 /// The folded serving summary.
@@ -30,6 +31,11 @@ pub struct ServeSummary {
     pub mean_wait_us: u64,
     pub mean_turnaround_us: u64,
     pub max_turnaround_us: u64,
+    /// Wait-time distribution across jobs (submit → first start), as a
+    /// log₂-bucketed histogram snapshot for percentile queries.
+    pub wait_hist: HistogramSnapshot,
+    /// Turnaround distribution across jobs (submit → terminal event).
+    pub turnaround_hist: HistogramSnapshot,
     /// `(tenant, jobs, finished, run_us, share_pct)` sorted by tenant.
     pub tenants: Vec<(String, u64, u64, u64, f64)>,
     /// Sanitizer violations recorded in the same stream (0 without
@@ -85,6 +91,8 @@ impl ServeSummary {
         }
         s.mean_wait_us = mean(&waits);
         s.mean_turnaround_us = mean(&turnarounds);
+        s.wait_hist = histogram_of(&waits);
+        s.turnaround_hist = histogram_of(&turnarounds);
         let tenants = report.tenants();
         let total_run: u64 = tenants.values().map(|t| t.run_us).sum();
         s.tenants = tenants
@@ -127,6 +135,15 @@ impl ServeSummary {
             self.mean_wait_us, self.mean_turnaround_us, self.max_turnaround_us
         ));
         out.push_str(&format!(
+            "percentiles: wait p50/p95/p99 {}/{}/{} us, turnaround p50/p95/p99 {}/{}/{} us\n",
+            self.wait_hist.p50(),
+            self.wait_hist.p95(),
+            self.wait_hist.p99(),
+            self.turnaround_hist.p50(),
+            self.turnaround_hist.p95(),
+            self.turnaround_hist.p99(),
+        ));
+        out.push_str(&format!(
             "throughput: {:.1} jobs/s over {:.1} ms; queue depth peak {}; deadline misses {}\n",
             self.throughput_per_s(),
             self.span_us as f64 / 1e3,
@@ -152,6 +169,14 @@ fn mean(xs: &[u64]) -> u64 {
     } else {
         xs.iter().sum::<u64>() / xs.len() as u64
     }
+}
+
+fn histogram_of(xs: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &x in xs {
+        h.record(x);
+    }
+    h.snapshot()
 }
 
 #[cfg(test)]
@@ -226,5 +251,32 @@ mod tests {
         assert!((s.throughput_per_s() - 1.0).abs() < 1e-9);
         assert_eq!(s.mean_wait_us, 100);
         assert_eq!(s.mean_turnaround_us, 1_000_000);
+        // A single-sample histogram reports that sample at every quantile.
+        assert_eq!(s.wait_hist.p50(), 100);
+        assert_eq!(s.wait_hist.p99(), 100);
+        assert_eq!(s.turnaround_hist.p50(), 1_000_000);
+        assert!(s.render().contains("percentiles: wait p50/p95/p99 100/100/100 us"));
+    }
+
+    #[test]
+    fn percentiles_separate_the_tail_from_the_median() {
+        // 19 fast jobs and one straggler: p50 stays near the fast cohort
+        // while p99 surfaces the straggler's bucket.
+        let mut events = Vec::new();
+        for j in 0..20u64 {
+            let wait = if j == 19 { 500_000 } else { 100 };
+            events.push(job_ev(j, JobEventKind::Submitted, j * 10));
+            events.push(job_ev(j, JobEventKind::Started, j * 10 + wait));
+            events.push(job_ev(j, JobEventKind::Finished, j * 10 + wait + 50));
+        }
+        let report = TraceReport::from_events(events.iter());
+        let s = ServeSummary::from_report(&report);
+        assert!(s.wait_hist.p50() < 200, "median tracks the fast cohort");
+        assert!(
+            s.wait_hist.p99() >= 500_000 / 2,
+            "p99 lands in the straggler's log2 bucket, got {}",
+            s.wait_hist.p99()
+        );
+        assert_eq!(s.wait_hist.max, 500_000);
     }
 }

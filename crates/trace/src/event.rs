@@ -25,6 +25,19 @@ pub struct CountersSnapshot {
     pub aborts: u64,
     pub commits: u64,
     pub barriers: u64,
+    /// Metered global-memory accesses (loads, stores, atomics). Zero
+    /// unless the launch ran with the cost model armed.
+    pub gmem_accesses: u64,
+    /// 32-byte segment transactions those accesses coalesced into.
+    pub gmem_transactions: u64,
+    /// Metered `BlockLocal` (shared-memory) accesses.
+    pub smem_accesses: u64,
+    /// Bank conflicts among those accesses (warp_size banks, word-interleaved).
+    pub smem_conflicts: u64,
+    /// Extra serialization steps from same-address atomics within a warp.
+    pub atomic_serial: u64,
+    /// Warp executions with at least one active lane (occupancy numerator).
+    pub active_warps: u64,
 }
 
 impl CountersSnapshot {
@@ -40,6 +53,14 @@ impl CountersSnapshot {
             aborts: self.aborts.saturating_sub(earlier.aborts),
             commits: self.commits.saturating_sub(earlier.commits),
             barriers: self.barriers.saturating_sub(earlier.barriers),
+            gmem_accesses: self.gmem_accesses.saturating_sub(earlier.gmem_accesses),
+            gmem_transactions: self
+                .gmem_transactions
+                .saturating_sub(earlier.gmem_transactions),
+            smem_accesses: self.smem_accesses.saturating_sub(earlier.smem_accesses),
+            smem_conflicts: self.smem_conflicts.saturating_sub(earlier.smem_conflicts),
+            atomic_serial: self.atomic_serial.saturating_sub(earlier.atomic_serial),
+            active_warps: self.active_warps.saturating_sub(earlier.active_warps),
         }
     }
 
@@ -53,12 +74,44 @@ impl CountersSnapshot {
         self.aborts += other.aborts;
         self.commits += other.commits;
         self.barriers += other.barriers;
+        self.gmem_accesses += other.gmem_accesses;
+        self.gmem_transactions += other.gmem_transactions;
+        self.smem_accesses += other.smem_accesses;
+        self.smem_conflicts += other.smem_conflicts;
+        self.atomic_serial += other.atomic_serial;
+        self.active_warps += other.active_warps;
+    }
+
+    /// Fraction of executed warps whose lanes disagreed on staying active.
+    pub fn divergence_ratio(&self) -> f64 {
+        ratio(self.divergent_warps, self.warps)
+    }
+
+    /// Metered global accesses per 32-byte transaction (1.0 = fully
+    /// scattered, warp_size·word/32 = perfectly coalesced). 0.0 when the
+    /// cost model was not armed.
+    pub fn coalescing_factor(&self) -> f64 {
+        ratio(self.gmem_accesses, self.gmem_transactions)
+    }
+
+    /// Achieved occupancy: warp executions with ≥1 active lane over all
+    /// warp executions.
+    pub fn occupancy(&self) -> f64 {
+        ratio(self.active_warps, self.warps)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
     }
 }
 
 impl Serialize for CountersSnapshot {
     fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        let mut st = s.serialize_struct("CountersSnapshot", 8)?;
+        let mut st = s.serialize_struct("CountersSnapshot", 14)?;
         st.serialize_field("active_threads", &self.active_threads)?;
         st.serialize_field("idle_threads", &self.idle_threads)?;
         st.serialize_field("warps", &self.warps)?;
@@ -67,6 +120,12 @@ impl Serialize for CountersSnapshot {
         st.serialize_field("aborts", &self.aborts)?;
         st.serialize_field("commits", &self.commits)?;
         st.serialize_field("barriers", &self.barriers)?;
+        st.serialize_field("gmem_accesses", &self.gmem_accesses)?;
+        st.serialize_field("gmem_transactions", &self.gmem_transactions)?;
+        st.serialize_field("smem_accesses", &self.smem_accesses)?;
+        st.serialize_field("smem_conflicts", &self.smem_conflicts)?;
+        st.serialize_field("atomic_serial", &self.atomic_serial)?;
+        st.serialize_field("active_warps", &self.active_warps)?;
         st.end()
     }
 }
@@ -377,6 +436,14 @@ fn counters_from_json(v: &JsonValue) -> Option<CountersSnapshot> {
         aborts: u("aborts")?,
         commits: u("commits")?,
         barriers: u("barriers")?,
+        // Cost-model fields arrived in a later schema revision; streams
+        // recorded before it decode as zero rather than failing to parse.
+        gmem_accesses: u("gmem_accesses").unwrap_or(0),
+        gmem_transactions: u("gmem_transactions").unwrap_or(0),
+        smem_accesses: u("smem_accesses").unwrap_or(0),
+        smem_conflicts: u("smem_conflicts").unwrap_or(0),
+        atomic_serial: u("atomic_serial").unwrap_or(0),
+        active_warps: u("active_warps").unwrap_or(0),
     })
 }
 
@@ -555,6 +622,12 @@ mod tests {
                 aborts: 1,
                 commits: 9,
                 barriers: 4,
+                gmem_accesses: 64,
+                gmem_transactions: 16,
+                smem_accesses: 32,
+                smem_conflicts: 3,
+                atomic_serial: 7,
+                active_warps: 4,
             },
         });
         roundtrip(TraceEvent::LaunchEnd {
@@ -622,6 +695,49 @@ mod tests {
         let mut acc = a;
         acc.add(&d);
         assert_eq!(acc, b);
+    }
+
+    #[test]
+    fn old_streams_without_cost_model_fields_parse_as_zero() {
+        // A PhaseSpan recorded before the cost-model schema revision:
+        // only the original eight counter fields are present.
+        let v = json::parse(
+            r#"{"type":"phase_span","launch":1,"iteration":0,"phase":2,"wall_us":9,
+                "delta":{"active_threads":8,"idle_threads":0,"warps":1,
+                         "divergent_warps":0,"atomics":3,"aborts":0,
+                         "commits":8,"barriers":1}}"#,
+        )
+        .unwrap();
+        match TraceEvent::from_json(&v).expect("old schema still decodes") {
+            TraceEvent::PhaseSpan { delta, .. } => {
+                assert_eq!(delta.active_threads, 8);
+                assert_eq!(delta.gmem_accesses, 0);
+                assert_eq!(delta.gmem_transactions, 0);
+                assert_eq!(delta.smem_conflicts, 0);
+                assert_eq!(delta.atomic_serial, 0);
+                assert_eq!(delta.active_warps, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn derived_ratios_guard_division() {
+        let z = CountersSnapshot::default();
+        assert_eq!(z.coalescing_factor(), 0.0);
+        assert_eq!(z.occupancy(), 0.0);
+        assert_eq!(z.divergence_ratio(), 0.0);
+        let c = CountersSnapshot {
+            warps: 10,
+            divergent_warps: 5,
+            active_warps: 8,
+            gmem_accesses: 64,
+            gmem_transactions: 8,
+            ..Default::default()
+        };
+        assert_eq!(c.coalescing_factor(), 8.0);
+        assert_eq!(c.occupancy(), 0.8);
+        assert_eq!(c.divergence_ratio(), 0.5);
     }
 
     #[test]

@@ -539,14 +539,17 @@ impl TraceReport {
     }
 
     /// CSV export of the per-launch timeline (machine-readable Fig. 2).
+    /// The trailing ratio columns are derived from the cost-model
+    /// counters; streams recorded before the cost model existed decode
+    /// those counters as zero, so the ratios render as 0.
     pub fn timeline_csv(&self) -> String {
         let mut out = String::from(
-            "iter,launch,wall_us,commits,aborts,warps,divergent_warps,active_threads,idle_threads,atomics,barriers\n",
+            "iter,launch,wall_us,commits,aborts,warps,divergent_warps,active_threads,idle_threads,atomics,barriers,divergence_ratio,coalescing_factor,occupancy\n",
         );
         for (i, l) in self.launches.iter().enumerate() {
             let t = &l.totals;
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6}\n",
                 i,
                 l.launch,
                 l.wall_us,
@@ -558,6 +561,9 @@ impl TraceReport {
                 t.idle_threads,
                 t.atomics,
                 t.barriers,
+                t.divergence_ratio(),
+                t.coalescing_factor(),
+                t.occupancy(),
             ));
         }
         out
@@ -630,6 +636,7 @@ mod tests {
                 aborts: 1,
                 atomics: 12,
                 barriers: 4,
+                ..Default::default()
             },
         }
     }
@@ -820,6 +827,12 @@ mod tests {
         assert!(r.render_waste().contains("divergence"));
         let csv = r.timeline_csv();
         assert_eq!(csv.lines().count(), 3);
+        let header = csv.lines().next().unwrap();
+        assert!(header.ends_with("divergence_ratio,coalescing_factor,occupancy"));
+        // This fixture has 2/8 divergent warps but no cost-model counters
+        // (like a stream recorded before the cost model existed): the
+        // derived columns render as ratios or zero, never NaN.
+        assert!(csv.lines().nth(1).unwrap().ends_with("0.250000,0.000000,0.000000"));
         assert!(TraceReport::default().render_timeline().lines().count() >= 2);
     }
 }

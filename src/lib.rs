@@ -15,6 +15,8 @@
 //! * [`gpu_sim`] — the virtual GPU those run on,
 //! * [`trace`] — structured tracing: sinks, JSONL streams, and the
 //!   profiler aggregator behind `trace-report`,
+//! * [`metrics`] — the live metrics registry: sharded counters, gauges,
+//!   mergeable log₂ histograms, Prometheus-style + JSON exposition,
 //! * [`serve`] — the multi-tenant serving layer: job specs over all four
 //!   pipelines, a bounded fair-share scheduler, and a pool of virtual
 //!   devices with cancellation and retry (the `morph-serve` binary),
@@ -36,6 +38,7 @@ pub use morph_dmr as dmr;
 pub use morph_geometry as geometry;
 pub use morph_gpu_sim as gpu_sim;
 pub use morph_graph as graph;
+pub use morph_metrics as metrics;
 pub use morph_mst as mst;
 pub use morph_pta as pta;
 pub use morph_serve as serve;

@@ -56,7 +56,45 @@ fn dmr_jsonl_stream_reproduces_the_parallelism_profile() {
         "stream must contain launch totals"
     );
 
+    // A traced launch arms the hardware cost model, so the round-tripped
+    // stream must carry nonzero cost-model counters and the CSV export
+    // must surface the derived ratio columns.
+    let traced_totals = events.iter().any(|e| {
+        matches!(
+            e,
+            TraceEvent::LaunchEnd { totals, .. }
+                if totals.gmem_accesses > 0
+                    && totals.gmem_transactions > 0
+                    && totals.active_warps > 0
+        )
+    });
+    assert!(traced_totals, "cost-model counters must survive the JSONL round-trip");
+
+    // Back-compat: a stream recorded before the cost model existed (no
+    // gmem/active_warps fields) must still parse, with the new counters
+    // defaulting to zero.
+    let old_line = r#"{"type":"phase_span","launch":0,"iteration":0,"phase":0,"wall_us":7,"delta":{"warps":4,"divergent_warps":1,"active_threads":30,"idle_threads":2,"atomics":5,"barriers":1,"aborts":0,"commits":3}}"#;
+    let (old_events, old_bad) = parse_jsonl(old_line);
+    assert!(old_bad.is_empty(), "pre-cost-model line must parse: {old_bad:?}");
+    match &old_events[0] {
+        TraceEvent::PhaseSpan { delta, .. } => {
+            assert_eq!(delta.warps, 4);
+            assert_eq!(delta.gmem_accesses, 0);
+            assert_eq!(delta.active_warps, 0);
+        }
+        other => panic!("expected PhaseSpan, got {other:?}"),
+    }
+
     let report = TraceReport::from_events(&events);
+    let csv = report.timeline_csv();
+    assert!(
+        csv.lines()
+            .next()
+            .unwrap()
+            .ends_with("divergence_ratio,coalescing_factor,occupancy"),
+        "timeline CSV must expose the derived cost-model columns"
+    );
+
     let series = report.series_values("dmr.profile", "parallelism");
     assert_eq!(
         series.len(),
