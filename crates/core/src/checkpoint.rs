@@ -1,0 +1,531 @@
+//! Job checkpoint/resume: the service-resilience counterpart of the
+//! paper's restartable host loop.
+//!
+//! A morph pipeline's host loop (Fig. 3) is a sequence of iteration
+//! boundaries at which all device buffers are quiescent. At such a
+//! boundary the *minimal host-visible resume state* — the worklist, the
+//! survey/mesh/component arrays, the allocator high-water — fully
+//! determines the rest of the run. [`CheckpointStore`] persists versioned
+//! snapshots of that state so a job evicted by device loss or preemption
+//! can resume on another slot from its last checkpoint instead of
+//! replaying from scratch.
+//!
+//! The layer follows the workspace's attach-point contract (tracer,
+//! metrics): a pipeline is handed an `Option<CheckpointCtl>` through
+//! `RecoveryOpts`; when it is `None` the payload closure is never invoked
+//! and **no snapshot allocation happens at all**.
+
+use morph_gpu_sim::MetricsHub;
+use morph_trace::{TraceEvent, Tracer};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One persisted resume point. `payload` is an opaque pipeline-encoded
+/// byte string (see [`PayloadWriter`]); `version` increases monotonically
+/// per job so a resume can prove it used the newest snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    pub job: u64,
+    /// Which pipeline encoded the payload (`"sp"`, `"mst"`, `"pta"`,
+    /// `"dmr"`). A resume under a different algorithm is refused.
+    pub algo: String,
+    /// Per-job monotone snapshot counter, assigned by the store.
+    pub version: u64,
+    /// Host-loop iteration the snapshot was taken *after*: a resumed run
+    /// continues from `iteration + 1`.
+    pub iteration: u64,
+    pub payload: Vec<u8>,
+}
+
+#[derive(Default)]
+struct StoreInner {
+    /// Latest checkpoint per job (resume always uses the newest).
+    latest: BTreeMap<u64, Checkpoint>,
+    /// Version counters survive `discard` so a re-admitted job id keeps
+    /// strictly increasing versions.
+    versions: BTreeMap<u64, u64>,
+    saves: u64,
+    bytes: u64,
+}
+
+/// Versioned checkpoint storage: always queryable in memory, optionally
+/// mirrored to an append-only JSONL file for post-mortem inspection and
+/// cross-process durability.
+pub struct CheckpointStore {
+    inner: Mutex<StoreInner>,
+    jsonl: Option<Mutex<File>>,
+}
+
+impl CheckpointStore {
+    /// Purely in-memory store (the serving default).
+    pub fn in_memory() -> Self {
+        Self {
+            inner: Mutex::new(StoreInner::default()),
+            jsonl: None,
+        }
+    }
+
+    /// In-memory store that also appends every snapshot as one JSON line
+    /// to `path` (payload hex-encoded).
+    pub fn jsonl(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Self {
+            inner: Mutex::new(StoreInner::default()),
+            jsonl: Some(Mutex::new(file)),
+        })
+    }
+
+    /// Persist a snapshot; assigns and returns its version. The newest
+    /// snapshot per job wins; older ones are dropped (resume never wants
+    /// them, and keeping one bounds memory at O(jobs)).
+    pub fn save(&self, job: u64, algo: &str, iteration: u64, payload: Vec<u8>) -> u64 {
+        let ck = {
+            let mut inner = self.inner.lock().unwrap();
+            let version = inner.versions.entry(job).or_insert(0);
+            *version += 1;
+            let ck = Checkpoint {
+                job,
+                algo: algo.to_string(),
+                version: *version,
+                iteration,
+                payload,
+            };
+            inner.saves += 1;
+            inner.bytes += ck.payload.len() as u64;
+            inner.latest.insert(job, ck.clone());
+            ck
+        };
+        if let Some(file) = &self.jsonl {
+            let line = encode_jsonl(&ck);
+            let mut f = file.lock().unwrap();
+            // Append failures must not kill the job: the in-memory copy
+            // is authoritative; the mirror is best-effort.
+            let _ = f.write_all(line.as_bytes()).and_then(|()| f.flush());
+        }
+        ck.version
+    }
+
+    /// The newest checkpoint for `job`, if any.
+    pub fn load(&self, job: u64) -> Option<Checkpoint> {
+        self.inner.lock().unwrap().latest.get(&job).cloned()
+    }
+
+    /// Drop a job's checkpoint (terminal state reached — nothing left to
+    /// resume). Version counters are retained.
+    pub fn discard(&self, job: u64) {
+        self.inner.lock().unwrap().latest.remove(&job);
+    }
+
+    /// Snapshots persisted over the store's lifetime.
+    pub fn saves(&self) -> u64 {
+        self.inner.lock().unwrap().saves
+    }
+
+    /// Total payload bytes persisted over the store's lifetime — the
+    /// checkpoint overhead a serving summary reports.
+    pub fn bytes(&self) -> u64 {
+        self.inner.lock().unwrap().bytes
+    }
+
+    /// Jobs currently holding a resumable checkpoint.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().latest.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Read every snapshot back from a JSONL mirror, in append order.
+pub fn load_jsonl(path: impl AsRef<Path>) -> std::io::Result<Vec<Checkpoint>> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut out = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = morph_trace::json::parse(&line).map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad checkpoint line: {e}"))
+        })?;
+        let ck = (|| {
+            Some(Checkpoint {
+                job: v.get("job")?.as_u64()?,
+                algo: v.get("algo")?.as_str()?.to_string(),
+                version: v.get("version")?.as_u64()?,
+                iteration: v.get("iteration")?.as_u64()?,
+                payload: hex_decode(v.get("payload")?.as_str()?)?,
+            })
+        })()
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "missing checkpoint field")
+        })?;
+        out.push(ck);
+    }
+    Ok(out)
+}
+
+fn encode_jsonl(ck: &Checkpoint) -> String {
+    // `algo` is a controlled identifier, but escape it anyway so the
+    // mirror is valid JSON for any caller-supplied name.
+    let mut algo = String::with_capacity(ck.algo.len());
+    for c in ck.algo.chars() {
+        match c {
+            '"' => algo.push_str("\\\""),
+            '\\' => algo.push_str("\\\\"),
+            c if (c as u32) < 0x20 => algo.push_str(&format!("\\u{:04x}", c as u32)),
+            c => algo.push(c),
+        }
+    }
+    format!(
+        "{{\"job\":{},\"algo\":\"{}\",\"version\":{},\"iteration\":{},\"payload\":\"{}\"}}\n",
+        ck.job,
+        algo,
+        ck.version,
+        ck.iteration,
+        hex_encode(&ck.payload)
+    )
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len() / 2)
+        .map(|i| u8::from_str_radix(s.get(2 * i..2 * i + 2)?, 16).ok())
+        .collect()
+}
+
+/// The per-job handle a pipeline's step callback drives: decides *when*
+/// a snapshot is due, builds the payload lazily, stamps the trace event.
+/// Cloning shares the underlying store.
+#[derive(Clone)]
+pub struct CheckpointCtl {
+    store: Arc<CheckpointStore>,
+    job: u64,
+    /// Snapshot every N completed iterations (N ≥ 1).
+    every: u64,
+    /// Serving-epoch origin for the `t_us` field of emitted
+    /// `TraceEvent::Checkpoint`s; `None` stamps 0 (standalone runs).
+    epoch: Option<Instant>,
+    /// Overhead accounting: every saved payload's size is recorded into
+    /// the `morph_checkpoint_bytes` histogram. Disabled by default.
+    hub: MetricsHub,
+}
+
+impl CheckpointCtl {
+    pub fn new(store: Arc<CheckpointStore>, job: u64) -> Self {
+        Self {
+            store,
+            job,
+            every: 1,
+            epoch: None,
+            hub: MetricsHub::default(),
+        }
+    }
+
+    /// Snapshot cadence: every `n` completed iterations (clamped to ≥ 1).
+    pub fn every(mut self, n: u64) -> Self {
+        self.every = n.max(1);
+        self
+    }
+
+    /// Use `epoch` as the origin of emitted `t_us` stamps.
+    pub fn with_epoch(mut self, epoch: Instant) -> Self {
+        self.epoch = Some(epoch);
+        self
+    }
+
+    /// Record saved-payload sizes into `hub`'s `morph_checkpoint_bytes`
+    /// histogram (labelled by whatever the hub carries — tenant/algo in a
+    /// serving pool).
+    pub fn with_metrics(mut self, hub: MetricsHub) -> Self {
+        self.hub = hub;
+        self
+    }
+
+    pub fn job(&self) -> u64 {
+        self.job
+    }
+
+    pub fn store(&self) -> &Arc<CheckpointStore> {
+        &self.store
+    }
+
+    /// Is a snapshot due after completing `iteration`?
+    pub fn due(&self, iteration: u64) -> bool {
+        (iteration + 1).is_multiple_of(self.every)
+    }
+
+    /// Persist a snapshot: `payload` is invoked exactly once, the store
+    /// assigns the version, and a [`TraceEvent::Checkpoint`] rides the
+    /// pipeline's tracer. Returns the assigned version.
+    pub fn save(
+        &self,
+        tracer: &Tracer,
+        algo: &str,
+        iteration: u64,
+        payload: impl FnOnce() -> Vec<u8>,
+    ) -> u64 {
+        let bytes = payload();
+        let len = bytes.len() as u64;
+        if let Some(h) = self.hub.histogram(
+            "morph_checkpoint_bytes",
+            "Encoded checkpoint payload size in bytes",
+        ) {
+            h.record(len);
+        }
+        let version = self.store.save(self.job, algo, iteration, bytes);
+        let t_us = self
+            .epoch
+            .map_or(0, |e| e.elapsed().as_micros() as u64);
+        let job = self.job;
+        let algo = algo.to_string();
+        tracer.emit(move || TraceEvent::Checkpoint {
+            job,
+            algo,
+            iteration,
+            version,
+            bytes: len,
+            t_us,
+        });
+        version
+    }
+
+    /// The newest snapshot to resume from, refusing a payload encoded by
+    /// a different pipeline.
+    pub fn resume(&self, algo: &str) -> Option<Checkpoint> {
+        self.store.load(self.job).filter(|ck| ck.algo == algo)
+    }
+}
+
+/// Little-endian payload encoder for checkpoint contents. Pipelines write
+/// a schema tag first so [`PayloadReader`] can refuse foreign bytes.
+#[derive(Default)]
+pub struct PayloadWriter {
+    buf: Vec<u8>,
+}
+
+impl PayloadWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// A length-prefixed `u32` slice.
+    pub fn u32_slice(&mut self, vs: &[u32]) {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.u32(v);
+        }
+    }
+
+    /// A length-prefixed `u64` slice.
+    pub fn u64_slice(&mut self, vs: &[u64]) {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.u64(v);
+        }
+    }
+
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor-based decoder matching [`PayloadWriter`]. Every read is
+/// checked: a truncated or foreign payload yields `None`, never a panic —
+/// a resume that cannot decode falls back to a fresh run.
+pub struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    pub fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    pub fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    pub fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+
+    pub fn u32_slice(&mut self) -> Option<Vec<u32>> {
+        let n = self.u64()? as usize;
+        if n > self.buf.len().saturating_sub(self.pos) / 4 {
+            return None; // length prefix exceeds remaining bytes
+        }
+        (0..n).map(|_| self.u32()).collect()
+    }
+
+    pub fn u64_slice(&mut self) -> Option<Vec<u64>> {
+        let n = self.u64()? as usize;
+        if n > self.buf.len().saturating_sub(self.pos) / 8 {
+            return None;
+        }
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    /// All bytes consumed? Resumes should check this to catch schema
+    /// drift (trailing garbage means the payload is from another layout).
+    pub fn exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_trace::{RingSink, TraceEvent};
+
+    #[test]
+    fn store_versions_are_monotone_and_latest_wins() {
+        let store = CheckpointStore::in_memory();
+        assert_eq!(store.save(7, "sp", 0, vec![1]), 1);
+        assert_eq!(store.save(7, "sp", 1, vec![2, 3]), 2);
+        assert_eq!(store.save(9, "mst", 4, vec![4]), 1);
+        let ck = store.load(7).unwrap();
+        assert_eq!((ck.version, ck.iteration, ck.payload.as_slice()), (2, 1, &[2u8, 3][..]));
+        assert_eq!(store.saves(), 3);
+        assert_eq!(store.bytes(), 4);
+        assert_eq!(store.len(), 2);
+        store.discard(7);
+        assert!(store.load(7).is_none());
+        // Version counters survive discard: a re-admitted id keeps
+        // strictly increasing versions.
+        assert_eq!(store.save(7, "sp", 5, vec![9]), 3);
+    }
+
+    #[test]
+    fn ctl_cadence_save_and_resume() {
+        let store = Arc::new(CheckpointStore::in_memory());
+        let sink = Arc::new(RingSink::new(16));
+        let tracer = Tracer::new(sink.clone());
+        let ctl = CheckpointCtl::new(store.clone(), 3).every(4);
+        assert!(!ctl.due(0));
+        assert!(ctl.due(3));
+        assert!(!ctl.due(4));
+        assert!(ctl.due(7));
+        let v = ctl.save(&tracer, "pta", 3, || vec![0xAA; 10]);
+        assert_eq!(v, 1);
+        let ck = ctl.resume("pta").unwrap();
+        assert_eq!(ck.iteration, 3);
+        assert_eq!(ck.payload.len(), 10);
+        // Foreign-algorithm payloads are refused.
+        assert!(ctl.resume("dmr").is_none());
+        let evs = sink.events();
+        assert!(matches!(
+            &evs[..],
+            [TraceEvent::Checkpoint { job: 3, version: 1, bytes: 10, iteration: 3, .. }]
+        ));
+    }
+
+    #[test]
+    fn disabled_tracer_still_persists_but_builds_no_event() {
+        let store = Arc::new(CheckpointStore::in_memory());
+        let ctl = CheckpointCtl::new(store.clone(), 1);
+        ctl.save(&Tracer::disabled(), "sp", 0, || vec![1, 2]);
+        assert_eq!(store.saves(), 1);
+    }
+
+    #[test]
+    fn payload_roundtrip_and_truncation_safety() {
+        let mut w = PayloadWriter::new();
+        w.u32(0xDEAD_BEEF);
+        w.u64(42);
+        w.f64(0.625);
+        w.u32_slice(&[1, 2, 3]);
+        w.u64_slice(&[u64::MAX]);
+        let bytes = w.finish();
+
+        let mut r = PayloadReader::new(&bytes);
+        assert_eq!(r.u32(), Some(0xDEAD_BEEF));
+        assert_eq!(r.u64(), Some(42));
+        assert_eq!(r.f64(), Some(0.625));
+        assert_eq!(r.u32_slice(), Some(vec![1, 2, 3]));
+        assert_eq!(r.u64_slice(), Some(vec![u64::MAX]));
+        assert!(r.exhausted());
+
+        // Truncated payloads decode to None, never panic.
+        let mut t = PayloadReader::new(&bytes[..bytes.len() - 1]);
+        t.u32();
+        t.u64();
+        t.f64();
+        t.u32_slice();
+        assert_eq!(t.u64_slice(), None);
+        // A hostile length prefix is caught before allocation.
+        let mut w2 = PayloadWriter::new();
+        w2.u64(u64::MAX);
+        let evil = w2.finish();
+        assert_eq!(PayloadReader::new(&evil).u32_slice(), None);
+    }
+
+    #[test]
+    fn jsonl_mirror_roundtrips() {
+        let dir = std::env::temp_dir().join(format!(
+            "morph-ckpt-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let store = CheckpointStore::jsonl(&path).unwrap();
+        store.save(1, "sp", 0, vec![0x00, 0xFF, 0x7A]);
+        store.save(1, "sp", 3, vec![0x01]);
+        store.save(2, "dmr \"q\"", 9, vec![]);
+        let back = load_jsonl(&path).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[0].payload, vec![0x00, 0xFF, 0x7A]);
+        assert_eq!(back[1].version, 2);
+        assert_eq!(back[2].algo, "dmr \"q\"");
+        assert_eq!(back[2].iteration, 9);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+}

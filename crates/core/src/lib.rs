@@ -22,6 +22,7 @@
 
 pub mod adaptive;
 pub mod addition;
+pub mod checkpoint;
 pub mod compact;
 pub mod conflict;
 pub mod deletion;
@@ -31,6 +32,10 @@ pub mod worklist;
 
 pub use adaptive::AdaptiveParallelism;
 pub use addition::BumpAllocator;
+pub use checkpoint::{
+    load_jsonl as load_checkpoint_jsonl, Checkpoint, CheckpointCtl, CheckpointStore,
+    PayloadReader, PayloadWriter,
+};
 pub use conflict::ConflictTable;
 pub use deletion::{DeletionMarks, RecyclePool};
 pub use morph_gpu_sim::CancelToken;

@@ -25,10 +25,12 @@
 //! into a runtime safety net.
 
 use crate::adaptive::AdaptiveParallelism;
+use crate::checkpoint::CheckpointCtl;
 use morph_gpu_sim::{
     CancelToken, FaultPlan, Kernel, LaunchError, LaunchStats, MetricsHub, VirtualGpu,
 };
 use morph_trace::{RecoveryKind, TraceEvent, Tracer};
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -139,6 +141,15 @@ pub struct RecoveryOpts {
     /// quiescent buffers. Cloning `RecoveryOpts` shares the token. The
     /// default token is never cancelled.
     pub cancel: CancelToken,
+    /// Checkpoint control for this run. `None` (the default) means the
+    /// pipeline never builds a snapshot payload — checkpointing follows
+    /// the same zero-cost-when-disabled contract as tracing and metrics.
+    pub checkpoint: Option<CheckpointCtl>,
+    /// Progress heartbeat shared with an external watchdog. Armed on the
+    /// GPU (each completed launch beats) and bumped by
+    /// [`drive_recovering`] at every host-action boundary, so a watcher
+    /// that sees it stand still knows the job is wedged, not merely busy.
+    pub heartbeat: Option<Arc<AtomicU64>>,
 }
 
 impl RecoveryOpts {
@@ -152,6 +163,7 @@ impl RecoveryOpts {
         gpu.set_tracer(self.tracer.clone());
         gpu.set_metrics(self.metrics.clone());
         gpu.set_cancel_token(self.cancel.clone());
+        gpu.set_heartbeat(self.heartbeat.clone());
     }
 }
 
@@ -307,16 +319,34 @@ pub fn drive_recovering(
     let mut rescue = RescueLevel::None;
 
     loop {
-        // Host-action boundary: a raised cancellation token wins over
-        // everything else. No launch is in flight here, so device buffers
-        // are quiescent and the caller gets the GPU back immediately.
+        // Host-action boundary: the loop is provably alive here, so an
+        // attached watchdog heartbeat advances even when individual
+        // launches are slow.
+        gpu.beat();
+        // A raised cancellation token wins over everything else. No
+        // launch is in flight here, so device buffers are quiescent and
+        // the caller gets the GPU back immediately.
         if gpu.cancel_token().is_cancelled() {
+            // A cancellation landing while a regrow is pending would
+            // otherwise leave the trace claiming a grown buffer that
+            // never materialised, attributed to the overflowed launch's
+            // geometry; and a rescue/adaptive schedule would leave its
+            // geometry pinned on the device. Revoke the pending regrow
+            // visibly and restore the configured geometry so whoever
+            // reuses the device sees consistent accounting.
+            let abandoned = regrow_to.take();
+            gpu.set_geometry(blocks, normal_tpb);
             tracer.emit(|| TraceEvent::Recovery {
                 iteration,
                 attempt: attempt as u64,
                 kind: RecoveryKind::Cancelled,
-                capacity: 0,
-                detail: "cancellation token raised".into(),
+                capacity: abandoned.unwrap_or(0) as u64,
+                detail: match abandoned {
+                    Some(cap) => {
+                        format!("cancellation token raised; abandoned pending regrow to {cap}")
+                    }
+                    None => "cancellation token raised".into(),
+                },
             });
             return Err(DriveError::Cancelled { iteration });
         }
@@ -343,7 +373,10 @@ pub fn drive_recovering(
                 out.stats.retry_wall += step_start.elapsed();
                 attempt += 1;
                 out.retries += 1;
-                if attempt > policy.max_retries {
+                // Device loss is never retried in-driver: the slot itself
+                // is suspect, so the error surfaces immediately and the
+                // serving layer decides whether to resume elsewhere.
+                if error.is_device_loss() || attempt > policy.max_retries {
                     tracer.emit(|| TraceEvent::Recovery {
                         iteration,
                         attempt: attempt as u64,
@@ -761,6 +794,46 @@ mod tests {
     }
 
     #[test]
+    fn device_loss_is_never_retried_in_driver() {
+        let mut gpu = VirtualGpu::new(GpuConfig::small());
+        // The loss fires once, so an in-driver retry *would* succeed —
+        // which is exactly why the driver must not take it: the slot is
+        // suspect and the serving layer owns the reschedule decision.
+        gpu.set_fault_plan(Arc::new(FaultPlan::new().with_device_loss(0, 0, 0)));
+        let k = ToyKernel {
+            sum: AtomicU64::new(0),
+            changed: AtomicBool::new(false),
+            threshold: 0,
+        };
+        let err = drive_recovering(
+            &mut gpu,
+            None,
+            &RecoveryPolicy {
+                max_retries: 5,
+                ..RecoveryPolicy::default()
+            },
+            |gpu, _ctx| {
+                let stats = gpu.try_launch(&k)?;
+                Ok(StepReport {
+                    stats,
+                    action: HostAction::Stop,
+                    progressed: true,
+                })
+            },
+        )
+        .expect_err("device loss must surface despite retry budget");
+        match err {
+            DriveError::Launch {
+                attempts, error, ..
+            } => {
+                assert_eq!(attempts, 1, "no second attempt on a lost device");
+                assert!(error.is_device_loss());
+            }
+            other => panic!("expected Launch error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn regrow_reruns_the_same_iteration() {
         let mut gpu = VirtualGpu::new(GpuConfig::small());
         let k = ToyKernel {
@@ -1116,6 +1189,149 @@ mod tests {
                 ..
             }
         )));
+    }
+
+    #[test]
+    fn cancellation_during_pending_regrow_revokes_it_and_restores_geometry() {
+        use morph_trace::{RecoveryKind, RingSink, TraceEvent, Tracer};
+
+        let mut gpu = VirtualGpu::new(GpuConfig::small());
+        let sink = Arc::new(RingSink::new(64));
+        let token = CancelToken::new();
+        let opts = RecoveryOpts {
+            tracer: Tracer::new(sink.clone()),
+            cancel: token.clone(),
+            ..RecoveryOpts::default()
+        };
+        opts.arm(&mut gpu);
+        let k = ToyKernel {
+            sum: AtomicU64::new(0),
+            changed: AtomicBool::new(false),
+            threshold: 0,
+        };
+        let err = drive_recovering(&mut gpu, None, &opts.policy, |gpu, _ctx| {
+            let stats = gpu.try_launch(&k)?;
+            // The step overflows and asks for growth — then the owner of
+            // the other token handle (a watchdog) cancels mid-regrow.
+            token.cancel();
+            Ok(StepReport {
+                stats,
+                action: HostAction::Regrow(512),
+                progressed: true,
+            })
+        })
+        .expect_err("cancellation during regrow must unwind");
+        assert_eq!(err, DriveError::Cancelled { iteration: 0 });
+        // Regression: the granted-but-never-executed regrow is revoked in
+        // the trace (the Cancelled event carries the abandoned capacity),
+        // so reports cannot attribute a grown buffer to the old launch.
+        let recoveries: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                TraceEvent::Recovery {
+                    kind,
+                    capacity,
+                    detail,
+                    ..
+                } => Some((kind, capacity, detail)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(recoveries.len(), 2, "{recoveries:?}");
+        assert_eq!(recoveries[0].0, RecoveryKind::Regrow);
+        assert_eq!(recoveries[0].1, 512);
+        assert_eq!(recoveries[1].0, RecoveryKind::Cancelled);
+        assert_eq!(recoveries[1].1, 512);
+        assert!(
+            recoveries[1].2.contains("abandoned pending regrow to 512"),
+            "{:?}",
+            recoveries[1].2
+        );
+        // And the device geometry is back to its configured value, not
+        // whatever the cancelled run last set.
+        assert_eq!(
+            (gpu.config().blocks, gpu.config().threads_per_block),
+            (4, 8),
+            "cancelled run must not leave stale geometry on the device"
+        );
+    }
+
+    #[test]
+    fn cancellation_under_serial_rescue_restores_geometry() {
+        let mut gpu = VirtualGpu::new(GpuConfig::small());
+        let token = CancelToken::new();
+        gpu.set_cancel_token(token.clone());
+        let k = ToyKernel {
+            sum: AtomicU64::new(0),
+            changed: AtomicBool::new(false),
+            threshold: 0,
+        };
+        let policy = RecoveryPolicy {
+            livelock_patience: 1,
+            max_rescues: 8,
+            ..RecoveryPolicy::default()
+        };
+        let _ = drive_recovering(&mut gpu, None, &policy, |gpu, ctx| {
+            if ctx.rescue == RescueLevel::Serial {
+                token.cancel();
+            }
+            let stats = gpu.try_launch(&k)?;
+            Ok(StepReport {
+                stats,
+                action: HostAction::Continue,
+                progressed: false,
+            })
+        })
+        .expect_err("cancelled under rescue");
+        assert_eq!(
+            (gpu.config().blocks, gpu.config().threads_per_block),
+            (4, 8),
+            "serial 1×1 pin must not outlive the cancelled run"
+        );
+    }
+
+    #[test]
+    fn heartbeat_advances_at_host_action_boundaries() {
+        use std::sync::atomic::AtomicU64 as Beat;
+
+        let mut gpu = VirtualGpu::new(GpuConfig::small());
+        let beat = Arc::new(Beat::new(0));
+        let opts = RecoveryOpts {
+            heartbeat: Some(beat.clone()),
+            ..RecoveryOpts::default()
+        };
+        opts.arm(&mut gpu);
+        let k = ToyKernel {
+            sum: AtomicU64::new(0),
+            changed: AtomicBool::new(false),
+            threshold: 35,
+        };
+        let out = drive_recovering(&mut gpu, None, &opts.policy, |gpu, _ctx| {
+            let stats = gpu.try_launch(&k)?;
+            let changed = k.changed.swap(false, Ordering::AcqRel);
+            Ok(StepReport {
+                stats,
+                action: if changed {
+                    HostAction::Continue
+                } else {
+                    HostAction::Stop
+                },
+                progressed: true,
+            })
+        })
+        .expect("clean run");
+        // One boundary beat per step plus one engine beat per completed
+        // launch: 4 iterations ⇒ exactly 8.
+        assert_eq!(out.iterations, 4);
+        assert_eq!(beat.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn checkpoint_opts_default_to_disabled() {
+        let opts = RecoveryOpts::default();
+        assert!(opts.checkpoint.is_none(), "zero-cost default");
+        assert!(opts.heartbeat.is_none());
     }
 
     #[test]

@@ -27,7 +27,7 @@ use morph_core::addition::GrowthPolicy;
 use morph_core::runtime::{
     drive_recovering, DriveError, HostAction, RecoveryOpts, RescueLevel, StepReport,
 };
-use morph_core::{AdaptiveParallelism, ConflictTable};
+use morph_core::{AdaptiveParallelism, ConflictTable, PayloadReader, PayloadWriter};
 use morph_geometry::Coord;
 use morph_gpu_sim::kernel::chunk_bounds;
 use morph_gpu_sim::{
@@ -300,7 +300,21 @@ pub fn try_refine_gpu<C: Coord>(
         mesh.grow_verts(mesh.num_verts() + mesh.num_verts() / 4 + 256);
     }
 
-    let blocks = AdaptiveParallelism::blocks_for_input(sms, initial, 1024);
+    // Resume from the newest checkpoint, if one exists for this job: the
+    // decoded arrays overwrite the freshly-built mesh (growing it as
+    // needed), so an evicted refinement continues from its last iteration
+    // boundary on a different slot.
+    let mut stats = RefineStats::default();
+    let mut iterations_base = 0u64;
+    if let Some(ck) = &recovery.checkpoint {
+        if let Some(saved) = ck.resume("dmr") {
+            if let Some(done) = decode_dmr_checkpoint(&saved.payload, mesh, &mut stats) {
+                iterations_base = done;
+            }
+        }
+    }
+
+    let blocks = AdaptiveParallelism::blocks_for_input(sms, mesh.num_slots(), 1024);
     let sched = AdaptiveParallelism {
         initial_tpb: opts.base_tpb,
         growth_iters: if opts.adaptive { 3 } else { 0 },
@@ -317,7 +331,6 @@ pub fn try_refine_gpu<C: Coord>(
     recovery.arm(&mut gpu);
     let state: BlockLocal<BlockState<C>> = BlockLocal::new(blocks, |_| BlockState::new());
 
-    let mut stats = RefineStats::default();
     #[cfg(feature = "morph-check")]
     let mut oracle = morph_core::OracleGate::new();
 
@@ -397,6 +410,16 @@ pub fn try_refine_gpu<C: Coord>(
             let done = action == HostAction::Stop;
             morph_core::report_oracle(gpu.tracer(), "oracle.dmr.end_state", mesh.validate(done));
         }
+        // Iteration boundary: all device arrays are quiescent. Snapshot
+        // if due (the payload closure never runs without an attached
+        // store).
+        if let Some(ck) = &recovery.checkpoint {
+            if action != HostAction::Stop && ck.due(ctx.iteration) {
+                ck.save(gpu.tracer(), "dmr", ctx.iteration, || {
+                    encode_dmr_checkpoint(mesh, &stats, iterations_base + ctx.iteration + 1)
+                });
+            }
+        }
         Ok(StepReport {
             stats: launch,
             // A regrow is itself progress; only commit-free, overflow-free
@@ -411,12 +434,52 @@ pub fn try_refine_gpu<C: Coord>(
     Ok(GpuRefineOutcome {
         stats,
         launch: outcome.stats.clone(),
-        iterations: outcome.iterations,
+        iterations: iterations_base + outcome.iterations,
         rescues: outcome.rescues as u64,
         retries: outcome.retries,
         regrows: outcome.regrows,
         peak_tri_capacity: mesh.tri_capacity(),
     })
+}
+
+/// Checkpoint payload schema tag: `"DM"` + layout version.
+const DMR_CKPT_TAG: u32 = 0x444d_0001;
+
+/// Minimal resume state: the iteration count, the host-accumulated
+/// refine/freeze counters, and the full device mesh (see
+/// [`Mesh::encode_state`]). The conflict table and block-local scratch are
+/// per-launch state and rebuilt from scratch on resume.
+fn encode_dmr_checkpoint<C: Coord>(mesh: &Mesh<C>, stats: &RefineStats, iterations: u64) -> Vec<u8> {
+    let mut w = PayloadWriter::new();
+    w.u32(DMR_CKPT_TAG);
+    w.u64(iterations);
+    w.u64(stats.refined);
+    w.u64(stats.frozen);
+    mesh.encode_state(&mut w);
+    w.finish()
+}
+
+/// Decode into `mesh`/`stats`; returns the completed-iteration count, or
+/// `None` (fresh run, mesh untouched) when the payload is foreign.
+fn decode_dmr_checkpoint<C: Coord>(
+    payload: &[u8],
+    mesh: &mut Mesh<C>,
+    stats: &mut RefineStats,
+) -> Option<u64> {
+    let mut r = PayloadReader::new(payload);
+    if r.u32()? != DMR_CKPT_TAG {
+        return None;
+    }
+    let iterations = r.u64()?;
+    let refined = r.u64()?;
+    let frozen = r.u64()?;
+    mesh.decode_state(&mut r)?;
+    if !r.exhausted() {
+        return None;
+    }
+    stats.refined = refined;
+    stats.frozen = frozen;
+    Some(iterations)
 }
 
 #[cfg(test)]
@@ -495,6 +558,75 @@ mod tests {
         // Abort counter is wired through (may legitimately be 0 on tiny
         // runs, but commits must be exact).
         assert_eq!(out.launch.commits, out.stats.refined);
+    }
+
+    #[test]
+    fn checkpoint_resume_finishes_on_a_fresh_mesh() {
+        use morph_core::runtime::RecoveryPolicy;
+        use morph_core::{CheckpointCtl, CheckpointStore};
+        use morph_gpu_sim::FaultPlan;
+        use std::sync::Arc;
+
+        // First attempt: zero retry budget and a panic at launch 2
+        // (0-based) — dies after checkpointing iterations 0 and 1.
+        let mut first_mesh = random_mesh(400, 77);
+        let store = Arc::new(CheckpointStore::in_memory());
+        let ctl = CheckpointCtl::new(store.clone(), 21);
+        let first = RecoveryOpts {
+            policy: RecoveryPolicy {
+                max_retries: 0,
+                ..RecoveryPolicy::default()
+            },
+            fault_plan: Some(Arc::new(FaultPlan::new().with_kernel_panic(2, 0, 0, 0))),
+            checkpoint: Some(ctl.clone()),
+            ..RecoveryOpts::default()
+        };
+        try_refine_gpu(&mut first_mesh, DmrOpts::default(), 4, &first)
+            .expect_err("zero retry budget must surface the panic");
+        let saved = store.load(21).expect("early iterations were checkpointed");
+        assert_eq!(saved.algo, "dmr");
+        let refined_at_ckpt = {
+            let mut r = PayloadReader::new(&saved.payload);
+            r.u32();
+            r.u64();
+            r.u64().unwrap()
+        };
+
+        // Resume on a *fresh* mesh built from the same problem — the
+        // cross-slot scenario: nothing survives from the first device but
+        // the checkpoint payload.
+        let mut resumed_mesh = random_mesh(400, 77);
+        let second = RecoveryOpts {
+            checkpoint: Some(ctl),
+            ..RecoveryOpts::default()
+        };
+        let out = try_refine_gpu(&mut resumed_mesh, DmrOpts::default(), 4, &second)
+            .expect("clean resume");
+        assert_eq!(resumed_mesh.stats().bad, 0);
+        resumed_mesh.validate(true).unwrap_or_else(|e| panic!("{e}"));
+        assert!(out.iterations > 2, "resume must credit replayed iterations");
+        assert!(
+            out.stats.refined >= refined_at_ckpt,
+            "refine counter resumes from the snapshot ({} < {refined_at_ckpt})",
+            out.stats.refined
+        );
+    }
+
+    #[test]
+    fn foreign_checkpoint_payload_is_refused() {
+        let mut mesh = random_mesh(50, 5);
+        let before = mesh.stats();
+        let mut stats = RefineStats::default();
+        assert_eq!(decode_dmr_checkpoint(&[], &mut mesh, &mut stats), None);
+        assert_eq!(decode_dmr_checkpoint(&[9; 7], &mut mesh, &mut stats), None);
+        // Right tag, truncated body.
+        let mut w = PayloadWriter::new();
+        w.u32(DMR_CKPT_TAG);
+        w.u64(3);
+        let trunc = w.finish();
+        assert_eq!(decode_dmr_checkpoint(&trunc, &mut mesh, &mut stats), None);
+        assert_eq!(mesh.stats(), before, "no partial mutation");
+        assert_eq!(stats.refined, 0);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! "Recycle").
 
 use morph_core::addition::BumpAllocator;
+use morph_core::{PayloadReader, PayloadWriter};
 use morph_geometry::{
     min_angle_deg, orient2d, Coord, Orientation, Point, TriQuality,
 };
@@ -346,6 +347,67 @@ impl<C: Coord> Mesh<C> {
         self.flags = AtomicU32Slice::from_vec(flags);
         self.flags.grow(cap, 0);
         self.alloc = BumpAllocator::new(live, cap);
+    }
+
+    // ---- checkpoint/resume --------------------------------------------
+
+    /// Append the mesh's resume state to a checkpoint payload. At a host-
+    /// loop iteration boundary the coordinate, triangle, neighbor and flag
+    /// arrays up to the allocator high-water fully determine the rest of
+    /// the refinement. Coordinates travel as `f64` bits — exact for both
+    /// precisions, because every grid value is exactly representable in
+    /// `f32` and `f64` (see [`Coord`]).
+    pub fn encode_state(&self, w: &mut PayloadWriter) {
+        let nv = self.num_verts();
+        let slots = self.num_slots();
+        w.u64(nv as u64);
+        w.u64(slots as u64);
+        for v in 0..nv {
+            w.f64(self.px.get(v).to_f64());
+            w.f64(self.py.get(v).to_f64());
+        }
+        for t in 0..slots as u32 {
+            for x in self.tri(t) {
+                w.u32(x);
+            }
+            for n in self.neighbors(t) {
+                w.u32(n);
+            }
+            w.u32(self.flags_of(t));
+        }
+    }
+
+    /// Restore state written by [`encode_state`](Self::encode_state),
+    /// growing storage as needed. The payload is fully validated before
+    /// any mutation: `None` leaves the mesh untouched.
+    pub fn decode_state(&mut self, r: &mut PayloadReader<'_>) -> Option<()> {
+        let nv = r.u64()? as usize;
+        let slots = r.u64()? as usize;
+        let mut coords = Vec::with_capacity(nv.min(1 << 20));
+        for _ in 0..nv {
+            coords.push((r.f64()?, r.f64()?));
+        }
+        let mut tris = Vec::with_capacity(slots.min(1 << 20));
+        for _ in 0..slots {
+            let verts = [r.u32()?, r.u32()?, r.u32()?];
+            let nbrs = [r.u32()?, r.u32()?, r.u32()?];
+            let flags = r.u32()?;
+            tris.push((verts, nbrs, flags));
+        }
+        self.grow_verts(nv + 16);
+        self.grow_tris(slots + 16);
+        self.nverts.store(nv as u32, Ordering::Release);
+        for (v, &(x, y)) in coords.iter().enumerate() {
+            self.px.set(v, C::from_f64(x));
+            self.py.set(v, C::from_f64(y));
+        }
+        for (t, &(verts, nbrs, flags)) in tris.iter().enumerate() {
+            self.write_tri(t as u32, verts, nbrs);
+            self.flags.store(t, flags);
+        }
+        self.alloc = BumpAllocator::new(slots, self.tri_capacity());
+        self.vert_overflow.store(false, Ordering::Release);
+        Some(())
     }
 
     /// Full structural validation (tests): CCW orientation, neighbor-link

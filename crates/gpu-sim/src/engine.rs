@@ -62,6 +62,24 @@ pub enum LaunchError {
         iteration: usize,
         timeout: Duration,
     },
+    /// The virtual device died out from under the launch (injected via
+    /// [`crate::FaultPlan::with_device_loss`]): the slot itself is suspect,
+    /// not the kernel. Serving layers treat this as an eviction — move the
+    /// job to another slot and debit this slot's health — rather than a
+    /// retryable kernel failure.
+    DeviceLost {
+        worker: usize,
+        phase: usize,
+        iteration: usize,
+    },
+}
+
+impl LaunchError {
+    /// Is this failure a device loss (slot death) rather than a kernel
+    /// fault? Drives eviction-vs-retry decisions in serving layers.
+    pub fn is_device_loss(&self) -> bool {
+        matches!(self, LaunchError::DeviceLost { .. })
+    }
 }
 
 impl std::fmt::Display for LaunchError {
@@ -85,6 +103,14 @@ impl std::fmt::Display for LaunchError {
             } => write!(
                 f,
                 "barrier stall detected by worker {worker} (phase {phase}, iteration {iteration}): a participant failed to arrive within {timeout:?}"
+            ),
+            LaunchError::DeviceLost {
+                worker,
+                phase,
+                iteration,
+            } => write!(
+                f,
+                "device lost under worker {worker} (phase {phase}, iteration {iteration}): the slot died mid-launch"
             ),
         }
     }
@@ -281,6 +307,11 @@ pub struct VirtualGpu {
     tracer: Tracer,
     metrics: MetricsHub,
     cancel: CancelToken,
+    /// Progress heartbeat: bumped once per completed launch (and again by
+    /// `drive_recovering` at every host-action boundary). A watchdog that
+    /// sees this stand still knows the job is wedged, not merely slow
+    /// between observations.
+    heartbeat: Option<Arc<AtomicU64>>,
     launch_seq: AtomicU64,
     /// True while a launch is executing on this GPU. Host-side exclusive
     /// access to device buffers (`SharedSlice::as_mut_slice`/`to_vec`) is
@@ -298,6 +329,7 @@ impl VirtualGpu {
             tracer: Tracer::disabled(),
             metrics: MetricsHub::disabled(),
             cancel: CancelToken::new(),
+            heartbeat: None,
             launch_seq: AtomicU64::new(0),
             in_flight: AtomicBool::new(false),
         }
@@ -352,6 +384,24 @@ impl VirtualGpu {
     /// default).
     pub fn cancel_token(&self) -> &CancelToken {
         &self.cancel
+    }
+
+    /// Attach a progress heartbeat. Each completed launch increments it;
+    /// a hung-job watchdog (e.g. `morph-serve`) compares successive reads
+    /// to tell a wedged job from a slow one. `None` (the default) costs
+    /// nothing.
+    pub fn set_heartbeat(&mut self, beat: Option<Arc<AtomicU64>>) {
+        self.heartbeat = beat;
+    }
+
+    /// Bump the attached heartbeat, if any. Called by the engine after
+    /// every completed launch and by recovering host loops at every
+    /// host-action boundary.
+    #[inline]
+    pub fn beat(&self) {
+        if let Some(b) = &self.heartbeat {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     pub fn config(&self) -> &GpuConfig {
@@ -581,6 +631,7 @@ impl VirtualGpu {
         if let Some(m) = mstate {
             m.finish(&stats);
         }
+        self.beat();
         Ok(stats)
     }
 }
@@ -618,6 +669,13 @@ fn classify_failure(
             phase: at.phase,
             iteration: at.iteration,
             timeout: watchdog.unwrap_or_default(),
+        });
+    }
+    if message == crate::fault::INJECTED_DEVICE_LOSS_MSG {
+        return Some(LaunchError::DeviceLost {
+            worker,
+            phase: at.phase,
+            iteration: at.iteration,
         });
     }
     Some(LaunchError::KernelPanic {
@@ -680,6 +738,20 @@ fn run_worker<K: Kernel + ?Sized>(
                 Some(_) if worker == 0 => Some(Instant::now()),
                 _ => None,
             };
+            // Device loss is a per-(phase, worker) event: the whole slot
+            // dies before it touches any of its blocks this phase, so a
+            // half-run phase looks exactly like a kernel-panic retry to
+            // the host — but is classified as the slot's fault.
+            if let Some(plan) = faults {
+                if plan.lose_device(phase, worker) {
+                    progress.set(Progress {
+                        iteration,
+                        phase,
+                        block: my_blocks.first().copied().unwrap_or(0),
+                    });
+                    panic!("{}", crate::fault::INJECTED_DEVICE_LOSS_MSG);
+                }
+            }
             // Barrier epoch for the data-race shadow logs: unique per
             // (launch, iteration, phase) barrier interval.
             let check_epoch = check_nonce
@@ -1102,6 +1174,50 @@ mod tests {
         // The plan fired once; the next launch is clean.
         let stats = gpu.try_launch(&k).expect("fault already consumed");
         assert_eq!(stats.iterations, 1);
+    }
+
+    #[test]
+    fn injected_device_loss_is_classified_and_fires_once() {
+        let mut gpu = VirtualGpu::new(GpuConfig::small());
+        let plan = Arc::new(FaultPlan::new().with_device_loss(0, 0, 1));
+        gpu.set_fault_plan(Arc::clone(&plan));
+        let k = CountTo {
+            total: AtomicU64::new(0),
+            target: 1,
+        };
+        match gpu.try_launch(&k) {
+            Err(e @ LaunchError::DeviceLost { worker, phase, iteration }) => {
+                assert!(e.is_device_loss());
+                assert_eq!(worker, 1);
+                assert_eq!(phase, 0);
+                assert_eq!(iteration, 0);
+            }
+            other => panic!("expected DeviceLost, got {other:?}"),
+        }
+        assert!(plan.exhausted());
+        // Fires once: the "new slot" (same gpu here) runs clean — a
+        // resumed job must not re-lose its replacement device.
+        let stats = gpu.try_launch(&k).expect("loss already consumed");
+        assert_eq!(stats.iterations, 1);
+    }
+
+    #[test]
+    fn heartbeat_counts_completed_launches() {
+        let mut gpu = VirtualGpu::new(GpuConfig::small());
+        let beat = Arc::new(AtomicU64::new(0));
+        gpu.set_heartbeat(Some(Arc::clone(&beat)));
+        let k = CountTo {
+            total: AtomicU64::new(0),
+            target: 1,
+        };
+        gpu.try_launch(&k).unwrap();
+        gpu.try_launch(&k).unwrap();
+        assert_eq!(beat.load(Ordering::Relaxed), 2);
+        // A failed launch does not beat: the watchdog must see a wedged
+        // slot as silent.
+        gpu.set_fault_plan(Arc::new(FaultPlan::new().with_device_loss(0, 0, 0)));
+        let _ = gpu.try_launch(&k);
+        assert_eq!(beat.load(Ordering::Relaxed), 2);
     }
 
     #[test]

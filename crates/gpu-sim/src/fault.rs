@@ -28,6 +28,20 @@ use std::time::Duration;
 /// tests can distinguish injected faults from genuine bugs).
 pub const INJECTED_PANIC_MSG: &str = "injected fault: kernel thread panic";
 
+/// Panic message used by injected device-loss faults. Unlike a kernel
+/// panic (a bug in the kernel), device loss models the *slot* dying —
+/// ECC fault, driver reset, preemption — so the engine classifies it as
+/// [`crate::LaunchError::DeviceLost`] and serving layers treat it as a
+/// slot-health event rather than a job failure.
+pub const INJECTED_DEVICE_LOSS_MSG: &str = "injected fault: device lost";
+
+struct DeviceLossFault {
+    launch: u64,
+    phase: usize,
+    worker: usize,
+    fired: AtomicBool,
+}
+
 struct PanicFault {
     launch: u64,
     phase: usize,
@@ -60,6 +74,7 @@ pub struct FaultPlan {
     panics: Vec<PanicFault>,
     stalls: Vec<StallFault>,
     denials: Vec<AllocDenial>,
+    losses: Vec<DeviceLossFault>,
 }
 
 // Summarised by hand: the fault lists are implementation detail, but
@@ -71,6 +86,7 @@ impl std::fmt::Debug for FaultPlan {
             .field("panics", &self.panics.len())
             .field("stalls", &self.stalls.len())
             .field("denials", &self.denials.len())
+            .field("losses", &self.losses.len())
             .finish()
     }
 }
@@ -121,6 +137,21 @@ impl FaultPlan {
         self
     }
 
+    /// Kill the virtual device out from under `worker` at `(launch, phase)`
+    /// — modelling the slot itself dying (ECC fault, driver reset,
+    /// preemption) rather than a kernel bug. The launch unwinds as
+    /// [`crate::LaunchError::DeviceLost`]; a serving layer should evict the
+    /// job to another slot and debit this slot's health.
+    pub fn with_device_loss(mut self, launch: u64, phase: usize, worker: usize) -> Self {
+        self.losses.push(DeviceLossFault {
+            launch,
+            phase,
+            worker,
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
     /// Deny the next `count` device-side allocations issued during `launch`
     /// — modelling pool exhaustion regardless of actual capacity (§7.1's
     /// overflow path).
@@ -156,6 +187,42 @@ impl FaultPlan {
         Self::new()
             .with_kernel_panic(panic_launch, 0, panic_block, panic_thread)
             .with_alloc_denial(deny_launch, deny_count)
+    }
+
+    /// Derive a chaos campaign from a seed: everything [`FaultPlan::seeded`]
+    /// injects, plus one device loss and one barrier stall of `stall` —
+    /// the composition the chaos soak schedules per victim job. With
+    /// `stall` above the attached barrier watchdog the stall surfaces as
+    /// [`crate::LaunchError::BarrierStall`]; the device loss surfaces as
+    /// [`crate::LaunchError::DeviceLost`] and exercises eviction + resume.
+    pub fn seeded_chaos(
+        seed: u64,
+        launches: u64,
+        blocks: usize,
+        threads_per_block: usize,
+        workers: usize,
+        stall: Duration,
+    ) -> Self {
+        let mut s = seed ^ 0x00c4_a051_c4a0_5101; // distinct stream from `seeded`
+        let mut next = move || {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let launches = launches.max(1);
+        let workers = workers.max(1) as u64;
+        let loss_launch = next() % launches;
+        let loss_worker = (next() % workers) as usize;
+        let mut plan = Self::seeded(seed, launches, blocks, threads_per_block)
+            .with_device_loss(loss_launch, 0, loss_worker);
+        if !stall.is_zero() {
+            let stall_launch = next() % launches;
+            let stall_worker = (next() % workers) as usize;
+            plan = plan.with_barrier_stall(stall_launch, 0, stall_worker, stall);
+        }
+        plan
     }
 
     /// Called by the engine when a launch starts.
@@ -205,6 +272,21 @@ impl FaultPlan {
             .map(|f| f.delay)
     }
 
+    /// True if the device must be lost out from under `worker` during
+    /// `phase` of the current launch. Consumes the fault (fires once), so
+    /// a job resumed elsewhere does not re-lose its new slot.
+    pub(crate) fn lose_device(&self, phase: usize, worker: usize) -> bool {
+        let launch = self.current_launch();
+        self.losses.iter().any(|l| {
+            l.launch == launch
+                && l.phase == phase
+                && l.worker == worker
+                && l.fired
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+        })
+    }
+
     /// True if a device-side allocation issued now must be denied.
     /// Decrements the current launch's denial budget.
     pub fn deny_allocation(&self) -> bool {
@@ -221,6 +303,7 @@ impl FaultPlan {
     pub fn exhausted(&self) -> bool {
         self.panics.iter().all(|p| p.fired.load(Ordering::Acquire))
             && self.stalls.iter().all(|s| s.fired.load(Ordering::Acquire))
+            && self.losses.iter().all(|l| l.fired.load(Ordering::Acquire))
             && self
                 .denials
                 .iter()
@@ -279,6 +362,37 @@ mod tests {
         for f in &a.panics {
             assert!(f.launch < 10 && f.block < 8 && f.thread_in_block < 32);
         }
+    }
+
+    #[test]
+    fn device_loss_fires_once_at_its_site() {
+        let plan = FaultPlan::new().with_device_loss(1, 2, 0);
+        plan.begin_launch(); // launch 0
+        assert!(!plan.lose_device(2, 0), "armed for launch 1, not 0");
+        plan.begin_launch(); // launch 1
+        assert!(!plan.lose_device(1, 0));
+        assert!(!plan.lose_device(2, 1));
+        assert!(plan.lose_device(2, 0));
+        assert!(!plan.lose_device(2, 0), "device loss fires once");
+        assert!(plan.exhausted());
+    }
+
+    #[test]
+    fn seeded_chaos_composes_and_reproduces() {
+        let a = FaultPlan::seeded_chaos(7, 10, 8, 32, 4, Duration::from_millis(2));
+        let b = FaultPlan::seeded_chaos(7, 10, 8, 32, 4, Duration::from_millis(2));
+        assert_eq!(a.losses.len(), 1);
+        assert_eq!(a.panics.len(), 1);
+        assert_eq!(a.stalls.len(), 1);
+        assert_eq!(a.denials.len(), 1);
+        assert_eq!(
+            (a.losses[0].launch, a.losses[0].worker),
+            (b.losses[0].launch, b.losses[0].worker)
+        );
+        assert!(a.losses[0].launch < 10 && a.losses[0].worker < 4);
+        // No stall requested ⇒ none injected.
+        let quiet = FaultPlan::seeded_chaos(7, 10, 8, 32, 4, Duration::ZERO);
+        assert!(quiet.stalls.is_empty());
     }
 
     #[test]

@@ -204,6 +204,30 @@ impl AtomicBitmap {
         changed
     }
 
+    /// Row-major flat copy of every word (checkpoint snapshot). Length is
+    /// `rows() * words_per_row()`.
+    pub fn words_snapshot(&self) -> Vec<u64> {
+        self.bits.iter().map(|w| w.load(Ordering::Acquire)).collect()
+    }
+
+    /// Overwrite every word from a [`words_snapshot`](Self::words_snapshot)
+    /// (checkpoint resume). Quiescent use only. Because all bitmap
+    /// operations are monotone, resuming from a slightly stale snapshot is
+    /// safe — re-running the deriving kernel converges to the same fixpoint.
+    ///
+    /// # Panics
+    /// If `words.len()` differs from `rows() * words_per_row()`.
+    pub fn restore_words(&self, words: &[u64]) {
+        assert_eq!(
+            words.len(),
+            self.bits.len(),
+            "bitmap restore: word count mismatch"
+        );
+        for (slot, &w) in self.bits.iter().zip(words) {
+            slot.store(w, Ordering::Release);
+        }
+    }
+
     /// Popcount of `row`.
     pub fn count(&self, row: usize) -> usize {
         (0..self.words_per_row).map(|w| self.word(row, w).count_ones() as usize).sum()
@@ -288,6 +312,25 @@ mod tests {
         assert!(m.union_rows(1, 0));
         assert!(!m.union_rows(1, 0));
         assert_eq!(m.row_to_vec(1), vec![0, 63, 64, 255]);
+    }
+
+    #[test]
+    fn atomic_bitmap_words_snapshot_restore_roundtrip() {
+        let m = AtomicBitmap::new(3, 130);
+        for v in [0u32, 64, 129] {
+            m.set(1, v);
+        }
+        m.set(2, 7);
+        let words = m.words_snapshot();
+        assert_eq!(words.len(), 3 * m.words_per_row());
+        let fresh = AtomicBitmap::new(3, 130);
+        fresh.restore_words(&words);
+        assert_eq!(fresh.row_to_vec(1), vec![0, 64, 129]);
+        assert_eq!(fresh.row_to_vec(2), vec![7]);
+        assert_eq!(fresh.count(0), 0);
+        // Monotone writes continue after a restore.
+        assert!(fresh.set(1, 1));
+        assert!(!fresh.set(1, 64));
     }
 
     #[test]

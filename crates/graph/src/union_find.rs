@@ -100,6 +100,22 @@ impl UnionFind {
     pub fn snapshot(&self) -> Vec<u32> {
         (0..self.parent.len() as u32).map(|x| self.find(x)).collect()
     }
+
+    /// Overwrite the parent array from a [`snapshot`](Self::snapshot)
+    /// (checkpoint resume). Quiescent use only — no concurrent unions.
+    ///
+    /// # Panics
+    /// If `parents.len()` differs from this structure's size.
+    pub fn restore(&self, parents: &[u32]) {
+        assert_eq!(
+            parents.len(),
+            self.parent.len(),
+            "union-find restore: size mismatch"
+        );
+        for (slot, &p) in self.parent.iter().zip(parents) {
+            slot.store(p, Ordering::Release);
+        }
+    }
 }
 
 /// Plain sequential DSU used as a test oracle and by Kruskal's algorithm.
@@ -223,6 +239,23 @@ mod tests {
         uf.union(2, 3);
         let snap = uf.snapshot();
         assert_eq!(snap, vec![0, 1, 2, 2]);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(4, 5);
+        let snap = uf.snapshot();
+        let fresh = UnionFind::new(6);
+        fresh.restore(&snap);
+        for x in 0..6u32 {
+            assert_eq!(fresh.find(x), uf.find(x));
+        }
+        assert_eq!(fresh.num_sets(), uf.num_sets());
+        // Unions continue correctly after a restore.
+        assert!(fresh.union(1, 5));
+        assert!(fresh.same(0, 4));
     }
 }
 

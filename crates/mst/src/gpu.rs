@@ -22,7 +22,7 @@
 
 use crate::MstResult;
 use morph_core::runtime::{drive_recovering, DriveError, HostAction, RecoveryOpts, StepReport};
-use morph_core::AdaptiveParallelism;
+use morph_core::{AdaptiveParallelism, PayloadReader, PayloadWriter};
 use morph_graph::{Csr, UnionFind};
 use morph_gpu_sim::{
     AtomicU64Slice, BarrierKind, GpuConfig, Kernel, LaunchStats, ThreadCtx, TraceEvent, VirtualGpu,
@@ -120,6 +120,7 @@ impl Kernel for BoruvkaKernel<'_> {
 }
 
 /// Outcome with virtual-GPU counters.
+#[derive(Debug)]
 pub struct GpuMstOutcome {
     pub result: MstResult,
     pub launch: LaunchStats,
@@ -174,6 +175,20 @@ pub fn try_mst_with_stats(
         barrier: BarrierKind::SenseReversing,
     });
     recovery.arm(&mut gpu);
+
+    // Resume from the newest checkpoint, if one exists for this job: the
+    // union-find partition plus the weight/edge accumulators fully
+    // determine the remaining rounds (`best` slots start fresh at NONE,
+    // exactly as after a completed kernel 4). Rounds already replayed are
+    // credited through `rounds_base`.
+    let mut rounds_base = 0u64;
+    if let Some(ck) = &recovery.checkpoint {
+        if let Some(saved) = ck.resume("mst") {
+            if let Some(done) = decode_mst_checkpoint(&saved.payload, &uf, &weight, &edges) {
+                rounds_base = done;
+            }
+        }
+    }
 
     #[cfg(feature = "morph-check")]
     let mut oracle = morph_core::OracleGate::new();
@@ -235,6 +250,21 @@ pub fn try_mst_with_stats(
                 ),
             );
         }
+        // Iteration boundary: the round's unions and accumulators are
+        // quiescent and kernel 4 has reset the `best` slots. Snapshot if
+        // due (the payload closure never runs without an attached store).
+        if let Some(ck) = &recovery.checkpoint {
+            if action != HostAction::Stop && ck.due(ctx.iteration) {
+                ck.save(gpu.tracer(), "mst", ctx.iteration, || {
+                    encode_mst_checkpoint(
+                        &uf,
+                        weight.load(Ordering::Acquire),
+                        edges.load(Ordering::Acquire),
+                        rounds_base + ctx.iteration + 1,
+                    )
+                });
+            }
+        }
         Ok(StepReport {
             stats,
             action,
@@ -248,11 +278,53 @@ pub fn try_mst_with_stats(
         result: MstResult {
             weight: weight.load(Ordering::Acquire),
             edges: edges.load(Ordering::Acquire),
-            rounds: outcome.iterations as usize,
+            rounds: (rounds_base + outcome.iterations) as usize,
         },
         launch: outcome.stats,
         retries: outcome.retries,
     })
+}
+
+/// Checkpoint payload schema tag: `"MS"` + layout version.
+const MST_CKPT_TAG: u32 = 0x4d53_0001;
+
+/// Minimal resume state: completed-round count, the two accumulators, and
+/// the union-find partition. `best` slots are deliberately absent — a
+/// resumed run starts them fresh at NONE, the same state kernel 4 leaves.
+fn encode_mst_checkpoint(uf: &UnionFind, weight: u64, edges: usize, rounds: u64) -> Vec<u8> {
+    let parents = uf.snapshot();
+    let mut w = PayloadWriter::with_capacity(4 + 8 * 4 + parents.len() * 4);
+    w.u32(MST_CKPT_TAG);
+    w.u64(rounds);
+    w.u64(weight);
+    w.u64(edges as u64);
+    w.u32_slice(&parents);
+    w.finish()
+}
+
+/// Decode into the run's state; returns the completed-round count, or
+/// `None` (fresh run) when the payload is foreign or mis-shaped.
+fn decode_mst_checkpoint(
+    payload: &[u8],
+    uf: &UnionFind,
+    weight: &AtomicU64,
+    edges: &AtomicUsize,
+) -> Option<u64> {
+    let mut r = PayloadReader::new(payload);
+    if r.u32()? != MST_CKPT_TAG {
+        return None;
+    }
+    let rounds = r.u64()?;
+    let w = r.u64()?;
+    let e = r.u64()? as usize;
+    let parents = r.u32_slice()?;
+    if parents.len() != uf.len() || !r.exhausted() {
+        return None;
+    }
+    uf.restore(&parents);
+    weight.store(w, Ordering::Release);
+    edges.store(e, Ordering::Release);
+    Some(rounds)
 }
 
 /// Spanning-forest oracle. At any point the accepted edge count must equal
@@ -362,6 +434,62 @@ mod tests {
             assert_eq!(out.result.edges, want.edges, "phase {phase}");
             assert_eq!(out.retries, 1, "phase {phase}");
         }
+    }
+
+    #[test]
+    fn checkpoint_resume_completes_the_forest() {
+        use morph_core::runtime::{RecoveryOpts, RecoveryPolicy};
+        use morph_core::{CheckpointCtl, CheckpointStore};
+        use morph_gpu_sim::FaultPlan;
+        use std::sync::Arc;
+
+        let g = random_connected(250, 800, 4);
+        let want = kruskal::mst(&g);
+
+        // First attempt: zero retry budget and a panic injected at launch
+        // 2 (0-based) — the run dies after completing (and checkpointing)
+        // rounds 0 and 1.
+        let store = Arc::new(CheckpointStore::in_memory());
+        let ctl = CheckpointCtl::new(store.clone(), 7);
+        let first = RecoveryOpts {
+            policy: RecoveryPolicy {
+                max_retries: 0,
+                ..RecoveryPolicy::default()
+            },
+            fault_plan: Some(Arc::new(FaultPlan::new().with_kernel_panic(2, 0, 0, 0))),
+            checkpoint: Some(ctl.clone()),
+            ..RecoveryOpts::default()
+        };
+        try_mst_with_stats(&g, 4, &first).expect_err("zero retry budget must surface the panic");
+        let saved = store.load(7).expect("rounds 0/1 were checkpointed");
+        assert_eq!(saved.algo, "mst");
+        assert_eq!(saved.iteration, 1);
+
+        // Second attempt resumes from the snapshot and finishes the
+        // forest; the replayed rounds are credited in `rounds`.
+        let second = RecoveryOpts {
+            checkpoint: Some(ctl),
+            ..RecoveryOpts::default()
+        };
+        let out = try_mst_with_stats(&g, 4, &second).expect("clean resume");
+        assert_eq!(out.result.weight, want.weight);
+        assert_eq!(out.result.edges, want.edges);
+        assert!(out.result.rounds > 2, "resume must credit the 2 replayed rounds");
+    }
+
+    #[test]
+    fn foreign_checkpoint_payload_is_refused() {
+        use std::sync::atomic::{AtomicU64, AtomicUsize};
+
+        let uf = UnionFind::new(8);
+        let weight = AtomicU64::new(0);
+        let edges = AtomicUsize::new(0);
+        assert_eq!(decode_mst_checkpoint(&[], &uf, &weight, &edges), None);
+        // Right tag, wrong partition size.
+        let tiny = UnionFind::new(2);
+        let payload = encode_mst_checkpoint(&tiny, 5, 1, 1);
+        assert_eq!(decode_mst_checkpoint(&payload, &uf, &weight, &edges), None);
+        assert_eq!(weight.load(Ordering::Acquire), 0, "no partial mutation");
     }
 
     #[test]

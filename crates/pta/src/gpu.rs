@@ -24,7 +24,7 @@ use crate::constraints::{Constraint, PtaProblem};
 use crate::Solution;
 use morph_core::compact::partition_active;
 use morph_core::runtime::{drive_recovering, DriveError, HostAction, RecoveryOpts, StepReport};
-use morph_core::AdaptiveParallelism;
+use morph_core::{AdaptiveParallelism, PayloadReader, PayloadWriter};
 use morph_graph::sparse_bits::AtomicBitmap;
 use morph_graph::ChunkedAdjacency;
 use morph_gpu_sim::{
@@ -144,6 +144,7 @@ impl Kernel for PtaKernel<'_> {
 }
 
 /// Outcome with virtual-GPU counters.
+#[derive(Debug)]
 pub struct GpuSolveOutcome {
     pub solution: Solution,
     pub launch: LaunchStats,
@@ -205,6 +206,23 @@ pub fn try_solve_with(
                 }
             }
             c => complex.push(c),
+        }
+    }
+
+    // Resume from the newest checkpoint, if one exists for this job: the
+    // points-to bitmap is the entire fixpoint state. Every node is marked
+    // dirty so the first resumed iteration re-pulls everything and phase 0
+    // re-derives any Load/Store edge the snapshot pre-dates — both safe
+    // because the analysis is monotone.
+    let mut iterations_base = 0u64;
+    if let Some(ck) = &recovery.checkpoint {
+        if let Some(saved) = ck.resume("pta") {
+            if let Some(done) = decode_pta_checkpoint(&saved.payload, &pts) {
+                iterations_base = done;
+                for v in 0..n {
+                    dirty.store_relaxed(v, 1);
+                }
+            }
         }
     }
 
@@ -314,6 +332,16 @@ pub fn try_solve_with(
                 pta_oracle(prob, &pts, &mut reference, action == HostAction::Stop),
             );
         }
+        // Iteration boundary: the points-to bits are quiescent. Snapshot
+        // if due (the payload closure never runs without an attached
+        // store). Regrow iterations returned early above and are skipped.
+        if let Some(ck) = &recovery.checkpoint {
+            if action != HostAction::Stop && ck.due(ctx.iteration) {
+                ck.save(gpu.tracer(), "pta", ctx.iteration, || {
+                    encode_pta_checkpoint(&pts, iterations_base + ctx.iteration + 1)
+                });
+            }
+        }
         if opts.divergence_sort && action == HostAction::Continue {
             // §7.6: nodes with enabled incoming edges to one side.
             let mut ids = order.to_vec();
@@ -335,11 +363,43 @@ pub fn try_solve_with(
     Ok(GpuSolveOutcome {
         solution: (0..n).map(|v| pts.row_to_vec(v)).collect(),
         launch: outcome.stats,
-        iterations: outcome.iterations,
+        iterations: iterations_base + outcome.iterations,
         edge_bytes: incoming.bytes_allocated(),
         retries: outcome.retries,
         regrows: outcome.regrows,
     })
+}
+
+/// Checkpoint payload schema tag: `"PT"` + layout version.
+const PTA_CKPT_TAG: u32 = 0x5054_0001;
+
+/// Minimal resume state: the iteration count and the raw points-to words.
+/// Incoming-edge lists are deliberately absent — Copy edges are rebuilt by
+/// the host prologue and Load/Store edges are re-derived by phase 0 (the
+/// kernel-only allocation protocol makes them pure cache, §7.1).
+fn encode_pta_checkpoint(pts: &AtomicBitmap, iterations: u64) -> Vec<u8> {
+    let words = pts.words_snapshot();
+    let mut w = PayloadWriter::with_capacity(4 + 8 + 8 + words.len() * 8);
+    w.u32(PTA_CKPT_TAG);
+    w.u64(iterations);
+    w.u64_slice(&words);
+    w.finish()
+}
+
+/// Decode into `pts`; returns the completed-iteration count, or `None`
+/// (fresh run) when the payload is foreign or shaped for another problem.
+fn decode_pta_checkpoint(payload: &[u8], pts: &AtomicBitmap) -> Option<u64> {
+    let mut r = PayloadReader::new(payload);
+    if r.u32()? != PTA_CKPT_TAG {
+        return None;
+    }
+    let iterations = r.u64()?;
+    let words = r.u64_slice()?;
+    if words.len() != pts.rows() * pts.words_per_row() || !r.exhausted() {
+        return None;
+    }
+    pts.restore_words(&words);
+    Some(iterations)
 }
 
 /// Fixpoint oracle against the serial CPU solver, guarded to small inputs
@@ -474,6 +534,70 @@ mod tests {
         };
         let got = solve_with(&prob, opts, 3);
         assert_eq!(got.solution, crate::serial::solve(&prob));
+    }
+
+    #[test]
+    fn checkpoint_resume_reaches_the_same_fixpoint() {
+        use morph_core::runtime::RecoveryPolicy;
+        use morph_core::{CheckpointCtl, CheckpointStore};
+        use morph_gpu_sim::FaultPlan;
+        use rand::prelude::*;
+        use std::sync::Arc;
+
+        let mut rng = StdRng::seed_from_u64(123);
+        let n = 50;
+        let mut prob = PtaProblem::new(n);
+        for _ in 0..140 {
+            let p = rng.gen_range(0..n as u32);
+            let q = rng.gen_range(0..n as u32);
+            prob.add(match rng.gen_range(0..4) {
+                0 => Constraint::AddressOf { p, q },
+                1 => Constraint::Copy { p, q },
+                2 => Constraint::Load { p, q },
+                _ => Constraint::Store { p, q },
+            });
+        }
+        let want = crate::serial::solve(&prob);
+
+        // First attempt: zero retry budget and a panic at launch 2
+        // (0-based) — dies after checkpointing iterations 0 and 1.
+        let store = Arc::new(CheckpointStore::in_memory());
+        let ctl = CheckpointCtl::new(store.clone(), 11);
+        let first = RecoveryOpts {
+            policy: RecoveryPolicy {
+                max_retries: 0,
+                ..RecoveryPolicy::default()
+            },
+            fault_plan: Some(Arc::new(FaultPlan::new().with_kernel_panic(2, 0, 0, 0))),
+            checkpoint: Some(ctl.clone()),
+            ..RecoveryOpts::default()
+        };
+        try_solve_with(&prob, PtaOpts::default(), 3, &first)
+            .expect_err("zero retry budget must surface the panic");
+        let saved = store.load(11).expect("early iterations were checkpointed");
+        assert_eq!(saved.algo, "pta");
+
+        // Resume: restored bits + all-dirty re-pull reach the identical
+        // fixpoint, with the replayed iterations credited.
+        let second = RecoveryOpts {
+            checkpoint: Some(ctl),
+            ..RecoveryOpts::default()
+        };
+        let got = try_solve_with(&prob, PtaOpts::default(), 3, &second).expect("clean resume");
+        assert_eq!(got.solution, want);
+        assert!(got.iterations > 2, "resume must credit replayed iterations");
+    }
+
+    #[test]
+    fn foreign_checkpoint_payload_is_refused() {
+        let pts = AtomicBitmap::new(4, 4);
+        pts.set(0, 3);
+        assert_eq!(decode_pta_checkpoint(&[], &pts), None);
+        // Right tag, wrong shape.
+        let tiny = AtomicBitmap::new(1, 1);
+        let payload = encode_pta_checkpoint(&tiny, 9);
+        assert_eq!(decode_pta_checkpoint(&payload, &pts), None);
+        assert!(pts.get(0, 3), "no partial mutation");
     }
 
     #[test]

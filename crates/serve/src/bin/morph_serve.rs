@@ -4,7 +4,8 @@
 //! morph-serve gen <jobs> <seed> <out.jobs>
 //! morph-serve run <file.jobs> [--devices N] [--sms M] [--queue C]
 //!                             [--trace out.jsonl] [--metrics out.prom]
-//!                             [--fault-seed S]
+//!                             [--fault-seed S] [--chaos S]
+//!                             [--checkpoint-every N]
 //! ```
 //!
 //! `gen` writes a seeded mixed workload (all four pipelines, three
@@ -17,9 +18,20 @@
 //! `--fault-seed` arms a seeded `FaultPlan` on every fourth job,
 //! exercising the requeue path under injected faults — the CI soak job
 //! runs exactly this and greps the final `SOAK` line.
+//!
+//! `--chaos S` goes further: it layers the deterministic chaos schedule
+//! ([`morph_serve::apply_chaos`]) over the replay — device losses mid
+//! launch, hung kernels, seeded kernel faults — and arms the full
+//! resilience stack: per-iteration checkpointing (so evicted jobs resume
+//! on another slot), the hung-job watchdog, and the per-slot quarantine
+//! breaker. `--checkpoint-every N` tunes the snapshot cadence
+//! independently (0 disables; with `--chaos` the default is 1).
 
 use morph_gpu_sim::FaultPlan;
-use morph_serve::{generate_mixed, parse_file, render_file, MorphServe, ServeConfig, ServeSummary};
+use morph_serve::{
+    apply_chaos, generate_mixed, parse_file, render_file, MorphServe, ServeConfig, ServeSummary,
+    CHAOS_HANG_BUDGET,
+};
 use morph_trace::{parse_jsonl, JsonlSink, RingSink, TeeSink, TraceReport, Tracer, TraceSink};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -28,6 +40,7 @@ fn usage() -> ExitCode {
     eprintln!("usage: morph-serve gen <jobs> <seed> <out.jobs>");
     eprintln!("       morph-serve run <file.jobs> [--devices N] [--sms M] [--queue C]");
     eprintln!("                       [--trace out.jsonl] [--metrics out.prom] [--fault-seed S]");
+    eprintln!("                       [--chaos S] [--checkpoint-every N]");
     ExitCode::from(2)
 }
 
@@ -88,39 +101,46 @@ fn run(file: &str, rest: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let (devices, sms, queue, trace_path, metrics_path, fault_seed) = match (
-        flag::<usize>(rest, "--devices"),
-        flag::<usize>(rest, "--sms"),
-        flag::<usize>(rest, "--queue"),
-        flag::<String>(rest, "--trace"),
-        flag::<String>(rest, "--metrics"),
-        flag::<u64>(rest, "--fault-seed"),
-    ) {
-        (Ok(d), Ok(s), Ok(q), Ok(t), Ok(m), Ok(f)) => (
-            d.unwrap_or(4),
-            s.unwrap_or(2),
-            q.unwrap_or(256),
-            t,
-            m,
-            f,
-        ),
-        (d, s, q, t, m, f) => {
-            for e in [
-                d.err(),
-                s.err(),
-                q.err(),
-                t.err(),
-                m.err(),
-                f.err(),
-            ]
-            .into_iter()
-            .flatten()
-            {
-                eprintln!("morph-serve: {e}");
+    let (devices, sms, queue, trace_path, metrics_path, fault_seed, chaos_seed, ckpt_every) =
+        match (
+            flag::<usize>(rest, "--devices"),
+            flag::<usize>(rest, "--sms"),
+            flag::<usize>(rest, "--queue"),
+            flag::<String>(rest, "--trace"),
+            flag::<String>(rest, "--metrics"),
+            flag::<u64>(rest, "--fault-seed"),
+            flag::<u64>(rest, "--chaos"),
+            flag::<u64>(rest, "--checkpoint-every"),
+        ) {
+            (Ok(d), Ok(s), Ok(q), Ok(t), Ok(m), Ok(f), Ok(c), Ok(k)) => (
+                d.unwrap_or(4),
+                s.unwrap_or(2),
+                q.unwrap_or(256),
+                t,
+                m,
+                f,
+                c,
+                k,
+            ),
+            (d, s, q, t, m, f, c, k) => {
+                for e in [
+                    d.err(),
+                    s.err(),
+                    q.err(),
+                    t.err(),
+                    m.err(),
+                    f.err(),
+                    c.err(),
+                    k.err(),
+                ]
+                .into_iter()
+                .flatten()
+                {
+                    eprintln!("morph-serve: {e}");
+                }
+                return usage();
             }
-            return usage();
-        }
-    };
+        };
 
     // Always fold through a ring (the summary source); tee into a JSONL
     // file when asked.
@@ -142,10 +162,17 @@ fn run(file: &str, rest: &[String]) -> ExitCode {
     };
     let tracer = Tracer::new(Arc::new(TeeSink::new(sinks)) as _);
 
+    // Chaos mode enables per-iteration checkpointing (unless overridden)
+    // and the hung-job watchdog. The barrier watchdog stays off so chaos
+    // stalls are caught by the *serving* layer — that is the path under
+    // test.
+    let checkpoint_every = ckpt_every.unwrap_or(u64::from(chaos_seed.is_some()));
     let cfg = ServeConfig {
         devices,
         sms_per_device: sms,
         queue_capacity: queue,
+        checkpoint_every,
+        hang_budget: chaos_seed.is_some().then_some(CHAOS_HANG_BUDGET),
         ..ServeConfig::default()
     };
     eprintln!(
@@ -155,6 +182,14 @@ fn run(file: &str, rest: &[String]) -> ExitCode {
         cfg.sms_per_device,
         cfg.queue_capacity
     );
+    let mut specs = specs;
+    if let Some(cs) = chaos_seed {
+        apply_chaos(&mut specs, cs);
+        eprintln!(
+            "chaos: seed {cs}, checkpoint every {checkpoint_every} iteration(s), hang budget {:?}",
+            CHAOS_HANG_BUDGET
+        );
+    }
     let mut pool = MorphServe::start(cfg, tracer);
     let mut rejected = 0usize;
     for (i, mut spec) in specs.into_iter().enumerate() {

@@ -349,6 +349,13 @@ pub(crate) struct Job {
     pub cancel: CancelToken,
     /// Absolute deadline in epoch-µs (0 = none), fixed at submission.
     pub deadline_us: u64,
+    /// Evictions suffered so far (device loss, hung-job watchdog).
+    /// Budgeted separately from `attempts` — an eviction is the slot's
+    /// fault, not the job's.
+    pub evictions: u32,
+    /// Slot the job was last evicted from: the scheduler steers the
+    /// resume to a different device whenever another one exists.
+    pub avoid_device: Option<u64>,
 }
 
 #[cfg(test)]

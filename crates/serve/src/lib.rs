@@ -19,9 +19,14 @@
 //! * [`pool`] — the executor: one host thread per device slot;
 //!   cooperative cancellation via `morph-core`'s `CancelToken`, checked
 //!   at every host-action boundary, so cancelling an in-flight job frees
-//!   its slot at the next launch boundary.
+//!   its slot at the next launch boundary. Resilience lives here too:
+//!   device-loss/hang eviction with cross-slot resume from checkpoints,
+//!   per-slot quarantine circuit breakers, and the hung-job watchdog
+//!   (see the module docs for the failure-domain model).
 //! * [`replay`] — a plain-text workload file format plus a seeded mixed
-//!   generator (the CI soak input).
+//!   generator (the CI soak input) and a deterministic chaos decorator
+//!   ([`apply_chaos`]) layering device-loss, hung-kernel and kernel-fault
+//!   schedules onto any workload.
 //! * [`summary`] — end-of-run accounting folded from the trace stream:
 //!   throughput, wait/turnaround, SLO misses, per-tenant fairness, and
 //!   the `lost`/`dup` integrity counters.
@@ -41,6 +46,9 @@ pub use job::{
     classify, FailureClass, JobId, JobMetrics, JobSpec, JobStatus, Priority, RetryPolicy, Workload,
 };
 pub use pool::{MorphServe, ServeConfig};
-pub use replay::{encode_line, generate_mixed, parse_file, render_file, ParseError};
+pub use replay::{
+    apply_chaos, encode_line, generate_chaos, generate_mixed, parse_file, render_file, ParseError,
+    CHAOS_HANG_BUDGET, CHAOS_STALL,
+};
 pub use sched::AdmitError;
 pub use summary::ServeSummary;

@@ -9,6 +9,32 @@
 //! pool is a give-up error, classified into requeue (transient, budget
 //! remaining), permanent failure, or cancellation.
 //!
+//! # Failure domains and resilience
+//!
+//! Three layers sit on top of the per-job retry machinery:
+//!
+//! * **Eviction** — a [`LaunchError::DeviceLost`](morph_gpu_sim::LaunchError)
+//!   surfacing from the driver, or the hung-job watchdog firing, pulls the
+//!   job off its slot: a `TraceEvent::Eviction` + `Job`/`Requeued` pair is
+//!   emitted and the job re-enters the queue with `avoid_device` set so
+//!   the rerun lands on a different slot whenever one exists. Evictions
+//!   are budgeted separately from the job's retry policy
+//!   ([`ServeConfig::max_evictions`]) — losing a device is the slot's
+//!   fault, not the job's.
+//! * **Slot health** — each device slot carries a consecutive-eviction
+//!   circuit breaker: [`ServeConfig::quarantine_threshold`] failures in a
+//!   row quarantine the slot for [`ServeConfig::quarantine_cooldown`],
+//!   after which it re-admits itself half-open (probation) and one clean
+//!   probe job restores it. Transitions ride `TraceEvent::Health` and the
+//!   `morph_device_health` gauge.
+//! * **Checkpoint/resume** — with [`ServeConfig::checkpoint_every`] > 0
+//!   the pool owns a shared [`CheckpointStore`] and hands every job a
+//!   [`CheckpointCtl`]; pipelines snapshot their minimal host-visible
+//!   resume state at iteration boundaries, so an evicted job restarts
+//!   from its last checkpoint (a `Job`/`Resumed` event) instead of from
+//!   scratch. With the default (0) no store exists and no snapshot is
+//!   ever allocated.
+//!
 //! Determinism note: the *pick* is deterministic given queue contents,
 //! but with >1 device the interleaving of completions is not — this is a
 //! throughput layer, not a replayable simulation. Everything observable
@@ -18,10 +44,14 @@
 
 use crate::job::{classify, FailureClass, Job, JobId, JobSpec, JobStatus};
 use crate::sched::{AdmitError, ReadyQueue};
-use morph_core::{CancelToken, MetricsHub, MetricsRegistry, RecoveryOpts, RecoveryPolicy};
+use morph_core::{
+    CancelToken, CheckpointCtl, CheckpointStore, DriveError, MetricsHub, MetricsRegistry,
+    RecoveryOpts, RecoveryPolicy,
+};
 use morph_trace::{JobEventKind, TraceEvent, Tracer};
-use std::collections::BTreeMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// Pool shape and per-job driver defaults.
@@ -37,6 +67,21 @@ pub struct ServeConfig {
     pub policy: RecoveryPolicy,
     /// Barrier watchdog armed on every job's device.
     pub barrier_watchdog: Option<Duration>,
+    /// Checkpoint cadence in completed host-loop iterations; 0 (the
+    /// default) disables checkpointing entirely — no store is built and
+    /// pipelines never encode a snapshot.
+    pub checkpoint_every: u64,
+    /// Hung-job watchdog: a running job whose progress heartbeat stands
+    /// still this long is cooperatively cancelled and evicted. `None`
+    /// disables the watchdog.
+    pub hang_budget: Option<Duration>,
+    /// Consecutive evictions on one slot before it is quarantined.
+    pub quarantine_threshold: u32,
+    /// How long a quarantined slot sits out before a half-open probe.
+    pub quarantine_cooldown: Duration,
+    /// Evictions one job may suffer before it fails terminally (a
+    /// separate budget from [`crate::RetryPolicy::max_attempts`]).
+    pub max_evictions: u32,
 }
 
 impl Default for ServeConfig {
@@ -47,20 +92,62 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             policy: RecoveryPolicy::default(),
             barrier_watchdog: None,
+            checkpoint_every: 0,
+            hang_budget: None,
+            quarantine_threshold: 3,
+            quarantine_cooldown: Duration::from_millis(100),
+            max_evictions: 4,
         }
     }
+}
+
+/// One in-flight job as the pool and the watchdog see it.
+#[derive(Debug)]
+struct RunningEntry {
+    cancel: CancelToken,
+    /// Progress heartbeat shared with the driver (bumped at every
+    /// host-action boundary and completed launch).
+    heartbeat: Arc<AtomicU64>,
+    /// Last heartbeat value the watchdog observed, and when it changed.
+    last_beat: u64,
+    beat_seen: Instant,
+}
+
+/// Circuit-breaker state of one device slot.
+#[derive(Debug, Clone, Copy)]
+enum SlotState {
+    Healthy,
+    /// Half-open after a quarantine: one probe job decides.
+    Probation,
+    Quarantined {
+        until: Instant,
+    },
+}
+
+#[derive(Debug)]
+struct SlotHealth {
+    state: SlotState,
+    consecutive_failures: u64,
 }
 
 #[derive(Debug)]
 struct ServeState {
     queue: ReadyQueue,
-    /// Cancel handles of in-flight jobs, keyed by id.
-    running: BTreeMap<JobId, CancelToken>,
+    /// In-flight jobs, keyed by id.
+    running: BTreeMap<JobId, RunningEntry>,
     statuses: BTreeMap<JobId, JobStatus>,
     /// Accrued device-µs per tenant (the fair-share signal). Failures
     /// accrue too: a tenant burning device time on doomed jobs must not
     /// outrank one whose jobs finish.
     tenant_run_us: BTreeMap<String, u64>,
+    /// Jobs whose cancellation was requested by the caller while running —
+    /// distinguishes a user cancel from a watchdog eviction, which both
+    /// surface as `DriveError::Cancelled`.
+    cancel_requested: BTreeSet<JobId>,
+    /// Jobs the watchdog is evicting, with the reason.
+    evicting: BTreeMap<JobId, &'static str>,
+    /// Per-slot circuit breaker, indexed by device - 1.
+    health: Vec<SlotHealth>,
     next_id: JobId,
     next_seq: u64,
     shutting_down: bool,
@@ -80,6 +167,8 @@ struct Inner {
     /// `tenant`/`algo`, so engine cost-model series and the pool's own
     /// latency histograms land here, partitioned per tenant and algorithm.
     metrics: Arc<MetricsRegistry>,
+    /// Shared checkpoint store; `None` when `checkpoint_every == 0`.
+    checkpoints: Option<Arc<CheckpointStore>>,
     epoch: Instant,
     cfg: ServeConfig,
 }
@@ -114,6 +203,31 @@ impl Inner {
             detail,
         });
     }
+
+    /// Emit a slot-health transition and mirror it on the
+    /// `morph_device_health` gauge (2 healthy, 1 probation, 0 quarantined).
+    fn emit_health(&self, device: u64, state: &'static str, failures: u64) {
+        let t_us = self.now_us();
+        self.tracer.emit(move || TraceEvent::Health {
+            device,
+            state: state.to_string(),
+            failures,
+            t_us,
+        });
+        self.device_health_gauge(device).set(match state {
+            "healthy" => 2,
+            "probation" => 1,
+            _ => 0,
+        });
+    }
+
+    fn device_health_gauge(&self, device: u64) -> Arc<morph_metrics::Gauge> {
+        self.metrics.gauge(
+            "morph_device_health",
+            "Device-slot health: 2 healthy, 1 probation, 0 quarantined",
+            &[("device", &device.to_string())],
+        )
+    }
 }
 
 /// The serving pool. Dropping it without [`MorphServe::shutdown`] joins
@@ -129,12 +243,22 @@ impl MorphServe {
     /// `Tracer::disabled()` to serve without observability.
     pub fn start(cfg: ServeConfig, tracer: Tracer) -> Self {
         let devices = cfg.devices.max(1);
+        let checkpoints =
+            (cfg.checkpoint_every > 0).then(|| Arc::new(CheckpointStore::in_memory()));
         let inner = Arc::new(Inner {
             state: Mutex::new(ServeState {
                 queue: ReadyQueue::new(cfg.queue_capacity),
                 running: BTreeMap::new(),
                 statuses: BTreeMap::new(),
                 tenant_run_us: BTreeMap::new(),
+                cancel_requested: BTreeSet::new(),
+                evicting: BTreeMap::new(),
+                health: (0..devices)
+                    .map(|_| SlotHealth {
+                        state: SlotState::Healthy,
+                        consecutive_failures: 0,
+                    })
+                    .collect(),
                 next_id: 1,
                 next_seq: 0,
                 shutting_down: false,
@@ -143,10 +267,16 @@ impl MorphServe {
             done: Condvar::new(),
             tracer,
             metrics: Arc::new(MetricsRegistry::new()),
+            checkpoints,
             epoch: Instant::now(),
             cfg,
         });
-        let workers = (0..devices)
+        // Every slot starts healthy; publishing the gauge up front makes
+        // the series visible even on runs with no health transitions.
+        for device in 1..=devices as u64 {
+            inner.device_health_gauge(device).set(2);
+        }
+        let mut workers: Vec<std::thread::JoinHandle<()>> = (0..devices)
             .map(|slot| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
@@ -155,6 +285,15 @@ impl MorphServe {
                     .expect("spawning a device worker thread")
             })
             .collect();
+        if let Some(budget) = inner.cfg.hang_budget {
+            let inner = Arc::clone(&inner);
+            workers.push(
+                std::thread::Builder::new()
+                    .name("morph-serve-watchdog".into())
+                    .spawn(move || watchdog_loop(&inner, budget))
+                    .expect("spawning the hang watchdog thread"),
+            );
+        }
         MorphServe { inner, workers }
     }
 
@@ -176,6 +315,8 @@ impl MorphServe {
             attempts: 0,
             cancel: CancelToken::new(),
             deadline_us,
+            evictions: 0,
+            avoid_device: None,
         };
         let tenant = job.spec.tenant.clone();
         let detail = job.spec.workload.encode();
@@ -220,6 +361,9 @@ impl MorphServe {
             let depth = st.queue.len() as u64;
             let tenant = job.spec.tenant.clone();
             drop(st);
+            if let Some(store) = &self.inner.checkpoints {
+                store.discard(id);
+            }
             self.inner.emit_job(
                 id,
                 &tenant,
@@ -232,7 +376,11 @@ impl MorphServe {
             self.inner.done.notify_all();
             return true;
         }
-        if let Some(tok) = st.running.get(&id) {
+        if let Some(tok) = st.running.get(&id).map(|e| e.cancel.clone()) {
+            // Record that *the caller* asked, so the completion path can
+            // tell a user cancel apart from a watchdog eviction.
+            st.cancel_requested.insert(id);
+            drop(st);
             tok.cancel();
             return true;
         }
@@ -292,6 +440,12 @@ impl MorphServe {
         &self.inner.metrics
     }
 
+    /// The shared checkpoint store, when checkpointing is enabled
+    /// ([`ServeConfig::checkpoint_every`] > 0).
+    pub fn checkpoints(&self) -> Option<&Arc<CheckpointStore>> {
+        self.inner.checkpoints.as_ref()
+    }
+
     pub fn tenant_run_us(&self) -> BTreeMap<String, u64> {
         self.inner.state.lock().unwrap().tenant_run_us.clone()
     }
@@ -318,25 +472,46 @@ impl Drop for MorphServe {
     }
 }
 
-/// One device slot's service loop.
+/// One device slot's service loop, gated by the slot's circuit breaker.
 fn worker_loop(inner: &Arc<Inner>, device: u64) {
+    let sole_device = inner.cfg.devices.max(1) == 1;
+    let slot = device as usize - 1;
     loop {
         let job = {
             let mut st = inner.state.lock().unwrap();
             loop {
+                let mut wait = Duration::from_millis(50);
+                match st.health[slot].state {
+                    SlotState::Quarantined { until } => {
+                        let now = Instant::now();
+                        if now < until {
+                            // Sitting out the cooldown: wake no later than
+                            // its end, and pick nothing meanwhile.
+                            wait = wait.min(until - now);
+                            if st.shutting_down {
+                                return;
+                            }
+                            let (next, _) = inner.work.wait_timeout(st, wait).unwrap();
+                            st = next;
+                            continue;
+                        }
+                        // Cooldown over: half-open. The next pick is the probe.
+                        let failures = st.health[slot].consecutive_failures;
+                        st.health[slot].state = SlotState::Probation;
+                        inner.emit_health(device, "probation", failures);
+                    }
+                    SlotState::Healthy | SlotState::Probation => {}
+                }
                 if let Some(job) = {
                     let usage = st.tenant_run_us.clone();
-                    st.queue.pick(&usage)
+                    st.queue.pick(&usage, device, sole_device)
                 } {
                     break job;
                 }
                 if st.shutting_down {
                     return;
                 }
-                let (next, _) = inner
-                    .work
-                    .wait_timeout(st, Duration::from_millis(50))
-                    .unwrap();
+                let (next, _) = inner.work.wait_timeout(st, wait).unwrap();
                 st = next;
             }
         };
@@ -344,18 +519,217 @@ fn worker_loop(inner: &Arc<Inner>, device: u64) {
     }
 }
 
-/// Run one picked job to a terminal state or a requeue.
+/// The hung-job watchdog: scans in-flight heartbeats and cooperatively
+/// cancels any job that made no progress within `budget`, marking it for
+/// eviction so the completion path requeues instead of cancelling it.
+fn watchdog_loop(inner: &Arc<Inner>, budget: Duration) {
+    let tick = (budget / 4).max(Duration::from_millis(5));
+    loop {
+        std::thread::sleep(tick);
+        let mut hung: Vec<CancelToken> = Vec::new();
+        {
+            let mut st = inner.state.lock().unwrap();
+            if st.shutting_down {
+                return;
+            }
+            let mut mark = Vec::new();
+            for (id, entry) in st.running.iter_mut() {
+                let beat = entry.heartbeat.load(Ordering::Acquire);
+                if beat != entry.last_beat {
+                    entry.last_beat = beat;
+                    entry.beat_seen = Instant::now();
+                } else if entry.beat_seen.elapsed() >= budget {
+                    mark.push((*id, entry.cancel.clone()));
+                }
+            }
+            for (id, tok) in mark {
+                // A caller-requested cancel wins: don't relabel it as an
+                // eviction.
+                if !st.cancel_requested.contains(&id)
+                    && st.evicting.insert(id, "hung").is_none()
+                {
+                    hung.push(tok);
+                }
+            }
+        }
+        for tok in hung {
+            tok.cancel();
+        }
+    }
+}
+
+/// Shed a job whose absolute deadline has already passed: a terminal
+/// SLO miss, charged zero device time. Returns `true` when shed.
+fn shed_expired(inner: &Arc<Inner>, job: &Job, device: u64, phase: &str) -> bool {
+    if job.deadline_us == 0 || inner.now_us() < job.deadline_us {
+        return false;
+    }
+    let id = job.id;
+    let tenant = job.spec.tenant.clone();
+    let detail = format!("shed: deadline expired {phase}");
+    let mut st = inner.state.lock().unwrap();
+    st.cancel_requested.remove(&id);
+    st.evicting.remove(&id);
+    st.statuses.insert(
+        id,
+        JobStatus::Failed {
+            attempts: job.attempts,
+            error: detail.clone(),
+            permanent: true,
+        },
+    );
+    let depth = st.queue.len() as u64;
+    drop(st);
+    if let Some(store) = &inner.checkpoints {
+        store.discard(id);
+    }
+    inner.emit_job(
+        id,
+        &tenant,
+        JobEventKind::Failed,
+        depth,
+        device,
+        job.deadline_us,
+        detail,
+    );
+    inner.done.notify_all();
+    true
+}
+
+/// Record a clean run on a slot: probation resolves back to healthy.
+fn slot_ok(inner: &Arc<Inner>, st: &mut ServeState, device: u64) {
+    let h = &mut st.health[device as usize - 1];
+    h.consecutive_failures = 0;
+    if matches!(h.state, SlotState::Probation) {
+        h.state = SlotState::Healthy;
+        inner.emit_health(device, "healthy", 0);
+    }
+}
+
+/// Record an eviction-class failure on a slot: enough of them in a row —
+/// or one failed probe — trips the breaker into quarantine.
+fn slot_failure(inner: &Arc<Inner>, st: &mut ServeState, device: u64) {
+    let h = &mut st.health[device as usize - 1];
+    h.consecutive_failures += 1;
+    let failures = h.consecutive_failures;
+    let probe_failed = matches!(h.state, SlotState::Probation);
+    if probe_failed || failures >= inner.cfg.quarantine_threshold as u64 {
+        h.state = SlotState::Quarantined {
+            until: Instant::now() + inner.cfg.quarantine_cooldown,
+        };
+        inner.emit_health(device, "quarantined", failures);
+    }
+}
+
+/// Pull an evicted job off its slot: health bookkeeping, then either a
+/// requeue steered away from this device (the normal path — `Eviction`
+/// paired with `Requeued`) or, when the deadline or the eviction budget
+/// is already spent, a terminal failure.
+fn evict(
+    inner: &Arc<Inner>,
+    mut st: MutexGuard<'_, ServeState>,
+    device: u64,
+    mut job: Job,
+    hub: &MetricsHub,
+    reason: &'static str,
+    err: &DriveError,
+) {
+    let id = job.id;
+    let tenant = job.spec.tenant.clone();
+    slot_failure(inner, &mut st, device);
+
+    let expired = job.deadline_us != 0 && inner.now_us() >= job.deadline_us;
+    if expired || job.evictions >= inner.cfg.max_evictions {
+        let detail = if expired {
+            format!("shed: deadline expired at requeue after {reason} eviction")
+        } else {
+            format!(
+                "eviction budget exhausted ({} evictions): {err}",
+                job.evictions
+            )
+        };
+        st.statuses.insert(
+            id,
+            JobStatus::Failed {
+                attempts: job.attempts,
+                error: detail.clone(),
+                permanent: expired,
+            },
+        );
+        let depth = st.queue.len() as u64;
+        drop(st);
+        if let Some(store) = &inner.checkpoints {
+            store.discard(id);
+        }
+        inner.emit_job(
+            id,
+            &tenant,
+            JobEventKind::Failed,
+            depth,
+            device,
+            job.deadline_us,
+            detail,
+        );
+        inner.done.notify_all();
+        return;
+    }
+
+    job.evictions += 1;
+    job.avoid_device = Some(device);
+    // The eviction may have raised this job's token (watchdog); the
+    // requeued run needs a fresh one or it would cancel itself at its
+    // first host-action boundary.
+    job.cancel = CancelToken::new();
+    let detail = format!("evicted ({reason}): {err}");
+    st.statuses.insert(id, JobStatus::Queued);
+    st.queue.requeue(job);
+    let depth = st.queue.len() as u64;
+    drop(st);
+    if let Some(c) = hub.counter(
+        "morph_jobs_evicted_total",
+        "Jobs pulled off a live device slot (device loss or hung-job watchdog)",
+    ) {
+        c.inc();
+    }
+    let t_us = inner.now_us();
+    let r = reason.to_string();
+    inner
+        .tracer
+        .emit(move || TraceEvent::Eviction { job: id, device, reason: r, t_us });
+    inner.emit_job(id, &tenant, JobEventKind::Requeued, depth, device, 0, detail);
+    // Wake every worker: the evicted job avoids this slot, so the pick
+    // must come from another one when it exists.
+    inner.work.notify_all();
+}
+
+/// Run one picked job to a terminal state, a requeue or an eviction.
 fn run_one(inner: &Arc<Inner>, device: u64, mut job: Job) {
     let id = job.id;
     let tenant = job.spec.tenant.clone();
+
+    // Deadline gate *before* the attempt is charged: an already-expired
+    // job is an SLO miss, not a run.
+    if shed_expired(inner, &job, device, "before start") {
+        return;
+    }
+
     job.attempts += 1;
     let attempt = job.attempts;
+    let heartbeat = Arc::new(AtomicU64::new(0));
 
-    // Transition to Running and register the cancel handle while holding
-    // the lock, so `cancel` can always find in-flight jobs.
+    // Transition to Running and register the entry while holding the
+    // lock, so `cancel` and the watchdog can always find in-flight jobs.
     let depth = {
         let mut st = inner.state.lock().unwrap();
-        st.running.insert(id, job.cancel.clone());
+        st.running.insert(
+            id,
+            RunningEntry {
+                cancel: job.cancel.clone(),
+                heartbeat: Arc::clone(&heartbeat),
+                last_beat: 0,
+                beat_seen: Instant::now(),
+            },
+        );
         st.statuses.insert(id, JobStatus::Running { device });
         st.queue.len() as u64
     };
@@ -368,6 +742,32 @@ fn run_one(inner: &Arc<Inner>, device: u64, mut job: Job) {
         job.deadline_us,
         format!("attempt {attempt}"),
     );
+    let hub = MetricsHub::new(Arc::clone(&inner.metrics))
+        .with_label("tenant", &tenant)
+        .with_label("algo", job.spec.workload.algo());
+    if let Some(ck) = inner.checkpoints.as_ref().and_then(|s| s.load(id)) {
+        // This start resumes from a snapshot taken on an earlier slot.
+        if let Some(c) = hub.counter(
+            "morph_jobs_resumed_total",
+            "Job starts that resumed from a checkpoint instead of from scratch",
+        ) {
+            c.inc();
+        }
+        inner.emit_job(
+            id,
+            &tenant,
+            JobEventKind::Resumed,
+            depth,
+            device,
+            job.deadline_us,
+            format!(
+                "from v{} after iteration {} ({} bytes)",
+                ck.version,
+                ck.iteration,
+                ck.payload.len()
+            ),
+        );
+    }
     inner.emit_job(
         id,
         &tenant,
@@ -378,9 +778,12 @@ fn run_one(inner: &Arc<Inner>, device: u64, mut job: Job) {
         job.spec.workload.encode(),
     );
 
-    let hub = MetricsHub::new(Arc::clone(&inner.metrics))
-        .with_label("tenant", &tenant)
-        .with_label("algo", job.spec.workload.algo());
+    let checkpoint = inner.checkpoints.as_ref().map(|store| {
+        CheckpointCtl::new(Arc::clone(store), id)
+            .every(inner.cfg.checkpoint_every.max(1))
+            .with_epoch(inner.epoch)
+            .with_metrics(hub.clone())
+    });
     let recovery = RecoveryOpts {
         policy: inner.cfg.policy,
         fault_plan: job.spec.fault_plan.clone(),
@@ -388,6 +791,8 @@ fn run_one(inner: &Arc<Inner>, device: u64, mut job: Job) {
         tracer: inner.tracer.for_job(id),
         metrics: hub.clone(),
         cancel: job.cancel.clone(),
+        checkpoint,
+        heartbeat: Some(Arc::clone(&heartbeat)),
     };
     let run_started = Instant::now();
     let outcome = job.spec.workload.run(inner.cfg.sms_per_device, &recovery);
@@ -401,13 +806,19 @@ fn run_one(inner: &Arc<Inner>, device: u64, mut job: Job) {
 
     let mut st = inner.state.lock().unwrap();
     st.running.remove(&id);
+    let user_cancelled = st.cancel_requested.remove(&id);
+    let evict_reason = st.evicting.remove(&id);
     *st.tenant_run_us.entry(tenant.clone()).or_insert(0) += run_us;
 
     match outcome {
         Ok(metrics) => {
+            slot_ok(inner, &mut st, device);
             st.statuses.insert(id, JobStatus::Finished { metrics });
             let depth = st.queue.len() as u64;
             drop(st);
+            if let Some(store) = &inner.checkpoints {
+                store.discard(id);
+            }
             inner.emit_job(
                 id,
                 &tenant,
@@ -424,66 +835,124 @@ fn run_one(inner: &Arc<Inner>, device: u64, mut job: Job) {
                 ),
             );
         }
-        Err(err) => match classify(&err) {
-            FailureClass::Cancelled => {
-                st.statuses.insert(id, JobStatus::Cancelled);
-                let depth = st.queue.len() as u64;
-                drop(st);
-                inner.emit_job(
-                    id,
-                    &tenant,
-                    JobEventKind::Cancelled,
-                    depth,
-                    device,
-                    job.deadline_us,
-                    err.to_string(),
-                );
-            }
-            FailureClass::Retryable if attempt < job.spec.retry.max_attempts => {
-                let detail = format!("attempt {attempt} failed: {err}");
-                st.statuses.insert(id, JobStatus::Queued);
-                st.queue.requeue(job);
-                let depth = st.queue.len() as u64;
-                drop(st);
-                inner.emit_job(
-                    id,
-                    &tenant,
-                    JobEventKind::Requeued,
-                    depth,
-                    device,
-                    0,
-                    detail,
-                );
-                inner.work.notify_one();
-                // Not terminal: skip the `done` notification below.
+        Err(err) => {
+            let lost = matches!(
+                &err,
+                DriveError::Launch { error, .. } if error.is_device_loss()
+            );
+            let hung = !user_cancelled
+                && evict_reason.is_some()
+                && classify(&err) == FailureClass::Cancelled;
+            if !user_cancelled && (lost || hung) {
+                let reason = if lost { "device_loss" } else { "hung" };
+                evict(inner, st, device, job, &hub, reason, &err);
                 return;
             }
-            class => {
-                let permanent = class == FailureClass::Permanent;
-                st.statuses.insert(
-                    id,
-                    JobStatus::Failed {
-                        attempts: attempt,
-                        error: err.to_string(),
-                        permanent,
-                    },
-                );
-                let depth = st.queue.len() as u64;
-                drop(st);
-                inner.emit_job(
-                    id,
-                    &tenant,
-                    JobEventKind::Failed,
-                    depth,
-                    device,
-                    job.deadline_us,
-                    format!(
-                        "{} after {attempt} attempt(s): {err}",
-                        if permanent { "permanent" } else { "retries exhausted" }
-                    ),
-                );
+            match classify(&err) {
+                FailureClass::Cancelled => {
+                    st.statuses.insert(id, JobStatus::Cancelled);
+                    let depth = st.queue.len() as u64;
+                    drop(st);
+                    if let Some(store) = &inner.checkpoints {
+                        store.discard(id);
+                    }
+                    inner.emit_job(
+                        id,
+                        &tenant,
+                        JobEventKind::Cancelled,
+                        depth,
+                        device,
+                        job.deadline_us,
+                        err.to_string(),
+                    );
+                }
+                FailureClass::Retryable
+                    if attempt < job.spec.retry.max_attempts
+                        && !(job.deadline_us != 0 && inner.now_us() >= job.deadline_us) =>
+                {
+                    let detail = format!("attempt {attempt} failed: {err}");
+                    // A watchdog cancel can race a retryable failure; the
+                    // requeued run must not inherit a raised token.
+                    if job.cancel.is_cancelled() {
+                        job.cancel = CancelToken::new();
+                    }
+                    st.statuses.insert(id, JobStatus::Queued);
+                    st.queue.requeue(job);
+                    let depth = st.queue.len() as u64;
+                    drop(st);
+                    inner.emit_job(
+                        id,
+                        &tenant,
+                        JobEventKind::Requeued,
+                        depth,
+                        device,
+                        0,
+                        detail,
+                    );
+                    inner.work.notify_one();
+                    // Not terminal: skip the `done` notification below.
+                    return;
+                }
+                FailureClass::Retryable
+                    if job.deadline_us != 0 && inner.now_us() >= job.deadline_us =>
+                {
+                    // Deadline gate at requeue: the retry budget may
+                    // remain, but the deadline is gone — shed instead of
+                    // burning more device time.
+                    let detail = format!("shed: deadline expired at requeue ({err})");
+                    st.statuses.insert(
+                        id,
+                        JobStatus::Failed {
+                            attempts: attempt,
+                            error: detail.clone(),
+                            permanent: true,
+                        },
+                    );
+                    let depth = st.queue.len() as u64;
+                    drop(st);
+                    if let Some(store) = &inner.checkpoints {
+                        store.discard(id);
+                    }
+                    inner.emit_job(
+                        id,
+                        &tenant,
+                        JobEventKind::Failed,
+                        depth,
+                        device,
+                        job.deadline_us,
+                        detail,
+                    );
+                }
+                class => {
+                    let permanent = class == FailureClass::Permanent;
+                    st.statuses.insert(
+                        id,
+                        JobStatus::Failed {
+                            attempts: attempt,
+                            error: err.to_string(),
+                            permanent,
+                        },
+                    );
+                    let depth = st.queue.len() as u64;
+                    drop(st);
+                    if let Some(store) = &inner.checkpoints {
+                        store.discard(id);
+                    }
+                    inner.emit_job(
+                        id,
+                        &tenant,
+                        JobEventKind::Failed,
+                        depth,
+                        device,
+                        job.deadline_us,
+                        format!(
+                            "{} after {attempt} attempt(s): {err}",
+                            if permanent { "permanent" } else { "retries exhausted" }
+                        ),
+                    );
+                }
             }
-        },
+        }
     }
     inner.done.notify_all();
 }
@@ -492,6 +961,7 @@ fn run_one(inner: &Arc<Inner>, device: u64, mut job: Job) {
 mod tests {
     use super::*;
     use crate::job::{JobMetrics, Priority, Workload};
+    use morph_gpu_sim::FaultPlan;
     use morph_trace::{RingSink, TraceReport};
 
     fn small_mst(seed: u64) -> Workload {
@@ -570,6 +1040,19 @@ mod tests {
                 .any(|s| s.name == "morph_gmem_accesses_total"),
             "pipeline launches must publish cost-model counters"
         );
+        // Every slot publishes its health gauge, healthy at rest.
+        let health: Vec<_> = snap
+            .series
+            .iter()
+            .filter(|s| s.name == "morph_device_health")
+            .collect();
+        assert_eq!(health.len(), 2, "one gauge per device slot");
+        for s in &health {
+            assert!(matches!(
+                s.value,
+                morph_metrics::SampleValue::Gauge(2)
+            ));
+        }
 
         // Exposition text is valid: every sample covered by TYPE + HELP.
         let text = morph_metrics::expose(&snap);
@@ -685,5 +1168,165 @@ mod tests {
             first_b < order.len() - 1 && order[first_b + 1..].contains(&"a"),
             "fair share should interleave tenants, got {order:?}"
         );
+    }
+
+    #[test]
+    fn an_expired_deadline_is_shed_before_start() {
+        let ring = Arc::new(RingSink::new(4096));
+        let tracer = Tracer::new(Arc::clone(&ring) as _);
+        let mut pool = MorphServe::start(
+            ServeConfig {
+                devices: 1,
+                ..ServeConfig::default()
+            },
+            tracer,
+        );
+        // Occupy the device long enough that the victim's 1 ms deadline
+        // has certainly passed by the time a slot frees up.
+        let long = pool
+            .submit(JobSpec::new("t", Workload::Dmr { triangles: 800, seed: 1 }))
+            .unwrap();
+        // Don't queue the victim until the long job holds the device:
+        // queued together, its earlier deadline would sort it first.
+        while !matches!(pool.status(long), Some(JobStatus::Running { .. })) {
+            if pool.status(long).is_some_and(|s| s.is_terminal()) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let victim = pool
+            .submit(
+                JobSpec::new("t", small_mst(2)).with_deadline(Duration::from_millis(1)),
+            )
+            .unwrap();
+        assert!(matches!(pool.wait(long).unwrap(), JobStatus::Finished { .. }));
+        let status = pool.wait(victim).unwrap();
+        match status {
+            JobStatus::Failed { error, attempts, .. } => {
+                assert!(error.contains("shed"), "unexpected error: {error}");
+                assert_eq!(attempts, 0, "a shed job must not be charged an attempt");
+            }
+            other => panic!("expected a shed failure, got {other:?}"),
+        }
+        pool.shutdown();
+        let report = TraceReport::from_events(ring.events().iter());
+        let row = &report.jobs[&victim];
+        assert_eq!(row.outcome, Some(JobEventKind::Failed));
+        assert_eq!(row.starts, 0, "shed jobs never emit Started");
+        assert!(row.missed_deadline(), "shedding is an SLO miss");
+    }
+
+    #[test]
+    fn device_loss_evicts_and_resumes_on_another_slot() {
+        let ring = Arc::new(RingSink::new(1 << 14));
+        let tracer = Tracer::new(Arc::clone(&ring) as _);
+        let mut pool = MorphServe::start(
+            ServeConfig {
+                devices: 2,
+                checkpoint_every: 1,
+                ..ServeConfig::default()
+            },
+            tracer,
+        );
+        // The loss fires at launch 2, after two iterations checkpointed.
+        let id = pool
+            .submit(
+                JobSpec::new("t", Workload::Mst { nodes: 120, edges: 360, seed: 11 })
+                    .with_fault_plan(Arc::new(FaultPlan::new().with_device_loss(2, 0, 0))),
+            )
+            .unwrap();
+        let status = pool.wait(id).unwrap();
+        assert!(
+            matches!(status, JobStatus::Finished { .. }),
+            "evicted job must finish after resume, got {status:?}"
+        );
+        pool.shutdown();
+
+        let report = TraceReport::from_events(ring.events().iter());
+        let row = &report.jobs[&id];
+        assert_eq!(row.outcome, Some(JobEventKind::Finished));
+        assert_eq!(row.evictions, 1);
+        assert_eq!(row.resumes, 1, "the restart must resume from the checkpoint");
+        assert_eq!(row.requeues, 1);
+        assert_eq!(row.starts, 2);
+        assert!(row.checkpoints >= 2, "iterations 0 and 1 must have checkpointed");
+        // Cross-slot: the final run's device differs from the evicting one.
+        let evicted_from = ring
+            .events()
+            .iter()
+            .find_map(|ev| match ev {
+                TraceEvent::Eviction { device, .. } => Some(*device),
+                _ => None,
+            })
+            .expect("an Eviction event must be emitted");
+        assert_ne!(
+            row.device,
+            Some(evicted_from),
+            "resume must land on a different slot"
+        );
+    }
+
+    #[test]
+    fn checkpointing_disabled_means_no_store_and_no_snapshots() {
+        let mut pool = MorphServe::start(ServeConfig::default(), Tracer::disabled());
+        assert!(pool.checkpoints().is_none(), "default config must not checkpoint");
+        let id = pool.submit(JobSpec::new("t", small_mst(3))).unwrap();
+        assert!(matches!(pool.wait(id).unwrap(), JobStatus::Finished { .. }));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn repeated_device_loss_quarantines_the_slot_then_probes_it_back() {
+        let ring = Arc::new(RingSink::new(1 << 14));
+        let tracer = Tracer::new(Arc::clone(&ring) as _);
+        let mut pool = MorphServe::start(
+            ServeConfig {
+                devices: 1,
+                checkpoint_every: 1,
+                quarantine_threshold: 3,
+                quarantine_cooldown: Duration::from_millis(20),
+                max_evictions: 4,
+                ..ServeConfig::default()
+            },
+            tracer,
+        );
+        // A plan that kills the device on every launch: the sole slot
+        // accumulates consecutive evictions until the breaker trips, and
+        // the job fails once its eviction budget is spent.
+        let mut plan = FaultPlan::new();
+        for launch in 0..24 {
+            plan = plan.with_device_loss(launch, 0, 0);
+        }
+        let doomed = pool
+            .submit(
+                JobSpec::new("t", small_mst(4)).with_fault_plan(Arc::new(plan)),
+            )
+            .unwrap();
+        let status = pool.wait(doomed).unwrap();
+        assert!(
+            matches!(status, JobStatus::Failed { .. }),
+            "doomed job must fail after its eviction budget, got {status:?}"
+        );
+        // A clean follow-up job is the probe that heals the slot.
+        let probe = pool.submit(JobSpec::new("t", small_mst(5))).unwrap();
+        assert!(matches!(pool.wait(probe).unwrap(), JobStatus::Finished { .. }));
+        pool.shutdown();
+
+        let report = TraceReport::from_events(ring.events().iter());
+        let states: Vec<&str> = report.health.iter().map(|h| h.state.as_str()).collect();
+        assert!(
+            states.contains(&"quarantined"),
+            "breaker must trip: {states:?}"
+        );
+        assert!(
+            states.contains(&"probation"),
+            "cooldown must half-open the slot: {states:?}"
+        );
+        assert_eq!(
+            states.last().copied(),
+            Some("healthy"),
+            "the clean probe must close the breaker: {states:?}"
+        );
+        assert_eq!(report.jobs[&doomed].evictions, 4);
     }
 }

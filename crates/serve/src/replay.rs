@@ -17,8 +17,10 @@
 //! ```
 
 use crate::job::{JobSpec, Priority, Workload};
+use morph_gpu_sim::FaultPlan;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A replay-file parse failure, with the 1-based line number.
@@ -145,6 +147,61 @@ pub fn generate_mixed(jobs: usize, seed: u64) -> Vec<JobSpec> {
         .collect()
 }
 
+/// How long a chaos-injected barrier stall holds a worker. Anything
+/// comfortably above the serving hang budget works; the `morph-serve`
+/// CLI pairs this with a budget of [`CHAOS_HANG_BUDGET`].
+pub const CHAOS_STALL: Duration = Duration::from_millis(150);
+
+/// The hang budget chaos mode arms the pool's watchdog with — small
+/// enough that a [`CHAOS_STALL`] is reliably detected, large enough that
+/// no legitimate soak-sized launch trips it.
+pub const CHAOS_HANG_BUDGET: Duration = Duration::from_millis(75);
+
+/// Decorate a workload with a deterministic chaos schedule. Fault plans
+/// are not part of the replay-file format (they describe the *run*, not
+/// the *work*), so chaos is applied at load time, keyed by job index:
+///
+/// * `i % 4 == 0` — device loss at launch 2: iterations 0 and 1 have
+///   checkpointed by then (with `checkpoint_every = 1`), so the eviction
+///   exercises a genuine cross-slot resume.
+/// * `i % 8 == 1` — a hung kernel: one barrier stall of [`CHAOS_STALL`],
+///   long enough that the hung-job watchdog evicts the job.
+/// * `i % 4 == 2` — seeded kernel panics and allocation denials plus one
+///   extra device loss ([`FaultPlan::seeded_chaos`], stall disabled —
+///   the hang path is covered by the class above).
+/// * everything else runs clean, so the soak also measures the fault-free
+///   path under contention.
+pub fn apply_chaos(specs: &mut [JobSpec], seed: u64) {
+    for (i, spec) in specs.iter_mut().enumerate() {
+        let plan = match i % 4 {
+            0 => Some(FaultPlan::new().with_device_loss(2, 0, 0)),
+            1 if i % 8 == 1 => {
+                Some(FaultPlan::new().with_barrier_stall(1, 0, 0, CHAOS_STALL))
+            }
+            2 => Some(FaultPlan::seeded_chaos(
+                seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                6,
+                8,
+                64,
+                4,
+                Duration::ZERO,
+            )),
+            _ => None,
+        };
+        if let Some(plan) = plan {
+            spec.fault_plan = Some(Arc::new(plan));
+        }
+    }
+}
+
+/// [`generate_mixed`] followed by [`apply_chaos`] with the same seed —
+/// the input of the `chaos-soak` CI job.
+pub fn generate_chaos(jobs: usize, seed: u64) -> Vec<JobSpec> {
+    let mut specs = generate_mixed(jobs, seed);
+    apply_chaos(&mut specs, seed);
+    specs
+}
+
 /// Render a generated workload as a replay file (with a header comment).
 pub fn render_file(specs: &[JobSpec], seed: u64) -> String {
     let mut out = format!(
@@ -204,6 +261,26 @@ mod tests {
         let tenants: std::collections::BTreeSet<&str> =
             specs.iter().map(|s| s.tenant.as_str()).collect();
         assert_eq!(tenants.len(), 3, "all three tenants should appear");
+    }
+
+    #[test]
+    fn chaos_decoration_is_deterministic_and_leaves_the_work_alone() {
+        let a = generate_chaos(32, 9);
+        let b = generate_chaos(32, 9);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.fault_plan.is_some(), y.fault_plan.is_some());
+            assert_eq!(x.workload, y.workload);
+        }
+        // Classes land where the index schedule says.
+        assert!(a[0].fault_plan.is_some(), "i%4==0 gets a device loss");
+        assert!(a[1].fault_plan.is_some(), "i%8==1 gets a hung kernel");
+        assert!(a[2].fault_plan.is_some(), "i%4==2 gets seeded chaos");
+        assert!(a[3].fault_plan.is_none(), "i%4==3 runs clean");
+        assert!(a[5].fault_plan.is_none(), "i%4==1 without i%8==1 runs clean");
+        // Chaos decorates the run, not the work: the replay file is
+        // byte-identical with and without it.
+        let plain = generate_mixed(32, 9);
+        assert_eq!(render_file(&plain, 9), render_file(&a, 9));
     }
 
     #[test]

@@ -79,16 +79,30 @@ impl ReadyQueue {
     }
 
     /// Remove and return the next job under the pick rule, given each
-    /// tenant's accrued device time in µs (absent = 0).
-    pub fn pick(&mut self, tenant_run_us: &BTreeMap<String, u64>) -> Option<Job> {
-        let idx = self.pick_index(tenant_run_us)?;
+    /// tenant's accrued device time in µs (absent = 0). `device` is the
+    /// picking slot: a job evicted from that slot (`avoid_device`) is
+    /// skipped so its resume lands elsewhere — unless `sole_device` is
+    /// set, in which case there is nowhere else and the rule is waived.
+    pub fn pick(
+        &mut self,
+        tenant_run_us: &BTreeMap<String, u64>,
+        device: u64,
+        sole_device: bool,
+    ) -> Option<Job> {
+        let idx = self.pick_index(tenant_run_us, device, sole_device)?;
         Some(self.jobs.swap_remove(idx))
     }
 
-    fn pick_index(&self, tenant_run_us: &BTreeMap<String, u64>) -> Option<usize> {
+    fn pick_index(
+        &self,
+        tenant_run_us: &BTreeMap<String, u64>,
+        device: u64,
+        sole_device: bool,
+    ) -> Option<usize> {
         self.jobs
             .iter()
             .enumerate()
+            .filter(|(_, j)| sole_device || j.avoid_device != Some(device))
             .min_by_key(|(_, j)| {
                 (
                     j.spec.priority,
@@ -140,6 +154,8 @@ mod tests {
             attempts: 0,
             cancel: CancelToken::new(),
             deadline_us,
+            evictions: 0,
+            avoid_device: None,
         }
     }
 
@@ -166,9 +182,9 @@ mod tests {
         q.admit(job(1, "a", Priority::Low, 0)).unwrap();
         q.admit(job(2, "a", Priority::High, 0)).unwrap();
         q.admit(job(3, "a", Priority::Normal, 0)).unwrap();
-        assert_eq!(q.pick(&no_usage()).unwrap().id, 2);
-        assert_eq!(q.pick(&no_usage()).unwrap().id, 3);
-        assert_eq!(q.pick(&no_usage()).unwrap().id, 1);
+        assert_eq!(q.pick(&no_usage(), 1, true).unwrap().id, 2);
+        assert_eq!(q.pick(&no_usage(), 1, true).unwrap().id, 3);
+        assert_eq!(q.pick(&no_usage(), 1, true).unwrap().id, 1);
     }
 
     #[test]
@@ -178,7 +194,7 @@ mod tests {
             q.admit(job(id, "a", Priority::Normal, 0)).unwrap();
         }
         for id in 1..=4 {
-            assert_eq!(q.pick(&no_usage()).unwrap().id, id);
+            assert_eq!(q.pick(&no_usage(), 1, true).unwrap().id, id);
         }
     }
 
@@ -190,8 +206,8 @@ mod tests {
         let mut usage = BTreeMap::new();
         usage.insert("heavy".to_string(), 10_000u64);
         // `light` has accrued nothing, so its later submission runs first.
-        assert_eq!(q.pick(&usage).unwrap().id, 2);
-        assert_eq!(q.pick(&usage).unwrap().id, 1);
+        assert_eq!(q.pick(&usage, 1, true).unwrap().id, 2);
+        assert_eq!(q.pick(&usage, 1, true).unwrap().id, 1);
     }
 
     #[test]
@@ -200,9 +216,31 @@ mod tests {
         q.admit(job(1, "a", Priority::Normal, 0)).unwrap(); // best-effort
         q.admit(job(2, "a", Priority::Normal, 9_000)).unwrap();
         q.admit(job(3, "a", Priority::Normal, 4_000)).unwrap();
-        assert_eq!(q.pick(&no_usage()).unwrap().id, 3);
-        assert_eq!(q.pick(&no_usage()).unwrap().id, 2);
-        assert_eq!(q.pick(&no_usage()).unwrap().id, 1);
+        assert_eq!(q.pick(&no_usage(), 1, true).unwrap().id, 3);
+        assert_eq!(q.pick(&no_usage(), 1, true).unwrap().id, 2);
+        assert_eq!(q.pick(&no_usage(), 1, true).unwrap().id, 1);
+    }
+
+    #[test]
+    fn evicted_jobs_avoid_their_old_slot_when_another_exists() {
+        let mut q = ReadyQueue::new(8);
+        let mut evicted = job(1, "a", Priority::High, 0);
+        evicted.avoid_device = Some(2);
+        q.admit(evicted).unwrap();
+        q.admit(job(2, "a", Priority::Normal, 0)).unwrap();
+        // Device 2 skips the evicted job despite its higher priority …
+        assert_eq!(q.pick(&no_usage(), 2, false).unwrap().id, 2);
+        // … and with only the avoided job left, returns nothing so a
+        // different slot can take it.
+        assert!(q.pick(&no_usage(), 2, false).is_none());
+        assert_eq!(q.len(), 1);
+        // Any other device picks it normally.
+        assert_eq!(q.pick(&no_usage(), 1, false).unwrap().id, 1);
+        // A sole device waives the rule — better the same slot than never.
+        let mut solo = job(3, "a", Priority::Normal, 0);
+        solo.avoid_device = Some(1);
+        q.admit(solo).unwrap();
+        assert_eq!(q.pick(&no_usage(), 1, true).unwrap().id, 3);
     }
 
     #[test]
@@ -212,7 +250,7 @@ mod tests {
         q.admit(job(2, "a", Priority::Normal, 0)).unwrap();
         assert_eq!(q.remove(1).unwrap().id, 1);
         assert!(q.remove(1).is_none());
-        assert_eq!(q.pick(&no_usage()).unwrap().id, 2);
+        assert_eq!(q.pick(&no_usage(), 1, true).unwrap().id, 2);
         assert!(q.is_empty());
     }
 }

@@ -24,6 +24,16 @@ pub struct ServeSummary {
     /// Jobs whose `Started` count exceeds requeues + 1 — must be 0.
     pub duplicate_runs: u64,
     pub requeues: u64,
+    /// Job starts that resumed from a checkpoint (`Resumed` events).
+    pub resumed: u64,
+    /// Evictions (device loss or hung-job watchdog) across all jobs.
+    pub evicted: u64,
+    /// Device slots whose *last* health transition was a quarantine.
+    pub quarantined: u64,
+    /// Snapshots taken, and their total encoded payload bytes — the
+    /// checkpoint overhead the soak report surfaces.
+    pub checkpoints: u64,
+    pub checkpoint_bytes: u64,
     pub deadline_misses: u64,
     pub queue_depth_peak: u64,
     /// Wall-clock span from first to last job event, µs.
@@ -64,6 +74,10 @@ impl ServeSummary {
                 last_us = last_us.max(t);
             }
             s.requeues += row.requeues;
+            s.resumed += row.resumes;
+            s.evicted += row.evictions;
+            s.checkpoints += row.checkpoints;
+            s.checkpoint_bytes += row.checkpoint_bytes;
             if row.starts > row.requeues + 1 {
                 s.duplicate_runs += 1;
             }
@@ -106,6 +120,14 @@ impl ServeSummary {
                 (name, agg.jobs, agg.finished, agg.run_us, share)
             })
             .collect();
+        let mut last_state: std::collections::BTreeMap<u64, &str> = Default::default();
+        for h in &report.health {
+            last_state.insert(h.device, h.state.as_str());
+        }
+        s.quarantined = last_state
+            .values()
+            .filter(|st| **st == "quarantined")
+            .count() as u64;
         s.sanitizer_violations = report
             .sanitizers
             .iter()
@@ -156,8 +178,20 @@ impl ServeSummary {
             ));
         }
         out.push_str(&format!(
-            "SOAK lost={} dup={} sanitizer_violations={}\n",
-            self.lost, self.duplicate_runs, self.sanitizer_violations
+            "resilience: {} evicted, {} resumed, {} slots quarantined; {} checkpoints ({} bytes)\n",
+            self.evicted, self.resumed, self.quarantined, self.checkpoints, self.checkpoint_bytes
+        ));
+        // Existing greps match on the `lost=/dup=/sanitizer_violations=`
+        // prefix, so the resilience counters extend the line, never
+        // reorder it.
+        out.push_str(&format!(
+            "SOAK lost={} dup={} sanitizer_violations={} resumed={} evicted={} quarantined={}\n",
+            self.lost,
+            self.duplicate_runs,
+            self.sanitizer_violations,
+            self.resumed,
+            self.evicted,
+            self.quarantined
         ));
         out
     }
@@ -236,6 +270,52 @@ mod tests {
         assert_eq!(s.duplicate_runs, 0);
         assert_eq!(s.requeues, 1);
         assert_eq!(s.lost, 0);
+    }
+
+    #[test]
+    fn resilience_counters_fold_from_the_stream() {
+        let events = [
+            job_ev(1, JobEventKind::Submitted, 0),
+            job_ev(1, JobEventKind::Started, 10),
+            TraceEvent::Checkpoint {
+                job: 1,
+                algo: "mst".into(),
+                iteration: 0,
+                version: 1,
+                bytes: 64,
+                t_us: 12,
+            },
+            TraceEvent::Eviction {
+                job: 1,
+                device: 1,
+                reason: "device_loss".into(),
+                t_us: 15,
+            },
+            job_ev(1, JobEventKind::Requeued, 15),
+            job_ev(1, JobEventKind::Resumed, 20),
+            job_ev(1, JobEventKind::Started, 21),
+            job_ev(1, JobEventKind::Finished, 30),
+            TraceEvent::Health {
+                device: 2,
+                state: "quarantined".into(),
+                failures: 3,
+                t_us: 40,
+            },
+        ];
+        let report = TraceReport::from_events(events.iter());
+        let s = ServeSummary::from_report(&report);
+        assert_eq!(s.lost, 0);
+        assert_eq!(s.duplicate_runs, 0, "an evicted restart is not a dup");
+        assert_eq!(s.resumed, 1);
+        assert_eq!(s.evicted, 1);
+        assert_eq!(s.quarantined, 1);
+        assert_eq!(s.checkpoints, 1);
+        assert_eq!(s.checkpoint_bytes, 64);
+        let rendered = s.render();
+        assert!(rendered.contains(
+            "SOAK lost=0 dup=0 sanitizer_violations=0 resumed=1 evicted=1 quarantined=1"
+        ));
+        assert!(rendered.contains("resilience: 1 evicted, 1 resumed, 1 slots quarantined"));
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! End-to-end resilience: device failure domains, checkpoint/resume and
+//! the hung-job watchdog, exercised through the real pool.
+//!
+//! The deterministic single-mechanism tests live next to the pool
+//! (`pool::tests`); this suite covers the composed behaviours the issue
+//! demands:
+//!
+//! * a chaos soak (device losses + hung kernels + seeded kernel faults)
+//!   stays integrity-clean — nothing lost, nothing run twice — while at
+//!   least one job demonstrably resumes from a checkpoint,
+//! * a property test over seeded device-loss schedules: every admitted
+//!   job terminal, `lost == dup == 0`, and resumed jobs still produce
+//!   valid results,
+//! * the new metrics series round-trip through the exposition format.
+
+use morph_gpu_sim::FaultPlan;
+use morph_serve::{
+    generate_chaos, JobSpec, JobStatus, MorphServe, ServeConfig, ServeSummary, Workload,
+    CHAOS_HANG_BUDGET, CHAOS_STALL,
+};
+use morph_trace::{JobEventKind, RingSink, TraceEvent, TraceReport, Tracer};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn chaos_pool(devices: usize, ring: &Arc<RingSink>) -> MorphServe {
+    MorphServe::start(
+        ServeConfig {
+            devices,
+            sms_per_device: 2,
+            queue_capacity: 256,
+            checkpoint_every: 1,
+            hang_budget: Some(CHAOS_HANG_BUDGET),
+            ..ServeConfig::default()
+        },
+        Tracer::new(Arc::clone(ring) as _),
+    )
+}
+
+#[test]
+fn chaos_soak_stays_clean_and_resumes_jobs() {
+    const JOBS: usize = 32;
+    let ring = Arc::new(RingSink::new(1 << 18));
+    let mut pool = chaos_pool(4, &ring);
+
+    let mut ids = Vec::new();
+    for spec in generate_chaos(JOBS, 0xC4A05) {
+        ids.push(pool.submit(spec).expect("queue capacity covers the soak"));
+    }
+    pool.drain();
+    let snap = pool.metrics().snapshot();
+    pool.shutdown();
+
+    for id in &ids {
+        assert!(pool.status(*id).unwrap().is_terminal());
+    }
+    let report = TraceReport::from_events(ring.events().iter());
+    let summary = ServeSummary::from_report(&report);
+    assert_eq!(summary.submitted, JOBS as u64);
+    assert_eq!(summary.lost, 0, "{}", summary.render());
+    assert_eq!(summary.duplicate_runs, 0, "{}", summary.render());
+    assert!(
+        summary.evicted >= 1,
+        "chaos schedules device losses; none evicted:\n{}",
+        summary.render()
+    );
+    assert!(
+        summary.resumed >= 1,
+        "an evicted job with checkpoints must resume:\n{}",
+        summary.render()
+    );
+    assert!(summary.checkpoints > 0 && summary.checkpoint_bytes > 0);
+    // Every Eviction event pairs with a Requeued transition of the same
+    // job, and at least one eviction was a watchdog ("hung") one.
+    let mut reasons = std::collections::BTreeSet::new();
+    for ev in ring.events() {
+        if let TraceEvent::Eviction { job, reason, .. } = ev {
+            reasons.insert(reason.clone());
+            assert!(
+                report.jobs[&job].requeues >= 1,
+                "Eviction without a Requeued pairing for job {job}"
+            );
+        }
+    }
+    assert!(
+        reasons.contains("device_loss"),
+        "expected device-loss evictions, saw {reasons:?}"
+    );
+    assert!(
+        reasons.contains("hung"),
+        "expected hung-job evictions, saw {reasons:?}"
+    );
+    // The machine-greppable line carries the resilience counters.
+    let rendered = summary.render();
+    assert!(rendered.contains("SOAK lost=0 dup=0 sanitizer_violations=0 resumed="));
+
+    // New series flow through the exposition format and back.
+    let text = morph_metrics::expose(&snap);
+    let parsed = morph_metrics::parse_exposition(&text).expect("valid exposition");
+    for name in [
+        "morph_jobs_evicted_total",
+        "morph_jobs_resumed_total",
+        "morph_device_health",
+        "morph_checkpoint_bytes_count",
+    ] {
+        assert!(
+            parsed.samples.iter().any(|s| s.name == name),
+            "missing {name} in exposition:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn a_hung_job_is_evicted_and_finishes_elsewhere() {
+    let ring = Arc::new(RingSink::new(1 << 14));
+    let mut pool = chaos_pool(2, &ring);
+    // One barrier stall far beyond the hang budget: the watchdog must
+    // cancel the run and the job must still finish — on the other slot,
+    // resuming from the checkpoints taken before the stall.
+    let id = pool
+        .submit(
+            JobSpec::new(
+                "t",
+                Workload::Mst {
+                    nodes: 120,
+                    edges: 360,
+                    seed: 5,
+                },
+            )
+            .with_fault_plan(Arc::new(FaultPlan::new().with_barrier_stall(
+                1,
+                0,
+                0,
+                CHAOS_STALL,
+            ))),
+        )
+        .unwrap();
+    let status = pool.wait(id).unwrap();
+    assert!(
+        matches!(status, JobStatus::Finished { .. }),
+        "hung job must finish after eviction, got {status:?}"
+    );
+    pool.shutdown();
+
+    let report = TraceReport::from_events(ring.events().iter());
+    let row = &report.jobs[&id];
+    assert_eq!(row.outcome, Some(JobEventKind::Finished));
+    assert_eq!(row.evictions, 1, "exactly one watchdog eviction");
+    assert_eq!(row.starts, 2);
+    let (evicted_from, reason) = ring
+        .events()
+        .iter()
+        .find_map(|ev| match ev {
+            TraceEvent::Eviction { device, reason, .. } => Some((*device, reason.clone())),
+            _ => None,
+        })
+        .expect("an Eviction event must be emitted");
+    assert_eq!(reason, "hung");
+    assert_ne!(row.device, Some(evicted_from), "restart must avoid the slot");
+}
+
+fn tiny_workload(kind: u8, seed: u64) -> Workload {
+    match kind % 3 {
+        0 => Workload::Sp {
+            vars: 15,
+            clauses: 40,
+            k: 3,
+            max_sweeps: 15,
+            seed,
+        },
+        1 => Workload::Pta {
+            vars: 12,
+            constraints: 30,
+            seed,
+        },
+        _ => Workload::Mst {
+            nodes: 40,
+            edges: 120,
+            seed,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Across random device-loss schedules, device counts and workload
+    /// mixes: every admitted job reaches exactly one terminal state, no
+    /// job is lost or duplicated, and jobs that finished — including the
+    /// evicted-and-resumed ones — report real work.
+    #[test]
+    fn seeded_device_loss_schedules_preserve_integrity(
+        jobs in prop::collection::vec((any::<u8>(), any::<u64>()), 2..12),
+        loss_launch in 0u64..6,
+        devices in 2usize..5,
+    ) {
+        let ring = Arc::new(RingSink::new(1 << 16));
+        let mut pool = MorphServe::start(
+            ServeConfig {
+                devices,
+                sms_per_device: 2,
+                queue_capacity: 256,
+                checkpoint_every: 1,
+                ..ServeConfig::default()
+            },
+            Tracer::new(Arc::clone(&ring) as _),
+        );
+        let mut ids = Vec::new();
+        for (i, (kind, seed)) in jobs.iter().enumerate() {
+            let mut spec = JobSpec::new("t", tiny_workload(*kind, *seed));
+            if i % 2 == 0 {
+                spec = spec.with_fault_plan(Arc::new(
+                    FaultPlan::new().with_device_loss(loss_launch, 0, 0),
+                ));
+            }
+            ids.push(pool.submit(spec).unwrap());
+        }
+        pool.drain();
+        for id in &ids {
+            let status = pool.status(*id).unwrap();
+            prop_assert!(status.is_terminal(), "job {} not terminal: {status:?}", id);
+            if let JobStatus::Finished { metrics } = status {
+                prop_assert!(metrics.iterations > 0, "job {} reported no work", id);
+            }
+        }
+        pool.shutdown();
+        let report = TraceReport::from_events(ring.events().iter());
+        let summary = ServeSummary::from_report(&report);
+        prop_assert_eq!(summary.lost, 0, "{}", summary.render());
+        prop_assert_eq!(summary.duplicate_runs, 0, "{}", summary.render());
+        // Starts and requeues balance for every row (no deadlines, no
+        // cancels in this schedule).
+        for row in report.jobs.values() {
+            prop_assert_eq!(row.starts, row.requeues + 1, "{:?}", row);
+        }
+    }
+}
+
+/// The watchdog must not misfire on healthy-but-slow jobs: a budget well
+/// above any legitimate gap between host actions leaves a clean run
+/// untouched even though the watchdog is armed and ticking.
+#[test]
+fn the_watchdog_leaves_progressing_jobs_alone() {
+    let ring = Arc::new(RingSink::new(1 << 14));
+    let mut pool = MorphServe::start(
+        ServeConfig {
+            devices: 1,
+            hang_budget: Some(Duration::from_millis(500)),
+            ..ServeConfig::default()
+        },
+        Tracer::new(Arc::clone(&ring) as _),
+    );
+    let id = pool
+        .submit(JobSpec::new(
+            "t",
+            Workload::Dmr {
+                triangles: 400,
+                seed: 2,
+            },
+        ))
+        .unwrap();
+    assert!(matches!(pool.wait(id).unwrap(), JobStatus::Finished { .. }));
+    pool.shutdown();
+    let report = TraceReport::from_events(ring.events().iter());
+    let row = &report.jobs[&id];
+    assert_eq!(row.evictions, 0, "no spurious watchdog eviction");
+    assert_eq!(row.starts, 1);
+}

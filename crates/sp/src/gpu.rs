@@ -18,7 +18,7 @@ use crate::formula::Formula;
 use crate::solver::{run_solver, SolveOutcome, SolveStats, SpParams};
 use crate::surveys::{recompute_var_cache, update_clause, Surveys};
 use morph_core::runtime::{drive_recovering, DriveError, HostAction, RecoveryOpts, StepReport};
-use morph_core::AdaptiveParallelism;
+use morph_core::{AdaptiveParallelism, PayloadReader, PayloadWriter};
 use morph_gpu_sim::{
     BarrierKind, GpuConfig, Kernel, LaunchStats, ThreadCtx, TraceEvent, VirtualGpu,
 };
@@ -108,6 +108,17 @@ pub fn try_propagate(
     recovery.arm(&mut gpu);
     let max_sweeps = max_sweeps.max(1);
     let mut sweeps = 0usize;
+    // Resume from the newest checkpoint, if the caller attached a store
+    // and it holds one for this job. Sweeps are idempotent recomputations
+    // over the survey state, so restoring the surveys and the sweep count
+    // reproduces the remainder of the run exactly.
+    if let Some(ck) = &recovery.checkpoint {
+        if let Some(saved) = ck.resume("sp") {
+            if let Some(restored) = decode_sp_checkpoint(&saved.payload, fg, s) {
+                sweeps = restored;
+            }
+        }
+    }
     #[cfg(feature = "morph-check")]
     let mut oracle = morph_core::OracleGate::new();
     let outcome = drive_recovering(&mut gpu, None, &recovery.policy, |gpu, _ctx| {
@@ -152,6 +163,15 @@ pub fn try_propagate(
         if oracle.due(_ctx, &action) {
             morph_core::report_oracle(gpu.tracer(), "oracle.sp.surveys", sp_oracle(fg, s));
         }
+        // Iteration boundary: the surveys are quiescent. Snapshot them if
+        // a checkpoint is due (the payload closure never runs when no
+        // store is attached — zero-cost when disabled).
+        if let Some(ck) = &recovery.checkpoint {
+            let sweep = sweeps as u64 - 1;
+            if action != HostAction::Stop && ck.due(sweep) {
+                ck.save(gpu.tracer(), "sp", sweep, || encode_sp_checkpoint(fg, s, sweeps));
+            }
+        }
         Ok(StepReport {
             stats,
             action,
@@ -161,6 +181,52 @@ pub fn try_propagate(
         })
     })?;
     Ok((sweeps, outcome.stats))
+}
+
+/// Checkpoint payload schema tag: `"SP"` + layout version.
+const SP_CKPT_TAG: u32 = 0x5350_0001;
+
+/// Minimal resume state: the sweep counter and the η survey of every edge
+/// slot, bit-exact. Caches (Π products) are recomputed by phase 0 of the
+/// next sweep, so they are deliberately not part of the payload.
+fn encode_sp_checkpoint(fg: &FactorGraph, s: &Surveys, sweeps: usize) -> Vec<u8> {
+    let slots = fg.num_edge_slots();
+    let mut w = PayloadWriter::with_capacity(4 + 8 + 8 + slots * 8);
+    w.u32(SP_CKPT_TAG);
+    w.u64(sweeps as u64);
+    w.u64(slots as u64);
+    for e in 0..slots {
+        w.u64(s.get(e).to_bits());
+    }
+    w.finish()
+}
+
+/// Decode into `s`; returns the restored sweep count, or `None` (fall
+/// back to a fresh run) when the payload is foreign or shaped for a
+/// different factor graph.
+fn decode_sp_checkpoint(payload: &[u8], fg: &FactorGraph, s: &Surveys) -> Option<usize> {
+    let mut r = PayloadReader::new(payload);
+    if r.u32()? != SP_CKPT_TAG {
+        return None;
+    }
+    let sweeps = r.u64()? as usize;
+    let slots = r.u64()? as usize;
+    if slots != fg.num_edge_slots() {
+        return None;
+    }
+    // Validate fully before mutating: a truncated payload must not leave
+    // the surveys half-restored.
+    let mut bits = Vec::with_capacity(slots);
+    for _ in 0..slots {
+        bits.push(r.u64()?);
+    }
+    if !r.exhausted() {
+        return None;
+    }
+    for (e, b) in bits.into_iter().enumerate() {
+        s.eta.store(e, f64::from_bits(b));
+    }
+    Some(sweeps)
 }
 
 /// Solve `f` on the virtual GPU with `sms` workers.
@@ -242,6 +308,69 @@ mod tests {
         let (out, _) = solve(&f, &SpParams::default(), 2);
         if let SolveOutcome::Sat(a) = out {
             assert!(f.eval(&a));
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_is_invisible() {
+        use morph_core::{CheckpointCtl, CheckpointStore};
+        use std::sync::Arc;
+
+        let f = random_ksat(200, 3.5, 3, 23);
+        let fg = FactorGraph::new(&f);
+        let clean = Surveys::init(&fg, 5);
+        let (clean_sweeps, _) = propagate(&fg, &clean, 1e-3, 300, 2);
+        assert!(clean_sweeps > 4, "instance must need several sweeps");
+
+        // First attempt: cut short after 4 sweeps (an eviction stand-in),
+        // checkpointing every completed sweep.
+        let store = Arc::new(CheckpointStore::in_memory());
+        let ctl = CheckpointCtl::new(store.clone(), 42);
+        let resumed = Surveys::init(&fg, 5);
+        let first = RecoveryOpts {
+            checkpoint: Some(ctl.clone()),
+            ..RecoveryOpts::default()
+        };
+        let (partial, _) = try_propagate(&fg, &resumed, 1e-3, 4, 2, &first).unwrap();
+        assert_eq!(partial, 4);
+        let saved = store.load(42).expect("checkpoints were persisted");
+        assert_eq!(saved.algo, "sp");
+
+        // Scramble the surveys: the resume must restore them from the
+        // store, not rely on leftover device state.
+        for e in 0..fg.num_edge_slots() {
+            resumed.eta.store(e, 0.123);
+        }
+        let second = RecoveryOpts {
+            checkpoint: Some(ctl),
+            ..RecoveryOpts::default()
+        };
+        let (sweeps, _) = try_propagate(&fg, &resumed, 1e-3, 300, 2, &second).unwrap();
+        assert_eq!(sweeps, clean_sweeps, "resumed run converges at the same sweep");
+        for e in 0..fg.num_edge_slots() {
+            assert_eq!(clean.get(e).to_bits(), resumed.get(e).to_bits(), "edge {e}");
+        }
+    }
+
+    #[test]
+    fn foreign_checkpoint_payload_is_refused() {
+        let f = random_ksat(50, 3.0, 3, 7);
+        let fg = FactorGraph::new(&f);
+        let s = Surveys::init(&fg, 5);
+        let before: Vec<u64> = (0..fg.num_edge_slots()).map(|e| s.get(e).to_bits()).collect();
+        assert_eq!(decode_sp_checkpoint(&[], &fg, &s), None);
+        assert_eq!(decode_sp_checkpoint(&[1, 2, 3], &fg, &s), None);
+        // Right tag, wrong shape.
+        let mut w = PayloadWriter::new();
+        w.u32(SP_CKPT_TAG);
+        w.u64(9);
+        w.u64(1);
+        w.u64(0.5f64.to_bits());
+        let alien = w.finish();
+        assert_eq!(decode_sp_checkpoint(&alien, &fg, &s), None);
+        // No partial mutation happened.
+        for (e, &b) in before.iter().enumerate() {
+            assert_eq!(s.get(e).to_bits(), b, "edge {e}");
         }
     }
 

@@ -194,6 +194,9 @@ pub enum JobEventKind {
     Started,
     /// A retryable failure put the job back in the queue.
     Requeued,
+    /// The job restarted from a checkpoint (after an eviction or
+    /// preemption) instead of from scratch. Not terminal.
+    Resumed,
     /// Completed successfully. Terminal.
     Finished,
     /// Failed permanently (or exhausted its retry budget). Terminal.
@@ -221,6 +224,7 @@ impl JobEventKind {
             JobEventKind::Scheduled => "scheduled",
             JobEventKind::Started => "started",
             JobEventKind::Requeued => "requeued",
+            JobEventKind::Resumed => "resumed",
             JobEventKind::Finished => "finished",
             JobEventKind::Failed => "failed",
             JobEventKind::Cancelled => "cancelled",
@@ -234,6 +238,7 @@ impl JobEventKind {
             "scheduled" => JobEventKind::Scheduled,
             "started" => JobEventKind::Started,
             "requeued" => JobEventKind::Requeued,
+            "resumed" => JobEventKind::Resumed,
             "finished" => JobEventKind::Finished,
             "failed" => JobEventKind::Failed,
             "cancelled" => JobEventKind::Cancelled,
@@ -323,6 +328,42 @@ pub enum TraceEvent {
         deadline_us: u64,
         detail: String,
     },
+    /// A resume checkpoint was persisted: at an iteration boundary the
+    /// driver snapshotted the job's minimal host-visible resume state into
+    /// a `CheckpointStore`. `version` is the per-job monotone checkpoint
+    /// counter, `iteration` the host-loop iteration the snapshot resumes
+    /// *after*, and `bytes` the encoded payload size (the checkpoint
+    /// overhead a summary reports). `t_us` is microseconds on the same
+    /// serving-epoch clock as `Job` events (0 outside a serving context).
+    Checkpoint {
+        job: u64,
+        algo: String,
+        iteration: u64,
+        version: u64,
+        bytes: u64,
+        t_us: u64,
+    },
+    /// A running job lost its device slot (device loss, hung-kernel
+    /// watchdog) and was pulled off the device for rescheduling. `reason`
+    /// is `"device_loss"` or `"hung"`. Always paired with a
+    /// `Job`/`Requeued` transition so lifecycle accounting stays
+    /// consistent.
+    Eviction {
+        job: u64,
+        device: u64,
+        reason: String,
+        t_us: u64,
+    },
+    /// A device-slot health transition from the pool's circuit breaker.
+    /// `state` is `"healthy"`, `"probation"` or `"quarantined"`;
+    /// `failures` is the consecutive-eviction count that drove the
+    /// transition.
+    Health {
+        device: u64,
+        state: String,
+        failures: u64,
+        t_us: u64,
+    },
     /// A morph-check sanitizer or end-state-oracle verdict. `check` names
     /// the checker (e.g. `"oracle.dmr.end_state"`, `"double_donate"`),
     /// `status` is `"ok"` or `"violation"`, `index` locates the offending
@@ -350,6 +391,9 @@ impl TraceEvent {
             TraceEvent::Worklist { .. } => "worklist",
             TraceEvent::AlgoIteration { .. } => "algo_iteration",
             TraceEvent::Job { .. } => "job",
+            TraceEvent::Checkpoint { .. } => "checkpoint",
+            TraceEvent::Eviction { .. } => "eviction",
+            TraceEvent::Health { .. } => "health",
             TraceEvent::Sanitizer { .. } => "sanitizer",
         }
     }
@@ -413,6 +457,26 @@ impl TraceEvent {
                 t_us: u("t_us")?,
                 deadline_us: u("deadline_us")?,
                 detail: s("detail")?,
+            },
+            "checkpoint" => TraceEvent::Checkpoint {
+                job: u("job")?,
+                algo: s("algo")?,
+                iteration: u("iteration")?,
+                version: u("version")?,
+                bytes: u("bytes")?,
+                t_us: u("t_us")?,
+            },
+            "eviction" => TraceEvent::Eviction {
+                job: u("job")?,
+                device: u("device")?,
+                reason: s("reason")?,
+                t_us: u("t_us")?,
+            },
+            "health" => TraceEvent::Health {
+                device: u("device")?,
+                state: s("state")?,
+                failures: u("failures")?,
+                t_us: u("t_us")?,
             },
             "sanitizer" => TraceEvent::Sanitizer {
                 check: s("check")?,
@@ -570,6 +634,52 @@ impl Serialize for TraceEvent {
                 st.serialize_field("detail", detail)?;
                 st.end()
             }
+            TraceEvent::Checkpoint {
+                job,
+                algo,
+                iteration,
+                version,
+                bytes,
+                t_us,
+            } => {
+                let mut st = s.serialize_struct("TraceEvent", 7)?;
+                st.serialize_field("type", self.kind())?;
+                st.serialize_field("job", job)?;
+                st.serialize_field("algo", algo)?;
+                st.serialize_field("iteration", iteration)?;
+                st.serialize_field("version", version)?;
+                st.serialize_field("bytes", bytes)?;
+                st.serialize_field("t_us", t_us)?;
+                st.end()
+            }
+            TraceEvent::Eviction {
+                job,
+                device,
+                reason,
+                t_us,
+            } => {
+                let mut st = s.serialize_struct("TraceEvent", 5)?;
+                st.serialize_field("type", self.kind())?;
+                st.serialize_field("job", job)?;
+                st.serialize_field("device", device)?;
+                st.serialize_field("reason", reason)?;
+                st.serialize_field("t_us", t_us)?;
+                st.end()
+            }
+            TraceEvent::Health {
+                device,
+                state,
+                failures,
+                t_us,
+            } => {
+                let mut st = s.serialize_struct("TraceEvent", 5)?;
+                st.serialize_field("type", self.kind())?;
+                st.serialize_field("device", device)?;
+                st.serialize_field("state", state)?;
+                st.serialize_field("failures", failures)?;
+                st.serialize_field("t_us", t_us)?;
+                st.end()
+            }
             TraceEvent::Sanitizer {
                 check,
                 status,
@@ -675,6 +785,42 @@ mod tests {
             index: 42,
             detail: "triangle 42 references deleted slot 7".into(),
         });
+        roundtrip(TraceEvent::Checkpoint {
+            job: 17,
+            algo: "dmr".into(),
+            iteration: 9,
+            version: 3,
+            bytes: 4096,
+            t_us: 12_345,
+        });
+        roundtrip(TraceEvent::Eviction {
+            job: 17,
+            device: 2,
+            reason: "device_loss".into(),
+            t_us: 12_400,
+        });
+        roundtrip(TraceEvent::Health {
+            device: 2,
+            state: "quarantined".into(),
+            failures: 3,
+            t_us: 12_500,
+        });
+        roundtrip(TraceEvent::Job {
+            job: 17,
+            tenant: "acme".into(),
+            kind: JobEventKind::Resumed,
+            queue_depth: 0,
+            device: 3,
+            t_us: 12_600,
+            deadline_us: 0,
+            detail: "v3@iter9".into(),
+        });
+    }
+
+    #[test]
+    fn resumed_is_not_terminal() {
+        assert!(!JobEventKind::Resumed.is_terminal());
+        assert_eq!(JobEventKind::parse("resumed"), Some(JobEventKind::Resumed));
     }
 
     #[test]

@@ -29,5 +29,5 @@ pub mod report;
 pub mod sink;
 
 pub use event::{CountersSnapshot, JobEventKind, RecoveryKind, TraceEvent};
-pub use report::{partition_by_job, JobRow, TenantAgg, TraceReport, WasteBreakdown};
+pub use report::{partition_by_job, HealthRow, JobRow, TenantAgg, TraceReport, WasteBreakdown};
 pub use sink::{parse_jsonl, parse_jsonl_tagged, JsonlSink, RingSink, TeeSink, TraceSink, Tracer};

@@ -79,6 +79,16 @@ pub struct JobRow {
     pub starts: u64,
     /// `Requeued` events seen.
     pub requeues: u64,
+    /// `Resumed` transitions: runs that restarted from a checkpoint
+    /// instead of from scratch.
+    pub resumes: u64,
+    /// `Eviction` events: times the job was pulled off a live device slot
+    /// (device loss, hung-kernel watchdog).
+    pub evictions: u64,
+    /// Checkpoints persisted for this job.
+    pub checkpoints: u64,
+    /// Total encoded bytes over those checkpoints (overhead accounting).
+    pub checkpoint_bytes: u64,
     /// Detail string of the terminal event.
     pub detail: String,
 }
@@ -106,6 +116,15 @@ impl JobRow {
             _ => false,
         }
     }
+}
+
+/// A device-slot health transition from the stream, in order.
+#[derive(Debug, Clone)]
+pub struct HealthRow {
+    pub device: u64,
+    pub state: String,
+    pub failures: u64,
+    pub t_us: u64,
 }
 
 /// Per-tenant fold over [`JobRow`]s — the fair-share evidence: how many
@@ -161,6 +180,8 @@ pub struct TraceReport {
     pub jobs: BTreeMap<u64, JobRow>,
     /// Peak admission-queue depth observed on any `Job` event.
     pub queue_depth_peak: u64,
+    /// Device-slot health transitions, in stream order.
+    pub health: Vec<HealthRow>,
 }
 
 impl TraceReport {
@@ -268,6 +289,10 @@ impl TraceReport {
                             }
                         }
                         JobEventKind::Requeued => row.requeues += 1,
+                        // Non-terminal: a checkpoint restart inside one
+                        // lifecycle. Must stay above the terminal
+                        // catch-all.
+                        JobEventKind::Resumed => row.resumes += 1,
                         terminal => {
                             row.outcome = Some(*terminal);
                             row.ended_us = Some(*t_us);
@@ -275,6 +300,30 @@ impl TraceReport {
                         }
                     }
                 }
+                TraceEvent::Checkpoint {
+                    job, bytes, ..
+                } => {
+                    let row = r.jobs.entry(*job).or_default();
+                    row.job = *job;
+                    row.checkpoints += 1;
+                    row.checkpoint_bytes += bytes;
+                }
+                TraceEvent::Eviction { job, .. } => {
+                    let row = r.jobs.entry(*job).or_default();
+                    row.job = *job;
+                    row.evictions += 1;
+                }
+                TraceEvent::Health {
+                    device,
+                    state,
+                    failures,
+                    t_us,
+                } => r.health.push(HealthRow {
+                    device: *device,
+                    state: state.clone(),
+                    failures: *failures,
+                    t_us: *t_us,
+                }),
                 TraceEvent::Sanitizer {
                     check,
                     status,
@@ -794,6 +843,66 @@ mod tests {
         let rendered = r.render_jobs();
         assert!(rendered.contains("MISS"), "{rendered}");
         assert!(rendered.contains("tenant blue"), "{rendered}");
+    }
+
+    #[test]
+    fn resilience_events_fold_into_job_rows_and_health() {
+        use crate::event::JobEventKind as K;
+        let events = vec![
+            jev(1, "acme", K::Submitted, 10),
+            jev(1, "acme", K::Started, 20),
+            TraceEvent::Checkpoint {
+                job: 1,
+                algo: "sp".into(),
+                iteration: 4,
+                version: 1,
+                bytes: 100,
+                t_us: 25,
+            },
+            TraceEvent::Eviction {
+                job: 1,
+                device: 1,
+                reason: "device_loss".into(),
+                t_us: 30,
+            },
+            jev(1, "acme", K::Requeued, 30),
+            jev(1, "acme", K::Started, 40),
+            jev(1, "acme", K::Resumed, 41),
+            TraceEvent::Checkpoint {
+                job: 1,
+                algo: "sp".into(),
+                iteration: 8,
+                version: 2,
+                bytes: 140,
+                t_us: 45,
+            },
+            jev(1, "acme", K::Finished, 50),
+            TraceEvent::Health {
+                device: 1,
+                state: "quarantined".into(),
+                failures: 3,
+                t_us: 31,
+            },
+            TraceEvent::Health {
+                device: 1,
+                state: "probation".into(),
+                failures: 0,
+                t_us: 90,
+            },
+        ];
+        let r = TraceReport::from_events(&events);
+        let row = &r.jobs[&1];
+        assert_eq!(row.resumes, 1);
+        assert_eq!(row.evictions, 1);
+        assert_eq!(row.checkpoints, 2);
+        assert_eq!(row.checkpoint_bytes, 240);
+        // A resume is not terminal: the job still finished normally.
+        assert_eq!(row.outcome, Some(K::Finished));
+        assert_eq!(row.starts, 2);
+        assert_eq!(row.requeues, 1);
+        assert_eq!(r.health.len(), 2);
+        assert_eq!(r.health[0].state, "quarantined");
+        assert_eq!(r.health[1].failures, 0);
     }
 
     #[test]
