@@ -3,8 +3,9 @@
 //! Two subcommands:
 //!
 //! ```text
-//! trace-report run <dmr|sp|pta|mst> <out.jsonl>   # small traced pipeline run
-//! trace-report report <in.jsonl> [--csv]          # render timeline / waste
+//! trace-report run <dmr|sp|pta|mst> <out.jsonl>        # small traced pipeline run
+//! trace-report report <in.jsonl> [--csv]               # render timeline / waste
+//! trace-report flamegraph <dmr|sp|pta|mst> <out.folded> # folded phase profile
 //! ```
 //!
 //! `run` attaches a [`JsonlSink`] to one small pipeline per algorithm via
@@ -14,19 +15,27 @@
 //! timeline, per-phase kernel histograms, and the §7 waste breakdown
 //! (aborted speculation, idle lanes, retry wall time). `--csv` emits the
 //! raw timeline and algorithm series as CSV instead of text tables.
+//!
+//! `flamegraph` runs the same small pipeline with the continuous phase
+//! profiler armed instead of a tracer (`RecoveryOpts::profiler`) and
+//! writes folded stacks — `algo;iteration-class;phase cycles`, one per
+//! line — ready for any `flamegraph.pl`-compatible renderer. The cycles
+//! come from the engine's hardware cost model, so the widths rank phases
+//! by modelled device time, not host wall time.
 
 use morph_core::runtime::RecoveryOpts;
 use morph_dmr::profile::parallelism_profile_traced;
 use morph_dmr::DmrOpts;
 use morph_sp::surveys::Surveys;
 use morph_sp::FactorGraph;
-use morph_trace::{parse_jsonl, JsonlSink, TraceReport, Tracer};
+use morph_trace::{parse_jsonl, JsonlSink, PhaseProfiler, ProfilerScope, TraceReport, Tracer};
 use std::process::ExitCode;
 use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!("usage: trace-report run <dmr|sp|pta|mst> <out.jsonl>");
     eprintln!("       trace-report report <in.jsonl> [--csv]");
+    eprintln!("       trace-report flamegraph <dmr|sp|pta|mst> <out.folded>");
     ExitCode::from(2)
 }
 
@@ -41,7 +50,51 @@ fn main() -> ExitCode {
             Some(path) => report(path, args.iter().any(|a| a == "--csv")),
             None => usage(),
         },
+        Some("flamegraph") => match (args.get(1), args.get(2)) {
+            (Some(algo), Some(path)) => flamegraph(algo, path),
+            _ => usage(),
+        },
         _ => usage(),
+    }
+}
+
+/// Run one small pipeline per algorithm against the given recovery
+/// options. Shared by `run` (tracer armed) and `flamegraph` (profiler
+/// armed).
+fn drive_pipeline(algo: &str, recovery: &RecoveryOpts) -> Result<(), String> {
+    match algo {
+        "dmr" => {
+            let mut mesh = morph_workloads::mesh::random_mesh::<f64>(400, 7);
+            morph_dmr::gpu::try_refine_gpu(&mut mesh, DmrOpts::default(), 2, recovery)
+                .map(|out| {
+                    eprintln!(
+                        "dmr: {} iterations, {} refined",
+                        out.iterations, out.stats.refined
+                    );
+                })
+                .map_err(|e| e.to_string())
+        }
+        "sp" => {
+            let f = morph_workloads::ksat::random_ksat(200, 700, 3, 23);
+            let fg = FactorGraph::new(&f);
+            let s = Surveys::init(&fg, 5);
+            morph_sp::gpu::try_propagate(&fg, &s, 1e-3, 60, 2, recovery)
+                .map(|(sweeps, _)| eprintln!("sp: {sweeps} sweeps"))
+                .map_err(|e| e.to_string())
+        }
+        "pta" => {
+            let prob = morph_workloads::pta::synthetic(80, 220, 5);
+            morph_pta::gpu::try_solve_with(&prob, morph_pta::gpu::PtaOpts::default(), 2, recovery)
+                .map(|out| eprintln!("pta: {} iterations", out.iterations))
+                .map_err(|e| e.to_string())
+        }
+        "mst" => {
+            let g = morph_workloads::graphs::random_graph(300, 900, 3);
+            morph_mst::gpu::try_mst_with_stats(&g, 2, recovery)
+                .map(|out| eprintln!("mst: {} rounds", out.result.rounds))
+                .map_err(|e| e.to_string())
+        }
+        other => Err(format!("unknown algorithm {other:?}")),
     }
 }
 
@@ -62,53 +115,17 @@ fn run(algo: &str, path: &str) -> ExitCode {
         ..RecoveryOpts::default()
     };
 
-    let outcome: Result<(), String> = match algo {
-        "dmr" => {
-            let mut mesh = morph_workloads::mesh::random_mesh::<f64>(400, 7);
-            morph_dmr::gpu::try_refine_gpu(&mut mesh, DmrOpts::default(), 2, &recovery)
-                .map(|out| {
-                    eprintln!(
-                        "dmr: {} iterations, {} refined",
-                        out.iterations, out.stats.refined
-                    );
-                })
-                .map_err(|e| e.to_string())
-                .map(|()| {
-                    // Also record the ParaMeter-style Fig. 2 series so the
-                    // report's `dmr.profile/parallelism` view is populated.
-                    let mut mesh = morph_workloads::mesh::random_mesh::<f64>(400, 7);
-                    let profile = parallelism_profile_traced(&mut mesh, &tracer);
-                    eprintln!("dmr.profile: {} steps", profile.len());
-                })
-        }
-        "sp" => {
-            let f = morph_workloads::ksat::random_ksat(200, 700, 3, 23);
-            let fg = FactorGraph::new(&f);
-            let s = Surveys::init(&fg, 5);
-            morph_sp::gpu::try_propagate(&fg, &s, 1e-3, 60, 2, &recovery)
-                .map(|(sweeps, _)| eprintln!("sp: {sweeps} sweeps"))
-                .map_err(|e| e.to_string())
-        }
-        "pta" => {
-            let prob = morph_workloads::pta::synthetic(80, 220, 5);
-            morph_pta::gpu::try_solve_with(&prob, morph_pta::gpu::PtaOpts::default(), 2, &recovery)
-                .map(|out| eprintln!("pta: {} iterations", out.iterations))
-                .map_err(|e| e.to_string())
-        }
-        "mst" => {
-            let g = morph_workloads::graphs::random_graph(300, 900, 3);
-            morph_mst::gpu::try_mst_with_stats(&g, 2, &recovery)
-                .map(|out| eprintln!("mst: {} rounds", out.result.rounds))
-                .map_err(|e| e.to_string())
-        }
-        other => {
-            eprintln!("trace-report: unknown algorithm {other:?}");
-            return usage();
-        }
-    };
+    let outcome = drive_pipeline(algo, &recovery);
     if let Err(e) = outcome {
         eprintln!("trace-report: {algo} pipeline failed: {e}");
         return ExitCode::FAILURE;
+    }
+    if algo == "dmr" {
+        // Also record the ParaMeter-style Fig. 2 series so the report's
+        // `dmr.profile/parallelism` view is populated.
+        let mut mesh = morph_workloads::mesh::random_mesh::<f64>(400, 7);
+        let profile = parallelism_profile_traced(&mut mesh, &tracer);
+        eprintln!("dmr.profile: {} steps", profile.len());
     }
 
     tracer.flush();
@@ -117,6 +134,35 @@ fn run(algo: &str, path: &str) -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("wrote {} events to {path}", sink.lines());
+    ExitCode::SUCCESS
+}
+
+/// Run one small pipeline with the phase profiler armed (no tracer) and
+/// write its folded stacks, one `algo;iteration-class;phase cycles` line
+/// per cell.
+fn flamegraph(algo: &str, path: &str) -> ExitCode {
+    let profiler = Arc::new(PhaseProfiler::new());
+    let recovery = RecoveryOpts {
+        profiler: Some(ProfilerScope::new(Arc::clone(&profiler), algo)),
+        ..RecoveryOpts::default()
+    };
+    if let Err(e) = drive_pipeline(algo, &recovery) {
+        eprintln!("trace-report: {algo} pipeline failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let folded = profiler.to_folded();
+    if folded.is_empty() {
+        eprintln!("trace-report: {algo}: profiler captured no samples");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(path, &folded) {
+        eprintln!("trace-report: cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "flamegraph: {} folded stack(s) for {algo} to {path}",
+        folded.lines().count()
+    );
     ExitCode::SUCCESS
 }
 

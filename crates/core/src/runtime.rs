@@ -29,7 +29,7 @@ use crate::checkpoint::CheckpointCtl;
 use morph_gpu_sim::{
     CancelToken, FaultPlan, Kernel, LaunchError, LaunchStats, MetricsHub, VirtualGpu,
 };
-use morph_trace::{RecoveryKind, TraceEvent, Tracer};
+use morph_trace::{ProfilerScope, RecoveryKind, TraceEvent, Tracer};
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -150,6 +150,14 @@ pub struct RecoveryOpts {
     /// [`drive_recovering`] at every host-action boundary, so a watcher
     /// that sees it stand still knows the job is wedged, not merely busy.
     pub heartbeat: Option<Arc<AtomicU64>>,
+    /// Phase-profiler scope to attach to the GPU the pipeline builds. The
+    /// engine attributes each phase span's modelled cycles into the shared
+    /// [`morph_trace::PhaseProfiler`]; [`drive_recovering`] advances the
+    /// scope's host-iteration base each loop so samples land in the right
+    /// iteration class even across launches that restart their own
+    /// iteration count. Works with a disabled tracer — the profiler alone
+    /// arms the engine's counter tape.
+    pub profiler: Option<ProfilerScope>,
 }
 
 impl RecoveryOpts {
@@ -164,6 +172,7 @@ impl RecoveryOpts {
         gpu.set_metrics(self.metrics.clone());
         gpu.set_cancel_token(self.cancel.clone());
         gpu.set_heartbeat(self.heartbeat.clone());
+        gpu.set_profiler(self.profiler.clone());
     }
 }
 
@@ -323,6 +332,12 @@ pub fn drive_recovering(
         // attached watchdog heartbeat advances even when individual
         // launches are slow.
         gpu.beat();
+        // Keep the profiler's iteration attribution aligned with the host
+        // loop: each launch restarts its own iteration counter, so the
+        // scope carries the base the engine's samples are offset from.
+        if let Some(p) = gpu.profiler() {
+            p.set_host_iteration(iteration);
+        }
         // A raised cancellation token wins over everything else. No
         // launch is in flight here, so device buffers are quiescent and
         // the caller gets the GPU back immediately.

@@ -33,7 +33,7 @@ use crate::counters::{LaunchStats, WorkerCounters};
 use crate::fault::FaultPlan;
 use crate::kernel::{Decision, Kernel, ThreadCtx};
 use morph_metrics::MetricsHub;
-use morph_trace::{CountersSnapshot, TraceEvent, Tracer};
+use morph_trace::{CountersSnapshot, ProfilerScope, TraceEvent, Tracer};
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -209,11 +209,15 @@ impl PhaseAccum {
     }
 }
 
-/// Per-launch tracing state, allocated only when a tracer is attached.
+/// Per-launch tracing state, allocated only when a tracer or a phase
+/// profiler is attached (the profiler reuses the same per-phase
+/// accumulators and worker-0 timing; with only a profiler armed the
+/// tracer handle is disabled and every emit stays a single branch).
 struct TraceState {
     tracer: Tracer,
     launch: u64,
     accums: Vec<PhaseAccum>,
+    profiler: Option<ProfilerScope>,
 }
 
 /// Per-launch metrics state: registry handles resolved once per launch,
@@ -312,6 +316,10 @@ pub struct VirtualGpu {
     /// sees this stand still knows the job is wedged, not merely slow
     /// between observations.
     heartbeat: Option<Arc<AtomicU64>>,
+    /// Continuous phase profiler: when armed, per-phase counter deltas
+    /// and wall times are folded into the shared `PhaseProfiler` even
+    /// with no tracer attached.
+    profiler: Option<ProfilerScope>,
     launch_seq: AtomicU64,
     /// True while a launch is executing on this GPU. Host-side exclusive
     /// access to device buffers (`SharedSlice::as_mut_slice`/`to_vec`) is
@@ -330,6 +338,7 @@ impl VirtualGpu {
             metrics: MetricsHub::disabled(),
             cancel: CancelToken::new(),
             heartbeat: None,
+            profiler: None,
             launch_seq: AtomicU64::new(0),
             in_flight: AtomicBool::new(false),
         }
@@ -384,6 +393,24 @@ impl VirtualGpu {
     /// default).
     pub fn cancel_token(&self) -> &CancelToken {
         &self.cancel
+    }
+
+    /// Arm (or disarm) the continuous phase profiler. Subsequent
+    /// launches attribute each phase's modelled cycles and wall time to
+    /// the scope's `algo;iteration-class;phase` cells — the flamegraph
+    /// source. Arming the profiler also arms the cost-model tape, so the
+    /// attribution includes memory/atomic/conflict costs even when no
+    /// tracer or metrics hub is attached. `None` (the default) allocates
+    /// nothing.
+    pub fn set_profiler(&mut self, scope: Option<ProfilerScope>) {
+        self.profiler = scope;
+    }
+
+    /// The armed profiler scope, if any. Recovering host loops use this
+    /// to keep the scope's host-iteration base in step with the drive
+    /// loop.
+    pub fn profiler(&self) -> Option<&ProfilerScope> {
+        self.profiler.as_ref()
     }
 
     /// Attach a progress heartbeat. Each completed launch increments it;
@@ -502,12 +529,14 @@ impl VirtualGpu {
         let barrier = make_barrier(cfg.barrier, workers, watchdog);
         let keep_going = AtomicBool::new(false);
 
-        // Per-launch tracing state exists only when a sink is attached:
-        // the disabled path allocates nothing and never builds an event.
-        let trace = self.tracer.enabled().then(|| TraceState {
+        // Per-launch tracing state exists only when a sink or the phase
+        // profiler is attached: the disabled path allocates nothing and
+        // never builds an event.
+        let trace = (self.tracer.enabled() || self.profiler.is_some()).then(|| TraceState {
             tracer: self.tracer.clone(),
             launch: self.launch_seq.fetch_add(1, Ordering::Relaxed),
             accums: (0..phases).map(|_| PhaseAccum::new()).collect(),
+            profiler: self.profiler.clone(),
         });
         if let Some(t) = trace.as_ref() {
             t.tracer.emit(|| TraceEvent::LaunchBegin {
@@ -786,11 +815,15 @@ fn run_worker<K: Kernel + ?Sized>(
                     let delta = totals.delta_since(&emitted_prev[phase]);
                     emitted_prev[phase] = totals;
                     let wall = phase_start.expect("worker 0 timed the phase").elapsed();
+                    let wall_us = wall.as_micros() as u64;
+                    if let Some(p) = &t.profiler {
+                        p.record(iteration as u64, phase as u64, wall_us, &delta);
+                    }
                     t.tracer.emit(|| TraceEvent::PhaseSpan {
                         launch: t.launch,
                         iteration: iteration as u64,
                         phase: phase as u64,
-                        wall_us: wall.as_micros() as u64,
+                        wall_us,
                         delta,
                     });
                 }
@@ -1624,6 +1657,40 @@ mod tests {
             }
             other => panic!("expected trailing LaunchEnd, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn profiler_only_launch_fills_the_phase_profile() {
+        use morph_trace::{PhaseProfiler, ProfilerScope};
+
+        // A profiler with no tracer must still arm the tape and attribute
+        // per-phase cycles — the introspection plane samples continuously
+        // even when full event streaming is off.
+        let mut gpu = VirtualGpu::new(GpuConfig::small());
+        let profiler = Arc::new(PhaseProfiler::new());
+        gpu.set_profiler(Some(ProfilerScope::new(Arc::clone(&profiler), "dmr")));
+        let k = CountTo {
+            total: AtomicU64::new(0),
+            target: 3,
+        };
+        let stats = gpu.execute(&k);
+        assert_eq!(stats.iterations, 3);
+        assert!(
+            stats.gmem_accesses > 0,
+            "a profiled launch arms the cost model"
+        );
+        assert!(!profiler.is_empty());
+        let folded = profiler.to_folded();
+        assert!(folded.contains("dmr;it0;phase0 "), "{folded}");
+        assert!(folded.contains("dmr;it2-3;phase0 "), "{folded}");
+        // Dropping the scope and launching again records nothing new.
+        gpu.set_profiler(None);
+        let before = folded.len();
+        gpu.execute(&CountTo {
+            total: AtomicU64::new(0),
+            target: 2,
+        });
+        assert_eq!(profiler.to_folded().len(), before);
     }
 
     #[test]

@@ -26,13 +26,37 @@
 //! on another slot), the hung-job watchdog, and the per-slot quarantine
 //! breaker. `--checkpoint-every N` tunes the snapshot cadence
 //! independently (0 disables; with `--chaos` the default is 1).
+//!
+//! The introspection flags turn on the live plane:
+//!
+//! * `--serve-http ADDR` binds the embedded HTTP server (`/metrics`,
+//!   `/healthz`, `/jobs`) for the duration of the run; `ADDR:0` picks a
+//!   free port and prints it.
+//! * `--flamegraph out.folded` arms the continuous phase profiler and
+//!   writes folded stacks (`algo;iteration-class;phase cycles`) at exit —
+//!   ready for any flamegraph renderer, or `trace-report flamegraph`.
+//! * `--flight out.jsonl` sets the flight recorder's dump path; the
+//!   recorder itself is always on, ring-buffering recent events per slot,
+//!   and dumps post-mortem context when a sanitizer trips, a job gives
+//!   up, or an eviction storm hits. `--flight-drill` plants a synthetic
+//!   sanitizer violation after the drain so CI can verify the
+//!   trap-to-dump path end to end.
+//! * `--slo-objective US` sets the per-job turnaround objective for the
+//!   burn-rate monitors (default 2s).
+//!
+//! `check-exposition <file>` re-parses a scraped `/metrics` body with the
+//! same parser the library uses — CI curls mid-run and validates here.
 
 use morph_gpu_sim::FaultPlan;
 use morph_serve::{
     apply_chaos, generate_mixed, parse_file, render_file, MorphServe, ServeConfig, ServeSummary,
-    CHAOS_HANG_BUDGET,
+    SloConfig, CHAOS_HANG_BUDGET,
 };
-use morph_trace::{parse_jsonl, JsonlSink, RingSink, TeeSink, TraceReport, Tracer, TraceSink};
+use morph_trace::{
+    parse_jsonl, FlightConfig, JsonlSink, PhaseProfiler, RingSink, TeeSink, TraceEvent,
+    TraceReport, TraceSink, Tracer,
+};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -41,6 +65,9 @@ fn usage() -> ExitCode {
     eprintln!("       morph-serve run <file.jobs> [--devices N] [--sms M] [--queue C]");
     eprintln!("                       [--trace out.jsonl] [--metrics out.prom] [--fault-seed S]");
     eprintln!("                       [--chaos S] [--checkpoint-every N]");
+    eprintln!("                       [--serve-http ADDR] [--flamegraph out.folded]");
+    eprintln!("                       [--flight out.jsonl] [--flight-drill] [--slo-objective US]");
+    eprintln!("       morph-serve check-exposition <metrics.prom>");
     ExitCode::from(2)
 }
 
@@ -55,7 +82,36 @@ fn main() -> ExitCode {
             Some(file) => run(file, &args[2..]),
             None => usage(),
         },
+        Some("check-exposition") => match args.get(1) {
+            Some(file) => check_exposition(file),
+            None => usage(),
+        },
         _ => usage(),
+    }
+}
+
+/// Validate a scraped `/metrics` body with the library's own parser.
+fn check_exposition(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("morph-serve: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match morph_metrics::parse_exposition(&text) {
+        Ok(doc) => {
+            eprintln!(
+                "{path}: valid exposition ({} samples, {} families)",
+                doc.samples.len(),
+                doc.types.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: invalid exposition: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -86,6 +142,19 @@ fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, 
     }
 }
 
+/// [`flag`] with error reporting folded into a shared `bad` latch, so
+/// every malformed flag is diagnosed in one pass before bailing.
+fn flag_or<T: std::str::FromStr>(args: &[String], name: &str, bad: &mut bool) -> Option<T> {
+    match flag::<T>(args, name) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("morph-serve: {e}");
+            *bad = true;
+            None
+        }
+    }
+}
+
 fn run(file: &str, rest: &[String]) -> ExitCode {
     let text = match std::fs::read_to_string(file) {
         Ok(t) => t,
@@ -101,46 +170,23 @@ fn run(file: &str, rest: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let (devices, sms, queue, trace_path, metrics_path, fault_seed, chaos_seed, ckpt_every) =
-        match (
-            flag::<usize>(rest, "--devices"),
-            flag::<usize>(rest, "--sms"),
-            flag::<usize>(rest, "--queue"),
-            flag::<String>(rest, "--trace"),
-            flag::<String>(rest, "--metrics"),
-            flag::<u64>(rest, "--fault-seed"),
-            flag::<u64>(rest, "--chaos"),
-            flag::<u64>(rest, "--checkpoint-every"),
-        ) {
-            (Ok(d), Ok(s), Ok(q), Ok(t), Ok(m), Ok(f), Ok(c), Ok(k)) => (
-                d.unwrap_or(4),
-                s.unwrap_or(2),
-                q.unwrap_or(256),
-                t,
-                m,
-                f,
-                c,
-                k,
-            ),
-            (d, s, q, t, m, f, c, k) => {
-                for e in [
-                    d.err(),
-                    s.err(),
-                    q.err(),
-                    t.err(),
-                    m.err(),
-                    f.err(),
-                    c.err(),
-                    k.err(),
-                ]
-                .into_iter()
-                .flatten()
-                {
-                    eprintln!("morph-serve: {e}");
-                }
-                return usage();
-            }
-        };
+    let mut bad = false;
+    let devices = flag_or::<usize>(rest, "--devices", &mut bad).unwrap_or(4);
+    let sms = flag_or::<usize>(rest, "--sms", &mut bad).unwrap_or(2);
+    let queue = flag_or::<usize>(rest, "--queue", &mut bad).unwrap_or(256);
+    let trace_path = flag_or::<String>(rest, "--trace", &mut bad);
+    let metrics_path = flag_or::<String>(rest, "--metrics", &mut bad);
+    let fault_seed = flag_or::<u64>(rest, "--fault-seed", &mut bad);
+    let chaos_seed = flag_or::<u64>(rest, "--chaos", &mut bad);
+    let ckpt_every = flag_or::<u64>(rest, "--checkpoint-every", &mut bad);
+    let http_addr = flag_or::<String>(rest, "--serve-http", &mut bad);
+    let flamegraph_path = flag_or::<String>(rest, "--flamegraph", &mut bad);
+    let flight_path = flag_or::<String>(rest, "--flight", &mut bad);
+    let slo_objective = flag_or::<u64>(rest, "--slo-objective", &mut bad).unwrap_or(2_000_000);
+    let flight_drill = rest.iter().any(|a| a == "--flight-drill");
+    if bad {
+        return usage();
+    }
 
     // Always fold through a ring (the summary source); tee into a JSONL
     // file when asked.
@@ -167,12 +213,25 @@ fn run(file: &str, rest: &[String]) -> ExitCode {
     // stalls are caught by the *serving* layer — that is the path under
     // test.
     let checkpoint_every = ckpt_every.unwrap_or(u64::from(chaos_seed.is_some()));
+    // The profiler is shared with the pool (every slot's engine feeds
+    // it); kept here so the folded stacks can be written after shutdown.
+    let profiler = flamegraph_path.as_ref().map(|_| Arc::new(PhaseProfiler::new()));
     let cfg = ServeConfig {
         devices,
         sms_per_device: sms,
         queue_capacity: queue,
         checkpoint_every,
         hang_budget: chaos_seed.is_some().then_some(CHAOS_HANG_BUDGET),
+        http_addr: http_addr.clone(),
+        flight: FlightConfig {
+            dump_path: flight_path.clone().map(PathBuf::from),
+            ..FlightConfig::default()
+        },
+        profiler: profiler.clone(),
+        slo: Some(SloConfig {
+            objective_us: slo_objective,
+            ..SloConfig::default()
+        }),
         ..ServeConfig::default()
     };
     eprintln!(
@@ -191,6 +250,9 @@ fn run(file: &str, rest: &[String]) -> ExitCode {
         );
     }
     let mut pool = MorphServe::start(cfg, tracer);
+    if let Some(addr) = pool.http_addr() {
+        eprintln!("introspection: http://{addr}/ (endpoints: /metrics /healthz /jobs)");
+    }
     let mut rejected = 0usize;
     for (i, mut spec) in specs.into_iter().enumerate() {
         if let Some(fs) = fault_seed {
@@ -210,16 +272,40 @@ fn run(file: &str, rest: &[String]) -> ExitCode {
         }
     }
     pool.drain();
+    if flight_drill {
+        // Plant a synthetic sanitizer violation *after* the drain: the
+        // flight recorder has a full complement of per-slot context, and
+        // the dump must show the trap plus the events that preceded it.
+        eprintln!("flight drill: planting a synthetic sanitizer violation");
+        pool.flight().record_tagged(
+            None,
+            TraceEvent::Sanitizer {
+                check: "drill.flight_recorder".into(),
+                status: "violation".into(),
+                index: 0,
+                detail: "planted by --flight-drill".into(),
+            },
+        );
+        // Auto-dump is first-trigger-wins, and under chaos a real
+        // give-up may legitimately have claimed it — rewrite manually so
+        // the drill's trap is in the dump deterministically.
+        if let Err(e) = pool.flight().dump("flight drill: planted sanitizer violation") {
+            eprintln!("morph-serve: flight drill dump failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     // Snapshot before shutdown so the registry reflects exactly the jobs
-    // this run served.
+    // this run served; same for slot health — the breaker view feeds the
+    // summary through the identical source /healthz serves.
     let metrics_snapshot = metrics_path.as_ref().map(|_| pool.metrics().snapshot());
+    let slot_health = pool.slot_health();
     pool.shutdown();
     if rejected > 0 {
         eprintln!("{rejected} submission(s) rejected at admission");
     }
 
     let report = TraceReport::from_events(ring.events().iter());
-    let summary = ServeSummary::from_report(&report);
+    let summary = ServeSummary::from_report(&report).with_slot_health(&slot_health);
     print!("{}", report.render_jobs());
     print!("{}", summary.render());
     if let Some(sink) = jsonl {
@@ -253,8 +339,28 @@ fn run(file: &str, rest: &[String]) -> ExitCode {
         }
         eprintln!("metrics: {} series to {path}", snap.series.len());
     }
+    if let (Some(path), Some(p)) = (&flamegraph_path, &profiler) {
+        let folded = p.to_folded();
+        if folded.is_empty() {
+            eprintln!("morph-serve: warning: profiler captured no samples");
+        }
+        if let Err(e) = std::fs::write(path, &folded) {
+            eprintln!("morph-serve: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "flamegraph: {} folded stack(s) to {path}",
+            folded.lines().count()
+        );
+    }
+    let dumps = pool.flight().dumps();
+    if dumps > 0 {
+        eprintln!("flight recorder: {dumps} dump(s) written");
+    }
     if summary.lost > 0 || summary.duplicate_runs > 0 {
         eprintln!("morph-serve: integrity violation (lost or duplicated jobs)");
+        // Last-resort post-mortem: dump whatever the recorder holds.
+        let _ = pool.flight().dump("integrity violation: lost or duplicated jobs");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

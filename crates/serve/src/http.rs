@@ -1,0 +1,237 @@
+//! The live introspection plane: a dependency-free HTTP/1.1 server
+//! embedded in the pool, in the same hand-rolled spirit as the JSON
+//! codec in `morph-trace`.
+//!
+//! Three read-only endpoints, served from one polling thread:
+//!
+//! * `GET /metrics` — the pool's live registry as Prometheus exposition
+//!   text (`morph_metrics::expose`), scrapeable mid-run.
+//! * `GET /healthz` — per-slot circuit-breaker state (the same
+//!   [`crate::MorphServe::slot_health`] source the end-of-run summary
+//!   uses), SLO burn rates, recent alerts and flight-recorder dump count
+//!   as JSON. Returns `503` while any slot is quarantined or any
+//!   tenant's burn-rate alert is firing.
+//! * `GET /jobs` — queued/running/terminal jobs as JSON, with wait/run
+//!   timing, attempt and eviction counts from the pool's live bookkeeping.
+//!
+//! The listener is bound synchronously in [`crate::MorphServe::start`]
+//! (so `127.0.0.1:0` tests learn the port before the first request) and
+//! polled non-blocking; the thread exits with the workers once
+//! `shutting_down` is set. One request per connection (`Connection:
+//! close`) keeps the loop free of keep-alive state.
+
+use crate::job::JobStatus;
+use crate::pool::Inner;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Accept-and-serve loop; returns when the pool starts shutting down.
+pub(crate) fn serve_loop(inner: &Arc<Inner>, listener: TcpListener) {
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking introspection listener");
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = handle(inner, stream);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if inner.state.lock().unwrap().shutting_down {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn handle(inner: &Arc<Inner>, mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    // Read until the header terminator (requests are header-only GETs).
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                break
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let request = String::from_utf8_lossy(&buf);
+    let mut parts = request.lines().next().unwrap_or("").split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" {
+        return respond(&mut stream, 405, "Method Not Allowed", "text/plain", "GET only\n");
+    }
+    match path {
+        "/" => respond(
+            &mut stream,
+            200,
+            "OK",
+            "text/plain",
+            "morph-serve introspection: /metrics /healthz /jobs\n",
+        ),
+        "/metrics" => {
+            let text = morph_metrics::expose(&inner.metrics.snapshot());
+            respond(
+                &mut stream,
+                200,
+                "OK",
+                "text/plain; version=0.0.4",
+                &text,
+            )
+        }
+        "/healthz" => {
+            let (status, body) = healthz_json(inner);
+            let (code, reason) = if status == "ok" {
+                (200, "OK")
+            } else {
+                (503, "Service Unavailable")
+            };
+            respond(&mut stream, code, reason, "application/json", &body)
+        }
+        "/jobs" => respond(&mut stream, 200, "OK", "application/json", &jobs_json(inner)),
+        _ => respond(&mut stream, 404, "Not Found", "text/plain", "not found\n"),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    code: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Minimal JSON string escape (quotes, backslashes, control chars).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Build the `/healthz` body. Overall status is `"ok"` unless a slot is
+/// quarantined or a burn-rate alert is firing — the slot states come
+/// from the same circuit-breaker source as `ServeSummary`, so the live
+/// and end-of-run views can never disagree.
+fn healthz_json(inner: &Arc<Inner>) -> (&'static str, String) {
+    let slots = inner.slot_health();
+    let now_us = inner.now_us();
+    let burns = inner
+        .slo
+        .as_ref()
+        .map(|m| m.burn_rates(now_us))
+        .unwrap_or_default();
+    let alerts = inner
+        .slo
+        .as_ref()
+        .map(|m| m.recent_alerts())
+        .unwrap_or_default();
+    let degraded = slots.iter().any(|s| s.state == "quarantined")
+        || burns.iter().any(|b| b.firing);
+    let status = if degraded { "degraded" } else { "ok" };
+
+    let slot_objs: Vec<String> = slots
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"device\":{},\"state\":\"{}\",\"consecutive_failures\":{}}}",
+                s.device, s.state, s.consecutive_failures
+            )
+        })
+        .collect();
+    let burn_objs: Vec<String> = burns
+        .iter()
+        .map(|b| {
+            format!(
+                "{{\"tenant\":\"{}\",\"fast\":{:.3},\"slow\":{:.3},\"firing\":{}}}",
+                esc(&b.tenant),
+                b.fast,
+                b.slow,
+                b.firing
+            )
+        })
+        .collect();
+    let alert_objs: Vec<String> = alerts
+        .iter()
+        .map(|a| {
+            format!(
+                "{{\"tenant\":\"{}\",\"value\":{:.3},\"threshold\":{:.3},\"t_us\":{},\"detail\":\"{}\"}}",
+                esc(&a.tenant),
+                a.value,
+                a.threshold,
+                a.t_us,
+                esc(&a.detail)
+            )
+        })
+        .collect();
+    let body = format!(
+        "{{\"status\":\"{status}\",\"t_us\":{now_us},\"slots\":[{}],\"burn_rates\":[{}],\"alerts\":[{}],\"flight_dumps\":{}}}\n",
+        slot_objs.join(","),
+        burn_objs.join(","),
+        alert_objs.join(","),
+        inner.flight.dumps()
+    );
+    (status, body)
+}
+
+/// Build the `/jobs` body from the pool's live bookkeeping.
+fn jobs_json(inner: &Arc<Inner>) -> String {
+    let st = inner.state.lock().unwrap();
+    let mut objs: Vec<String> = Vec::with_capacity(st.meta.len());
+    for (id, meta) in st.meta.iter() {
+        let state = match st.statuses.get(id) {
+            Some(JobStatus::Queued) => "queued",
+            Some(JobStatus::Running { .. }) => "running",
+            Some(JobStatus::Finished { .. }) => "finished",
+            Some(JobStatus::Failed { .. }) => "failed",
+            Some(JobStatus::Cancelled) => "cancelled",
+            None => "unknown",
+        };
+        let opt = |v: Option<u64>| v.map_or("null".to_string(), |x| x.to_string());
+        objs.push(format!(
+            "{{\"job\":{id},\"tenant\":\"{}\",\"workload\":\"{}\",\"priority\":\"{}\",\"state\":\"{state}\",\"device\":{},\"attempts\":{},\"evictions\":{},\"submitted_us\":{},\"started_us\":{},\"ended_us\":{},\"deadline_us\":{}}}",
+            esc(&meta.tenant),
+            esc(&meta.workload),
+            meta.priority,
+            opt(meta.device),
+            meta.attempts,
+            meta.evictions,
+            meta.submitted_us,
+            opt(meta.started_us),
+            opt(meta.ended_us),
+            meta.deadline_us,
+        ));
+    }
+    format!("{{\"t_us\":{},\"jobs\":[{}]}}\n", inner.now_us(), objs.join(","))
+}

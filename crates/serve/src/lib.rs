@@ -34,21 +34,33 @@
 //! Observability rides on `morph-trace`: the pool emits
 //! `TraceEvent::Job` lifecycle events and tags every engine/recovery
 //! event with the owning job via `Tracer::for_job`, so one JSONL stream
-//! from a busy pool can be partitioned back into per-job traces.
+//! from a busy pool can be partitioned back into per-job traces. On top
+//! of the stream sits the *live introspection plane*: an embedded
+//! dependency-free HTTP server ([`ServeConfig::http_addr`]) exposing
+//! `/metrics` (Prometheus exposition), `/healthz` (circuit-breaker slot
+//! states — the same source [`ServeSummary`] folds, so live and
+//! post-mortem views agree) and `/jobs` (live job table as JSON); an
+//! always-on in-memory flight recorder
+//! ([`FlightRecorder`](morph_trace::FlightRecorder)) that dumps the last
+//! events per slot when something trips; and per-tenant SLO burn-rate
+//! monitors ([`slo`]) that page on fast+slow window exhaustion.
 
+mod http;
 pub mod job;
 pub mod pool;
 pub mod replay;
 pub mod sched;
+pub mod slo;
 pub mod summary;
 
 pub use job::{
     classify, FailureClass, JobId, JobMetrics, JobSpec, JobStatus, Priority, RetryPolicy, Workload,
 };
-pub use pool::{MorphServe, ServeConfig};
+pub use pool::{MorphServe, ServeConfig, SlotHealthSnapshot};
 pub use replay::{
     apply_chaos, encode_line, generate_chaos, generate_mixed, parse_file, render_file, ParseError,
     CHAOS_HANG_BUDGET, CHAOS_STALL,
 };
 pub use sched::AdmitError;
+pub use slo::{BurnSnapshot, SloAlert, SloConfig, SloMonitor, SloObservation};
 pub use summary::ServeSummary;

@@ -44,11 +44,15 @@
 
 use crate::job::{classify, FailureClass, Job, JobId, JobSpec, JobStatus};
 use crate::sched::{AdmitError, ReadyQueue};
+use crate::slo::{SloConfig, SloMonitor};
 use morph_core::{
     CancelToken, CheckpointCtl, CheckpointStore, DriveError, MetricsHub, MetricsRegistry,
     RecoveryOpts, RecoveryPolicy,
 };
-use morph_trace::{JobEventKind, TraceEvent, Tracer};
+use morph_trace::{
+    FlightConfig, FlightRecorder, JobEventKind, PhaseProfiler, ProfilerScope, TraceEvent,
+    TraceSink, Tracer,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -82,6 +86,21 @@ pub struct ServeConfig {
     /// Evictions one job may suffer before it fails terminally (a
     /// separate budget from [`crate::RetryPolicy::max_attempts`]).
     pub max_evictions: u32,
+    /// Bind address for the live introspection HTTP plane (`/metrics`,
+    /// `/healthz`, `/jobs`); `None` disables it. `127.0.0.1:0` binds an
+    /// ephemeral port, reported by [`MorphServe::http_addr`].
+    pub http_addr: Option<String>,
+    /// Flight-recorder shape. The recorder itself is always armed — its
+    /// bounded per-slot rings ride the sink tee next to whatever tracer
+    /// the caller supplied — and only writes a file when
+    /// `flight.dump_path` is set and a trigger fires.
+    pub flight: FlightConfig,
+    /// Shared phase profiler: when set, every job runs under a
+    /// [`ProfilerScope`] so modelled device cycles accumulate per
+    /// `algo;iteration-class;phase` (see `morph_trace::profile`).
+    pub profiler: Option<Arc<PhaseProfiler>>,
+    /// Turnaround SLO burn-rate monitor config; `None` disables it.
+    pub slo: Option<SloConfig>,
 }
 
 impl Default for ServeConfig {
@@ -97,6 +116,10 @@ impl Default for ServeConfig {
             quarantine_threshold: 3,
             quarantine_cooldown: Duration::from_millis(100),
             max_evictions: 4,
+            http_addr: None,
+            flight: FlightConfig::default(),
+            profiler: None,
+            slo: None,
         }
     }
 }
@@ -124,18 +147,63 @@ enum SlotState {
     },
 }
 
+impl SlotState {
+    fn as_str(self) -> &'static str {
+        match self {
+            SlotState::Healthy => "healthy",
+            SlotState::Probation => "probation",
+            SlotState::Quarantined { .. } => "quarantined",
+        }
+    }
+}
+
 #[derive(Debug)]
 struct SlotHealth {
     state: SlotState,
     consecutive_failures: u64,
 }
 
+/// Point-in-time circuit-breaker state of one device slot — the single
+/// health source both `/healthz` and the end-of-run summary derive from
+/// (see [`MorphServe::slot_health`] and
+/// [`crate::ServeSummary::with_slot_health`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotHealthSnapshot {
+    /// 1-based device slot.
+    pub device: u64,
+    /// `"healthy"`, `"probation"` or `"quarantined"`.
+    pub state: &'static str,
+    pub consecutive_failures: u64,
+}
+
+/// Live bookkeeping for the `/jobs` endpoint: one row per admitted job,
+/// updated at every lifecycle transition under the state lock.
+#[derive(Debug, Clone)]
+pub(crate) struct JobMeta {
+    pub(crate) tenant: String,
+    /// The workload's replay encoding (`<algo> <args…>`).
+    pub(crate) workload: String,
+    pub(crate) priority: &'static str,
+    pub(crate) deadline_us: u64,
+    pub(crate) submitted_us: u64,
+    /// First `Started` transition (wait time ends here).
+    pub(crate) started_us: Option<u64>,
+    /// Terminal transition.
+    pub(crate) ended_us: Option<u64>,
+    /// Device of the most recent start; cleared on requeue-by-eviction.
+    pub(crate) device: Option<u64>,
+    pub(crate) attempts: u32,
+    pub(crate) evictions: u32,
+}
+
 #[derive(Debug)]
-struct ServeState {
+pub(crate) struct ServeState {
     queue: ReadyQueue,
     /// In-flight jobs, keyed by id.
     running: BTreeMap<JobId, RunningEntry>,
-    statuses: BTreeMap<JobId, JobStatus>,
+    pub(crate) statuses: BTreeMap<JobId, JobStatus>,
+    /// Live per-job rows served by `/jobs`.
+    pub(crate) meta: BTreeMap<JobId, JobMeta>,
     /// Accrued device-µs per tenant (the fair-share signal). Failures
     /// accrue too: a tenant burning device time on doomed jobs must not
     /// outrank one whose jobs finish.
@@ -150,11 +218,11 @@ struct ServeState {
     health: Vec<SlotHealth>,
     next_id: JobId,
     next_seq: u64,
-    shutting_down: bool,
+    pub(crate) shutting_down: bool,
 }
 
-struct Inner {
-    state: Mutex<ServeState>,
+pub(crate) struct Inner {
+    pub(crate) state: Mutex<ServeState>,
     /// Signalled when work arrives or shutdown begins.
     work: Condvar,
     /// Signalled on every terminal transition.
@@ -166,16 +234,92 @@ struct Inner {
     /// Live metrics registry. Every job's pipeline runs with a hub tagged
     /// `tenant`/`algo`, so engine cost-model series and the pool's own
     /// latency histograms land here, partitioned per tenant and algorithm.
-    metrics: Arc<MetricsRegistry>,
+    pub(crate) metrics: Arc<MetricsRegistry>,
     /// Shared checkpoint store; `None` when `checkpoint_every == 0`.
     checkpoints: Option<Arc<CheckpointStore>>,
+    /// Always-on flight recorder, teed into the sink chain.
+    pub(crate) flight: Arc<FlightRecorder>,
+    /// SLO burn-rate monitor; `None` when [`ServeConfig::slo`] is unset.
+    pub(crate) slo: Option<SloMonitor>,
     epoch: Instant,
-    cfg: ServeConfig,
+    pub(crate) cfg: ServeConfig,
 }
 
 impl Inner {
-    fn now_us(&self) -> u64 {
+    pub(crate) fn now_us(&self) -> u64 {
         self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Mirror the admission-queue depth on the `morph_queue_depth` gauge;
+    /// sampled at every transition that changes the queue (admit,
+    /// dispatch, cancel, requeue, shed), so a scrape between terminal
+    /// events sees the live backlog.
+    fn note_queue_depth(&self, depth: u64) {
+        self.metrics
+            .gauge(
+                "morph_queue_depth",
+                "Jobs waiting in the admission queue",
+                &[],
+            )
+            .set(depth as i64);
+    }
+
+    /// Live breaker state per slot, 1-based device order.
+    pub(crate) fn slot_health(&self) -> Vec<SlotHealthSnapshot> {
+        let st = self.state.lock().unwrap();
+        st.health
+            .iter()
+            .enumerate()
+            .map(|(slot, h)| SlotHealthSnapshot {
+                device: slot as u64 + 1,
+                state: h.state.as_str(),
+                consecutive_failures: h.consecutive_failures,
+            })
+            .collect()
+    }
+
+    /// Stamp a job's terminal transition in the live meta table. Returns
+    /// the SLO sample `(tenant, turnaround_us, ok)` when the outcome
+    /// counts toward the objective (`ok: None` = user cancel, no sample).
+    fn note_terminal(
+        &self,
+        st: &mut ServeState,
+        id: JobId,
+        ok: Option<bool>,
+    ) -> Option<(String, u64, bool)> {
+        let now = self.now_us();
+        let meta = st.meta.get_mut(&id)?;
+        meta.ended_us = Some(now);
+        let turnaround = now.saturating_sub(meta.submitted_us);
+        ok.map(|ok| (meta.tenant.clone(), turnaround, ok))
+    }
+
+    /// Feed one terminal sample into the SLO monitor: mirror the fast
+    /// burn on the `morph_slo_burn_rate` gauge and emit an Alert event on
+    /// the rising edge. Call with the state lock released.
+    fn observe_slo(&self, sample: Option<(String, u64, bool)>) {
+        let (Some(monitor), Some((tenant, turnaround_us, ok))) = (&self.slo, sample) else {
+            return;
+        };
+        let obs = monitor.observe(&tenant, turnaround_us, ok, self.now_us());
+        self.metrics
+            .gauge(
+                "morph_slo_burn_rate",
+                "Fast-window SLO burn rate per tenant, in milli-multiples of the error-budget rate",
+                &[("tenant", &tenant)],
+            )
+            .set((obs.fast_burn * 1000.0) as i64);
+        if let Some(a) = obs.alert {
+            self.tracer.emit(move || TraceEvent::Alert {
+                monitor: "slo_burn_rate".into(),
+                tenant: a.tenant,
+                severity: "page".into(),
+                value: a.value,
+                threshold: a.threshold,
+                t_us: a.t_us,
+                detail: a.detail,
+            });
+        }
     }
 
     // One parameter per field of the event it mirrors.
@@ -235,21 +379,33 @@ impl Inner {
 pub struct MorphServe {
     inner: Arc<Inner>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    http_addr: Option<std::net::SocketAddr>,
 }
 
 impl MorphServe {
     /// Start `cfg.devices` worker threads against an empty queue.
     /// `tracer` receives the merged, line-atomic event stream; pass
-    /// `Tracer::disabled()` to serve without observability.
+    /// `Tracer::disabled()` to serve without observability. The pool
+    /// always tees its flight recorder next to the given tracer, so
+    /// post-mortem context exists even for untraced runs.
+    ///
+    /// # Panics
+    ///
+    /// When [`ServeConfig::http_addr`] is set and the address cannot be
+    /// bound.
     pub fn start(cfg: ServeConfig, tracer: Tracer) -> Self {
         let devices = cfg.devices.max(1);
         let checkpoints =
             (cfg.checkpoint_every > 0).then(|| Arc::new(CheckpointStore::in_memory()));
+        let flight = Arc::new(FlightRecorder::new(cfg.flight.clone()));
+        let tracer = tracer.tee_with(Arc::clone(&flight) as Arc<dyn TraceSink>);
+        let slo = cfg.slo.clone().map(SloMonitor::new);
         let inner = Arc::new(Inner {
             state: Mutex::new(ServeState {
                 queue: ReadyQueue::new(cfg.queue_capacity),
                 running: BTreeMap::new(),
                 statuses: BTreeMap::new(),
+                meta: BTreeMap::new(),
                 tenant_run_us: BTreeMap::new(),
                 cancel_requested: BTreeSet::new(),
                 evicting: BTreeMap::new(),
@@ -268,14 +424,17 @@ impl MorphServe {
             tracer,
             metrics: Arc::new(MetricsRegistry::new()),
             checkpoints,
+            flight,
+            slo,
             epoch: Instant::now(),
             cfg,
         });
-        // Every slot starts healthy; publishing the gauge up front makes
+        // Every slot starts healthy; publishing the gauges up front makes
         // the series visible even on runs with no health transitions.
         for device in 1..=devices as u64 {
             inner.device_health_gauge(device).set(2);
         }
+        inner.note_queue_depth(0);
         let mut workers: Vec<std::thread::JoinHandle<()>> = (0..devices)
             .map(|slot| {
                 let inner = Arc::clone(&inner);
@@ -294,7 +453,26 @@ impl MorphServe {
                     .expect("spawning the hang watchdog thread"),
             );
         }
-        MorphServe { inner, workers }
+        // Bind the introspection listener synchronously so callers (and
+        // `127.0.0.1:0` tests) know the port before the first request.
+        let mut http_addr = None;
+        if let Some(addr) = inner.cfg.http_addr.clone() {
+            let listener = std::net::TcpListener::bind(&addr)
+                .unwrap_or_else(|e| panic!("binding introspection listener on {addr}: {e}"));
+            http_addr = Some(listener.local_addr().expect("bound listener has an address"));
+            let inner = Arc::clone(&inner);
+            workers.push(
+                std::thread::Builder::new()
+                    .name("morph-serve-http".into())
+                    .spawn(move || crate::http::serve_loop(&inner, listener))
+                    .expect("spawning the introspection HTTP thread"),
+            );
+        }
+        MorphServe {
+            inner,
+            workers,
+            http_addr,
+        }
     }
 
     /// Submit a job. Returns its id, or the spec back with the admission
@@ -320,13 +498,30 @@ impl MorphServe {
         };
         let tenant = job.spec.tenant.clone();
         let detail = job.spec.workload.encode();
+        let priority = job.spec.priority.as_str();
         match st.queue.admit(job) {
             Ok(()) => {
                 st.next_id += 1;
                 st.next_seq += 1;
                 st.statuses.insert(id, JobStatus::Queued);
+                st.meta.insert(
+                    id,
+                    JobMeta {
+                        tenant: tenant.clone(),
+                        workload: detail.clone(),
+                        priority,
+                        deadline_us,
+                        submitted_us: self.inner.now_us(),
+                        started_us: None,
+                        ended_us: None,
+                        device: None,
+                        attempts: 0,
+                        evictions: 0,
+                    },
+                );
                 let depth = st.queue.len() as u64;
                 drop(st);
+                self.inner.note_queue_depth(depth);
                 self.inner
                     .emit_job(id, &tenant, JobEventKind::Submitted, depth, 0, deadline_us, detail);
                 self.inner.work.notify_one();
@@ -358,9 +553,12 @@ impl MorphServe {
         let mut st = self.inner.state.lock().unwrap();
         if let Some(job) = st.queue.remove(id) {
             st.statuses.insert(id, JobStatus::Cancelled);
+            // A user cancel is no SLO sample, but the row still closes.
+            self.inner.note_terminal(&mut st, id, None);
             let depth = st.queue.len() as u64;
             let tenant = job.spec.tenant.clone();
             drop(st);
+            self.inner.note_queue_depth(depth);
             if let Some(store) = &self.inner.checkpoints {
                 store.discard(id);
             }
@@ -444,6 +642,29 @@ impl MorphServe {
     /// ([`ServeConfig::checkpoint_every`] > 0).
     pub fn checkpoints(&self) -> Option<&Arc<CheckpointStore>> {
         self.inner.checkpoints.as_ref()
+    }
+
+    /// The always-on flight recorder teed into the pool's sink chain.
+    /// Dump it manually ([`FlightRecorder::dump`]) for triggers the
+    /// recorder cannot see itself — e.g. an integrity violation found at
+    /// summary time, or a panic handler.
+    pub fn flight(&self) -> &Arc<FlightRecorder> {
+        &self.inner.flight
+    }
+
+    /// Bound address of the introspection HTTP plane, when enabled
+    /// ([`ServeConfig::http_addr`]); with port 0 this carries the actual
+    /// ephemeral port.
+    pub fn http_addr(&self) -> Option<std::net::SocketAddr> {
+        self.http_addr
+    }
+
+    /// Live circuit-breaker state per device slot — the single health
+    /// source `/healthz` serves and
+    /// [`crate::ServeSummary::with_slot_health`] folds, so the live and
+    /// end-of-run views agree by construction.
+    pub fn slot_health(&self) -> Vec<SlotHealthSnapshot> {
+        self.inner.slot_health()
     }
 
     pub fn tenant_run_us(&self) -> BTreeMap<String, u64> {
@@ -578,8 +799,11 @@ fn shed_expired(inner: &Arc<Inner>, job: &Job, device: u64, phase: &str) -> bool
             permanent: true,
         },
     );
+    let slo = inner.note_terminal(&mut st, id, Some(false));
     let depth = st.queue.len() as u64;
     drop(st);
+    inner.note_queue_depth(depth);
+    inner.observe_slo(slo);
     if let Some(store) = &inner.checkpoints {
         store.discard(id);
     }
@@ -656,8 +880,11 @@ fn evict(
                 permanent: expired,
             },
         );
+        let slo = inner.note_terminal(&mut st, id, Some(false));
         let depth = st.queue.len() as u64;
         drop(st);
+        inner.note_queue_depth(depth);
+        inner.observe_slo(slo);
         if let Some(store) = &inner.checkpoints {
             store.discard(id);
         }
@@ -682,9 +909,14 @@ fn evict(
     job.cancel = CancelToken::new();
     let detail = format!("evicted ({reason}): {err}");
     st.statuses.insert(id, JobStatus::Queued);
+    if let Some(m) = st.meta.get_mut(&id) {
+        m.evictions = job.evictions;
+        m.device = None;
+    }
     st.queue.requeue(job);
     let depth = st.queue.len() as u64;
     drop(st);
+    inner.note_queue_depth(depth);
     if let Some(c) = hub.counter(
         "morph_jobs_evicted_total",
         "Jobs pulled off a live device slot (device loss or hung-job watchdog)",
@@ -731,8 +963,15 @@ fn run_one(inner: &Arc<Inner>, device: u64, mut job: Job) {
             },
         );
         st.statuses.insert(id, JobStatus::Running { device });
+        let now = inner.now_us();
+        if let Some(m) = st.meta.get_mut(&id) {
+            m.attempts = attempt;
+            m.device = Some(device);
+            m.started_us.get_or_insert(now);
+        }
         st.queue.len() as u64
     };
+    inner.note_queue_depth(depth);
     inner.emit_job(
         id,
         &tenant,
@@ -793,6 +1032,11 @@ fn run_one(inner: &Arc<Inner>, device: u64, mut job: Job) {
         cancel: job.cancel.clone(),
         checkpoint,
         heartbeat: Some(Arc::clone(&heartbeat)),
+        profiler: inner
+            .cfg
+            .profiler
+            .as_ref()
+            .map(|p| ProfilerScope::new(Arc::clone(p), job.spec.workload.algo())),
     };
     let run_started = Instant::now();
     let outcome = job.spec.workload.run(inner.cfg.sms_per_device, &recovery);
@@ -814,8 +1058,11 @@ fn run_one(inner: &Arc<Inner>, device: u64, mut job: Job) {
         Ok(metrics) => {
             slot_ok(inner, &mut st, device);
             st.statuses.insert(id, JobStatus::Finished { metrics });
+            let slo = inner.note_terminal(&mut st, id, Some(true));
             let depth = st.queue.len() as u64;
             drop(st);
+            inner.note_queue_depth(depth);
+            inner.observe_slo(slo);
             if let Some(store) = &inner.checkpoints {
                 store.discard(id);
             }
@@ -851,8 +1098,10 @@ fn run_one(inner: &Arc<Inner>, device: u64, mut job: Job) {
             match classify(&err) {
                 FailureClass::Cancelled => {
                     st.statuses.insert(id, JobStatus::Cancelled);
+                    inner.note_terminal(&mut st, id, None);
                     let depth = st.queue.len() as u64;
                     drop(st);
+                    inner.note_queue_depth(depth);
                     if let Some(store) = &inner.checkpoints {
                         store.discard(id);
                     }
@@ -880,6 +1129,7 @@ fn run_one(inner: &Arc<Inner>, device: u64, mut job: Job) {
                     st.queue.requeue(job);
                     let depth = st.queue.len() as u64;
                     drop(st);
+                    inner.note_queue_depth(depth);
                     inner.emit_job(
                         id,
                         &tenant,
@@ -908,8 +1158,11 @@ fn run_one(inner: &Arc<Inner>, device: u64, mut job: Job) {
                             permanent: true,
                         },
                     );
+                    let slo = inner.note_terminal(&mut st, id, Some(false));
                     let depth = st.queue.len() as u64;
                     drop(st);
+                    inner.note_queue_depth(depth);
+                    inner.observe_slo(slo);
                     if let Some(store) = &inner.checkpoints {
                         store.discard(id);
                     }
@@ -933,8 +1186,11 @@ fn run_one(inner: &Arc<Inner>, device: u64, mut job: Job) {
                             permanent,
                         },
                     );
+                    let slo = inner.note_terminal(&mut st, id, Some(false));
                     let depth = st.queue.len() as u64;
                     drop(st);
+                    inner.note_queue_depth(depth);
+                    inner.observe_slo(slo);
                     if let Some(store) = &inner.checkpoints {
                         store.discard(id);
                     }

@@ -1,0 +1,307 @@
+//! SLO burn-rate monitoring over per-tenant job turnarounds.
+//!
+//! The classic multi-window, multi-burn-rate alert, run in-process: every
+//! terminal job is one sample — *bad* when it failed or its turnaround
+//! exceeded [`SloConfig::objective_us`] — and the monitor keeps a bounded
+//! sample window per tenant. The burn rate over a window is the bad
+//! fraction divided by the error budget: burn 1.0 means the tenant is
+//! consuming budget exactly at the sustainable rate, burn 10 means ten
+//! times too fast. An alert fires on the *rising edge* of both the fast
+//! and the slow window crossing [`SloConfig::burn_threshold`] — the fast
+//! window makes the alert responsive, the slow window keeps one unlucky
+//! job from paging — and re-arms once the fast window falls back under.
+//!
+//! The pool feeds the monitor at every terminal transition and mirrors
+//! the fast burn on the `morph_slo_burn_rate` gauge (milli-units, the
+//! registry's gauges being integers); alerts become
+//! [`TraceEvent::Alert`](morph_trace::TraceEvent) in the shared stream
+//! and surface on `/healthz`.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+
+/// Objective and alerting shape for the turnaround SLO.
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// Per-job turnaround objective (submit → terminal), µs.
+    pub objective_us: u64,
+    /// Fraction of jobs allowed to miss the objective (e.g. 0.05 = 5%).
+    pub error_budget: f64,
+    /// Fast burn window, µs — responsiveness.
+    pub fast_window_us: u64,
+    /// Slow burn window, µs — noise suppression. Samples older than this
+    /// are discarded.
+    pub slow_window_us: u64,
+    /// Both windows' burn rates must reach this multiple of the budget
+    /// rate before the alert fires.
+    pub burn_threshold: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            objective_us: 2_000_000,
+            error_budget: 0.05,
+            fast_window_us: 5_000_000,
+            slow_window_us: 60_000_000,
+            burn_threshold: 10.0,
+        }
+    }
+}
+
+/// One tenant's live burn rates, as `/healthz` reports them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurnSnapshot {
+    pub tenant: String,
+    pub fast: f64,
+    pub slow: f64,
+    pub firing: bool,
+}
+
+/// A fired alert, retained for `/healthz` (the pool also emits it as a
+/// `TraceEvent::Alert`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloAlert {
+    pub tenant: String,
+    /// Fast-window burn rate at firing time.
+    pub value: f64,
+    pub threshold: f64,
+    pub t_us: u64,
+    pub detail: String,
+}
+
+/// What one [`SloMonitor::observe`] call concluded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloObservation {
+    pub fast_burn: f64,
+    pub slow_burn: f64,
+    pub firing: bool,
+    /// Present only on the not-firing → firing edge.
+    pub alert: Option<SloAlert>,
+}
+
+#[derive(Debug, Default)]
+struct TenantWindow {
+    /// `(t_us, bad)` samples, oldest first, pruned past the slow window.
+    samples: VecDeque<(u64, bool)>,
+    firing: bool,
+}
+
+impl TenantWindow {
+    fn burn(&self, window_us: u64, now_us: u64, budget: f64) -> f64 {
+        let horizon = now_us.saturating_sub(window_us);
+        let (mut bad, mut total) = (0u64, 0u64);
+        for &(t, b) in self.samples.iter().rev() {
+            if t < horizon {
+                break;
+            }
+            total += 1;
+            bad += u64::from(b);
+        }
+        if total == 0 || budget <= 0.0 {
+            return 0.0;
+        }
+        (bad as f64 / total as f64) / budget
+    }
+}
+
+/// Thread-safe per-tenant burn-rate state. One per pool.
+pub struct SloMonitor {
+    cfg: SloConfig,
+    tenants: Mutex<BTreeMap<String, TenantWindow>>,
+    /// Most recent alerts, newest last (bounded).
+    alerts: Mutex<VecDeque<SloAlert>>,
+}
+
+const ALERT_RETENTION: usize = 32;
+
+impl SloMonitor {
+    pub fn new(cfg: SloConfig) -> Self {
+        SloMonitor {
+            cfg,
+            tenants: Mutex::new(BTreeMap::new()),
+            alerts: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub fn config(&self) -> &SloConfig {
+        &self.cfg
+    }
+
+    /// Feed one terminal job. `ok` is whether it finished successfully;
+    /// a failed job is a bad sample no matter how fast it failed.
+    pub fn observe(
+        &self,
+        tenant: &str,
+        turnaround_us: u64,
+        ok: bool,
+        now_us: u64,
+    ) -> SloObservation {
+        let bad = !ok || turnaround_us > self.cfg.objective_us;
+        let mut tenants = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+        let w = tenants.entry(tenant.to_string()).or_default();
+        w.samples.push_back((now_us, bad));
+        let horizon = now_us.saturating_sub(self.cfg.slow_window_us);
+        while w.samples.front().is_some_and(|&(t, _)| t < horizon) {
+            w.samples.pop_front();
+        }
+        let fast = w.burn(self.cfg.fast_window_us, now_us, self.cfg.error_budget);
+        let slow = w.burn(self.cfg.slow_window_us, now_us, self.cfg.error_budget);
+        let firing = fast >= self.cfg.burn_threshold && slow >= self.cfg.burn_threshold;
+        let rising = firing && !w.firing;
+        w.firing = firing;
+        drop(tenants);
+        let alert = rising.then(|| {
+            let a = SloAlert {
+                tenant: tenant.to_string(),
+                value: fast,
+                threshold: self.cfg.burn_threshold,
+                t_us: now_us,
+                detail: format!(
+                    "fast={fast:.1}x slow={slow:.1}x over {}us objective",
+                    self.cfg.objective_us
+                ),
+            };
+            let mut alerts = self.alerts.lock().unwrap_or_else(|e| e.into_inner());
+            if alerts.len() == ALERT_RETENTION {
+                alerts.pop_front();
+            }
+            alerts.push_back(a.clone());
+            a
+        });
+        SloObservation {
+            fast_burn: fast,
+            slow_burn: slow,
+            firing,
+            alert,
+        }
+    }
+
+    /// Live burn rates per tenant, evaluated at `now_us`.
+    pub fn burn_rates(&self, now_us: u64) -> Vec<BurnSnapshot> {
+        let tenants = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+        tenants
+            .iter()
+            .map(|(tenant, w)| BurnSnapshot {
+                tenant: tenant.clone(),
+                fast: w.burn(self.cfg.fast_window_us, now_us, self.cfg.error_budget),
+                slow: w.burn(self.cfg.slow_window_us, now_us, self.cfg.error_budget),
+                firing: w.firing,
+            })
+            .collect()
+    }
+
+    /// The retained alerts, oldest first.
+    pub fn recent_alerts(&self) -> Vec<SloAlert> {
+        self.alerts
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SloConfig {
+        SloConfig {
+            objective_us: 1_000,
+            error_budget: 0.1,
+            fast_window_us: 10_000,
+            slow_window_us: 100_000,
+            burn_threshold: 5.0,
+        }
+    }
+
+    #[test]
+    fn healthy_traffic_never_fires() {
+        let m = SloMonitor::new(cfg());
+        for i in 0..50 {
+            let o = m.observe("acme", 500, true, i * 100);
+            assert_eq!(o.fast_burn, 0.0);
+            assert!(o.alert.is_none());
+        }
+        assert!(m.recent_alerts().is_empty());
+        let rates = m.burn_rates(5_000);
+        assert_eq!(rates.len(), 1);
+        assert!(!rates[0].firing);
+    }
+
+    #[test]
+    fn sustained_misses_fire_once_on_the_rising_edge() {
+        let m = SloMonitor::new(cfg());
+        // Every job misses the objective: burn = 1.0/0.1 = 10x in both
+        // windows as soon as samples exist.
+        let mut alerts = 0;
+        for i in 0..20 {
+            let o = m.observe("acme", 5_000, true, i * 100);
+            if o.alert.is_some() {
+                alerts += 1;
+                assert!(o.firing);
+                assert!(o.fast_burn >= 5.0);
+            }
+        }
+        assert_eq!(alerts, 1, "alert fires on the edge, not per sample");
+        assert_eq!(m.recent_alerts().len(), 1);
+        assert!(m.recent_alerts()[0].detail.contains("objective"));
+    }
+
+    #[test]
+    fn failures_are_bad_samples_regardless_of_latency() {
+        let m = SloMonitor::new(cfg());
+        let o = m.observe("acme", 1, false, 0);
+        assert!(o.fast_burn > 0.0, "a fast failure still burns budget");
+    }
+
+    #[test]
+    fn recovery_rearms_the_alert() {
+        let m = SloMonitor::new(cfg());
+        for i in 0..5 {
+            m.observe("acme", 5_000, true, i * 100);
+        }
+        assert_eq!(m.recent_alerts().len(), 1);
+        // A stretch of good jobs dilutes the fast window below threshold…
+        for i in 0..100 {
+            m.observe("acme", 100, true, 1_000 + i * 100);
+        }
+        assert!(!m.burn_rates(11_000)[0].firing);
+        // …so the next sustained miss period fires again.
+        for i in 0..20 {
+            m.observe("acme", 5_000, true, 200_000 + i * 100);
+        }
+        assert_eq!(m.recent_alerts().len(), 2);
+    }
+
+    #[test]
+    fn tenants_are_independent() {
+        let m = SloMonitor::new(cfg());
+        for i in 0..10 {
+            m.observe("bad", 5_000, true, i * 100);
+            m.observe("good", 100, true, i * 100);
+        }
+        let rates = m.burn_rates(1_000);
+        let by_tenant: BTreeMap<_, _> =
+            rates.iter().map(|r| (r.tenant.as_str(), r)).collect();
+        assert!(by_tenant["bad"].firing);
+        assert!(!by_tenant["good"].firing);
+        for a in m.recent_alerts() {
+            assert_eq!(a.tenant, "bad");
+        }
+    }
+
+    #[test]
+    fn samples_age_out_of_the_slow_window() {
+        let m = SloMonitor::new(cfg());
+        for i in 0..10 {
+            m.observe("acme", 5_000, true, i * 100);
+        }
+        // Far in the future, the old misses are gone: one good sample
+        // reads as zero burn.
+        let o = m.observe("acme", 100, true, 10_000_000);
+        assert_eq!(o.fast_burn, 0.0);
+        assert_eq!(o.slow_burn, 0.0);
+    }
+}

@@ -8,6 +8,7 @@
 //! "forgot" (lost) or started twice without a requeue (dup) is caught by
 //! construction.
 
+use crate::pool::SlotHealthSnapshot;
 use morph_metrics::{Histogram, HistogramSnapshot};
 use morph_trace::{JobEventKind, TraceReport};
 
@@ -134,6 +135,21 @@ impl ServeSummary {
             .filter(|row| row.status != "ok")
             .count() as u64;
         s
+    }
+
+    /// Overwrite the quarantine count with the pool's live
+    /// circuit-breaker view ([`crate::MorphServe::slot_health`]).
+    ///
+    /// The fold above reconstructs quarantines from `Health` events,
+    /// which is right for post-mortem replay of a bare JSONL file — but
+    /// when the pool is still in hand, the breaker itself is
+    /// authoritative, and it is the *same* source `/healthz` serves.
+    /// Routing both through this snapshot is what guarantees the live
+    /// endpoint and the end-of-run summary can never disagree on slot
+    /// health.
+    pub fn with_slot_health(mut self, slots: &[SlotHealthSnapshot]) -> Self {
+        self.quarantined = slots.iter().filter(|s| s.state == "quarantined").count() as u64;
+        self
     }
 
     /// Jobs served per wall-clock second (terminal outcomes over span).
@@ -316,6 +332,51 @@ mod tests {
             "SOAK lost=0 dup=0 sanitizer_violations=0 resumed=1 evicted=1 quarantined=1"
         ));
         assert!(rendered.contains("resilience: 1 evicted, 1 resumed, 1 slots quarantined"));
+    }
+
+    #[test]
+    fn slot_health_snapshot_overrides_the_stream_fold() {
+        // The stream says device 2's last transition was a quarantine…
+        let events = [
+            job_ev(1, JobEventKind::Submitted, 0),
+            job_ev(1, JobEventKind::Started, 10),
+            job_ev(1, JobEventKind::Finished, 20),
+            TraceEvent::Health {
+                device: 2,
+                state: "quarantined".into(),
+                failures: 3,
+                t_us: 40,
+            },
+        ];
+        let report = TraceReport::from_events(events.iter());
+        let s = ServeSummary::from_report(&report);
+        assert_eq!(s.quarantined, 1);
+        // …but the breaker (the /healthz source) says it has since been
+        // probed back to health — the live view wins.
+        let live = [
+            SlotHealthSnapshot {
+                device: 1,
+                state: "healthy",
+                consecutive_failures: 0,
+            },
+            SlotHealthSnapshot {
+                device: 2,
+                state: "probation",
+                consecutive_failures: 0,
+            },
+        ];
+        let s = s.with_slot_health(&live);
+        assert_eq!(s.quarantined, 0);
+        assert!(s.render().contains("quarantined=0"));
+
+        // And when the breaker still holds the slot open, both agree.
+        let live = [SlotHealthSnapshot {
+            device: 2,
+            state: "quarantined",
+            consecutive_failures: 4,
+        }];
+        let s = ServeSummary::from_report(&report).with_slot_health(&live);
+        assert_eq!(s.quarantined, 1);
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! End-to-end tests for the live introspection plane: the embedded HTTP
+//! endpoints, the always-on flight recorder, the SLO burn-rate monitors,
+//! and the single-source slot-health guarantee (live `/healthz` and the
+//! end-of-run `ServeSummary` folding the same circuit-breaker view).
+
+use morph_serve::{
+    apply_chaos, generate_mixed, JobSpec, MorphServe, ServeConfig, ServeSummary, SloConfig,
+    Workload, CHAOS_HANG_BUDGET,
+};
+use morph_trace::{JobEventKind, RingSink, TraceEvent, TraceSink, Tracer};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+/// One `GET` against the pool's embedded server; returns (status line,
+/// body).
+fn get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut s = TcpStream::connect(addr).expect("introspection server accepts");
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: morph\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).unwrap();
+    let (head, body) = buf
+        .split_once("\r\n\r\n")
+        .expect("response has a header block");
+    let status = head.lines().next().unwrap_or("").to_string();
+    (status, body.to_string())
+}
+
+fn small_jobs() -> Vec<JobSpec> {
+    vec![
+        JobSpec::new(
+            "acme",
+            Workload::Mst {
+                nodes: 60,
+                edges: 180,
+                seed: 1,
+            },
+        ),
+        JobSpec::new(
+            "blue",
+            Workload::Dmr {
+                triangles: 80,
+                seed: 2,
+            },
+        ),
+        JobSpec::new(
+            "acme",
+            Workload::Mst {
+                nodes: 50,
+                edges: 140,
+                seed: 3,
+            },
+        ),
+    ]
+}
+
+#[test]
+fn http_endpoints_serve_metrics_health_and_jobs() {
+    let ring = Arc::new(RingSink::new(1 << 14));
+    let tracer = Tracer::new(Arc::clone(&ring) as _);
+    let mut pool = MorphServe::start(
+        ServeConfig {
+            devices: 2,
+            http_addr: Some("127.0.0.1:0".into()),
+            slo: Some(SloConfig::default()),
+            ..ServeConfig::default()
+        },
+        tracer,
+    );
+    let addr = pool.http_addr().expect("listener bound in start()");
+
+    let ids: Vec<_> = small_jobs()
+        .into_iter()
+        .map(|s| pool.submit(s).unwrap())
+        .collect();
+
+    // Mid-run scrape: the exposition must parse with the library's own
+    // parser even while workers are mutating the registry.
+    let (status, body) = get(addr, "/metrics");
+    assert!(status.contains("200"), "mid-run /metrics: {status}");
+    morph_metrics::parse_exposition(&body).expect("mid-run exposition parses");
+
+    pool.drain();
+
+    // Post-drain scrape: the queue gauge exists and reads empty, and the
+    // SLO gauge is live per tenant.
+    let (status, body) = get(addr, "/metrics");
+    assert!(status.contains("200"));
+    let doc = morph_metrics::parse_exposition(&body).expect("exposition parses");
+    let depth = doc
+        .samples
+        .iter()
+        .find(|s| s.name == "morph_queue_depth")
+        .expect("queue-depth gauge is registered");
+    assert_eq!(depth.value, 0.0, "queue drained");
+    assert!(
+        doc.samples.iter().any(|s| s.name == "morph_slo_burn_rate"),
+        "burn-rate gauge exported after terminal jobs"
+    );
+
+    // /jobs reflects every submitted job, terminal with its timing.
+    let (status, body) = get(addr, "/jobs");
+    assert!(status.contains("200"));
+    for id in &ids {
+        assert!(
+            body.contains(&format!("\"job\":{id}")),
+            "/jobs missing job {id}: {body}"
+        );
+    }
+    assert!(body.contains("\"state\":\"finished\""));
+    assert!(body.contains("\"tenant\":\"acme\""));
+    assert!(body.contains("\"workload\":\"mst"));
+    assert!(!body.contains("\"started_us\":null"), "all jobs ran");
+
+    // /healthz: all slots healthy, nothing firing → 200, and the slot
+    // states agree with the pool's own circuit-breaker accessor.
+    let (status, body) = get(addr, "/healthz");
+    assert!(status.contains("200"), "healthy pool: {status} {body}");
+    assert!(body.contains("\"status\":\"ok\""));
+    for slot in pool.slot_health() {
+        assert!(
+            body.contains(&format!(
+                "{{\"device\":{},\"state\":\"{}\"",
+                slot.device, slot.state
+            )),
+            "/healthz must mirror slot_health(): {body}"
+        );
+    }
+
+    // Index and unknown paths.
+    let (status, body) = get(addr, "/");
+    assert!(status.contains("200"));
+    assert!(body.contains("/metrics"));
+    let (status, _) = get(addr, "/nope");
+    assert!(status.contains("404"));
+
+    // The always-on flight recorder retained the run's events even
+    // though nothing tripped.
+    assert!(!pool.flight().is_empty());
+    assert_eq!(pool.flight().dumps(), 0);
+
+    pool.shutdown();
+}
+
+#[test]
+fn slo_burn_alert_fires_and_degrades_healthz() {
+    let ring = Arc::new(RingSink::new(1 << 14));
+    let tracer = Tracer::new(Arc::clone(&ring) as _);
+    let mut pool = MorphServe::start(
+        ServeConfig {
+            devices: 2,
+            http_addr: Some("127.0.0.1:0".into()),
+            // A 1us objective every job misses: burn = 1/budget = 20x in
+            // both windows, over the 10x threshold from the first sample.
+            slo: Some(SloConfig {
+                objective_us: 1,
+                ..SloConfig::default()
+            }),
+            ..ServeConfig::default()
+        },
+        tracer,
+    );
+    let addr = pool.http_addr().unwrap();
+    for spec in small_jobs() {
+        pool.submit(spec).unwrap();
+    }
+    pool.drain();
+
+    // The rising edge emitted a paging alert into the shared stream…
+    let alerts: Vec<_> = ring
+        .events()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Alert { monitor, .. } if monitor == "slo_burn_rate"))
+        .cloned()
+        .collect();
+    assert!(!alerts.is_empty(), "expected a burn-rate alert");
+    match &alerts[0] {
+        TraceEvent::Alert {
+            severity,
+            value,
+            threshold,
+            detail,
+            ..
+        } => {
+            assert_eq!(severity, "page");
+            assert!(value >= threshold);
+            assert!(detail.contains("objective"));
+        }
+        other => panic!("not an alert: {other:?}"),
+    }
+
+    // …and /healthz reports the degradation while the alert is firing.
+    let (status, body) = get(addr, "/healthz");
+    assert!(status.contains("503"), "firing burn ⇒ 503: {status} {body}");
+    assert!(body.contains("\"status\":\"degraded\""));
+    assert!(body.contains("\"firing\":true"));
+    assert!(body.contains("slo_burn_rate") || body.contains("objective"));
+    pool.shutdown();
+}
+
+#[test]
+fn planted_violation_dumps_flight_context() {
+    let dir = std::env::temp_dir().join(format!("morph-introspect-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dump_path = dir.join("flight.jsonl");
+    let ring = Arc::new(RingSink::new(1 << 14));
+    let tracer = Tracer::new(Arc::clone(&ring) as _);
+    let mut pool = MorphServe::start(
+        ServeConfig {
+            devices: 2,
+            flight: morph_trace::FlightConfig {
+                dump_path: Some(dump_path.clone()),
+                ..Default::default()
+            },
+            ..ServeConfig::default()
+        },
+        tracer,
+    );
+    for spec in small_jobs() {
+        pool.submit(spec).unwrap();
+    }
+    pool.drain();
+    assert_eq!(pool.flight().dumps(), 0, "clean run, nothing tripped");
+
+    // A sanitizer trap arriving through the shared tee triggers the
+    // post-mortem dump, which must contain the run's preceding events.
+    pool.flight().record_tagged(
+        None,
+        TraceEvent::Sanitizer {
+            check: "test.planted".into(),
+            status: "violation".into(),
+            index: 0,
+            detail: "planted".into(),
+        },
+    );
+    assert_eq!(pool.flight().dumps(), 1);
+    let text = std::fs::read_to_string(&dump_path).unwrap();
+    let (events, bad) = morph_trace::parse_jsonl(&text);
+    assert!(bad.is_empty(), "dump parses: {bad:?}");
+    assert!(
+        events.iter().any(|e| e.kind() == "job"),
+        "dump holds the preceding job lifecycle"
+    );
+    assert!(text.contains("test.planted"));
+    assert!(text.contains("flight_recorder"), "closing alert present");
+    pool.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Satellite: `ServeSummary`'s checkpoint-overhead and evicted/resumed
+/// accounting under the deterministic chaos schedule must equal a hand
+/// fold of the raw stream — and the `SOAK` line must carry exactly those
+/// numbers.
+#[test]
+fn chaos_accounting_matches_a_hand_fold_of_the_stream() {
+    let mut specs = generate_mixed(32, 0x0B5);
+    apply_chaos(&mut specs, 0x0B5);
+    let ring = Arc::new(RingSink::new(1 << 18));
+    let tracer = Tracer::new(Arc::clone(&ring) as _);
+    let mut pool = MorphServe::start(
+        ServeConfig {
+            devices: 4,
+            sms_per_device: 2,
+            checkpoint_every: 1,
+            hang_budget: Some(CHAOS_HANG_BUDGET),
+            ..ServeConfig::default()
+        },
+        tracer,
+    );
+    for spec in specs {
+        pool.submit(spec).unwrap();
+    }
+    pool.drain();
+    let slots = pool.slot_health();
+    pool.shutdown();
+
+    let events = ring.events();
+    let report = morph_trace::TraceReport::from_events(events.iter());
+    let summary = ServeSummary::from_report(&report).with_slot_health(&slots);
+
+    // Hand fold, straight off the event stream.
+    let mut resumed = 0u64;
+    let mut evicted = 0u64;
+    let mut checkpoints = 0u64;
+    let mut checkpoint_bytes = 0u64;
+    for e in events.iter() {
+        match e {
+            TraceEvent::Job { kind, .. } if *kind == JobEventKind::Resumed => resumed += 1,
+            TraceEvent::Eviction { .. } => evicted += 1,
+            TraceEvent::Checkpoint { bytes, .. } => {
+                checkpoints += 1;
+                checkpoint_bytes += bytes;
+            }
+            _ => {}
+        }
+    }
+    // The chaos schedule guarantees device losses, so the resilience
+    // machinery genuinely ran.
+    assert!(evicted > 0, "chaos must evict: {}", summary.render());
+    assert!(resumed > 0, "evicted jobs resume from checkpoints");
+    assert!(checkpoints > 0 && checkpoint_bytes > 0);
+
+    assert_eq!(summary.resumed, resumed);
+    assert_eq!(summary.evicted, evicted);
+    assert_eq!(summary.checkpoints, checkpoints);
+    assert_eq!(summary.checkpoint_bytes, checkpoint_bytes);
+    assert_eq!(summary.lost, 0);
+    assert_eq!(summary.duplicate_runs, 0);
+
+    // The machine-greppable line carries exactly the hand-computed
+    // numbers (quarantined comes from the live breaker snapshot).
+    let quarantined = slots.iter().filter(|s| s.state == "quarantined").count();
+    let rendered = summary.render();
+    assert!(
+        rendered.contains(&format!(
+            "SOAK lost=0 dup=0 sanitizer_violations={} resumed={resumed} evicted={evicted} quarantined={quarantined}",
+            summary.sanitizer_violations
+        )),
+        "SOAK line must carry the hand fold: {rendered}"
+    );
+    assert!(rendered.contains(&format!("{checkpoints} checkpoints ({checkpoint_bytes} bytes)")));
+}

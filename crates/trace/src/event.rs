@@ -377,6 +377,35 @@ pub enum TraceEvent {
         index: u64,
         detail: String,
     },
+    /// An in-process monitor (SLO burn rate, flight recorder, …) crossed a
+    /// threshold. `monitor` names the evaluator (e.g. `"slo_burn_rate"`),
+    /// `tenant` scopes it (empty = global), `severity` is `"page"` or
+    /// `"warn"`, `value`/`threshold` are the observed and limit values in
+    /// the monitor's own unit, and `t_us` is microseconds on the serving
+    /// epoch clock (0 outside a serving context).
+    Alert {
+        monitor: String,
+        tenant: String,
+        severity: String,
+        value: f64,
+        threshold: f64,
+        t_us: u64,
+        detail: String,
+    },
+    /// One cell of the continuous phase profiler: modelled device cycles
+    /// (and observed wall time) attributed to `algo;class;phase`, where
+    /// `class` is the log2 iteration bucket (`"it0"`, `"it1"`, `"it2-3"`,
+    /// …). `spans` counts the `PhaseSpan`s folded into the cell. The
+    /// triple maps 1:1 onto a folded-stack frame, so a stream of these
+    /// renders directly as a flamegraph.
+    ProfileSample {
+        algo: String,
+        class: String,
+        phase: u64,
+        cycles: u64,
+        wall_us: u64,
+        spans: u64,
+    },
 }
 
 impl TraceEvent {
@@ -395,6 +424,8 @@ impl TraceEvent {
             TraceEvent::Eviction { .. } => "eviction",
             TraceEvent::Health { .. } => "health",
             TraceEvent::Sanitizer { .. } => "sanitizer",
+            TraceEvent::Alert { .. } => "alert",
+            TraceEvent::ProfileSample { .. } => "profile_sample",
         }
     }
 
@@ -483,6 +514,23 @@ impl TraceEvent {
                 status: s("status")?,
                 index: u("index")?,
                 detail: s("detail")?,
+            },
+            "alert" => TraceEvent::Alert {
+                monitor: s("monitor")?,
+                tenant: s("tenant")?,
+                severity: s("severity")?,
+                value: v.get("value").and_then(JsonValue::as_f64)?,
+                threshold: v.get("threshold").and_then(JsonValue::as_f64)?,
+                t_us: u("t_us")?,
+                detail: s("detail")?,
+            },
+            "profile_sample" => TraceEvent::ProfileSample {
+                algo: s("algo")?,
+                class: s("class")?,
+                phase: u("phase")?,
+                cycles: u("cycles")?,
+                wall_us: u("wall_us")?,
+                spans: u("spans")?,
             },
             _ => return None,
         })
@@ -694,6 +742,44 @@ impl Serialize for TraceEvent {
                 st.serialize_field("detail", detail)?;
                 st.end()
             }
+            TraceEvent::Alert {
+                monitor,
+                tenant,
+                severity,
+                value,
+                threshold,
+                t_us,
+                detail,
+            } => {
+                let mut st = s.serialize_struct("TraceEvent", 8)?;
+                st.serialize_field("type", self.kind())?;
+                st.serialize_field("monitor", monitor)?;
+                st.serialize_field("tenant", tenant)?;
+                st.serialize_field("severity", severity)?;
+                st.serialize_field("value", value)?;
+                st.serialize_field("threshold", threshold)?;
+                st.serialize_field("t_us", t_us)?;
+                st.serialize_field("detail", detail)?;
+                st.end()
+            }
+            TraceEvent::ProfileSample {
+                algo,
+                class,
+                phase,
+                cycles,
+                wall_us,
+                spans,
+            } => {
+                let mut st = s.serialize_struct("TraceEvent", 7)?;
+                st.serialize_field("type", self.kind())?;
+                st.serialize_field("algo", algo)?;
+                st.serialize_field("class", class)?;
+                st.serialize_field("phase", phase)?;
+                st.serialize_field("cycles", cycles)?;
+                st.serialize_field("wall_us", wall_us)?;
+                st.serialize_field("spans", spans)?;
+                st.end()
+            }
         }
     }
 }
@@ -814,6 +900,23 @@ mod tests {
             t_us: 12_600,
             deadline_us: 0,
             detail: "v3@iter9".into(),
+        });
+        roundtrip(TraceEvent::Alert {
+            monitor: "slo_burn_rate".into(),
+            tenant: "acme".into(),
+            severity: "page".into(),
+            value: 14.5,
+            threshold: 10.0,
+            t_us: 13_000,
+            detail: "fast=14.5x slow=11.0x over 500000us objective".into(),
+        });
+        roundtrip(TraceEvent::ProfileSample {
+            algo: "dmr".into(),
+            class: "it2-3".into(),
+            phase: 1,
+            cycles: 123_456,
+            wall_us: 900,
+            spans: 2,
         });
     }
 

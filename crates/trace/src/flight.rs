@@ -1,0 +1,434 @@
+//! The flight recorder: always-on bounded rings of recent events per
+//! device slot, dumped to a post-mortem JSONL file when something goes
+//! wrong — a sanitizer trap, a driver give-up, an eviction storm, or an
+//! explicit trigger (integrity violation, panic handler).
+//!
+//! The existing sinks require someone to have *asked* for observability
+//! (`--trace`) before the failure; the flight recorder inverts that. It
+//! sits in the sink tee unconditionally, costs one mutex-guarded ring
+//! push per event, and only touches the filesystem when a trigger fires.
+//! Events route to the ring of the device slot they describe: job
+//! lifecycle/eviction/health events carry a device field, and engine or
+//! sanitizer events tagged with a job id follow that job's current slot
+//! (tracked from its `Started` events). Unattributable events land in
+//! ring 0. A dump concatenates the rings in slot order — each retained
+//! event exactly once — and closes with a `TraceEvent::Alert`
+//! (`monitor: "flight_recorder"`) naming the trigger, so the dump is a
+//! plain parseable trace stream.
+//!
+//! Auto-dump triggers, checked on every recorded event:
+//! * a [`TraceEvent::Sanitizer`] whose `status` is not `"ok"`;
+//! * a [`TraceEvent::Recovery`] with [`RecoveryKind::GiveUp`];
+//! * an eviction storm: more than [`FlightConfig::storm_threshold`]
+//!   [`TraceEvent::Eviction`]s inside [`FlightConfig::storm_window_us`].
+//!
+//! The first auto-trigger wins (the post-mortem should show the *first*
+//! failure's context, not the last cascade's); manual
+//! [`FlightRecorder::dump`] always rewrites.
+
+use crate::event::{RecoveryKind, TraceEvent};
+use crate::sink::TraceSink;
+use std::collections::{BTreeMap, VecDeque};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+type TaggedRing = VecDeque<(Option<u64>, TraceEvent)>;
+
+/// Flight-recorder shape and trigger thresholds.
+#[derive(Debug, Clone)]
+pub struct FlightConfig {
+    /// Events retained per device-slot ring (ring 0 holds unattributed
+    /// events).
+    pub per_slot_capacity: usize,
+    /// Evictions within the storm window that count as a storm.
+    pub storm_threshold: usize,
+    /// Storm window in microseconds (on the `Eviction` events' `t_us`
+    /// clock).
+    pub storm_window_us: u64,
+    /// Where auto-triggered dumps go. `None` keeps the rings armed but
+    /// never writes a file (manual [`FlightRecorder::dump_to`] still
+    /// works).
+    pub dump_path: Option<PathBuf>,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        FlightConfig {
+            per_slot_capacity: 512,
+            storm_threshold: 6,
+            storm_window_us: 2_000_000,
+            dump_path: None,
+        }
+    }
+}
+
+#[derive(Default)]
+struct FlightInner {
+    /// slot → bounded ring of (job tag, event), oldest first. Slot 0 is
+    /// the unattributed ring.
+    rings: BTreeMap<u64, TaggedRing>,
+    /// Which slot each in-flight job currently runs on.
+    job_slot: BTreeMap<u64, u64>,
+    /// `t_us` of recent evictions (storm detection).
+    evictions: VecDeque<u64>,
+    /// Latest `t_us` seen on any event (stamps the dump's closing alert).
+    last_t_us: u64,
+    auto_dumped: bool,
+}
+
+/// See the module docs. Shared via `Arc` and teed next to the caller's
+/// own sinks; implements [`TraceSink`].
+pub struct FlightRecorder {
+    cfg: FlightConfig,
+    inner: Mutex<FlightInner>,
+    dumps: AtomicU64,
+}
+
+impl FlightRecorder {
+    pub fn new(cfg: FlightConfig) -> Self {
+        FlightRecorder {
+            cfg,
+            inner: Mutex::new(FlightInner::default()),
+            dumps: AtomicU64::new(0),
+        }
+    }
+
+    /// Dumps written so far (auto + manual).
+    pub fn dumps(&self) -> u64 {
+        self.dumps.load(Ordering::Acquire)
+    }
+
+    /// Events currently retained across all rings.
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.rings.values().map(VecDeque::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Manually dump to the configured path (a no-op returning `Ok(None)`
+    /// when no path is configured). Use for triggers the recorder cannot
+    /// see itself — an integrity violation found at summary time, a panic
+    /// handler.
+    pub fn dump(&self, reason: &str) -> io::Result<Option<PathBuf>> {
+        match &self.cfg.dump_path {
+            Some(path) => self.dump_to(path.clone(), reason).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Dump all rings (slot order, oldest first within a slot) as JSONL
+    /// to `path`, closing with a `flight_recorder` alert naming `reason`.
+    pub fn dump_to(&self, path: PathBuf, reason: &str) -> io::Result<PathBuf> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        write_dump(&inner, &path, reason)?;
+        self.dumps.fetch_add(1, Ordering::AcqRel);
+        Ok(path)
+    }
+
+    /// Test/introspection view: retained events per slot.
+    pub fn snapshot(&self) -> BTreeMap<u64, Vec<TraceEvent>> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner
+            .rings
+            .iter()
+            .map(|(slot, ring)| (*slot, ring.iter().map(|(_, e)| e.clone()).collect()))
+            .collect()
+    }
+}
+
+fn write_dump(inner: &FlightInner, path: &PathBuf, reason: &str) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for ring in inner.rings.values() {
+        for (job, ev) in ring {
+            w.write_all(jsonl_line(*job, ev).as_bytes())?;
+            w.write_all(b"\n")?;
+        }
+    }
+    let closing = TraceEvent::Alert {
+        monitor: "flight_recorder".into(),
+        tenant: String::new(),
+        severity: "page".into(),
+        value: 1.0,
+        threshold: 0.0,
+        t_us: inner.last_t_us,
+        detail: reason.to_string(),
+    };
+    w.write_all(jsonl_line(None, &closing).as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// One JSONL line with the same job-splice convention as `JsonlSink`.
+fn jsonl_line(job: Option<u64>, ev: &TraceEvent) -> String {
+    let body = crate::json::to_json(ev);
+    match job {
+        Some(id) if ev.kind() != "job" => {
+            let rest = body.strip_prefix('{').unwrap_or(&body);
+            format!("{{\"job\":{id},{rest}")
+        }
+        _ => body,
+    }
+}
+
+impl TraceSink for FlightRecorder {
+    fn record(&self, event: TraceEvent) {
+        self.record_tagged(None, event);
+    }
+
+    fn record_tagged(&self, job: Option<u64>, event: TraceEvent) {
+        let mut trigger: Option<String> = None;
+        {
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            let inner = &mut *inner;
+
+            // Routing + job→slot tracking.
+            let slot = match &event {
+                TraceEvent::Job {
+                    job: id,
+                    kind,
+                    device,
+                    t_us,
+                    ..
+                } => {
+                    inner.last_t_us = inner.last_t_us.max(*t_us);
+                    if *device > 0 {
+                        inner.job_slot.insert(*id, *device);
+                    }
+                    if kind.is_terminal() {
+                        inner.job_slot.remove(id);
+                    }
+                    *device
+                }
+                TraceEvent::Eviction { job: id, device, t_us, .. } => {
+                    inner.last_t_us = inner.last_t_us.max(*t_us);
+                    inner.job_slot.remove(id);
+                    inner.evictions.push_back(*t_us);
+                    let horizon = t_us.saturating_sub(self.cfg.storm_window_us);
+                    while inner.evictions.front().is_some_and(|&t| t < horizon) {
+                        inner.evictions.pop_front();
+                    }
+                    if inner.evictions.len() >= self.cfg.storm_threshold {
+                        trigger = Some(format!(
+                            "eviction_storm: {} evictions within {}us",
+                            inner.evictions.len(),
+                            self.cfg.storm_window_us
+                        ));
+                    }
+                    *device
+                }
+                TraceEvent::Health { device, t_us, .. } => {
+                    inner.last_t_us = inner.last_t_us.max(*t_us);
+                    *device
+                }
+                TraceEvent::Checkpoint { job: id, t_us, .. } => {
+                    inner.last_t_us = inner.last_t_us.max(*t_us);
+                    inner.job_slot.get(id).copied().unwrap_or(0)
+                }
+                TraceEvent::Sanitizer { check, status, .. } => {
+                    if status != "ok" {
+                        trigger = Some(format!("sanitizer: {check} {status}"));
+                    }
+                    job.and_then(|id| inner.job_slot.get(&id).copied())
+                        .unwrap_or(0)
+                }
+                TraceEvent::Recovery { kind, detail, .. } => {
+                    if *kind == RecoveryKind::GiveUp {
+                        trigger = Some(format!("give_up: {detail}"));
+                    }
+                    job.and_then(|id| inner.job_slot.get(&id).copied())
+                        .unwrap_or(0)
+                }
+                TraceEvent::Alert { t_us, .. } => {
+                    inner.last_t_us = inner.last_t_us.max(*t_us);
+                    0
+                }
+                _ => job
+                    .and_then(|id| inner.job_slot.get(&id).copied())
+                    .unwrap_or(0),
+            };
+
+            let cap = self.cfg.per_slot_capacity.max(1);
+            let ring = inner.rings.entry(slot).or_default();
+            if ring.len() == cap {
+                ring.pop_front();
+            }
+            ring.push_back((job, event));
+
+            // First auto-trigger wins; later ones are noise from the same
+            // incident.
+            if trigger.is_some() {
+                if inner.auto_dumped {
+                    trigger = None;
+                } else {
+                    inner.auto_dumped = true;
+                }
+            }
+        }
+        if let Some(reason) = trigger {
+            if let Some(path) = &self.cfg.dump_path {
+                // A dump failure must not take the run down with it; the
+                // dump counter simply stays put.
+                let _ = self.dump_to(path.clone(), &reason);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::JobEventKind;
+    use crate::sink::parse_jsonl_tagged;
+
+    fn job_started(id: u64, device: u64, t_us: u64) -> TraceEvent {
+        TraceEvent::Job {
+            job: id,
+            tenant: "acme".into(),
+            kind: JobEventKind::Started,
+            queue_depth: 0,
+            device,
+            t_us,
+            deadline_us: 0,
+            detail: String::new(),
+        }
+    }
+
+    fn violation(check: &str) -> TraceEvent {
+        TraceEvent::Sanitizer {
+            check: check.into(),
+            status: "violation".into(),
+            index: 7,
+            detail: "planted".into(),
+        }
+    }
+
+    #[test]
+    fn events_route_to_their_jobs_slot() {
+        let fr = FlightRecorder::new(FlightConfig::default());
+        fr.record(job_started(1, 2, 10));
+        // Engine event tagged with job 1 follows it to slot 2.
+        fr.record_tagged(
+            Some(1),
+            TraceEvent::AlgoIteration {
+                algo: "dmr".into(),
+                iteration: 0,
+                metric: "bad".into(),
+                value: 3.0,
+            },
+        );
+        // Untagged event lands in ring 0.
+        fr.record(TraceEvent::Alloc {
+            name: "x".into(),
+            used: 1,
+            capacity: 2,
+        });
+        let snap = fr.snapshot();
+        assert_eq!(snap[&2].len(), 2);
+        assert_eq!(snap[&0].len(), 1);
+    }
+
+    #[test]
+    fn rings_stay_bounded() {
+        let fr = FlightRecorder::new(FlightConfig {
+            per_slot_capacity: 4,
+            ..Default::default()
+        });
+        for i in 0..20 {
+            fr.record_tagged(
+                None,
+                TraceEvent::Alloc {
+                    name: "a".into(),
+                    used: i,
+                    capacity: 64,
+                },
+            );
+        }
+        assert_eq!(fr.len(), 4);
+    }
+
+    #[test]
+    fn sanitizer_violation_dumps_with_preceding_events() {
+        let dir = std::env::temp_dir().join(format!(
+            "morph-flight-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dump.jsonl");
+        let fr = FlightRecorder::new(FlightConfig {
+            dump_path: Some(path.clone()),
+            ..Default::default()
+        });
+        fr.record(job_started(5, 1, 100));
+        fr.record_tagged(Some(5), violation("oracle.dmr.end_state"));
+        assert_eq!(fr.dumps(), 1);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let (events, bad) = parse_jsonl_tagged(&text);
+        assert!(bad.is_empty(), "dump must be parseable: {bad:?}");
+        // Context (the Started event) precedes the trap in its slot ring.
+        let kinds: Vec<&str> = events.iter().map(|(_, e)| e.kind()).collect();
+        let started = kinds.iter().position(|k| *k == "job").unwrap();
+        let trap = kinds.iter().position(|k| *k == "sanitizer").unwrap();
+        assert!(started < trap);
+        // The closing alert names the trigger.
+        match &events.last().unwrap().1 {
+            TraceEvent::Alert { monitor, detail, .. } => {
+                assert_eq!(monitor, "flight_recorder");
+                assert!(detail.contains("oracle.dmr.end_state"));
+            }
+            other => panic!("unexpected closing event {other:?}"),
+        }
+        // A second violation does not re-dump (first trigger wins).
+        fr.record_tagged(Some(5), violation("later"));
+        assert_eq!(fr.dumps(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn eviction_storm_triggers_inside_window_only() {
+        let dir = std::env::temp_dir().join(format!(
+            "morph-flight-storm-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("storm.jsonl");
+        let fr = FlightRecorder::new(FlightConfig {
+            storm_threshold: 3,
+            storm_window_us: 1_000,
+            dump_path: Some(path.clone()),
+            ..Default::default()
+        });
+        let evict = |t_us| TraceEvent::Eviction {
+            job: 1,
+            device: 1,
+            reason: "device_loss".into(),
+            t_us,
+        };
+        fr.record(evict(0));
+        fr.record(evict(5_000)); // first fell out of the window
+        fr.record(evict(5_500));
+        assert_eq!(fr.dumps(), 0);
+        fr.record(evict(5_900)); // three within 1000us → storm
+        assert_eq!(fr.dumps(), 1);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("eviction_storm"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manual_dump_without_path_is_a_noop() {
+        let fr = FlightRecorder::new(FlightConfig::default());
+        fr.record(job_started(1, 1, 0));
+        assert!(fr.dump("integrity").unwrap().is_none());
+        assert_eq!(fr.dumps(), 0);
+        assert!(!fr.is_empty());
+    }
+}

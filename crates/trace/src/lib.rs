@@ -24,10 +24,38 @@
 //! the workspace can emit without cycles.
 
 pub mod event;
+pub mod flight;
 pub mod json;
+pub mod profile;
 pub mod report;
 pub mod sink;
 
+/// The trace JSONL schema revision this crate writes.
+///
+/// History:
+/// * **1** — launch/phase/recovery/alloc/worklist/algo-iteration events
+///   with the original eight-field counter block.
+/// * **2** — cost-model counter fields on [`CountersSnapshot`]
+///   (`gmem_*`, `smem_*`, `atomic_serial`, `active_warps`) and the
+///   serving/resilience events (`job`, `checkpoint`, `eviction`,
+///   `health`, `sanitizer`).
+/// * **3** — the live-introspection events: `alert` (SLO burn-rate and
+///   flight-recorder triggers) and `profile_sample` (phase-profiler
+///   cells).
+///
+/// Compatibility contract, enforced by the golden-file test in
+/// `tests/schema_compat.rs`: decoding is additive. Readers must parse
+/// every older revision (missing counter fields decode as zero) and must
+/// skip unknown `"type"` discriminants ([`TraceEvent::from_json`]
+/// returns `None`) rather than fail, so old `BENCH_*`/trace artifacts
+/// keep parsing as new event kinds land.
+pub const TRACE_SCHEMA_VERSION: u32 = 3;
+
 pub use event::{CountersSnapshot, JobEventKind, RecoveryKind, TraceEvent};
-pub use report::{partition_by_job, HealthRow, JobRow, TenantAgg, TraceReport, WasteBreakdown};
+pub use flight::{FlightConfig, FlightRecorder};
+pub use profile::{iteration_class, model_cycles, PhaseProfiler, ProfilerScope};
+pub use report::{
+    partition_by_job, AlertRow, HealthRow, JobRow, ProfileRow, TenantAgg, TraceReport,
+    WasteBreakdown,
+};
 pub use sink::{parse_jsonl, parse_jsonl_tagged, JsonlSink, RingSink, TeeSink, TraceSink, Tracer};

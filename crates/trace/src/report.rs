@@ -127,6 +127,31 @@ pub struct HealthRow {
     pub t_us: u64,
 }
 
+/// A monitor alert ([`TraceEvent::Alert`]) from the stream, in order.
+#[derive(Debug, Clone)]
+pub struct AlertRow {
+    pub monitor: String,
+    pub tenant: String,
+    pub severity: String,
+    pub value: f64,
+    pub threshold: f64,
+    pub t_us: u64,
+    pub detail: String,
+}
+
+/// One phase-profiler cell ([`TraceEvent::ProfileSample`]) from the
+/// stream, in order. `crate::profile::PhaseProfiler::fold_events`
+/// re-aggregates these into folded stacks.
+#[derive(Debug, Clone)]
+pub struct ProfileRow {
+    pub algo: String,
+    pub class: String,
+    pub phase: u64,
+    pub cycles: u64,
+    pub wall_us: u64,
+    pub spans: u64,
+}
+
 /// Per-tenant fold over [`JobRow`]s — the fair-share evidence: how many
 /// jobs each tenant got through and how much device time they consumed.
 #[derive(Debug, Default, Clone)]
@@ -182,6 +207,10 @@ pub struct TraceReport {
     pub queue_depth_peak: u64,
     /// Device-slot health transitions, in stream order.
     pub health: Vec<HealthRow>,
+    /// Monitor alerts (SLO burn-rate, flight-recorder), in stream order.
+    pub alerts: Vec<AlertRow>,
+    /// Phase-profiler cells, in stream order.
+    pub profile: Vec<ProfileRow>,
 }
 
 impl TraceReport {
@@ -334,6 +363,38 @@ impl TraceReport {
                     status: status.clone(),
                     index: *index,
                     detail: detail.clone(),
+                }),
+                TraceEvent::Alert {
+                    monitor,
+                    tenant,
+                    severity,
+                    value,
+                    threshold,
+                    t_us,
+                    detail,
+                } => r.alerts.push(AlertRow {
+                    monitor: monitor.clone(),
+                    tenant: tenant.clone(),
+                    severity: severity.clone(),
+                    value: *value,
+                    threshold: *threshold,
+                    t_us: *t_us,
+                    detail: detail.clone(),
+                }),
+                TraceEvent::ProfileSample {
+                    algo,
+                    class,
+                    phase,
+                    cycles,
+                    wall_us,
+                    spans,
+                } => r.profile.push(ProfileRow {
+                    algo: algo.clone(),
+                    class: class.clone(),
+                    phase: *phase,
+                    cycles: *cycles,
+                    wall_us: *wall_us,
+                    spans: *spans,
                 }),
             }
         }
@@ -566,6 +627,25 @@ impl TraceReport {
                 "worklist  {name}: peak occupancy {peak} of {cap}\n"
             ));
         }
+        if !self.alerts.is_empty() {
+            out.push_str(&format!("alerts          : {}\n", self.alerts.len()));
+            for a in &self.alerts {
+                out.push_str(&format!(
+                    "  [{}] {}{}: {:.2} over threshold {:.2} at {}us: {}\n",
+                    a.severity,
+                    a.monitor,
+                    if a.tenant.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" tenant={}", a.tenant)
+                    },
+                    a.value,
+                    a.threshold,
+                    a.t_us,
+                    a.detail
+                ));
+            }
+        }
         if !self.sanitizers.is_empty() {
             let violations = self.sanitizers.iter().filter(|s| s.is_violation()).count();
             out.push_str(&format!(
@@ -614,6 +694,24 @@ impl TraceReport {
                 t.coalescing_factor(),
                 t.occupancy(),
             ));
+        }
+        out
+    }
+
+    /// The phase-profiler cells re-rendered as folded stacks
+    /// (`algo;class;phaseN cycles`) — the flamegraph input format.
+    /// Cells with identical triples (e.g. from several jobs or drains)
+    /// merge by summing cycles.
+    pub fn folded_profile(&self) -> String {
+        let mut cells: BTreeMap<(String, String, u64), u64> = BTreeMap::new();
+        for p in &self.profile {
+            *cells
+                .entry((p.algo.clone(), p.class.clone(), p.phase))
+                .or_insert(0) += p.cycles;
+        }
+        let mut out = String::new();
+        for ((algo, class, phase), cycles) in cells {
+            out.push_str(&format!("{algo};{class};phase{phase} {cycles}\n"));
         }
         out
     }
@@ -903,6 +1001,46 @@ mod tests {
         assert_eq!(r.health.len(), 2);
         assert_eq!(r.health[0].state, "quarantined");
         assert_eq!(r.health[1].failures, 0);
+    }
+
+    #[test]
+    fn alerts_and_profile_samples_fold_and_render() {
+        let events = vec![
+            TraceEvent::Alert {
+                monitor: "slo_burn_rate".into(),
+                tenant: "acme".into(),
+                severity: "page".into(),
+                value: 12.0,
+                threshold: 10.0,
+                t_us: 500,
+                detail: "budget burning".into(),
+            },
+            TraceEvent::ProfileSample {
+                algo: "dmr".into(),
+                class: "it0".into(),
+                phase: 1,
+                cycles: 100,
+                wall_us: 10,
+                spans: 2,
+            },
+            TraceEvent::ProfileSample {
+                algo: "dmr".into(),
+                class: "it0".into(),
+                phase: 1,
+                cycles: 50,
+                wall_us: 5,
+                spans: 1,
+            },
+        ];
+        let r = TraceReport::from_events(&events);
+        assert_eq!(r.alerts.len(), 1);
+        assert_eq!(r.alerts[0].tenant, "acme");
+        assert_eq!(r.profile.len(), 2);
+        let folded = r.folded_profile();
+        assert_eq!(folded, "dmr;it0;phase1 150\n");
+        let waste = r.render_waste();
+        assert!(waste.contains("alerts          : 1"), "{waste}");
+        assert!(waste.contains("slo_burn_rate tenant=acme"), "{waste}");
     }
 
     #[test]

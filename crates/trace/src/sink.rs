@@ -77,6 +77,21 @@ impl Tracer {
         self.job
     }
 
+    /// A tracer recording into this tracer's sink *and* `extra`; a
+    /// disabled tracer becomes one recording into `extra` alone. The
+    /// `morph-serve` pool uses this to splice its always-on flight
+    /// recorder next to whatever sink the caller supplied.
+    pub fn tee_with(&self, extra: Arc<dyn TraceSink>) -> Tracer {
+        let sink: Arc<dyn TraceSink> = match &self.sink {
+            Some(own) => Arc::new(TeeSink::new(vec![Arc::clone(own), extra])),
+            None => extra,
+        };
+        Tracer {
+            sink: Some(sink),
+            job: self.job,
+        }
+    }
+
     /// Whether a sink is attached. Guard expensive pre-computation on
     /// this; `emit` itself already checks.
     #[inline]
@@ -578,6 +593,24 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn tee_with_splices_a_sink_into_any_tracer() {
+        let ring_a = Arc::new(RingSink::new(8));
+        let ring_b = Arc::new(RingSink::new(8));
+        // A disabled tracer gains exactly the extra sink.
+        let t = Tracer::disabled().tee_with(Arc::clone(&ring_a) as Arc<dyn TraceSink>);
+        assert!(t.enabled());
+        t.emit(|| marker(1));
+        assert_eq!(ring_a.len(), 1);
+        // An enabled tracer keeps its own sink and gains the extra one;
+        // job attribution survives the splice.
+        let base = Tracer::new(Arc::clone(&ring_a) as Arc<dyn TraceSink>).for_job(3);
+        let teed = base.tee_with(Arc::clone(&ring_b) as Arc<dyn TraceSink>);
+        teed.emit(|| marker(2));
+        assert_eq!(ring_a.len(), 2);
+        assert_eq!(ring_b.tagged_events(), vec![(Some(3), marker(2))]);
     }
 
     #[test]

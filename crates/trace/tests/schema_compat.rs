@@ -1,0 +1,111 @@
+//! Golden-file schema back-compat (see `TRACE_SCHEMA_VERSION`).
+//!
+//! The golden files under `tests/golden/` are frozen JSONL streams, one
+//! per schema revision, written byte-for-byte as the crate serialized at
+//! that revision. They must never be regenerated from current code —
+//! that would test the encoder against itself. The contract under test:
+//! every revision keeps parsing as new event kinds land, so archived
+//! `BENCH_*` traces and soak artifacts stay readable.
+
+use morph_trace::{
+    parse_jsonl, parse_jsonl_tagged, JobEventKind, PhaseProfiler, TraceEvent, TraceReport,
+    TRACE_SCHEMA_VERSION,
+};
+
+const V1: &str = include_str!("golden/schema_v1.jsonl");
+const V2: &str = include_str!("golden/schema_v2.jsonl");
+const V3: &str = include_str!("golden/schema_v3.jsonl");
+
+#[test]
+fn schema_version_matches_the_golden_set() {
+    // Adding a revision means freezing a new golden file alongside it.
+    assert_eq!(TRACE_SCHEMA_VERSION, 3);
+}
+
+#[test]
+fn v1_streams_parse_with_zero_counters_for_later_fields() {
+    let (events, bad) = parse_jsonl(V1);
+    assert!(bad.is_empty(), "v1 golden lines failed to parse: {bad:?}");
+    assert_eq!(events.len(), V1.lines().count());
+    // The cost-model counters (a v2 addition) decode as zero, not errors.
+    let span = events
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::PhaseSpan { delta, .. } => Some(delta),
+            _ => None,
+        })
+        .expect("v1 stream has a phase span");
+    assert_eq!(span.warps, 8);
+    assert_eq!(span.gmem_accesses, 0);
+    assert_eq!(span.active_warps, 0);
+    // And the stream still folds into a usable report.
+    let r = TraceReport::from_events(&events);
+    assert_eq!(r.launches.len(), 1);
+    assert_eq!(r.phases.len(), 2);
+    assert_eq!(r.alloc_peaks["dmr.tri_pool"], (812, 4096));
+    assert_eq!(r.waste().retries, 1);
+}
+
+#[test]
+fn v2_streams_parse_with_full_serve_attribution() {
+    let (tagged, bad) = parse_jsonl_tagged(V2);
+    assert!(bad.is_empty(), "v2 golden lines failed to parse: {bad:?}");
+    assert_eq!(tagged.len(), V2.lines().count());
+    // The spliced `{"job":7,...}` engine line keeps its attribution.
+    assert!(tagged
+        .iter()
+        .any(|(tag, e)| *tag == Some(7) && matches!(e, TraceEvent::AlgoIteration { .. })));
+    let r = TraceReport::from_tagged(&tagged);
+    let row = &r.jobs[&7];
+    assert_eq!(row.outcome, Some(JobEventKind::Finished));
+    assert_eq!(row.starts, 2);
+    assert_eq!(row.evictions, 1);
+    assert_eq!(row.resumes, 1);
+    assert_eq!(row.checkpoints, 1);
+    assert_eq!(row.checkpoint_bytes, 2048);
+    assert_eq!(r.health.len(), 1);
+    // v2 cost-model counters decode in full.
+    assert_eq!(r.totals.gmem_transactions, 40);
+}
+
+#[test]
+fn v3_streams_parse_alerts_and_profile_samples() {
+    let (events, bad) = parse_jsonl(V3);
+    assert!(bad.is_empty(), "v3 golden lines failed to parse: {bad:?}");
+    let r = TraceReport::from_events(&events);
+    assert_eq!(r.alerts.len(), 1);
+    assert_eq!(r.alerts[0].monitor, "slo_burn_rate");
+    assert!((r.alerts[0].value - 14.5).abs() < 1e-9);
+    assert_eq!(r.profile.len(), 2);
+    let folded = PhaseProfiler::fold_events(events.iter()).to_folded();
+    assert!(folded.contains("dmr;it0;phase0 4096"), "{folded}");
+    assert!(folded.contains("dmr;it2-3;phase1 1024"), "{folded}");
+}
+
+#[test]
+fn mixed_old_and_new_streams_fold_together() {
+    // A concatenation of all three revisions — the realistic shape of an
+    // appended archive — parses line-for-line and folds into one report.
+    let all = format!("{V1}{V2}{V3}");
+    let (events, bad) = parse_jsonl(&all);
+    assert!(bad.is_empty(), "mixed stream failed on lines {bad:?}");
+    let r = TraceReport::from_events(&events);
+    assert_eq!(r.launches.len(), 2);
+    assert_eq!(r.alerts.len(), 1);
+    assert_eq!(r.profile.len(), 2);
+    assert!(!r.jobs.is_empty());
+}
+
+#[test]
+fn unknown_future_event_kinds_are_skippable_not_fatal() {
+    // Forward-compat contract: a future revision's unknown discriminant
+    // decodes to None (TraceEvent::from_json), and parse_jsonl reports
+    // the line number instead of failing the stream.
+    let future = format!(
+        "{}{}\n",
+        V3, r#"{"type":"hologram_export","job":1,"qubits":7}"#
+    );
+    let (events, bad) = parse_jsonl(&future);
+    assert_eq!(events.len(), V3.lines().count());
+    assert_eq!(bad, vec![V3.lines().count() + 1]);
+}
