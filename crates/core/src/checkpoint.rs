@@ -15,14 +15,51 @@
 //! `RecoveryOpts`; when it is `None` the payload closure is never invoked
 //! and **no snapshot allocation happens at all**.
 
-use morph_gpu_sim::MetricsHub;
+use morph_gpu_sim::{AppendFault, FaultPlan, MetricsHub};
 use morph_trace::{TraceEvent, Tracer};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// CRC-32 (IEEE 802.3, the `cksum`/zlib polynomial) lookup table, built at
+/// compile time so the workspace stays dependency-free.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes` — shared by the durable checkpoint store and
+/// the serve-layer job journal so every durable artifact in the workspace
+/// carries the same checksum family.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// On-disk snapshot layout version (the durable store refuses artifacts
+/// from a future layout instead of misreading them).
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 1;
+
+/// Magic prefix of every durable snapshot file.
+const SNAPSHOT_MAGIC: u32 = 0x4D43_4B50; // "MCKP"
 
 /// One persisted resume point. `payload` is an opaque pipeline-encoded
 /// byte string (see [`PayloadWriter`]); `version` increases monotonically
@@ -52,12 +89,40 @@ struct StoreInner {
     bytes: u64,
 }
 
+/// What a durable store found on disk when it was opened.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StoreRecovery {
+    /// Snapshots whose primary file verified and was loaded.
+    pub loaded: u64,
+    /// Snapshots whose primary was corrupt but whose `.prev` verified —
+    /// the resume point is one save older than the last attempt.
+    pub fell_back: u64,
+    /// Artifacts dropped entirely: both copies corrupt or unreadable.
+    /// The owning job restarts from zero.
+    pub discarded: u64,
+}
+
+/// Directory-backed persistence behind a [`CheckpointStore`]: one
+/// `job-<id>.ck` file per job (plus a `.prev` generation), each a
+/// CRC-verified [`SNAPSHOT_SCHEMA_VERSION`] artifact written via
+/// tmp-file + fsync + rename so a crash can never leave a half-written
+/// *primary* — only a torn tmp file that the next open ignores.
+struct DurableBacking {
+    dir: PathBuf,
+    faults: Option<Arc<FaultPlan>>,
+    recovery: StoreRecovery,
+    fsync_denied: AtomicU64,
+    write_faults: AtomicU64,
+}
+
 /// Versioned checkpoint storage: always queryable in memory, optionally
-/// mirrored to an append-only JSONL file for post-mortem inspection and
-/// cross-process durability.
+/// mirrored to an append-only JSONL file for post-mortem inspection, or
+/// backed by a verified per-job snapshot directory ([`Self::durable`])
+/// for crash recovery.
 pub struct CheckpointStore {
     inner: Mutex<StoreInner>,
     jsonl: Option<Mutex<File>>,
+    durable: Option<DurableBacking>,
 }
 
 impl CheckpointStore {
@@ -66,6 +131,7 @@ impl CheckpointStore {
         Self {
             inner: Mutex::new(StoreInner::default()),
             jsonl: None,
+            durable: None,
         }
     }
 
@@ -76,7 +142,100 @@ impl CheckpointStore {
         Ok(Self {
             inner: Mutex::new(StoreInner::default()),
             jsonl: Some(Mutex::new(file)),
+            durable: None,
         })
+    }
+
+    /// Durable store rooted at `dir`: every save is written atomically
+    /// (tmp + fsync + rename, previous generation kept as `.ck.prev`) and
+    /// every artifact found at open is CRC-verified — a corrupt primary
+    /// falls back to its `.prev`, a corrupt pair is discarded, and the
+    /// tally is reported via [`Self::store_recovery`]. `faults` routes the
+    /// write/fsync/read paths through [`FaultPlan`]'s durability hooks.
+    pub fn durable(
+        dir: impl Into<PathBuf>,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut backing = DurableBacking {
+            dir,
+            faults,
+            recovery: StoreRecovery::default(),
+            fsync_denied: AtomicU64::new(0),
+            write_faults: AtomicU64::new(0),
+        };
+        let mut inner = StoreInner::default();
+
+        // Collect every job id that left an artifact (primary or prev).
+        let mut jobs = BTreeSet::new();
+        for entry in std::fs::read_dir(&backing.dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy().into_owned();
+            if let Some(rest) = name.strip_prefix("job-") {
+                let id = rest
+                    .strip_suffix(".ck")
+                    .or_else(|| rest.strip_suffix(".ck.prev"));
+                if let Some(id) = id.and_then(|s| s.parse::<u64>().ok()) {
+                    jobs.insert(id);
+                }
+            }
+        }
+        for job in jobs {
+            let primary = backing.snapshot_path(job, false);
+            let prev = backing.snapshot_path(job, true);
+            match backing.read_verified(&primary) {
+                Some(ck) if ck.job == job => {
+                    backing.recovery.loaded += 1;
+                    inner.versions.insert(job, ck.version);
+                    inner.latest.insert(job, ck);
+                }
+                _ => match backing.read_verified(&prev) {
+                    Some(ck) if ck.job == job => {
+                        backing.recovery.fell_back += 1;
+                        // Promote the fallback so a later save's rename
+                        // chain starts from a verified primary.
+                        let _ = std::fs::rename(&prev, &primary);
+                        inner.versions.insert(job, ck.version);
+                        inner.latest.insert(job, ck);
+                    }
+                    _ => {
+                        backing.recovery.discarded += 1;
+                        // Drop the damage so it cannot re-poison the next
+                        // open.
+                        let _ = std::fs::remove_file(&primary);
+                        let _ = std::fs::remove_file(&prev);
+                    }
+                },
+            }
+        }
+        Ok(Self {
+            inner: Mutex::new(inner),
+            jsonl: None,
+            durable: Some(backing),
+        })
+    }
+
+    /// Recovery tally of a [`Self::durable`] store's open scan; `None`
+    /// for non-durable stores.
+    pub fn store_recovery(&self) -> Option<StoreRecovery> {
+        self.durable.as_ref().map(|d| d.recovery)
+    }
+
+    /// Fsyncs skipped because the fault plan denied them (durability
+    /// degraded, operation continued).
+    pub fn fsync_denied(&self) -> u64 {
+        self.durable
+            .as_ref()
+            .map_or(0, |d| d.fsync_denied.load(Ordering::Acquire))
+    }
+
+    /// Snapshot writes torn or shortened by the fault plan (the previous
+    /// generation stays authoritative).
+    pub fn write_faults(&self) -> u64 {
+        self.durable
+            .as_ref()
+            .map_or(0, |d| d.write_faults.load(Ordering::Acquire))
     }
 
     /// Persist a snapshot; assigns and returns its version. The newest
@@ -106,6 +265,12 @@ impl CheckpointStore {
             // is authoritative; the mirror is best-effort.
             let _ = f.write_all(line.as_bytes()).and_then(|()| f.flush());
         }
+        if let Some(d) = &self.durable {
+            // Disk failures must not kill the job either: the in-memory
+            // copy keeps this process correct; only a later *recovery*
+            // loses the snapshot, and the verified open handles that.
+            d.write_snapshot(&ck);
+        }
         ck.version
     }
 
@@ -115,9 +280,15 @@ impl CheckpointStore {
     }
 
     /// Drop a job's checkpoint (terminal state reached — nothing left to
-    /// resume). Version counters are retained.
+    /// resume). Version counters are retained. A durable store also
+    /// removes the on-disk artifacts so a restart cannot resurrect a
+    /// finished job's state.
     pub fn discard(&self, job: u64) {
         self.inner.lock().unwrap().latest.remove(&job);
+        if let Some(d) = &self.durable {
+            let _ = std::fs::remove_file(d.snapshot_path(job, false));
+            let _ = std::fs::remove_file(d.snapshot_path(job, true));
+        }
     }
 
     /// Snapshots persisted over the store's lifetime.
@@ -139,6 +310,107 @@ impl CheckpointStore {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+}
+
+impl DurableBacking {
+    fn snapshot_path(&self, job: u64, prev: bool) -> PathBuf {
+        let suffix = if prev { ".ck.prev" } else { ".ck" };
+        self.dir.join(format!("job-{job}{suffix}"))
+    }
+
+    /// Read and CRC-verify one artifact; `None` on any damage. Routes the
+    /// raw bytes through the fault plan's bit-flip hook first so the
+    /// verification path itself is fault-injectable.
+    fn read_verified(&self, path: &Path) -> Option<Checkpoint> {
+        let mut bytes = std::fs::read(path).ok()?;
+        if let Some(plan) = &self.faults {
+            if !bytes.is_empty() && plan.corrupt_read() {
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0x10;
+            }
+        }
+        decode_snapshot(&bytes)
+    }
+
+    /// Atomic snapshot write: encode, land in a tmp file, fsync, keep the
+    /// old primary as `.prev`, rename the tmp into place. Injected torn
+    /// and short writes abandon the tmp file (as a real crash would),
+    /// leaving the previous generation authoritative.
+    fn write_snapshot(&self, ck: &Checkpoint) {
+        let bytes = encode_snapshot(ck);
+        let primary = self.snapshot_path(ck.job, false);
+        let prev = self.snapshot_path(ck.job, true);
+        let tmp = self.dir.join(format!("job-{}.ck.tmp", ck.job));
+        let fault = self.faults.as_ref().and_then(|p| p.fail_append());
+        if let Some(fault) = fault {
+            self.write_faults.fetch_add(1, Ordering::AcqRel);
+            let cut = match fault {
+                AppendFault::Torn => bytes.len() / 2,
+                AppendFault::Short => 4,
+            };
+            if let Ok(mut f) = File::create(&tmp) {
+                let _ = f.write_all(&bytes[..cut.min(bytes.len())]);
+            }
+            return; // no rename: the crash "happened" mid-write
+        }
+        let write = || -> std::io::Result<()> {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            if self.faults.as_ref().is_some_and(|p| p.deny_fsync()) {
+                self.fsync_denied.fetch_add(1, Ordering::AcqRel);
+            } else {
+                f.sync_data()?;
+            }
+            if primary.exists() {
+                std::fs::rename(&primary, &prev)?;
+            }
+            std::fs::rename(&tmp, &primary)
+        };
+        let _ = write();
+    }
+}
+
+/// Encode one snapshot as a self-verifying artifact:
+/// `magic · schema · job · version · iteration · algo · payload · crc32`,
+/// all little-endian via [`PayloadWriter`], CRC over everything before it.
+fn encode_snapshot(ck: &Checkpoint) -> Vec<u8> {
+    let mut w = PayloadWriter::with_capacity(ck.payload.len() + ck.algo.len() + 48);
+    w.u32(SNAPSHOT_MAGIC);
+    w.u32(SNAPSHOT_SCHEMA_VERSION);
+    w.u64(ck.job);
+    w.u64(ck.version);
+    w.u64(ck.iteration);
+    w.str(&ck.algo);
+    w.bytes(&ck.payload);
+    let mut buf = w.finish();
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Decode and verify one snapshot artifact; `None` on bad magic, foreign
+/// schema, CRC mismatch, truncation, or trailing garbage.
+fn decode_snapshot(bytes: &[u8]) -> Option<Checkpoint> {
+    if bytes.len() < 4 {
+        return None;
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 4);
+    let crc = u32::from_le_bytes(tail.try_into().ok()?);
+    if crc32(body) != crc {
+        return None;
+    }
+    let mut r = PayloadReader::new(body);
+    if r.u32()? != SNAPSHOT_MAGIC || r.u32()? != SNAPSHOT_SCHEMA_VERSION {
+        return None;
+    }
+    let ck = Checkpoint {
+        job: r.u64()?,
+        version: r.u64()?,
+        iteration: r.u64()?,
+        algo: r.str()?,
+        payload: r.bytes()?,
+    };
+    r.exhausted().then_some(ck)
 }
 
 /// Read every snapshot back from a JSONL mirror, in append order.
@@ -358,6 +630,17 @@ impl PayloadWriter {
         }
     }
 
+    /// A length-prefixed byte string.
+    pub fn bytes(&mut self, bs: &[u8]) {
+        self.u64(bs.len() as u64);
+        self.buf.extend_from_slice(bs);
+    }
+
+    /// A length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
     pub fn finish(self) -> Vec<u8> {
         self.buf
     }
@@ -409,6 +692,20 @@ impl<'a> PayloadReader<'a> {
             return None;
         }
         (0..n).map(|_| self.u64()).collect()
+    }
+
+    /// A length-prefixed byte string.
+    pub fn bytes(&mut self) -> Option<Vec<u8>> {
+        let n = self.u64()? as usize;
+        if n > self.buf.len().saturating_sub(self.pos) {
+            return None; // hostile length prefix
+        }
+        Some(self.take(n)?.to_vec())
+    }
+
+    /// A length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Option<String> {
+        String::from_utf8(self.bytes()?).ok()
     }
 
     /// All bytes consumed? Resumes should check this to catch schema
@@ -503,6 +800,169 @@ mod tests {
         w2.u64(u64::MAX);
         let evil = w2.finish();
         assert_eq!(PayloadReader::new(&evil).u32_slice(), None);
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "morph-ckpt-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn snapshot_artifact_roundtrips_and_rejects_damage() {
+        let ck = Checkpoint {
+            job: 7,
+            algo: "dmr".into(),
+            version: 3,
+            iteration: 11,
+            payload: vec![1, 2, 3, 0xFF],
+        };
+        let bytes = encode_snapshot(&ck);
+        assert_eq!(decode_snapshot(&bytes).unwrap(), ck);
+        // Any single flipped bit is caught by the CRC.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x04;
+            assert!(decode_snapshot(&bad).is_none(), "flip at {i} undetected");
+        }
+        // Truncation at every offset is caught, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(decode_snapshot(&bytes[..cut]).is_none());
+        }
+    }
+
+    #[test]
+    fn durable_store_survives_reopen_and_falls_back_on_corruption() {
+        let dir = scratch_dir("durable");
+        {
+            let store = CheckpointStore::durable(&dir, None).unwrap();
+            store.save(1, "sp", 4, vec![0xAB; 16]);
+            store.save(1, "sp", 9, vec![0xCD; 16]); // v2 primary, v1 -> .prev
+            store.save(2, "mst", 3, vec![9]);
+        }
+        // Clean reopen: both jobs load from their primaries.
+        {
+            let store = CheckpointStore::durable(&dir, None).unwrap();
+            assert_eq!(
+                store.store_recovery().unwrap(),
+                StoreRecovery { loaded: 2, fell_back: 0, discarded: 0 }
+            );
+            let ck = store.load(1).unwrap();
+            assert_eq!((ck.version, ck.iteration), (2, 9));
+            // Version counters continue from disk.
+            assert_eq!(store.save(1, "sp", 12, vec![1]), 3);
+        }
+        // Corrupt job 1's primary on disk: open falls back to .prev.
+        {
+            let p = dir.join("job-1.ck");
+            let mut bytes = std::fs::read(&p).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x40;
+            std::fs::write(&p, &bytes).unwrap();
+            let store = CheckpointStore::durable(&dir, None).unwrap();
+            let rec = store.store_recovery().unwrap();
+            assert_eq!((rec.fell_back, rec.discarded), (1, 0));
+            let ck = store.load(1).unwrap();
+            assert_eq!(ck.version, 2, "fallback is the previous generation");
+        }
+        // Corrupt both generations: the artifact is discarded, job 2
+        // unaffected.
+        {
+            for name in ["job-1.ck", "job-1.ck.prev"] {
+                let p = dir.join(name);
+                if p.exists() {
+                    std::fs::write(&p, b"garbage").unwrap();
+                }
+            }
+            let store = CheckpointStore::durable(&dir, None).unwrap();
+            assert_eq!(store.store_recovery().unwrap().discarded, 1);
+            assert!(store.load(1).is_none());
+            assert!(store.load(2).is_some());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_store_discard_removes_artifacts() {
+        let dir = scratch_dir("discard");
+        let store = CheckpointStore::durable(&dir, None).unwrap();
+        store.save(5, "pta", 0, vec![7; 8]);
+        store.save(5, "pta", 1, vec![8; 8]);
+        assert!(dir.join("job-5.ck").exists());
+        store.discard(5);
+        assert!(!dir.join("job-5.ck").exists());
+        assert!(!dir.join("job-5.ck.prev").exists());
+        let reopened = CheckpointStore::durable(&dir, None).unwrap();
+        assert!(reopened.load(5).is_none(), "discard is durable");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_write_faults_leave_previous_generation_authoritative() {
+        let dir = scratch_dir("faults");
+        {
+            // Save 0 lands clean, save 1 is torn, save 2's fsync is
+            // denied but still lands.
+            let plan = Arc::new(FaultPlan::new().with_torn_write(1).with_fsync_denial(0));
+            let store = CheckpointStore::durable(&dir, Some(plan)).unwrap();
+            store.save(3, "sp", 0, vec![0x11; 32]);
+            store.save(3, "sp", 5, vec![0x22; 32]); // torn: never renamed
+            assert_eq!(store.write_faults(), 1);
+            store.save(3, "sp", 8, vec![0x33; 32]); // fsync denied, still durable
+            assert_eq!(store.fsync_denied(), 1);
+        }
+        let store = CheckpointStore::durable(&dir, None).unwrap();
+        let ck = store.load(3).unwrap();
+        assert_eq!(ck.iteration, 8, "clean saves around the torn one survive");
+        assert_eq!(store.store_recovery().unwrap().discarded, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_read_bit_flip_is_detected_and_falls_back() {
+        let dir = scratch_dir("bitflip");
+        {
+            let store = CheckpointStore::durable(&dir, None).unwrap();
+            store.save(4, "mst", 2, vec![5; 64]);
+            store.save(4, "mst", 6, vec![6; 64]);
+        }
+        // Flip a bit in the first durable read (job 4's primary): the CRC
+        // catches it and the open falls back to the .prev generation.
+        let plan = Arc::new(FaultPlan::new().with_read_bit_flip(0));
+        let store = CheckpointStore::durable(&dir, Some(plan)).unwrap();
+        let rec = store.store_recovery().unwrap();
+        assert_eq!((rec.fell_back, rec.discarded), (1, 0));
+        assert_eq!(store.load(4).unwrap().iteration, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn payload_strings_roundtrip() {
+        let mut w = PayloadWriter::new();
+        w.str("dmr");
+        w.bytes(&[0, 255, 3]);
+        w.str("");
+        let buf = w.finish();
+        let mut r = PayloadReader::new(&buf);
+        assert_eq!(r.str().as_deref(), Some("dmr"));
+        assert_eq!(r.bytes(), Some(vec![0, 255, 3]));
+        assert_eq!(r.str().as_deref(), Some(""));
+        assert!(r.exhausted());
+        // Hostile length prefix caught before allocation.
+        let mut w2 = PayloadWriter::new();
+        w2.u64(u64::MAX);
+        assert_eq!(PayloadReader::new(&w2.finish()).bytes(), None);
     }
 
     #[test]

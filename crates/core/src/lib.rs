@@ -33,8 +33,8 @@ pub mod worklist;
 pub use adaptive::AdaptiveParallelism;
 pub use addition::BumpAllocator;
 pub use checkpoint::{
-    load_jsonl as load_checkpoint_jsonl, Checkpoint, CheckpointCtl, CheckpointStore,
-    PayloadReader, PayloadWriter,
+    crc32, load_jsonl as load_checkpoint_jsonl, Checkpoint, CheckpointCtl, CheckpointStore,
+    PayloadReader, PayloadWriter, StoreRecovery, SNAPSHOT_SCHEMA_VERSION,
 };
 pub use conflict::ConflictTable;
 pub use deletion::{DeletionMarks, RecyclePool};

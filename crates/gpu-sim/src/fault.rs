@@ -63,6 +63,49 @@ struct AllocDenial {
     remaining: AtomicU32,
 }
 
+/// How an injected storage append fails.
+///
+/// Returned by [`FaultPlan::fail_append`] to the durability layer (job
+/// journal, checkpoint store), which must then behave as if the process
+/// died mid-`write(2)`: a torn fault leaves a partial record on disk, a
+/// short fault leaves only the frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppendFault {
+    /// The record was cut mid-payload — CRC of the tail record cannot
+    /// verify on the next open.
+    Torn,
+    /// Only the length prefix landed — the next open sees a frame header
+    /// with no body.
+    Short,
+}
+
+/// A fault armed against the `nth` call (0-based) of one durability hook.
+struct NthCallFault {
+    nth: u64,
+    fired: AtomicBool,
+}
+
+impl NthCallFault {
+    fn new(nth: u64) -> Self {
+        Self {
+            nth,
+            fired: AtomicBool::new(false),
+        }
+    }
+
+    fn fires_at(&self, call: u64) -> bool {
+        self.nth == call
+            && self
+                .fired
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+    }
+
+    fn done(&self) -> bool {
+        self.fired.load(Ordering::Acquire)
+    }
+}
+
 /// A reproducible schedule of faults to inject into kernel execution.
 ///
 /// Launch indices are relative to when the plan was attached: the first
@@ -75,6 +118,15 @@ pub struct FaultPlan {
     stalls: Vec<StallFault>,
     denials: Vec<AllocDenial>,
     losses: Vec<DeviceLossFault>,
+    // Durability faults: armed against call indices of the storage hooks
+    // rather than launch sites — the durability layer has no launches.
+    torn_writes: Vec<NthCallFault>,
+    short_writes: Vec<NthCallFault>,
+    fsync_denials: Vec<NthCallFault>,
+    read_bit_flips: Vec<NthCallFault>,
+    appends_seen: AtomicU64,
+    fsyncs_seen: AtomicU64,
+    reads_seen: AtomicU64,
 }
 
 // Summarised by hand: the fault lists are implementation detail, but
@@ -87,6 +139,10 @@ impl std::fmt::Debug for FaultPlan {
             .field("stalls", &self.stalls.len())
             .field("denials", &self.denials.len())
             .field("losses", &self.losses.len())
+            .field("torn_writes", &self.torn_writes.len())
+            .field("short_writes", &self.short_writes.len())
+            .field("fsync_denials", &self.fsync_denials.len())
+            .field("read_bit_flips", &self.read_bit_flips.len())
             .finish()
     }
 }
@@ -160,6 +216,36 @@ impl FaultPlan {
             launch,
             remaining: AtomicU32::new(count),
         });
+        self
+    }
+
+    /// Tear the `nth` durable append (0-based, counted across every
+    /// consumer of [`FaultPlan::fail_append`]): the record is cut
+    /// mid-payload and the store behaves as if the process died there.
+    pub fn with_torn_write(mut self, nth: u64) -> Self {
+        self.torn_writes.push(NthCallFault::new(nth));
+        self
+    }
+
+    /// Short-write the `nth` durable append: only the frame header lands.
+    pub fn with_short_write(mut self, nth: u64) -> Self {
+        self.short_writes.push(NthCallFault::new(nth));
+        self
+    }
+
+    /// Deny the `nth` fsync issued by the durability layer — modelling an
+    /// EIO from `fdatasync(2)`. The store must degrade (keep running with
+    /// weaker durability) rather than trap.
+    pub fn with_fsync_denial(mut self, nth: u64) -> Self {
+        self.fsync_denials.push(NthCallFault::new(nth));
+        self
+    }
+
+    /// Flip one bit in the `nth` durable read — modelling silent media
+    /// corruption. The verified store must detect the damage via CRC and
+    /// fall back to the previous good artifact.
+    pub fn with_read_bit_flip(mut self, nth: u64) -> Self {
+        self.read_bit_flips.push(NthCallFault::new(nth));
         self
     }
 
@@ -299,6 +385,45 @@ impl FaultPlan {
         })
     }
 
+    /// Consulted by the durability layer before each append to durable
+    /// storage. Counts the call and reports whether (and how) it must
+    /// fail. Fires each armed fault once.
+    pub fn fail_append(&self) -> Option<AppendFault> {
+        if self.torn_writes.is_empty() && self.short_writes.is_empty() {
+            return None;
+        }
+        let call = self.appends_seen.fetch_add(1, Ordering::AcqRel);
+        if self.torn_writes.iter().any(|f| f.fires_at(call)) {
+            return Some(AppendFault::Torn);
+        }
+        if self.short_writes.iter().any(|f| f.fires_at(call)) {
+            return Some(AppendFault::Short);
+        }
+        None
+    }
+
+    /// Consulted by the durability layer before each fsync. Counts the
+    /// call; true means the sync must be skipped as if the kernel returned
+    /// EIO. Fires each armed fault once.
+    pub fn deny_fsync(&self) -> bool {
+        if self.fsync_denials.is_empty() {
+            return false;
+        }
+        let call = self.fsyncs_seen.fetch_add(1, Ordering::AcqRel);
+        self.fsync_denials.iter().any(|f| f.fires_at(call))
+    }
+
+    /// Consulted by the durability layer after each read of a durable
+    /// artifact. Counts the call; true means one bit of the buffer must be
+    /// flipped before verification. Fires each armed fault once.
+    pub fn corrupt_read(&self) -> bool {
+        if self.read_bit_flips.is_empty() {
+            return false;
+        }
+        let call = self.reads_seen.fetch_add(1, Ordering::AcqRel);
+        self.read_bit_flips.iter().any(|f| f.fires_at(call))
+    }
+
     /// True if every configured fault has fired (denials: budget drained).
     pub fn exhausted(&self) -> bool {
         self.panics.iter().all(|p| p.fired.load(Ordering::Acquire))
@@ -308,6 +433,10 @@ impl FaultPlan {
                 .denials
                 .iter()
                 .all(|d| d.remaining.load(Ordering::Acquire) == 0)
+            && self.torn_writes.iter().all(NthCallFault::done)
+            && self.short_writes.iter().all(NthCallFault::done)
+            && self.fsync_denials.iter().all(NthCallFault::done)
+            && self.read_bit_flips.iter().all(NthCallFault::done)
     }
 }
 
@@ -393,6 +522,35 @@ mod tests {
         // No stall requested ⇒ none injected.
         let quiet = FaultPlan::seeded_chaos(7, 10, 8, 32, 4, Duration::ZERO);
         assert!(quiet.stalls.is_empty());
+    }
+
+    #[test]
+    fn durability_faults_fire_once_at_their_call_index() {
+        let plan = FaultPlan::new()
+            .with_torn_write(1)
+            .with_short_write(2)
+            .with_fsync_denial(0)
+            .with_read_bit_flip(1);
+        assert_eq!(plan.fail_append(), None); // call 0
+        assert_eq!(plan.fail_append(), Some(AppendFault::Torn)); // call 1
+        assert_eq!(plan.fail_append(), Some(AppendFault::Short)); // call 2
+        assert_eq!(plan.fail_append(), None);
+        assert!(plan.deny_fsync()); // call 0
+        assert!(!plan.deny_fsync());
+        assert!(!plan.corrupt_read()); // call 0
+        assert!(plan.corrupt_read()); // call 1
+        assert!(!plan.corrupt_read());
+        assert!(plan.exhausted());
+    }
+
+    #[test]
+    fn plans_without_durability_faults_never_fire_them() {
+        let plan = FaultPlan::new().with_kernel_panic(0, 0, 0, 0);
+        for _ in 0..4 {
+            assert_eq!(plan.fail_append(), None);
+            assert!(!plan.deny_fsync());
+            assert!(!plan.corrupt_read());
+        }
     }
 
     #[test]

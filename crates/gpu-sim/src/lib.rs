@@ -80,7 +80,7 @@ pub use morph_trace::{CountersSnapshot, TraceEvent, Tracer};
 pub use morph_metrics::{
     Histogram, HistogramSnapshot, MetricsHub, MetricsRegistry, MetricsSnapshot,
 };
-pub use fault::{FaultPlan, INJECTED_DEVICE_LOSS_MSG, INJECTED_PANIC_MSG};
+pub use fault::{AppendFault, FaultPlan, INJECTED_DEVICE_LOSS_MSG, INJECTED_PANIC_MSG};
 pub use kernel::{Decision, Kernel, ThreadCtx};
 pub use mem::{AtomicF32Slice, AtomicF64Slice, AtomicU32Slice, AtomicU64Slice, SharedSlice};
 pub use shared::BlockLocal;

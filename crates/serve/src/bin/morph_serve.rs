@@ -46,11 +46,30 @@
 //!
 //! `check-exposition <file>` re-parses a scraped `/metrics` body with the
 //! same parser the library uses — CI curls mid-run and validates here.
+//!
+//! The durability flags make a run crash-consistent:
+//!
+//! * `--resume DIR` keeps the write-ahead job journal and the verified
+//!   checkpoint store in `DIR`. A fresh directory just records; a
+//!   directory left by a killed run is *reconciled* — journaled
+//!   terminals are accounted without re-running, in-flight jobs resume
+//!   from their last good snapshot or restart from zero, and the
+//!   summary's `recovered=`/`replayed=`/`discarded=` counters say which.
+//! * `--torn-write N` / `--short-write N` / `--fsync-deny N` /
+//!   `--bit-flip N` arm the durability fault injectors on the journal
+//!   and store (the Nth append/fsync/read misbehaves once).
+//!
+//! `crash-soak <dir>` is the end-to-end drill: it SIGKILLs a chaos run
+//! mid-flight `--cycles` times — each incarnation resuming from `<dir>`
+//! under injected torn writes and fsync denials — then lets a final
+//! clean incarnation finish and folds the surviving journal into one
+//! `CRASH-SOAK` integrity line (every admitted job exactly one terminal,
+//! nothing lost, nothing run twice).
 
 use morph_gpu_sim::FaultPlan;
 use morph_serve::{
-    apply_chaos, generate_mixed, parse_file, render_file, MorphServe, ServeConfig, ServeSummary,
-    SloConfig, CHAOS_HANG_BUDGET,
+    apply_chaos, fold_journal, generate_mixed, parse_file, render_file, scan_journal, MorphServe,
+    ServeConfig, ServeSummary, SloConfig, CHAOS_HANG_BUDGET,
 };
 use morph_trace::{
     parse_jsonl, FlightConfig, JsonlSink, PhaseProfiler, RingSink, TeeSink, TraceEvent,
@@ -59,6 +78,7 @@ use morph_trace::{
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn usage() -> ExitCode {
     eprintln!("usage: morph-serve gen <jobs> <seed> <out.jobs>");
@@ -67,6 +87,9 @@ fn usage() -> ExitCode {
     eprintln!("                       [--chaos S] [--checkpoint-every N]");
     eprintln!("                       [--serve-http ADDR] [--flamegraph out.folded]");
     eprintln!("                       [--flight out.jsonl] [--flight-drill] [--slo-objective US]");
+    eprintln!("                       [--resume DIR] [--torn-write N] [--short-write N]");
+    eprintln!("                       [--fsync-deny N] [--bit-flip N]");
+    eprintln!("       morph-serve crash-soak <dir> [--jobs N] [--seed S] [--cycles N] [--devices N]");
     eprintln!("       morph-serve check-exposition <metrics.prom>");
     ExitCode::from(2)
 }
@@ -80,6 +103,10 @@ fn main() -> ExitCode {
         },
         Some("run") => match args.get(1) {
             Some(file) => run(file, &args[2..]),
+            None => usage(),
+        },
+        Some("crash-soak") => match args.get(1) {
+            Some(dir) => crash_soak(dir, &args[2..]),
             None => usage(),
         },
         Some("check-exposition") => match args.get(1) {
@@ -184,9 +211,40 @@ fn run(file: &str, rest: &[String]) -> ExitCode {
     let flight_path = flag_or::<String>(rest, "--flight", &mut bad);
     let slo_objective = flag_or::<u64>(rest, "--slo-objective", &mut bad).unwrap_or(2_000_000);
     let flight_drill = rest.iter().any(|a| a == "--flight-drill");
+    let resume_dir = flag_or::<String>(rest, "--resume", &mut bad);
+    let torn_write = flag_or::<u64>(rest, "--torn-write", &mut bad);
+    let short_write = flag_or::<u64>(rest, "--short-write", &mut bad);
+    let fsync_deny = flag_or::<u64>(rest, "--fsync-deny", &mut bad);
+    let bit_flip = flag_or::<u64>(rest, "--bit-flip", &mut bad);
     if bad {
         return usage();
     }
+
+    // Durability fault injectors apply to the journal and checkpoint
+    // store only — they are a separate plane from `--fault-seed`'s
+    // kernel faults, so a torn journal write never masquerades as a
+    // device failure.
+    let durability_faults = if [torn_write, short_write, fsync_deny, bit_flip]
+        .iter()
+        .any(Option::is_some)
+    {
+        let mut plan = FaultPlan::new();
+        if let Some(n) = torn_write {
+            plan = plan.with_torn_write(n);
+        }
+        if let Some(n) = short_write {
+            plan = plan.with_short_write(n);
+        }
+        if let Some(n) = fsync_deny {
+            plan = plan.with_fsync_denial(n);
+        }
+        if let Some(n) = bit_flip {
+            plan = plan.with_read_bit_flip(n);
+        }
+        Some(Arc::new(plan))
+    } else {
+        None
+    };
 
     // Always fold through a ring (the summary source); tee into a JSONL
     // file when asked.
@@ -232,6 +290,8 @@ fn run(file: &str, rest: &[String]) -> ExitCode {
             objective_us: slo_objective,
             ..SloConfig::default()
         }),
+        state_dir: resume_dir.clone().map(PathBuf::from),
+        durability_faults,
         ..ServeConfig::default()
     };
     eprintln!(
@@ -253,8 +313,31 @@ fn run(file: &str, rest: &[String]) -> ExitCode {
     if let Some(addr) = pool.http_addr() {
         eprintln!("introspection: http://{addr}/ (endpoints: /metrics /healthz /jobs)");
     }
+    // On resume, the first `journaled_jobs` specs of the replay were
+    // already admitted (and journaled) by a previous incarnation: the
+    // reconciler has re-queued the unfinished ones and accounted the
+    // finished ones, so re-submitting them here would double-run. The
+    // enumerate index is kept across the skip so `--fault-seed`'s
+    // every-fourth-job keying stays stable between incarnations.
+    let already_journaled = if resume_dir.is_some() {
+        let rec = pool.recovery();
+        if rec.journaled_jobs > 0 {
+            eprintln!(
+                "resume: {} journaled job(s) — {} already terminal, {} resumed from snapshot, {} restarted, {} discarded ({} journal byte(s) truncated)",
+                rec.journaled_jobs,
+                rec.terminal(),
+                rec.recovered,
+                rec.replayed,
+                rec.discarded,
+                rec.truncated_bytes
+            );
+        }
+        rec.journaled_jobs as usize
+    } else {
+        0
+    };
     let mut rejected = 0usize;
-    for (i, mut spec) in specs.into_iter().enumerate() {
+    for (i, mut spec) in specs.into_iter().enumerate().skip(already_journaled) {
         if let Some(fs) = fault_seed {
             // Every fourth job runs under a seeded fault plan, so the
             // retry/requeue machinery is continuously exercised.
@@ -361,6 +444,187 @@ fn run(file: &str, rest: &[String]) -> ExitCode {
         eprintln!("morph-serve: integrity violation (lost or duplicated jobs)");
         // Last-resort post-mortem: dump whatever the recorder holds.
         let _ = pool.flight().dump("integrity violation: lost or duplicated jobs");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// The crash-recovery drill: SIGKILL a chaos run mid-flight `--cycles`
+/// times, each incarnation resuming from the same state directory under
+/// injected durability faults, then let a clean final incarnation finish
+/// and audit the surviving journal for exactly-once accounting.
+///
+/// Each killed cycle is only allowed to die *after* the journal shows at
+/// least one in-flight job with a checkpoint (observed with the
+/// read-only [`scan_journal`] — the child keeps the write handle), so
+/// every resume genuinely exercises the snapshot-restore path rather
+/// than replaying an empty directory.
+fn crash_soak(dir: &str, rest: &[String]) -> ExitCode {
+    let mut bad = false;
+    let jobs = flag_or::<usize>(rest, "--jobs", &mut bad).unwrap_or(64);
+    let seed = flag_or::<u64>(rest, "--seed", &mut bad).unwrap_or(7);
+    let cycles = flag_or::<u32>(rest, "--cycles", &mut bad).unwrap_or(3);
+    let devices = flag_or::<usize>(rest, "--devices", &mut bad).unwrap_or(3);
+    if bad {
+        return usage();
+    }
+    let dir = PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("morph-serve: cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let jobs_file = dir.join("soak.jobs");
+    let specs = generate_mixed(jobs, seed);
+    if let Err(e) = std::fs::write(&jobs_file, render_file(&specs, seed)) {
+        eprintln!("morph-serve: cannot write {}: {e}", jobs_file.display());
+        return ExitCode::FAILURE;
+    }
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("morph-serve: cannot locate own binary: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wal = dir.join("journal.wal");
+    let spawn = |faulted: Option<u32>| {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("run")
+            .arg(&jobs_file)
+            .arg("--resume")
+            .arg(&dir)
+            .arg("--devices")
+            .arg(devices.to_string())
+            .arg("--queue")
+            .arg((jobs + 16).to_string())
+            .arg("--chaos")
+            .arg(seed.to_string());
+        if let Some(cycle) = faulted {
+            // Stagger the injection points so successive incarnations
+            // tear the journal at different records; odd cycles also
+            // flip a bit on the first checkpoint-store read, forcing
+            // the `.prev` fallback during reconciliation. The torn
+            // write lands past the admit burst (one append per job) so
+            // checkpoints reach the journal before it poisons.
+            cmd.arg("--torn-write")
+                .arg((jobs as u64 + 6 + 17 * u64::from(cycle)).to_string())
+                .arg("--fsync-deny")
+                .arg((10 + u64::from(cycle)).to_string());
+            if cycle % 2 == 1 {
+                cmd.arg("--bit-flip").arg("0");
+            }
+            // Killed incarnations never reach their summary; silence
+            // their stdout so the one SOAK line printed below is
+            // unambiguously the final clean run's.
+            cmd.stdout(std::process::Stdio::null());
+        }
+        cmd
+    };
+    let ckpt_records = |scan: &morph_serve::JournalScan| {
+        scan.records
+            .iter()
+            .filter(|r| matches!(r, morph_serve::JournalRecord::Checkpointed { .. }))
+            .count()
+    };
+    let mut kills = 0u32;
+    for cycle in 0..cycles {
+        // Baseline the journal before the incarnation starts: the kill
+        // must wait for checkpoints *this* incarnation wrote, or the
+        // leftovers of the previous cycle would arm it before the child
+        // has even reconciled.
+        let base_ckpts = scan_journal(&wal).map(|s| ckpt_records(&s)).unwrap_or(0);
+        let mut child = match spawn(Some(cycle)).spawn() {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("morph-serve: cannot spawn soak cycle {cycle}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let started = Instant::now();
+        loop {
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    // The incarnation finished (or died) on its own;
+                    // later cycles still resume and re-account it.
+                    eprintln!("crash-soak: cycle {cycle} exited before the kill ({status})");
+                    break;
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    eprintln!("morph-serve: wait failed in cycle {cycle}: {e}");
+                    let _ = child.kill();
+                    return ExitCode::FAILURE;
+                }
+            }
+            let armed = scan_journal(&wal).is_ok_and(|scan| {
+                ckpt_records(&scan) > base_ckpts
+                    && fold_journal(&scan.records)
+                        .values()
+                        .any(|l| l.terminal.is_none() && l.checkpoint.is_some())
+            });
+            // Kill the moment the journal proves an in-flight job has a
+            // snapshot: waiting longer risks the incarnation finishing
+            // the whole workload, leaving the final resume nothing to
+            // recover. The kill points still differ across cycles
+            // because each resumes with more terminals behind it.
+            if armed || started.elapsed() >= Duration::from_secs(30) {
+                let _ = child.kill();
+                let _ = child.wait();
+                kills += 1;
+                eprintln!(
+                    "crash-soak: cycle {cycle} SIGKILLed after {:?} (journal shows in-flight checkpoints)",
+                    started.elapsed()
+                );
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    // Final clean incarnation: no injected faults. Its stdout is
+    // captured, re-printed (so the SOAK summary line lands in this
+    // process's output for CI to grep), and parsed — the drill demands
+    // the final resume actually restored at least one snapshot.
+    let out = match spawn(None).output() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("morph-serve: cannot spawn final soak cycle: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", String::from_utf8_lossy(&out.stdout));
+    eprint!("{}", String::from_utf8_lossy(&out.stderr));
+    if !out.status.success() {
+        eprintln!("morph-serve: final resume cycle failed ({})", out.status);
+        return ExitCode::FAILURE;
+    }
+    let recovered = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .filter(|l| l.starts_with("SOAK "))
+        .flat_map(str::split_whitespace)
+        .find_map(|tok| tok.strip_prefix("recovered=")?.parse::<u64>().ok())
+        .unwrap_or(0);
+    // Cross-incarnation audit straight from the surviving journal:
+    // every admitted job must have reached exactly one terminal record
+    // across all incarnations — zero lost, zero double-accounted.
+    let scan = match scan_journal(&wal) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("morph-serve: cannot scan {}: {e}", wal.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let ledgers = fold_journal(&scan.records);
+    let lost = ledgers.values().filter(|l| l.terminal.is_none()).count();
+    let dup = ledgers.values().filter(|l| l.terminal_records > 1).count();
+    println!(
+        "CRASH-SOAK cycles={cycles} kills={kills} recovered={recovered} journaled={} lost={lost} dup={dup} truncated_bytes={}",
+        ledgers.len(),
+        scan.truncated_bytes
+    );
+    if lost > 0 || dup > 0 || kills == 0 || recovered == 0 {
+        eprintln!(
+            "morph-serve: crash-soak integrity violation (lost={lost} dup={dup} kills={kills} recovered={recovered})"
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

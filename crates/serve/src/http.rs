@@ -195,12 +195,19 @@ fn healthz_json(inner: &Arc<Inner>) -> (&'static str, String) {
             )
         })
         .collect();
+    let rec = inner.recovery;
     let body = format!(
-        "{{\"status\":\"{status}\",\"t_us\":{now_us},\"slots\":[{}],\"burn_rates\":[{}],\"alerts\":[{}],\"flight_dumps\":{}}}\n",
+        "{{\"status\":\"{status}\",\"t_us\":{now_us},\"slots\":[{}],\"burn_rates\":[{}],\"alerts\":[{}],\"flight_dumps\":{},\"recovery\":{{\"journaled_jobs\":{},\"recovered\":{},\"replayed\":{},\"discarded\":{},\"terminal\":{},\"journal_truncated_bytes\":{}}}}}\n",
         slot_objs.join(","),
         burn_objs.join(","),
         alert_objs.join(","),
-        inner.flight.dumps()
+        inner.flight.dumps(),
+        rec.journaled_jobs,
+        rec.recovered,
+        rec.replayed,
+        rec.discarded,
+        rec.terminal(),
+        rec.truncated_bytes
     );
     (status, body)
 }

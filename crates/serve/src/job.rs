@@ -22,9 +22,10 @@ use std::time::Duration;
 pub type JobId = u64;
 
 /// Priority class; lower sorts first in the ready queue.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Priority {
     High,
+    #[default]
     Normal,
     Low,
 }
@@ -356,6 +357,10 @@ pub(crate) struct Job {
     /// Slot the job was last evicted from: the scheduler steers the
     /// resume to a different device whenever another one exists.
     pub avoid_device: Option<u64>,
+    /// Earliest epoch-µs the scheduler may pick this job again (0 = now).
+    /// Stamped on requeue with a jittered exponential backoff so a
+    /// crash-looping job cannot hot-spin a slot.
+    pub not_before_us: u64,
 }
 
 #[cfg(test)]

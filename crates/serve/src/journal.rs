@@ -1,0 +1,755 @@
+//! The durable write-ahead job journal — the serve layer's crash-
+//! consistency spine.
+//!
+//! Every job lifecycle transition (admitted, started, checkpointed,
+//! requeued, finished, failed, cancelled — shedding is a permanent
+//! failure) is appended to `journal.wal` as a length-prefixed,
+//! CRC32-checksummed record before the in-memory transition takes
+//! effect. On restart, [`Journal::open`] replays the file, truncates a
+//! torn tail back to the last good prefix (a record cut mid-write by a
+//! crash must not poison the history before it), and [`fold`] rebuilds
+//! each job's last known state — the input to the pool's reconciliation
+//! against the verified checkpoint store.
+//!
+//! ## Record framing
+//!
+//! ```text
+//! [u32 len][u32 crc32][payload: len bytes]
+//! ```
+//!
+//! `crc32` (IEEE, shared with the checkpoint store via
+//! [`morph_core::crc32`]) covers the payload only; `len` is bounded by
+//! [`MAX_RECORD_LEN`] so a corrupt length prefix cannot trigger a huge
+//! allocation. The payload starts with a `u32` record kind; a record
+//! whose CRC verifies but whose kind is unknown is *skipped*, not fatal
+//! — the same additive-decoding contract the trace schema keeps.
+//!
+//! ## Fsync policy
+//!
+//! Appends write through to the file descriptor immediately; fsync is
+//! batched — forced on terminal records (a finished job must never be
+//! re-run because its terminal record evaporated) and otherwise issued
+//! every [`FSYNC_BATCH`] records. A denied fsync (see
+//! [`FaultPlan::with_fsync_denial`]) degrades durability but never the
+//! run.
+//!
+//! ## Injected write faults
+//!
+//! A torn or short write (see [`FaultPlan::with_torn_write`] /
+//! [`FaultPlan::with_short_write`]) leaves the partial frame on disk and
+//! *poisons* the journal: subsequent appends are dropped silently, as if
+//! the process had died at that write. The next open then exercises the
+//! real recovery path — truncate to the last good prefix, re-run what
+//! the journal no longer remembers.
+
+use crate::job::{JobSpec, Priority, Workload};
+use morph_core::checkpoint::{crc32, PayloadReader, PayloadWriter};
+use morph_gpu_sim::{AppendFault, FaultPlan};
+use std::collections::BTreeMap;
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// On-disk journal layout version (first payload of every file).
+pub const JOURNAL_SCHEMA_VERSION: u32 = 1;
+
+/// Records between batched fsyncs (terminal records always sync).
+const FSYNC_BATCH: u64 = 8;
+
+/// Upper bound on one record's payload, enforced on both sides so a
+/// corrupt length prefix is detected instead of allocated.
+const MAX_RECORD_LEN: u32 = 1 << 20;
+
+/// One journaled job-lifecycle transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// The job passed admission. Carries everything needed to rebuild
+    /// its [`JobSpec`] after a crash: the deadline is stored *relative*
+    /// (milliseconds) because absolute stamps die with the old process's
+    /// epoch. The job's fault plan is deliberately not journaled — its
+    /// fire-once state died with the process.
+    Admitted {
+        job: u64,
+        tenant: String,
+        priority: Priority,
+        deadline_ms: u64,
+        max_attempts: u32,
+        /// The workload in `replay` line encoding (`Workload::encode`).
+        workload: String,
+    },
+    /// An attempt began on `device` (1-based).
+    Started { job: u64, device: u64, attempt: u64 },
+    /// A snapshot reached the checkpoint store.
+    Checkpointed { job: u64, version: u64, iteration: u64 },
+    /// The job went back to the queue (eviction or retryable failure).
+    Requeued { job: u64, reason: String },
+    Finished { job: u64 },
+    Failed { job: u64, permanent: bool },
+    Cancelled { job: u64 },
+}
+
+impl JournalRecord {
+    /// Terminal records force an fsync: exactly-once accounting hinges
+    /// on them surviving the crash that follows.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JournalRecord::Finished { .. }
+                | JournalRecord::Failed { .. }
+                | JournalRecord::Cancelled { .. }
+        )
+    }
+
+    pub fn job(&self) -> u64 {
+        match self {
+            JournalRecord::Admitted { job, .. }
+            | JournalRecord::Started { job, .. }
+            | JournalRecord::Checkpointed { job, .. }
+            | JournalRecord::Requeued { job, .. }
+            | JournalRecord::Finished { job }
+            | JournalRecord::Failed { job, .. }
+            | JournalRecord::Cancelled { job } => *job,
+        }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::new();
+        match self {
+            JournalRecord::Admitted {
+                job,
+                tenant,
+                priority,
+                deadline_ms,
+                max_attempts,
+                workload,
+            } => {
+                w.u32(1);
+                w.u64(*job);
+                w.str(tenant);
+                w.str(priority.as_str());
+                w.u64(*deadline_ms);
+                w.u32(*max_attempts);
+                w.str(workload);
+            }
+            JournalRecord::Started { job, device, attempt } => {
+                w.u32(2);
+                w.u64(*job);
+                w.u64(*device);
+                w.u64(*attempt);
+            }
+            JournalRecord::Checkpointed { job, version, iteration } => {
+                w.u32(3);
+                w.u64(*job);
+                w.u64(*version);
+                w.u64(*iteration);
+            }
+            JournalRecord::Requeued { job, reason } => {
+                w.u32(4);
+                w.u64(*job);
+                w.str(reason);
+            }
+            JournalRecord::Finished { job } => {
+                w.u32(5);
+                w.u64(*job);
+            }
+            JournalRecord::Failed { job, permanent } => {
+                w.u32(6);
+                w.u64(*job);
+                w.u32(u32::from(*permanent));
+            }
+            JournalRecord::Cancelled { job } => {
+                w.u32(7);
+                w.u64(*job);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decode one verified payload. `None` for an unknown kind (skip it:
+    /// additive decoding) or a malformed body.
+    fn decode(payload: &[u8]) -> Option<JournalRecord> {
+        let mut r = PayloadReader::new(payload);
+        let rec = match r.u32()? {
+            1 => JournalRecord::Admitted {
+                job: r.u64()?,
+                tenant: r.str()?,
+                priority: Priority::parse(&r.str()?)?,
+                deadline_ms: r.u64()?,
+                max_attempts: r.u32()?,
+                workload: r.str()?,
+            },
+            2 => JournalRecord::Started {
+                job: r.u64()?,
+                device: r.u64()?,
+                attempt: r.u64()?,
+            },
+            3 => JournalRecord::Checkpointed {
+                job: r.u64()?,
+                version: r.u64()?,
+                iteration: r.u64()?,
+            },
+            4 => JournalRecord::Requeued {
+                job: r.u64()?,
+                reason: r.str()?,
+            },
+            5 => JournalRecord::Finished { job: r.u64()? },
+            6 => JournalRecord::Failed {
+                job: r.u64()?,
+                permanent: r.u32()? != 0,
+            },
+            7 => JournalRecord::Cancelled { job: r.u64()? },
+            _ => return None,
+        };
+        r.exhausted().then_some(rec)
+    }
+}
+
+/// Frame one record: `[len][crc][payload]`.
+fn frame(rec: &JournalRecord) -> Vec<u8> {
+    let payload = rec.encode();
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// What [`Journal::open`]/[`scan`] found in an existing file.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct JournalScan {
+    /// Every decodable record of the good prefix, in append order.
+    pub records: Vec<JournalRecord>,
+    /// Bytes past the last good record (a torn tail — truncated by
+    /// `open`, merely reported by `scan`).
+    pub truncated_bytes: u64,
+    /// CRC-verified records whose kind this build does not know (skipped).
+    pub skipped: u64,
+}
+
+/// Read-only scan of a journal file: replays the good prefix without
+/// touching the file, so a live journal can be inspected from another
+/// process (the crash-soak harness polls this).
+pub fn scan(path: impl AsRef<Path>) -> std::io::Result<JournalScan> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(JournalScan::default()),
+        Err(e) => return Err(e),
+    };
+    Ok(scan_bytes(&bytes))
+}
+
+fn scan_bytes(bytes: &[u8]) -> JournalScan {
+    let mut out = JournalScan::default();
+    let mut pos = 0usize;
+    let mut good_end = 0usize;
+    // The schema-version preamble is a plain u32 frame-less prefix.
+    if bytes.len() >= 4 {
+        let ver = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+        if ver == JOURNAL_SCHEMA_VERSION {
+            pos = 4;
+            good_end = 4;
+        }
+    }
+    if pos == 0 {
+        // Missing/foreign preamble: an empty or torn-at-birth file.
+        out.truncated_bytes = bytes.len() as u64;
+        return out;
+    }
+    // Loop ends at the first frame that does not verify: a partial
+    // header is simply a torn tail.
+    while let Some(header) = bytes.get(pos..pos + 8) {
+        let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if len > MAX_RECORD_LEN {
+            break; // corrupt length prefix
+        }
+        let Some(payload) = bytes.get(pos + 8..pos + 8 + len as usize) else {
+            break; // partial payload = torn tail
+        };
+        if crc32(payload) != crc {
+            break; // bit rot or a write torn inside the payload
+        }
+        pos += 8 + len as usize;
+        good_end = pos;
+        match JournalRecord::decode(payload) {
+            Some(rec) => out.records.push(rec),
+            None => out.skipped += 1, // future kind: skip, keep scanning
+        }
+    }
+    out.truncated_bytes = (bytes.len() - good_end) as u64;
+    out
+}
+
+struct JournalFile {
+    /// `None` after an injected write fault: the journal behaves as if
+    /// the process died at that write — every later append is dropped.
+    file: Option<std::fs::File>,
+    since_sync: u64,
+}
+
+/// Append handle over `journal.wal`. Shared across the pool's worker
+/// threads; appends serialize on an internal mutex (they are tiny and
+/// rare relative to kernel work).
+pub struct Journal {
+    file: Mutex<JournalFile>,
+    faults: Option<Arc<FaultPlan>>,
+    appends: AtomicU64,
+    fsyncs_denied: AtomicU64,
+    write_faults: AtomicU64,
+    /// First append/sync I/O error, taken once by the pool to surface a
+    /// `TraceEvent::Alert` instead of a panic.
+    error: Mutex<Option<String>>,
+}
+
+impl Journal {
+    /// Open (or create) the journal at `path`: replay the good prefix,
+    /// truncate a torn tail, position for append. Returns the handle and
+    /// the scan of what survived.
+    pub fn open(
+        path: impl AsRef<Path>,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> std::io::Result<(Journal, JournalScan)> {
+        let path = path.as_ref();
+        let mut preexisting = true;
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                preexisting = false;
+                Vec::new()
+            }
+            Err(e) => return Err(e),
+        };
+        let scan = scan_bytes(&bytes);
+        let good_end = bytes.len() as u64 - scan.truncated_bytes;
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false) // set_len below keeps exactly the good prefix
+            .append(false)
+            .open(path)?;
+        file.set_len(good_end)?; // drop the torn tail
+        use std::io::Seek;
+        file.seek(std::io::SeekFrom::End(0))?;
+        if good_end == 0 {
+            file.write_all(&JOURNAL_SCHEMA_VERSION.to_le_bytes())?;
+            file.sync_data()?;
+        }
+        let scan = if preexisting { scan } else { JournalScan::default() };
+        Ok((
+            Journal {
+                file: Mutex::new(JournalFile {
+                    file: Some(file),
+                    since_sync: 0,
+                }),
+                faults,
+                appends: AtomicU64::new(0),
+                fsyncs_denied: AtomicU64::new(0),
+                write_faults: AtomicU64::new(0),
+                error: Mutex::new(None),
+            },
+            scan,
+        ))
+    }
+
+    /// Append one record (write-ahead: call *before* the transition takes
+    /// effect). Never panics: I/O errors are sticky and queryable via
+    /// [`Journal::take_error`]; injected write faults poison the handle.
+    pub fn append(&self, rec: &JournalRecord) {
+        let bytes = frame(rec);
+        let mut jf = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        let JournalFile { file: slot, since_sync } = &mut *jf;
+        let Some(file) = slot.as_mut() else {
+            return; // poisoned: the simulated crash already happened
+        };
+        if let Some(fault) = self.faults.as_ref().and_then(|p| p.fail_append()) {
+            self.write_faults.fetch_add(1, Ordering::AcqRel);
+            let cut = match fault {
+                AppendFault::Torn => (bytes.len() / 2).max(1),
+                AppendFault::Short => 4, // just the length prefix
+            };
+            let _ = file.write_all(&bytes[..cut.min(bytes.len())]);
+            let _ = file.sync_data();
+            *slot = None; // as-if-crashed from here on
+            return;
+        }
+        if let Err(e) = file.write_all(&bytes) {
+            self.note_error(&e);
+            *slot = None;
+            return;
+        }
+        *since_sync += 1;
+        if rec.is_terminal() || *since_sync >= FSYNC_BATCH {
+            if self.faults.as_ref().is_some_and(|p| p.deny_fsync()) {
+                self.fsyncs_denied.fetch_add(1, Ordering::AcqRel);
+            } else if let Err(e) = file.sync_data() {
+                self.note_error(&e);
+            }
+            *since_sync = 0;
+        }
+        self.appends.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Force out any batched-but-unsynced appends (shutdown path).
+    pub fn sync(&self) {
+        let mut jf = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        let JournalFile { file: slot, since_sync } = &mut *jf;
+        if let Some(file) = slot.as_mut() {
+            if *since_sync > 0 {
+                if let Err(e) = file.sync_data() {
+                    self.note_error(&e);
+                }
+                *since_sync = 0;
+            }
+        }
+    }
+
+    fn note_error(&self, e: &std::io::Error) {
+        let mut slot = self.error.lock().unwrap_or_else(|p| p.into_inner());
+        if slot.is_none() {
+            *slot = Some(e.to_string());
+        }
+    }
+
+    /// The first append/sync I/O error, if any — consumed so the caller
+    /// alerts exactly once.
+    pub fn take_error(&self) -> Option<String> {
+        self.error.lock().unwrap_or_else(|p| p.into_inner()).take()
+    }
+
+    /// Records successfully appended by this handle.
+    pub fn appends(&self) -> u64 {
+        self.appends.load(Ordering::Acquire)
+    }
+
+    /// Batched fsyncs skipped by injected denial (durability degraded).
+    pub fn fsyncs_denied(&self) -> u64 {
+        self.fsyncs_denied.load(Ordering::Acquire)
+    }
+
+    /// Appends torn or shortened by injected faults (journal poisoned).
+    pub fn write_faults(&self) -> u64 {
+        self.write_faults.load(Ordering::Acquire)
+    }
+}
+
+/// A job's terminal outcome as the journal remembers it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalOutcome {
+    Finished,
+    Failed { permanent: bool },
+    Cancelled,
+}
+
+/// One job's state folded from the journal — the reconciliation input.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JobLedger {
+    pub tenant: String,
+    pub priority: Priority,
+    pub deadline_ms: u64,
+    pub max_attempts: u32,
+    pub workload: String,
+    /// Attempts the old incarnations started (consumed retry budget).
+    pub starts: u64,
+    pub requeues: u64,
+    /// Newest journaled snapshot `(version, iteration)`.
+    pub checkpoint: Option<(u64, u64)>,
+    pub terminal: Option<JournalOutcome>,
+    /// Terminal records seen — more than one is a double-run (`dup`).
+    pub terminal_records: u64,
+}
+
+impl JobLedger {
+    /// Rebuild the admission-time [`JobSpec`]. `None` when the workload
+    /// encoding cannot be parsed (a discarded artifact).
+    pub fn spec(&self) -> Option<JobSpec> {
+        let fields: Vec<&str> = self.workload.split_whitespace().collect();
+        let workload = Workload::parse(&fields)?;
+        let mut spec = JobSpec::new(&self.tenant, workload)
+            .with_priority(self.priority)
+            .with_retry(self.max_attempts);
+        if self.deadline_ms > 0 {
+            spec = spec.with_deadline(Duration::from_millis(self.deadline_ms));
+        }
+        Some(spec)
+    }
+}
+
+/// Fold a replayed record sequence into per-job ledgers. Records for a
+/// job with no surviving `Admitted` (impossible from truncation alone,
+/// possible from a skipped future-kind record) are dropped defensively.
+pub fn fold(records: &[JournalRecord]) -> BTreeMap<u64, JobLedger> {
+    let mut jobs: BTreeMap<u64, JobLedger> = BTreeMap::new();
+    for rec in records {
+        match rec {
+            JournalRecord::Admitted {
+                job,
+                tenant,
+                priority,
+                deadline_ms,
+                max_attempts,
+                workload,
+            } => {
+                let ledger = jobs.entry(*job).or_default();
+                ledger.tenant = tenant.clone();
+                ledger.priority = *priority;
+                ledger.deadline_ms = *deadline_ms;
+                ledger.max_attempts = *max_attempts;
+                ledger.workload = workload.clone();
+            }
+            JournalRecord::Started { job, .. } => {
+                if let Some(ledger) = jobs.get_mut(job) {
+                    ledger.starts += 1;
+                }
+            }
+            JournalRecord::Checkpointed { job, version, iteration } => {
+                if let Some(ledger) = jobs.get_mut(job) {
+                    ledger.checkpoint = Some((*version, *iteration));
+                }
+            }
+            JournalRecord::Requeued { job, .. } => {
+                if let Some(ledger) = jobs.get_mut(job) {
+                    ledger.requeues += 1;
+                }
+            }
+            JournalRecord::Finished { job } => {
+                if let Some(ledger) = jobs.get_mut(job) {
+                    ledger.terminal = Some(JournalOutcome::Finished);
+                    ledger.terminal_records += 1;
+                }
+            }
+            JournalRecord::Failed { job, permanent } => {
+                if let Some(ledger) = jobs.get_mut(job) {
+                    ledger.terminal = Some(JournalOutcome::Failed {
+                        permanent: *permanent,
+                    });
+                    ledger.terminal_records += 1;
+                }
+            }
+            JournalRecord::Cancelled { job } => {
+                if let Some(ledger) = jobs.get_mut(job) {
+                    ledger.terminal = Some(JournalOutcome::Cancelled);
+                    ledger.terminal_records += 1;
+                }
+            }
+        }
+    }
+    jobs
+}
+
+/// Cross-restart accounting derived at reconciliation time, surfaced by
+/// `ServeSummary` (`recovered=`/`replayed=`/`discarded=`) and `/healthz`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Distinct jobs the journal remembers being admitted.
+    pub journaled_jobs: u64,
+    /// Prior-incarnation terminals, not re-run (exactly-once accounting).
+    pub finished: u64,
+    pub failed: u64,
+    pub cancelled: u64,
+    /// In-flight jobs re-queued to resume from a verified snapshot.
+    pub recovered: u64,
+    /// In-flight jobs re-queued to restart from zero.
+    pub replayed: u64,
+    /// Corrupt durable artifacts dropped (journal tail counts as one,
+    /// plus unusable snapshots and unparseable workloads).
+    pub discarded: u64,
+    /// Torn-tail bytes the journal open cut back.
+    pub truncated_bytes: u64,
+}
+
+impl RecoveryStats {
+    /// Jobs accounted terminal before this incarnation started.
+    pub fn terminal(&self) -> u64 {
+        self.finished + self.failed + self.cancelled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "morph-journal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn admitted(job: u64) -> JournalRecord {
+        JournalRecord::Admitted {
+            job,
+            tenant: "acme".into(),
+            priority: Priority::Normal,
+            deadline_ms: 0,
+            max_attempts: 2,
+            workload: "mst 24 40 7".into(),
+        }
+    }
+
+    #[test]
+    fn records_roundtrip_through_the_frame() {
+        let recs = vec![
+            admitted(1),
+            JournalRecord::Started { job: 1, device: 2, attempt: 1 },
+            JournalRecord::Checkpointed { job: 1, version: 3, iteration: 9 },
+            JournalRecord::Requeued { job: 1, reason: "evicted (device_loss)".into() },
+            JournalRecord::Finished { job: 1 },
+            JournalRecord::Failed { job: 2, permanent: true },
+            JournalRecord::Cancelled { job: 3 },
+        ];
+        for rec in &recs {
+            let f = frame(rec);
+            let payload = &f[8..];
+            assert_eq!(JournalRecord::decode(payload).as_ref(), Some(rec));
+        }
+    }
+
+    #[test]
+    fn open_append_reopen_replays_everything() {
+        let dir = scratch("replay");
+        let path = dir.join("journal.wal");
+        {
+            let (j, scan) = Journal::open(&path, None).unwrap();
+            assert!(scan.records.is_empty());
+            j.append(&admitted(1));
+            j.append(&JournalRecord::Started { job: 1, device: 1, attempt: 1 });
+            j.append(&JournalRecord::Finished { job: 1 });
+            assert_eq!(j.appends(), 3);
+            assert!(j.take_error().is_none());
+        }
+        let (_, scan) = Journal::open(&path, None).unwrap();
+        assert_eq!(scan.records.len(), 3);
+        assert_eq!(scan.truncated_bytes, 0);
+        let jobs = fold(&scan.records);
+        assert_eq!(jobs[&1].terminal, Some(JournalOutcome::Finished));
+        assert_eq!(jobs[&1].starts, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_to_the_last_good_prefix() {
+        let dir = scratch("torn");
+        let path = dir.join("journal.wal");
+        {
+            let (j, _) = Journal::open(&path, None).unwrap();
+            j.append(&admitted(1));
+            j.append(&JournalRecord::Started { job: 1, device: 1, attempt: 1 });
+        }
+        // Corrupt: append half of another frame by hand.
+        let good_len = std::fs::metadata(&path).unwrap().len();
+        let tail = frame(&JournalRecord::Finished { job: 1 });
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&tail[..tail.len() / 2]).unwrap();
+        }
+        let (_, scan) = Journal::open(&path, None).unwrap();
+        assert_eq!(scan.records.len(), 2, "good prefix survives");
+        assert!(scan.truncated_bytes > 0);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), good_len, "tail cut");
+        // And the truncation is durable: a third open sees a clean file.
+        let (_, scan2) = Journal::open(&path, None).unwrap();
+        assert_eq!(scan2.truncated_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_mid_record_recovers_to_prefix_not_error() {
+        let dir = scratch("midrecord");
+        let path = dir.join("journal.wal");
+        {
+            let (j, _) = Journal::open(&path, None).unwrap();
+            j.append(&admitted(1));
+            j.append(&admitted(2));
+            j.append(&JournalRecord::Finished { job: 1 });
+        }
+        // Flip a byte inside the *second* record's payload: scan stops
+        // there, keeping record 1 only (everything after the damage is
+        // unreachable — that is the contract; the WAL has no sync marks).
+        let mut bytes = std::fs::read(&path).unwrap();
+        let first_len = frame(&admitted(1)).len();
+        bytes[4 + first_len + 10] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, scan) = Journal::open(&path, None).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.records[0], admitted(1));
+        assert!(scan.truncated_bytes > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_torn_write_poisons_and_reopens_clean() {
+        let dir = scratch("faulted");
+        let path = dir.join("journal.wal");
+        {
+            let plan = Arc::new(FaultPlan::new().with_torn_write(2));
+            let (j, _) = Journal::open(&path, Some(plan)).unwrap();
+            j.append(&admitted(1)); // 0: clean
+            j.append(&admitted(2)); // 1: clean
+            j.append(&JournalRecord::Finished { job: 1 }); // 2: torn
+            j.append(&JournalRecord::Finished { job: 2 }); // dropped (poisoned)
+            assert_eq!(j.write_faults(), 1);
+            assert_eq!(j.appends(), 2);
+        }
+        let (_, scan) = Journal::open(&path, None).unwrap();
+        assert_eq!(scan.records.len(), 2, "only the pre-fault prefix");
+        assert!(scan.truncated_bytes > 0);
+        let jobs = fold(&scan.records);
+        assert!(jobs[&1].terminal.is_none(), "torn Finished = pending again");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_denial_degrades_without_losing_the_append() {
+        let dir = scratch("fsync");
+        let path = dir.join("journal.wal");
+        {
+            let plan = Arc::new(FaultPlan::new().with_fsync_denial(0));
+            let (j, _) = Journal::open(&path, Some(plan)).unwrap();
+            j.append(&admitted(1));
+            j.append(&JournalRecord::Finished { job: 1 }); // denied fsync
+            assert_eq!(j.fsyncs_denied(), 1);
+            assert_eq!(j.appends(), 2);
+            assert!(j.take_error().is_none(), "denial is not an error");
+        }
+        let (_, scan) = Journal::open(&path, None).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ledger_rebuilds_the_spec() {
+        let recs = vec![
+            JournalRecord::Admitted {
+                job: 4,
+                tenant: "t0".into(),
+                priority: Priority::High,
+                deadline_ms: 250,
+                max_attempts: 3,
+                workload: "sp 30 120 3 24 11".into(),
+            },
+            JournalRecord::Started { job: 4, device: 1, attempt: 1 },
+            JournalRecord::Checkpointed { job: 4, version: 2, iteration: 5 },
+        ];
+        let jobs = fold(&recs);
+        let ledger = &jobs[&4];
+        assert_eq!(ledger.checkpoint, Some((2, 5)));
+        let spec = ledger.spec().unwrap();
+        assert_eq!(spec.tenant, "t0");
+        assert_eq!(spec.priority, Priority::High);
+        assert_eq!(spec.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(spec.retry.max_attempts, 3);
+        assert_eq!(spec.workload.encode(), "sp 30 120 3 24 11");
+        // An unparseable workload is reported, not panicked over.
+        let mut bad = ledger.clone();
+        bad.workload = "quantum 12".into();
+        assert!(bad.spec().is_none());
+    }
+}

@@ -47,6 +47,7 @@
 
 mod http;
 pub mod job;
+pub mod journal;
 pub mod pool;
 pub mod replay;
 pub mod sched;
@@ -55,6 +56,10 @@ pub mod summary;
 
 pub use job::{
     classify, FailureClass, JobId, JobMetrics, JobSpec, JobStatus, Priority, RetryPolicy, Workload,
+};
+pub use journal::{
+    fold as fold_journal, scan as scan_journal, JobLedger, Journal, JournalOutcome, JournalRecord,
+    JournalScan, RecoveryStats,
 };
 pub use pool::{MorphServe, ServeConfig, SlotHealthSnapshot};
 pub use replay::{

@@ -43,17 +43,20 @@
 //! mutable state.
 
 use crate::job::{classify, FailureClass, Job, JobId, JobSpec, JobStatus};
-use crate::sched::{AdmitError, ReadyQueue};
+use crate::journal::{self, Journal, JournalOutcome, JournalRecord, RecoveryStats};
+use crate::sched::{backoff_delay_us, AdmitError, ReadyQueue};
 use crate::slo::{SloConfig, SloMonitor};
 use morph_core::{
     CancelToken, CheckpointCtl, CheckpointStore, DriveError, MetricsHub, MetricsRegistry,
     RecoveryOpts, RecoveryPolicy,
 };
+use morph_gpu_sim::FaultPlan;
 use morph_trace::{
-    FlightConfig, FlightRecorder, JobEventKind, PhaseProfiler, ProfilerScope, TraceEvent,
-    TraceSink, Tracer,
+    FlightConfig, FlightRecorder, JobEventKind, PhaseProfiler, ProfilerScope, RestoreOutcome,
+    TraceEvent, TraceSink, Tracer,
 };
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -101,6 +104,20 @@ pub struct ServeConfig {
     pub profiler: Option<Arc<PhaseProfiler>>,
     /// Turnaround SLO burn-rate monitor config; `None` disables it.
     pub slo: Option<SloConfig>,
+    /// Durable-state directory. When set, the pool is crash-consistent:
+    /// a write-ahead job journal (`journal.wal`) records every lifecycle
+    /// transition, the checkpoint store becomes the on-disk verified
+    /// store (`job-N.ck` artifacts; `checkpoint_every` is clamped up to
+    /// at least 1), and `start` reconciles whatever a previous
+    /// incarnation left in the directory — terminal jobs are accounted
+    /// without re-running, in-flight jobs are re-queued to resume from
+    /// their last good snapshot or restart from zero. `None` (default)
+    /// keeps everything in memory, exactly as before.
+    pub state_dir: Option<PathBuf>,
+    /// Durability fault injection (torn/short journal writes, fsync
+    /// denial, snapshot bit-flips) shared by the journal and the
+    /// checkpoint store. Only meaningful with `state_dir` set.
+    pub durability_faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServeConfig {
@@ -120,6 +137,8 @@ impl Default for ServeConfig {
             flight: FlightConfig::default(),
             profiler: None,
             slo: None,
+            state_dir: None,
+            durability_faults: None,
         }
     }
 }
@@ -235,8 +254,15 @@ pub(crate) struct Inner {
     /// `tenant`/`algo`, so engine cost-model series and the pool's own
     /// latency histograms land here, partitioned per tenant and algorithm.
     pub(crate) metrics: Arc<MetricsRegistry>,
-    /// Shared checkpoint store; `None` when `checkpoint_every == 0`.
+    /// Shared checkpoint store; `None` when `checkpoint_every == 0` and
+    /// no `state_dir` is configured.
     checkpoints: Option<Arc<CheckpointStore>>,
+    /// Write-ahead job journal; `Some` iff [`ServeConfig::state_dir`].
+    journal: Option<Arc<Journal>>,
+    /// What reconciliation found on startup (all-zero without a
+    /// `state_dir` or on a first run). Surfaced by `/healthz` and folded
+    /// into the end-of-run summary via `Restore` trace events.
+    pub(crate) recovery: RecoveryStats,
     /// Always-on flight recorder, teed into the sink chain.
     pub(crate) flight: Arc<FlightRecorder>,
     /// SLO burn-rate monitor; `None` when [`ServeConfig::slo`] is unset.
@@ -372,6 +398,77 @@ impl Inner {
             &[("device", &device.to_string())],
         )
     }
+
+    /// Append one record to the write-ahead journal (no-op without a
+    /// `state_dir`). An I/O error degrades to a one-shot warn `Alert` on
+    /// the trace stream — the serving loop itself never fails on a bad
+    /// journal disk, it just stops being crash-consistent.
+    fn journal(&self, rec: JournalRecord) {
+        let Some(j) = &self.journal else { return };
+        j.append(&rec);
+        if let Some(err) = j.take_error() {
+            let t_us = self.now_us();
+            self.tracer.emit(move || TraceEvent::Alert {
+                monitor: "journal".into(),
+                tenant: String::new(),
+                severity: "warn".into(),
+                value: 1.0,
+                threshold: 0.0,
+                t_us,
+                detail: format!("journal append failed: {err}"),
+            });
+        }
+    }
+
+    /// Emit one reconciliation decision (schema v4 `restore` event).
+    fn emit_restore(
+        &self,
+        job: JobId,
+        outcome: RestoreOutcome,
+        version: u64,
+        iteration: u64,
+        detail: String,
+    ) {
+        let t_us = self.now_us();
+        self.tracer.emit(move || TraceEvent::Restore {
+            job,
+            outcome,
+            version,
+            iteration,
+            t_us,
+            detail,
+        });
+    }
+}
+
+/// Tees the pool's sink chain into the journal: every `Checkpoint`
+/// event a pipeline emits becomes a `Checkpointed` journal record, so
+/// the journal knows — across a crash — which jobs have a snapshot
+/// worth resuming from.
+struct JournalCheckpointTee {
+    journal: Arc<Journal>,
+}
+
+impl TraceSink for JournalCheckpointTee {
+    fn record(&self, event: TraceEvent) {
+        self.record_tagged(None, event);
+    }
+
+    fn record_tagged(&self, _job: Option<u64>, event: TraceEvent) {
+        if let TraceEvent::Checkpoint {
+            job,
+            version,
+            iteration,
+            ..
+        } = event
+        {
+            self.journal.append(&JournalRecord::Checkpointed {
+                job,
+                version,
+                iteration,
+            });
+        }
+    }
 }
 
 /// The serving pool. Dropping it without [`MorphServe::shutdown`] joins
@@ -392,20 +489,184 @@ impl MorphServe {
     /// # Panics
     ///
     /// When [`ServeConfig::http_addr`] is set and the address cannot be
-    /// bound.
+    /// bound, or when [`ServeConfig::state_dir`] is set and the durable
+    /// state cannot be opened at all (an unreadable *record* inside it
+    /// is recovered from, not panicked over).
     pub fn start(cfg: ServeConfig, tracer: Tracer) -> Self {
         let devices = cfg.devices.max(1);
-        let checkpoints =
-            (cfg.checkpoint_every > 0).then(|| Arc::new(CheckpointStore::in_memory()));
+        // Open the durable plane first: the verified checkpoint store and
+        // the write-ahead journal, replaying whatever the previous
+        // incarnation left behind.
+        let mut journal_handle: Option<Arc<Journal>> = None;
+        let mut journal_scan = journal::JournalScan::default();
+        let mut store_discarded = 0u64;
+        let mut store_fell_back = 0u64;
+        let checkpoints = if let Some(dir) = &cfg.state_dir {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| panic!("creating state dir {}: {e}", dir.display()));
+            let store = CheckpointStore::durable(dir.clone(), cfg.durability_faults.clone())
+                .unwrap_or_else(|e| panic!("opening checkpoint store in {}: {e}", dir.display()));
+            if let Some(r) = store.store_recovery() {
+                store_discarded = r.discarded;
+                store_fell_back = r.fell_back;
+            }
+            let (j, scan) = Journal::open(dir.join("journal.wal"), cfg.durability_faults.clone())
+                .unwrap_or_else(|e| panic!("opening journal in {}: {e}", dir.display()));
+            journal_handle = Some(Arc::new(j));
+            journal_scan = scan;
+            Some(Arc::new(store))
+        } else {
+            (cfg.checkpoint_every > 0).then(|| Arc::new(CheckpointStore::in_memory()))
+        };
+
+        // Reconcile the journal against the store: per-job ledgers decide
+        // who is already terminal (accounted, never re-run), who resumes
+        // from a snapshot, and who restarts from zero.
+        let ledgers = journal::fold(&journal_scan.records);
+        let mut recovery = RecoveryStats {
+            journaled_jobs: ledgers.len() as u64,
+            discarded: store_discarded,
+            truncated_bytes: journal_scan.truncated_bytes,
+            ..RecoveryStats::default()
+        };
+        let mut recovered_jobs: Vec<Job> = Vec::new();
+        // (job, outcome, version, iteration, detail) — emitted as Restore
+        // events once the tracer handle exists below.
+        let mut restores: Vec<(JobId, RestoreOutcome, u64, u64, String)> = Vec::new();
+        let mut statuses = BTreeMap::new();
+        let mut meta = BTreeMap::new();
+        let mut max_id = 0;
+        for (&id, ledger) in &ledgers {
+            max_id = max_id.max(id);
+            if let Some(outcome) = ledger.terminal {
+                // Exactly-once accounting: a journaled terminal is final.
+                // Its artifacts are no longer needed.
+                if let Some(store) = &checkpoints {
+                    store.discard(id);
+                }
+                let (kind, detail) = match outcome {
+                    JournalOutcome::Finished => {
+                        recovery.finished += 1;
+                        (RestoreOutcome::Finished, "already finished; not re-run")
+                    }
+                    JournalOutcome::Failed { .. } => {
+                        recovery.failed += 1;
+                        (RestoreOutcome::Failed, "already failed; not re-run")
+                    }
+                    JournalOutcome::Cancelled => {
+                        recovery.cancelled += 1;
+                        (RestoreOutcome::Cancelled, "already cancelled; not re-run")
+                    }
+                };
+                restores.push((id, kind, 0, 0, detail.to_string()));
+                continue;
+            }
+            let Some(spec) = ledger.spec() else {
+                // The admission record survived but its workload encoding
+                // does not parse (bit rot past the CRC's reach is ruled
+                // out, so this is a future-encoding artifact): report it,
+                // don't guess.
+                recovery.discarded += 1;
+                restores.push((
+                    id,
+                    RestoreOutcome::Discarded,
+                    0,
+                    0,
+                    format!("unparseable workload {:?}", ledger.workload),
+                ));
+                continue;
+            };
+            let snapshot = checkpoints.as_ref().and_then(|s| s.load(id));
+            let (kind, version, iteration, detail) = match &snapshot {
+                Some(ck) => {
+                    recovery.recovered += 1;
+                    (
+                        RestoreOutcome::Resumed,
+                        ck.version,
+                        ck.iteration,
+                        format!(
+                            "resuming from v{} after iteration {} ({} prior start(s))",
+                            ck.version, ck.iteration, ledger.starts
+                        ),
+                    )
+                }
+                None => {
+                    recovery.replayed += 1;
+                    (
+                        RestoreOutcome::Restarted,
+                        0,
+                        0,
+                        format!("no usable snapshot; restarting ({} prior start(s))", ledger.starts),
+                    )
+                }
+            };
+            restores.push((id, kind, version, iteration, detail));
+            // Deadlines were journaled relative to submission; the old
+            // epoch died with the old process, so the clock restarts here
+            // — a documented extension, never a tightening.
+            let deadline_us = if ledger.deadline_ms > 0 {
+                (ledger.deadline_ms * 1_000).max(1)
+            } else {
+                0
+            };
+            // The retry budget the old incarnations burned carries over,
+            // but the in-flight attempt was cut short through no fault of
+            // the job's — it always gets at least one more start.
+            let attempts = (ledger.starts as u32).min(ledger.max_attempts.saturating_sub(1));
+            statuses.insert(id, JobStatus::Queued);
+            meta.insert(
+                id,
+                JobMeta {
+                    tenant: spec.tenant.clone(),
+                    workload: ledger.workload.clone(),
+                    priority: spec.priority.as_str(),
+                    deadline_us,
+                    submitted_us: 0,
+                    started_us: None,
+                    ended_us: None,
+                    device: None,
+                    attempts,
+                    evictions: 0,
+                },
+            );
+            recovered_jobs.push(Job {
+                id,
+                spec,
+                seq: id,
+                attempts,
+                cancel: CancelToken::new(),
+                deadline_us,
+                evictions: 0,
+                avoid_device: None,
+                not_before_us: 0,
+            });
+        }
+
+        let mut queue = ReadyQueue::new(cfg.queue_capacity);
+        let recovered_meta: Vec<(JobId, String, u64)> = recovered_jobs
+            .iter()
+            .map(|j| (j.id, j.spec.tenant.clone(), j.deadline_us))
+            .collect();
+        for job in recovered_jobs {
+            // Requeue, not admit: recovered jobs were admitted in a past
+            // life and must not bounce off the bound now.
+            queue.requeue(job);
+        }
+
         let flight = Arc::new(FlightRecorder::new(cfg.flight.clone()));
-        let tracer = tracer.tee_with(Arc::clone(&flight) as Arc<dyn TraceSink>);
+        let mut tracer = tracer.tee_with(Arc::clone(&flight) as Arc<dyn TraceSink>);
+        if let Some(j) = &journal_handle {
+            tracer = tracer.tee_with(Arc::new(JournalCheckpointTee {
+                journal: Arc::clone(j),
+            }) as Arc<dyn TraceSink>);
+        }
         let slo = cfg.slo.clone().map(SloMonitor::new);
         let inner = Arc::new(Inner {
             state: Mutex::new(ServeState {
-                queue: ReadyQueue::new(cfg.queue_capacity),
+                queue,
                 running: BTreeMap::new(),
-                statuses: BTreeMap::new(),
-                meta: BTreeMap::new(),
+                statuses,
+                meta,
                 tenant_run_us: BTreeMap::new(),
                 cancel_requested: BTreeSet::new(),
                 evicting: BTreeMap::new(),
@@ -415,8 +676,8 @@ impl MorphServe {
                         consecutive_failures: 0,
                     })
                     .collect(),
-                next_id: 1,
-                next_seq: 0,
+                next_id: max_id + 1,
+                next_seq: max_id + 1,
                 shutting_down: false,
             }),
             work: Condvar::new(),
@@ -424,17 +685,59 @@ impl MorphServe {
             tracer,
             metrics: Arc::new(MetricsRegistry::new()),
             checkpoints,
+            journal: journal_handle,
+            recovery,
             flight,
             slo,
             epoch: Instant::now(),
             cfg,
         });
+        // Narrate the reconciliation into the trace stream before any
+        // worker can start a recovered job: stream-level records first
+        // (journal-tail truncation, discarded store artifacts), then the
+        // per-job decisions, then a fresh Submitted for each re-queued
+        // job so its lifecycle row is complete in this incarnation.
+        if recovery.truncated_bytes > 0 {
+            inner.emit_restore(
+                0,
+                RestoreOutcome::Truncated,
+                0,
+                0,
+                format!("journal tail truncated ({} bytes)", recovery.truncated_bytes),
+            );
+        }
+        if store_discarded > 0 || store_fell_back > 0 {
+            inner.emit_restore(
+                0,
+                RestoreOutcome::Discarded,
+                0,
+                0,
+                format!(
+                    "checkpoint store: {store_discarded} artifact(s) discarded, {store_fell_back} fell back to .prev"
+                ),
+            );
+        }
+        for (id, outcome, version, iteration, detail) in restores {
+            inner.emit_restore(id, outcome, version, iteration, detail);
+        }
+        let depth = inner.state.lock().unwrap().queue.len() as u64;
+        for (id, tenant, deadline_us) in recovered_meta {
+            inner.emit_job(
+                id,
+                &tenant,
+                JobEventKind::Submitted,
+                depth,
+                0,
+                deadline_us,
+                "recovered from journal".into(),
+            );
+        }
         // Every slot starts healthy; publishing the gauges up front makes
         // the series visible even on runs with no health transitions.
         for device in 1..=devices as u64 {
             inner.device_health_gauge(device).set(2);
         }
-        inner.note_queue_depth(0);
+        inner.note_queue_depth(depth);
         let mut workers: Vec<std::thread::JoinHandle<()>> = (0..devices)
             .map(|slot| {
                 let inner = Arc::clone(&inner);
@@ -495,12 +798,26 @@ impl MorphServe {
             deadline_us,
             evictions: 0,
             avoid_device: None,
+            not_before_us: 0,
         };
         let tenant = job.spec.tenant.clone();
         let detail = job.spec.workload.encode();
-        let priority = job.spec.priority.as_str();
+        let priority = job.spec.priority;
+        let deadline_ms = job.spec.deadline.map(|d| d.as_millis() as u64).unwrap_or(0);
+        let max_attempts = job.spec.retry.max_attempts;
         match st.queue.admit(job) {
             Ok(()) => {
+                // Write-ahead: the admission is journaled before any of
+                // its in-memory effects, so a crash can forget a job the
+                // caller saw rejected but never one it saw admitted.
+                self.inner.journal(JournalRecord::Admitted {
+                    job: id,
+                    tenant: tenant.clone(),
+                    priority,
+                    deadline_ms,
+                    max_attempts,
+                    workload: detail.clone(),
+                });
                 st.next_id += 1;
                 st.next_seq += 1;
                 st.statuses.insert(id, JobStatus::Queued);
@@ -509,7 +826,7 @@ impl MorphServe {
                     JobMeta {
                         tenant: tenant.clone(),
                         workload: detail.clone(),
-                        priority,
+                        priority: priority.as_str(),
                         deadline_us,
                         submitted_us: self.inner.now_us(),
                         started_us: None,
@@ -552,6 +869,7 @@ impl MorphServe {
     pub fn cancel(&self, id: JobId) -> bool {
         let mut st = self.inner.state.lock().unwrap();
         if let Some(job) = st.queue.remove(id) {
+            self.inner.journal(JournalRecord::Cancelled { job: id });
             st.statuses.insert(id, JobStatus::Cancelled);
             // A user cancel is no SLO sample, but the row still closes.
             self.inner.note_terminal(&mut st, id, None);
@@ -671,6 +989,20 @@ impl MorphServe {
         self.inner.state.lock().unwrap().tenant_run_us.clone()
     }
 
+    /// What reconciliation found on startup: journaled jobs, terminals
+    /// accounted without a re-run, resumes, restarts, discarded
+    /// artifacts and truncated journal bytes. All-zero without a
+    /// [`ServeConfig::state_dir`] or on a first run.
+    pub fn recovery(&self) -> RecoveryStats {
+        self.inner.recovery
+    }
+
+    /// The write-ahead journal handle, when the pool is durable
+    /// ([`ServeConfig::state_dir`]).
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.inner.journal.as_ref()
+    }
+
     /// Drain queued work, stop the workers, and join them. Flushes the
     /// tracer. Idempotent.
     pub fn shutdown(&mut self) {
@@ -682,6 +1014,9 @@ impl MorphServe {
         self.inner.work.notify_all();
         for h in self.workers.drain(..) {
             let _ = h.join();
+        }
+        if let Some(j) = &self.inner.journal {
+            j.sync();
         }
         self.inner.tracer.flush();
     }
@@ -723,14 +1058,22 @@ fn worker_loop(inner: &Arc<Inner>, device: u64) {
                     }
                     SlotState::Healthy | SlotState::Probation => {}
                 }
+                let now_us = inner.now_us();
                 if let Some(job) = {
                     let usage = st.tenant_run_us.clone();
-                    st.queue.pick(&usage, device, sole_device)
+                    st.queue.pick(&usage, device, sole_device, now_us)
                 } {
                     break job;
                 }
                 if st.shutting_down {
                     return;
+                }
+                // An empty pick with backed-off jobs waiting: wake no
+                // later than the earliest `not_before_us` stamp.
+                if let Some(ready_at) = st.queue.soonest_ready(now_us) {
+                    wait = wait.min(Duration::from_micros(
+                        ready_at.saturating_sub(now_us).max(500),
+                    ));
                 }
                 let (next, _) = inner.work.wait_timeout(st, wait).unwrap();
                 st = next;
@@ -788,6 +1131,10 @@ fn shed_expired(inner: &Arc<Inner>, job: &Job, device: u64, phase: &str) -> bool
     let id = job.id;
     let tenant = job.spec.tenant.clone();
     let detail = format!("shed: deadline expired {phase}");
+    inner.journal(JournalRecord::Failed {
+        job: id,
+        permanent: true,
+    });
     let mut st = inner.state.lock().unwrap();
     st.cancel_requested.remove(&id);
     st.evicting.remove(&id);
@@ -872,6 +1219,10 @@ fn evict(
                 job.evictions
             )
         };
+        inner.journal(JournalRecord::Failed {
+            job: id,
+            permanent: expired,
+        });
         st.statuses.insert(
             id,
             JobStatus::Failed {
@@ -903,11 +1254,19 @@ fn evict(
 
     job.evictions += 1;
     job.avoid_device = Some(device);
+    // Jittered exponential backoff over the job's total disruptions: a
+    // job bouncing between dying slots must not hot-spin the queue.
+    job.not_before_us =
+        inner.now_us() + backoff_delay_us(id, job.evictions + job.attempts);
     // The eviction may have raised this job's token (watchdog); the
     // requeued run needs a fresh one or it would cancel itself at its
     // first host-action boundary.
     job.cancel = CancelToken::new();
     let detail = format!("evicted ({reason}): {err}");
+    inner.journal(JournalRecord::Requeued {
+        job: id,
+        reason: detail.clone(),
+    });
     st.statuses.insert(id, JobStatus::Queued);
     if let Some(m) = st.meta.get_mut(&id) {
         m.evictions = job.evictions;
@@ -972,6 +1331,11 @@ fn run_one(inner: &Arc<Inner>, device: u64, mut job: Job) {
         st.queue.len() as u64
     };
     inner.note_queue_depth(depth);
+    inner.journal(JournalRecord::Started {
+        job: id,
+        device,
+        attempt: attempt as u64,
+    });
     inner.emit_job(
         id,
         &tenant,
@@ -1056,6 +1420,7 @@ fn run_one(inner: &Arc<Inner>, device: u64, mut job: Job) {
 
     match outcome {
         Ok(metrics) => {
+            inner.journal(JournalRecord::Finished { job: id });
             slot_ok(inner, &mut st, device);
             st.statuses.insert(id, JobStatus::Finished { metrics });
             let slo = inner.note_terminal(&mut st, id, Some(true));
@@ -1097,6 +1462,7 @@ fn run_one(inner: &Arc<Inner>, device: u64, mut job: Job) {
             }
             match classify(&err) {
                 FailureClass::Cancelled => {
+                    inner.journal(JournalRecord::Cancelled { job: id });
                     st.statuses.insert(id, JobStatus::Cancelled);
                     inner.note_terminal(&mut st, id, None);
                     let depth = st.queue.len() as u64;
@@ -1125,6 +1491,14 @@ fn run_one(inner: &Arc<Inner>, device: u64, mut job: Job) {
                     if job.cancel.is_cancelled() {
                         job.cancel = CancelToken::new();
                     }
+                    // Back off before the retry, scaled by attempts: a
+                    // deterministically failing job must not monopolise
+                    // its slot in a tight loop.
+                    job.not_before_us = inner.now_us() + backoff_delay_us(id, attempt);
+                    inner.journal(JournalRecord::Requeued {
+                        job: id,
+                        reason: detail.clone(),
+                    });
                     st.statuses.insert(id, JobStatus::Queued);
                     st.queue.requeue(job);
                     let depth = st.queue.len() as u64;
@@ -1150,6 +1524,10 @@ fn run_one(inner: &Arc<Inner>, device: u64, mut job: Job) {
                     // remain, but the deadline is gone — shed instead of
                     // burning more device time.
                     let detail = format!("shed: deadline expired at requeue ({err})");
+                    inner.journal(JournalRecord::Failed {
+                        job: id,
+                        permanent: true,
+                    });
                     st.statuses.insert(
                         id,
                         JobStatus::Failed {
@@ -1178,6 +1556,10 @@ fn run_one(inner: &Arc<Inner>, device: u64, mut job: Job) {
                 }
                 class => {
                     let permanent = class == FailureClass::Permanent;
+                    inner.journal(JournalRecord::Failed {
+                        job: id,
+                        permanent,
+                    });
                     st.statuses.insert(
                         id,
                         JobStatus::Failed {

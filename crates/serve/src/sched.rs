@@ -19,6 +19,33 @@
 use crate::job::{Job, JobId};
 use std::collections::BTreeMap;
 
+/// Backoff floor for the first requeue, in µs.
+const BACKOFF_BASE_US: u64 = 2_000;
+/// Backoff ceiling, in µs — well under the watchdog/deadline scales so
+/// delay never masquerades as a hang.
+const BACKOFF_CAP_US: u64 = 100_000;
+
+/// Bounded exponential backoff with deterministic jitter for a job's
+/// `n`-th requeue (`n >= 1`). The exponential ladder doubles from
+/// [`BACKOFF_BASE_US`] and saturates at [`BACKOFF_CAP_US`]; the returned
+/// delay is drawn uniformly from `[cap/2, cap)` (full-jitter halved, so
+/// colliding jobs decorrelate without ever returning a zero delay). The
+/// jitter PRNG is SplitMix64 seeded from `(job, n)` — the same job and
+/// attempt always back off identically, keeping replays deterministic.
+pub fn backoff_delay_us(job: JobId, n: u32) -> u64 {
+    let n = n.max(1);
+    let cap = BACKOFF_CAP_US.min(BACKOFF_BASE_US << (n - 1).min(10));
+    let mut s = job
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(u64::from(n));
+    s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = s;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    cap / 2 + z % (cap / 2).max(1)
+}
+
 /// Why a submission was refused at the door.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AdmitError {
@@ -83,14 +110,28 @@ impl ReadyQueue {
     /// picking slot: a job evicted from that slot (`avoid_device`) is
     /// skipped so its resume lands elsewhere — unless `sole_device` is
     /// set, in which case there is nowhere else and the rule is waived.
+    /// `now_us` gates backed-off requeues: a job whose `not_before_us`
+    /// lies in the future is invisible to this pick.
     pub fn pick(
         &mut self,
         tenant_run_us: &BTreeMap<String, u64>,
         device: u64,
         sole_device: bool,
+        now_us: u64,
     ) -> Option<Job> {
-        let idx = self.pick_index(tenant_run_us, device, sole_device)?;
+        let idx = self.pick_index(tenant_run_us, device, sole_device, now_us)?;
         Some(self.jobs.swap_remove(idx))
+    }
+
+    /// Earliest `not_before_us` among jobs this pick skipped purely for
+    /// backoff — how long the caller should wait before retrying a pick
+    /// that came up empty. `None` when nothing is backing off.
+    pub fn soonest_ready(&self, now_us: u64) -> Option<u64> {
+        self.jobs
+            .iter()
+            .filter(|j| j.not_before_us > now_us)
+            .map(|j| j.not_before_us)
+            .min()
     }
 
     fn pick_index(
@@ -98,11 +139,13 @@ impl ReadyQueue {
         tenant_run_us: &BTreeMap<String, u64>,
         device: u64,
         sole_device: bool,
+        now_us: u64,
     ) -> Option<usize> {
         self.jobs
             .iter()
             .enumerate()
             .filter(|(_, j)| sole_device || j.avoid_device != Some(device))
+            .filter(|(_, j)| j.not_before_us <= now_us)
             .min_by_key(|(_, j)| {
                 (
                     j.spec.priority,
@@ -156,6 +199,7 @@ mod tests {
             deadline_us,
             evictions: 0,
             avoid_device: None,
+            not_before_us: 0,
         }
     }
 
@@ -182,9 +226,9 @@ mod tests {
         q.admit(job(1, "a", Priority::Low, 0)).unwrap();
         q.admit(job(2, "a", Priority::High, 0)).unwrap();
         q.admit(job(3, "a", Priority::Normal, 0)).unwrap();
-        assert_eq!(q.pick(&no_usage(), 1, true).unwrap().id, 2);
-        assert_eq!(q.pick(&no_usage(), 1, true).unwrap().id, 3);
-        assert_eq!(q.pick(&no_usage(), 1, true).unwrap().id, 1);
+        assert_eq!(q.pick(&no_usage(), 1, true, 0).unwrap().id, 2);
+        assert_eq!(q.pick(&no_usage(), 1, true, 0).unwrap().id, 3);
+        assert_eq!(q.pick(&no_usage(), 1, true, 0).unwrap().id, 1);
     }
 
     #[test]
@@ -194,7 +238,7 @@ mod tests {
             q.admit(job(id, "a", Priority::Normal, 0)).unwrap();
         }
         for id in 1..=4 {
-            assert_eq!(q.pick(&no_usage(), 1, true).unwrap().id, id);
+            assert_eq!(q.pick(&no_usage(), 1, true, 0).unwrap().id, id);
         }
     }
 
@@ -206,8 +250,8 @@ mod tests {
         let mut usage = BTreeMap::new();
         usage.insert("heavy".to_string(), 10_000u64);
         // `light` has accrued nothing, so its later submission runs first.
-        assert_eq!(q.pick(&usage, 1, true).unwrap().id, 2);
-        assert_eq!(q.pick(&usage, 1, true).unwrap().id, 1);
+        assert_eq!(q.pick(&usage, 1, true, 0).unwrap().id, 2);
+        assert_eq!(q.pick(&usage, 1, true, 0).unwrap().id, 1);
     }
 
     #[test]
@@ -216,9 +260,9 @@ mod tests {
         q.admit(job(1, "a", Priority::Normal, 0)).unwrap(); // best-effort
         q.admit(job(2, "a", Priority::Normal, 9_000)).unwrap();
         q.admit(job(3, "a", Priority::Normal, 4_000)).unwrap();
-        assert_eq!(q.pick(&no_usage(), 1, true).unwrap().id, 3);
-        assert_eq!(q.pick(&no_usage(), 1, true).unwrap().id, 2);
-        assert_eq!(q.pick(&no_usage(), 1, true).unwrap().id, 1);
+        assert_eq!(q.pick(&no_usage(), 1, true, 0).unwrap().id, 3);
+        assert_eq!(q.pick(&no_usage(), 1, true, 0).unwrap().id, 2);
+        assert_eq!(q.pick(&no_usage(), 1, true, 0).unwrap().id, 1);
     }
 
     #[test]
@@ -229,18 +273,50 @@ mod tests {
         q.admit(evicted).unwrap();
         q.admit(job(2, "a", Priority::Normal, 0)).unwrap();
         // Device 2 skips the evicted job despite its higher priority …
-        assert_eq!(q.pick(&no_usage(), 2, false).unwrap().id, 2);
+        assert_eq!(q.pick(&no_usage(), 2, false, 0).unwrap().id, 2);
         // … and with only the avoided job left, returns nothing so a
         // different slot can take it.
-        assert!(q.pick(&no_usage(), 2, false).is_none());
+        assert!(q.pick(&no_usage(), 2, false, 0).is_none());
         assert_eq!(q.len(), 1);
         // Any other device picks it normally.
-        assert_eq!(q.pick(&no_usage(), 1, false).unwrap().id, 1);
+        assert_eq!(q.pick(&no_usage(), 1, false, 0).unwrap().id, 1);
         // A sole device waives the rule — better the same slot than never.
         let mut solo = job(3, "a", Priority::Normal, 0);
         solo.avoid_device = Some(1);
         q.admit(solo).unwrap();
-        assert_eq!(q.pick(&no_usage(), 1, true).unwrap().id, 3);
+        assert_eq!(q.pick(&no_usage(), 1, true, 0).unwrap().id, 3);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_monotone_in_cap() {
+        for job in [1u64, 7, 1000] {
+            for n in 1..=12u32 {
+                let d = backoff_delay_us(job, n);
+                assert_eq!(d, backoff_delay_us(job, n), "deterministic");
+                let cap = 100_000u64.min(2_000u64 << (n - 1).min(10));
+                assert!(d >= cap / 2 && d < cap, "n={n}: {d} outside [{}, {cap})", cap / 2);
+            }
+            // Saturated: the ceiling holds however many requeues pile up.
+            assert!(backoff_delay_us(job, 40) < 100_000);
+        }
+        // Different jobs jitter apart (decorrelation, not a fixed ladder).
+        assert_ne!(backoff_delay_us(1, 6), backoff_delay_us(2, 6));
+    }
+
+    #[test]
+    fn backed_off_jobs_are_invisible_until_their_time() {
+        let mut q = ReadyQueue::new(8);
+        let mut delayed = job(1, "a", Priority::High, 0);
+        delayed.not_before_us = 5_000;
+        q.admit(delayed).unwrap();
+        q.admit(job(2, "a", Priority::Low, 0)).unwrap();
+        // Before the backoff expires the low-priority job runs instead …
+        assert_eq!(q.pick(&no_usage(), 1, true, 1_000).unwrap().id, 2);
+        assert!(q.pick(&no_usage(), 1, true, 1_000).is_none());
+        assert_eq!(q.soonest_ready(1_000), Some(5_000));
+        // … and at its stamp the job is schedulable again.
+        assert_eq!(q.pick(&no_usage(), 1, true, 5_000).unwrap().id, 1);
+        assert_eq!(q.soonest_ready(5_000), None);
     }
 
     #[test]
@@ -250,7 +326,7 @@ mod tests {
         q.admit(job(2, "a", Priority::Normal, 0)).unwrap();
         assert_eq!(q.remove(1).unwrap().id, 1);
         assert!(q.remove(1).is_none());
-        assert_eq!(q.pick(&no_usage(), 1, true).unwrap().id, 2);
+        assert_eq!(q.pick(&no_usage(), 1, true, 0).unwrap().id, 2);
         assert!(q.is_empty());
     }
 }

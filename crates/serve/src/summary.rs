@@ -10,7 +10,7 @@
 
 use crate::pool::SlotHealthSnapshot;
 use morph_metrics::{Histogram, HistogramSnapshot};
-use morph_trace::{JobEventKind, TraceReport};
+use morph_trace::{JobEventKind, RestoreOutcome, TraceReport};
 
 /// The folded serving summary.
 #[derive(Debug, Default)]
@@ -52,6 +52,20 @@ pub struct ServeSummary {
     /// Sanitizer violations recorded in the same stream (0 without
     /// `morph-check`).
     pub sanitizer_violations: u64,
+    /// In-flight jobs a `--resume` re-queued from a verified snapshot
+    /// (`Restore`/`resumed` events).
+    pub recovered: u64,
+    /// In-flight jobs a `--resume` restarted from zero.
+    pub replayed: u64,
+    /// Corrupt durable artifacts dropped at recovery (journal-tail
+    /// truncations and unusable snapshots; stream-level `Restore` rows).
+    pub discarded: u64,
+    /// Prior-incarnation terminals the journal accounted without a
+    /// re-run — exactly-once accounting across a crash: lifetime totals
+    /// are `finished + finished_base` etc., never double-counted.
+    pub finished_base: u64,
+    pub failed_base: u64,
+    pub cancelled_base: u64,
 }
 
 impl ServeSummary {
@@ -134,6 +148,16 @@ impl ServeSummary {
             .iter()
             .filter(|row| row.status != "ok")
             .count() as u64;
+        for r in &report.restores {
+            match r.outcome {
+                RestoreOutcome::Resumed => s.recovered += 1,
+                RestoreOutcome::Restarted => s.replayed += 1,
+                RestoreOutcome::Discarded | RestoreOutcome::Truncated => s.discarded += 1,
+                RestoreOutcome::Finished => s.finished_base += 1,
+                RestoreOutcome::Failed => s.failed_base += 1,
+                RestoreOutcome::Cancelled => s.cancelled_base += 1,
+            }
+        }
         s
     }
 
@@ -197,19 +221,44 @@ impl ServeSummary {
             "resilience: {} evicted, {} resumed, {} slots quarantined; {} checkpoints ({} bytes)\n",
             self.evicted, self.resumed, self.quarantined, self.checkpoints, self.checkpoint_bytes
         ));
+        if self.has_recovery() {
+            out.push_str(&format!(
+                "recovery: {} resumed from snapshot, {} restarted, {} discarded; lifetime {} finished, {} failed, {} cancelled (incl. pre-crash)\n",
+                self.recovered,
+                self.replayed,
+                self.discarded,
+                self.finished + self.finished_base,
+                self.failed + self.failed_base,
+                self.cancelled + self.cancelled_base,
+            ));
+        }
         // Existing greps match on the `lost=/dup=/sanitizer_violations=`
-        // prefix, so the resilience counters extend the line, never
-        // reorder it.
+        // prefix, so the resilience and recovery counters extend the
+        // line, never reorder it.
         out.push_str(&format!(
-            "SOAK lost={} dup={} sanitizer_violations={} resumed={} evicted={} quarantined={}\n",
+            "SOAK lost={} dup={} sanitizer_violations={} resumed={} evicted={} quarantined={} recovered={} replayed={} discarded={}\n",
             self.lost,
             self.duplicate_runs,
             self.sanitizer_violations,
             self.resumed,
             self.evicted,
-            self.quarantined
+            self.quarantined,
+            self.recovered,
+            self.replayed,
+            self.discarded
         ));
         out
+    }
+
+    /// Whether this run reconciled any durable state on startup.
+    fn has_recovery(&self) -> bool {
+        self.recovered
+            + self.replayed
+            + self.discarded
+            + self.finished_base
+            + self.failed_base
+            + self.cancelled_base
+            > 0
     }
 }
 
@@ -332,6 +381,56 @@ mod tests {
             "SOAK lost=0 dup=0 sanitizer_violations=0 resumed=1 evicted=1 quarantined=1"
         ));
         assert!(rendered.contains("resilience: 1 evicted, 1 resumed, 1 slots quarantined"));
+    }
+
+    #[test]
+    fn recovery_counters_fold_and_extend_the_soak_line() {
+        let restore = |job, outcome| TraceEvent::Restore {
+            job,
+            outcome,
+            version: 0,
+            iteration: 0,
+            t_us: 1,
+            detail: String::new(),
+        };
+        let events = [
+            // One pre-crash terminal, one resume, one restart, one
+            // stream-level truncation — then the resumed pair finishes.
+            restore(4, RestoreOutcome::Finished),
+            restore(5, RestoreOutcome::Resumed),
+            restore(6, RestoreOutcome::Restarted),
+            restore(0, RestoreOutcome::Truncated),
+            job_ev(5, JobEventKind::Submitted, 2),
+            job_ev(5, JobEventKind::Started, 10),
+            job_ev(5, JobEventKind::Finished, 20),
+            job_ev(6, JobEventKind::Submitted, 2),
+            job_ev(6, JobEventKind::Started, 11),
+            job_ev(6, JobEventKind::Finished, 21),
+        ];
+        let report = TraceReport::from_events(events.iter());
+        let s = ServeSummary::from_report(&report);
+        assert_eq!(s.recovered, 1);
+        assert_eq!(s.replayed, 1);
+        assert_eq!(s.discarded, 1);
+        assert_eq!(s.finished_base, 1);
+        assert_eq!(s.lost, 0, "recovered jobs complete their lifecycle");
+        let rendered = s.render();
+        assert!(rendered.contains("recovered=1 replayed=1 discarded=1"), "{rendered}");
+        // Exactly-once accounting: job 4 counts once, in the lifetime total.
+        assert!(rendered.contains("lifetime 3 finished"), "{rendered}");
+    }
+
+    #[test]
+    fn runs_without_recovery_render_no_recovery_line() {
+        let events = [
+            job_ev(1, JobEventKind::Submitted, 0),
+            job_ev(1, JobEventKind::Started, 1),
+            job_ev(1, JobEventKind::Finished, 2),
+        ];
+        let report = TraceReport::from_events(events.iter());
+        let rendered = ServeSummary::from_report(&report).render();
+        assert!(!rendered.contains("recovery:"), "{rendered}");
+        assert!(rendered.contains("recovered=0 replayed=0 discarded=0"), "{rendered}");
     }
 
     #[test]

@@ -247,6 +247,58 @@ impl JobEventKind {
     }
 }
 
+/// Outcome of one restart-recovery reconciliation decision (see
+/// [`TraceEvent::Restore`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestoreOutcome {
+    /// Journaled terminal: the job finished in a prior incarnation and is
+    /// not re-run (exactly-once accounting).
+    Finished,
+    /// Journaled terminal: permanently failed in a prior incarnation.
+    Failed,
+    /// Journaled terminal: cancelled in a prior incarnation.
+    Cancelled,
+    /// In-flight at the crash; re-queued and will resume from its last
+    /// good snapshot.
+    Resumed,
+    /// In-flight at the crash with no usable snapshot; re-queued to
+    /// restart from zero (retry budget intact).
+    Restarted,
+    /// A durable artifact (snapshot pair, unparseable journal entry) was
+    /// corrupt and dropped.
+    Discarded,
+    /// The journal ended mid-record; the tail was truncated to the last
+    /// good prefix.
+    Truncated,
+}
+
+impl RestoreOutcome {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RestoreOutcome::Finished => "finished",
+            RestoreOutcome::Failed => "failed",
+            RestoreOutcome::Cancelled => "cancelled",
+            RestoreOutcome::Resumed => "resumed",
+            RestoreOutcome::Restarted => "restarted",
+            RestoreOutcome::Discarded => "discarded",
+            RestoreOutcome::Truncated => "truncated",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "finished" => RestoreOutcome::Finished,
+            "failed" => RestoreOutcome::Failed,
+            "cancelled" => RestoreOutcome::Cancelled,
+            "resumed" => RestoreOutcome::Resumed,
+            "restarted" => RestoreOutcome::Restarted,
+            "discarded" => RestoreOutcome::Discarded,
+            "truncated" => RestoreOutcome::Truncated,
+            _ => return None,
+        })
+    }
+}
+
 /// One structured trace event. The JSONL encoding tags each record with a
 /// `"type"` discriminant matching the variant names below (snake_case).
 #[derive(Debug, Clone, PartialEq)]
@@ -392,6 +444,21 @@ pub enum TraceEvent {
         t_us: u64,
         detail: String,
     },
+    /// One restart-recovery reconciliation decision (schema v4). On
+    /// `--resume` the serve layer replays the durable job journal against
+    /// the verified checkpoint store and emits one of these per journaled
+    /// job, plus stream-level records (`job` 0) for journal-tail
+    /// truncation and discarded artifacts. `version`/`iteration` locate
+    /// the snapshot a `resumed` job continues from (0/0 otherwise);
+    /// `t_us` is on the serving-epoch clock of the *new* incarnation.
+    Restore {
+        job: u64,
+        outcome: RestoreOutcome,
+        version: u64,
+        iteration: u64,
+        t_us: u64,
+        detail: String,
+    },
     /// One cell of the continuous phase profiler: modelled device cycles
     /// (and observed wall time) attributed to `algo;class;phase`, where
     /// `class` is the log2 iteration bucket (`"it0"`, `"it1"`, `"it2-3"`,
@@ -425,6 +492,7 @@ impl TraceEvent {
             TraceEvent::Health { .. } => "health",
             TraceEvent::Sanitizer { .. } => "sanitizer",
             TraceEvent::Alert { .. } => "alert",
+            TraceEvent::Restore { .. } => "restore",
             TraceEvent::ProfileSample { .. } => "profile_sample",
         }
     }
@@ -521,6 +589,14 @@ impl TraceEvent {
                 severity: s("severity")?,
                 value: v.get("value").and_then(JsonValue::as_f64)?,
                 threshold: v.get("threshold").and_then(JsonValue::as_f64)?,
+                t_us: u("t_us")?,
+                detail: s("detail")?,
+            },
+            "restore" => TraceEvent::Restore {
+                job: u("job")?,
+                outcome: RestoreOutcome::parse(&s("outcome")?)?,
+                version: u("version")?,
+                iteration: u("iteration")?,
                 t_us: u("t_us")?,
                 detail: s("detail")?,
             },
@@ -762,6 +838,24 @@ impl Serialize for TraceEvent {
                 st.serialize_field("detail", detail)?;
                 st.end()
             }
+            TraceEvent::Restore {
+                job,
+                outcome,
+                version,
+                iteration,
+                t_us,
+                detail,
+            } => {
+                let mut st = s.serialize_struct("TraceEvent", 7)?;
+                st.serialize_field("type", self.kind())?;
+                st.serialize_field("job", job)?;
+                st.serialize_field("outcome", outcome.as_str())?;
+                st.serialize_field("version", version)?;
+                st.serialize_field("iteration", iteration)?;
+                st.serialize_field("t_us", t_us)?;
+                st.serialize_field("detail", detail)?;
+                st.end()
+            }
             TraceEvent::ProfileSample {
                 algo,
                 class,
@@ -910,6 +1004,22 @@ mod tests {
             t_us: 13_000,
             detail: "fast=14.5x slow=11.0x over 500000us objective".into(),
         });
+        roundtrip(TraceEvent::Restore {
+            job: 17,
+            outcome: RestoreOutcome::Resumed,
+            version: 3,
+            iteration: 9,
+            t_us: 210,
+            detail: "snapshot v3 after iteration 9".into(),
+        });
+        roundtrip(TraceEvent::Restore {
+            job: 0,
+            outcome: RestoreOutcome::Truncated,
+            version: 0,
+            iteration: 0,
+            t_us: 190,
+            detail: "journal tail truncated (17 bytes)".into(),
+        });
         roundtrip(TraceEvent::ProfileSample {
             algo: "dmr".into(),
             class: "it2-3".into(),
@@ -1010,3 +1120,4 @@ mod tests {
         assert_eq!(RecoveryKind::parse("nope"), None);
     }
 }
+

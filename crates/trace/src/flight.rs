@@ -85,6 +85,7 @@ pub struct FlightRecorder {
     cfg: FlightConfig,
     inner: Mutex<FlightInner>,
     dumps: AtomicU64,
+    dump_failures: AtomicU64,
 }
 
 impl FlightRecorder {
@@ -93,12 +94,21 @@ impl FlightRecorder {
             cfg,
             inner: Mutex::new(FlightInner::default()),
             dumps: AtomicU64::new(0),
+            dump_failures: AtomicU64::new(0),
         }
     }
 
     /// Dumps written so far (auto + manual).
     pub fn dumps(&self) -> u64 {
         self.dumps.load(Ordering::Acquire)
+    }
+
+    /// Auto-dumps that could not be written (unwritable `--flight` path).
+    /// Each failure is also retained in ring 0 as a `flight_recorder`
+    /// warn-severity [`TraceEvent::Alert`] — the run keeps going; the
+    /// pool thread never panics over a bad dump path.
+    pub fn dump_failures(&self) -> u64 {
+        self.dump_failures.load(Ordering::Acquire)
     }
 
     /// Events currently retained across all rings.
@@ -272,9 +282,31 @@ impl TraceSink for FlightRecorder {
         }
         if let Some(reason) = trigger {
             if let Some(path) = &self.cfg.dump_path {
-                // A dump failure must not take the run down with it; the
-                // dump counter simply stays put.
-                let _ = self.dump_to(path.clone(), &reason);
+                // A dump failure must not take the run down with it: the
+                // failure is counted and retained in ring 0 as an alert,
+                // so a later successful dump (or snapshot) shows it.
+                if let Err(e) = self.dump_to(path.clone(), &reason) {
+                    self.dump_failures.fetch_add(1, Ordering::AcqRel);
+                    let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+                    let t_us = inner.last_t_us;
+                    let cap = self.cfg.per_slot_capacity.max(1);
+                    let ring = inner.rings.entry(0).or_default();
+                    if ring.len() == cap {
+                        ring.pop_front();
+                    }
+                    ring.push_back((
+                        None,
+                        TraceEvent::Alert {
+                            monitor: "flight_recorder".into(),
+                            tenant: String::new(),
+                            severity: "warn".into(),
+                            value: 1.0,
+                            threshold: 0.0,
+                            t_us,
+                            detail: format!("dump failed ({reason}): {e}"),
+                        },
+                    ));
+                }
             }
         }
     }
@@ -421,6 +453,32 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("eviction_storm"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unwritable_dump_path_degrades_to_a_ring_alert() {
+        let fr = FlightRecorder::new(FlightConfig {
+            dump_path: Some(PathBuf::from("/nonexistent-morph-dir/dump.jsonl")),
+            ..Default::default()
+        });
+        fr.record(job_started(5, 1, 100));
+        // Auto-trigger fires, the dump fails, the run continues.
+        fr.record_tagged(Some(5), violation("oracle.dmr.end_state"));
+        assert_eq!(fr.dumps(), 0);
+        assert_eq!(fr.dump_failures(), 1);
+        let snap = fr.snapshot();
+        let alert = snap[&0]
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::Alert { monitor, severity, detail, .. } => {
+                    Some((monitor.clone(), severity.clone(), detail.clone()))
+                }
+                _ => None,
+            })
+            .expect("dump failure must be retained as an alert");
+        assert_eq!(alert.0, "flight_recorder");
+        assert_eq!(alert.1, "warn");
+        assert!(alert.2.contains("dump failed"), "detail: {}", alert.2);
     }
 
     #[test]

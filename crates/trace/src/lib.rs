@@ -42,6 +42,9 @@ pub mod sink;
 /// * **3** — the live-introspection events: `alert` (SLO burn-rate and
 ///   flight-recorder triggers) and `profile_sample` (phase-profiler
 ///   cells).
+/// * **4** — the crash-recovery event: `restore` (one reconciliation
+///   decision per journaled job on `--resume`, plus stream-level records
+///   for journal-tail truncation and discarded durable artifacts).
 ///
 /// Compatibility contract, enforced by the golden-file test in
 /// `tests/schema_compat.rs`: decoding is additive. Readers must parse
@@ -49,13 +52,13 @@ pub mod sink;
 /// skip unknown `"type"` discriminants ([`TraceEvent::from_json`]
 /// returns `None`) rather than fail, so old `BENCH_*`/trace artifacts
 /// keep parsing as new event kinds land.
-pub const TRACE_SCHEMA_VERSION: u32 = 3;
+pub const TRACE_SCHEMA_VERSION: u32 = 4;
 
-pub use event::{CountersSnapshot, JobEventKind, RecoveryKind, TraceEvent};
+pub use event::{CountersSnapshot, JobEventKind, RecoveryKind, RestoreOutcome, TraceEvent};
 pub use flight::{FlightConfig, FlightRecorder};
 pub use profile::{iteration_class, model_cycles, PhaseProfiler, ProfilerScope};
 pub use report::{
-    partition_by_job, AlertRow, HealthRow, JobRow, ProfileRow, TenantAgg, TraceReport,
-    WasteBreakdown,
+    partition_by_job, AlertRow, HealthRow, JobRow, ProfileRow, RestoreRow, TenantAgg,
+    TraceReport, WasteBreakdown,
 };
 pub use sink::{parse_jsonl, parse_jsonl_tagged, JsonlSink, RingSink, TeeSink, TraceSink, Tracer};

@@ -4,7 +4,7 @@
 //! arguments (where the waste went: divergence, aborts, atomics,
 //! barriers).
 
-use crate::event::{CountersSnapshot, JobEventKind, RecoveryKind, TraceEvent};
+use crate::event::{CountersSnapshot, JobEventKind, RecoveryKind, RestoreOutcome, TraceEvent};
 use std::collections::BTreeMap;
 
 /// Aggregate over every `PhaseSpan` with the same phase index.
@@ -139,6 +139,20 @@ pub struct AlertRow {
     pub detail: String,
 }
 
+/// A restart-recovery reconciliation decision ([`TraceEvent::Restore`])
+/// from the stream, in order. Summaries derive the `recovered=` /
+/// `replayed=` / `discarded=` counters and the cross-restart `*_base`
+/// terminal counts from these rows.
+#[derive(Debug, Clone)]
+pub struct RestoreRow {
+    pub job: u64,
+    pub outcome: RestoreOutcome,
+    pub version: u64,
+    pub iteration: u64,
+    pub t_us: u64,
+    pub detail: String,
+}
+
 /// One phase-profiler cell ([`TraceEvent::ProfileSample`]) from the
 /// stream, in order. `crate::profile::PhaseProfiler::fold_events`
 /// re-aggregates these into folded stacks.
@@ -209,6 +223,8 @@ pub struct TraceReport {
     pub health: Vec<HealthRow>,
     /// Monitor alerts (SLO burn-rate, flight-recorder), in stream order.
     pub alerts: Vec<AlertRow>,
+    /// Restart-recovery reconciliation decisions, in stream order.
+    pub restores: Vec<RestoreRow>,
     /// Phase-profiler cells, in stream order.
     pub profile: Vec<ProfileRow>,
 }
@@ -378,6 +394,21 @@ impl TraceReport {
                     severity: severity.clone(),
                     value: *value,
                     threshold: *threshold,
+                    t_us: *t_us,
+                    detail: detail.clone(),
+                }),
+                TraceEvent::Restore {
+                    job,
+                    outcome,
+                    version,
+                    iteration,
+                    t_us,
+                    detail,
+                } => r.restores.push(RestoreRow {
+                    job: *job,
+                    outcome: *outcome,
+                    version: *version,
+                    iteration: *iteration,
                     t_us: *t_us,
                     detail: detail.clone(),
                 }),

@@ -8,18 +8,19 @@
 //! `BENCH_*` traces and soak artifacts stay readable.
 
 use morph_trace::{
-    parse_jsonl, parse_jsonl_tagged, JobEventKind, PhaseProfiler, TraceEvent, TraceReport,
-    TRACE_SCHEMA_VERSION,
+    parse_jsonl, parse_jsonl_tagged, JobEventKind, PhaseProfiler, RestoreOutcome, TraceEvent,
+    TraceReport, TRACE_SCHEMA_VERSION,
 };
 
 const V1: &str = include_str!("golden/schema_v1.jsonl");
 const V2: &str = include_str!("golden/schema_v2.jsonl");
 const V3: &str = include_str!("golden/schema_v3.jsonl");
+const V4: &str = include_str!("golden/schema_v4.jsonl");
 
 #[test]
 fn schema_version_matches_the_golden_set() {
     // Adding a revision means freezing a new golden file alongside it.
-    assert_eq!(TRACE_SCHEMA_VERSION, 3);
+    assert_eq!(TRACE_SCHEMA_VERSION, 4);
 }
 
 #[test]
@@ -83,10 +84,37 @@ fn v3_streams_parse_alerts_and_profile_samples() {
 }
 
 #[test]
+fn v4_streams_parse_restore_reconciliation() {
+    let (events, bad) = parse_jsonl(V4);
+    assert!(bad.is_empty(), "v4 golden lines failed to parse: {bad:?}");
+    assert_eq!(events.len(), V4.lines().count());
+    let r = TraceReport::from_events(&events);
+    assert_eq!(r.restores.len(), 5);
+    // One of each reconciliation outcome the recovery path emits.
+    let outcome = |o: RestoreOutcome| r.restores.iter().filter(|x| x.outcome == o).count();
+    assert_eq!(outcome(RestoreOutcome::Resumed), 1);
+    assert_eq!(outcome(RestoreOutcome::Finished), 1);
+    assert_eq!(outcome(RestoreOutcome::Restarted), 1);
+    assert_eq!(outcome(RestoreOutcome::Truncated), 1);
+    assert_eq!(outcome(RestoreOutcome::Discarded), 1);
+    let resumed = r
+        .restores
+        .iter()
+        .find(|x| x.outcome == RestoreOutcome::Resumed)
+        .unwrap();
+    assert_eq!((resumed.job, resumed.version, resumed.iteration), (9, 3, 9));
+    // The stream-level truncation record carries no job attribution.
+    assert!(r
+        .restores
+        .iter()
+        .any(|x| x.outcome == RestoreOutcome::Truncated && x.job == 0));
+}
+
+#[test]
 fn mixed_old_and_new_streams_fold_together() {
-    // A concatenation of all three revisions — the realistic shape of an
+    // A concatenation of all revisions — the realistic shape of an
     // appended archive — parses line-for-line and folds into one report.
-    let all = format!("{V1}{V2}{V3}");
+    let all = format!("{V1}{V2}{V3}{V4}");
     let (events, bad) = parse_jsonl(&all);
     assert!(bad.is_empty(), "mixed stream failed on lines {bad:?}");
     let r = TraceReport::from_events(&events);
