@@ -1,14 +1,17 @@
 //! `perf-suite` — the perf-trajectory harness.
 //!
 //! ```text
-//! perf-suite run <out.json>                         # calibrated 4-pipeline sweep
+//! perf-suite run <out.json> [--autotune]            # calibrated 4-pipeline sweep
 //! perf-suite compare <baseline.json> <candidate.json> [--tolerance PCT]
 //! ```
 //!
 //! `run` executes one calibrated workload per pipeline (the same
 //! geometries the trace smoke job uses), folds each run's launch totals
 //! into the paper's efficiency ratios, and writes a trajectory file
-//! (`BENCH_<n>.json`, committed per PR). `compare` gates a fresh run
+//! (`BENCH_<n>.json`, committed per PR). With `--autotune` each run
+//! attaches the `morph-tune` closed-loop controller instead of the fixed
+//! §7.4 schedule; per-pipeline `TUNE` lines on stderr report how many
+//! decision changes the controller actuated. `compare` gates a fresh run
 //! against a committed trajectory: the **gated** metrics are the
 //! scheduling-deterministic ratios (divergence, abort share, work
 //! efficiency, coalescing factor, occupancy) — wall time and throughput
@@ -20,6 +23,7 @@
 //! 2 regression beyond tolerance (CI soft-fails on 2, hard-fails on 1).
 
 use morph_core::runtime::RecoveryOpts;
+use morph_core::{AutoTuner, TuneConfig};
 use morph_dmr::DmrOpts;
 use morph_sp::surveys::Surveys;
 use morph_sp::FactorGraph;
@@ -51,7 +55,7 @@ enum Direction {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: perf-suite run <out.json>");
+    eprintln!("usage: perf-suite run <out.json> [--autotune]");
     eprintln!("       perf-suite compare <baseline.json> <candidate.json> [--tolerance PCT]");
     ExitCode::FAILURE
 }
@@ -60,7 +64,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => match args.get(1) {
-            Some(out) => run(out),
+            Some(out) => run(out, args.iter().any(|a| a == "--autotune")),
             None => usage(),
         },
         Some("compare") => match (args.get(1), args.get(2)) {
@@ -90,6 +94,9 @@ struct PipelineRow {
     iterations: u64,
     work_items: u64,
     totals: CountersSnapshot,
+    /// Decision *changes* the autotuner actuated (0 when detached). Not a
+    /// gated metric — recorded so tuned trajectories are self-describing.
+    tune_decisions: u64,
 }
 
 impl PipelineRow {
@@ -126,7 +133,7 @@ impl PipelineRow {
                 "\"work_items\":{},\"throughput_per_s\":{:.3},",
                 "\"divergence_ratio\":{:.6},\"abort_ratio\":{:.6},",
                 "\"work_efficiency\":{:.6},\"coalescing_factor\":{:.6},",
-                "\"occupancy\":{:.6}}}"
+                "\"occupancy\":{:.6},\"tune_decisions\":{}}}"
             ),
             self.algo,
             self.wall_ms,
@@ -138,6 +145,7 @@ impl PipelineRow {
             self.work_efficiency(),
             self.totals.coalescing_factor(),
             self.totals.occupancy(),
+            self.tune_decisions,
         )
     }
 }
@@ -145,10 +153,15 @@ impl PipelineRow {
 /// Run one calibrated pipeline with a ring tracer attached and fold its
 /// launch totals. The geometries match the trace smoke job — small
 /// enough for CI, large enough that every phase runs multiple warps.
-fn run_pipeline(algo: &'static str) -> Result<PipelineRow, String> {
+fn run_pipeline(algo: &'static str, autotune: bool) -> Result<PipelineRow, String> {
     let sink = Arc::new(RingSink::new(1 << 16));
     let recovery = RecoveryOpts {
         tracer: Tracer::new(Arc::clone(&sink) as _),
+        tuner: if autotune {
+            AutoTuner::enabled(TuneConfig::default())
+        } else {
+            AutoTuner::default()
+        },
         ..RecoveryOpts::default()
     };
     let start = Instant::now();
@@ -190,10 +203,15 @@ fn run_pipeline(algo: &'static str) -> Result<PipelineRow, String> {
 
     let mut totals = CountersSnapshot::default();
     let mut launches = 0u64;
+    let mut tune_decisions = 0u64;
     for ev in sink.events() {
-        if let TraceEvent::LaunchEnd { totals: t, .. } = ev {
-            totals.add(&t);
-            launches += 1;
+        match ev {
+            TraceEvent::LaunchEnd { totals: t, .. } => {
+                totals.add(&t);
+                launches += 1;
+            }
+            TraceEvent::Tune { .. } => tune_decisions += 1,
+            _ => {}
         }
     }
     if launches == 0 {
@@ -205,13 +223,17 @@ fn run_pipeline(algo: &'static str) -> Result<PipelineRow, String> {
         iterations,
         work_items,
         totals,
+        tune_decisions,
     })
 }
 
-fn run(out: &str) -> ExitCode {
+fn run(out: &str, autotune: bool) -> ExitCode {
+    if autotune {
+        eprintln!("autotune: morph-tune controller attached (fixed §7.4 schedule replaced)");
+    }
     let mut rows = Vec::new();
     for algo in ALGOS {
-        match run_pipeline(algo) {
+        match run_pipeline(algo, autotune) {
             Ok(row) => {
                 eprintln!(
                     "{algo}: {:.1} ms, {} iterations, {} items, \
@@ -223,6 +245,13 @@ fn run(out: &str) -> ExitCode {
                     row.totals.coalescing_factor(),
                     row.totals.occupancy(),
                 );
+                if autotune {
+                    eprintln!(
+                        "TUNE {algo}: {} decision change(s), abort ratio {:.3}",
+                        row.tune_decisions,
+                        row.abort_ratio(),
+                    );
+                }
                 rows.push(row);
             }
             Err(e) => {

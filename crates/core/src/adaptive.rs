@@ -10,6 +10,22 @@
 //! between 3×SM and 50×SM.
 
 /// Schedule of threads-per-block across host-loop iterations.
+///
+/// This is the *open-loop* schedule: [`tpb_for_iteration`] is a pure
+/// function of the iteration number and never consults measured
+/// counters. Two other actors can override it inside
+/// `drive_recovering`, in strict precedence order:
+///
+/// * a **serial rescue** ([`runtime::RescueLevel::Serial`]) pins a 1×1
+///   grid until progress resumes — it beats both this schedule and any
+///   autotuner decision (regression-tested in `runtime`);
+/// * an enabled **autotuner** (`morph-tune`) replaces this schedule
+///   entirely, but is bounded to this schedule's
+///   `[initial_tpb, max_tpb]` band, so a tuned run starts exactly where
+///   the fixed schedule starts and can never exceed its cap.
+///
+/// [`tpb_for_iteration`]: AdaptiveParallelism::tpb_for_iteration
+/// [`runtime::RescueLevel::Serial`]: crate::runtime::RescueLevel::Serial
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AdaptiveParallelism {
     /// Threads per block on iteration 0.

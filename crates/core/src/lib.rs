@@ -42,6 +42,9 @@ pub use morph_gpu_sim::CancelToken;
 // Metrics surface, re-exported so pipelines and servers can attach a hub
 // through `RecoveryOpts` without a direct morph-metrics dependency.
 pub use morph_gpu_sim::{MetricsHub, MetricsRegistry, MetricsSnapshot};
+// Re-exported so pipelines and serving code can attach / consult the
+// autotuner without depending on morph-tune directly.
+pub use morph_tune::{AutoTuner, ConflictPolicy, Controller, TuneConfig, TuneDecision, TuneInput};
 pub use runtime::{
     drive, drive_recovering, DriveError, DriveOutcome, HostAction, OracleGate, RecoveryOpts,
     RecoveryPolicy, RescueLevel, StepCtx, StepReport,

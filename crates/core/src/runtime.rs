@@ -30,6 +30,7 @@ use morph_gpu_sim::{
     CancelToken, FaultPlan, Kernel, LaunchError, LaunchStats, MetricsHub, VirtualGpu,
 };
 use morph_trace::{ProfilerScope, RecoveryKind, TraceEvent, Tracer};
+use morph_tune::{AutoTuner, ConflictPolicy, Controller, TuneDecision, TuneInput};
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -158,6 +159,12 @@ pub struct RecoveryOpts {
     /// iteration count. Works with a disabled tracer — the profiler alone
     /// arms the engine's counter tape.
     pub profiler: Option<ProfilerScope>,
+    /// Autotuner handle (`morph-tune`). The default detached handle keeps
+    /// the paper's fixed §7.4 schedules and costs nothing; an enabled
+    /// handle makes [`drive_recovering`] build one [`Controller`] per run
+    /// and follow its per-iteration [`TuneDecision`]s (geometry, conflict
+    /// policy, compaction/reordering requests) instead.
+    pub tuner: AutoTuner,
 }
 
 impl RecoveryOpts {
@@ -173,6 +180,7 @@ impl RecoveryOpts {
         gpu.set_cancel_token(self.cancel.clone());
         gpu.set_heartbeat(self.heartbeat.clone());
         gpu.set_profiler(self.profiler.clone());
+        gpu.set_tuner(self.tuner.clone());
     }
 }
 
@@ -209,6 +217,12 @@ pub struct StepCtx {
     /// driver has already set a 1×1 geometry; the callback must not
     /// override it.
     pub rescue: RescueLevel,
+    /// The autotuner's decision for this attempt, when a tuner is
+    /// attached ([`RecoveryOpts::tuner`]). Geometry and conflict policy
+    /// are already actuated by the driver; the callback honours the
+    /// `compact` / `reorder` requests where its pipeline supports them.
+    /// `None` when the tuner is detached — the fixed schedules apply.
+    pub tune: Option<TuneDecision>,
 }
 
 /// What one recovering step produced.
@@ -308,9 +322,25 @@ pub struct DriveOutcome {
 /// the callback sees `attempt > 0` and must restore any invariants a
 /// half-run kernel may have broken.
 ///
-/// If `adaptive` is given, geometry follows its schedule except while the
-/// rescue ladder is at [`RescueLevel::Serial`], where the driver pins a
-/// 1×1 grid until progress resumes.
+/// Geometry precedence, highest first:
+///
+/// 1. **Rescue** — while the rescue ladder is at [`RescueLevel::Serial`]
+///    the driver pins a 1×1 grid until progress resumes. A serial rescue
+///    overrides *any* tuner decision: the watchdog saw zero progress, and
+///    a controller that keeps reshaping the grid under it would mask the
+///    livelock the ladder exists to break. The tuner resumes control only
+///    once the rescue window closes (progress clears the rescue level).
+/// 2. **Tuner** — with an enabled [`RecoveryOpts::tuner`], the
+///    [`Controller`]'s latest [`TuneDecision`] sets the geometry: a
+///    [`ConflictPolicy::SerialPin`] decision runs a 1×1 grid, otherwise
+///    `blocks × decision.tpb`. The controller is seeded from the
+///    `adaptive` schedule's bounds (`[initial_tpb, max_tpb]`), so tuned
+///    runs start exactly where the fixed schedule starts.
+/// 3. **Adaptive schedule** — the paper's fixed §7.4 doubling schedule.
+///    With the tuner detached (the default) this path is byte-identical
+///    to pre-tuner behaviour (regression-tested below).
+/// 4. **Configured geometry** — neither given: the GPU's configured
+///    `blocks × threads_per_block`.
 pub fn drive_recovering(
     gpu: &mut VirtualGpu,
     adaptive: Option<AdaptiveParallelism>,
@@ -326,6 +356,31 @@ pub fn drive_recovering(
     let mut regrow_to: Option<usize> = None;
     let mut stagnant = 0u32;
     let mut rescue = RescueLevel::None;
+
+    // Closed-loop autotuning: one controller per run, bounded by the
+    // adaptive schedule's band (or pinned to the configured geometry when
+    // no schedule is given). Detached tuner ⇒ everything below is None
+    // and the fixed schedules run untouched.
+    let mut tuner: Option<Controller> = gpu.tuner().config().map(|cfg| {
+        let (initial, max) = match adaptive {
+            Some(a) => (a.initial_tpb, a.max_tpb),
+            None => (normal_tpb, normal_tpb),
+        };
+        Controller::new(cfg, initial, max)
+    });
+    let mut decision: Option<TuneDecision> = tuner.as_ref().map(Controller::initial_decision);
+    let tune_decisions = tuner.as_ref().and_then(|_| {
+        gpu.metrics().counter(
+            "morph_tune_decisions_total",
+            "Autotuner decision changes actuated by the recovering driver",
+        )
+    });
+    let tune_tpb = tuner.as_ref().and_then(|_| {
+        gpu.metrics().gauge(
+            "morph_tune_tpb",
+            "Threads per block the autotuner chose for the next iteration",
+        )
+    });
 
     loop {
         // Host-action boundary: the loop is provably alive here, so an
@@ -365,8 +420,17 @@ pub fn drive_recovering(
             });
             return Err(DriveError::Cancelled { iteration });
         }
+        // Geometry precedence: rescue > tuner > adaptive > configured
+        // (see the function docs — a serial rescue must override any
+        // tuner decision until the rescue window closes).
         if rescue == RescueLevel::Serial {
             gpu.set_geometry(1, 1);
+        } else if let Some(d) = decision {
+            if d.policy == ConflictPolicy::SerialPin {
+                gpu.set_geometry(1, 1);
+            } else {
+                gpu.set_geometry(blocks, d.tpb);
+            }
         } else if let Some(sched) = adaptive {
             gpu.set_geometry(blocks, sched.tpb_for_iteration(iteration));
         } else {
@@ -378,6 +442,7 @@ pub fn drive_recovering(
             attempt,
             regrow_to: regrow_to.take(),
             rescue,
+            tune: decision,
         };
         let step_start = Instant::now();
         let report = match step(gpu, &ctx) {
@@ -423,6 +488,48 @@ pub fn drive_recovering(
         }
 
         out.stats.absorb(&report.stats);
+
+        // Close the loop: feed the controller the counters the completed
+        // launch measured and adopt its decision for the next attempt. A
+        // decision *change* is observable (trace event + counter); the
+        // tpb gauge tracks every decision so a scrape sees the live knob.
+        if let Some(c) = tuner.as_mut() {
+            let s = &report.stats;
+            let input = TuneInput {
+                aborts: s.aborts,
+                commits: s.commits,
+                warps: s.warps,
+                active_warps: s.active_warps,
+                divergent_warps: s.divergent_warps,
+                gmem_accesses: s.gmem_accesses,
+                gmem_transactions: s.gmem_transactions,
+            };
+            let next = c.decide(iteration, &input);
+            if decision != Some(next) {
+                if let Some(cnt) = &tune_decisions {
+                    cnt.inc();
+                }
+                tracer.emit(|| TraceEvent::Tune {
+                    iteration,
+                    tpb: next.tpb as u64,
+                    policy: next.policy.as_str().to_string(),
+                    compact: next.compact,
+                    reorder: next.reorder,
+                    detail: format!(
+                        "occupancy {:.3}, abort ratio {:.3}, divergence {:.3}, coalescing {:.2}",
+                        input.occupancy(),
+                        s.abort_ratio(),
+                        input.divergence_ratio(),
+                        input.coalescing_factor(),
+                    ),
+                });
+            }
+            if let Some(g) = &tune_tpb {
+                g.set(next.tpb as i64);
+            }
+            decision = Some(next);
+        }
+
         if report.progressed {
             stagnant = 0;
             // Progress under a rescue resolves the livelock; resume normal
@@ -1347,6 +1454,215 @@ mod tests {
         let opts = RecoveryOpts::default();
         assert!(opts.checkpoint.is_none(), "zero-cost default");
         assert!(opts.heartbeat.is_none());
+    }
+
+    #[test]
+    fn detached_tuner_keeps_the_fixed_schedule_byte_identical() {
+        // The §7.4 regression: with the tuner detached (the default),
+        // drive_recovering's geometry decisions must be exactly the fixed
+        // adaptive schedule — iteration for iteration.
+        let sched = AdaptiveParallelism {
+            initial_tpb: 2,
+            growth_iters: 2,
+            max_tpb: 64,
+        };
+        let run = |opts: &RecoveryOpts| {
+            let mut gpu = VirtualGpu::new(GpuConfig::small());
+            opts.arm(&mut gpu);
+            let k = ToyKernel {
+                sum: AtomicU64::new(0),
+                changed: AtomicBool::new(false),
+                threshold: 0,
+            };
+            let mut seen = Vec::new();
+            drive_recovering(&mut gpu, Some(sched), &opts.policy, |gpu, ctx| {
+                assert!(ctx.tune.is_none(), "detached tuner must surface no decision");
+                let stats = gpu.try_launch(&k)?;
+                seen.push(stats.threads_per_block);
+                Ok(StepReport {
+                    stats,
+                    action: if ctx.iteration < 3 {
+                        HostAction::Continue
+                    } else {
+                        HostAction::Stop
+                    },
+                    progressed: true,
+                })
+            })
+            .expect("clean run");
+            seen
+        };
+        let seen = run(&RecoveryOpts::default());
+        assert_eq!(seen, vec![2, 4, 8, 8], "the paper's doubling schedule");
+        // And the schedule the plain (pre-tuner) driver would produce is
+        // the same sequence: the fixed path is untouched.
+        assert_eq!(
+            seen,
+            (0..4).map(|i| sched.tpb_for_iteration(i)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn enabled_tuner_overrides_the_fixed_schedule() {
+        use morph_tune::TuneConfig;
+
+        let mut gpu = VirtualGpu::new(GpuConfig::small());
+        let opts = RecoveryOpts {
+            tuner: AutoTuner::enabled(TuneConfig::default()),
+            ..RecoveryOpts::default()
+        };
+        opts.arm(&mut gpu);
+        let k = ToyKernel {
+            sum: AtomicU64::new(0),
+            changed: AtomicBool::new(false),
+            threshold: 0,
+        };
+        let sched = AdaptiveParallelism {
+            initial_tpb: 2,
+            growth_iters: 2,
+            max_tpb: 64,
+        };
+        let mut seen = Vec::new();
+        drive_recovering(&mut gpu, Some(sched), &opts.policy, |gpu, ctx| {
+            let d = ctx.tune.expect("enabled tuner must surface a decision");
+            let stats = gpu.try_launch(&k)?;
+            seen.push((stats.threads_per_block, d.tpb));
+            Ok(StepReport {
+                stats,
+                action: if ctx.iteration < 3 {
+                    HostAction::Continue
+                } else {
+                    HostAction::Stop
+                },
+                progressed: true,
+            })
+        })
+        .expect("clean run");
+        // ToyKernel leaves almost every warp idle, so the controller never
+        // grows: the doubling schedule is replaced by a held floor.
+        assert_eq!(seen.len(), 4);
+        for (ran_tpb, decided_tpb) in seen {
+            assert_eq!(ran_tpb, decided_tpb, "driver must actuate the decision");
+            assert_eq!(decided_tpb, 2, "idle kernel must hold the tpb floor");
+        }
+    }
+
+    #[test]
+    fn serial_rescue_overrides_any_tuner_decision() {
+        use morph_tune::TuneConfig;
+
+        // Satellite regression: even with an enabled tuner whose decision
+        // asks for a wide grid, a serial rescue pins 1×1 until the rescue
+        // window closes — the watchdog outranks the controller.
+        let mut gpu = VirtualGpu::new(GpuConfig::small());
+        let opts = RecoveryOpts {
+            tuner: AutoTuner::enabled(TuneConfig::default()),
+            policy: RecoveryPolicy {
+                livelock_patience: 1,
+                max_rescues: 8,
+                ..RecoveryPolicy::default()
+            },
+            ..RecoveryOpts::default()
+        };
+        opts.arm(&mut gpu);
+        let k = ToyKernel {
+            sum: AtomicU64::new(0),
+            changed: AtomicBool::new(false),
+            threshold: 0,
+        };
+        let mut geometries = Vec::new();
+        let out = drive_recovering(&mut gpu, None, &opts.policy, |gpu, ctx| {
+            let stats = gpu.try_launch(&k)?;
+            geometries.push((stats.blocks, stats.threads_per_block, ctx.rescue, ctx.tune));
+            let serial = ctx.rescue == RescueLevel::Serial;
+            Ok(StepReport {
+                stats,
+                action: if serial {
+                    HostAction::Stop
+                } else {
+                    HostAction::Continue
+                },
+                progressed: serial,
+            })
+        })
+        .expect("serial rescue resolves the stagnation");
+        assert_eq!(out.rescues, 2);
+        let (b, t, rescue, tune) = geometries.last().copied().unwrap();
+        assert_eq!(rescue, RescueLevel::Serial);
+        assert_eq!((b, t), (1, 1), "rescue wins over the tuner's geometry");
+        // The tuner still surfaced its decision (the pipeline may honour
+        // compact/reorder) but its geometry was not actuated.
+        assert!(tune.is_some());
+    }
+
+    #[test]
+    fn tuner_serial_pin_runs_a_1x1_grid_and_emits_tune_events() {
+        use morph_trace::{RingSink, TraceEvent, Tracer};
+        use morph_tune::TuneConfig;
+
+        // A kernel that aborts far more than it commits: thread 0 records
+        // 9 aborts and 1 commit per launch, pushing the cumulative abort
+        // ratio over abort_high so the controller pins a serial window.
+        struct AbortStorm;
+        impl Kernel for AbortStorm {
+            fn run(&self, _phase: usize, ctx: &mut ThreadCtx<'_>) -> bool {
+                if ctx.tid == 0 {
+                    for _ in 0..9 {
+                        ctx.abort();
+                    }
+                    ctx.commit();
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+
+        let mut gpu = VirtualGpu::new(GpuConfig::small());
+        let sink = Arc::new(RingSink::new(256));
+        let opts = RecoveryOpts {
+            tuner: AutoTuner::enabled(TuneConfig::default()),
+            tracer: Tracer::new(sink.clone()),
+            ..RecoveryOpts::default()
+        };
+        opts.arm(&mut gpu);
+        let mut pinned_geometries = Vec::new();
+        drive_recovering(&mut gpu, None, &opts.policy, |gpu, ctx| {
+            let stats = gpu.try_launch(&AbortStorm)?;
+            if ctx.tune.is_some_and(|d| d.policy == ConflictPolicy::SerialPin) {
+                pinned_geometries.push((stats.blocks, stats.threads_per_block));
+            }
+            Ok(StepReport {
+                stats,
+                action: if ctx.iteration < 4 {
+                    HostAction::Continue
+                } else {
+                    HostAction::Stop
+                },
+                progressed: true,
+            })
+        })
+        .expect("clean run");
+        assert!(
+            !pinned_geometries.is_empty(),
+            "a 90% abort share must pin a serial window"
+        );
+        assert!(
+            pinned_geometries.iter().all(|&g| g == (1, 1)),
+            "SerialPin decisions must run 1×1: {pinned_geometries:?}"
+        );
+        let tunes: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                TraceEvent::Tune { policy, .. } => Some(policy),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            tunes.iter().any(|p| p == "serial_pin"),
+            "decision change must emit a Tune event: {tunes:?}"
+        );
     }
 
     #[test]

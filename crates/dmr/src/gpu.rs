@@ -353,11 +353,21 @@ pub fn try_refine_gpu<C: Coord>(
             RescueLevel::Serial => {}
         }
 
+        // §7.6 actuation point: untuned runs keep the static compaction
+        // switch (row 6 of the opt ladder); with an autotuner attached the
+        // controller's per-iteration `compact` request drives the
+        // block-level queue compaction instead. The static switch still
+        // acts as a master enable so ablation rows without compaction stay
+        // comparable under `--autotune`.
+        let mut step_opts = opts;
+        if let Some(d) = ctx.tune {
+            step_opts.divergence_sort = opts.divergence_sort && d.compact;
+        }
         let kernel = RefineKernel {
             mesh,
             conflict: &conflict,
             state: &state,
-            opts,
+            opts: step_opts,
             slots_hint: mesh.num_slots(),
             changed: AtomicBool::new(false),
             overflow: AtomicBool::new(false),

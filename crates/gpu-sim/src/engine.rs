@@ -34,6 +34,7 @@ use crate::fault::FaultPlan;
 use crate::kernel::{Decision, Kernel, ThreadCtx};
 use morph_metrics::MetricsHub;
 use morph_trace::{CountersSnapshot, ProfilerScope, TraceEvent, Tracer};
+use morph_tune::AutoTuner;
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -320,6 +321,12 @@ pub struct VirtualGpu {
     /// and wall times are folded into the shared `PhaseProfiler` even
     /// with no tracer attached.
     profiler: Option<ProfilerScope>,
+    /// Closed-loop autotuner handle (`morph-tune`). The engine itself
+    /// never consults the controller — recovering host loops do — but an
+    /// enabled tuner arms the cost-model tape so the counters the
+    /// controller feeds on (occupancy, coalescing, divergence) are
+    /// measured even with no tracer or metrics hub attached.
+    tuner: AutoTuner,
     launch_seq: AtomicU64,
     /// True while a launch is executing on this GPU. Host-side exclusive
     /// access to device buffers (`SharedSlice::as_mut_slice`/`to_vec`) is
@@ -339,6 +346,7 @@ impl VirtualGpu {
             cancel: CancelToken::new(),
             heartbeat: None,
             profiler: None,
+            tuner: AutoTuner::default(),
             launch_seq: AtomicU64::new(0),
             in_flight: AtomicBool::new(false),
         }
@@ -378,6 +386,20 @@ impl VirtualGpu {
     /// The attached metrics hub (disabled by default).
     pub fn metrics(&self) -> &MetricsHub {
         &self.metrics
+    }
+
+    /// Attach the autotuner handle. The default detached
+    /// [`AutoTuner::default`] costs nothing; an enabled handle arms the
+    /// cost-model tape on subsequent launches (the controller's inputs
+    /// must be measured, not guessed) and recovering host loops read the
+    /// configuration to build their per-pipeline [`morph_tune::Controller`].
+    pub fn set_tuner(&mut self, tuner: AutoTuner) {
+        self.tuner = tuner;
+    }
+
+    /// The attached autotuner handle (detached by default).
+    pub fn tuner(&self) -> &AutoTuner {
+        &self.tuner
     }
 
     /// Attach a cancellation token. The engine itself never aborts a
@@ -552,6 +574,10 @@ impl VirtualGpu {
         // resolved once here, never inside the warp loop.
         let mstate = self.metrics.enabled().then(|| MetricsState::new(&self.metrics));
         let mstate = mstate.as_ref();
+        // The cost-model tape is armed for any observer: tracer, metrics
+        // hub, or an enabled autotuner (whose controller consumes the
+        // measured occupancy/coalescing/divergence between launches).
+        let meter = trace.is_some() || mstate.is_some() || self.tuner.is_enabled();
         let start = Instant::now();
 
         let mut stats = LaunchStats::default();
@@ -576,6 +602,7 @@ impl VirtualGpu {
                     &progress,
                     trace,
                     mstate,
+                    meter,
                     check_nonce,
                 )
             }));
@@ -604,7 +631,7 @@ impl VirtualGpu {
                             run_worker(
                                 kernel, cfg, w, workers, phases, persistent, barrier,
                                 keep_going, &mut counters, faults, &progress, trace,
-                                mstate, check_nonce,
+                                mstate, meter, check_nonce,
                             )
                         }));
                         match result {
@@ -732,6 +759,7 @@ fn run_worker<K: Kernel + ?Sized>(
     progress: &Cell<Progress>,
     trace: Option<&TraceState>,
     metrics: Option<&MetricsState>,
+    meter: bool,
     check_nonce: u64,
 ) -> u64 {
     let tpb = cfg.threads_per_block;
@@ -741,9 +769,9 @@ fn run_worker<K: Kernel + ?Sized>(
     let my_vblocks = my_blocks.len();
 
     // The cost-model tape records memory accesses whenever any observer
-    // (tracer or metrics hub) is attached; unobserved launches skip both
-    // the allocation and the per-access pushes.
-    let tape = (trace.is_some() || metrics.is_some()).then(WarpTape::new);
+    // (tracer, metrics hub, or enabled autotuner) is attached; unobserved
+    // launches skip both the allocation and the per-access pushes.
+    let tape = meter.then(WarpTape::new);
     let tape = tape.as_ref();
 
     // Tracing bookkeeping (allocated only when a sink is attached): each

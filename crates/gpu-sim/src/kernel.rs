@@ -179,6 +179,21 @@ impl<'a> ThreadCtx<'a> {
         slice.set(i, v)
     }
 
+    /// Record a global-memory access at a raw byte address on the warp's
+    /// cost-model tape (when armed). This is the metering hook for data
+    /// structures that manage their own atomic storage — chunked
+    /// adjacency arenas, sparse bitmaps — whose loads never pass through
+    /// a [`SharedSlice`] and would otherwise be invisible to the
+    /// coalescing meter. Takes `&self` (like [`smem_word`](Self::smem_word))
+    /// so shared structures can meter from non-`mut` contexts; the tape
+    /// itself is interior-mutable.
+    #[inline]
+    pub fn gmem_addr(&self, addr: usize) {
+        if let Some(t) = self.tape {
+            t.record_global(addr);
+        }
+    }
+
     /// Record a shared-memory access at word index `word` for the bank
     /// conflict model (banks are word-interleaved, `warp_size` of them).
     /// [`crate::BlockLocal::with`] records its cell automatically; kernels

@@ -80,6 +80,11 @@ pub use morph_trace::{CountersSnapshot, TraceEvent, Tracer};
 pub use morph_metrics::{
     Histogram, HistogramSnapshot, MetricsHub, MetricsRegistry, MetricsSnapshot,
 };
+// Re-exported so host loops and pipelines can attach / consult the
+// autotuner without depending on morph-tune directly.
+pub use morph_tune::{
+    AutoTuner, ConflictPolicy, Controller, TuneConfig, TuneDecision, TuneInput,
+};
 pub use fault::{AppendFault, FaultPlan, INJECTED_DEVICE_LOSS_MSG, INJECTED_PANIC_MSG};
 pub use kernel::{Decision, Kernel, ThreadCtx};
 pub use mem::{AtomicF32Slice, AtomicF64Slice, AtomicU32Slice, AtomicU64Slice, SharedSlice};

@@ -251,14 +251,31 @@ impl ChunkedAdjacency {
     /// being written by racers are skipped and will be seen on a later
     /// pass — monotone-read semantics).
     pub fn for_each(&self, node: u32, mut f: impl FnMut(u32)) {
+        self.for_each_addr(node, |v, _| f(v));
+    }
+
+    /// [`for_each`](ChunkedAdjacency::for_each), additionally reporting
+    /// the logical byte address of each slot read. Kernels route
+    /// traversals through this and feed the address to
+    /// `ThreadCtx::gmem_addr` so the chunk arena's global-memory loads
+    /// reach the coalescing meter — without it, chunked-adjacency
+    /// pipelines report a zeroed coalescing factor because none of their
+    /// hot loads pass through a metered `SharedSlice`. Addresses are
+    /// arena offsets (`chunk id × chunk size + slot`) plus a fixed
+    /// "device" base — never host pointers, whose run-to-run allocator
+    /// jitter would make the measured coalescing factor non-reproducible.
+    pub fn for_each_addr(&self, node: u32, mut f: impl FnMut(u32, usize)) {
+        // Disjoint from `AtomicBitmap`'s window (`0x1000_0000_0000`).
+        const ARENA_DEV_BASE: usize = 0x2000_0000_0000;
         let mut cur = self.heads[node as usize].load(Ordering::Acquire);
         while cur != INVALID {
             let c = self.chunk(cur);
             let n = (c.len.load(Ordering::Acquire) as usize).min(self.chunk_size);
-            for slot in &c.vals[..n] {
+            let base = ARENA_DEV_BASE + cur as usize * self.chunk_size * 4;
+            for (i, slot) in c.vals[..n].iter().enumerate() {
                 let v = slot.load(Ordering::Acquire);
                 if v != INVALID {
-                    f(v);
+                    f(v, base + i * 4);
                 }
             }
             cur = c.next.load(Ordering::Acquire);

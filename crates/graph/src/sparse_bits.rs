@@ -183,6 +183,22 @@ impl AtomicBitmap {
         self.bits[row * self.words_per_row + w].load(Ordering::Acquire)
     }
 
+    /// Logical byte address of word `w` in `row` — the metering hook for
+    /// the cost model. Kernels that walk rows word-by-word report each
+    /// address via `ThreadCtx::gmem_addr` so bitmap traffic reaches the
+    /// coalescing meter (the bitmap owns its storage, so these loads
+    /// never pass through a metered `SharedSlice`). The address is the
+    /// structure-relative offset plus a fixed "device" base — never a
+    /// host pointer, whose run-to-run allocator jitter would make the
+    /// measured coalescing factor non-reproducible.
+    #[inline]
+    pub fn word_addr(&self, row: usize, w: usize) -> usize {
+        // Disjoint from `ChunkedAdjacency`'s arena window so transactions
+        // from the two structures never merge into one cache line.
+        const BITMAP_DEV_BASE: usize = 0x1000_0000_0000;
+        BITMAP_DEV_BASE + (row * self.words_per_row + w) * 8
+    }
+
     /// `row(dst) ∪= row(src)`; returns `true` if `dst` changed. Word-wise
     /// `fetch_or`, skipping zero source words.
     pub fn union_rows(&self, dst: usize, src: usize) -> bool {

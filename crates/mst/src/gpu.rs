@@ -194,6 +194,13 @@ pub fn try_mst_with_stats(
     let mut oracle = morph_core::OracleGate::new();
     #[cfg(feature = "morph-check")]
     let mut reference: Option<MstResult> = None;
+    // Autotune: Borůvka rounds are topology-driven over a shrinking
+    // component forest with no host-side compaction or layout knob, so an
+    // attached `morph-tune` controller acts purely inside the driver —
+    // serial-pin windows on abort storms, tpb pinned to the configured
+    // value (no schedule ⇒ the controller's band collapses to
+    // `[tpb, tpb]`). `ctx.tune` is populated but the round body has
+    // nothing to actuate.
     let outcome = drive_recovering(&mut gpu, None, &recovery.policy, |gpu, ctx| {
         if ctx.attempt > 0 {
             // Clear survivors of the failed attempt (kernel 4 may not have

@@ -71,11 +71,30 @@ struct PtaKernel<'a> {
 }
 
 impl PtaKernel<'_> {
+    /// Meter one points-to row's word loads: the bitmap owns its storage,
+    /// so without this the solver's dominant global-memory traffic never
+    /// reaches the coalescing meter (BENCH_5 reported a 0.0 coalescing
+    /// factor for PTA for exactly this reason).
+    fn meter_row(&self, ctx: &ThreadCtx<'_>, row: usize) {
+        for w in 0..self.pts.words_per_row() {
+            ctx.gmem_addr(self.pts.word_addr(row, w));
+        }
+    }
+
     /// Add `src → dst` unless present. On a denied chunk allocation the
     /// edge is simply dropped this round: the host regrows the arena and
     /// the next phase-0 re-scan re-derives it (monotone analysis).
     fn add_edge(&self, ctx: &ThreadCtx<'_>, dst: u32, src: u32) {
-        if self.incoming.contains(dst, src) {
+        // Metered membership walk over dst's chunk list (the arena's
+        // slot loads are global-memory accesses too).
+        let mut present = false;
+        self.incoming.for_each_addr(dst, |x, addr| {
+            ctx.gmem_addr(addr);
+            if x == src {
+                present = true;
+            }
+        });
+        if present {
             return;
         }
         if ctx.fault_deny_alloc() || self.incoming.try_push(dst, src).is_err() {
@@ -102,10 +121,12 @@ impl Kernel for PtaKernel<'_> {
                     match self.complex[i] {
                         Constraint::Load { p, q } => {
                             // p = *q: each pointee v of q feeds p.
+                            self.meter_row(ctx, q as usize);
                             self.pts.for_each(q as usize, |v| self.add_edge(ctx, p, v));
                         }
                         Constraint::Store { p, q } => {
                             // *p = q: q feeds each pointee v of p.
+                            self.meter_row(ctx, p as usize);
                             self.pts.for_each(p as usize, |v| self.add_edge(ctx, v, q));
                         }
                         _ => unreachable!("complex holds only loads/stores"),
@@ -120,12 +141,15 @@ impl Kernel for PtaKernel<'_> {
                 for oi in ctx.chunked(n) {
                     let node = self.order.load_relaxed(oi);
                     let mut grew = false;
-                    self.incoming.for_each(node, |src| {
-                        if src != node
-                            && self.dirty.load_relaxed(src as usize) != 0
-                            && self.pts.union_rows(node as usize, src as usize)
-                        {
-                            grew = true;
+                    self.incoming.for_each_addr(node, |src, addr| {
+                        ctx.gmem_addr(addr);
+                        if src != node && self.dirty.load_relaxed(src as usize) != 0 {
+                            // The word-parallel union reads every source
+                            // word; attribute those loads too.
+                            self.meter_row(ctx, src as usize);
+                            if self.pts.union_rows(node as usize, src as usize) {
+                                grew = true;
+                            }
                         }
                     });
                     if grew {
@@ -342,8 +366,12 @@ pub fn try_solve_with(
                 });
             }
         }
-        if opts.divergence_sort && action == HostAction::Continue {
-            // §7.6: nodes with enabled incoming edges to one side.
+        // §7.6: nodes with enabled incoming edges to one side. Untuned,
+        // this runs every iteration; under an attached autotuner it runs
+        // only when the controller requests a layout fix (its reorder /
+        // compact flags), so well-coalesced iterations skip the sort.
+        let reorder_due = ctx.tune.is_none_or(|d| d.reorder || d.compact);
+        if opts.divergence_sort && reorder_due && action == HostAction::Continue {
             let mut ids = order.to_vec();
             partition_active(&mut ids, |v| dirty.load_relaxed(v as usize) != 0);
             for (i, v) in ids.into_iter().enumerate() {

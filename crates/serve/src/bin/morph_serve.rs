@@ -88,7 +88,7 @@ fn usage() -> ExitCode {
     eprintln!("                       [--serve-http ADDR] [--flamegraph out.folded]");
     eprintln!("                       [--flight out.jsonl] [--flight-drill] [--slo-objective US]");
     eprintln!("                       [--resume DIR] [--torn-write N] [--short-write N]");
-    eprintln!("                       [--fsync-deny N] [--bit-flip N]");
+    eprintln!("                       [--fsync-deny N] [--bit-flip N] [--autotune]");
     eprintln!("       morph-serve crash-soak <dir> [--jobs N] [--seed S] [--cycles N] [--devices N]");
     eprintln!("       morph-serve check-exposition <metrics.prom>");
     ExitCode::from(2)
@@ -211,6 +211,7 @@ fn run(file: &str, rest: &[String]) -> ExitCode {
     let flight_path = flag_or::<String>(rest, "--flight", &mut bad);
     let slo_objective = flag_or::<u64>(rest, "--slo-objective", &mut bad).unwrap_or(2_000_000);
     let flight_drill = rest.iter().any(|a| a == "--flight-drill");
+    let autotune = rest.iter().any(|a| a == "--autotune");
     let resume_dir = flag_or::<String>(rest, "--resume", &mut bad);
     let torn_write = flag_or::<u64>(rest, "--torn-write", &mut bad);
     let short_write = flag_or::<u64>(rest, "--short-write", &mut bad);
@@ -292,6 +293,7 @@ fn run(file: &str, rest: &[String]) -> ExitCode {
         }),
         state_dir: resume_dir.clone().map(PathBuf::from),
         durability_faults,
+        autotune,
         ..ServeConfig::default()
     };
     eprintln!(
@@ -301,6 +303,9 @@ fn run(file: &str, rest: &[String]) -> ExitCode {
         cfg.sms_per_device,
         cfg.queue_capacity
     );
+    if autotune {
+        eprintln!("autotune: morph-tune controller attached to every job");
+    }
     let mut specs = specs;
     if let Some(cs) = chaos_seed {
         apply_chaos(&mut specs, cs);

@@ -47,8 +47,8 @@ use crate::journal::{self, Journal, JournalOutcome, JournalRecord, RecoveryStats
 use crate::sched::{backoff_delay_us, AdmitError, ReadyQueue};
 use crate::slo::{SloConfig, SloMonitor};
 use morph_core::{
-    CancelToken, CheckpointCtl, CheckpointStore, DriveError, MetricsHub, MetricsRegistry,
-    RecoveryOpts, RecoveryPolicy,
+    AutoTuner, CancelToken, CheckpointCtl, CheckpointStore, DriveError, MetricsHub,
+    MetricsRegistry, RecoveryOpts, RecoveryPolicy, TuneConfig,
 };
 use morph_gpu_sim::FaultPlan;
 use morph_trace::{
@@ -118,6 +118,12 @@ pub struct ServeConfig {
     /// denial, snapshot bit-flips) shared by the journal and the
     /// checkpoint store. Only meaningful with `state_dir` set.
     pub durability_faults: Option<Arc<FaultPlan>>,
+    /// Closed-loop autotuning (`morph-tune`): when true, every job runs
+    /// with an enabled [`AutoTuner`] (default thresholds) so the
+    /// recovering driver follows measured occupancy/abort/coalescing
+    /// feedback instead of the paper's fixed §7.4 schedules. Default
+    /// false — byte-identical to the untuned driver.
+    pub autotune: bool,
 }
 
 impl Default for ServeConfig {
@@ -139,6 +145,7 @@ impl Default for ServeConfig {
             slo: None,
             state_dir: None,
             durability_faults: None,
+            autotune: false,
         }
     }
 }
@@ -1401,6 +1408,11 @@ fn run_one(inner: &Arc<Inner>, device: u64, mut job: Job) {
             .profiler
             .as_ref()
             .map(|p| ProfilerScope::new(Arc::clone(p), job.spec.workload.algo())),
+        tuner: if inner.cfg.autotune {
+            AutoTuner::enabled(TuneConfig::default())
+        } else {
+            AutoTuner::default()
+        },
     };
     let run_started = Instant::now();
     let outcome = job.spec.workload.run(inner.cfg.sms_per_device, &recovery);

@@ -121,6 +121,13 @@ pub fn try_propagate(
     }
     #[cfg(feature = "morph-check")]
     let mut oracle = morph_core::OracleGate::new();
+    // Autotune: SP keeps a fixed geometry ("the graph size mostly remains
+    // constant", §7.4) and a sweep has no host-side compaction or layout
+    // knob, so an attached `morph-tune` controller acts purely inside the
+    // driver — serial-pin windows on abort storms, tpb pinned to the
+    // configured value (no schedule ⇒ the controller's band collapses to
+    // `[tpb, tpb]`). `ctx.tune` is populated but carries nothing for the
+    // sweep body to actuate.
     let outcome = drive_recovering(&mut gpu, None, &recovery.policy, |gpu, _ctx| {
         let k = SurveyKernel {
             fg,

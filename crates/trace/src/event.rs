@@ -473,6 +473,22 @@ pub enum TraceEvent {
         wall_us: u64,
         spans: u64,
     },
+    /// One autotuner actuation (schema v5): the `morph-tune` feedback
+    /// controller changed the knobs for the next host-loop iteration.
+    /// `iteration` is the completed iteration whose counters drove the
+    /// decision; `tpb` is the threads-per-block chosen for the next one;
+    /// `policy` is the conflict policy (`"three_phase"` or
+    /// `"serial_pin"`); `compact`/`reorder` are the work-compaction and
+    /// index-reordering requests; `detail` carries the triggering signal
+    /// in human-readable form (e.g. `"occupancy 0.03 < 0.25"`).
+    Tune {
+        iteration: u64,
+        tpb: u64,
+        policy: String,
+        compact: bool,
+        reorder: bool,
+        detail: String,
+    },
 }
 
 impl TraceEvent {
@@ -494,6 +510,7 @@ impl TraceEvent {
             TraceEvent::Alert { .. } => "alert",
             TraceEvent::Restore { .. } => "restore",
             TraceEvent::ProfileSample { .. } => "profile_sample",
+            TraceEvent::Tune { .. } => "tune",
         }
     }
 
@@ -607,6 +624,14 @@ impl TraceEvent {
                 cycles: u("cycles")?,
                 wall_us: u("wall_us")?,
                 spans: u("spans")?,
+            },
+            "tune" => TraceEvent::Tune {
+                iteration: u("iteration")?,
+                tpb: u("tpb")?,
+                policy: s("policy")?,
+                compact: v.get("compact").and_then(JsonValue::as_bool)?,
+                reorder: v.get("reorder").and_then(JsonValue::as_bool)?,
+                detail: s("detail")?,
             },
             _ => return None,
         })
@@ -874,6 +899,24 @@ impl Serialize for TraceEvent {
                 st.serialize_field("spans", spans)?;
                 st.end()
             }
+            TraceEvent::Tune {
+                iteration,
+                tpb,
+                policy,
+                compact,
+                reorder,
+                detail,
+            } => {
+                let mut st = s.serialize_struct("TraceEvent", 7)?;
+                st.serialize_field("type", self.kind())?;
+                st.serialize_field("iteration", iteration)?;
+                st.serialize_field("tpb", tpb)?;
+                st.serialize_field("policy", policy)?;
+                st.serialize_field("compact", compact)?;
+                st.serialize_field("reorder", reorder)?;
+                st.serialize_field("detail", detail)?;
+                st.end()
+            }
         }
     }
 }
@@ -1027,6 +1070,14 @@ mod tests {
             cycles: 123_456,
             wall_us: 900,
             spans: 2,
+        });
+        roundtrip(TraceEvent::Tune {
+            iteration: 4,
+            tpb: 128,
+            policy: "serial_pin".into(),
+            compact: true,
+            reorder: false,
+            detail: "cumulative abort ratio 0.88 > 0.50".into(),
         });
     }
 

@@ -201,6 +201,13 @@ impl JsonValue {
         }
     }
 
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Integral numbers as u64 (rejects negatives and non-integers outside
     /// f64's exact range is fine: trace counters stay far below 2^53).
     pub fn as_u64(&self) -> Option<u64> {

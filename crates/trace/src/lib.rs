@@ -45,6 +45,10 @@ pub mod sink;
 /// * **4** — the crash-recovery event: `restore` (one reconciliation
 ///   decision per journaled job on `--resume`, plus stream-level records
 ///   for journal-tail truncation and discarded durable artifacts).
+/// * **5** — the autotuner event: `tune` (one `morph-tune` actuation:
+///   next-iteration threads-per-block, conflict policy, and the
+///   compaction/reordering requests, with the triggering signal in
+///   `detail`).
 ///
 /// Compatibility contract, enforced by the golden-file test in
 /// `tests/schema_compat.rs`: decoding is additive. Readers must parse
@@ -52,13 +56,13 @@ pub mod sink;
 /// skip unknown `"type"` discriminants ([`TraceEvent::from_json`]
 /// returns `None`) rather than fail, so old `BENCH_*`/trace artifacts
 /// keep parsing as new event kinds land.
-pub const TRACE_SCHEMA_VERSION: u32 = 4;
+pub const TRACE_SCHEMA_VERSION: u32 = 5;
 
 pub use event::{CountersSnapshot, JobEventKind, RecoveryKind, RestoreOutcome, TraceEvent};
 pub use flight::{FlightConfig, FlightRecorder};
 pub use profile::{iteration_class, model_cycles, PhaseProfiler, ProfilerScope};
 pub use report::{
     partition_by_job, AlertRow, HealthRow, JobRow, ProfileRow, RestoreRow, TenantAgg,
-    TraceReport, WasteBreakdown,
+    TraceReport, TuneRow, WasteBreakdown,
 };
 pub use sink::{parse_jsonl, parse_jsonl_tagged, JsonlSink, RingSink, TeeSink, TraceSink, Tracer};

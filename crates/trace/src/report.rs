@@ -153,6 +153,18 @@ pub struct RestoreRow {
     pub detail: String,
 }
 
+/// One autotuner actuation ([`TraceEvent::Tune`]) from the stream, in
+/// order: what the `morph-tune` controller changed and why.
+#[derive(Debug, Clone)]
+pub struct TuneRow {
+    pub iteration: u64,
+    pub tpb: u64,
+    pub policy: String,
+    pub compact: bool,
+    pub reorder: bool,
+    pub detail: String,
+}
+
 /// One phase-profiler cell ([`TraceEvent::ProfileSample`]) from the
 /// stream, in order. `crate::profile::PhaseProfiler::fold_events`
 /// re-aggregates these into folded stacks.
@@ -227,6 +239,8 @@ pub struct TraceReport {
     pub restores: Vec<RestoreRow>,
     /// Phase-profiler cells, in stream order.
     pub profile: Vec<ProfileRow>,
+    /// Autotuner actuations, in stream order.
+    pub tunes: Vec<TuneRow>,
 }
 
 impl TraceReport {
@@ -426,6 +440,21 @@ impl TraceReport {
                     cycles: *cycles,
                     wall_us: *wall_us,
                     spans: *spans,
+                }),
+                TraceEvent::Tune {
+                    iteration,
+                    tpb,
+                    policy,
+                    compact,
+                    reorder,
+                    detail,
+                } => r.tunes.push(TuneRow {
+                    iteration: *iteration,
+                    tpb: *tpb,
+                    policy: policy.clone(),
+                    compact: *compact,
+                    reorder: *reorder,
+                    detail: detail.clone(),
                 }),
             }
         }
@@ -674,6 +703,20 @@ impl TraceReport {
                     a.threshold,
                     a.t_us,
                     a.detail
+                ));
+            }
+        }
+        if !self.tunes.is_empty() {
+            out.push_str(&format!("tune decisions  : {}\n", self.tunes.len()));
+            for t in &self.tunes {
+                out.push_str(&format!(
+                    "  [iter {}] tpb={} policy={}{}{}: {}\n",
+                    t.iteration,
+                    t.tpb,
+                    t.policy,
+                    if t.compact { " compact" } else { "" },
+                    if t.reorder { " reorder" } else { "" },
+                    t.detail
                 ));
             }
         }
@@ -1072,6 +1115,36 @@ mod tests {
         let waste = r.render_waste();
         assert!(waste.contains("alerts          : 1"), "{waste}");
         assert!(waste.contains("slo_burn_rate tenant=acme"), "{waste}");
+    }
+
+    #[test]
+    fn tune_events_fold_and_render() {
+        let events = vec![
+            TraceEvent::Tune {
+                iteration: 2,
+                tpb: 64,
+                policy: "serial_pin".into(),
+                compact: true,
+                reorder: false,
+                detail: "cumulative abort ratio 0.91 > 0.50".into(),
+            },
+            TraceEvent::Tune {
+                iteration: 7,
+                tpb: 128,
+                policy: "three_phase".into(),
+                compact: false,
+                reorder: true,
+                detail: "occupancy 0.82 > 0.75".into(),
+            },
+        ];
+        let r = TraceReport::from_events(&events);
+        assert_eq!(r.tunes.len(), 2);
+        assert_eq!(r.tunes[0].policy, "serial_pin");
+        assert!(r.tunes[0].compact && !r.tunes[0].reorder);
+        let waste = r.render_waste();
+        assert!(waste.contains("tune decisions  : 2"), "{waste}");
+        assert!(waste.contains("[iter 2] tpb=64 policy=serial_pin compact"), "{waste}");
+        assert!(waste.contains("[iter 7] tpb=128 policy=three_phase reorder"), "{waste}");
     }
 
     #[test]

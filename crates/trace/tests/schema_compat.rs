@@ -16,11 +16,12 @@ const V1: &str = include_str!("golden/schema_v1.jsonl");
 const V2: &str = include_str!("golden/schema_v2.jsonl");
 const V3: &str = include_str!("golden/schema_v3.jsonl");
 const V4: &str = include_str!("golden/schema_v4.jsonl");
+const V5: &str = include_str!("golden/schema_v5.jsonl");
 
 #[test]
 fn schema_version_matches_the_golden_set() {
     // Adding a revision means freezing a new golden file alongside it.
-    assert_eq!(TRACE_SCHEMA_VERSION, 4);
+    assert_eq!(TRACE_SCHEMA_VERSION, 5);
 }
 
 #[test]
@@ -111,16 +112,74 @@ fn v4_streams_parse_restore_reconciliation() {
 }
 
 #[test]
+fn v5_streams_parse_tune_actuations() {
+    let (events, bad) = parse_jsonl(V5);
+    assert!(bad.is_empty(), "v5 golden lines failed to parse: {bad:?}");
+    assert_eq!(events.len(), V5.lines().count());
+    let r = TraceReport::from_events(&events);
+    assert_eq!(r.tunes.len(), 2);
+    assert_eq!(r.tunes[0].policy, "serial_pin");
+    assert!(r.tunes[0].compact && !r.tunes[0].reorder);
+    assert_eq!((r.tunes[1].iteration, r.tunes[1].tpb), (5, 64));
+    assert!(r.tunes[1].reorder);
+    // The engine events around the tune lines still fold as before.
+    assert_eq!(r.launches.len(), 1);
+    assert_eq!(r.totals.gmem_transactions, 160);
+    let waste = r.render_waste();
+    assert!(waste.contains("tune decisions  : 2"), "{waste}");
+}
+
+#[test]
+fn tune_lines_are_skippable_by_pre_v5_readers() {
+    // Mirror of the journal's unknown-kind rule, from the other side: a
+    // reader frozen at schema v4 dispatches on the v4 discriminant set
+    // and must treat `tune` lines as skippable unknowns, not stream
+    // corruption. Simulate that reader over the v5 golden stream.
+    const V4_KINDS: [&str; 15] = [
+        "launch_begin",
+        "phase_span",
+        "launch_end",
+        "recovery",
+        "alloc",
+        "worklist",
+        "algo_iteration",
+        "job",
+        "checkpoint",
+        "eviction",
+        "health",
+        "sanitizer",
+        "alert",
+        "restore",
+        "profile_sample",
+    ];
+    let mut decoded = 0usize;
+    let mut skipped = Vec::new();
+    for line in V5.lines() {
+        let v = morph_trace::json::parse(line).expect("v5 lines are valid JSON");
+        let ty = v.get("type").and_then(|t| t.as_str()).unwrap().to_string();
+        if V4_KINDS.contains(&ty.as_str()) {
+            assert!(TraceEvent::from_json(&v).is_some(), "v4 kind {ty} must decode");
+            decoded += 1;
+        } else {
+            skipped.push(ty);
+        }
+    }
+    assert_eq!(decoded, V5.lines().count() - 2);
+    assert_eq!(skipped, ["tune", "tune"], "only the v5 addition is unknown to a v4 reader");
+}
+
+#[test]
 fn mixed_old_and_new_streams_fold_together() {
     // A concatenation of all revisions — the realistic shape of an
     // appended archive — parses line-for-line and folds into one report.
-    let all = format!("{V1}{V2}{V3}{V4}");
+    let all = format!("{V1}{V2}{V3}{V4}{V5}");
     let (events, bad) = parse_jsonl(&all);
     assert!(bad.is_empty(), "mixed stream failed on lines {bad:?}");
     let r = TraceReport::from_events(&events);
-    assert_eq!(r.launches.len(), 2);
+    assert_eq!(r.launches.len(), 3);
     assert_eq!(r.alerts.len(), 1);
     assert_eq!(r.profile.len(), 2);
+    assert_eq!(r.tunes.len(), 2);
     assert!(!r.jobs.is_empty());
 }
 

@@ -17,6 +17,9 @@
 //!   profiler aggregator behind `trace-report`,
 //! * [`metrics`] — the live metrics registry: sharded counters, gauges,
 //!   mergeable log₂ histograms, Prometheus-style + JSON exposition,
+//! * [`tune`] — the closed-loop autotuner: a feedback controller over
+//!   the live cost-model counters, attached per run through
+//!   `core::runtime::RecoveryOpts::tuner`,
 //! * [`serve`] — the multi-tenant serving layer: job specs over all four
 //!   pipelines, a bounded fair-share scheduler, and a pool of virtual
 //!   devices with cancellation and retry (the `morph-serve` binary),
@@ -44,4 +47,5 @@ pub use morph_pta as pta;
 pub use morph_serve as serve;
 pub use morph_sp as sp;
 pub use morph_trace as trace;
+pub use morph_tune as tune;
 pub use morph_workloads as workloads;
