@@ -3,6 +3,7 @@
 //! ```text
 //! perf-suite run <out.json> [--autotune]            # calibrated 4-pipeline sweep
 //! perf-suite compare <baseline.json> <candidate.json> [--tolerance PCT]
+//! perf-suite diff <baseline.json> <candidate.json> [--tolerance PCT]
 //! ```
 //!
 //! `run` executes one calibrated workload per pipeline (the same
@@ -19,6 +20,17 @@
 //! load-dependent. A candidate identical to its baseline passes at zero
 //! tolerance.
 //!
+//! `diff` is the forensic companion to `compare`: it loads both
+//! trajectories with a *lenient* row loader (fields newer than the file —
+//! e.g. `tune_decisions`, absent before BENCH_6 — are tolerated instead of
+//! rejected), finds every gated metric that moved beyond the tolerance in
+//! either direction, then re-runs each affected pipeline live with the
+//! morph-lens attribution hub armed and names the phase × structure that
+//! dominates the lens dimension behind the metric (coalescing factor →
+//! transactions, abort ratio → atomic serialization, everything else →
+//! raw accesses). `diff` always exits 0 on a clean run — gating is
+//! `compare`'s job.
+//!
 //! Exit codes: 0 ok, 1 hard error (I/O, parse, missing pipeline),
 //! 2 regression beyond tolerance (CI soft-fails on 2, hard-fails on 1).
 
@@ -28,6 +40,7 @@ use morph_dmr::DmrOpts;
 use morph_sp::surveys::Surveys;
 use morph_sp::FactorGraph;
 use morph_trace::json::{parse, JsonValue};
+use morph_gpu_sim::{LensHub, LensRow};
 use morph_trace::{CountersSnapshot, RingSink, TraceEvent, Tracer};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -57,7 +70,18 @@ enum Direction {
 fn usage() -> ExitCode {
     eprintln!("usage: perf-suite run <out.json> [--autotune]");
     eprintln!("       perf-suite compare <baseline.json> <candidate.json> [--tolerance PCT]");
+    eprintln!("       perf-suite diff <baseline.json> <candidate.json> [--tolerance PCT]");
     ExitCode::FAILURE
+}
+
+fn parse_tolerance(args: &[String]) -> Option<f64> {
+    match args.iter().position(|a| a == "--tolerance") {
+        None => Some(10.0),
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) {
+            Some(t) if t >= 0.0 => Some(t),
+            _ => None,
+        },
+    }
 }
 
 fn main() -> ExitCode {
@@ -67,19 +91,17 @@ fn main() -> ExitCode {
             Some(out) => run(out, args.iter().any(|a| a == "--autotune")),
             None => usage(),
         },
-        Some("compare") => match (args.get(1), args.get(2)) {
+        Some(cmd @ ("compare" | "diff")) => match (args.get(1), args.get(2)) {
             (Some(base), Some(cand)) => {
-                let tolerance = match args.iter().position(|a| a == "--tolerance") {
-                    None => 10.0,
-                    Some(i) => match args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) {
-                        Some(t) if t >= 0.0 => t,
-                        _ => {
-                            eprintln!("perf-suite: --tolerance needs a non-negative percent");
-                            return ExitCode::FAILURE;
-                        }
-                    },
+                let Some(tolerance) = parse_tolerance(&args) else {
+                    eprintln!("perf-suite: --tolerance needs a non-negative percent");
+                    return ExitCode::FAILURE;
                 };
-                compare(base, cand, tolerance)
+                if cmd == "compare" {
+                    compare(base, cand, tolerance)
+                } else {
+                    diff(base, cand, tolerance)
+                }
             }
             _ => usage(),
         },
@@ -150,9 +172,46 @@ impl PipelineRow {
     }
 }
 
+/// Drive one calibrated workload under the given recovery options;
+/// returns `(iterations, work_items)`. The geometries match the trace
+/// smoke job — small enough for CI, large enough that every phase runs
+/// multiple warps. Shared by `run` (tracer armed) and `diff` (lens
+/// armed).
+fn drive_workload(algo: &str, recovery: &RecoveryOpts) -> Result<(u64, u64), String> {
+    match algo {
+        "dmr" => {
+            let mut mesh = morph_workloads::mesh::random_mesh::<f64>(400, 7);
+            let out = morph_dmr::gpu::try_refine_gpu(&mut mesh, DmrOpts::default(), 2, recovery)
+                .map_err(|e| e.to_string())?;
+            Ok((out.iterations, out.stats.refined))
+        }
+        "sp" => {
+            let f = morph_workloads::ksat::random_ksat(200, 700, 3, 23);
+            let fg = FactorGraph::new(&f);
+            let s = Surveys::init(&fg, 5);
+            let (sweeps, _) = morph_sp::gpu::try_propagate(&fg, &s, 1e-3, 60, 2, recovery)
+                .map_err(|e| e.to_string())?;
+            Ok((sweeps as u64, fg.num_clauses as u64))
+        }
+        "pta" => {
+            let prob = morph_workloads::pta::synthetic(80, 220, 5);
+            let out =
+                morph_pta::gpu::try_solve_with(&prob, morph_pta::gpu::PtaOpts::default(), 2, recovery)
+                    .map_err(|e| e.to_string())?;
+            Ok((out.iterations, prob.constraints.len() as u64))
+        }
+        "mst" => {
+            let g = morph_workloads::graphs::random_graph(300, 900, 3);
+            let out =
+                morph_mst::gpu::try_mst_with_stats(&g, 2, recovery).map_err(|e| e.to_string())?;
+            Ok((out.result.rounds as u64, g.num_edges() as u64))
+        }
+        other => Err(format!("unknown algorithm {other:?}")),
+    }
+}
+
 /// Run one calibrated pipeline with a ring tracer attached and fold its
-/// launch totals. The geometries match the trace smoke job — small
-/// enough for CI, large enough that every phase runs multiple warps.
+/// launch totals.
 fn run_pipeline(algo: &'static str, autotune: bool) -> Result<PipelineRow, String> {
     let sink = Arc::new(RingSink::new(1 << 16));
     let recovery = RecoveryOpts {
@@ -165,40 +224,7 @@ fn run_pipeline(algo: &'static str, autotune: bool) -> Result<PipelineRow, Strin
         ..RecoveryOpts::default()
     };
     let start = Instant::now();
-    let (iterations, work_items) = match algo {
-        "dmr" => {
-            let mut mesh = morph_workloads::mesh::random_mesh::<f64>(400, 7);
-            let out = morph_dmr::gpu::try_refine_gpu(&mut mesh, DmrOpts::default(), 2, &recovery)
-                .map_err(|e| e.to_string())?;
-            (out.iterations as u64, out.stats.refined as u64)
-        }
-        "sp" => {
-            let f = morph_workloads::ksat::random_ksat(200, 700, 3, 23);
-            let fg = FactorGraph::new(&f);
-            let s = Surveys::init(&fg, 5);
-            let (sweeps, _) = morph_sp::gpu::try_propagate(&fg, &s, 1e-3, 60, 2, &recovery)
-                .map_err(|e| e.to_string())?;
-            (sweeps as u64, fg.num_clauses as u64)
-        }
-        "pta" => {
-            let prob = morph_workloads::pta::synthetic(80, 220, 5);
-            let out = morph_pta::gpu::try_solve_with(
-                &prob,
-                morph_pta::gpu::PtaOpts::default(),
-                2,
-                &recovery,
-            )
-            .map_err(|e| e.to_string())?;
-            (out.iterations as u64, prob.constraints.len() as u64)
-        }
-        "mst" => {
-            let g = morph_workloads::graphs::random_graph(300, 900, 3);
-            let out =
-                morph_mst::gpu::try_mst_with_stats(&g, 2, &recovery).map_err(|e| e.to_string())?;
-            (out.result.rounds as u64, g.num_edges() as u64)
-        }
-        other => return Err(format!("unknown algorithm {other:?}")),
-    };
+    let (iterations, work_items) = drive_workload(algo, &recovery)?;
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
 
     let mut totals = CountersSnapshot::default();
@@ -364,4 +390,248 @@ fn compare(base_path: &str, cand_path: &str, tolerance_pct: f64) -> ExitCode {
     }
     eprintln!("perf-suite: no regressions beyond {tolerance_pct}% tolerance");
     ExitCode::SUCCESS
+}
+
+// ---- diff: regression attribution via morph-lens -----------------------
+
+/// One pipeline row loaded leniently: the gated metrics (required) plus
+/// whatever other numeric fields the file carries. Fields newer than the
+/// file — `tune_decisions` predates BENCH_6 — simply don't appear.
+struct LoadedRow {
+    algo: String,
+    metrics: Vec<(String, f64)>,
+}
+
+/// Every numeric field a trajectory row may carry, gated first. Optional
+/// fields absent from older files load as missing, not as errors.
+const OPTIONAL_FIELDS: [&str; 5] =
+    ["wall_ms", "iterations", "work_items", "throughput_per_s", "tune_decisions"];
+
+fn load_rows_text(text: &str) -> Result<Vec<LoadedRow>, String> {
+    let v = parse(text).map_err(|e| e.to_string())?;
+    match v.get("schema").and_then(JsonValue::as_str) {
+        Some(SCHEMA) => {}
+        Some(other) => return Err(format!("unsupported schema {other:?}")),
+        None => return Err("missing schema tag".into()),
+    }
+    let Some(JsonValue::Array(pipelines)) = v.get("pipelines") else {
+        return Err("missing pipelines array".into());
+    };
+    let mut out = Vec::new();
+    for p in pipelines {
+        let algo = p
+            .get("algo")
+            .and_then(JsonValue::as_str)
+            .ok_or("pipeline row without algo")?
+            .to_string();
+        let mut metrics = Vec::new();
+        for (name, _) in GATED {
+            let value = p
+                .get(name)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("{algo}: missing gated metric {name}"))?;
+            if !value.is_finite() {
+                return Err(format!("{algo}: non-finite {name}"));
+            }
+            metrics.push((name.to_string(), value));
+        }
+        for name in OPTIONAL_FIELDS {
+            if let Some(value) = p.get(name).and_then(JsonValue::as_f64) {
+                metrics.push((name.to_string(), value));
+            }
+        }
+        out.push(LoadedRow { algo, metrics });
+    }
+    Ok(out)
+}
+
+fn load_rows(path: &str) -> Result<Vec<LoadedRow>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    load_rows_text(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// A gated metric that moved beyond the tolerance band, in either
+/// direction.
+struct MovedMetric {
+    algo: String,
+    metric: &'static str,
+    base: f64,
+    cand: f64,
+    /// Moved in the *worse* direction for its gate.
+    regressed: bool,
+}
+
+/// Gated metrics whose value moved beyond `tol` (relative, so a zero
+/// baseline treats any nonzero candidate as moved) between two loaded
+/// trajectories.
+fn moved_gated_metrics(base: &[LoadedRow], cand: &[LoadedRow], tol: f64) -> Vec<MovedMetric> {
+    let mut moved = Vec::new();
+    for b in base {
+        let Some(c) = cand.iter().find(|c| c.algo == b.algo) else {
+            continue;
+        };
+        for (name, dir) in GATED {
+            let get = |row: &LoadedRow| {
+                row.metrics.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+            };
+            let (Some(bv), Some(cv)) = (get(b), get(c)) else {
+                continue;
+            };
+            if (cv - bv).abs() <= tol * bv.abs() + f64::EPSILON {
+                continue;
+            }
+            let regressed = match dir {
+                Direction::LowerIsBetter => cv > bv,
+                Direction::HigherIsBetter => cv < bv,
+            };
+            moved.push(MovedMetric {
+                algo: b.algo.clone(),
+                metric: name,
+                base: bv,
+                cand: cv,
+                regressed,
+            });
+        }
+    }
+    moved
+}
+
+/// The lens dimension that explains a gated metric's movement.
+fn lens_dimension(metric: &str) -> (&'static str, fn(&LensRow) -> u64) {
+    match metric {
+        "coalescing_factor" => ("transactions", |r: &LensRow| r.transactions),
+        "abort_ratio" => ("atomic serialization", |r: &LensRow| r.atomic_serial),
+        _ => ("accesses", |r: &LensRow| r.accesses),
+    }
+}
+
+/// Re-run one pipeline with the attribution hub armed and return its
+/// cumulative phase × structure rows.
+fn lens_rows(algo: &str) -> Result<Vec<LensRow>, String> {
+    let hub = LensHub::enabled();
+    let recovery = RecoveryOpts {
+        lens: hub.clone(),
+        ..RecoveryOpts::default()
+    };
+    drive_workload(algo, &recovery)?;
+    Ok(hub.snapshot().rows)
+}
+
+/// Attribute every moved gated metric to the phase × structure dominating
+/// its lens dimension in a live lens-armed re-run of the pipeline.
+fn diff(base_path: &str, cand_path: &str, tolerance_pct: f64) -> ExitCode {
+    let (base, cand) = match (load_rows(base_path), load_rows(cand_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for e in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("perf-suite: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let moved = moved_gated_metrics(&base, &cand, tolerance_pct / 100.0);
+    if moved.is_empty() {
+        println!("no gated metric moved beyond {tolerance_pct}% between the trajectories");
+        return ExitCode::SUCCESS;
+    }
+    let mut rows_by_algo: Vec<(String, Vec<LensRow>)> = Vec::new();
+    for m in &moved {
+        let idx = match rows_by_algo.iter().position(|(a, _)| *a == m.algo) {
+            Some(i) => i,
+            None => match lens_rows(&m.algo) {
+                Ok(rows) => {
+                    rows_by_algo.push((m.algo.clone(), rows));
+                    rows_by_algo.len() - 1
+                }
+                Err(e) => {
+                    eprintln!("perf-suite: lens re-run of {} failed: {e}", m.algo);
+                    return ExitCode::FAILURE;
+                }
+            },
+        };
+        let rows = &rows_by_algo[idx].1;
+        let label = if m.regressed { "REGRESSED" } else { "improved" };
+        println!(
+            "{label} {}.{}: {:.6} -> {:.6}",
+            m.algo, m.metric, m.base, m.cand
+        );
+        let (dim_name, dim) = lens_dimension(m.metric);
+        let total: u64 = rows.iter().map(&dim).sum();
+        match rows.iter().max_by_key(|r| dim(r)) {
+            Some(top) if dim(top) > 0 => {
+                let share = 100.0 * dim(top) as f64 / total as f64;
+                println!(
+                    "  -> dominated by phase {} x {} ({:.1}% of lens {dim_name}; \
+                     {} accesses, {} transactions, {} atomic serialization)",
+                    top.phase, top.region, share, top.accesses, top.transactions,
+                    top.atomic_serial,
+                );
+            }
+            _ => println!("  -> no lens {dim_name} recorded for {}", m.algo),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The committed trajectory artifacts this repo gates against. Both
+    /// must stay loadable forever: BENCH_5 predates `tune_decisions`,
+    /// BENCH_9 carries it.
+    const BENCH_5: &str =
+        include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_5.json"));
+    const BENCH_9: &str =
+        include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_9.json"));
+
+    #[test]
+    fn gated_loader_accepts_both_committed_artifacts() {
+        assert!(!BENCH_5.contains("tune_decisions"), "BENCH_5 predates the field");
+        assert!(BENCH_9.contains("tune_decisions"));
+        for text in [BENCH_5, BENCH_9] {
+            let t = load_trajectory_text(text).unwrap();
+            assert_eq!(t.len(), ALGOS.len());
+        }
+    }
+
+    #[test]
+    fn lenient_loader_tolerates_fields_absent_from_older_files() {
+        let old = load_rows_text(BENCH_5).unwrap();
+        let new = load_rows_text(BENCH_9).unwrap();
+        assert_eq!(old.len(), ALGOS.len());
+        let has_tune =
+            |rows: &[LoadedRow]| rows.iter().all(|r| r.metrics.iter().any(|(n, _)| n == "tune_decisions"));
+        assert!(!has_tune(&old), "absent field must load as missing, not fail");
+        assert!(has_tune(&new));
+        // Gated metrics are still mandatory in both.
+        for rows in [&old, &new] {
+            for row in rows.iter() {
+                for (name, _) in GATED {
+                    assert!(row.metrics.iter().any(|(n, _)| n == name), "{}.{name}", row.algo);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pta_coalescing_move_is_detected_between_committed_artifacts() {
+        let base = load_rows_text(BENCH_5).unwrap();
+        let cand = load_rows_text(BENCH_9).unwrap();
+        let moved = moved_gated_metrics(&base, &cand, 0.10);
+        let pta = moved
+            .iter()
+            .find(|m| m.algo == "pta" && m.metric == "coalescing_factor")
+            .expect("the PTA coalescing change must be detected");
+        assert!(!pta.regressed, "coalescing went up — an improvement");
+        assert_eq!(pta.base, 0.0);
+        assert!(pta.cand > 50.0);
+    }
+
+    #[test]
+    fn zero_tolerance_self_diff_moves_nothing() {
+        let rows = load_rows_text(BENCH_9).unwrap();
+        let moved = moved_gated_metrics(&rows, &rows, 0.0);
+        assert!(moved.is_empty());
+    }
 }

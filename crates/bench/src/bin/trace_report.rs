@@ -6,6 +6,7 @@
 //! trace-report run <dmr|sp|pta|mst> <out.jsonl>        # small traced pipeline run
 //! trace-report report <in.jsonl> [--csv]               # render timeline / waste
 //! trace-report flamegraph <dmr|sp|pta|mst> <out.folded> # folded phase profile
+//! trace-report lens <dmr|sp|pta|mst>                   # phase×structure attribution
 //! ```
 //!
 //! `run` attaches a [`JsonlSink`] to one small pipeline per algorithm via
@@ -15,6 +16,13 @@
 //! timeline, per-phase kernel histograms, and the §7 waste breakdown
 //! (aborted speculation, idle lanes, retry wall time). `--csv` emits the
 //! raw timeline and algorithm series as CSV instead of text tables.
+//!
+//! `lens` runs the same small pipeline with the morph-lens attribution
+//! hub armed (`RecoveryOpts::lens`) and prints the per-phase,
+//! per-structure traffic table — global accesses, coalescing
+//! transactions, atomic serialization and the hottest contended word of
+//! every registered device structure, plus the `unattributed` residue
+//! (which a healthy pipeline keeps at ≈0).
 //!
 //! `flamegraph` runs the same small pipeline with the continuous phase
 //! profiler armed instead of a tracer (`RecoveryOpts::profiler`) and
@@ -36,6 +44,7 @@ fn usage() -> ExitCode {
     eprintln!("usage: trace-report run <dmr|sp|pta|mst> <out.jsonl>");
     eprintln!("       trace-report report <in.jsonl> [--csv]");
     eprintln!("       trace-report flamegraph <dmr|sp|pta|mst> <out.folded>");
+    eprintln!("       trace-report lens <dmr|sp|pta|mst>");
     ExitCode::from(2)
 }
 
@@ -53,6 +62,10 @@ fn main() -> ExitCode {
         Some("flamegraph") => match (args.get(1), args.get(2)) {
             (Some(algo), Some(path)) => flamegraph(algo, path),
             _ => usage(),
+        },
+        Some("lens") => match args.get(1) {
+            Some(algo) => lens(algo),
+            None => usage(),
         },
         _ => usage(),
     }
@@ -163,6 +176,27 @@ fn flamegraph(algo: &str, path: &str) -> ExitCode {
         "flamegraph: {} folded stack(s) for {algo} to {path}",
         folded.lines().count()
     );
+    ExitCode::SUCCESS
+}
+
+/// Run one small pipeline with the attribution hub armed and print the
+/// phase × structure traffic table.
+fn lens(algo: &str) -> ExitCode {
+    let hub = morph_gpu_sim::LensHub::enabled();
+    let recovery = RecoveryOpts {
+        lens: hub.clone(),
+        ..RecoveryOpts::default()
+    };
+    if let Err(e) = drive_pipeline(algo, &recovery) {
+        eprintln!("trace-report: {algo} pipeline failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let snap = hub.snapshot();
+    if snap.rows.is_empty() {
+        eprintln!("trace-report: {algo}: lens attributed no traffic");
+        return ExitCode::FAILURE;
+    }
+    print!("{}", snap.render_table());
     ExitCode::SUCCESS
 }
 

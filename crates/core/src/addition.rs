@@ -24,6 +24,11 @@ pub struct BumpAllocator {
     next: AtomicU32,
     capacity: AtomicU32,
     overflow: AtomicBool,
+    /// Logical device address of the bump cursor for the cost model /
+    /// morph-lens. When set, in-kernel cursor bumps are recorded at this
+    /// stable address (the cursor is the allocator's contention point),
+    /// so attribution survives host-side reallocation.
+    dev_base: Option<usize>,
     /// morph-check shadow state: one past the highest slot ever *granted*
     /// (successfully allocated) or live at construction. The overflow
     /// recovery path must never rewind the cursor into this region — that
@@ -47,9 +52,17 @@ impl BumpAllocator {
             next: AtomicU32::new(used as u32),
             capacity: AtomicU32::new(capacity as u32),
             overflow: AtomicBool::new(false),
+            dev_base: None,
             #[cfg(feature = "morph-check")]
             granted_high: AtomicU32::new(used as u32),
         }
+    }
+
+    /// Pin the bump cursor to logical device address `base` for the cost
+    /// model; see the `dev_base` field.
+    pub fn with_dev_base(mut self, base: usize) -> Self {
+        self.dev_base = Some(base);
+        self
     }
 
     /// morph-check bookkeeping: record a successful grant of
@@ -71,7 +84,10 @@ impl BumpAllocator {
             self.overflow.store(true, Ordering::Release);
             return None;
         }
-        let base = ctx.atomic_add_u32(&self.next, n);
+        let base = match self.dev_base {
+            Some(addr) => ctx.atomic_add_u32_at(&self.next, n, addr),
+            None => ctx.atomic_add_u32(&self.next, n),
+        };
         if base.saturating_add(n) <= self.capacity.load(Ordering::Acquire) {
             #[cfg(feature = "morph-check")]
             self.record_grant(base, n);

@@ -27,7 +27,7 @@
 use crate::adaptive::AdaptiveParallelism;
 use crate::checkpoint::CheckpointCtl;
 use morph_gpu_sim::{
-    CancelToken, FaultPlan, Kernel, LaunchError, LaunchStats, MetricsHub, VirtualGpu,
+    CancelToken, FaultPlan, Kernel, LaunchError, LaunchStats, LensHub, MetricsHub, VirtualGpu,
 };
 use morph_trace::{ProfilerScope, RecoveryKind, TraceEvent, Tracer};
 use morph_tune::{AutoTuner, ConflictPolicy, Controller, TuneDecision, TuneInput};
@@ -165,6 +165,13 @@ pub struct RecoveryOpts {
     /// and follow its per-iteration [`TuneDecision`]s (geometry, conflict
     /// policy, compaction/reordering requests) instead.
     pub tuner: AutoTuner,
+    /// morph-lens attribution hub. An enabled hub makes pipelines
+    /// register their device structures' logical address windows on it
+    /// and the engine bucket every metered access per phase × structure
+    /// (the `lens` trace events, `morph_lens_*` metric families and the
+    /// `/lens` snapshot). The default [`LensHub::disabled`] handle keeps
+    /// all attribution off.
+    pub lens: LensHub,
 }
 
 impl RecoveryOpts {
@@ -181,6 +188,7 @@ impl RecoveryOpts {
         gpu.set_heartbeat(self.heartbeat.clone());
         gpu.set_profiler(self.profiler.clone());
         gpu.set_tuner(self.tuner.clone());
+        gpu.set_lens(self.lens.clone());
     }
 }
 

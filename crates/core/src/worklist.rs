@@ -17,7 +17,16 @@ pub struct GlobalWorklist {
     items: AtomicU32Slice,
     head: AtomicU32,
     tail: AtomicU32,
+    /// Logical device base for the cost model / morph-lens. Layout when
+    /// set: tail cursor word at `base + 0`, head cursor word at
+    /// `base + 8`, item slots from `base + ITEMS_OFF` (the cursors get
+    /// their own 32-byte segment so cursor contention and item traffic
+    /// attribute distinctly).
+    dev_base: Option<usize>,
 }
+
+/// Byte offset of the item slots within a dev-pinned worklist window.
+const ITEMS_OFF: usize = 64;
 
 impl GlobalWorklist {
     pub fn with_capacity(cap: usize) -> Self {
@@ -25,7 +34,22 @@ impl GlobalWorklist {
             items: AtomicU32Slice::new(cap, u32::MAX),
             head: AtomicU32::new(0),
             tail: AtomicU32::new(0),
+            dev_base: None,
         }
+    }
+
+    /// Pin the worklist to logical device address `base` for the cost
+    /// model; see the `dev_base` field.
+    pub fn with_dev_base(mut self, base: usize) -> Self {
+        self.dev_base = Some(base);
+        self
+    }
+
+    /// The byte extent `(base, len_bytes)` a dev-pinned worklist spans —
+    /// what the owning pipeline registers with the lens. `None` if not
+    /// pinned.
+    pub fn dev_extent(&self) -> Option<(usize, usize)> {
+        self.dev_base.map(|b| (b, ITEMS_OFF + self.items.len() * 4))
     }
 
     pub fn capacity(&self) -> usize {
@@ -35,8 +59,14 @@ impl GlobalWorklist {
     /// Enqueue from a kernel. Returns `false` (dropping the item) when
     /// full.
     pub fn push(&self, ctx: &mut ThreadCtx<'_>, item: u32) -> bool {
-        let at = ctx.atomic_add_u32(&self.tail, 1);
+        let at = match self.dev_base {
+            Some(b) => ctx.atomic_add_u32_at(&self.tail, 1, b),
+            None => ctx.atomic_add_u32(&self.tail, 1),
+        };
         if (at as usize) < self.items.len() {
+            if let Some(b) = self.dev_base {
+                ctx.gmem_addr(b + ITEMS_OFF + at as usize * 4);
+            }
             self.items.store(at as usize, item);
             true
         } else {
@@ -53,10 +83,14 @@ impl GlobalWorklist {
             if h >= t {
                 return None;
             }
-            if ctx
-                .atomic_cas_u32(&self.head, h, h + 1)
-                .is_ok()
-            {
+            let cas = match self.dev_base {
+                Some(b) => ctx.atomic_cas_u32_at(&self.head, h, h + 1, b + 8),
+                None => ctx.atomic_cas_u32(&self.head, h, h + 1),
+            };
+            if cas.is_ok() {
+                if let Some(b) = self.dev_base {
+                    ctx.gmem_addr(b + ITEMS_OFF + h as usize * 4);
+                }
                 // The producer's store may land just after its tail bump.
                 let mut v = self.items.load(h as usize);
                 while v == u32::MAX {

@@ -36,6 +36,10 @@ use morph_gpu_sim::{
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::time::Instant;
 
+/// Logical device window for the conflict-mark table (one `u32` per
+/// triangle slot), disjoint from the mesh windows in `crate::mesh`.
+const CONFLICT_DEV_BASE: usize = 0x3030_0000_0000;
+
 struct ThreadSlot<C: Coord> {
     cavity: Option<Cavity<C>>,
     won: bool,
@@ -86,6 +90,26 @@ impl<C: Coord> RefineKernel<'_, C> {
     fn chunk(&self, ctx: &ThreadCtx<'_>) -> (usize, usize) {
         chunk_bounds(self.slots_hint, ctx.block, ctx.nblocks)
     }
+
+    /// Report the conflict-mark words a neighborhood touches (race /
+    /// prioritycheck / check all walk the same set).
+    fn meter_conflict(&self, ctx: &ThreadCtx<'_>, elems: &[u32]) {
+        for &e in elems {
+            ctx.gmem_addr(CONFLICT_DEV_BASE + e as usize * 4);
+        }
+    }
+
+    /// Report the mesh rows a built cavity read: triangle + neighbor rows
+    /// for every cavity member, and the coordinate pairs of the seed.
+    fn meter_cavity(&self, ctx: &ThreadCtx<'_>, c: &Cavity<C>, seed: u32) {
+        for &t in &c.tris {
+            self.mesh.meter_tri(ctx, t);
+            self.mesh.meter_nbrs(ctx, t);
+        }
+        for v in self.mesh.tri(seed) {
+            self.mesh.meter_coords(ctx, v);
+        }
+    }
 }
 
 impl<C: Coord> Kernel for RefineKernel<'_, C> {
@@ -106,6 +130,7 @@ impl<C: Coord> Kernel for RefineKernel<'_, C> {
                         }
                         st.queue.clear();
                         for t in lo as u32..hi as u32 {
+                            self.mesh.meter_flags(ctx, t);
                             if self.mesh.is_bad(t) {
                                 st.queue.push(t);
                             }
@@ -141,7 +166,10 @@ impl<C: Coord> Kernel for RefineKernel<'_, C> {
                         // the behaviour the §7.6 compaction (row 6) fixes.
                         let (slo, shi) =
                             chunk_bounds(hi - lo, tib, ctx.threads_per_block);
-                        ((lo + slo) as u32..(lo + shi) as u32).find(|&t| self.mesh.is_bad(t))
+                        ((lo + slo) as u32..(lo + shi) as u32).find(|&t| {
+                            self.mesh.meter_flags(ctx, t);
+                            self.mesh.is_bad(t)
+                        })
                     };
                     let Some(t) = candidate else { return false };
                     if !self.mesh.is_bad(t) {
@@ -154,6 +182,8 @@ impl<C: Coord> Kernel for RefineKernel<'_, C> {
                             false
                         }
                         CavityOutcome::Built(c) => {
+                            self.meter_cavity(ctx, &c, t);
+                            self.meter_conflict(ctx, &c.conflict);
                             self.conflict.race(c.conflict.iter().copied(), me);
                             slot.cavity = Some(c);
                             true
@@ -169,6 +199,7 @@ impl<C: Coord> Kernel for RefineKernel<'_, C> {
                     match &slot.cavity {
                         Some(c) => {
                             slot.won = if self.opts.three_phase {
+                                self.meter_conflict(ctx, &c.conflict);
                                 self.conflict.priority_check(c.conflict.iter().copied(), me)
                             } else {
                                 true // 2-phase mode: decided in `check`
@@ -187,6 +218,7 @@ impl<C: Coord> Kernel for RefineKernel<'_, C> {
                     match &slot.cavity {
                         Some(c) => {
                             if slot.won {
+                                self.meter_conflict(ctx, &c.conflict);
                                 slot.won = self.conflict.check(c.conflict.iter().copied(), me);
                             }
                             true
@@ -231,6 +263,11 @@ impl<C: Coord> Kernel for RefineKernel<'_, C> {
                 };
                 let mut slots: Vec<u32> = c.tris[..recycled].to_vec();
                 slots.extend((0..extra as u32).map(|i| extra_base + i));
+                for &s in &slots {
+                    self.mesh.meter_tri(ctx, s);
+                    self.mesh.meter_nbrs(ctx, s);
+                    self.mesh.meter_flags(ctx, s);
+                }
                 let new_bad = retriangulate(self.mesh, &c, vid, &slots);
                 if new_bad > 0 {
                     self.changed.store(true, Ordering::Release);
@@ -329,6 +366,18 @@ pub fn try_refine_gpu<C: Coord>(
         barrier: opts.barrier,
     });
     recovery.arm(&mut gpu);
+    // Name the device structures for per-structure attribution. Extents
+    // track capacity, so a regrow re-registers below.
+    let register_lens = |gpu: &VirtualGpu, mesh: &Mesh<C>, conflict: &ConflictTable| {
+        if !gpu.lens().is_enabled() {
+            return;
+        }
+        for (name, base, len) in mesh.lens_regions() {
+            gpu.lens().register(name, base, len);
+        }
+        gpu.lens().register("dmr.conflict", CONFLICT_DEV_BASE, conflict.len() * 4);
+    };
+    register_lens(&gpu, mesh, &conflict);
     let state: BlockLocal<BlockState<C>> = BlockLocal::new(blocks, |_| BlockState::new());
 
     #[cfg(feature = "morph-check")]
@@ -343,6 +392,7 @@ pub fn try_refine_gpu<C: Coord>(
             mesh.grow_tris(cap);
             mesh.grow_verts(mesh.num_verts() + bad.max(64) * 2);
             conflict.grow(mesh.tri_capacity());
+            register_lens(gpu, mesh, &conflict);
         }
         match ctx.rescue {
             // Perturb the priority order so a repeating winner pattern

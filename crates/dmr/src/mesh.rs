@@ -23,6 +23,28 @@ use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 /// Hull marker in the neighbor matrix.
 pub const NO_NEIGHBOR: u32 = u32::MAX;
 
+/// Logical device-address window for the mesh arrays (cost model /
+/// morph-lens). Each array gets its own disjoint sub-window so traffic
+/// attributes per structure; [`Mesh::lens_regions`] reports the extents a
+/// pipeline registers. Windows are wide enough that no realistic regrow
+/// ever crosses into the next one.
+pub const DEV_BASE: usize = 0x3000_0000_0000;
+/// Byte stride between the mesh's per-array sub-windows.
+pub const DEV_STRIDE: usize = 0x0008_0000_0000;
+/// Per-triangle flag words (`u32` each).
+pub const FLAGS_BASE: usize = DEV_BASE;
+/// Triangle vertex matrix (`[u32; 3]` rows).
+pub const VERTS_BASE: usize = DEV_BASE + DEV_STRIDE;
+/// Triangle neighbor matrix (`[u32; 3]` rows).
+pub const NBRS_BASE: usize = DEV_BASE + 2 * DEV_STRIDE;
+/// Vertex x-coordinates; y-coordinates live one stride above, so the
+/// single registered `dmr.coords` region spans both.
+pub const COORDS_BASE: usize = DEV_BASE + 3 * DEV_STRIDE;
+const PY_BASE: usize = COORDS_BASE + DEV_STRIDE;
+/// Allocation cursors: triangle bump cursor at `+0`, vertex counter at
+/// `+8` (own segments, so cursor contention attributes distinctly).
+pub const CURSORS_BASE: usize = DEV_BASE + 5 * DEV_STRIDE;
+
 /// Flag bits.
 pub const F_DELETED: u32 = 1;
 pub const F_BAD: u32 = 2;
@@ -89,7 +111,7 @@ impl<C: Coord> Mesh<C> {
             verts,
             nbrs,
             flags: AtomicU32Slice::new(tri_cap, 0),
-            alloc: BumpAllocator::new(nt, tri_cap),
+            alloc: BumpAllocator::new(nt, tri_cap).with_dev_base(CURSORS_BASE),
             vert_overflow: AtomicBool::new(false),
             quality,
         };
@@ -118,8 +140,11 @@ impl<C: Coord> Mesh<C> {
     /// Device-side vertex insertion; `None` (and the overflow flag) when
     /// the coordinate arrays are full.
     pub fn add_vertex(&self, ctx: &mut ThreadCtx<'_>, p: Point<C>) -> Option<u32> {
-        let id = ctx.atomic_add_u32(&self.nverts, 1);
+        let id = ctx.atomic_add_u32_at(&self.nverts, 1, CURSORS_BASE + 8);
         if (id as usize) < self.px.len() {
+            let sz = std::mem::size_of::<C>();
+            ctx.gmem_addr(COORDS_BASE + id as usize * sz);
+            ctx.gmem_addr(PY_BASE + id as usize * sz);
             self.px.set(id as usize, p.x);
             self.py.set(id as usize, p.y);
             Some(id)
@@ -196,6 +221,55 @@ impl<C: Coord> Mesh<C> {
     pub fn edge_index_of(&self, t: u32, e0: u32, e1: u32) -> Option<usize> {
         let tri = self.tri(t);
         (0..3).find(|&i| tri[i] == e0 && tri[(i + 1) % 3] == e1)
+    }
+
+    // ---- cost-model metering (morph-lens) ------------------------------
+    //
+    // The mesh accessors are ctx-free (cavity building walks the mesh from
+    // plain host code), so kernels report their global-memory footprint
+    // explicitly at the logical window addresses via these helpers. All of
+    // them are no-ops unless the launch is metered.
+
+    /// Report a flag-word read for triangle `t`.
+    #[inline]
+    pub fn meter_flags(&self, ctx: &ThreadCtx<'_>, t: u32) {
+        ctx.gmem_addr(FLAGS_BASE + t as usize * 4);
+    }
+
+    /// Report a vertex-matrix row access for triangle `t`.
+    #[inline]
+    pub fn meter_tri(&self, ctx: &ThreadCtx<'_>, t: u32) {
+        ctx.gmem_addr(VERTS_BASE + t as usize * 12);
+    }
+
+    /// Report a neighbor-matrix row access for triangle `t`.
+    #[inline]
+    pub fn meter_nbrs(&self, ctx: &ThreadCtx<'_>, t: u32) {
+        ctx.gmem_addr(NBRS_BASE + t as usize * 12);
+    }
+
+    /// Report a coordinate-pair access for vertex `v`.
+    #[inline]
+    pub fn meter_coords(&self, ctx: &ThreadCtx<'_>, v: u32) {
+        let sz = std::mem::size_of::<C>();
+        ctx.gmem_addr(COORDS_BASE + v as usize * sz);
+        ctx.gmem_addr(PY_BASE + v as usize * sz);
+    }
+
+    /// The named `(name, base, len_bytes)` regions a DMR pipeline registers
+    /// with the lens. Extents track current capacity — re-register after a
+    /// regrow.
+    pub fn lens_regions(&self) -> [(&'static str, usize, usize); 5] {
+        let tris = self.tri_capacity();
+        let sz = std::mem::size_of::<C>();
+        [
+            ("dmr.flags", FLAGS_BASE, tris * 4),
+            ("dmr.tri_verts", VERTS_BASE, tris * 12),
+            ("dmr.tri_nbrs", NBRS_BASE, tris * 12),
+            // One region spanning the x window plus the y extent above it.
+            ("dmr.coords", COORDS_BASE, DEV_STRIDE + self.vert_capacity() * sz),
+            ("dmr.cursors", CURSORS_BASE, 16),
+        ]
     }
 
     // ---- flags ---------------------------------------------------------
@@ -346,7 +420,7 @@ impl<C: Coord> Mesh<C> {
         self.nbrs.as_mut_slice()[..live].copy_from_slice(&nbrs);
         self.flags = AtomicU32Slice::from_vec(flags);
         self.flags.grow(cap, 0);
-        self.alloc = BumpAllocator::new(live, cap);
+        self.alloc = BumpAllocator::new(live, cap).with_dev_base(CURSORS_BASE);
     }
 
     // ---- checkpoint/resume --------------------------------------------
@@ -405,7 +479,7 @@ impl<C: Coord> Mesh<C> {
             self.write_tri(t as u32, verts, nbrs);
             self.flags.store(t, flags);
         }
-        self.alloc = BumpAllocator::new(slots, self.tri_capacity());
+        self.alloc = BumpAllocator::new(slots, self.tri_capacity()).with_dev_base(CURSORS_BASE);
         self.vert_overflow.store(false, Ordering::Release);
         Some(())
     }

@@ -82,6 +82,15 @@ impl WarpTape {
         self.inner.borrow_mut().smem.push(word);
     }
 
+    /// Expose the tape's raw global and atomic address lists (in
+    /// recording order) without draining them. The lens attribution
+    /// hook runs this *before* [`WarpTape::score_and_clear`], which
+    /// sorts the atomics in place and clears everything.
+    pub(crate) fn with_contents(&self, f: impl FnOnce(&[usize], &[usize])) {
+        let t = self.inner.borrow();
+        f(&t.gmem, &t.atomics);
+    }
+
     /// Drain the tape and score it for one warp.
     pub(crate) fn score_and_clear(&self, warp_size: usize) -> WarpScore {
         let mut t = self.inner.borrow_mut();

@@ -32,6 +32,7 @@ use crate::costmodel::{WarpScore, WarpTape};
 use crate::counters::{LaunchStats, WorkerCounters};
 use crate::fault::FaultPlan;
 use crate::kernel::{Decision, Kernel, ThreadCtx};
+use crate::lens::LensHub;
 use morph_metrics::MetricsHub;
 use morph_trace::{CountersSnapshot, ProfilerScope, TraceEvent, Tracer};
 use morph_tune::AutoTuner;
@@ -327,6 +328,10 @@ pub struct VirtualGpu {
     /// controller feeds on (occupancy, coalescing, divergence) are
     /// measured even with no tracer or metrics hub attached.
     tuner: AutoTuner,
+    /// morph-lens attribution hub. When enabled it arms the cost-model
+    /// tape and buckets every metered access per phase × registered
+    /// structure; the default disabled handle costs one branch per warp.
+    lens: LensHub,
     launch_seq: AtomicU64,
     /// True while a launch is executing on this GPU. Host-side exclusive
     /// access to device buffers (`SharedSlice::as_mut_slice`/`to_vec`) is
@@ -347,6 +352,7 @@ impl VirtualGpu {
             heartbeat: None,
             profiler: None,
             tuner: AutoTuner::default(),
+            lens: LensHub::disabled(),
             launch_seq: AtomicU64::new(0),
             in_flight: AtomicBool::new(false),
         }
@@ -400,6 +406,26 @@ impl VirtualGpu {
     /// The attached autotuner handle (detached by default).
     pub fn tuner(&self) -> &AutoTuner {
         &self.tuner
+    }
+
+    /// Attach the morph-lens attribution hub. An enabled hub arms the
+    /// cost-model tape on subsequent launches and buckets every metered
+    /// global access per **phase × registered structure** (plus
+    /// same-address atomic serialization and a bounded hot-address
+    /// table). At each launch end the per-launch delta is emitted as
+    /// `lens` trace events (when a tracer is attached) and added to the
+    /// `morph_lens_*` metric families (when a metrics hub is attached);
+    /// the cumulative state is always available via
+    /// [`VirtualGpu::lens`]`().snapshot()`. The default
+    /// [`LensHub::disabled`] handle keeps all of it off.
+    pub fn set_lens(&mut self, hub: LensHub) {
+        self.lens = hub;
+    }
+
+    /// The attached lens hub (disabled by default). Pipelines clone this
+    /// to register their device structures' address windows.
+    pub fn lens(&self) -> &LensHub {
+        &self.lens
     }
 
     /// Attach a cancellation token. The engine itself never aborts a
@@ -575,9 +601,12 @@ impl VirtualGpu {
         let mstate = self.metrics.enabled().then(|| MetricsState::new(&self.metrics));
         let mstate = mstate.as_ref();
         // The cost-model tape is armed for any observer: tracer, metrics
-        // hub, or an enabled autotuner (whose controller consumes the
-        // measured occupancy/coalescing/divergence between launches).
-        let meter = trace.is_some() || mstate.is_some() || self.tuner.is_enabled();
+        // hub, an enabled autotuner (whose controller consumes the
+        // measured occupancy/coalescing/divergence between launches), or
+        // the lens attribution hub.
+        let meter =
+            trace.is_some() || mstate.is_some() || self.tuner.is_enabled() || self.lens.is_enabled();
+        let lens = self.lens.is_enabled().then_some(&self.lens);
         let start = Instant::now();
 
         let mut stats = LaunchStats::default();
@@ -603,6 +632,7 @@ impl VirtualGpu {
                     trace,
                     mstate,
                     meter,
+                    lens,
                     check_nonce,
                 )
             }));
@@ -631,7 +661,7 @@ impl VirtualGpu {
                             run_worker(
                                 kernel, cfg, w, workers, phases, persistent, barrier,
                                 keep_going, &mut counters, faults, &progress, trace,
-                                mstate, meter, check_nonce,
+                                mstate, meter, lens, check_nonce,
                             )
                         }));
                         match result {
@@ -686,6 +716,63 @@ impl VirtualGpu {
         }
         if let Some(m) = mstate {
             m.finish(&stats);
+        }
+        // Export this launch's attribution delta: one `lens` trace event
+        // per nonzero phase×structure cell, and labelled counter bumps on
+        // the `morph_lens_*` metric families. Cumulative state stays in
+        // the hub for `/lens` snapshots.
+        if self.lens.is_enabled() {
+            let rows = self.lens.drain_launch();
+            for row in &rows {
+                if let Some(t) = trace {
+                    let r = row.clone();
+                    t.tracer.emit(move || TraceEvent::Lens {
+                        launch: t.launch,
+                        phase: r.phase,
+                        region: r.region.clone(),
+                        accesses: r.accesses,
+                        transactions: r.transactions,
+                        atomic_ops: r.atomic_ops,
+                        atomic_serial: r.atomic_serial,
+                        hot_addr: r.hot_addr,
+                        hot_count: r.hot_count,
+                    });
+                }
+                if self.metrics.enabled() {
+                    let hub = self
+                        .metrics
+                        .clone()
+                        .with_label("phase", &row.phase.to_string())
+                        .with_label("region", &row.region);
+                    let bump = |name: &str, help: &str, v: u64| {
+                        if v > 0 {
+                            if let Some(c) = hub.counter(name, help) {
+                                c.add(v);
+                            }
+                        }
+                    };
+                    bump(
+                        "morph_lens_gmem_accesses_total",
+                        "Metered global accesses attributed per phase and structure",
+                        row.accesses,
+                    );
+                    bump(
+                        "morph_lens_gmem_transactions_total",
+                        "Coalescing transactions attributed per phase and structure",
+                        row.transactions,
+                    );
+                    bump(
+                        "morph_lens_atomic_ops_total",
+                        "Atomic RMWs attributed per phase and structure",
+                        row.atomic_ops,
+                    );
+                    bump(
+                        "morph_lens_atomic_serial_total",
+                        "Same-address atomic serialization steps attributed per phase and structure",
+                        row.atomic_serial,
+                    );
+                }
+            }
         }
         self.beat();
         Ok(stats)
@@ -760,6 +847,7 @@ fn run_worker<K: Kernel + ?Sized>(
     trace: Option<&TraceState>,
     metrics: Option<&MetricsState>,
     meter: bool,
+    lens: Option<&LensHub>,
     check_nonce: u64,
 ) -> u64 {
     let tpb = cfg.threads_per_block;
@@ -822,7 +910,7 @@ fn run_worker<K: Kernel + ?Sized>(
                 });
                 run_block_phase(
                     kernel, cfg, block, phase, iteration, nthreads, counters, faults,
-                    tape, metrics, check_epoch,
+                    tape, metrics, lens, check_epoch,
                 );
             }
             counters.barriers += 1;
@@ -897,6 +985,7 @@ fn run_block_phase<K: Kernel + ?Sized>(
     faults: Option<&FaultPlan>,
     tape: Option<&WarpTape>,
     metrics: Option<&MetricsState>,
+    lens: Option<&LensHub>,
     check_epoch: u64,
 ) {
     let tpb = cfg.threads_per_block;
@@ -947,6 +1036,11 @@ fn run_block_phase<K: Kernel + ?Sized>(
         counters.active_threads += active;
         counters.idle_threads += lanes as u64 - active;
         if let Some(t) = tape {
+            // Attribution must read the tape before scoring: scoring
+            // sorts the atomics in place and drains everything.
+            if let Some(l) = lens {
+                t.with_contents(|gmem, atomics| l.attribute(phase as u64, gmem, atomics));
+            }
             let score = t.score_and_clear(warp_size);
             counters.gmem_accesses += score.gmem_accesses;
             counters.gmem_transactions += score.gmem_transactions;

@@ -277,6 +277,59 @@ impl<'a> ThreadCtx<'a> {
         a.fetch_or(v, Ordering::AcqRel)
     }
 
+    // The `_at` variants below record an explicit *logical* device
+    // address instead of the word's host address. Structures that live
+    // at a registered lens window (DESIGN.md §17) route their atomics
+    // through these so contention attributes to the structure even when
+    // the backing storage is rebuilt between launches (host addresses
+    // are unstable across allocations; logical windows are not).
+
+    /// Counted `atomicAdd` on a 32-bit word, recorded at logical
+    /// address `addr`; returns the previous value.
+    #[inline]
+    pub fn atomic_add_u32_at(&mut self, a: &AtomicU32, v: u32, addr: usize) -> u32 {
+        self.count_atomic(addr);
+        a.fetch_add(v, Ordering::AcqRel)
+    }
+
+    /// Counted `atomicAdd` on a 64-bit word, recorded at logical
+    /// address `addr`; returns the previous value.
+    #[inline]
+    pub fn atomic_add_u64_at(&mut self, a: &AtomicU64, v: u64, addr: usize) -> u64 {
+        self.count_atomic(addr);
+        a.fetch_add(v, Ordering::AcqRel)
+    }
+
+    /// Counted `atomicMin` on a 64-bit word, recorded at logical
+    /// address `addr`; returns the previous value.
+    #[inline]
+    pub fn atomic_min_u64_at(&mut self, a: &AtomicU64, v: u64, addr: usize) -> u64 {
+        self.count_atomic(addr);
+        a.fetch_min(v, Ordering::AcqRel)
+    }
+
+    /// Counted `atomicMax` on a 64-bit word, recorded at logical
+    /// address `addr`; returns the previous value.
+    #[inline]
+    pub fn atomic_max_u64_at(&mut self, a: &AtomicU64, v: u64, addr: usize) -> u64 {
+        self.count_atomic(addr);
+        a.fetch_max(v, Ordering::AcqRel)
+    }
+
+    /// Counted `atomicCAS`, recorded at logical address `addr`; returns
+    /// `Ok(previous)` on success.
+    #[inline]
+    pub fn atomic_cas_u32_at(
+        &mut self,
+        a: &AtomicU32,
+        current: u32,
+        new: u32,
+        addr: usize,
+    ) -> Result<u32, u32> {
+        self.count_atomic(addr);
+        a.compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire)
+    }
+
     /// True if the attached [`crate::fault::FaultPlan`] denies a
     /// device-side allocation issued right now. Allocators (e.g.
     /// `morph_core`'s bump allocator) consult this in their `try_alloc`

@@ -64,6 +64,7 @@ pub mod counters;
 pub mod engine;
 pub mod fault;
 pub mod kernel;
+pub mod lens;
 pub mod mem;
 pub mod shared;
 
@@ -87,5 +88,6 @@ pub use morph_tune::{
 };
 pub use fault::{AppendFault, FaultPlan, INJECTED_DEVICE_LOSS_MSG, INJECTED_PANIC_MSG};
 pub use kernel::{Decision, Kernel, ThreadCtx};
+pub use lens::{LensHot, LensHub, LensRegion, LensRow, LensSnapshot, LENS_UNATTRIBUTED};
 pub use mem::{AtomicF32Slice, AtomicF64Slice, AtomicU32Slice, AtomicU64Slice, SharedSlice};
 pub use shared::BlockLocal;

@@ -44,6 +44,13 @@ unsafe impl<T: Send> Sync for SyncCell<T> {}
 /// additionally assert quiescence (no kernel on the calling thread).
 pub struct SharedSlice<T> {
     data: Vec<SyncCell<T>>,
+    /// Logical device base address for the cost model. When set (via
+    /// [`SharedSlice::set_dev_base`]) metered accesses report
+    /// `base + i * size_of::<T>()` instead of the host address, so the
+    /// buffer's traffic lands inside a lens-registered window and stays
+    /// stable across host reallocations. `None` keeps host addresses —
+    /// coalescing analysis works either way.
+    dev_base: Option<usize>,
     #[cfg(feature = "morph-check")]
     shadow: morph_check::ShadowLog,
 }
@@ -58,9 +65,34 @@ impl<T: Copy + Send> SharedSlice<T> {
     pub fn from_vec(v: Vec<T>) -> Self {
         Self {
             data: v.into_iter().map(|x| SyncCell(UnsafeCell::new(x))).collect(),
+            dev_base: None,
             #[cfg(feature = "morph-check")]
             shadow: morph_check::ShadowLog::new(),
         }
+    }
+
+    /// Pin the buffer to logical device address `base` for the cost
+    /// model; see the `dev_base` field. Returns the byte span
+    /// `(base, len * size_of::<T>())` for lens registration.
+    pub fn set_dev_base(&mut self, base: usize) -> (usize, usize) {
+        self.dev_base = Some(base);
+        (base, self.data.len() * std::mem::size_of::<T>())
+    }
+
+    /// Builder form of [`SharedSlice::set_dev_base`].
+    pub fn with_dev_base(mut self, base: usize) -> Self {
+        self.dev_base = Some(base);
+        self
+    }
+
+    /// The byte extent `(base, len_bytes)` the cost model reports this
+    /// buffer at — logical if pinned, host otherwise. What a pipeline
+    /// hands to [`crate::LensHub::register`].
+    pub fn dev_extent(&self) -> (usize, usize) {
+        (
+            self.dev_base.unwrap_or(self.data.as_ptr() as usize),
+            self.data.len() * std::mem::size_of::<T>(),
+        )
     }
 
     #[inline]
@@ -79,7 +111,8 @@ impl<T: Copy + Send> SharedSlice<T> {
     #[inline]
     pub(crate) fn element_addr(&self, i: usize) -> usize {
         debug_assert!(i < self.data.len());
-        self.data.as_ptr() as usize + i * std::mem::size_of::<T>()
+        let base = self.dev_base.unwrap_or(self.data.as_ptr() as usize);
+        base + i * std::mem::size_of::<T>()
     }
 
     /// Read element `i`. See the type-level concurrency contract.
@@ -414,6 +447,19 @@ mod tests {
         assert_eq!(s.len(), 3);
         s.fill(2.0);
         assert_eq!(s.to_vec(), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn dev_base_pins_the_metered_extent() {
+        let mut s = SharedSlice::new(8, 0u64);
+        let host = s.dev_extent();
+        assert_eq!(host.1, 64);
+        let (base, len) = s.set_dev_base(0x3000_0000_0000);
+        assert_eq!((base, len), (0x3000_0000_0000, 64));
+        assert_eq!(s.element_addr(2), 0x3000_0000_0000 + 16);
+        assert_eq!(s.dev_extent(), (0x3000_0000_0000, 64));
+        let s2 = SharedSlice::new(4, 0u32).with_dev_base(0x4000);
+        assert_eq!(s2.element_addr(1), 0x4004);
     }
 
     #[test]

@@ -265,13 +265,11 @@ impl ChunkedAdjacency {
     /// "device" base — never host pointers, whose run-to-run allocator
     /// jitter would make the measured coalescing factor non-reproducible.
     pub fn for_each_addr(&self, node: u32, mut f: impl FnMut(u32, usize)) {
-        // Disjoint from `AtomicBitmap`'s window (`0x1000_0000_0000`).
-        const ARENA_DEV_BASE: usize = 0x2000_0000_0000;
         let mut cur = self.heads[node as usize].load(Ordering::Acquire);
         while cur != INVALID {
             let c = self.chunk(cur);
             let n = (c.len.load(Ordering::Acquire) as usize).min(self.chunk_size);
-            let base = ARENA_DEV_BASE + cur as usize * self.chunk_size * 4;
+            let base = Self::DEV_BASE + cur as usize * self.chunk_size * 4;
             for (i, slot) in c.vals[..n].iter().enumerate() {
                 let v = slot.load(Ordering::Acquire);
                 if v != INVALID {
@@ -287,6 +285,19 @@ impl ChunkedAdjacency {
         let mut d = 0;
         self.for_each(node, |_| d += 1);
         d
+    }
+
+    /// Base of the chunk arena's logical device window. Disjoint from
+    /// `AtomicBitmap`'s window (`0x1000_0000_0000`).
+    pub const DEV_BASE: usize = 0x2000_0000_0000;
+
+    /// The byte extent `(base, len_bytes)` of the arena's logical device
+    /// window — what a pipeline registers with `morph-lens` so slot
+    /// traversals attribute to this structure. Re-register after
+    /// [`grow_chunks`](ChunkedAdjacency::grow_chunks): the base is fixed
+    /// but the length tracks the current arena capacity.
+    pub fn dev_extent(&self) -> (usize, usize) {
+        (Self::DEV_BASE, self.max_chunks() * self.chunk_size * 4)
     }
 
     /// Sorted, deduplicated snapshot of `node`'s list (host-side; the

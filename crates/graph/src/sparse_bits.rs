@@ -193,10 +193,20 @@ impl AtomicBitmap {
     /// measured coalescing factor non-reproducible.
     #[inline]
     pub fn word_addr(&self, row: usize, w: usize) -> usize {
-        // Disjoint from `ChunkedAdjacency`'s arena window so transactions
-        // from the two structures never merge into one cache line.
-        const BITMAP_DEV_BASE: usize = 0x1000_0000_0000;
-        BITMAP_DEV_BASE + (row * self.words_per_row + w) * 8
+        Self::DEV_BASE + (row * self.words_per_row + w) * 8
+    }
+
+    /// Base of the bitmap's logical device window. Disjoint from
+    /// `ChunkedAdjacency`'s arena window so transactions from the two
+    /// structures never merge into one cache line.
+    pub const DEV_BASE: usize = 0x1000_0000_0000;
+
+    /// The byte extent `(base, len_bytes)` of the bitmap's logical device
+    /// window — what a pipeline registers with `morph-lens` so word
+    /// traffic attributes to this structure. Re-register after a regrow:
+    /// the base is fixed but the length tracks the current word count.
+    pub fn dev_extent(&self) -> (usize, usize) {
+        (Self::DEV_BASE, self.rows * self.words_per_row * 8)
     }
 
     /// `row(dst) ∪= row(src)`; returns `true` if `dst` changed. Word-wise

@@ -31,6 +31,17 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 const NONE: u64 = u64::MAX;
 
+/// Logical device windows for the Borůvka structures (cost model /
+/// morph-lens): the union-find parent array, the read-only CSR edge
+/// records, the per-component `best` slots, and the weight/edge-count
+/// accumulator words.
+const MST_DEV_BASE: usize = 0x5000_0000_0000;
+const MST_STRIDE: usize = 0x0008_0000_0000;
+const COMPONENTS_BASE: usize = MST_DEV_BASE;
+const CSR_EDGES_BASE: usize = MST_DEV_BASE + MST_STRIDE;
+const BEST_BASE: usize = MST_DEV_BASE + 2 * MST_STRIDE;
+const ACCUM_BASE: usize = MST_DEV_BASE + 3 * MST_STRIDE;
+
 #[inline]
 fn pack(w: u32, edge: u32) -> u64 {
     ((w as u64) << 32) | edge as u64
@@ -64,15 +75,23 @@ impl Kernel for BoruvkaKernel<'_> {
                 let mut any = false;
                 for v in ctx.chunked(n) {
                     let v = v as u32;
+                    ctx.gmem_addr(COMPONENTS_BASE + v as usize * 4);
                     let my = self.uf.find(v);
                     let mut local = NONE;
                     for e in self.g.edge_range(v) {
-                        if self.uf.find(self.g.edge_dst(e)) != my {
+                        ctx.gmem_addr(CSR_EDGES_BASE + e * 8);
+                        let dst = self.g.edge_dst(e);
+                        ctx.gmem_addr(COMPONENTS_BASE + dst as usize * 4);
+                        if self.uf.find(dst) != my {
                             local = local.min(pack(self.g.edge_weight(e), e as u32));
                         }
                     }
                     if local != NONE {
-                        ctx.atomic_min_u64(self.best.at(my as usize), local);
+                        ctx.atomic_min_u64_at(
+                            self.best.at(my as usize),
+                            local,
+                            BEST_BASE + my as usize * 8,
+                        );
                         any = true;
                     }
                 }
@@ -86,16 +105,21 @@ impl Kernel for BoruvkaKernel<'_> {
             1 => {
                 let mut any = false;
                 for c in ctx.chunked(n) {
+                    ctx.gmem_addr(BEST_BASE + c * 8);
                     let cand = self.best.load(c);
                     if cand == NONE {
                         continue;
                     }
                     any = true;
                     let e = (cand & 0xffff_ffff) as usize;
+                    ctx.gmem_addr(CSR_EDGES_BASE + e * 8);
                     let u = self.edge_src[e];
                     let v = self.g.edge_dst(e);
+                    ctx.gmem_addr(COMPONENTS_BASE + u as usize * 4);
+                    ctx.gmem_addr(COMPONENTS_BASE + v as usize * 4);
                     if self.uf.union(u, v) {
-                        ctx.atomic_add_u64(self.weight, cand >> 32);
+                        ctx.atomic_add_u64_at(self.weight, cand >> 32, ACCUM_BASE);
+                        ctx.gmem_addr(ACCUM_BASE + 8);
                         self.edges.fetch_add(1, Ordering::AcqRel);
                         self.changed.store(true, Ordering::Release);
                     }
@@ -108,6 +132,7 @@ impl Kernel for BoruvkaKernel<'_> {
             _ => {
                 let mut any = false;
                 for c in ctx.chunked(n) {
+                    ctx.gmem_addr(BEST_BASE + c * 8);
                     if self.best.load_relaxed(c) != NONE {
                         self.best.store_relaxed(c, NONE);
                         any = true;
@@ -175,6 +200,12 @@ pub fn try_mst_with_stats(
         barrier: BarrierKind::SenseReversing,
     });
     recovery.arm(&mut gpu);
+    if gpu.lens().is_enabled() {
+        gpu.lens().register("mst.components", COMPONENTS_BASE, n * 4);
+        gpu.lens().register("mst.csr_edges", CSR_EDGES_BASE, g.num_edges() * 8);
+        gpu.lens().register("mst.best_edges", BEST_BASE, n * 8);
+        gpu.lens().register("mst.accumulators", ACCUM_BASE, 16);
+    }
 
     // Resume from the newest checkpoint, if one exists for this job: the
     // union-find partition plus the weight/edge accumulators fully

@@ -55,6 +55,13 @@ impl Default for PtaOpts {
     }
 }
 
+/// Logical device windows for the solver's auxiliary arrays (disjoint
+/// from the bitmap window `0x1000_0000_0000` and the chunk-arena window
+/// `0x2000_0000_0000`), so morph-lens attributes their traffic per
+/// structure.
+const ORDER_DEV_BASE: usize = 0x6000_0000_0000;
+const DIRTY_DEV_BASE: usize = 0x6010_0000_0000;
+
 struct PtaKernel<'a> {
     prob: &'a PtaProblem,
     complex: &'a [Constraint],
@@ -101,6 +108,7 @@ impl PtaKernel<'_> {
             self.denied.store(true, Ordering::Release);
             return;
         }
+        ctx.gmem_addr(DIRTY_DEV_BASE + src as usize * 4);
         self.dirty.store_relaxed(src as usize, 1);
         self.changed.store(true, Ordering::Release);
     }
@@ -139,10 +147,12 @@ impl Kernel for PtaKernel<'_> {
                 let n = self.prob.num_vars;
                 let mut any = false;
                 for oi in ctx.chunked(n) {
+                    ctx.gmem_addr(ORDER_DEV_BASE + oi * 4);
                     let node = self.order.load_relaxed(oi);
                     let mut grew = false;
                     self.incoming.for_each_addr(node, |src, addr| {
                         ctx.gmem_addr(addr);
+                        ctx.gmem_addr(DIRTY_DEV_BASE + src as usize * 4);
                         if src != node && self.dirty.load_relaxed(src as usize) != 0 {
                             // The word-parallel union reads every source
                             // word; attribute those loads too.
@@ -157,6 +167,7 @@ impl Kernel for PtaKernel<'_> {
                         // Publish for the *next* iteration (phase barrier
                         // separates marking from this iteration's reads —
                         // a missed same-iteration read re-pulls next time).
+                        ctx.gmem_addr(DIRTY_DEV_BASE + node as usize * 4);
                         self.dirty.store(node as usize, 2);
                         self.changed.store(true, Ordering::Release);
                     }
@@ -266,6 +277,18 @@ pub fn try_solve_with(
     });
     recovery.arm(&mut gpu);
 
+    // Register the solver's device structures with the lens (no-op on the
+    // default disabled hub). The arena window is re-registered after each
+    // regrow since its extent tracks the current capacity.
+    {
+        let (b, l) = pts.dev_extent();
+        recovery.lens.register("pta.pts_bitmap", b, l);
+        let (b, l) = incoming.dev_extent();
+        recovery.lens.register("pta.chunk_arena", b, l);
+        recovery.lens.register("pta.node_order", ORDER_DEV_BASE, n * 4);
+        recovery.lens.register("pta.dirty_worklist", DIRTY_DEV_BASE, n * 4);
+    }
+
     #[cfg(feature = "morph-check")]
     let mut oracle = morph_core::OracleGate::new();
     #[cfg(feature = "morph-check")]
@@ -274,6 +297,8 @@ pub fn try_solve_with(
         if let Some(new_max) = ctx.regrow_to {
             incoming.clear_overflow();
             incoming.grow_chunks(new_max);
+            let (b, l) = incoming.dev_extent();
+            recovery.lens.register("pta.chunk_arena", b, l);
         }
         let changed = AtomicBool::new(false);
         let denied = AtomicBool::new(false);

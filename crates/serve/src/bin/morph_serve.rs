@@ -30,8 +30,14 @@
 //! The introspection flags turn on the live plane:
 //!
 //! * `--serve-http ADDR` binds the embedded HTTP server (`/metrics`,
-//!   `/healthz`, `/jobs`) for the duration of the run; `ADDR:0` picks a
-//!   free port and prints it.
+//!   `/healthz`, `/jobs`, `/lens`) for the duration of the run; `ADDR:0`
+//!   picks a free port and prints it.
+//! * `--lens` arms the morph-lens attribution hub on every job:
+//!   pipelines register their device structures, the engine buckets
+//!   metered traffic per phase × structure, `/lens` serves the
+//!   cumulative table as JSON, and the `morph_lens_*` counter families
+//!   land in `/metrics` (and `--metrics` files), labelled
+//!   phase/region/tenant/algo.
 //! * `--flamegraph out.folded` arms the continuous phase profiler and
 //!   writes folded stacks (`algo;iteration-class;phase cycles`) at exit —
 //!   ready for any flamegraph renderer, or `trace-report flamegraph`.
@@ -88,7 +94,7 @@ fn usage() -> ExitCode {
     eprintln!("                       [--serve-http ADDR] [--flamegraph out.folded]");
     eprintln!("                       [--flight out.jsonl] [--flight-drill] [--slo-objective US]");
     eprintln!("                       [--resume DIR] [--torn-write N] [--short-write N]");
-    eprintln!("                       [--fsync-deny N] [--bit-flip N] [--autotune]");
+    eprintln!("                       [--fsync-deny N] [--bit-flip N] [--autotune] [--lens]");
     eprintln!("       morph-serve crash-soak <dir> [--jobs N] [--seed S] [--cycles N] [--devices N]");
     eprintln!("       morph-serve check-exposition <metrics.prom>");
     ExitCode::from(2)
@@ -212,6 +218,7 @@ fn run(file: &str, rest: &[String]) -> ExitCode {
     let slo_objective = flag_or::<u64>(rest, "--slo-objective", &mut bad).unwrap_or(2_000_000);
     let flight_drill = rest.iter().any(|a| a == "--flight-drill");
     let autotune = rest.iter().any(|a| a == "--autotune");
+    let lens = rest.iter().any(|a| a == "--lens");
     let resume_dir = flag_or::<String>(rest, "--resume", &mut bad);
     let torn_write = flag_or::<u64>(rest, "--torn-write", &mut bad);
     let short_write = flag_or::<u64>(rest, "--short-write", &mut bad);
@@ -294,6 +301,7 @@ fn run(file: &str, rest: &[String]) -> ExitCode {
         state_dir: resume_dir.clone().map(PathBuf::from),
         durability_faults,
         autotune,
+        lens,
         ..ServeConfig::default()
     };
     eprintln!(
@@ -306,6 +314,9 @@ fn run(file: &str, rest: &[String]) -> ExitCode {
     if autotune {
         eprintln!("autotune: morph-tune controller attached to every job");
     }
+    if lens {
+        eprintln!("lens: morph-lens attribution hub attached to every job");
+    }
     let mut specs = specs;
     if let Some(cs) = chaos_seed {
         apply_chaos(&mut specs, cs);
@@ -316,7 +327,7 @@ fn run(file: &str, rest: &[String]) -> ExitCode {
     }
     let mut pool = MorphServe::start(cfg, tracer);
     if let Some(addr) = pool.http_addr() {
-        eprintln!("introspection: http://{addr}/ (endpoints: /metrics /healthz /jobs)");
+        eprintln!("introspection: http://{addr}/ (endpoints: /metrics /healthz /jobs /lens)");
     }
     // On resume, the first `journaled_jobs` specs of the replay were
     // already admitted (and journaled) by a previous incarnation: the

@@ -2,7 +2,7 @@
 //! embedded in the pool, in the same hand-rolled spirit as the JSON
 //! codec in `morph-trace`.
 //!
-//! Three read-only endpoints, served from one polling thread:
+//! Read-only endpoints, served from one polling thread:
 //!
 //! * `GET /metrics` — the pool's live registry as Prometheus exposition
 //!   text (`morph_metrics::expose`), scrapeable mid-run.
@@ -13,6 +13,11 @@
 //!   tenant's burn-rate alert is firing.
 //! * `GET /jobs` — queued/running/terminal jobs as JSON, with wait/run
 //!   timing, attempt and eviction counts from the pool's live bookkeeping.
+//! * `GET /lens` — the morph-lens attribution snapshot as JSON: the
+//!   region registry plus cumulative phase × structure traffic rows and
+//!   the hot-address table. Returns `404` unless the pool was started
+//!   with [`crate::ServeConfig::lens`] — the hub is disabled and holds
+//!   nothing.
 //!
 //! The listener is bound synchronously in [`crate::MorphServe::start`]
 //! (so `127.0.0.1:0` tests learn the port before the first request) and
@@ -81,7 +86,7 @@ fn handle(inner: &Arc<Inner>, mut stream: TcpStream) -> std::io::Result<()> {
             200,
             "OK",
             "text/plain",
-            "morph-serve introspection: /metrics /healthz /jobs\n",
+            "morph-serve introspection: /metrics /healthz /jobs /lens\n",
         ),
         "/metrics" => {
             let text = morph_metrics::expose(&inner.metrics.snapshot());
@@ -103,6 +108,20 @@ fn handle(inner: &Arc<Inner>, mut stream: TcpStream) -> std::io::Result<()> {
             respond(&mut stream, code, reason, "application/json", &body)
         }
         "/jobs" => respond(&mut stream, 200, "OK", "application/json", &jobs_json(inner)),
+        "/lens" => {
+            if inner.lens.is_enabled() {
+                let body = inner.lens.snapshot().to_json();
+                respond(&mut stream, 200, "OK", "application/json", &body)
+            } else {
+                respond(
+                    &mut stream,
+                    404,
+                    "Not Found",
+                    "text/plain",
+                    "lens disabled (start with ServeConfig::lens / --lens)\n",
+                )
+            }
+        }
         _ => respond(&mut stream, 404, "Not Found", "text/plain", "not found\n"),
     }
 }

@@ -50,7 +50,7 @@ use morph_core::{
     AutoTuner, CancelToken, CheckpointCtl, CheckpointStore, DriveError, MetricsHub,
     MetricsRegistry, RecoveryOpts, RecoveryPolicy, TuneConfig,
 };
-use morph_gpu_sim::FaultPlan;
+use morph_gpu_sim::{FaultPlan, LensHub};
 use morph_trace::{
     FlightConfig, FlightRecorder, JobEventKind, PhaseProfiler, ProfilerScope, RestoreOutcome,
     TraceEvent, TraceSink, Tracer,
@@ -124,6 +124,13 @@ pub struct ServeConfig {
     /// feedback instead of the paper's fixed §7.4 schedules. Default
     /// false — byte-identical to the untuned driver.
     pub autotune: bool,
+    /// morph-lens attribution: when true, every job runs with one shared
+    /// enabled [`LensHub`], so pipelines register their device structures
+    /// and the engine buckets metered traffic per phase × structure. The
+    /// cumulative table is served at `/lens` and the per-launch deltas
+    /// land on the `morph_lens_*` metric families. Default false — no
+    /// registry, no attribution, no overhead.
+    pub lens: bool,
 }
 
 impl Default for ServeConfig {
@@ -146,6 +153,7 @@ impl Default for ServeConfig {
             state_dir: None,
             durability_faults: None,
             autotune: false,
+            lens: false,
         }
     }
 }
@@ -274,6 +282,9 @@ pub(crate) struct Inner {
     pub(crate) flight: Arc<FlightRecorder>,
     /// SLO burn-rate monitor; `None` when [`ServeConfig::slo`] is unset.
     pub(crate) slo: Option<SloMonitor>,
+    /// Shared morph-lens hub (enabled iff [`ServeConfig::lens`]); every
+    /// job's pipeline registers its structures here, `/lens` snapshots it.
+    pub(crate) lens: LensHub,
     epoch: Instant,
     pub(crate) cfg: ServeConfig,
 }
@@ -696,6 +707,11 @@ impl MorphServe {
             recovery,
             flight,
             slo,
+            lens: if cfg.lens {
+                LensHub::enabled()
+            } else {
+                LensHub::disabled()
+            },
             epoch: Instant::now(),
             cfg,
         });
@@ -967,6 +983,13 @@ impl MorphServe {
     /// ([`ServeConfig::checkpoint_every`] > 0).
     pub fn checkpoints(&self) -> Option<&Arc<CheckpointStore>> {
         self.inner.checkpoints.as_ref()
+    }
+
+    /// The shared morph-lens attribution hub — enabled iff the pool was
+    /// started with [`ServeConfig::lens`]. Snapshot it at any time for
+    /// the same cumulative phase × structure table `/lens` serves.
+    pub fn lens(&self) -> &LensHub {
+        &self.inner.lens
     }
 
     /// The always-on flight recorder teed into the pool's sink chain.
@@ -1413,6 +1436,7 @@ fn run_one(inner: &Arc<Inner>, device: u64, mut job: Job) {
         } else {
             AutoTuner::default()
         },
+        lens: inner.lens.clone(),
     };
     let run_started = Instant::now();
     let outcome = job.spec.workload.run(inner.cfg.sms_per_device, &recovery);

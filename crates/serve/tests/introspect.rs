@@ -147,6 +147,86 @@ fn http_endpoints_serve_metrics_health_and_jobs() {
 }
 
 #[test]
+fn lens_endpoint_serves_attribution_and_metrics_carry_lens_families() {
+    let ring = Arc::new(RingSink::new(1 << 14));
+    let tracer = Tracer::new(Arc::clone(&ring) as _);
+    let mut pool = MorphServe::start(
+        ServeConfig {
+            devices: 2,
+            http_addr: Some("127.0.0.1:0".into()),
+            lens: true,
+            ..ServeConfig::default()
+        },
+        tracer,
+    );
+    let addr = pool.http_addr().unwrap();
+    for spec in small_jobs() {
+        pool.submit(spec).unwrap();
+    }
+    pool.drain();
+
+    // /lens serves the cumulative snapshot: registered structures from
+    // both pipelines, traffic rows, and a near-zero unattributed residue.
+    let (status, body) = get(addr, "/lens");
+    assert!(status.contains("200"), "/lens: {status}");
+    assert!(body.contains("\"regions\":["));
+    assert!(
+        body.contains("mst.components") && body.contains("dmr.tri_verts"),
+        "/lens must list both pipelines' structures: {body}"
+    );
+    assert!(body.contains("\"rows\":["));
+    let frac = body
+        .split("\"unattributed_fraction\":")
+        .nth(1)
+        .and_then(|t| t.trim_end_matches('}').parse::<f64>().ok())
+        .expect("unattributed_fraction present");
+    assert!(frac < 0.01, "unattributed fraction {frac} >= 1%: {body}");
+
+    // The same snapshot is reachable programmatically.
+    let snap = pool.lens().snapshot();
+    assert!(!snap.rows.is_empty());
+
+    // /metrics carries the labelled morph_lens_* families and still
+    // parses with the library's own exposition parser.
+    let (status, body) = get(addr, "/metrics");
+    assert!(status.contains("200"));
+    let doc = morph_metrics::parse_exposition(&body).expect("exposition parses");
+    let lens_access = doc
+        .samples
+        .iter()
+        .filter(|s| s.name == "morph_lens_gmem_accesses_total")
+        .collect::<Vec<_>>();
+    assert!(
+        !lens_access.is_empty(),
+        "morph_lens_gmem_accesses_total exported: {body}"
+    );
+    assert!(
+        lens_access
+            .iter()
+            .any(|s| s.labels.iter().any(|(k, v)| k == "region" && v != "unattributed")),
+        "lens samples carry region labels"
+    );
+
+    pool.shutdown();
+
+    // Without ServeConfig::lens the endpoint 404s instead of serving an
+    // empty table.
+    let ring = Arc::new(RingSink::new(1 << 14));
+    let mut pool = MorphServe::start(
+        ServeConfig {
+            devices: 1,
+            http_addr: Some("127.0.0.1:0".into()),
+            ..ServeConfig::default()
+        },
+        Tracer::new(Arc::clone(&ring) as _),
+    );
+    let addr = pool.http_addr().unwrap();
+    let (status, _) = get(addr, "/lens");
+    assert!(status.contains("404"), "lens disabled ⇒ 404: {status}");
+    pool.shutdown();
+}
+
+#[test]
 fn slo_burn_alert_fires_and_degrades_healthz() {
     let ring = Arc::new(RingSink::new(1 << 14));
     let tracer = Tracer::new(Arc::clone(&ring) as _);

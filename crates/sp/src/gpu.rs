@@ -24,6 +24,15 @@ use morph_gpu_sim::{
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Logical device windows for the SP structures (cost model /
+/// morph-lens): the per-variable cached products, the per-edge-slot η
+/// surveys, and the single convergence-delta reduction word.
+const SP_DEV_BASE: usize = 0x4000_0000_0000;
+const SP_STRIDE: usize = 0x0008_0000_0000;
+const VAR_CACHE_BASE: usize = SP_DEV_BASE;
+const SURVEYS_BASE: usize = SP_DEV_BASE + SP_STRIDE;
+const DELTA_BASE: usize = SP_DEV_BASE + 2 * SP_STRIDE;
+
 struct SurveyKernel<'a> {
     fg: &'a FactorGraph,
     s: &'a Surveys,
@@ -41,6 +50,10 @@ impl Kernel for SurveyKernel<'_> {
             0 => {
                 let mut any = false;
                 for v in ctx.chunked(self.fg.num_vars) {
+                    ctx.gmem_addr(VAR_CACHE_BASE + v * 8);
+                    for &e in self.fg.var_edge_ids(v as u32) {
+                        ctx.gmem_addr(SURVEYS_BASE + e as usize * 8);
+                    }
                     recompute_var_cache(self.fg, self.s, v as u32);
                     any = true;
                 }
@@ -54,13 +67,17 @@ impl Kernel for SurveyKernel<'_> {
                     if self.fg.clause_deleted.is_deleted(a as u32) {
                         continue;
                     }
+                    for e in self.fg.clause_slots(a) {
+                        ctx.gmem_addr(SURVEYS_BASE + e * 8);
+                        ctx.gmem_addr(VAR_CACHE_BASE + self.fg.edge_var(e) as usize * 8);
+                    }
                     local = local.max(update_clause(self.fg, self.s, a, true));
                     any = true;
                 }
                 if local > 0.0 {
                     // Non-negative f64 bit patterns order like the floats,
                     // so a u64 atomicMax implements the f64 reduction.
-                    ctx.atomic_max_u64(&self.delta_bits, local.to_bits());
+                    ctx.atomic_max_u64_at(&self.delta_bits, local.to_bits(), DELTA_BASE);
                 }
                 any
             }
@@ -106,6 +123,11 @@ pub fn try_propagate(
         barrier: BarrierKind::SenseReversing,
     });
     recovery.arm(&mut gpu);
+    if gpu.lens().is_enabled() {
+        gpu.lens().register("sp.var_cache", VAR_CACHE_BASE, fg.num_vars * 8);
+        gpu.lens().register("sp.surveys", SURVEYS_BASE, fg.num_edge_slots() * 8);
+        gpu.lens().register("sp.delta", DELTA_BASE, 8);
+    }
     let max_sweeps = max_sweeps.max(1);
     let mut sweeps = 0usize;
     // Resume from the newest checkpoint, if the caller attached a store

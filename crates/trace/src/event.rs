@@ -489,6 +489,27 @@ pub enum TraceEvent {
         reorder: bool,
         detail: String,
     },
+    /// One attribution cell of the `morph-lens` profiler (schema v6):
+    /// the metered global-memory traffic of one launch, bucketed per
+    /// phase × per registered device structure. `region` is the name the
+    /// pipeline registered for the address range (`"unattributed"` for
+    /// traffic outside every registered range); `accesses` counts metered
+    /// loads/stores/atomics, `transactions` the 32-byte segments they
+    /// coalesced into, `atomic_ops` the atomic RMWs among them, and
+    /// `atomic_serial` the extra serialization steps from same-address
+    /// atomics within a warp. `hot_addr`/`hot_count` locate the worst
+    /// single-warp atomic pile-up observed on the cell (0/0 if none).
+    Lens {
+        launch: u64,
+        phase: u64,
+        region: String,
+        accesses: u64,
+        transactions: u64,
+        atomic_ops: u64,
+        atomic_serial: u64,
+        hot_addr: u64,
+        hot_count: u64,
+    },
 }
 
 impl TraceEvent {
@@ -511,6 +532,7 @@ impl TraceEvent {
             TraceEvent::Restore { .. } => "restore",
             TraceEvent::ProfileSample { .. } => "profile_sample",
             TraceEvent::Tune { .. } => "tune",
+            TraceEvent::Lens { .. } => "lens",
         }
     }
 
@@ -632,6 +654,17 @@ impl TraceEvent {
                 compact: v.get("compact").and_then(JsonValue::as_bool)?,
                 reorder: v.get("reorder").and_then(JsonValue::as_bool)?,
                 detail: s("detail")?,
+            },
+            "lens" => TraceEvent::Lens {
+                launch: u("launch")?,
+                phase: u("phase")?,
+                region: s("region")?,
+                accesses: u("accesses")?,
+                transactions: u("transactions")?,
+                atomic_ops: u("atomic_ops")?,
+                atomic_serial: u("atomic_serial")?,
+                hot_addr: u("hot_addr")?,
+                hot_count: u("hot_count")?,
             },
             _ => return None,
         })
@@ -917,6 +950,30 @@ impl Serialize for TraceEvent {
                 st.serialize_field("detail", detail)?;
                 st.end()
             }
+            TraceEvent::Lens {
+                launch,
+                phase,
+                region,
+                accesses,
+                transactions,
+                atomic_ops,
+                atomic_serial,
+                hot_addr,
+                hot_count,
+            } => {
+                let mut st = s.serialize_struct("TraceEvent", 10)?;
+                st.serialize_field("type", self.kind())?;
+                st.serialize_field("launch", launch)?;
+                st.serialize_field("phase", phase)?;
+                st.serialize_field("region", region)?;
+                st.serialize_field("accesses", accesses)?;
+                st.serialize_field("transactions", transactions)?;
+                st.serialize_field("atomic_ops", atomic_ops)?;
+                st.serialize_field("atomic_serial", atomic_serial)?;
+                st.serialize_field("hot_addr", hot_addr)?;
+                st.serialize_field("hot_count", hot_count)?;
+                st.end()
+            }
         }
     }
 }
@@ -1078,6 +1135,17 @@ mod tests {
             compact: true,
             reorder: false,
             detail: "cumulative abort ratio 0.88 > 0.50".into(),
+        });
+        roundtrip(TraceEvent::Lens {
+            launch: 7,
+            phase: 1,
+            region: "pta.dirty_worklist".into(),
+            accesses: 640,
+            transactions: 81,
+            atomic_ops: 96,
+            atomic_serial: 31,
+            hot_addr: 0x6000_0000_0000,
+            hot_count: 9,
         });
     }
 

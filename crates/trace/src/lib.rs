@@ -49,6 +49,10 @@ pub mod sink;
 ///   next-iteration threads-per-block, conflict policy, and the
 ///   compaction/reordering requests, with the triggering signal in
 ///   `detail`).
+/// * **6** — the attribution event: `lens` (one `morph-lens` cell per
+///   launch: metered global-memory accesses, coalescing transactions,
+///   atomic ops and same-address serialization bucketed per phase × per
+///   registered device structure, plus the hottest contended word).
 ///
 /// Compatibility contract, enforced by the golden-file test in
 /// `tests/schema_compat.rs`: decoding is additive. Readers must parse
@@ -56,13 +60,13 @@ pub mod sink;
 /// skip unknown `"type"` discriminants ([`TraceEvent::from_json`]
 /// returns `None`) rather than fail, so old `BENCH_*`/trace artifacts
 /// keep parsing as new event kinds land.
-pub const TRACE_SCHEMA_VERSION: u32 = 5;
+pub const TRACE_SCHEMA_VERSION: u32 = 6;
 
 pub use event::{CountersSnapshot, JobEventKind, RecoveryKind, RestoreOutcome, TraceEvent};
 pub use flight::{FlightConfig, FlightRecorder};
 pub use profile::{iteration_class, model_cycles, PhaseProfiler, ProfilerScope};
 pub use report::{
-    partition_by_job, AlertRow, HealthRow, JobRow, ProfileRow, RestoreRow, TenantAgg,
+    partition_by_job, AlertRow, HealthRow, JobRow, LensAgg, ProfileRow, RestoreRow, TenantAgg,
     TraceReport, TuneRow, WasteBreakdown,
 };
 pub use sink::{parse_jsonl, parse_jsonl_tagged, JsonlSink, RingSink, TeeSink, TraceSink, Tracer};

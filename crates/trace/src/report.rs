@@ -165,6 +165,28 @@ pub struct TuneRow {
     pub detail: String,
 }
 
+/// One morph-lens attribution cell, aggregated across every
+/// [`TraceEvent::Lens`] record with the same (phase, region) key.
+/// `hot_addr`/`hot_count` keep the worst single-warp atomic pile-up seen
+/// on the cell across the whole stream.
+#[derive(Debug, Default, Clone)]
+pub struct LensAgg {
+    pub accesses: u64,
+    pub transactions: u64,
+    pub atomic_ops: u64,
+    pub atomic_serial: u64,
+    pub hot_addr: u64,
+    pub hot_count: u64,
+}
+
+impl LensAgg {
+    /// Metered accesses per 32-byte transaction for this cell (0 when
+    /// the cell saw no transactions).
+    pub fn coalescing_factor(&self) -> f64 {
+        ratio(self.accesses, self.transactions)
+    }
+}
+
 /// One phase-profiler cell ([`TraceEvent::ProfileSample`]) from the
 /// stream, in order. `crate::profile::PhaseProfiler::fold_events`
 /// re-aggregates these into folded stacks.
@@ -241,6 +263,8 @@ pub struct TraceReport {
     pub profile: Vec<ProfileRow>,
     /// Autotuner actuations, in stream order.
     pub tunes: Vec<TuneRow>,
+    /// Morph-lens attribution cells, keyed by (phase, region).
+    pub lens: BTreeMap<(u64, String), LensAgg>,
 }
 
 impl TraceReport {
@@ -456,6 +480,27 @@ impl TraceReport {
                     reorder: *reorder,
                     detail: detail.clone(),
                 }),
+                TraceEvent::Lens {
+                    phase,
+                    region,
+                    accesses,
+                    transactions,
+                    atomic_ops,
+                    atomic_serial,
+                    hot_addr,
+                    hot_count,
+                    ..
+                } => {
+                    let cell = r.lens.entry((*phase, region.clone())).or_default();
+                    cell.accesses += accesses;
+                    cell.transactions += transactions;
+                    cell.atomic_ops += atomic_ops;
+                    cell.atomic_serial += atomic_serial;
+                    if *hot_count > cell.hot_count {
+                        cell.hot_count = *hot_count;
+                        cell.hot_addr = *hot_addr;
+                    }
+                }
             }
         }
         r
@@ -738,6 +783,58 @@ impl TraceReport {
                 }
             }
         }
+        out
+    }
+
+    /// Total metered accesses that fell outside every registered lens
+    /// region, as a fraction of all lens-metered accesses (0 when the
+    /// stream carries no lens cells).
+    pub fn lens_unattributed_fraction(&self) -> f64 {
+        let total: u64 = self.lens.values().map(|c| c.accesses).sum();
+        let un: u64 = self
+            .lens
+            .iter()
+            .filter(|((_, r), _)| r == "unattributed")
+            .map(|(_, c)| c.accesses)
+            .sum();
+        ratio(un, total)
+    }
+
+    /// The morph-lens phase×structure waste table: where the metered
+    /// global-memory traffic, coalescing transactions and atomic
+    /// serialization went, per registered device structure.
+    pub fn render_lens(&self) -> String {
+        let mut out = String::new();
+        if self.lens.is_empty() {
+            out.push_str("no lens attribution in stream (attach a LensHub / run with --lens)\n");
+            return out;
+        }
+        out.push_str(
+            "phase | structure            | accesses | transactions | coalesce | atomics | serial | hottest word\n",
+        );
+        for ((phase, region), c) in &self.lens {
+            out.push_str(&format!(
+                "{:>5} | {:<20} | {:>8} | {:>12} | {:>8.2} | {:>7} | {:>6} | {}\n",
+                phase,
+                region,
+                c.accesses,
+                c.transactions,
+                c.coalescing_factor(),
+                c.atomic_ops,
+                c.atomic_serial,
+                if c.hot_count == 0 {
+                    "-".to_string()
+                } else {
+                    format!("{:#x} x{}", c.hot_addr, c.hot_count)
+                },
+            ));
+        }
+        let total: u64 = self.lens.values().map(|c| c.accesses).sum();
+        out.push_str(&format!(
+            "unattributed    : {:.2}% of {} metered accesses\n",
+            100.0 * self.lens_unattributed_fraction(),
+            total
+        ));
         out
     }
 

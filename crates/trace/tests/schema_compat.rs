@@ -17,11 +17,12 @@ const V2: &str = include_str!("golden/schema_v2.jsonl");
 const V3: &str = include_str!("golden/schema_v3.jsonl");
 const V4: &str = include_str!("golden/schema_v4.jsonl");
 const V5: &str = include_str!("golden/schema_v5.jsonl");
+const V6: &str = include_str!("golden/schema_v6.jsonl");
 
 #[test]
 fn schema_version_matches_the_golden_set() {
     // Adding a revision means freezing a new golden file alongside it.
-    assert_eq!(TRACE_SCHEMA_VERSION, 5);
+    assert_eq!(TRACE_SCHEMA_VERSION, 6);
 }
 
 #[test]
@@ -130,6 +131,74 @@ fn v5_streams_parse_tune_actuations() {
 }
 
 #[test]
+fn v6_streams_parse_lens_attribution() {
+    let (events, bad) = parse_jsonl(V6);
+    assert!(bad.is_empty(), "v6 golden lines failed to parse: {bad:?}");
+    assert_eq!(events.len(), V6.lines().count());
+    let r = TraceReport::from_events(&events);
+    assert_eq!(r.lens.len(), 3);
+    let wl = &r.lens[&(0, "dmr.bad_worklist".to_string())];
+    assert_eq!(wl.accesses, 320);
+    assert_eq!(wl.transactions, 80);
+    assert_eq!(wl.atomic_ops, 64);
+    assert_eq!(wl.atomic_serial, 12);
+    assert_eq!((wl.hot_addr, wl.hot_count), (52_776_558_133_320, 5));
+    assert!((wl.coalescing_factor() - 4.0).abs() < 1e-12);
+    // The unattributed bucket is accounted as a fraction of all metered
+    // accesses: 4 of 640 here.
+    assert!((r.lens_unattributed_fraction() - 4.0 / 640.0).abs() < 1e-12);
+    let table = r.render_lens();
+    assert!(table.contains("dmr.bad_worklist"), "{table}");
+    assert!(table.contains("unattributed"), "{table}");
+    // The engine events around the lens lines still fold as before.
+    assert_eq!(r.launches.len(), 1);
+    assert_eq!(r.tunes.len(), 1);
+}
+
+#[test]
+fn lens_lines_are_skippable_by_pre_v6_readers() {
+    // A reader frozen at schema v5 dispatches on the v5 discriminant set
+    // and must treat `lens` lines as skippable unknowns, not stream
+    // corruption. Simulate that reader over the v6 golden stream.
+    const V5_KINDS: [&str; 16] = [
+        "launch_begin",
+        "phase_span",
+        "launch_end",
+        "recovery",
+        "alloc",
+        "worklist",
+        "algo_iteration",
+        "job",
+        "checkpoint",
+        "eviction",
+        "health",
+        "sanitizer",
+        "alert",
+        "restore",
+        "profile_sample",
+        "tune",
+    ];
+    let mut decoded = 0usize;
+    let mut skipped = Vec::new();
+    for line in V6.lines() {
+        let v = morph_trace::json::parse(line).expect("v6 lines are valid JSON");
+        let ty = v.get("type").and_then(|t| t.as_str()).unwrap().to_string();
+        if V5_KINDS.contains(&ty.as_str()) {
+            assert!(TraceEvent::from_json(&v).is_some(), "v5 kind {ty} must decode");
+            decoded += 1;
+        } else {
+            skipped.push(ty);
+        }
+    }
+    assert_eq!(decoded, V6.lines().count() - 3);
+    assert_eq!(
+        skipped,
+        ["lens", "lens", "lens"],
+        "only the v6 addition is unknown to a v5 reader"
+    );
+}
+
+#[test]
 fn tune_lines_are_skippable_by_pre_v5_readers() {
     // Mirror of the journal's unknown-kind rule, from the other side: a
     // reader frozen at schema v4 dispatches on the v4 discriminant set
@@ -172,14 +241,15 @@ fn tune_lines_are_skippable_by_pre_v5_readers() {
 fn mixed_old_and_new_streams_fold_together() {
     // A concatenation of all revisions — the realistic shape of an
     // appended archive — parses line-for-line and folds into one report.
-    let all = format!("{V1}{V2}{V3}{V4}{V5}");
+    let all = format!("{V1}{V2}{V3}{V4}{V5}{V6}");
     let (events, bad) = parse_jsonl(&all);
     assert!(bad.is_empty(), "mixed stream failed on lines {bad:?}");
     let r = TraceReport::from_events(&events);
-    assert_eq!(r.launches.len(), 3);
+    assert_eq!(r.launches.len(), 4);
     assert_eq!(r.alerts.len(), 1);
     assert_eq!(r.profile.len(), 2);
-    assert_eq!(r.tunes.len(), 2);
+    assert_eq!(r.tunes.len(), 3);
+    assert_eq!(r.lens.len(), 3);
     assert!(!r.jobs.is_empty());
 }
 
